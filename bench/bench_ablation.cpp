@@ -1,0 +1,98 @@
+// Experiment E8 — ablation: what does the maximum-matching machinery buy?
+// (DESIGN.md §3/§6.)
+//
+// Same simulated interconnect and traffic, three schedulers per slot:
+//   exact   — Break & First Available (maximum matching, the paper);
+//   approx  — single-break approximation (Section IV.C);
+//   greedy  — maximal-but-not-maximum greedy channel grabbing.
+//
+// Expected shape: loss(exact) <= loss(approx) <= loss(greedy) at every
+// load; the exact/greedy gap widens with contention, the exact/approx gap
+// stays marginal (Theorem 3).
+#include <iostream>
+
+#include "core/break_first_available.hpp"
+#include "core/pim.hpp"
+#include "core/scheduler.hpp"
+#include "sim/simulation.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace wdm;
+
+  const std::int32_t n = 8;
+  const std::int32_t k = 8;
+  const std::uint64_t slots = 10000;
+
+  std::cout << "E8: scheduler ablation — exact vs approximate vs greedy\n"
+            << "N = " << n << ", k = " << k << ", d = 3 circular, " << slots
+            << " slots/point\n\n";
+
+  struct Variant {
+    const char* label;
+    core::Algorithm algorithm;
+  };
+  const Variant variants[] = {
+      {"exact-BFA", core::Algorithm::kBreakFirstAvailable},
+      {"approx-BFA", core::Algorithm::kApproxBfa},
+      {"greedy", core::Algorithm::kGreedyMaximal},
+  };
+
+  util::Table table({"scheduler", "load 0.6", "load 0.8", "load 0.95"});
+  for (const auto& variant : variants) {
+    std::vector<std::string> row{variant.label};
+    for (const double load : {0.6, 0.8, 0.95}) {
+      sim::SimulationConfig cfg;
+      cfg.interconnect.n_fibers = n;
+      cfg.interconnect.scheme = core::ConversionScheme::circular(k, 1, 1);
+      cfg.interconnect.algorithm = variant.algorithm;
+      cfg.traffic.load = load;
+      cfg.slots = slots;
+      cfg.warmup = slots / 10;
+      cfg.seed = 2024;
+      const auto r = sim::run_simulation(cfg);
+      row.push_back(util::cell_prob(r.loss_probability));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  std::cout << "\nShape: exact <= approx <= greedy loss at every load.\n";
+
+  // Part 2: the industry-standard iterative heuristic (PIM [7] / iSLIP [8])
+  // against the exact matching, per slot: mean grants over random request
+  // vectors. PIM-1 is the single-round hardware-cheap variant; a few rounds
+  // close most of the gap but never reach the exact maximum.
+  std::cout << "\nPIM iterative heuristic vs exact BFA (mean grants/slot, "
+               "3000 request vectors, k = 8, N = 8, load 0.12)\n\n";
+  util::Table pim_table({"scheduler", "mean_granted", "vs_exact"});
+  const auto scheme = core::ConversionScheme::circular(k, 1, 1);
+  util::Rng traffic_rng(606), pim_rng(707);
+  double exact_sum = 0;
+  double pim_sums[3] = {};
+  const std::int32_t rounds[] = {1, 2, 4};
+  const std::int64_t trials = 3000;
+  for (std::int64_t t = 0; t < trials; ++t) {
+    core::RequestVector rv(k);
+    for (core::Wavelength w = 0; w < k; ++w) {
+      for (std::int32_t fib = 0; fib < n; ++fib) {
+        if (traffic_rng.bernoulli(0.12)) rv.add(w);
+      }
+    }
+    exact_sum += core::break_first_available(rv, scheme).granted;
+    for (std::size_t i = 0; i < 3; ++i) {
+      pim_sums[i] += core::pim_schedule(rv, scheme, rounds[i], pim_rng).granted;
+    }
+  }
+  pim_table.add_row({"exact-BFA", util::cell(exact_sum / trials, 4), "1.000"});
+  for (std::size_t i = 0; i < 3; ++i) {
+    pim_table.add_row(
+        {"PIM-" + std::to_string(rounds[i]),
+         util::cell(pim_sums[i] / trials, 4),
+         util::cell(pim_sums[i] / exact_sum, 4)});
+  }
+  pim_table.print(std::cout);
+  std::cout << "\nShape: PIM approaches but does not reach the exact maximum; "
+               "each extra round shrinks the gap.\n";
+  return 0;
+}

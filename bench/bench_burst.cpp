@@ -1,0 +1,59 @@
+// Experiment E5 — Section V extension: connections holding multiple slots
+// (optical burst switching), no-disturb vs rearrangeable policies
+// (DESIGN.md §3).
+//
+// Expected shape: loss grows with mean holding time (channels stay occupied
+// while sources keep offering). Under uniform traffic the two policies land
+// within noise of each other — rearrangement only wins when the *pattern* of
+// occupied channels matters, not their count — and preemptions are always
+// zero (continuing connections are provably re-placeable).
+#include <iostream>
+
+#include "sim/simulation.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace wdm;
+
+  const std::int32_t n = 8;
+  const std::int32_t k = 8;
+  const std::uint64_t slots = 10000;
+  const double load = 0.6;
+
+  std::cout << "E5: multi-slot connections (Section V)\n"
+            << "N = " << n << ", k = " << k << ", d = 3 circular, load "
+            << load << ", geometric holding times, " << slots
+            << " slots/point\n\n";
+
+  util::Table table({"mean_holding", "policy", "loss_prob", "utilization",
+                     "throughput", "preempted"});
+  for (const std::int64_t holding : {1, 2, 4, 8, 16, 32}) {
+    for (const auto policy :
+         {sim::OccupiedPolicy::kNoDisturb, sim::OccupiedPolicy::kRearrange}) {
+      sim::SimulationConfig cfg;
+      cfg.interconnect.n_fibers = n;
+      cfg.interconnect.scheme = core::ConversionScheme::circular(k, 1, 1);
+      cfg.interconnect.policy = policy;
+      cfg.traffic.load = load;
+      cfg.traffic.holding = holding <= 1 ? sim::HoldingTime::kSingleSlot
+                                         : sim::HoldingTime::kGeometric;
+      cfg.traffic.mean_holding = static_cast<double>(holding);
+      cfg.slots = slots;
+      cfg.warmup = slots / 5;  // longer warm-up: occupancy must reach steady state
+      cfg.seed = 77;
+      const auto r = sim::run_simulation(cfg);
+      table.add_row(
+          {util::cell(holding),
+           policy == sim::OccupiedPolicy::kNoDisturb ? "no-disturb"
+                                                     : "rearrange",
+           util::cell_prob(r.loss_probability), util::cell(r.utilization, 4),
+           util::cell(r.throughput_per_channel, 4), util::cell(r.preemptions)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nShape: loss grows with holding time under both policies; "
+               "the two policies are statistically indistinguishable under "
+               "uniform traffic (rearrangement never pays a preemption "
+               "penalty: preempted = 0 everywhere).\n";
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Experiment E14 — multi-hop crossconnect chain (DESIGN.md §3).
+//
+// The paper motivates its interconnect as a WAN crossconnect; in a path of
+// M such OXCs a packet must win a channel at every hop. Without conversion
+// the per-hop losses compound; with per-hop limited-range conversion each
+// switch re-packs wavelengths and the end-to-end survival stays close to
+// (1 - p1)^M with a small per-hop p1.
+//
+// Expected shape: end-to-end loss grows with hops for every d; the d = 1
+// column degrades far faster than d = 3, which tracks full range.
+#include <iostream>
+
+#include "sim/network.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace wdm;
+
+  const std::int32_t k = 8;
+  const std::int32_t n = 8;
+  const double load = 0.6;
+
+  std::cout << "E14: end-to-end loss across a chain of OXCs\n"
+            << "N = " << n << ", k = " << k << ", fresh load " << load
+            << " at the head, random per-hop routing, 8000 slots\n\n";
+
+  util::Table table({"hops", "d=1", "d=3", "full"});
+  for (const std::int32_t hops : {1, 2, 4, 8}) {
+    std::vector<std::string> row{util::cell(hops)};
+    for (const std::int32_t d : {1, 3, 8}) {
+      sim::ChainConfig cfg;
+      cfg.hops = hops;
+      cfg.n_fibers = n;
+      cfg.scheme = d == k ? core::ConversionScheme::full_range(k)
+                          : core::ConversionScheme::symmetric(
+                                core::ConversionKind::kCircular, k, d);
+      cfg.load = load;
+      cfg.slots = 8000;
+      cfg.warmup = 800;
+      cfg.seed = 404;
+      const auto r = sim::run_chain_simulation(cfg);
+      row.push_back(util::cell_prob(r.end_to_end_loss));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  std::cout << "\nShape: every column grows with hops; d=1 degrades much "
+               "faster than d=3, which tracks full conversion.\n";
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Experiment E7 — hardware model: cycle counts and area (DESIGN.md §3).
+//
+// Sections III/IV claim constant-time steps in hardware: O(k) cycles for
+// First Available, O(dk) for serial Break-and-First-Available, O(k) with d
+// parallel matching units. The register-level model counts exactly those
+// steps; the cost model quantifies the d-unit area trade-off.
+//
+// Expected shape: FA cycles ~ k and independent of N and d; BFA serial
+// cycles ~ d(k-1); BFA critical path ~ k + log2(d) with d units; area of
+// the parallel datapath ~ d x the encoder block.
+#include <iostream>
+
+#include "hw/cost_model.hpp"
+#include "hw/hw_scheduler.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace wdm;
+
+std::vector<core::Request> dense_slot(util::Rng& rng, std::int32_t n_fibers,
+                                      std::int32_t k) {
+  std::vector<core::Request> out;
+  std::uint64_t id = 0;
+  for (std::int32_t fib = 0; fib < n_fibers; ++fib) {
+    for (core::Wavelength w = 0; w < k; ++w) {
+      if (rng.bernoulli(0.8)) out.push_back(core::Request{fib, w, id++, 1});
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace wdm;
+
+  std::cout << "E7: register-level cycle counts (means over 200 slots)\n\n";
+
+  // Part 1: FA cycles vs k at several N — flat in N, linear in k.
+  {
+    util::Table table({"algo", "k", "N", "d", "cycles_serial",
+                       "cycles_parallel", "channel_steps"});
+    for (const std::int32_t k : {8, 16, 32, 64}) {
+      for (const std::int32_t n : {4, 16, 64}) {
+        hw::HwPortScheduler port(core::ConversionScheme::non_circular(k, 1, 1),
+                                 n);
+        util::Rng rng(static_cast<std::uint64_t>(k * 100 + n));
+        std::uint64_t total = 0, crit = 0, steps = 0;
+        const int slots = 200;
+        for (int s = 0; s < slots; ++s) {
+          port.load(dense_slot(rng, n, k));
+          port.run();
+          total += port.cycles().total;
+          crit += port.cycles().critical_path;
+          steps += port.cycles().channel_steps;
+        }
+        table.add_row({"FA", util::cell(k), util::cell(n), "3",
+                       util::cell(total / slots), util::cell(crit / slots),
+                       util::cell(steps / slots)});
+      }
+    }
+    table.print(std::cout);
+  }
+
+  // Part 2: BFA cycles vs d at fixed k — serial ~ d(k-1), parallel ~ k.
+  {
+    std::cout << "\n";
+    util::Table table({"algo", "k", "d", "cycles_serial", "cycles_parallel",
+                       "channel_steps", "candidates"});
+    const std::int32_t k = 32;
+    for (const std::int32_t d : {1, 3, 5, 7, 9}) {
+      hw::HwPortScheduler port(
+          core::ConversionScheme::symmetric(core::ConversionKind::kCircular, k,
+                                            d),
+          16);
+      util::Rng rng(static_cast<std::uint64_t>(d) * 7 + 1);
+      std::uint64_t total = 0, crit = 0, steps = 0, cands = 0;
+      const int slots = 200;
+      for (int s = 0; s < slots; ++s) {
+        port.load(dense_slot(rng, 16, k));
+        port.run();
+        total += port.cycles().total;
+        crit += port.cycles().critical_path;
+        steps += port.cycles().channel_steps;
+        cands += port.cycles().candidates;
+      }
+      table.add_row({"BFA", util::cell(k), util::cell(d),
+                     util::cell(total / slots), util::cell(crit / slots),
+                     util::cell(steps / slots), util::cell(cands / slots)});
+    }
+    table.print(std::cout);
+  }
+
+  // Part 3: area model — the Section IV.B serial/parallel trade-off.
+  {
+    std::cout << "\n";
+    util::Table table({"N", "k", "d", "bfa", "register_bits", "encoder_gates",
+                       "arbiter_gates", "total_gates"});
+    for (const std::int32_t n : {8, 32}) {
+      for (const std::int32_t d : {3, 7}) {
+        for (const bool parallel : {false, true}) {
+          const auto cost = hw::estimate_cost(n, 16, d, true, parallel);
+          table.add_row({util::cell(n), "16", util::cell(d),
+                         parallel ? "parallel" : "serial",
+                         util::cell(cost.register_bits),
+                         util::cell(cost.encoder_gates),
+                         util::cell(cost.arbiter_gates),
+                         util::cell(cost.total_gates)});
+        }
+      }
+    }
+    table.print(std::cout);
+  }
+
+  std::cout << "\nShape: FA cycles track k (flat in N); BFA serial steps = "
+               "d*(k-1); parallel critical path ~ k + log2 d.\n";
+  return 0;
+}

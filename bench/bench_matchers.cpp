@@ -1,0 +1,107 @@
+// Experiment E1 — scheduler time vs k (DESIGN.md §3).
+//
+// Claim under test (Sections III/IV): First Available is O(k), Break and
+// First Available is O(dk), the approximation is O(k); the generic
+// Hopcroft–Karp baseline on the explicit request graph is
+// O((Nk)^1.5 d) and Glover's algorithm O(Nk log) — so the paper's
+// algorithms should be orders of magnitude faster and scale linearly in k.
+//
+// Expected shape: FA/ApproxBFA curves ~k, BFA ~d*k (≈3x FA at d=3), and a
+// widening gap to HopcroftKarp/Glover as k grows.
+#include <benchmark/benchmark.h>
+
+#include "core/break_first_available.hpp"
+#include "core/first_available.hpp"
+#include "core/scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace wdm;
+
+constexpr std::int32_t kFibers = 16;
+constexpr double kLoad = 0.5;
+
+core::RequestVector make_requests(std::int32_t k, std::uint64_t seed) {
+  util::Rng rng(seed);
+  core::RequestVector rv(k);
+  for (core::Wavelength w = 0; w < k; ++w) {
+    for (std::int32_t fib = 0; fib < kFibers; ++fib) {
+      if (rng.bernoulli(kLoad)) rv.add(w);
+    }
+  }
+  return rv;
+}
+
+void BM_FirstAvailable(benchmark::State& state) {
+  const auto k = static_cast<std::int32_t>(state.range(0));
+  const auto scheme = core::ConversionScheme::non_circular(k, 1, 1);
+  const auto rv = make_requests(k, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::first_available(rv, scheme));
+  }
+  state.SetComplexityN(k);
+}
+BENCHMARK(BM_FirstAvailable)->RangeMultiplier(2)->Range(8, 256)->Complexity(benchmark::oN);
+
+void BM_BreakFirstAvailable(benchmark::State& state) {
+  const auto k = static_cast<std::int32_t>(state.range(0));
+  const auto scheme = core::ConversionScheme::circular(k, 1, 1);
+  const auto rv = make_requests(k, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::break_first_available(rv, scheme));
+  }
+  state.SetComplexityN(k);
+}
+BENCHMARK(BM_BreakFirstAvailable)->RangeMultiplier(2)->Range(8, 256)->Complexity(benchmark::oN);
+
+void BM_ApproxBfa(benchmark::State& state) {
+  const auto k = static_cast<std::int32_t>(state.range(0));
+  const auto scheme = core::ConversionScheme::circular(k, 1, 1);
+  const auto rv = make_requests(k, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::approx_break_first_available(rv, scheme));
+  }
+  state.SetComplexityN(k);
+}
+BENCHMARK(BM_ApproxBfa)->RangeMultiplier(2)->Range(8, 256)->Complexity(benchmark::oN);
+
+void BM_BfaDegreeSweep(benchmark::State& state) {
+  // O(dk): time at fixed k should grow linearly with d.
+  const std::int32_t k = 64;
+  const auto d = static_cast<std::int32_t>(state.range(0));
+  const auto scheme =
+      core::ConversionScheme::symmetric(core::ConversionKind::kCircular, k, d);
+  const auto rv = make_requests(k, 11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::break_first_available(rv, scheme));
+  }
+  state.SetComplexityN(d);
+}
+BENCHMARK(BM_BfaDegreeSweep)->DenseRange(1, 15, 2)->Complexity(benchmark::oN);
+
+void BM_GloverBaseline(benchmark::State& state) {
+  const auto k = static_cast<std::int32_t>(state.range(0));
+  const auto scheme = core::ConversionScheme::non_circular(k, 1, 1);
+  const auto rv = make_requests(k, 7);
+  core::OutputPortScheduler sched(scheme, core::Algorithm::kGlover);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched.assign_channels(rv));
+  }
+  state.SetComplexityN(k);
+}
+BENCHMARK(BM_GloverBaseline)->RangeMultiplier(2)->Range(8, 256)->Complexity(benchmark::oNLogN);
+
+void BM_HopcroftKarpBaseline(benchmark::State& state) {
+  const auto k = static_cast<std::int32_t>(state.range(0));
+  const auto scheme = core::ConversionScheme::circular(k, 1, 1);
+  const auto rv = make_requests(k, 7);
+  core::OutputPortScheduler sched(scheme, core::Algorithm::kHopcroftKarp);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched.assign_channels(rv));
+  }
+  state.SetComplexityN(k);
+}
+BENCHMARK(BM_HopcroftKarpBaseline)->RangeMultiplier(2)->Range(8, 256)->Complexity(benchmark::oNSquared);
+
+}  // namespace

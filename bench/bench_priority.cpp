@@ -1,0 +1,120 @@
+// Experiment E10 — the priority (QoS) extension the paper's conclusion
+// names as future work (DESIGN.md §3).
+//
+// Two request classes share each output fiber under strict priority.
+// Expected shape: the high class's grant rate is completely insulated from
+// low-class pressure (it equals its solo grant rate at every mix); the low
+// class absorbs all the contention; total grants trail the classless
+// pooled maximum only marginally (the price of strict priority).
+#include <iostream>
+
+#include "core/priority.hpp"
+#include "sim/simulation.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace wdm;
+
+core::RequestVector random_rv(util::Rng& rng, std::int32_t k,
+                              std::int32_t n_fibers, double p) {
+  core::RequestVector rv(k);
+  for (core::Wavelength w = 0; w < k; ++w) {
+    for (std::int32_t fib = 0; fib < n_fibers; ++fib) {
+      if (rng.bernoulli(p)) rv.add(w);
+    }
+  }
+  return rv;
+}
+
+}  // namespace
+
+int main() {
+  using namespace wdm;
+
+  const std::int32_t k = 8;
+  const std::int32_t n = 4;
+  const double high_load = 0.08;  // ~2.6 high-priority requests per fiber-slot
+  const std::int64_t trials = 5000;
+  const auto scheme = core::ConversionScheme::circular(k, 1, 1);
+
+  std::cout << "E10: strict-priority (QoS) scheduling — future-work extension\n"
+            << "k = " << k << ", N = " << n << ", d = 3 circular; high class "
+               "fixed at load "
+            << high_load << ", low class swept; " << trials
+            << " trials/point\n\n";
+
+  util::Table table({"low_load", "high_granted", "high_solo", "low_granted",
+                     "total", "pooled_max", "priority_cost"});
+  for (const double low_load : {0.0, 0.1, 0.2, 0.4, 0.8}) {
+    util::Rng rng(42);
+    std::int64_t high_granted = 0, high_solo = 0, low_granted = 0, pooled = 0;
+    for (std::int64_t t = 0; t < trials; ++t) {
+      const auto high = random_rv(rng, k, n, high_load);
+      const auto low = random_rv(rng, k, n, low_load);
+      const auto prio = core::priority_schedule({high, low}, scheme);
+      high_granted += prio.granted_per_class[0];
+      low_granted += prio.granted_per_class[1];
+      high_solo += core::assign_maximum(high, scheme).granted;
+
+      core::RequestVector combined(k);
+      for (core::Wavelength w = 0; w < k; ++w) {
+        combined.add(w, high.count(w) + low.count(w));
+      }
+      pooled += core::assign_maximum(combined, scheme).granted;
+    }
+    const auto total = high_granted + low_granted;
+    table.add_row(
+        {util::cell(low_load, 2),
+         util::cell(static_cast<double>(high_granted) /
+                        static_cast<double>(trials),
+                    4),
+         util::cell(static_cast<double>(high_solo) /
+                        static_cast<double>(trials),
+                    4),
+         util::cell(static_cast<double>(low_granted) /
+                        static_cast<double>(trials),
+                    4),
+         util::cell(static_cast<double>(total) / static_cast<double>(trials),
+                    4),
+         util::cell(static_cast<double>(pooled) / static_cast<double>(trials),
+                    4),
+         util::cell(static_cast<double>(pooled - total) /
+                        static_cast<double>(trials),
+                    3)});
+  }
+  table.print(std::cout);
+  std::cout << "\nShape: high_granted == high_solo at every mix (insulation); "
+               "priority_cost small and nonnegative.\n";
+
+  // Part 2: the time domain — two QoS classes through the slotted
+  // interconnect, sweeping total load. Strict priority shields the high
+  // class (20% of traffic) almost completely.
+  std::cout << "\nSlotted simulation: per-class loss (20% high / 80% low, "
+               "N = 8, k = 8, d = 3, 8000 slots)\n\n";
+  util::Table sim_table({"load", "loss_high", "loss_low", "loss_overall"});
+  for (const double load : {0.6, 0.8, 0.95}) {
+    sim::SimulationConfig cfg;
+    cfg.interconnect.n_fibers = 8;
+    cfg.interconnect.scheme = core::ConversionScheme::circular(8, 1, 1);
+    cfg.traffic.load = load;
+    cfg.traffic.class_mix = {0.2, 0.8};
+    cfg.slots = 8000;
+    cfg.warmup = 800;
+    cfg.seed = 13579;
+    const auto r = sim::run_simulation(cfg);
+    const auto loss_of = [&](std::size_t c) {
+      return r.class_arrivals[c] == 0
+                 ? 0.0
+                 : static_cast<double>(r.class_losses[c]) /
+                       static_cast<double>(r.class_arrivals[c]);
+    };
+    sim_table.add_row({util::cell(load, 2), util::cell_prob(loss_of(0)),
+                       util::cell_prob(loss_of(1)),
+                       util::cell_prob(r.loss_probability)});
+  }
+  sim_table.print(std::cout);
+  std::cout << "\nShape: loss_high << loss_low at every load.\n";
+  return 0;
+}

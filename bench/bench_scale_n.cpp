@@ -1,0 +1,66 @@
+// Experiment E2 — independence of the interconnect size N (DESIGN.md §3).
+//
+// Claim under test (Section I): the distributed algorithms' per-fiber time
+// depends only on (k, d), not on N; a global algorithm on the explicit
+// request graph grows with N because the graph has up to Nk left vertices.
+//
+// Expected shape: FA/BFA flat as N doubles (their input is the k-entry
+// request vector regardless of how many fibers feed it); Hopcroft–Karp
+// grows superlinearly.
+#include <benchmark/benchmark.h>
+
+#include "core/break_first_available.hpp"
+#include "core/first_available.hpp"
+#include "core/scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace wdm;
+
+constexpr std::int32_t kWavelengths = 16;
+constexpr double kLoad = 0.5;
+
+core::RequestVector make_requests(std::int32_t n_fibers, std::uint64_t seed) {
+  util::Rng rng(seed);
+  core::RequestVector rv(kWavelengths);
+  for (core::Wavelength w = 0; w < kWavelengths; ++w) {
+    for (std::int32_t fib = 0; fib < n_fibers; ++fib) {
+      if (rng.bernoulli(kLoad)) rv.add(w);
+    }
+  }
+  return rv;
+}
+
+void BM_FirstAvailable_vs_N(benchmark::State& state) {
+  const auto n = static_cast<std::int32_t>(state.range(0));
+  const auto scheme = core::ConversionScheme::non_circular(kWavelengths, 1, 1);
+  const auto rv = make_requests(n, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::first_available(rv, scheme));
+  }
+}
+BENCHMARK(BM_FirstAvailable_vs_N)->RangeMultiplier(4)->Range(4, 1024);
+
+void BM_BreakFirstAvailable_vs_N(benchmark::State& state) {
+  const auto n = static_cast<std::int32_t>(state.range(0));
+  const auto scheme = core::ConversionScheme::circular(kWavelengths, 1, 1);
+  const auto rv = make_requests(n, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::break_first_available(rv, scheme));
+  }
+}
+BENCHMARK(BM_BreakFirstAvailable_vs_N)->RangeMultiplier(4)->Range(4, 1024);
+
+void BM_HopcroftKarp_vs_N(benchmark::State& state) {
+  const auto n = static_cast<std::int32_t>(state.range(0));
+  const auto scheme = core::ConversionScheme::circular(kWavelengths, 1, 1);
+  const auto rv = make_requests(n, 3);
+  core::OutputPortScheduler sched(scheme, core::Algorithm::kHopcroftKarp);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched.assign_channels(rv));
+  }
+}
+BENCHMARK(BM_HopcroftKarp_vs_N)->RangeMultiplier(4)->Range(4, 1024);
+
+}  // namespace

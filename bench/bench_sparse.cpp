@@ -1,0 +1,98 @@
+// Experiment E13 — sparse conversion: throughput vs converter-pool size
+// (DESIGN.md §3).
+//
+// Each output fiber gets a pool of C shared converters instead of one per
+// channel. The classic sparse-conversion result ([11][13]) is that a small
+// pool recovers nearly all of the full-conversion benefit — the budgeted
+// matching scheduler makes that measurable per slot.
+//
+// Expected shape: granted requests rise steeply from C = 0 and saturate at
+// the unconstrained maximum within a few converters, well before C = k.
+#include <iostream>
+
+#include "core/sparse_converters.hpp"
+#include "sim/simulation.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace wdm;
+
+  const std::int32_t k = 16;
+  const std::int32_t n = 8;
+  const std::int64_t trials = 800;
+  const auto scheme = core::ConversionScheme::circular(k, 1, 1);
+
+  std::cout << "E13: sparse conversion — grants vs converter-pool size C\n"
+            << "k = " << k << ", N = " << n
+            << ", d = 3 circular, mean grants per fiber-slot over " << trials
+            << " trials\n\n";
+
+  util::Table table({"load", "C=0", "C=1", "C=2", "C=4", "C=8", "C=16",
+                     "offered"});
+  for (const double load : {0.04, 0.08, 0.15}) {
+    util::Rng rng(9000 + static_cast<std::uint64_t>(load * 100));
+    const std::int32_t budgets[] = {0, 1, 2, 4, 8, 16};
+    double sums[6] = {};
+    double offered = 0;
+    for (std::int64_t t = 0; t < trials; ++t) {
+      core::RequestVector rv(k);
+      for (core::Wavelength w = 0; w < k; ++w) {
+        for (std::int32_t fib = 0; fib < n; ++fib) {
+          if (rng.bernoulli(load)) rv.add(w);
+        }
+      }
+      offered += rv.total();
+      for (std::size_t c = 0; c < 6; ++c) {
+        sums[c] += core::sparse_converter_schedule(rv, scheme, budgets[c])
+                       .assignment.granted;
+      }
+    }
+    std::vector<std::string> row{util::cell(load, 2)};
+    for (std::size_t c = 0; c < 6; ++c) {
+      row.push_back(util::cell(sums[c] / static_cast<double>(trials), 4));
+    }
+    row.push_back(util::cell(offered / static_cast<double>(trials), 4));
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+
+  // Part 2: the same question in the time domain — steady-state packet loss
+  // of the slotted interconnect under the budgeted scheduler.
+  std::cout << "\nSlotted simulation: loss probability vs converter budget "
+               "(N = 8, k = 16, load 0.08, 6000 slots)\n\n";
+  util::Table sim_table({"C", "loss_prob", "vs_unbudgeted"});
+  double unbudgeted = 0.0;
+  {
+    sim::SimulationConfig cfg;
+    cfg.interconnect.n_fibers = 8;
+    cfg.interconnect.scheme = scheme;
+    cfg.traffic.load = 0.08;
+    cfg.slots = 6000;
+    cfg.warmup = 600;
+    cfg.seed = 31337;
+    unbudgeted = sim::run_simulation(cfg).loss_probability;
+  }
+  for (const std::int32_t budget : {0, 1, 2, 4, 8, 16}) {
+    sim::SimulationConfig cfg;
+    cfg.interconnect.n_fibers = 8;
+    cfg.interconnect.scheme = scheme;
+    cfg.interconnect.algorithm = core::Algorithm::kSparseBudgeted;
+    cfg.interconnect.converter_budget = budget;
+    cfg.traffic.load = 0.08;
+    cfg.slots = 6000;
+    cfg.warmup = 600;
+    cfg.seed = 31337;
+    const auto r = sim::run_simulation(cfg);
+    sim_table.add_row({util::cell(budget), util::cell_prob(r.loss_probability),
+                       util::cell(unbudgeted > 0
+                                      ? r.loss_probability / unbudgeted
+                                      : 1.0,
+                                  3)});
+  }
+  sim_table.print(std::cout);
+
+  std::cout << "\nShape: grants saturate within a handful of converters — "
+               "full per-channel conversion hardware is overkill.\n";
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Section IV.C trade-off explorer: exact Break-and-First-Available vs the
+// single-break approximation — matching quality and speed across conversion
+// degrees.
+//
+//   approx_tradeoff --k=16 --degrees=3,5,7,9 --trials=2000 --load=0.5
+#include <iostream>
+
+#include "core/break_first_available.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace wdm;
+
+  util::Cli cli("approx_tradeoff",
+                "exact BFA vs single-break approximation (Section IV.C)");
+  cli.add_option("k", "16", "wavelengths per fiber");
+  cli.add_option("n", "8", "input fibers feeding the port");
+  cli.add_option("degrees", "3,5,7,9", "conversion degrees to sweep");
+  cli.add_option("load", "0.5", "per-channel request probability");
+  cli.add_option("trials", "2000", "random request vectors per degree");
+  cli.add_option("seed", "11", "rng seed");
+  cli.add_flag("csv", "emit CSV");
+  if (!cli.parse(argc, argv)) return 1;
+
+  const auto k = static_cast<std::int32_t>(cli.get_int("k"));
+  const auto n = static_cast<std::int32_t>(cli.get_int("n"));
+  const auto trials = cli.get_int("trials");
+  const double load = cli.get_double("load");
+
+  util::Table table({"d", "bound", "mean_gap", "max_gap", "gap_free_frac",
+                     "exact_us", "approx_us", "speedup"});
+  for (const auto deg : cli.get_int_list("degrees")) {
+    const auto scheme = core::ConversionScheme::symmetric(
+        core::ConversionKind::kCircular, k, static_cast<std::int32_t>(deg));
+    util::Rng rng(static_cast<std::uint64_t>(cli.get_int("seed")) +
+                  static_cast<std::uint64_t>(deg));
+    util::RunningStats gap_stats;
+    std::int64_t gap_free = 0;
+    std::int32_t bound = 0;
+    double exact_ns = 0, approx_ns = 0;
+    for (std::int64_t t = 0; t < trials; ++t) {
+      core::RequestVector rv(k);
+      for (core::Wavelength w = 0; w < k; ++w) {
+        for (std::int32_t fib = 0; fib < n; ++fib) {
+          if (rng.bernoulli(load)) rv.add(w);
+        }
+      }
+      util::Stopwatch clock;
+      const auto exact = core::break_first_available(rv, scheme);
+      exact_ns += static_cast<double>(clock.elapsed_ns());
+      clock.reset();
+      const auto approx = core::approx_break_first_available(rv, scheme);
+      approx_ns += static_cast<double>(clock.elapsed_ns());
+      const auto gap = exact.granted - approx.assignment.granted;
+      gap_stats.add(gap);
+      gap_free += gap == 0 ? 1 : 0;
+      bound = approx.gap_bound;
+    }
+    table.add_row(
+        {util::cell(deg), util::cell(bound), util::cell(gap_stats.mean(), 4),
+         util::cell(gap_stats.max(), 2),
+         util::cell(static_cast<double>(gap_free) /
+                        static_cast<double>(trials),
+                    4),
+         util::cell(exact_ns / static_cast<double>(trials) / 1e3, 4),
+         util::cell(approx_ns / static_cast<double>(trials) / 1e3, 4),
+         util::cell(exact_ns / approx_ns, 3)});
+  }
+  if (cli.get_flag("csv")) {
+    table.print_csv(std::cout);
+  } else {
+    std::cout << "Exact vs approximate BFA, k = " << k << ", load " << load
+              << " (" << trials << " trials per degree)\n"
+              << "Theorem 3: gap <= bound = (d-1)/2 always; in practice far "
+                 "smaller.\n";
+    table.print(std::cout);
+  }
+  return 0;
+}

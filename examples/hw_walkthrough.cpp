@@ -1,0 +1,90 @@
+// Register-level walkthrough: how one output fiber's scheduler would run in
+// hardware (Section II.B representation + the paper's constant-time steps).
+// Loads one slot of requests into the Nk-bit register, runs BFA, and prints
+// grants, cycle counts, and the first-order gate cost of the datapath.
+#include <cstdio>
+#include <fstream>
+
+#include "hw/cost_model.hpp"
+#include "hw/fabric.hpp"
+#include "hw/hw_scheduler.hpp"
+#include "hw/vcd.hpp"
+
+int main() {
+  using namespace wdm;
+
+  const std::int32_t n_fibers = 4;
+  const auto scheme = core::ConversionScheme::circular(6, 1, 1);
+  hw::HwPortScheduler port(scheme, n_fibers);
+
+  // The paper's running contention example (Section I): two requests on λ1,
+  // three on λ2, one on λ4, all destined to this output fiber.
+  std::vector<core::Request> requests{
+      {0, 1, 100, 1}, {2, 1, 101, 1}, {0, 2, 102, 1},
+      {1, 2, 103, 1}, {3, 2, 104, 1}, {1, 4, 105, 1},
+  };
+  std::printf("Slot requests (input fiber, wavelength):\n");
+  for (const auto& r : requests) {
+    std::printf("  fiber %d, λ%d  -> register bit %d\n", r.input_fiber,
+                r.wavelength, r.input_fiber * scheme.k() + r.wavelength);
+  }
+
+  port.load(requests);
+  const auto grants = port.run();
+
+  std::printf("\nGrants (%zu of %zu requests):\n", grants.size(),
+              requests.size());
+  for (const auto& g : grants) {
+    std::printf("  fiber %d λ%d  ==> output channel λ%d%s\n", g.input_fiber,
+                g.wavelength, g.channel,
+                g.wavelength != g.channel ? "  (converted)" : "");
+  }
+
+  const auto& cycles = port.cycles();
+  std::printf("\nCycle accounting for this slot:\n");
+  std::printf("  serial total      : %llu cycles\n",
+              static_cast<unsigned long long>(cycles.total));
+  std::printf("  with d parallel units: %llu cycles\n",
+              static_cast<unsigned long long>(cycles.critical_path));
+  std::printf("  channel steps     : %llu (d * (k-1) = %d)\n",
+              static_cast<unsigned long long>(cycles.channel_steps),
+              scheme.degree() * (scheme.k() - 1));
+  std::printf("  candidate breaks  : %llu (= d)\n",
+              static_cast<unsigned long long>(cycles.candidates));
+
+  // Route the grants through the Figure-1 crosspoint fabric: proves the
+  // schedule is physically realisable and reports the hardware saved by
+  // limited-range conversion.
+  const hw::CrosspointFabric fabric(n_fibers, scheme);
+  fabric.route(grants);
+  const auto inv = fabric.inventory();
+  std::printf("\nFabric (Figure 1): %llu crosspoints (full crossbar would "
+              "need %llu), %llu-input combiners, %llu converters — all %zu "
+              "grants routed without conflict.\n",
+              static_cast<unsigned long long>(inv.crosspoints),
+              static_cast<unsigned long long>(inv.full_crossbar),
+              static_cast<unsigned long long>(inv.combiner_fan_in),
+              static_cast<unsigned long long>(inv.converters), grants.size());
+
+  // Waveform dump of the same slot, viewable in GTKWave.
+  {
+    std::ofstream wave("hw_walkthrough.vcd");
+    hw::HwPortScheduler traced(scheme, n_fibers);
+    hw::dump_schedule_vcd(wave, traced, requests);
+    std::printf("\nWaveform of this schedule written to hw_walkthrough.vcd\n");
+  }
+
+  std::printf("\nFirst-order area model (per output fiber):\n");
+  for (const bool parallel : {false, true}) {
+    const auto cost = hw::estimate_cost(n_fibers, scheme.k(), scheme.degree(),
+                                        /*circular=*/true, parallel);
+    std::printf("  %-8s BFA: %6llu register bits, %6llu gates "
+                "(%llu matching unit%s)\n",
+                parallel ? "parallel" : "serial",
+                static_cast<unsigned long long>(cost.register_bits),
+                static_cast<unsigned long long>(cost.total_gates),
+                static_cast<unsigned long long>(cost.matching_units),
+                cost.matching_units > 1 ? "s" : "");
+  }
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Optical packet switching scenario: loss probability of an N x N slotted
+// WDM interconnect as offered load and conversion degree vary — the workload
+// the paper's introduction motivates (synchronous optical packet networks).
+//
+//   packet_switch --n=16 --k=16 --degrees=1,3,5 --loads=0.5,0.7,0.9
+//                 --kind=circular --slots=20000 [--hotspot=1.0] [--bursty]
+#include <iostream>
+#include <string>
+
+#include "sim/simulation.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace wdm;
+
+  util::Cli cli("packet_switch",
+                "loss vs load for a slotted WDM optical packet switch");
+  cli.add_option("n", "8", "number of input/output fibers (N)");
+  cli.add_option("k", "8", "wavelengths per fiber (k)");
+  cli.add_option("degrees", "1,3,0",
+                 "conversion degrees to sweep; 0 means full range (d = k)");
+  cli.add_option("loads", "0.5,0.6,0.7,0.8,0.9,0.95",
+                 "offered loads per input channel");
+  cli.add_option("kind", "circular", "conversion kind: circular|noncircular");
+  cli.add_option("slots", "20000", "measured slots per point");
+  cli.add_option("warmup", "2000", "warm-up slots discarded");
+  cli.add_option("seed", "1", "master seed");
+  cli.add_option("hotspot", "0", "Zipf exponent for hotspot destinations");
+  cli.add_flag("bursty", "use on-off (bursty) sources instead of Bernoulli");
+  cli.add_flag("csv", "emit CSV instead of an aligned table");
+  if (!cli.parse(argc, argv)) return 1;
+
+  const auto n = static_cast<std::int32_t>(cli.get_int("n"));
+  const auto k = static_cast<std::int32_t>(cli.get_int("k"));
+  const bool circular = cli.get("kind") == "circular";
+
+  util::Table table({"kind", "d", "load", "loss_prob", "wilson_low",
+                     "wilson_high", "throughput", "utilization"});
+  for (const auto degree : cli.get_int_list("degrees")) {
+    const auto d = degree == 0 ? k : static_cast<std::int32_t>(degree);
+    const auto scheme =
+        circular ? core::ConversionScheme::symmetric(
+                       core::ConversionKind::kCircular, k, d)
+                 : core::ConversionScheme::symmetric(
+                       core::ConversionKind::kNonCircular, k, d);
+    for (const double load : cli.get_double_list("loads")) {
+      sim::SimulationConfig cfg;
+      cfg.interconnect.n_fibers = n;
+      cfg.interconnect.scheme = scheme;
+      cfg.traffic.load = load;
+      if (cli.get_flag("bursty")) {
+        cfg.traffic.arrivals = sim::ArrivalProcess::kOnOff;
+      }
+      if (cli.get_double("hotspot") > 0) {
+        cfg.traffic.destinations = sim::DestinationPattern::kHotspot;
+        cfg.traffic.hotspot_alpha = cli.get_double("hotspot");
+      }
+      cfg.slots = static_cast<std::uint64_t>(cli.get_int("slots"));
+      cfg.warmup = static_cast<std::uint64_t>(cli.get_int("warmup"));
+      cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+      const auto r = sim::run_simulation(cfg);
+      table.add_row({cli.get("kind"), util::cell(d), util::cell(load, 3),
+                     util::cell_prob(r.loss_probability),
+                     util::cell_prob(r.loss_wilson_low),
+                     util::cell_prob(r.loss_wilson_high),
+                     util::cell(r.throughput_per_channel, 4),
+                     util::cell(r.utilization, 4)});
+    }
+  }
+  if (cli.get_flag("csv")) {
+    table.print_csv(std::cout);
+  } else {
+    std::cout << "N = " << n << ", k = " << k << "\n";
+    table.print(std::cout);
+  }
+  return 0;
+}

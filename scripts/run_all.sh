@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Builds everything, runs the full test suite, and regenerates every
+# experiment (E1..E14), mirroring what EXPERIMENTS.md records.
+#
+#   scripts/run_all.sh [build-dir]
+#
+# Outputs land in <build-dir>/../test_output.txt and bench_output.txt.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+
+cmake -B "$BUILD" -G Ninja
+cmake --build "$BUILD"
+
+ctest --test-dir "$BUILD" 2>&1 | tee test_output.txt
+
+for b in "$BUILD"/bench/*; do
+  [ -x "$b" ] || continue
+  echo "===== $b ====="
+  "$b"
+done 2>&1 | tee bench_output.txt
+
+echo "done: test_output.txt, bench_output.txt"

@@ -1,0 +1,86 @@
+#include "core/arbitrary_conversion.hpp"
+
+#include <algorithm>
+
+#include "graph/bipartite_graph.hpp"
+#include "graph/hopcroft_karp.hpp"
+#include "util/check.hpp"
+
+namespace wdm::core {
+
+ArbitraryConversion::ArbitraryConversion(
+    std::int32_t k, std::vector<std::vector<Channel>> reachable)
+    : reachable_(std::move(reachable)) {
+  WDM_CHECK_MSG(k > 0, "need at least one wavelength");
+  WDM_CHECK_MSG(static_cast<std::int32_t>(reachable_.size()) == k,
+                "need one reachable set per wavelength");
+  for (auto& set : reachable_) {
+    std::sort(set.begin(), set.end());
+    WDM_CHECK_MSG(std::adjacent_find(set.begin(), set.end()) == set.end(),
+                  "duplicate channel in a reachable set");
+    for (const Channel v : set) {
+      WDM_CHECK_MSG(v >= 0 && v < k, "reachable channel out of range");
+    }
+  }
+}
+
+ArbitraryConversion ArbitraryConversion::from_scheme(
+    const ConversionScheme& scheme) {
+  std::vector<std::vector<Channel>> reachable;
+  reachable.reserve(static_cast<std::size_t>(scheme.k()));
+  for (Wavelength w = 0; w < scheme.k(); ++w) {
+    reachable.push_back(scheme.adjacency_list(w));
+  }
+  return ArbitraryConversion(scheme.k(), std::move(reachable));
+}
+
+bool ArbitraryConversion::can_convert(Wavelength in, Channel out) const {
+  WDM_CHECK(in >= 0 && in < k() && out >= 0 && out < k());
+  const auto& set = reachable_[static_cast<std::size_t>(in)];
+  return std::binary_search(set.begin(), set.end(), out);
+}
+
+const std::vector<Channel>& ArbitraryConversion::reachable(Wavelength in) const {
+  WDM_CHECK(in >= 0 && in < k());
+  return reachable_[static_cast<std::size_t>(in)];
+}
+
+std::int32_t ArbitraryConversion::max_degree() const noexcept {
+  std::size_t best = 0;
+  for (const auto& set : reachable_) best = std::max(best, set.size());
+  return static_cast<std::int32_t>(best);
+}
+
+ChannelAssignment schedule_arbitrary(const RequestVector& requests,
+                                     const ArbitraryConversion& conversion,
+                                     std::span<const std::uint8_t> available) {
+  const std::int32_t k = conversion.k();
+  WDM_CHECK_MSG(requests.k() == k, "request vector and conversion disagree on k");
+  WDM_CHECK_MSG(available.empty() ||
+                    static_cast<std::int32_t>(available.size()) == k,
+                "availability mask must have one entry per channel");
+
+  const auto wavelengths = requests.to_sorted_wavelengths();
+  graph::BipartiteGraph g(static_cast<graph::VertexId>(wavelengths.size()), k);
+  for (std::size_t j = 0; j < wavelengths.size(); ++j) {
+    for (const Channel v : conversion.reachable(wavelengths[j])) {
+      if (!available.empty() && available[static_cast<std::size_t>(v)] == 0) {
+        continue;
+      }
+      g.add_edge(static_cast<graph::VertexId>(j), v);
+    }
+  }
+  const auto matching = graph::hopcroft_karp(g);
+
+  ChannelAssignment out(k);
+  for (Channel v = 0; v < k; ++v) {
+    const graph::VertexId j = matching.left_of(v);
+    if (j == graph::kNoVertex) continue;
+    out.source[static_cast<std::size_t>(v)] =
+        wavelengths[static_cast<std::size_t>(j)];
+    out.granted += 1;
+  }
+  return out;
+}
+
+}  // namespace wdm::core

@@ -1,0 +1,54 @@
+// Arbitrary wavelength-conversion capability.
+//
+// The paper's fast algorithms exploit the *interval* structure of adjacent-
+// wavelength converters. Real devices can deviate from it (parametric
+// converters reach λ_pump − λ_in; multi-stage designs have gaps), and for
+// such technologies the request graph has no convexity to exploit — the
+// right tool is the generic maximum matching the paper cites as baseline.
+//
+// ArbitraryConversion models any conversion relation as explicit per-
+// wavelength channel sets and schedules via Hopcroft–Karp. When the
+// relation happens to be one of the paper's interval schemes, the result
+// provably matches FA/BFA (tested) — this module is the bridge that lets
+// downstream users adopt the library even for non-interval converters.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/channel_assignment.hpp"
+#include "core/conversion.hpp"
+#include "core/request.hpp"
+
+namespace wdm::core {
+
+class ArbitraryConversion {
+ public:
+  /// `reachable[w]` lists the output channels wavelength w can convert to
+  /// (any order; duplicates rejected).
+  ArbitraryConversion(std::int32_t k,
+                      std::vector<std::vector<Channel>> reachable);
+
+  /// Imports one of the paper's interval schemes.
+  static ArbitraryConversion from_scheme(const ConversionScheme& scheme);
+
+  std::int32_t k() const noexcept {
+    return static_cast<std::int32_t>(reachable_.size());
+  }
+  bool can_convert(Wavelength in, Channel out) const;
+  const std::vector<Channel>& reachable(Wavelength in) const;
+  /// Maximum |reachable(w)| — the analogue of the conversion degree.
+  std::int32_t max_degree() const noexcept;
+
+ private:
+  std::vector<std::vector<Channel>> reachable_;  // sorted ascending
+};
+
+/// Maximum-matching schedule under an arbitrary conversion relation
+/// (Hopcroft–Karp on the explicit request graph, O((Nk)^1.5 d)).
+ChannelAssignment schedule_arbitrary(const RequestVector& requests,
+                                     const ArbitraryConversion& conversion,
+                                     std::span<const std::uint8_t> available = {});
+
+}  // namespace wdm::core

@@ -1,0 +1,174 @@
+#include "core/break_first_available.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "core/breaking.hpp"
+#include "core/crossing.hpp"
+#include "util/check.hpp"
+
+namespace wdm::core {
+
+namespace {
+
+bool channel_free(std::span<const std::uint8_t> available, Channel v) {
+  return available.empty() || available[static_cast<std::size_t>(v)] != 0;
+}
+
+/// Lowest wavelength with a pending request and at least one available
+/// adjacent channel (an isolated request can never be granted and is not a
+/// useful breaking vertex), or kNone.
+Wavelength pick_breaking_wavelength(const RequestVector& requests,
+                                    const ConversionScheme& scheme,
+                                    std::span<const std::uint8_t> available) {
+  for (Wavelength w = 0; w < scheme.k(); ++w) {
+    if (requests.count(w) == 0) continue;
+    for (const Channel v : scheme.adjacency_list(w)) {
+      if (channel_free(available, v)) return w;
+    }
+  }
+  return kNone;
+}
+
+void validate_inputs(const RequestVector& requests,
+                     const ConversionScheme& scheme,
+                     std::span<const std::uint8_t> available) {
+  WDM_CHECK_MSG(scheme.kind() == ConversionKind::kCircular,
+                "break_first_available requires a circular scheme; "
+                "use first_available for non-circular conversion");
+  WDM_CHECK_MSG(!scheme.is_full_range(),
+                "full-range conversion is scheduled trivially (Section I)");
+  WDM_CHECK_MSG(requests.k() == scheme.k(),
+                "request vector and scheme disagree on k");
+  WDM_CHECK_MSG(available.empty() ||
+                    static_cast<std::int32_t>(available.size()) == scheme.k(),
+                "availability mask must have one entry per channel");
+}
+
+}  // namespace
+
+ChannelAssignment bfa_single_break(const RequestVector& requests,
+                                   const ConversionScheme& scheme,
+                                   std::span<const std::uint8_t> available,
+                                   Wavelength w_i, Channel u) {
+  validate_inputs(requests, scheme, available);
+  WDM_CHECK_MSG(requests.count(w_i) > 0,
+                "breaking wavelength must have a pending request");
+  WDM_CHECK_MSG(scheme.can_convert(w_i, u), "breaking edge must exist");
+  WDM_CHECK_MSG(channel_free(available, u), "breaking channel must be free");
+
+  const std::int32_t k = scheme.k();
+  ChannelAssignment out(k);
+  out.source[static_cast<std::size_t>(u)] = w_i;
+  out.granted = 1;
+
+  // First Available over the rotated (staircase convex, Lemma 2) reduced
+  // graph, in request-vector form. The left pointer walks wavelengths in
+  // rotated order κ = 0..k-1, i.e. w_i's remaining group first.
+  std::int32_t kappa = 0;
+  Wavelength w = w_i;
+  std::int32_t remaining = requests.count(w_i) - 1;  // a_i itself is consumed
+  graph::Interval iv =
+      remaining > 0 ? reduced_adjacency(scheme, w_i, u, w) : graph::Interval{};
+
+  const auto advance = [&] {
+    ++kappa;
+    if (kappa == k) return;
+    w = mod_k(static_cast<std::int64_t>(w_i) + kappa, k);
+    remaining = requests.count(w);
+    if (remaining > 0) iv = reduced_adjacency(scheme, w_i, u, w);
+  };
+
+  for (std::int32_t vp = 0; vp <= k - 2; ++vp) {
+    const Channel v = rotated_to_channel(u, vp, k);
+    if (!channel_free(available, v)) continue;  // Section V: occupied channel
+    while (kappa < k && (remaining == 0 || iv.empty() || iv.end < vp)) {
+      advance();
+    }
+    if (kappa == k) break;
+    if (iv.begin <= vp) {
+      WDM_DCHECK(scheme.can_convert(w, v));
+      out.source[static_cast<std::size_t>(v)] = w;
+      out.granted += 1;
+      remaining -= 1;
+    }
+  }
+  return out;
+}
+
+ChannelAssignment break_first_available(const RequestVector& requests,
+                                        const ConversionScheme& scheme,
+                                        std::span<const std::uint8_t> available,
+                                        util::ThreadPool* pool) {
+  validate_inputs(requests, scheme, available);
+  const Wavelength w_i = pick_breaking_wavelength(requests, scheme, available);
+  if (w_i == kNone) return ChannelAssignment(scheme.k());
+
+  std::vector<Channel> candidates;
+  for (const Channel u : scheme.adjacency_list(w_i)) {
+    if (channel_free(available, u)) candidates.push_back(u);
+  }
+  WDM_DCHECK(!candidates.empty());
+
+  std::vector<ChannelAssignment> results(candidates.size(),
+                                         ChannelAssignment(scheme.k()));
+  const auto run_candidate = [&](std::size_t idx) {
+    results[idx] =
+        bfa_single_break(requests, scheme, available, w_i, candidates[idx]);
+  };
+  if (pool != nullptr && candidates.size() > 1) {
+    pool->parallel_for(0, candidates.size(), run_candidate);
+  } else {
+    for (std::size_t idx = 0; idx < candidates.size(); ++idx) {
+      run_candidate(idx);
+    }
+  }
+
+  // Deterministic winner: first candidate (minus-side order) of maximum size.
+  std::size_t best = 0;
+  for (std::size_t idx = 1; idx < results.size(); ++idx) {
+    if (results[idx].granted > results[best].granted) best = idx;
+  }
+  return std::move(results[best]);
+}
+
+ApproxBfaResult approx_break_first_available(
+    const RequestVector& requests, const ConversionScheme& scheme,
+    std::span<const std::uint8_t> available) {
+  validate_inputs(requests, scheme, available);
+  ApproxBfaResult out{ChannelAssignment(scheme.k()), kNone, 0, 0};
+  const Wavelength w_i = pick_breaking_wavelength(requests, scheme, available);
+  if (w_i == kNone) return out;
+
+  const std::int32_t d = scheme.degree();
+  const std::int32_t delta_star = (d + 1) / 2;  // Corollary 1: "shortest" edge
+
+  // Pick the available adjacent channel with the smallest Theorem-3 bound,
+  // breaking ties toward the centre.
+  const auto adjacency = scheme.adjacency_list(w_i);
+  Channel best_u = kNone;
+  std::int32_t best_delta = 0;
+  std::int32_t best_bound = 0;
+  for (std::int32_t idx = 0; idx < d; ++idx) {
+    const Channel u = adjacency[static_cast<std::size_t>(idx)];
+    if (!channel_free(available, u)) continue;
+    const std::int32_t delta = idx + 1;
+    const std::int32_t bound = breaking_gap_bound(d, delta);
+    if (best_u == kNone || bound < best_bound ||
+        (bound == best_bound &&
+         std::abs(delta - delta_star) < std::abs(best_delta - delta_star))) {
+      best_u = u;
+      best_delta = delta;
+      best_bound = bound;
+    }
+  }
+  WDM_DCHECK(best_u != kNone);
+
+  out.assignment = bfa_single_break(requests, scheme, available, w_i, best_u);
+  out.break_channel = best_u;
+  out.delta = best_delta;
+  out.gap_bound = best_bound;
+  return out;
+}
+
+}  // namespace wdm::core

@@ -1,0 +1,58 @@
+// Break and First Available (paper Table 3, Theorem 2) and its
+// single-break approximation (Section IV.C, Theorem 3) — O(dk) / O(k).
+//
+// For circular symmetric conversion, the scheduler fixes the first pending
+// request a_i, breaks the request graph at each of a_i's d edges in turn,
+// runs First Available on each staircase-convex reduced graph, and keeps the
+// largest matching plus the breaking edge. By Lemmas 3 and 4 this is exact.
+//
+// The d single-break schedules are independent, so they can run concurrently
+// ("d units of hardware" in the paper); pass a ThreadPool to do so.
+//
+// The approximation skips the exhaustive sweep and breaks only at the edge
+// whose Theorem-3 gap bound max{δ(u)-1, d-δ(u)} is smallest — δ(u)=(d+1)/2,
+// the "shortest" edge, when it is available — trading at most (d-1)/2
+// granted requests for a d-fold speedup.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/channel_assignment.hpp"
+#include "core/conversion.hpp"
+#include "core/request.hpp"
+#include "util/threadpool.hpp"
+
+namespace wdm::core {
+
+/// Exact maximum-matching schedule for a circular, non-full-range scheme.
+/// `available` is a size-k mask (1 = free); empty means all free. If `pool`
+/// is non-null the d candidate breaks run on it in parallel.
+ChannelAssignment break_first_available(const RequestVector& requests,
+                                        const ConversionScheme& scheme,
+                                        std::span<const std::uint8_t> available = {},
+                                        util::ThreadPool* pool = nullptr);
+
+/// One candidate of the exhaustive sweep: breaks at (first request of w_i,
+/// channel u) and schedules the reduced graph with First Available. The
+/// result includes the breaking grant itself. Exposed for tests and for the
+/// hardware model. Requires requests.count(w_i) > 0 and u adjacent & free.
+ChannelAssignment bfa_single_break(const RequestVector& requests,
+                                   const ConversionScheme& scheme,
+                                   std::span<const std::uint8_t> available,
+                                   Wavelength w_i, Channel u);
+
+struct ApproxBfaResult {
+  ChannelAssignment assignment;
+  Channel break_channel = kNone;   ///< chosen u (kNone if nothing to schedule)
+  std::int32_t delta = 0;          ///< δ(u) of the chosen break
+  std::int32_t gap_bound = 0;      ///< Theorem-3 bound for this break
+};
+
+/// Section IV.C approximation: single break at the best-bounded available
+/// edge. The matching is within `gap_bound` of maximum (Theorem 3).
+ApproxBfaResult approx_break_first_available(
+    const RequestVector& requests, const ConversionScheme& scheme,
+    std::span<const std::uint8_t> available = {});
+
+}  // namespace wdm::core

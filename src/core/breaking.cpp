@@ -1,0 +1,57 @@
+#include "core/breaking.hpp"
+
+#include "core/crossing.hpp"
+#include "util/check.hpp"
+
+namespace wdm::core {
+
+graph::Interval reduced_adjacency(const ConversionScheme& scheme, Wavelength w_i,
+                                  Channel u, Wavelength w) {
+  WDM_CHECK_MSG(scheme.kind() == ConversionKind::kCircular,
+                "breaking applies to circular request graphs");
+  WDM_CHECK_MSG(!scheme.is_full_range(),
+                "full-range conversion is scheduled trivially, not by breaking");
+  WDM_CHECK_MSG(scheme.can_convert(w_i, u), "breaking edge must exist");
+  const std::int32_t k = scheme.k();
+  const std::int32_t d = scheme.degree();
+
+  // Rotated position of the first channel of w's adjacency run.
+  const std::int32_t start =
+      channel_to_rotated(u, scheme.adjacency_start(w), k);
+  const std::int32_t last = start + d - 1;  // may reach past k-1 (wraps)
+
+  if (last <= k - 2) {
+    // Run does not touch b_u: adjacency unchanged, already a plain interval.
+    return graph::Interval{start, last};
+  }
+
+  // Run covers rotated position k-1 (= b_u). Keep the head piece for the
+  // breaking wavelength's own group and the wavelengths on its plus side up
+  // to u + e; keep the tail piece for the minus side. Either piece may be
+  // empty when b_u sits at the very end/beginning of the run.
+  const std::int32_t plus_side_span = fwd(w_i, mod_k(u + scheme.e(), k), k);
+  const std::int32_t kappa = fwd(w_i, w, k);
+  if (kappa <= plus_side_span) {
+    return graph::Interval{0, last - k};  // head: [u+1, w+f]
+  }
+  return graph::Interval{start, k - 2};  // tail: [w-e, u-1]
+}
+
+graph::BipartiteGraph reduced_graph_reference(const RequestGraph& g,
+                                              std::int32_t i, Channel u) {
+  WDM_CHECK_MSG(g.has_edge(i, u), "breaking edge must exist in the graph");
+  const Edge breaking{i, u};
+  graph::BipartiteGraph out(g.n_requests(), g.k());
+  for (std::int32_t j = 0; j < g.n_requests(); ++j) {
+    if (j == i) continue;  // a_i deleted
+    for (const Channel v : g.scheme().adjacency_list(g.wavelength_of(j))) {
+      if (v == u || !g.channel_available(v)) continue;  // b_u deleted
+      const Edge edge{j, v};
+      if (crosses(g, edge, breaking)) continue;  // crossing edges deleted
+      out.add_edge(j, v);
+    }
+  }
+  return out;
+}
+
+}  // namespace wdm::core

@@ -1,0 +1,60 @@
+// Breaking a circular request graph (Definition 2, Lemmas 1–4, Figure 5).
+//
+// Breaking graph G at edge a_i b_u deletes a_i, b_u, their incident edges and
+// every edge crossing a_i b_u. After rotating the vertex orders so that
+// a_{i+1} / b_{u+1} come first, the reduced graph G' is staircase convex
+// (Lemma 2), so the First Available rule applies.
+//
+// The construction here is O(1) per wavelength: the d-channel adjacency run
+// of wavelength w occupies d consecutive *rotated* positions. If the run does
+// not touch rotated position k-1 (which is b_u), it is untouched; if it does,
+// crossing-edge deletion keeps exactly one of the two pieces the deleted
+// position splits it into — the head piece [0, ...] for wavelengths on the
+// plus side of the breaking vertex's wavelength (and the rest of that
+// wavelength's own group, which follows a_i), the tail piece [..., k-2] for
+// wavelengths on its minus side. The test suite validates this closed form
+// against explicit edge deletion driven by the Definition-1 predicate.
+//
+// The breaking vertex a_i is always the *first* request of its wavelength
+// group, so every other same-wavelength request has j > i. Lemma 4 permits
+// any choice of a_i; fixing this one keeps the request-vector form exact.
+#pragma once
+
+#include <cstdint>
+
+#include "core/conversion.hpp"
+#include "core/request_graph.hpp"
+#include "graph/bipartite_graph.hpp"
+#include "graph/convex.hpp"
+
+namespace wdm::core {
+
+/// Rotated right coordinate of original channel v after breaking at channel
+/// u: positions 0..k-2 are b_{u+1}, ..., b_{u-1}; position k-1 is b_u itself.
+constexpr std::int32_t channel_to_rotated(Channel u, Channel v,
+                                          std::int32_t k) noexcept {
+  return fwd(mod_k(u + 1, k), v, k);
+}
+
+/// Inverse of channel_to_rotated.
+constexpr Channel rotated_to_channel(Channel u, std::int32_t pos,
+                                     std::int32_t k) noexcept {
+  return mod_k(static_cast<std::int64_t>(u) + 1 + pos, k);
+}
+
+/// Adjacency interval (in rotated coordinates, over positions [0, k-2]) of a
+/// request with wavelength `w` in the reduced graph obtained by breaking at
+/// (a_i of wavelength w_i, channel u). For w == w_i this is the adjacency of
+/// the group members *after* a_i (j > i). May be empty.
+/// Requires a circular, non-full-range scheme and u adjacent to w_i.
+graph::Interval reduced_adjacency(const ConversionScheme& scheme, Wavelength w_i,
+                                  Channel u, Wavelength w);
+
+/// Reference construction for tests: applies Definition 2 literally to the
+/// vertex-level request graph `g` — removes a_i, b_u, incident edges, and
+/// every edge that crosses a_i b_u per the Definition-1 predicate. Vertices
+/// keep their original ids (a_i and b_u simply become isolated).
+graph::BipartiteGraph reduced_graph_reference(const RequestGraph& g,
+                                              std::int32_t i, Channel u);
+
+}  // namespace wdm::core

@@ -1,0 +1,40 @@
+// The output of a per-output-fiber scheduling kernel.
+//
+// Mirrors the paper's hardware sketch: "the right side vertices of the
+// request graph can be implemented by a k x 1 vector with each element
+// storing the decision of which input wavelength channel it is assigned to"
+// (Section II.B). Individual request identities are resolved later by the
+// arbitration stage.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/wavelength.hpp"
+
+namespace wdm::core {
+
+struct ChannelAssignment {
+  /// source[u] = input wavelength granted output channel u, or kNone.
+  std::vector<Wavelength> source;
+  /// Number of granted requests (= matching size).
+  std::int32_t granted = 0;
+
+  explicit ChannelAssignment(std::int32_t k)
+      : source(static_cast<std::size_t>(k), kNone) {}
+
+  std::int32_t k() const noexcept {
+    return static_cast<std::int32_t>(source.size());
+  }
+
+  /// Per-wavelength grant counts (how many channels each wavelength won).
+  std::vector<std::int32_t> grants_per_wavelength() const {
+    std::vector<std::int32_t> g(source.size(), 0);
+    for (const Wavelength w : source) {
+      if (w != kNone) g[static_cast<std::size_t>(w)] += 1;
+    }
+    return g;
+  }
+};
+
+}  // namespace wdm::core

@@ -1,0 +1,87 @@
+#include "core/conversion.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace wdm::core {
+
+ConversionScheme::ConversionScheme(ConversionKind kind, std::int32_t k,
+                                   std::int32_t e, std::int32_t f)
+    : kind_(kind), k_(k), e_(e), f_(f), d_(std::min(e + f + 1, k)) {
+  WDM_CHECK_MSG(k > 0, "need at least one wavelength");
+  WDM_CHECK_MSG(e >= 0 && f >= 0, "conversion ranges must be nonnegative");
+  WDM_CHECK_MSG(e + f + 1 <= k,
+                "conversion degree d = e + f + 1 must not exceed k");
+}
+
+ConversionScheme ConversionScheme::circular(std::int32_t k, std::int32_t e,
+                                            std::int32_t f) {
+  return ConversionScheme(ConversionKind::kCircular, k, e, f);
+}
+
+ConversionScheme ConversionScheme::non_circular(std::int32_t k, std::int32_t e,
+                                                std::int32_t f) {
+  return ConversionScheme(ConversionKind::kNonCircular, k, e, f);
+}
+
+ConversionScheme ConversionScheme::symmetric(ConversionKind kind, std::int32_t k,
+                                             std::int32_t d) {
+  WDM_CHECK_MSG(d >= 1 && d <= k, "conversion degree must be in [1, k]");
+  const std::int32_t e = d / 2;        // extra slot goes to the minus side
+  const std::int32_t f = d - 1 - e;
+  return ConversionScheme(kind, k, e, f);
+}
+
+ConversionScheme ConversionScheme::full_range(std::int32_t k) {
+  return ConversionScheme(ConversionKind::kCircular, k, k - 1, 0);
+}
+
+ConversionScheme ConversionScheme::none(std::int32_t k, ConversionKind kind) {
+  return ConversionScheme(kind, k, 0, 0);
+}
+
+bool ConversionScheme::can_convert(Wavelength in, Channel out) const noexcept {
+  WDM_DCHECK(in >= 0 && in < k_ && out >= 0 && out < k_);
+  if (kind_ == ConversionKind::kCircular) {
+    return fwd(adjacency_start(in), out, k_) < d_;
+  }
+  return out >= in - e_ && out <= in + f_;
+}
+
+graph::Interval ConversionScheme::adjacency_plain(Wavelength in) const {
+  WDM_CHECK_MSG(kind_ == ConversionKind::kNonCircular,
+                "adjacency_plain is defined for non-circular schemes");
+  WDM_CHECK(in >= 0 && in < k_);
+  return graph::Interval{std::max<std::int32_t>(0, in - e_),
+                         std::min<std::int32_t>(k_ - 1, in + f_)};
+}
+
+Channel ConversionScheme::adjacency_start(Wavelength in) const noexcept {
+  WDM_DCHECK(kind_ == ConversionKind::kCircular);
+  return mod_k(static_cast<std::int64_t>(in) - e_, k_);
+}
+
+std::vector<Channel> ConversionScheme::adjacency_list(Wavelength in) const {
+  WDM_CHECK(in >= 0 && in < k_);
+  std::vector<Channel> out;
+  if (kind_ == ConversionKind::kCircular) {
+    out.reserve(static_cast<std::size_t>(d_));
+    const Channel start = adjacency_start(in);
+    for (std::int32_t s = 0; s < d_; ++s) out.push_back(mod_k(start + s, k_));
+  } else {
+    const auto iv = adjacency_plain(in);
+    for (Channel c = iv.begin; c <= iv.end; ++c) out.push_back(c);
+  }
+  return out;
+}
+
+graph::BipartiteGraph ConversionScheme::conversion_graph() const {
+  graph::BipartiteGraph g(k_, k_);
+  for (Wavelength in = 0; in < k_; ++in) {
+    for (const Channel out : adjacency_list(in)) g.add_edge(in, out);
+  }
+  return g;
+}
+
+}  // namespace wdm::core

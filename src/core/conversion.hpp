@@ -1,0 +1,89 @@
+// Limited-range wavelength conversion schemes (Section II.A, Figure 2).
+//
+// A converter can translate input wavelength λi to a set of adjacent output
+// wavelengths: `e` on its minus side and `f` on its plus side, so the
+// conversion degree is d = e + f + 1. The paper studies two shapes:
+//
+//  * circular symmetric    — adjacency of λi is [i-e, i+f] mod k (wraps);
+//  * non-circular symmetric — adjacency is [max(0,i-e), min(k-1,i+f)]
+//    (wavelengths near an end cannot reach the other end).
+//
+// Full-range conversion is the special case d = k.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/wavelength.hpp"
+#include "graph/bipartite_graph.hpp"
+#include "graph/convex.hpp"
+
+namespace wdm::core {
+
+enum class ConversionKind : std::uint8_t {
+  kCircular,
+  kNonCircular,
+};
+
+class ConversionScheme {
+ public:
+  /// Circular symmetric conversion on k wavelengths (Fig. 2a).
+  static ConversionScheme circular(std::int32_t k, std::int32_t e, std::int32_t f);
+  /// Non-circular symmetric conversion on k wavelengths (Fig. 2b).
+  static ConversionScheme non_circular(std::int32_t k, std::int32_t e,
+                                       std::int32_t f);
+  /// Symmetric-degree helper: splits d-1 as evenly as possible (e gets the
+  /// extra slot for even d, matching the paper's e = f examples for odd d).
+  static ConversionScheme symmetric(ConversionKind kind, std::int32_t k,
+                                    std::int32_t d);
+  /// Full-range conversion: every wavelength converts to every other (d = k).
+  static ConversionScheme full_range(std::int32_t k);
+  /// No conversion at all (d = 1): the wavelength-continuity constraint.
+  static ConversionScheme none(std::int32_t k, ConversionKind kind);
+
+  ConversionKind kind() const noexcept { return kind_; }
+  std::int32_t k() const noexcept { return k_; }
+  std::int32_t e() const noexcept { return e_; }
+  std::int32_t f() const noexcept { return f_; }
+  /// Conversion degree d = e + f + 1 (capped by k).
+  std::int32_t degree() const noexcept { return d_; }
+  /// True iff every wavelength reaches every channel. Only circular schemes
+  /// can be full-range: non-circular adjacency is clipped at the ends, so
+  /// even d = k leaves edge wavelengths short-ranged.
+  bool is_full_range() const noexcept {
+    return kind_ == ConversionKind::kCircular && d_ == k_;
+  }
+
+  /// True iff input wavelength `in` can be converted to output channel `out`.
+  bool can_convert(Wavelength in, Channel out) const noexcept;
+
+  /// Adjacency interval of `in` for non-circular schemes (plain, never wraps).
+  graph::Interval adjacency_plain(Wavelength in) const;
+
+  /// Adjacency of `in` for circular schemes: first channel (the minus end
+  /// (in - e) mod k) plus run length d; the run wraps mod k.
+  Channel adjacency_start(Wavelength in) const noexcept;
+
+  /// The d adjacent channels of `in`, ordered from the minus side to the plus
+  /// side — the order in which δ(u) of Section IV.C counts (δ = position + 1).
+  std::vector<Channel> adjacency_list(Wavelength in) const;
+
+  /// The conversion graph of Figure 2: left = input wavelengths, right =
+  /// output wavelengths, an edge wherever conversion is possible.
+  graph::BipartiteGraph conversion_graph() const;
+
+  friend bool operator==(const ConversionScheme&,
+                         const ConversionScheme&) = default;
+
+ private:
+  ConversionScheme(ConversionKind kind, std::int32_t k, std::int32_t e,
+                   std::int32_t f);
+
+  ConversionKind kind_;
+  std::int32_t k_;
+  std::int32_t e_;
+  std::int32_t f_;
+  std::int32_t d_;
+};
+
+}  // namespace wdm::core

@@ -1,0 +1,127 @@
+#include "core/crossing.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace wdm::core {
+
+namespace {
+
+/// Shared context for one Definition-1 evaluation.
+struct Ctx {
+  std::int32_t k, e, f;
+};
+
+}  // namespace
+
+bool crosses(const RequestGraph& g, const Edge& x, const Edge& y) {
+  const auto& s = g.scheme();
+  WDM_CHECK_MSG(s.kind() == ConversionKind::kCircular,
+                "crossing edges are defined for circular conversion");
+  WDM_CHECK_MSG(g.has_edge(x.j, x.v) && g.has_edge(y.j, y.v),
+                "both edges must exist in the request graph");
+  const Ctx c{s.k(), s.e(), s.f()};
+  const Wavelength wj = g.wavelength_of(x.j);
+  const Wavelength wi = g.wavelength_of(y.j);
+  const Channel v = x.v;
+  const Channel u = y.v;
+
+  if (wj != wi) {
+    // Case 1.1: W(j) in [u-f+1, W(i)-1] and v in [u+1, W(j)+f].
+    // Forward-distance form: walk from u-f; W(j) lies strictly before W(i).
+    {
+      const std::int32_t span = fwd(mod_k(u - c.f, c.k), wi, c.k);
+      const std::int32_t pos = fwd(mod_k(u - c.f, c.k), wj, c.k);
+      if (pos > 0 && pos < span) {
+        const std::int32_t vspan = fwd(u, mod_k(wj + c.f, c.k), c.k);
+        const std::int32_t vpos = fwd(u, v, c.k);
+        if (vpos > 0 && vpos <= vspan) return true;
+      }
+    }
+    // Case 1.2: W(j) in [W(i)+1, u-1+e] and v in [W(j)-e, u-1].
+    {
+      const std::int32_t span = fwd(wi, mod_k(u + c.e, c.k), c.k);
+      const std::int32_t pos = fwd(wi, wj, c.k);
+      if (pos > 0 && pos < span) {
+        const std::int32_t vspan = fwd(mod_k(wj - c.e, c.k), u, c.k);
+        const std::int32_t vpos = fwd(v, u, c.k);
+        if (vpos > 0 && vpos <= vspan) return true;
+      }
+    }
+    return false;
+  }
+
+  // Case 2: same wavelength — the left *indices* decide the orientation.
+  if (x.j < y.j) {
+    // Case 2.1: j < i and v in [u+1, W(j)+f].
+    const std::int32_t vspan = fwd(u, mod_k(wj + c.f, c.k), c.k);
+    const std::int32_t vpos = fwd(u, v, c.k);
+    return vpos > 0 && vpos <= vspan;
+  }
+  if (x.j > y.j) {
+    // Case 2.2: j > i and v in [W(j)-e, u-1].
+    const std::int32_t vspan = fwd(mod_k(wj - c.e, c.k), u, c.k);
+    const std::int32_t vpos = fwd(v, u, c.k);
+    return vpos > 0 && vpos <= vspan;
+  }
+  return false;  // an edge does not cross itself
+}
+
+bool edges_cross(const RequestGraph& g, const Edge& x, const Edge& y) {
+  return crosses(g, x, y) || crosses(g, y, x);
+}
+
+std::optional<std::pair<Edge, Edge>> find_crossing_pair(
+    const RequestGraph& g, const graph::Matching& m) {
+  std::vector<Edge> edges;
+  for (std::int32_t j = 0; j < g.n_requests(); ++j) {
+    const auto v = m.right_of(j);
+    if (v != graph::kNoVertex) edges.push_back(Edge{j, v});
+  }
+  for (std::size_t a = 0; a < edges.size(); ++a) {
+    for (std::size_t b = a + 1; b < edges.size(); ++b) {
+      if (crosses(g, edges[a], edges[b])) return std::pair{edges[a], edges[b]};
+      if (crosses(g, edges[b], edges[a])) return std::pair{edges[b], edges[a]};
+    }
+  }
+  return std::nullopt;
+}
+
+std::int32_t uncross_matching(const RequestGraph& g, graph::Matching& m) {
+  std::int32_t swaps = 0;
+  // Termination: each Lemma-1 swap strictly decreases the lexicographic
+  // potential (sum of squared adjacency positions, same-wavelength index
+  // inversions); the cap below only guards against an implementation bug.
+  const std::int32_t cap =
+      static_cast<std::int32_t>(m.size() * m.size() + 1) * std::max(g.k(), 2);
+  while (auto pair = find_crossing_pair(g, m)) {
+    WDM_CHECK_MSG(swaps < cap, "uncross_matching failed to converge");
+    // pair->first = a_j b_v crosses pair->second = a_i b_u.
+    const Edge aj_bv = pair->first;
+    const Edge ai_bu = pair->second;
+    // Lemma 1 replacement edges must exist in G.
+    WDM_DCHECK(g.has_edge(ai_bu.j, aj_bv.v));
+    WDM_DCHECK(g.has_edge(aj_bv.j, ai_bu.v));
+    m.unmatch_left(aj_bv.j);
+    m.unmatch_left(ai_bu.j);
+    m.match(ai_bu.j, aj_bv.v);
+    m.match(aj_bv.j, ai_bu.v);
+    swaps += 1;
+  }
+  return swaps;
+}
+
+std::int32_t delta_of(const ConversionScheme& scheme, Wavelength w, Channel u) {
+  WDM_CHECK_MSG(scheme.kind() == ConversionKind::kCircular,
+                "delta is defined for circular conversion");
+  WDM_CHECK_MSG(scheme.can_convert(w, u), "u must be adjacent to w");
+  return fwd(scheme.adjacency_start(w), u, scheme.k()) + 1;
+}
+
+std::int32_t breaking_gap_bound(std::int32_t d, std::int32_t delta) {
+  WDM_CHECK(delta >= 1 && delta <= d);
+  return std::max(delta - 1, d - delta);
+}
+
+}  // namespace wdm::core

@@ -1,0 +1,58 @@
+// Crossing edges (Definition 1) and the uncrossing procedure (Lemma 1).
+//
+// Two request-graph edges a_j b_v and a_i b_u of a circular request graph
+// "cross" when they wrap around each other; Lemma 1 shows every pair of
+// crossing edges in a maximum matching can be replaced by the parallel pair
+// (a_i b_v, a_j b_u), so some maximum matching is crossing-free. This is the
+// structural fact that makes breaking (Definition 2) lossless.
+//
+// The paper states Definition 1 with mod-k interval notation; we phrase the
+// same conditions as *forward distances* compared as integers, which is
+// unambiguous for the degenerate boundary intervals (see wavelength.hpp).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+
+#include "core/conversion.hpp"
+#include "core/request_graph.hpp"
+#include "graph/matching.hpp"
+
+namespace wdm::core {
+
+/// One request-graph edge: left vertex index j (paper's a_j) and channel v.
+struct Edge {
+  std::int32_t j = 0;
+  Channel v = 0;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+/// Definition 1: does edge (g's left vertex x.j -> channel x.v) cross edge
+/// (y.j -> y.v)? Requires a circular scheme; both edges must exist in g.
+/// The relation is symmetric (crossing is mutual); this predicate evaluates
+/// the paper's case split with x in the a_j role and y in the a_i role.
+bool crosses(const RequestGraph& g, const Edge& x, const Edge& y);
+
+/// Symmetric wrapper: true iff x crosses y or y crosses x. (By Definition 1
+/// these agree; the test suite verifies the symmetry property itself.)
+bool edges_cross(const RequestGraph& g, const Edge& x, const Edge& y);
+
+/// Finds any pair of crossing edges in the matching, or nullopt.
+std::optional<std::pair<Edge, Edge>> find_crossing_pair(
+    const RequestGraph& g, const graph::Matching& m);
+
+/// Lemma 1 constructive step applied to fixpoint: replaces crossing pairs
+/// (a_i b_u, a_j b_v) with (a_i b_v, a_j b_u) until none remain. Preserves
+/// matching size and validity; returns the number of swaps performed.
+std::int32_t uncross_matching(const RequestGraph& g, graph::Matching& m);
+
+/// Lemma 6 quantity: δ(u), the 1-based position of channel u within the
+/// adjacency list of wavelength w counted from the minus side.
+std::int32_t delta_of(const ConversionScheme& scheme, Wavelength w, Channel u);
+
+/// Theorem 3 bound for breaking at the δ-th edge: max{δ-1, d-δ}.
+std::int32_t breaking_gap_bound(std::int32_t d, std::int32_t delta);
+
+}  // namespace wdm::core

@@ -1,0 +1,76 @@
+#include "core/distributed.hpp"
+
+#include "util/check.hpp"
+
+namespace wdm::core {
+
+DistributedScheduler::DistributedScheduler(std::int32_t n_output_fibers,
+                                           ConversionScheme scheme,
+                                           Algorithm algorithm,
+                                           Arbitration arbitration,
+                                           std::uint64_t seed)
+    : scheme_(std::move(scheme)) {
+  WDM_CHECK_MSG(n_output_fibers > 0, "need at least one output fiber");
+  util::Rng seeder(seed);
+  ports_.reserve(static_cast<std::size_t>(n_output_fibers));
+  for (std::int32_t fiber = 0; fiber < n_output_fibers; ++fiber) {
+    ports_.emplace_back(scheme_, algorithm, arbitration, seeder.next());
+  }
+}
+
+OutputPortScheduler& DistributedScheduler::port(std::int32_t fiber) {
+  WDM_CHECK(fiber >= 0 && fiber < n_output_fibers());
+  return ports_[static_cast<std::size_t>(fiber)];
+}
+
+void DistributedScheduler::set_converter_budget(std::int32_t budget) {
+  for (auto& port : ports_) port.set_converter_budget(budget);
+}
+
+std::vector<PortDecision> DistributedScheduler::schedule_slot(
+    std::span<const SlotRequest> requests,
+    const std::vector<std::vector<std::uint8_t>>* availability,
+    util::ThreadPool* pool) {
+  const auto n_fibers = static_cast<std::size_t>(n_output_fibers());
+  if (availability != nullptr) {
+    WDM_CHECK_MSG(availability->size() == n_fibers,
+                  "need one availability mask per output fiber");
+  }
+
+  // Partition the slot's requests into the N destination subsets. No request
+  // appears in two subsets, so the per-fiber schedules are independent.
+  std::vector<std::vector<Request>> per_fiber(n_fibers);
+  std::vector<std::vector<std::size_t>> origin(n_fibers);
+  for (std::size_t idx = 0; idx < requests.size(); ++idx) {
+    const auto& r = requests[idx];
+    WDM_CHECK_MSG(r.output_fiber >= 0 &&
+                      r.output_fiber < n_output_fibers(),
+                  "request destined to a nonexistent output fiber");
+    per_fiber[static_cast<std::size_t>(r.output_fiber)].push_back(
+        Request{r.input_fiber, r.wavelength, r.id, r.duration});
+    origin[static_cast<std::size_t>(r.output_fiber)].push_back(idx);
+  }
+
+  std::vector<PortDecision> decisions(requests.size());
+  const auto schedule_fiber = [&](std::size_t fiber) {
+    if (per_fiber[fiber].empty()) return;
+    const std::span<const std::uint8_t> mask =
+        availability != nullptr ? std::span<const std::uint8_t>((*availability)[fiber])
+                                : std::span<const std::uint8_t>{};
+    const auto fiber_decisions = ports_[fiber].schedule(per_fiber[fiber], mask);
+    for (std::size_t i = 0; i < fiber_decisions.size(); ++i) {
+      decisions[origin[fiber][i]] = fiber_decisions[i];
+    }
+  };
+
+  if (pool != nullptr) {
+    pool->parallel_for(0, n_fibers, schedule_fiber);
+  } else {
+    for (std::size_t fiber = 0; fiber < n_fibers; ++fiber) {
+      schedule_fiber(fiber);
+    }
+  }
+  return decisions;
+}
+
+}  // namespace wdm::core

@@ -1,0 +1,64 @@
+// The distributed scheduler over all N output fibers (Section I).
+//
+// The decisions for different output fibers are independent — no request
+// belongs to two destination subsets — so a slot's schedule is N independent
+// per-fiber schedules. In a switch these run on per-fiber hardware; here they
+// run serially or on a thread pool, and the per-slot work stays O(k) / O(dk)
+// per fiber regardless of N (the property experiment E2 measures).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/conversion.hpp"
+#include "core/request.hpp"
+#include "core/scheduler.hpp"
+#include "util/threadpool.hpp"
+
+namespace wdm::core {
+
+/// A request in flight through the whole interconnect: a Request plus its
+/// destination fiber.
+struct SlotRequest {
+  std::int32_t input_fiber = 0;
+  Wavelength wavelength = 0;
+  std::int32_t output_fiber = 0;
+  std::uint64_t id = 0;
+  std::int32_t duration = 1;  ///< holding time in slots (Section V)
+  std::int32_t priority = 0;  ///< QoS class, 0 = highest (§VI extension)
+};
+
+class DistributedScheduler {
+ public:
+  DistributedScheduler(std::int32_t n_output_fibers, ConversionScheme scheme,
+                       Algorithm algorithm = Algorithm::kAuto,
+                       Arbitration arbitration = Arbitration::kRoundRobin,
+                       std::uint64_t seed = 1);
+
+  std::int32_t n_output_fibers() const noexcept {
+    return static_cast<std::int32_t>(ports_.size());
+  }
+  std::int32_t k() const noexcept { return scheme_.k(); }
+  const ConversionScheme& scheme() const noexcept { return scheme_; }
+  OutputPortScheduler& port(std::int32_t fiber);
+
+  /// Sets the per-fiber converter pool size on every port (only meaningful
+  /// with Algorithm::kSparseBudgeted).
+  void set_converter_budget(std::int32_t budget);
+
+  /// Schedules one slot. `availability`, if non-null, holds one size-k mask
+  /// per output fiber (occupied channels, Section V). If `pool` is non-null
+  /// the per-fiber schedules run concurrently. The result is parallel to
+  /// `requests`.
+  std::vector<PortDecision> schedule_slot(
+      std::span<const SlotRequest> requests,
+      const std::vector<std::vector<std::uint8_t>>* availability = nullptr,
+      util::ThreadPool* pool = nullptr);
+
+ private:
+  ConversionScheme scheme_;
+  std::vector<OutputPortScheduler> ports_;
+};
+
+}  // namespace wdm::core

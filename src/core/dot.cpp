@@ -1,0 +1,89 @@
+#include "core/dot.hpp"
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace wdm::core {
+
+namespace {
+
+void emit_header(std::ostream& os, const char* name) {
+  os << "graph " << name << " {\n"
+     << "  rankdir=LR;\n"
+     << "  node [shape=circle, fontsize=10];\n";
+}
+
+}  // namespace
+
+std::string conversion_graph_dot(const ConversionScheme& scheme) {
+  std::ostringstream os;
+  emit_header(os, "conversion");
+  const std::int32_t k = scheme.k();
+  for (Wavelength w = 0; w < k; ++w) {
+    os << "  in" << w << " [label=\"λ" << w << "\"];\n";
+    os << "  out" << w << " [label=\"λ" << w << "\", shape=doublecircle];\n";
+  }
+  for (Wavelength w = 0; w < k; ++w) {
+    for (const Channel u : scheme.adjacency_list(w)) {
+      os << "  in" << w << " -- out" << u << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string request_graph_dot(const RequestGraph& graph,
+                              const graph::Matching* matching) {
+  if (matching != nullptr) {
+    WDM_CHECK_MSG(matching->n_left() == graph.n_requests() &&
+                      matching->n_right() == graph.k(),
+                  "matching shape must fit the request graph");
+  }
+  std::ostringstream os;
+  emit_header(os, "request_graph");
+  for (std::int32_t j = 0; j < graph.n_requests(); ++j) {
+    os << "  a" << j << " [label=\"a" << j << " (λ" << graph.wavelength_of(j)
+       << ")\"];\n";
+  }
+  for (Channel u = 0; u < graph.k(); ++u) {
+    os << "  b" << u << " [label=\"b" << u << "\", shape=doublecircle"
+       << (graph.channel_available(u) ? "" : ", style=dashed") << "];\n";
+  }
+  for (std::int32_t j = 0; j < graph.n_requests(); ++j) {
+    for (Channel u = 0; u < graph.k(); ++u) {
+      if (!graph.has_edge(j, u)) continue;
+      const bool matched =
+          matching != nullptr && matching->right_of(j) == u;
+      os << "  a" << j << " -- b" << u
+         << (matched ? " [penwidth=3]" : " [color=gray]") << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+graph::Matching assignment_to_matching(const RequestGraph& graph,
+                                       const ChannelAssignment& assignment) {
+  WDM_CHECK_MSG(assignment.k() == graph.k(),
+                "assignment and graph disagree on k");
+  graph::Matching m(graph.n_requests(), graph.k());
+  for (Channel u = 0; u < graph.k(); ++u) {
+    const Wavelength w = assignment.source[static_cast<std::size_t>(u)];
+    if (w == kNone) continue;
+    // Claim the first not-yet-matched request of wavelength w.
+    bool claimed = false;
+    for (std::int32_t j = 0; j < graph.n_requests(); ++j) {
+      if (graph.wavelength_of(j) == w && !m.left_matched(j)) {
+        m.match(j, u);
+        claimed = true;
+        break;
+      }
+    }
+    WDM_CHECK_MSG(claimed, "assignment grants more channels to a wavelength "
+                           "than it has requests");
+  }
+  return m;
+}
+
+}  // namespace wdm::core

@@ -1,0 +1,32 @@
+// Graphviz (DOT) export of the paper's figures.
+//
+// Renders conversion graphs (Figure 2) and request graphs (Figure 3) as
+// left-to-right bipartite layouts; a matching or channel assignment can be
+// highlighted (bold edges), reproducing the Figure 4/5 drawings. Pipe the
+// output through `dot -Tsvg` to regenerate the diagrams.
+#pragma once
+
+#include <string>
+
+#include "core/channel_assignment.hpp"
+#include "core/conversion.hpp"
+#include "core/request_graph.hpp"
+#include "graph/matching.hpp"
+
+namespace wdm::core {
+
+/// The conversion graph of Figure 2 as a DOT digraph.
+std::string conversion_graph_dot(const ConversionScheme& scheme);
+
+/// The request graph of Figure 3; if `matching` is non-null its edges are
+/// drawn bold (Figure 4). The matching must be over (n_requests, k).
+std::string request_graph_dot(const RequestGraph& graph,
+                              const graph::Matching* matching = nullptr);
+
+/// Converts a channel assignment into a vertex-level matching on the given
+/// request graph (each granted channel claims the first unclaimed request of
+/// its source wavelength), e.g. to feed request_graph_dot.
+graph::Matching assignment_to_matching(const RequestGraph& graph,
+                                       const ChannelAssignment& assignment);
+
+}  // namespace wdm::core

@@ -1,0 +1,30 @@
+// The First Available Algorithm (paper Table 2, Theorem 1) — O(k).
+//
+// For non-circular symmetric conversion the request graph is staircase
+// convex, so scanning output channels b_0..b_{k-1} and granting each to the
+// first pending request adjacent to it yields a maximum matching. Operating
+// on the request *vector* (per-wavelength counts) makes one step O(1) and the
+// whole schedule O(k) — independent of both the interconnect size N and the
+// conversion degree d, exactly the complexity claimed in Section III.
+//
+// Occupied output channels (Section V) are skipped via the availability
+// mask; this equals deleting those right-side vertices, which preserves
+// convexity and hence optimality.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/channel_assignment.hpp"
+#include "core/conversion.hpp"
+#include "core/request.hpp"
+
+namespace wdm::core {
+
+/// Maximum-matching channel assignment for a non-circular scheme.
+/// `available` is a size-k mask (1 = channel free); empty means all free.
+ChannelAssignment first_available(const RequestVector& requests,
+                                  const ConversionScheme& scheme,
+                                  std::span<const std::uint8_t> available = {});
+
+}  // namespace wdm::core

@@ -1,0 +1,33 @@
+#include "core/full_range.hpp"
+
+#include "util/check.hpp"
+
+namespace wdm::core {
+
+ChannelAssignment full_range_schedule(const RequestVector& requests,
+                                      std::span<const std::uint8_t> available) {
+  const std::int32_t k = requests.k();
+  WDM_CHECK_MSG(available.empty() ||
+                    static_cast<std::int32_t>(available.size()) == k,
+                "availability mask must have one entry per channel");
+  ChannelAssignment out(k);
+
+  Wavelength w = 0;
+  std::int32_t remaining = requests.count(0);
+  for (Channel u = 0; u < k; ++u) {
+    if (!available.empty() && available[static_cast<std::size_t>(u)] == 0) {
+      continue;
+    }
+    while (w < k && remaining == 0) {
+      ++w;
+      remaining = w < k ? requests.count(w) : 0;
+    }
+    if (w == k) break;
+    out.source[static_cast<std::size_t>(u)] = w;
+    out.granted += 1;
+    remaining -= 1;
+  }
+  return out;
+}
+
+}  // namespace wdm::core

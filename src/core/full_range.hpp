@@ -1,0 +1,23 @@
+// Full-range conversion scheduling (Section I).
+//
+// With full-range converters every request can use every free channel, so
+// requests are indistinguishable in the wavelength domain and scheduling is
+// trivial: grant min(#requests, #free channels), assigning channels in index
+// order. Implemented for completeness and as the d = k endpoint of the
+// throughput experiments.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/channel_assignment.hpp"
+#include "core/request.hpp"
+
+namespace wdm::core {
+
+/// Grants as many requests as there are free channels; wavelengths are
+/// consumed in index order, channels in index order.
+ChannelAssignment full_range_schedule(const RequestVector& requests,
+                                      std::span<const std::uint8_t> available = {});
+
+}  // namespace wdm::core

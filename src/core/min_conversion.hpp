@@ -1,0 +1,36 @@
+// Converter-frugal scheduling: among all maximum matchings of a request
+// graph, one engaging the fewest wavelength converters.
+//
+// In the Figure-1 architecture every output channel owns a converter, but a
+// grant with source wavelength == channel index passes through unconverted —
+// converted grants are what cost power (and, in sparse-converter designs,
+// shared hardware). FA/BFA maximise cardinality only; this module computes
+// the converter-optimal maximum matching (min-cost maximum matching with
+// unit cost on converting edges) as a quality yardstick: experiment E11
+// measures how many extra conversions the paper's fast algorithms pay.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/channel_assignment.hpp"
+#include "core/conversion.hpp"
+#include "core/request.hpp"
+
+namespace wdm::core {
+
+struct MinConversionResult {
+  ChannelAssignment assignment;
+  std::int32_t conversions = 0;  ///< granted channels with source != channel
+};
+
+/// Maximum matching minimising the number of converting grants. Exact but
+/// O(V^2 E) — a yardstick, not a per-slot scheduler.
+MinConversionResult min_conversion_schedule(
+    const RequestVector& requests, const ConversionScheme& scheme,
+    std::span<const std::uint8_t> available = {});
+
+/// Number of converting grants in an assignment (source[u] ∉ {kNone, u}).
+std::int32_t conversions_used(const ChannelAssignment& assignment);
+
+}  // namespace wdm::core

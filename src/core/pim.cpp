@@ -1,0 +1,71 @@
+#include "core/pim.hpp"
+
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace wdm::core {
+
+ChannelAssignment pim_schedule(const RequestVector& requests,
+                               const ConversionScheme& scheme,
+                               std::int32_t iterations, util::Rng& rng,
+                               std::span<const std::uint8_t> available) {
+  WDM_CHECK_MSG(requests.k() == scheme.k(),
+                "request vector and scheme disagree on k");
+  WDM_CHECK_MSG(iterations >= 1, "need at least one PIM iteration");
+  WDM_CHECK_MSG(available.empty() ||
+                    static_cast<std::int32_t>(available.size()) == scheme.k(),
+                "availability mask must have one entry per channel");
+
+  const std::int32_t k = scheme.k();
+  ChannelAssignment out(k);
+
+  // Unmatched requests, per wavelength (counts); free channels as a flag.
+  std::vector<std::int32_t> pending = requests.counts();
+  std::vector<std::uint8_t> free_channel(static_cast<std::size_t>(k), 1);
+  for (Channel v = 0; v < k; ++v) {
+    if (!available.empty() && available[static_cast<std::size_t>(v)] == 0) {
+      free_channel[static_cast<std::size_t>(v)] = 0;
+    }
+  }
+
+  std::vector<std::vector<Wavelength>> proposals(static_cast<std::size_t>(k));
+  for (std::int32_t round = 0; round < iterations; ++round) {
+    // Propose: each unmatched request picks one free admissible channel
+    // uniformly at random (requests of a wavelength propose independently).
+    for (auto& p : proposals) p.clear();
+    bool any_proposal = false;
+    for (Wavelength w = 0; w < k; ++w) {
+      const std::int32_t n = pending[static_cast<std::size_t>(w)];
+      if (n == 0) continue;
+      // Free admissible channels of this wavelength.
+      std::vector<Channel> options;
+      for (const Channel v : scheme.adjacency_list(w)) {
+        if (free_channel[static_cast<std::size_t>(v)]) options.push_back(v);
+      }
+      if (options.empty()) continue;
+      for (std::int32_t r = 0; r < n; ++r) {
+        const Channel v = options[static_cast<std::size_t>(
+            rng.uniform_below(options.size()))];
+        proposals[static_cast<std::size_t>(v)].push_back(w);
+        any_proposal = true;
+      }
+    }
+    if (!any_proposal) break;
+
+    // Grant + accept: each channel picks one proposer uniformly (PIM).
+    for (Channel v = 0; v < k; ++v) {
+      auto& props = proposals[static_cast<std::size_t>(v)];
+      if (props.empty() || !free_channel[static_cast<std::size_t>(v)]) continue;
+      const Wavelength w =
+          props[static_cast<std::size_t>(rng.uniform_below(props.size()))];
+      out.source[static_cast<std::size_t>(v)] = w;
+      out.granted += 1;
+      free_channel[static_cast<std::size_t>(v)] = 0;
+      pending[static_cast<std::size_t>(w)] -= 1;
+    }
+  }
+  return out;
+}
+
+}  // namespace wdm::core

@@ -1,0 +1,37 @@
+// Iterative parallel matching (PIM / iSLIP style) for the WDM request graph.
+//
+// Real electronic switch schedulers rarely compute exact maximum matchings;
+// they run a few rounds of parallel propose–grant–accept (PIM [7], iSLIP
+// [8] — the works the paper cites for its arbitration stage). This module
+// ports that scheme to the wavelength-conversion setting so the paper's
+// exact algorithms can be compared against the industry-standard iterative
+// heuristic (experiment E8's extended ablation):
+//
+//   each round, every still-unmatched request proposes to one free
+//   admissible channel (uniformly at random, PIM-style); every channel
+//   grants one proposer; grants are final (accepted).
+//
+// One round yields a matching that is maximal *in expectation* only; the
+// classic result is that O(log k) rounds converge. Unlike First Available
+// this is not optimal for any fixed round count — which is exactly the
+// comparison worth making.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/channel_assignment.hpp"
+#include "core/conversion.hpp"
+#include "core/request.hpp"
+#include "util/rng.hpp"
+
+namespace wdm::core {
+
+/// Runs `iterations` propose–grant rounds. Works for any scheme kind
+/// (it only uses can_convert). Deterministic in (inputs, rng state).
+ChannelAssignment pim_schedule(const RequestVector& requests,
+                               const ConversionScheme& scheme,
+                               std::int32_t iterations, util::Rng& rng,
+                               std::span<const std::uint8_t> available = {});
+
+}  // namespace wdm::core

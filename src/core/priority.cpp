@@ -1,0 +1,57 @@
+#include "core/priority.hpp"
+
+#include "core/break_first_available.hpp"
+#include "core/first_available.hpp"
+#include "core/full_range.hpp"
+#include "util/check.hpp"
+
+namespace wdm::core {
+
+ChannelAssignment assign_maximum(const RequestVector& requests,
+                                 const ConversionScheme& scheme,
+                                 std::span<const std::uint8_t> available) {
+  if (scheme.is_full_range()) {
+    return full_range_schedule(requests, available);
+  }
+  if (scheme.kind() == ConversionKind::kCircular) {
+    return break_first_available(requests, scheme, available);
+  }
+  return first_available(requests, scheme, available);
+}
+
+PrioritySchedule priority_schedule(const std::vector<RequestVector>& classes,
+                                   const ConversionScheme& scheme,
+                                   std::span<const std::uint8_t> available) {
+  WDM_CHECK_MSG(!classes.empty(), "need at least one priority class");
+  WDM_CHECK_MSG(available.empty() ||
+                    static_cast<std::int32_t>(available.size()) == scheme.k(),
+                "availability mask must have one entry per channel");
+
+  const std::int32_t k = scheme.k();
+  std::vector<std::uint8_t> residual(available.begin(), available.end());
+  if (residual.empty()) residual.assign(static_cast<std::size_t>(k), 1);
+
+  PrioritySchedule out{ChannelAssignment(k), {}, {}};
+  out.per_class.reserve(classes.size());
+  out.granted_per_class.reserve(classes.size());
+
+  for (const auto& class_requests : classes) {
+    WDM_CHECK_MSG(class_requests.k() == k,
+                  "every class vector must match the scheme's k");
+    ChannelAssignment assignment =
+        assign_maximum(class_requests, scheme, residual);
+    for (Channel u = 0; u < k; ++u) {
+      const Wavelength w = assignment.source[static_cast<std::size_t>(u)];
+      if (w == kNone) continue;
+      // A lower class can never see a channel a higher class took.
+      residual[static_cast<std::size_t>(u)] = 0;
+      out.combined.source[static_cast<std::size_t>(u)] = w;
+      out.combined.granted += 1;
+    }
+    out.granted_per_class.push_back(assignment.granted);
+    out.per_class.push_back(std::move(assignment));
+  }
+  return out;
+}
+
+}  // namespace wdm::core

@@ -1,0 +1,63 @@
+#include "core/request.hpp"
+
+#include "util/check.hpp"
+
+namespace wdm::core {
+
+RequestVector::RequestVector(std::int32_t k) {
+  WDM_CHECK_MSG(k > 0, "need at least one wavelength");
+  counts_.assign(static_cast<std::size_t>(k), 0);
+}
+
+RequestVector::RequestVector(std::initializer_list<std::int32_t> counts)
+    : counts_(counts) {
+  WDM_CHECK_MSG(!counts_.empty(), "need at least one wavelength");
+  for (const auto c : counts_) {
+    WDM_CHECK_MSG(c >= 0, "request counts must be nonnegative");
+    total_ += c;
+  }
+}
+
+std::int32_t RequestVector::count(Wavelength w) const {
+  WDM_CHECK(w >= 0 && w < k());
+  return counts_[static_cast<std::size_t>(w)];
+}
+
+void RequestVector::add(Wavelength w, std::int32_t n) {
+  WDM_CHECK(w >= 0 && w < k());
+  WDM_CHECK_MSG(n >= 0, "cannot add a negative number of requests");
+  counts_[static_cast<std::size_t>(w)] += n;
+  total_ += n;
+}
+
+void RequestVector::clear() noexcept {
+  counts_.assign(counts_.size(), 0);
+  total_ = 0;
+}
+
+Wavelength RequestVector::first_nonempty() const noexcept {
+  for (Wavelength w = 0; w < k(); ++w) {
+    if (counts_[static_cast<std::size_t>(w)] > 0) return w;
+  }
+  return kNone;
+}
+
+std::vector<Wavelength> RequestVector::to_sorted_wavelengths() const {
+  std::vector<Wavelength> out;
+  out.reserve(static_cast<std::size_t>(total_));
+  for (Wavelength w = 0; w < k(); ++w) {
+    for (std::int32_t c = 0; c < counts_[static_cast<std::size_t>(w)]; ++c) {
+      out.push_back(w);
+    }
+  }
+  return out;
+}
+
+RequestVector make_request_vector(std::int32_t k,
+                                  const std::vector<Request>& requests) {
+  RequestVector rv(k);
+  for (const auto& r : requests) rv.add(r.wavelength);
+  return rv;
+}
+
+}  // namespace wdm::core

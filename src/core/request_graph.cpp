@@ -1,0 +1,67 @@
+#include "core/request_graph.hpp"
+
+#include "util/check.hpp"
+
+namespace wdm::core {
+
+std::vector<std::uint8_t> all_available(std::int32_t k) {
+  WDM_CHECK(k > 0);
+  return std::vector<std::uint8_t>(static_cast<std::size_t>(k), 1);
+}
+
+RequestGraph::RequestGraph(ConversionScheme scheme, const RequestVector& requests)
+    : RequestGraph(std::move(scheme), requests, {}) {}
+
+RequestGraph::RequestGraph(ConversionScheme scheme, const RequestVector& requests,
+                           std::vector<std::uint8_t> available)
+    : scheme_(std::move(scheme)),
+      wavelengths_(requests.to_sorted_wavelengths()),
+      available_(std::move(available)) {
+  WDM_CHECK_MSG(requests.k() == scheme_.k(),
+                "request vector and scheme disagree on k");
+  if (available_.empty()) {
+    available_ = all_available(scheme_.k());
+  }
+  WDM_CHECK_MSG(static_cast<std::int32_t>(available_.size()) == scheme_.k(),
+                "availability mask must have one entry per channel");
+}
+
+Wavelength RequestGraph::wavelength_of(std::int32_t j) const {
+  WDM_CHECK(j >= 0 && j < n_requests());
+  return wavelengths_[static_cast<std::size_t>(j)];
+}
+
+bool RequestGraph::channel_available(Channel u) const {
+  WDM_CHECK(u >= 0 && u < k());
+  return available_[static_cast<std::size_t>(u)] != 0;
+}
+
+bool RequestGraph::has_edge(std::int32_t j, Channel u) const {
+  return channel_available(u) && scheme_.can_convert(wavelength_of(j), u);
+}
+
+graph::BipartiteGraph RequestGraph::to_bipartite() const {
+  graph::BipartiteGraph g(n_requests(), k());
+  for (std::int32_t j = 0; j < n_requests(); ++j) {
+    for (const Channel u : scheme_.adjacency_list(wavelength_of(j))) {
+      if (channel_available(u)) g.add_edge(j, u);
+    }
+  }
+  return g;
+}
+
+graph::ConvexBipartiteGraph RequestGraph::to_convex() const {
+  WDM_CHECK_MSG(scheme_.kind() == ConversionKind::kNonCircular,
+                "only non-circular request graphs are convex (Section III)");
+  for (const auto a : available_) {
+    WDM_CHECK_MSG(a != 0, "to_convex requires all channels available");
+  }
+  std::vector<graph::Interval> intervals;
+  intervals.reserve(wavelengths_.size());
+  for (const Wavelength w : wavelengths_) {
+    intervals.push_back(scheme_.adjacency_plain(w));
+  }
+  return graph::ConvexBipartiteGraph(std::move(intervals), k());
+}
+
+}  // namespace wdm::core

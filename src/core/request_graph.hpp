@@ -1,0 +1,67 @@
+// The request graph (Section II.B, Figure 3).
+//
+// Left vertices are the individual connection requests destined for one
+// output fiber, ordered by wavelength (ties in arrival order); right vertices
+// are the k output wavelength channels in index order. There is an edge
+// (a_j, b_u) iff the request's wavelength can be converted to channel u and
+// channel u is currently available (Section V deletes occupied channels).
+//
+// This vertex-level form exists for the generic matching oracles, the
+// crossing-edge machinery, and the paper's worked examples. The production
+// schedulers never materialise it — they run on the RequestVector alone.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/conversion.hpp"
+#include "core/request.hpp"
+#include "graph/bipartite_graph.hpp"
+#include "graph/convex.hpp"
+
+namespace wdm::core {
+
+/// All-channels-free availability mask.
+std::vector<std::uint8_t> all_available(std::int32_t k);
+
+class RequestGraph {
+ public:
+  /// Builds from per-wavelength counts with every channel available.
+  RequestGraph(ConversionScheme scheme, const RequestVector& requests);
+  /// Builds with an explicit channel availability mask (size k, 1 = free).
+  RequestGraph(ConversionScheme scheme, const RequestVector& requests,
+               std::vector<std::uint8_t> available);
+
+  const ConversionScheme& scheme() const noexcept { return scheme_; }
+  std::int32_t k() const noexcept { return scheme_.k(); }
+  std::int32_t n_requests() const noexcept {
+    return static_cast<std::int32_t>(wavelengths_.size());
+  }
+  /// W(j): wavelength of the j-th left vertex (paper notation).
+  Wavelength wavelength_of(std::int32_t j) const;
+  const std::vector<Wavelength>& wavelengths() const noexcept {
+    return wavelengths_;
+  }
+  bool channel_available(Channel u) const;
+  const std::vector<std::uint8_t>& availability() const noexcept {
+    return available_;
+  }
+
+  /// Edge predicate: conversion feasible and channel free.
+  bool has_edge(std::int32_t j, Channel u) const;
+
+  /// Explicit edge-list form for the generic oracles.
+  graph::BipartiteGraph to_bipartite() const;
+
+  /// Interval form for non-circular schemes (convex by Section III); channel
+  /// deletion is handled by the caller via availability-aware algorithms, so
+  /// this conversion requires all channels free.
+  graph::ConvexBipartiteGraph to_convex() const;
+
+ private:
+  ConversionScheme scheme_;
+  std::vector<Wavelength> wavelengths_;  // sorted ascending
+  std::vector<std::uint8_t> available_;  // size k
+};
+
+}  // namespace wdm::core

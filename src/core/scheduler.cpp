@@ -1,0 +1,220 @@
+#include "core/scheduler.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/break_first_available.hpp"
+#include "core/first_available.hpp"
+#include "core/full_range.hpp"
+#include "core/request_graph.hpp"
+#include "core/sparse_converters.hpp"
+#include "graph/glover.hpp"
+#include "graph/greedy.hpp"
+#include "graph/hopcroft_karp.hpp"
+#include "util/check.hpp"
+
+namespace wdm::core {
+
+namespace {
+
+Algorithm resolve(Algorithm requested, const ConversionScheme& scheme) {
+  if (requested != Algorithm::kAuto) return requested;
+  if (scheme.is_full_range()) return Algorithm::kFullRange;
+  return scheme.kind() == ConversionKind::kCircular
+             ? Algorithm::kBreakFirstAvailable
+             : Algorithm::kFirstAvailable;
+}
+
+/// Compacts a plain adjacency interval onto the available channels:
+/// prefix[v] = number of available channels with index < v. An interval of
+/// channels maps to an interval of compact indices (possibly empty), which
+/// is how Section V's right-vertex deletion preserves convexity.
+graph::Interval compact_interval(const graph::Interval& iv,
+                                 const std::vector<std::int32_t>& prefix) {
+  const auto lo = prefix[static_cast<std::size_t>(iv.begin)];
+  const auto hi = prefix[static_cast<std::size_t>(iv.end) + 1] - 1;
+  return graph::Interval{lo, hi};
+}
+
+}  // namespace
+
+OutputPortScheduler::OutputPortScheduler(ConversionScheme scheme,
+                                         Algorithm algorithm,
+                                         Arbitration arbitration,
+                                         std::uint64_t seed,
+                                         util::ThreadPool* pool)
+    : scheme_(std::move(scheme)),
+      algorithm_(resolve(algorithm, scheme_)),
+      arbitration_(arbitration),
+      rng_(seed),
+      pool_(pool),
+      converter_budget_(scheme_.k()),
+      rr_cursor_(static_cast<std::size_t>(scheme_.k()), 0) {
+  switch (algorithm_) {
+    case Algorithm::kFirstAvailable:
+    case Algorithm::kGlover:
+      WDM_CHECK_MSG(scheme_.kind() == ConversionKind::kNonCircular,
+                    "this algorithm requires non-circular conversion");
+      break;
+    case Algorithm::kBreakFirstAvailable:
+    case Algorithm::kApproxBfa:
+      WDM_CHECK_MSG(scheme_.kind() == ConversionKind::kCircular &&
+                        !scheme_.is_full_range(),
+                    "this algorithm requires circular, non-full conversion");
+      break;
+    case Algorithm::kFullRange:
+      WDM_CHECK_MSG(scheme_.is_full_range(),
+                    "full-range rule requires a full-range scheme");
+      break;
+    case Algorithm::kHopcroftKarp:
+    case Algorithm::kGreedyMaximal:
+    case Algorithm::kSparseBudgeted:
+      break;
+    case Algorithm::kAuto:
+      WDM_CHECK_MSG(false, "kAuto must have been resolved");
+      break;
+  }
+}
+
+void OutputPortScheduler::set_converter_budget(std::int32_t budget) {
+  WDM_CHECK_MSG(budget >= 0, "converter budget must be nonnegative");
+  converter_budget_ = budget;
+}
+
+ChannelAssignment OutputPortScheduler::assign_channels(
+    const RequestVector& requests, std::span<const std::uint8_t> available) {
+  switch (algorithm_) {
+    case Algorithm::kFirstAvailable:
+      return first_available(requests, scheme_, available);
+    case Algorithm::kBreakFirstAvailable:
+      return break_first_available(requests, scheme_, available, pool_);
+    case Algorithm::kApproxBfa:
+      return approx_break_first_available(requests, scheme_, available)
+          .assignment;
+    case Algorithm::kFullRange:
+      return full_range_schedule(requests, available);
+    case Algorithm::kSparseBudgeted:
+      return sparse_converter_schedule(requests, scheme_, converter_budget_,
+                                       available)
+          .assignment;
+    case Algorithm::kGlover: {
+      // Compact occupied channels away so the graph stays convex, run
+      // Glover's algorithm, then map matched columns back to channels.
+      const std::int32_t k = scheme_.k();
+      std::vector<std::int32_t> prefix(static_cast<std::size_t>(k) + 1, 0);
+      std::vector<Channel> channel_of_compact;
+      for (Channel v = 0; v < k; ++v) {
+        const bool free =
+            available.empty() || available[static_cast<std::size_t>(v)] != 0;
+        prefix[static_cast<std::size_t>(v) + 1] =
+            prefix[static_cast<std::size_t>(v)] + (free ? 1 : 0);
+        if (free) channel_of_compact.push_back(v);
+      }
+      const auto wavelengths = requests.to_sorted_wavelengths();
+      std::vector<graph::Interval> intervals;
+      intervals.reserve(wavelengths.size());
+      for (const Wavelength w : wavelengths) {
+        intervals.push_back(
+            compact_interval(scheme_.adjacency_plain(w), prefix));
+      }
+      const graph::ConvexBipartiteGraph convex(
+          std::move(intervals),
+          static_cast<graph::VertexId>(channel_of_compact.size()));
+      const graph::Matching m = graph::glover_maximum_matching(convex);
+      ChannelAssignment out(k);
+      for (graph::VertexId col = 0;
+           col < static_cast<graph::VertexId>(channel_of_compact.size());
+           ++col) {
+        const graph::VertexId j = m.left_of(col);
+        if (j == graph::kNoVertex) continue;
+        const Channel v = channel_of_compact[static_cast<std::size_t>(col)];
+        out.source[static_cast<std::size_t>(v)] =
+            wavelengths[static_cast<std::size_t>(j)];
+        out.granted += 1;
+      }
+      return out;
+    }
+    case Algorithm::kHopcroftKarp:
+    case Algorithm::kGreedyMaximal: {
+      std::vector<std::uint8_t> mask(available.begin(), available.end());
+      const RequestGraph g(scheme_, requests, std::move(mask));
+      const graph::Matching m =
+          algorithm_ == Algorithm::kHopcroftKarp
+              ? graph::hopcroft_karp(g.to_bipartite())
+              : graph::greedy_maximal_matching(g.to_bipartite(), rng_);
+      ChannelAssignment out(scheme_.k());
+      for (Channel v = 0; v < scheme_.k(); ++v) {
+        const graph::VertexId j = m.left_of(v);
+        if (j == graph::kNoVertex) continue;
+        out.source[static_cast<std::size_t>(v)] = g.wavelength_of(j);
+        out.granted += 1;
+      }
+      return out;
+    }
+    case Algorithm::kAuto:
+      break;
+  }
+  util::check_failed("algorithm dispatch", __FILE__, __LINE__, "unreachable");
+}
+
+std::vector<PortDecision> OutputPortScheduler::schedule(
+    std::span<const Request> requests, std::span<const std::uint8_t> available) {
+  const std::int32_t k = scheme_.k();
+  RequestVector rv(k);
+  for (const auto& r : requests) rv.add(r.wavelength);
+
+  const ChannelAssignment assignment = assign_channels(rv, available);
+
+  // Channels won by each wavelength, in increasing channel order.
+  std::vector<std::vector<Channel>> channels_won(static_cast<std::size_t>(k));
+  for (Channel v = 0; v < k; ++v) {
+    const Wavelength w = assignment.source[static_cast<std::size_t>(v)];
+    if (w != kNone) channels_won[static_cast<std::size_t>(w)].push_back(v);
+  }
+
+  // Requests of each wavelength, in arrival (input) order.
+  std::vector<std::vector<std::size_t>> members(static_cast<std::size_t>(k));
+  for (std::size_t idx = 0; idx < requests.size(); ++idx) {
+    members[static_cast<std::size_t>(requests[idx].wavelength)].push_back(idx);
+  }
+
+  std::vector<PortDecision> decisions(requests.size());
+  for (Wavelength w = 0; w < k; ++w) {
+    auto& group = members[static_cast<std::size_t>(w)];
+    const auto& won = channels_won[static_cast<std::size_t>(w)];
+    if (won.empty()) continue;
+    WDM_DCHECK(won.size() <= group.size());
+
+    // Arbitration: choose |won| winners among the group (Section III:
+    // "a random selecting or a round-robin scheduling procedure").
+    std::vector<std::size_t> winners;
+    winners.reserve(won.size());
+    switch (arbitration_) {
+      case Arbitration::kFifo:
+        winners.assign(group.begin(),
+                       group.begin() + static_cast<std::ptrdiff_t>(won.size()));
+        break;
+      case Arbitration::kRoundRobin: {
+        auto& cursor = rr_cursor_[static_cast<std::size_t>(w)];
+        const std::size_t n = group.size();
+        for (std::size_t t = 0; t < won.size(); ++t) {
+          winners.push_back(group[(cursor + t) % n]);
+        }
+        cursor = static_cast<std::uint32_t>((cursor + won.size()) % n);
+        break;
+      }
+      case Arbitration::kRandom: {
+        rng_.shuffle(group);
+        winners.assign(group.begin(),
+                       group.begin() + static_cast<std::ptrdiff_t>(won.size()));
+        break;
+      }
+    }
+    for (std::size_t t = 0; t < won.size(); ++t) {
+      decisions[winners[t]] = PortDecision{true, won[t]};
+    }
+  }
+  return decisions;
+}
+
+}  // namespace wdm::core

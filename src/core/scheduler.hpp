@@ -1,0 +1,93 @@
+// Per-output-fiber scheduler: algorithm dispatch plus fairness arbitration.
+//
+// This is the component the paper's Section I sketches: each output fiber
+// runs its own scheduler, whose input is the requests destined to that fiber
+// in the current slot and whose output is grant/reject plus an assigned
+// channel per granted request. The matching kernels decide how many requests
+// of each *wavelength* win (that alone fixes the matching size); which
+// individual same-wavelength request wins is then a fairness decision made
+// by random or round-robin arbitration, as the paper recommends following
+// PIM [7] and iSLIP [8].
+//
+// Besides the paper's algorithms, the scheduler can run the generic
+// maximum-matching baselines (Hopcroft–Karp [1], Glover's algorithm [2]) on
+// the explicit request graph — the comparison targets of experiments E1/E2.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/channel_assignment.hpp"
+#include "core/conversion.hpp"
+#include "core/request.hpp"
+#include "util/rng.hpp"
+#include "util/threadpool.hpp"
+
+namespace wdm::core {
+
+enum class Algorithm : std::uint8_t {
+  kAuto,                 ///< pick by scheme: FA, BFA, or full-range
+  kFirstAvailable,       ///< Table 2 (non-circular), O(k)
+  kBreakFirstAvailable,  ///< Table 3 (circular), O(dk)
+  kApproxBfa,            ///< Section IV.C single-break, O(k)
+  kFullRange,            ///< trivial full-range rule
+  kHopcroftKarp,         ///< baseline [1] on the explicit request graph
+  kGlover,               ///< baseline Table 1 (non-circular only)
+  kGreedyMaximal,        ///< ablation: maximal (not maximum) greedy matching
+  kSparseBudgeted,       ///< sparse conversion: <= converter_budget conversions
+};
+
+enum class Arbitration : std::uint8_t {
+  kFifo,        ///< earliest request of the wavelength wins
+  kRoundRobin,  ///< rotating cursor per wavelength (iSLIP-style)
+  kRandom,      ///< uniform random winners (PIM-style)
+};
+
+/// Grant decision for one request, parallel to the schedule() input.
+struct PortDecision {
+  bool granted = false;
+  Channel channel = kNone;
+};
+
+class OutputPortScheduler {
+ public:
+  /// `pool`, if given, parallelises BFA's d candidate breaks.
+  explicit OutputPortScheduler(ConversionScheme scheme,
+                               Algorithm algorithm = Algorithm::kAuto,
+                               Arbitration arbitration = Arbitration::kRoundRobin,
+                               std::uint64_t seed = 1,
+                               util::ThreadPool* pool = nullptr);
+
+  const ConversionScheme& scheme() const noexcept { return scheme_; }
+  /// The concrete algorithm after kAuto resolution.
+  Algorithm algorithm() const noexcept { return algorithm_; }
+  Arbitration arbitration() const noexcept { return arbitration_; }
+  std::int32_t k() const noexcept { return scheme_.k(); }
+
+  /// Converter pool size for kSparseBudgeted (conversions per slot this
+  /// fiber may use). Ignored by the other algorithms, whose Figure-1
+  /// architecture has a dedicated converter per channel.
+  void set_converter_budget(std::int32_t budget);
+  std::int32_t converter_budget() const noexcept { return converter_budget_; }
+
+  /// Channel-level schedule (the matching kernel only, no identities).
+  ChannelAssignment assign_channels(const RequestVector& requests,
+                                    std::span<const std::uint8_t> available = {});
+
+  /// Full schedule of one slot: grant/reject + channel per request.
+  /// `available` masks occupied channels (Section V); empty = all free.
+  std::vector<PortDecision> schedule(std::span<const Request> requests,
+                                     std::span<const std::uint8_t> available = {});
+
+ private:
+  ConversionScheme scheme_;
+  Algorithm algorithm_;
+  Arbitration arbitration_;
+  util::Rng rng_;
+  util::ThreadPool* pool_;
+  std::int32_t converter_budget_;
+  std::vector<std::uint32_t> rr_cursor_;  // per-wavelength round-robin state
+};
+
+}  // namespace wdm::core

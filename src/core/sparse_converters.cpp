@@ -1,0 +1,38 @@
+#include "core/sparse_converters.hpp"
+
+#include "core/min_conversion.hpp"
+#include "core/request_graph.hpp"
+#include "graph/mincost_matching.hpp"
+#include "util/check.hpp"
+
+namespace wdm::core {
+
+SparseConverterResult sparse_converter_schedule(
+    const RequestVector& requests, const ConversionScheme& scheme,
+    std::int32_t converter_budget, std::span<const std::uint8_t> available) {
+  WDM_CHECK_MSG(requests.k() == scheme.k(),
+                "request vector and scheme disagree on k");
+  WDM_CHECK_MSG(converter_budget >= 0, "converter budget must be nonnegative");
+
+  std::vector<std::uint8_t> mask(available.begin(), available.end());
+  const RequestGraph g(scheme, requests, std::move(mask));
+  const auto bipartite = g.to_bipartite();
+  const auto cost = [&g](graph::VertexId a, graph::VertexId b) -> std::int32_t {
+    return g.wavelength_of(a) == static_cast<Wavelength>(b) ? 0 : 1;
+  };
+  const auto costed =
+      graph::budgeted_min_cost_matching(bipartite, cost, converter_budget);
+
+  SparseConverterResult out{ChannelAssignment(scheme.k()), 0};
+  for (Channel u = 0; u < scheme.k(); ++u) {
+    const graph::VertexId j = costed.matching.left_of(u);
+    if (j == graph::kNoVertex) continue;
+    out.assignment.source[static_cast<std::size_t>(u)] = g.wavelength_of(j);
+    out.assignment.granted += 1;
+  }
+  out.conversions = conversions_used(out.assignment);
+  WDM_DCHECK(out.conversions <= converter_budget);
+  return out;
+}
+
+}  // namespace wdm::core

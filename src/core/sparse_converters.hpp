@@ -1,0 +1,39 @@
+// Sparse wavelength conversion: scheduling with a converter budget.
+//
+// The Figure-1 architecture dedicates one converter to every output channel
+// (N*k converters). The sparse-conversion literature the paper builds on
+// (Ramaswami & Sasaki [13], Tripathi & Sivarajan [11]) asks how much of that
+// hardware is actually needed: give each output fiber a *pool* of C shared
+// converters; a grant whose source wavelength differs from its channel
+// consumes one, straight-through grants consume none.
+//
+// Scheduling then maximises granted requests subject to at most C
+// conversions — a budgeted matching problem, solved exactly here via
+// successive cheapest augmenting paths (cardinality first, conversions as
+// cost). Experiment E13 sweeps C and shows the classic sparse-conversion
+// result: a small pool recovers nearly the full-converter throughput.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/channel_assignment.hpp"
+#include "core/conversion.hpp"
+#include "core/request.hpp"
+
+namespace wdm::core {
+
+struct SparseConverterResult {
+  ChannelAssignment assignment;
+  std::int32_t conversions = 0;  ///< converters consumed (<= budget)
+};
+
+/// Largest schedule using at most `converter_budget` wavelength conversions
+/// on this output fiber; among such schedules, one using the fewest.
+/// `converter_budget >= k` is equivalent to the unconstrained maximum.
+SparseConverterResult sparse_converter_schedule(
+    const RequestVector& requests, const ConversionScheme& scheme,
+    std::int32_t converter_budget,
+    std::span<const std::uint8_t> available = {});
+
+}  // namespace wdm::core

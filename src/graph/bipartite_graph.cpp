@@ -1,0 +1,32 @@
+#include "graph/bipartite_graph.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace wdm::graph {
+
+BipartiteGraph::BipartiteGraph(VertexId n_left, VertexId n_right)
+    : n_right_(n_right) {
+  WDM_CHECK_MSG(n_left >= 0 && n_right >= 0, "vertex counts must be nonnegative");
+  adj_.resize(static_cast<std::size_t>(n_left));
+}
+
+void BipartiteGraph::add_edge(VertexId a, VertexId b) {
+  WDM_CHECK_MSG(a >= 0 && a < n_left(), "left vertex out of range");
+  WDM_CHECK_MSG(b >= 0 && b < n_right_, "right vertex out of range");
+  adj_[static_cast<std::size_t>(a)].push_back(b);
+  n_edges_ += 1;
+}
+
+const std::vector<VertexId>& BipartiteGraph::neighbors(VertexId a) const {
+  WDM_CHECK_MSG(a >= 0 && a < n_left(), "left vertex out of range");
+  return adj_[static_cast<std::size_t>(a)];
+}
+
+bool BipartiteGraph::has_edge(VertexId a, VertexId b) const {
+  const auto& nb = neighbors(a);
+  return std::find(nb.begin(), nb.end(), b) != nb.end();
+}
+
+}  // namespace wdm::graph

@@ -1,0 +1,49 @@
+// General bipartite graphs.
+//
+// This is the substrate the paper compares against: request graphs are
+// bipartite graphs between connection requests (left) and output wavelength
+// channels (right), and the generic maximum-matching algorithms
+// (Hopcroft–Karp, Kuhn) operate on this representation. The specialised
+// schedulers in src/core never materialise such a graph — that is exactly the
+// point of the paper — but the tests use this form as an oracle.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace wdm::graph {
+
+/// Vertex index within one side of a bipartite graph.
+using VertexId = std::int32_t;
+
+/// Sentinel for "not matched" / "no vertex".
+inline constexpr VertexId kNoVertex = -1;
+
+class BipartiteGraph {
+ public:
+  /// Creates a graph with `n_left` left and `n_right` right vertices, no edges.
+  BipartiteGraph(VertexId n_left, VertexId n_right);
+
+  VertexId n_left() const noexcept { return static_cast<VertexId>(adj_.size()); }
+  VertexId n_right() const noexcept { return n_right_; }
+  std::size_t n_edges() const noexcept { return n_edges_; }
+
+  /// Adds edge (a, b); duplicate edges are allowed but never useful here.
+  void add_edge(VertexId a, VertexId b);
+
+  /// Right-side neighbours of left vertex a, in insertion order.
+  const std::vector<VertexId>& neighbors(VertexId a) const;
+
+  /// Linear-scan membership test (adjacency lists are short: |adj| <= d).
+  bool has_edge(VertexId a, VertexId b) const;
+
+  /// Degree of left vertex a.
+  std::size_t degree(VertexId a) const { return neighbors(a).size(); }
+
+ private:
+  std::vector<std::vector<VertexId>> adj_;
+  VertexId n_right_;
+  std::size_t n_edges_ = 0;
+};
+
+}  // namespace wdm::graph

@@ -1,0 +1,53 @@
+#include "graph/convex.hpp"
+
+#include "util/check.hpp"
+
+namespace wdm::graph {
+
+ConvexBipartiteGraph::ConvexBipartiteGraph(std::vector<Interval> intervals,
+                                           VertexId n_right)
+    : intervals_(std::move(intervals)), n_right_(n_right) {
+  WDM_CHECK_MSG(n_right >= 0, "right vertex count must be nonnegative");
+  for (const auto& iv : intervals_) {
+    if (iv.empty()) continue;
+    WDM_CHECK_MSG(iv.begin >= 0 && iv.end < n_right,
+                  "interval endpoints out of range");
+  }
+}
+
+const Interval& ConvexBipartiteGraph::interval(VertexId a) const {
+  WDM_CHECK_MSG(a >= 0 && a < n_left(), "left vertex out of range");
+  return intervals_[static_cast<std::size_t>(a)];
+}
+
+std::size_t ConvexBipartiteGraph::n_edges() const noexcept {
+  std::size_t total = 0;
+  for (const auto& iv : intervals_) total += static_cast<std::size_t>(iv.length());
+  return total;
+}
+
+bool ConvexBipartiteGraph::is_staircase() const noexcept {
+  // Empty intervals are transparent: they impose no ordering constraint.
+  VertexId prev_begin = 0;
+  VertexId prev_end = -1;
+  bool seen = false;
+  for (const auto& iv : intervals_) {
+    if (iv.empty()) continue;
+    if (seen && (iv.begin < prev_begin || iv.end < prev_end)) return false;
+    prev_begin = iv.begin;
+    prev_end = iv.end;
+    seen = true;
+  }
+  return true;
+}
+
+BipartiteGraph ConvexBipartiteGraph::to_bipartite() const {
+  BipartiteGraph g(n_left(), n_right_);
+  for (VertexId a = 0; a < n_left(); ++a) {
+    const auto& iv = intervals_[static_cast<std::size_t>(a)];
+    for (VertexId b = iv.begin; b <= iv.end; ++b) g.add_edge(a, b);
+  }
+  return g;
+}
+
+}  // namespace wdm::graph

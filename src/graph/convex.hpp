@@ -1,0 +1,57 @@
+// Convex bipartite graphs (Glover 1967, as used in Section III of the paper).
+//
+// A bipartite graph is convex when, under some ordering of the right side,
+// every left vertex's adjacency set is an interval [begin, end]. Request
+// graphs of non-circular symmetric wavelength conversion are convex with the
+// natural wavelength ordering, and additionally *staircase*: both begin and
+// end are nondecreasing in the left vertex order. The staircase property is
+// what lets Glover's min-END rule collapse to the paper's First Available
+// rule (Theorem 1).
+#pragma once
+
+#include <vector>
+
+#include "graph/bipartite_graph.hpp"
+
+namespace wdm::graph {
+
+/// Closed adjacency interval of one left vertex; empty() when begin > end.
+struct Interval {
+  VertexId begin = 0;
+  VertexId end = -1;
+
+  bool empty() const noexcept { return begin > end; }
+  bool contains(VertexId b) const noexcept { return begin <= b && b <= end; }
+  VertexId length() const noexcept { return empty() ? 0 : end - begin + 1; }
+
+  friend bool operator==(const Interval&, const Interval&) = default;
+};
+
+class ConvexBipartiteGraph {
+ public:
+  /// `intervals[a]` is the adjacency interval of left vertex a over right
+  /// vertices [0, n_right). Empty intervals model isolated requests.
+  ConvexBipartiteGraph(std::vector<Interval> intervals, VertexId n_right);
+
+  VertexId n_left() const noexcept {
+    return static_cast<VertexId>(intervals_.size());
+  }
+  VertexId n_right() const noexcept { return n_right_; }
+  const Interval& interval(VertexId a) const;
+  const std::vector<Interval>& intervals() const noexcept { return intervals_; }
+
+  std::size_t n_edges() const noexcept;
+
+  /// True when both BEGIN and END are nondecreasing in left order — the
+  /// structure request graphs of non-circular conversion always have.
+  bool is_staircase() const noexcept;
+
+  /// Materialises the explicit edge list (for the generic oracles).
+  BipartiteGraph to_bipartite() const;
+
+ private:
+  std::vector<Interval> intervals_;
+  VertexId n_right_;
+};
+
+}  // namespace wdm::graph

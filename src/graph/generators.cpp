@@ -1,0 +1,61 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace wdm::graph {
+
+BipartiteGraph random_bipartite(util::Rng& rng, VertexId n_left,
+                                VertexId n_right, double p) {
+  BipartiteGraph g(n_left, n_right);
+  for (VertexId a = 0; a < n_left; ++a) {
+    for (VertexId b = 0; b < n_right; ++b) {
+      if (rng.bernoulli(p)) g.add_edge(a, b);
+    }
+  }
+  return g;
+}
+
+ConvexBipartiteGraph random_convex(util::Rng& rng, VertexId n_left,
+                                   VertexId n_right, VertexId max_width,
+                                   double empty_prob) {
+  WDM_CHECK(n_right > 0 && max_width > 0);
+  std::vector<Interval> intervals(static_cast<std::size_t>(n_left));
+  for (auto& iv : intervals) {
+    if (rng.bernoulli(empty_prob)) continue;  // leave empty
+    const auto begin =
+        static_cast<VertexId>(rng.uniform_below(static_cast<std::uint64_t>(n_right)));
+    const auto width = static_cast<VertexId>(
+        1 + rng.uniform_below(static_cast<std::uint64_t>(max_width)));
+    iv.begin = begin;
+    iv.end = std::min<VertexId>(n_right - 1, begin + width - 1);
+  }
+  return ConvexBipartiteGraph(std::move(intervals), n_right);
+}
+
+ConvexBipartiteGraph random_staircase(util::Rng& rng, VertexId n_left,
+                                      VertexId n_right, VertexId max_width) {
+  WDM_CHECK(n_right > 0 && max_width > 0);
+  // Draw begins and sort; force END monotonicity by clamping against the
+  // previous end (still an arbitrary staircase instance, just correlated).
+  std::vector<VertexId> begins(static_cast<std::size_t>(n_left));
+  for (auto& b : begins) {
+    b = static_cast<VertexId>(rng.uniform_below(static_cast<std::uint64_t>(n_right)));
+  }
+  std::sort(begins.begin(), begins.end());
+
+  std::vector<Interval> intervals(static_cast<std::size_t>(n_left));
+  VertexId prev_end = -1;
+  for (std::size_t i = 0; i < begins.size(); ++i) {
+    const auto width = static_cast<VertexId>(
+        1 + rng.uniform_below(static_cast<std::uint64_t>(max_width)));
+    const VertexId end = std::min<VertexId>(
+        n_right - 1, std::max<VertexId>(begins[i] + width - 1, prev_end));
+    intervals[i] = Interval{begins[i], end};
+    prev_end = end;
+  }
+  return ConvexBipartiteGraph(std::move(intervals), n_right);
+}
+
+}  // namespace wdm::graph

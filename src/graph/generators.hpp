@@ -1,0 +1,26 @@
+// Random instance generators for property tests and microbenchmarks.
+#pragma once
+
+#include "graph/bipartite_graph.hpp"
+#include "graph/convex.hpp"
+#include "util/rng.hpp"
+
+namespace wdm::graph {
+
+/// Erdős–Rényi bipartite graph: each of the n_left * n_right edges present
+/// independently with probability p.
+BipartiteGraph random_bipartite(util::Rng& rng, VertexId n_left,
+                                VertexId n_right, double p);
+
+/// Random convex graph: each left vertex gets an independent interval with
+/// width in [1, max_width]; `empty_prob` of them are isolated.
+ConvexBipartiteGraph random_convex(util::Rng& rng, VertexId n_left,
+                                   VertexId n_right, VertexId max_width,
+                                   double empty_prob = 0.0);
+
+/// Random *staircase* convex graph: BEGIN and END nondecreasing in left
+/// order, as in request graphs of non-circular conversion.
+ConvexBipartiteGraph random_staircase(util::Rng& rng, VertexId n_left,
+                                      VertexId n_right, VertexId max_width);
+
+}  // namespace wdm::graph

@@ -1,0 +1,68 @@
+#include "graph/glover.hpp"
+
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace wdm::graph {
+
+Matching glover_maximum_matching(const ConvexBipartiteGraph& g) {
+  Matching m(g.n_left(), g.n_right());
+
+  // Bucket left vertices by BEGIN so each is pushed exactly once.
+  std::vector<std::vector<VertexId>> by_begin(
+      static_cast<std::size_t>(g.n_right()));
+  for (VertexId a = 0; a < g.n_left(); ++a) {
+    const auto& iv = g.interval(a);
+    if (!iv.empty()) by_begin[static_cast<std::size_t>(iv.begin)].push_back(a);
+  }
+
+  // Min-heap of (END, vertex): Glover's rule picks the adjacent unmatched
+  // vertex with the smallest END value.
+  using Entry = std::pair<VertexId, VertexId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+
+  for (VertexId b = 0; b < g.n_right(); ++b) {
+    for (const VertexId a : by_begin[static_cast<std::size_t>(b)]) {
+      heap.emplace(g.interval(a).end, a);
+    }
+    // Vertices whose interval already ended can never be matched later.
+    while (!heap.empty() && heap.top().first < b) heap.pop();
+    if (!heap.empty()) {
+      const VertexId a = heap.top().second;
+      heap.pop();
+      WDM_DCHECK(g.interval(a).contains(b));
+      m.match(a, b);
+    }
+  }
+  return m;
+}
+
+Matching staircase_first_available(const ConvexBipartiteGraph& g) {
+  WDM_CHECK_MSG(g.is_staircase(),
+                "First Available requires a staircase convex graph");
+  Matching m(g.n_left(), g.n_right());
+
+  VertexId a = 0;
+  const VertexId n_left = g.n_left();
+  for (VertexId b = 0; b < g.n_right(); ++b) {
+    // Skip vertices that can never be matched again: empty adjacency, or an
+    // interval that ended before b (END values only grow down the list).
+    while (a < n_left &&
+           (g.interval(a).empty() || g.interval(a).end < b)) {
+      ++a;
+    }
+    if (a == n_left) break;
+    // `a` is the first unmatched left vertex; it is adjacent to b iff its
+    // interval has started. If not, no unmatched vertex is adjacent to b.
+    if (g.interval(a).begin <= b) {
+      m.match(a, b);
+      ++a;
+    }
+  }
+  return m;
+}
+
+}  // namespace wdm::graph

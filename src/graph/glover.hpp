@@ -1,0 +1,27 @@
+// Glover's algorithm (paper Table 1) and the staircase First Available rule.
+//
+// Glover's algorithm finds a maximum matching in any convex bipartite graph:
+// scan right vertices in order and match each to the adjacent unmatched left
+// vertex whose interval ENDs earliest. With a binary heap this runs in
+// O((L + k) log L) for L left and k right vertices.
+//
+// When the graph is additionally staircase (nondecreasing BEGIN and END —
+// which every non-circular request graph is), the min-END vertex is simply
+// the first unmatched adjacent vertex, giving the paper's First Available
+// Algorithm (Table 2) in O(L + k) with no heap. The O(k) request-vector form
+// used by the actual scheduler lives in src/core/first_available.*.
+#pragma once
+
+#include "graph/convex.hpp"
+#include "graph/matching.hpp"
+
+namespace wdm::graph {
+
+/// Maximum matching in a convex bipartite graph (Table 1).
+Matching glover_maximum_matching(const ConvexBipartiteGraph& g);
+
+/// First Available rule (Table 2) on a *staircase* convex graph.
+/// Precondition: g.is_staircase(); checked.
+Matching staircase_first_available(const ConvexBipartiteGraph& g);
+
+}  // namespace wdm::graph

@@ -1,0 +1,39 @@
+#include "graph/greedy.hpp"
+
+#include <numeric>
+#include <vector>
+
+namespace wdm::graph {
+
+namespace {
+
+Matching greedy_in_order(const BipartiteGraph& g,
+                         const std::vector<VertexId>& order) {
+  Matching m(g.n_left(), g.n_right());
+  for (const VertexId a : order) {
+    for (const VertexId b : g.neighbors(a)) {
+      if (!m.right_matched(b)) {
+        m.match(a, b);
+        break;
+      }
+    }
+  }
+  return m;
+}
+
+}  // namespace
+
+Matching greedy_maximal_matching(const BipartiteGraph& g) {
+  std::vector<VertexId> order(static_cast<std::size_t>(g.n_left()));
+  std::iota(order.begin(), order.end(), 0);
+  return greedy_in_order(g, order);
+}
+
+Matching greedy_maximal_matching(const BipartiteGraph& g, util::Rng& rng) {
+  std::vector<VertexId> order(static_cast<std::size_t>(g.n_left()));
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order);
+  return greedy_in_order(g, order);
+}
+
+}  // namespace wdm::graph

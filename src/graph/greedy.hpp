@@ -1,0 +1,22 @@
+// Greedy maximal matching — the ablation baseline.
+//
+// Matches each left vertex (in index or shuffled order) to its first free
+// neighbour. The result is maximal but not maximum (guaranteed only >= 1/2
+// of optimum); comparing it against the paper's exact algorithms quantifies
+// how much throughput the maximum-matching machinery actually buys
+// (experiment E8).
+#pragma once
+
+#include "graph/bipartite_graph.hpp"
+#include "graph/matching.hpp"
+#include "util/rng.hpp"
+
+namespace wdm::graph {
+
+/// Greedy maximal matching in left-vertex index order.
+Matching greedy_maximal_matching(const BipartiteGraph& g);
+
+/// Greedy maximal matching visiting left vertices in a random order.
+Matching greedy_maximal_matching(const BipartiteGraph& g, util::Rng& rng);
+
+}  // namespace wdm::graph

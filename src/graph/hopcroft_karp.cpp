@@ -1,0 +1,87 @@
+#include "graph/hopcroft_karp.hpp"
+
+#include <limits>
+#include <vector>
+
+namespace wdm::graph {
+
+namespace {
+
+constexpr std::int32_t kInf = std::numeric_limits<std::int32_t>::max();
+
+/// Scratch state reused across phases of one invocation.
+struct HkState {
+  const BipartiteGraph& g;
+  Matching& m;
+  std::vector<std::int32_t> dist;        // BFS layer of each left vertex
+  std::vector<VertexId> bfs_queue;
+
+  explicit HkState(const BipartiteGraph& graph, Matching& matching)
+      : g(graph), m(matching) {
+    dist.resize(static_cast<std::size_t>(g.n_left()));
+    bfs_queue.reserve(static_cast<std::size_t>(g.n_left()));
+  }
+
+  /// Layers free left vertices at distance 0 and alternates matched/unmatched
+  /// edges; returns true if some free right vertex is reachable.
+  bool bfs() {
+    bfs_queue.clear();
+    for (VertexId a = 0; a < g.n_left(); ++a) {
+      if (!m.left_matched(a)) {
+        dist[static_cast<std::size_t>(a)] = 0;
+        bfs_queue.push_back(a);
+      } else {
+        dist[static_cast<std::size_t>(a)] = kInf;
+      }
+    }
+    bool found_free_right = false;
+    for (std::size_t head = 0; head < bfs_queue.size(); ++head) {
+      const VertexId a = bfs_queue[head];
+      for (const VertexId b : g.neighbors(a)) {
+        const VertexId a2 = m.left_of(b);
+        if (a2 == kNoVertex) {
+          found_free_right = true;
+        } else if (dist[static_cast<std::size_t>(a2)] == kInf) {
+          dist[static_cast<std::size_t>(a2)] =
+              dist[static_cast<std::size_t>(a)] + 1;
+          bfs_queue.push_back(a2);
+        }
+      }
+    }
+    return found_free_right;
+  }
+
+  /// Finds one augmenting path from `a` along the BFS layering.
+  bool dfs(VertexId a) {
+    for (const VertexId b : g.neighbors(a)) {
+      const VertexId a2 = m.left_of(b);
+      if (a2 == kNoVertex ||
+          (dist[static_cast<std::size_t>(a2)] ==
+               dist[static_cast<std::size_t>(a)] + 1 &&
+           dfs(a2))) {
+        // b is free now: either it always was, or the successful recursive
+        // call moved a2 (its former partner) to a later edge of the path.
+        m.unmatch_left(a);  // a itself is matched when reached recursively
+        m.match(a, b);
+        return true;
+      }
+    }
+    dist[static_cast<std::size_t>(a)] = kInf;  // dead end: prune for this phase
+    return false;
+  }
+};
+
+}  // namespace
+
+Matching hopcroft_karp(const BipartiteGraph& g) {
+  Matching m(g.n_left(), g.n_right());
+  HkState state(g, m);
+  while (state.bfs()) {
+    for (VertexId a = 0; a < g.n_left(); ++a) {
+      if (!m.left_matched(a)) state.dfs(a);
+    }
+  }
+  return m;
+}
+
+}  // namespace wdm::graph

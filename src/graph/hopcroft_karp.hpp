@@ -1,0 +1,18 @@
+// Hopcroft–Karp maximum bipartite matching — the paper's named baseline [1].
+//
+// O(sqrt(V) * E). On a request graph of an N x N interconnect with k
+// wavelengths and conversion degree d this is O(N^1.5 k^1.5 d), which is what
+// the paper's O(k) / O(dk) distributed algorithms are measured against
+// (experiments E1/E2). The tests additionally use it as the optimality oracle:
+// any candidate scheduler is maximum iff it matches Hopcroft–Karp's size.
+#pragma once
+
+#include "graph/bipartite_graph.hpp"
+#include "graph/matching.hpp"
+
+namespace wdm::graph {
+
+/// Returns a maximum matching of `g`.
+Matching hopcroft_karp(const BipartiteGraph& g);
+
+}  // namespace wdm::graph

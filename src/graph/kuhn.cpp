@@ -1,0 +1,37 @@
+#include "graph/kuhn.hpp"
+
+#include <vector>
+
+namespace wdm::graph {
+
+namespace {
+
+bool try_augment(const BipartiteGraph& g, Matching& m, VertexId a,
+                 std::vector<char>& visited_right) {
+  for (const VertexId b : g.neighbors(a)) {
+    if (visited_right[static_cast<std::size_t>(b)]) continue;
+    visited_right[static_cast<std::size_t>(b)] = 1;
+    const VertexId a2 = m.left_of(b);
+    if (a2 == kNoVertex || try_augment(g, m, a2, visited_right)) {
+      // b is free now: a successful recursive call re-matched a2 elsewhere.
+      m.unmatch_left(a);  // a itself is matched when reached recursively
+      m.match(a, b);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Matching kuhn_matching(const BipartiteGraph& g) {
+  Matching m(g.n_left(), g.n_right());
+  std::vector<char> visited_right;
+  for (VertexId a = 0; a < g.n_left(); ++a) {
+    visited_right.assign(static_cast<std::size_t>(g.n_right()), 0);
+    try_augment(g, m, a, visited_right);
+  }
+  return m;
+}
+
+}  // namespace wdm::graph

@@ -1,0 +1,16 @@
+// Kuhn's augmenting-path maximum matching — a second, independent oracle.
+//
+// O(V * E), slower than Hopcroft–Karp but with an entirely different control
+// flow; the test suite cross-checks both oracles against each other so a bug
+// in one of them cannot silently validate the paper's schedulers.
+#pragma once
+
+#include "graph/bipartite_graph.hpp"
+#include "graph/matching.hpp"
+
+namespace wdm::graph {
+
+/// Returns a maximum matching of `g` via repeated DFS augmentation.
+Matching kuhn_matching(const BipartiteGraph& g);
+
+}  // namespace wdm::graph

@@ -1,0 +1,76 @@
+#include "graph/matching.hpp"
+
+#include "util/check.hpp"
+
+namespace wdm::graph {
+
+Matching::Matching(VertexId n_left, VertexId n_right) {
+  WDM_CHECK_MSG(n_left >= 0 && n_right >= 0, "vertex counts must be nonnegative");
+  right_of_left_.assign(static_cast<std::size_t>(n_left), kNoVertex);
+  left_of_right_.assign(static_cast<std::size_t>(n_right), kNoVertex);
+}
+
+void Matching::match(VertexId a, VertexId b) {
+  WDM_CHECK_MSG(a >= 0 && a < n_left(), "left vertex out of range");
+  WDM_CHECK_MSG(b >= 0 && b < n_right(), "right vertex out of range");
+  WDM_CHECK_MSG(right_of_left_[static_cast<std::size_t>(a)] == kNoVertex,
+                "left vertex already matched");
+  WDM_CHECK_MSG(left_of_right_[static_cast<std::size_t>(b)] == kNoVertex,
+                "right vertex already matched");
+  right_of_left_[static_cast<std::size_t>(a)] = b;
+  left_of_right_[static_cast<std::size_t>(b)] = a;
+  size_ += 1;
+}
+
+void Matching::unmatch_left(VertexId a) {
+  WDM_CHECK_MSG(a >= 0 && a < n_left(), "left vertex out of range");
+  const VertexId b = right_of_left_[static_cast<std::size_t>(a)];
+  if (b == kNoVertex) return;
+  right_of_left_[static_cast<std::size_t>(a)] = kNoVertex;
+  left_of_right_[static_cast<std::size_t>(b)] = kNoVertex;
+  size_ -= 1;
+}
+
+VertexId Matching::right_of(VertexId a) const {
+  WDM_CHECK_MSG(a >= 0 && a < n_left(), "left vertex out of range");
+  return right_of_left_[static_cast<std::size_t>(a)];
+}
+
+VertexId Matching::left_of(VertexId b) const {
+  WDM_CHECK_MSG(b >= 0 && b < n_right(), "right vertex out of range");
+  return left_of_right_[static_cast<std::size_t>(b)];
+}
+
+bool Matching::is_consistent() const noexcept {
+  std::size_t counted = 0;
+  for (std::size_t a = 0; a < right_of_left_.size(); ++a) {
+    const VertexId b = right_of_left_[a];
+    if (b == kNoVertex) continue;
+    if (b < 0 || b >= n_right()) return false;
+    if (left_of_right_[static_cast<std::size_t>(b)] != static_cast<VertexId>(a)) {
+      return false;
+    }
+    counted += 1;
+  }
+  for (std::size_t b = 0; b < left_of_right_.size(); ++b) {
+    const VertexId a = left_of_right_[b];
+    if (a == kNoVertex) continue;
+    if (a < 0 || a >= n_left()) return false;
+    if (right_of_left_[static_cast<std::size_t>(a)] != static_cast<VertexId>(b)) {
+      return false;
+    }
+  }
+  return counted == size_;
+}
+
+bool is_valid_matching(const BipartiteGraph& g, const Matching& m) {
+  if (m.n_left() != g.n_left() || m.n_right() != g.n_right()) return false;
+  if (!m.is_consistent()) return false;
+  for (VertexId a = 0; a < g.n_left(); ++a) {
+    const VertexId b = m.right_of(a);
+    if (b != kNoVertex && !g.has_edge(a, b)) return false;
+  }
+  return true;
+}
+
+}  // namespace wdm::graph

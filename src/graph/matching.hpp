@@ -1,0 +1,57 @@
+// Matchings in bipartite graphs.
+//
+// A matching is stored from both sides so that schedulers can answer both
+// "which channel did request a get?" and "which request occupies channel b?"
+// in O(1). `is_valid_matching` is the invariant checker used by every
+// property test: edges must exist in the graph and be vertex-disjoint
+// (Section II.B of the paper: one channel per request, one request per
+// channel under unicast traffic).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/bipartite_graph.hpp"
+
+namespace wdm::graph {
+
+class Matching {
+ public:
+  Matching(VertexId n_left, VertexId n_right);
+
+  VertexId n_left() const noexcept {
+    return static_cast<VertexId>(right_of_left_.size());
+  }
+  VertexId n_right() const noexcept {
+    return static_cast<VertexId>(left_of_right_.size());
+  }
+
+  /// Adds edge (a, b); both endpoints must currently be unmatched.
+  void match(VertexId a, VertexId b);
+  /// Removes the matched edge at a, if any.
+  void unmatch_left(VertexId a);
+
+  /// Right partner of a, or kNoVertex.
+  VertexId right_of(VertexId a) const;
+  /// Left partner of b, or kNoVertex.
+  VertexId left_of(VertexId b) const;
+
+  bool left_matched(VertexId a) const { return right_of(a) != kNoVertex; }
+  bool right_matched(VertexId b) const { return left_of(b) != kNoVertex; }
+
+  /// Number of matched edges.
+  std::size_t size() const noexcept { return size_; }
+
+  /// Internal consistency (mutual pointers agree). Cheap; used in DCHECKs.
+  bool is_consistent() const noexcept;
+
+ private:
+  std::vector<VertexId> right_of_left_;
+  std::vector<VertexId> left_of_right_;
+  std::size_t size_ = 0;
+};
+
+/// True iff every matched edge exists in `g` and the matching is consistent.
+bool is_valid_matching(const BipartiteGraph& g, const Matching& m);
+
+}  // namespace wdm::graph

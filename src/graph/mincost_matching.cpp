@@ -1,0 +1,146 @@
+#include "graph/mincost_matching.hpp"
+
+#include <deque>
+#include <limits>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace wdm::graph {
+
+namespace {
+
+constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max() / 4;
+
+/// One SPFA pass over the residual graph of the current matching.
+/// Node ids: left a and right b kept in separate distance arrays; paths
+/// alternate unmatched (left->right, +cost) and matched (right->left, -cost)
+/// edges. The SSP invariant (no negative residual cycles) guarantees
+/// termination and per-cardinality optimality.
+struct Spfa {
+  const BipartiteGraph& g;
+  const EdgeCost& cost;
+  const Matching& m;
+  std::vector<std::int64_t> dist_left;
+  std::vector<std::int64_t> dist_right;
+  std::vector<VertexId> parent_left_of_right;  // left vertex that reached b
+  std::vector<VertexId> parent_right_of_left;  // matched edge that reached a
+
+  Spfa(const BipartiteGraph& graph, const EdgeCost& c, const Matching& match)
+      : g(graph), cost(c), m(match) {
+    dist_left.assign(static_cast<std::size_t>(g.n_left()), kInf);
+    dist_right.assign(static_cast<std::size_t>(g.n_right()), kInf);
+    parent_left_of_right.assign(static_cast<std::size_t>(g.n_right()),
+                                kNoVertex);
+    parent_right_of_left.assign(static_cast<std::size_t>(g.n_left()),
+                                kNoVertex);
+  }
+
+  /// Returns the cheapest-reachable free right vertex, or kNoVertex.
+  VertexId run() {
+    std::deque<VertexId> queue;  // left vertices only
+    std::vector<char> in_queue(static_cast<std::size_t>(g.n_left()), 0);
+    for (VertexId a = 0; a < g.n_left(); ++a) {
+      if (!m.left_matched(a)) {
+        dist_left[static_cast<std::size_t>(a)] = 0;
+        queue.push_back(a);
+        in_queue[static_cast<std::size_t>(a)] = 1;
+      }
+    }
+    while (!queue.empty()) {
+      const VertexId a = queue.front();
+      queue.pop_front();
+      in_queue[static_cast<std::size_t>(a)] = 0;
+      const std::int64_t da = dist_left[static_cast<std::size_t>(a)];
+      for (const VertexId b : g.neighbors(a)) {
+        if (m.right_of(a) == b) continue;  // matched edges run right->left
+        const std::int32_t c = cost(a, b);
+        WDM_DCHECK(c >= 0);
+        const std::int64_t db = da + c;
+        if (db >= dist_right[static_cast<std::size_t>(b)]) continue;
+        dist_right[static_cast<std::size_t>(b)] = db;
+        parent_left_of_right[static_cast<std::size_t>(b)] = a;
+        // Traverse b's matched reverse edge, if any.
+        const VertexId a2 = m.left_of(b);
+        if (a2 == kNoVertex) continue;
+        const std::int64_t da2 = db - cost(a2, b);
+        if (da2 < dist_left[static_cast<std::size_t>(a2)]) {
+          dist_left[static_cast<std::size_t>(a2)] = da2;
+          parent_right_of_left[static_cast<std::size_t>(a2)] = b;
+          if (!in_queue[static_cast<std::size_t>(a2)]) {
+            queue.push_back(a2);
+            in_queue[static_cast<std::size_t>(a2)] = 1;
+          }
+        }
+      }
+    }
+    VertexId best = kNoVertex;
+    std::int64_t best_dist = kInf;
+    for (VertexId b = 0; b < g.n_right(); ++b) {
+      if (m.right_matched(b)) continue;
+      if (dist_right[static_cast<std::size_t>(b)] < best_dist) {
+        best_dist = dist_right[static_cast<std::size_t>(b)];
+        best = b;
+      }
+    }
+    return best;
+  }
+};
+
+/// Shared SSP driver: augments along cheapest paths while the budget allows.
+CostedMatching ssp_matching(const BipartiteGraph& g, const EdgeCost& cost,
+                            std::int64_t budget) {
+  CostedMatching out{Matching(g.n_left(), g.n_right()), 0};
+  Matching& m = out.matching;
+
+  for (;;) {
+    Spfa spfa(g, cost, m);
+    const VertexId end = spfa.run();
+    if (end == kNoVertex) break;  // matching is maximum
+    const std::int64_t path_cost =
+        spfa.dist_right[static_cast<std::size_t>(end)];
+    if (out.total_cost + path_cost > budget) break;  // budget exhausted
+    out.total_cost += path_cost;
+
+    // Flip the augmenting path walking back from `end`. Only matched left
+    // vertices ever receive a right-parent, so the walk terminates at the
+    // path's free left source.
+    VertexId b = end;
+    for (;;) {
+      const VertexId a = spfa.parent_left_of_right[static_cast<std::size_t>(b)];
+      WDM_DCHECK(a != kNoVertex);
+      const VertexId prev_b =
+          spfa.parent_right_of_left[static_cast<std::size_t>(a)];
+      m.unmatch_left(a);  // frees prev_b; no-op when a is the free source
+      m.match(a, b);
+      if (prev_b == kNoVertex) break;
+      b = prev_b;
+    }
+  }
+
+#ifndef NDEBUG
+  std::int64_t recomputed = 0;
+  for (VertexId a = 0; a < g.n_left(); ++a) {
+    const VertexId b = m.right_of(a);
+    if (b != kNoVertex) recomputed += cost(a, b);
+  }
+  WDM_DCHECK(recomputed == out.total_cost);
+#endif
+  return out;
+}
+
+}  // namespace
+
+CostedMatching min_cost_maximum_matching(const BipartiteGraph& g,
+                                         const EdgeCost& cost) {
+  return ssp_matching(g, cost, kInf);
+}
+
+CostedMatching budgeted_min_cost_matching(const BipartiteGraph& g,
+                                          const EdgeCost& cost,
+                                          std::int64_t budget) {
+  WDM_CHECK_MSG(budget >= 0, "budget must be nonnegative");
+  return ssp_matching(g, cost, budget);
+}
+
+}  // namespace wdm::graph

@@ -1,0 +1,83 @@
+#include "hw/arbiter.hpp"
+
+#include "util/check.hpp"
+
+namespace wdm::hw {
+
+RoundRobinArbiter::RoundRobinArbiter(std::size_t n) : n_(n) {
+  WDM_CHECK_MSG(n > 0, "arbiter needs at least one participant");
+}
+
+std::size_t RoundRobinArbiter::grant(const BitVector& requesters) {
+  WDM_CHECK_MSG(requesters.size() == n_, "requester vector size mismatch");
+  const std::size_t winner = requesters.find_first_circular(pointer_);
+  if (winner == BitVector::npos) return BitVector::npos;
+  pointer_ = (winner + 1) % n_;
+  return winner;
+}
+
+MatrixArbiter::MatrixArbiter(std::size_t n) : n_(n) {
+  WDM_CHECK_MSG(n > 0, "arbiter needs at least one participant");
+  // Initial total order: lower index beats higher index.
+  beats_.assign(n * n, 0);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = r + 1; c < n; ++c) beats_[r * n + c] = 1;
+  }
+}
+
+bool MatrixArbiter::has_priority(std::size_t row, std::size_t col) const {
+  WDM_CHECK(row < n_ && col < n_);
+  return beats_[row * n_ + col] != 0;
+}
+
+std::size_t MatrixArbiter::grant(const BitVector& requesters) {
+  WDM_CHECK_MSG(requesters.size() == n_, "requester vector size mismatch");
+  std::size_t winner = BitVector::npos;
+  for (std::size_t cand = requesters.find_first(); cand != BitVector::npos;
+       cand = requesters.find_first(cand + 1)) {
+    bool beats_all = true;
+    for (std::size_t other = requesters.find_first();
+         other != BitVector::npos; other = requesters.find_first(other + 1)) {
+      if (other == cand) continue;
+      if (!has_priority(cand, other)) {
+        beats_all = false;
+        break;
+      }
+    }
+    if (beats_all) {
+      winner = cand;
+      break;
+    }
+  }
+  // The pairwise priorities always form a total order among any subset
+  // (the matrix is kept a tournament of a linear order), so a winner exists
+  // whenever anyone requests.
+  if (winner == BitVector::npos) return BitVector::npos;
+  // Demote the winner below everyone (it keeps relative order otherwise).
+  for (std::size_t other = 0; other < n_; ++other) {
+    if (other == winner) continue;
+    beats_[winner * n_ + other] = 0;
+    beats_[other * n_ + winner] = 1;
+  }
+  return winner;
+}
+
+RandomArbiter::RandomArbiter(std::size_t n, std::uint64_t seed)
+    : n_(n), rng_(seed) {
+  WDM_CHECK_MSG(n > 0, "arbiter needs at least one participant");
+}
+
+std::size_t RandomArbiter::grant(const BitVector& requesters) {
+  WDM_CHECK_MSG(requesters.size() == n_, "requester vector size mismatch");
+  const std::size_t total = requesters.count();
+  if (total == 0) return BitVector::npos;
+  std::size_t target = static_cast<std::size_t>(rng_.uniform_below(total));
+  for (std::size_t i = requesters.find_first(); i != BitVector::npos;
+       i = requesters.find_first(i + 1)) {
+    if (target == 0) return i;
+    target -= 1;
+  }
+  return BitVector::npos;  // unreachable
+}
+
+}  // namespace wdm::hw

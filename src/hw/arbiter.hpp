@@ -1,0 +1,76 @@
+// Grant arbiters for same-wavelength contention (Section III).
+//
+// When more than one input fiber has a pending packet on the winning
+// wavelength, "to ensure fairness, a random selecting or a round-robin
+// scheduling procedure should be adopted as suggested in [7] [8]" — i.e.
+// PIM-style random or iSLIP-style round-robin arbitration. Both are modelled
+// at the register level: requesters arrive as an N-bit vector, the grant is
+// one index, and the round-robin arbiter advances its pointer past the
+// grantee exactly as an iSLIP grant pointer does.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "hw/bitvec.hpp"
+#include "util/rng.hpp"
+
+namespace wdm::hw {
+
+/// Rotating-priority (iSLIP-style) arbiter over n participants.
+class RoundRobinArbiter {
+ public:
+  explicit RoundRobinArbiter(std::size_t n);
+
+  std::size_t size() const noexcept { return n_; }
+  std::size_t pointer() const noexcept { return pointer_; }
+
+  /// Grants the first requester at or after the pointer (wrapping) and
+  /// advances the pointer one past the grantee. Returns BitVector::npos if
+  /// no one requests.
+  std::size_t grant(const BitVector& requesters);
+
+ private:
+  std::size_t n_;
+  std::size_t pointer_ = 0;
+};
+
+/// Matrix arbiter: maintains a pairwise-priority triangle; the grantee
+/// loses priority against everyone it beat. Stronger short-term fairness
+/// than a single rotating pointer (no positional bias after sparse request
+/// patterns); O(n^2) state — the standard alternative in switch datapaths.
+class MatrixArbiter {
+ public:
+  explicit MatrixArbiter(std::size_t n);
+
+  std::size_t size() const noexcept { return n_; }
+
+  /// Grants the requester that beats every other requester in the priority
+  /// matrix, then demotes it below all others. Returns npos if none.
+  std::size_t grant(const BitVector& requesters);
+
+  /// True iff row currently has priority over col.
+  bool has_priority(std::size_t row, std::size_t col) const;
+
+ private:
+  std::size_t n_;
+  std::vector<std::uint8_t> beats_;  // beats_[r*n+c] = 1: r beats c
+};
+
+/// PIM-style uniform random arbiter.
+class RandomArbiter {
+ public:
+  RandomArbiter(std::size_t n, std::uint64_t seed);
+
+  std::size_t size() const noexcept { return n_; }
+
+  /// Grants a uniformly random requester, or npos if none.
+  std::size_t grant(const BitVector& requesters);
+
+ private:
+  std::size_t n_;
+  util::Rng rng_;
+};
+
+}  // namespace wdm::hw

@@ -1,0 +1,113 @@
+#include "hw/bitvec.hpp"
+
+#include <bit>
+
+#include "util/check.hpp"
+
+namespace wdm::hw {
+
+namespace {
+constexpr std::size_t kWordBits = 64;
+
+std::size_t words_for(std::size_t bits) { return (bits + kWordBits - 1) / kWordBits; }
+}  // namespace
+
+BitVector::BitVector(std::size_t bits) : words_(words_for(bits), 0), bits_(bits) {}
+
+void BitVector::set(std::size_t i) {
+  WDM_CHECK(i < bits_);
+  words_[i / kWordBits] |= (1ULL << (i % kWordBits));
+}
+
+void BitVector::clear(std::size_t i) {
+  WDM_CHECK(i < bits_);
+  words_[i / kWordBits] &= ~(1ULL << (i % kWordBits));
+}
+
+void BitVector::assign(std::size_t i, bool value) {
+  if (value) {
+    set(i);
+  } else {
+    clear(i);
+  }
+}
+
+bool BitVector::test(std::size_t i) const {
+  WDM_CHECK(i < bits_);
+  return (words_[i / kWordBits] >> (i % kWordBits)) & 1ULL;
+}
+
+void BitVector::set_all() {
+  for (auto& w : words_) w = ~0ULL;
+  // Mask off the bits past size so count()/any() stay correct.
+  if (bits_ % kWordBits != 0 && !words_.empty()) {
+    words_.back() &= (1ULL << (bits_ % kWordBits)) - 1;
+  }
+}
+
+void BitVector::clear_all() {
+  for (auto& w : words_) w = 0;
+}
+
+std::size_t BitVector::count() const noexcept {
+  std::size_t total = 0;
+  for (const auto w : words_) total += static_cast<std::size_t>(std::popcount(w));
+  return total;
+}
+
+bool BitVector::any() const noexcept {
+  for (const auto w : words_) {
+    if (w != 0) return true;
+  }
+  return false;
+}
+
+std::size_t BitVector::find_first(std::size_t from) const noexcept {
+  if (from >= bits_) return npos;
+  std::size_t wi = from / kWordBits;
+  std::uint64_t word = words_[wi] & (~0ULL << (from % kWordBits));
+  while (true) {
+    if (word != 0) {
+      const std::size_t bit =
+          wi * kWordBits + static_cast<std::size_t>(std::countr_zero(word));
+      return bit < bits_ ? bit : npos;
+    }
+    if (++wi == word_count()) return npos;
+    word = words_[wi];
+  }
+}
+
+std::size_t BitVector::find_first_and(const BitVector& mask) const {
+  WDM_CHECK_MSG(mask.bits_ == bits_, "mask size mismatch");
+  for (std::size_t wi = 0; wi < word_count(); ++wi) {
+    const std::uint64_t word = words_[wi] & mask.words_[wi];
+    if (word != 0) {
+      const std::size_t bit =
+          wi * kWordBits + static_cast<std::size_t>(std::countr_zero(word));
+      return bit < bits_ ? bit : npos;
+    }
+  }
+  return npos;
+}
+
+std::size_t BitVector::find_first_circular(std::size_t from) const noexcept {
+  if (bits_ == 0) return npos;
+  const std::size_t hit = find_first(from % bits_);
+  if (hit != npos) return hit;
+  const std::size_t wrapped = find_first(0);
+  return wrapped;
+}
+
+BitVector& BitVector::operator&=(const BitVector& other) {
+  WDM_CHECK_MSG(other.bits_ == bits_, "size mismatch");
+  for (std::size_t wi = 0; wi < word_count(); ++wi) words_[wi] &= other.words_[wi];
+  return *this;
+}
+
+BitVector& BitVector::operator|=(const BitVector& other) {
+  WDM_CHECK_MSG(other.bits_ == bits_, "size mismatch");
+  for (std::size_t wi = 0; wi < word_count(); ++wi) words_[wi] |= other.words_[wi];
+  return *this;
+}
+
+}  // namespace wdm::hw

@@ -1,0 +1,57 @@
+// Fixed-size bit vector modelling a hardware register file.
+//
+// The paper's Section II.B implements a request graph as an Nk x 1 binary
+// register plus a k x 1 decision vector; the hardware scheduler emulates that
+// representation directly. Word-parallel find-first-set mirrors a priority
+// encoder; AND with a wired mask mirrors the conversion-feasibility gating.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace wdm::hw {
+
+class BitVector {
+ public:
+  explicit BitVector(std::size_t bits = 0);
+
+  std::size_t size() const noexcept { return bits_; }
+
+  void set(std::size_t i);
+  void clear(std::size_t i);
+  void assign(std::size_t i, bool value);
+  bool test(std::size_t i) const;
+
+  void set_all();
+  void clear_all();
+
+  std::size_t count() const noexcept;
+  bool any() const noexcept;
+  bool none() const noexcept { return !any(); }
+
+  /// Lowest set bit index at or after `from`, or npos.
+  std::size_t find_first(std::size_t from = 0) const noexcept;
+
+  /// Lowest index set in both *this and mask, or npos — a masked priority
+  /// encoder. Sizes must match.
+  std::size_t find_first_and(const BitVector& mask) const;
+
+  /// Lowest set index at or after `from`, wrapping around once — a rotating
+  /// (round-robin) priority encoder. Returns npos when empty.
+  std::size_t find_first_circular(std::size_t from) const noexcept;
+
+  BitVector& operator&=(const BitVector& other);
+  BitVector& operator|=(const BitVector& other);
+
+  friend bool operator==(const BitVector&, const BitVector&) = default;
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+ private:
+  std::size_t word_count() const noexcept { return words_.size(); }
+
+  std::vector<std::uint64_t> words_;
+  std::size_t bits_;
+};
+
+}  // namespace wdm::hw

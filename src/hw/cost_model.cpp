@@ -1,0 +1,58 @@
+#include "hw/cost_model.hpp"
+
+#include <bit>
+
+#include "util/check.hpp"
+
+namespace wdm::hw {
+
+namespace {
+
+std::uint64_t u64(std::int32_t v) { return static_cast<std::uint64_t>(v); }
+
+/// Gates of an n-input priority encoder (parallel prefix + encode).
+std::uint64_t encoder(std::uint64_t n) {
+  if (n <= 1) return 1;
+  const auto logn = static_cast<std::uint64_t>(std::bit_width(n - 1));
+  return 4 * n + n * logn / 2;
+}
+
+/// Gates of an n-input OR tree.
+std::uint64_t or_tree(std::uint64_t n) { return n > 0 ? n - 1 : 0; }
+
+}  // namespace
+
+SchedulerCost estimate_cost(std::int32_t n_fibers, std::int32_t k,
+                            std::int32_t d, bool circular, bool parallel_bfa) {
+  WDM_CHECK(n_fibers > 0 && k > 0 && d >= 1 && d <= k);
+  SchedulerCost c;
+
+  const std::uint64_t N = u64(n_fibers);
+  const std::uint64_t K = u64(k);
+  const std::uint64_t D = u64(d);
+  const auto log_n =
+      static_cast<std::uint64_t>(std::bit_width(N <= 1 ? std::uint64_t{1} : N - 1));
+
+  // Section II.B state: Nk-bit request register, k-bit summary, k decision
+  // entries of ceil(log2 N) + ceil(log2 k) bits, k arbiter pointers.
+  const auto log_k =
+      static_cast<std::uint64_t>(std::bit_width(K <= 1 ? std::uint64_t{1} : K - 1));
+  c.register_bits = N * K + K + K * (log_n + log_k) + K * log_n;
+
+  // One k-input masked priority encoder per matching unit (the conversion
+  // masks themselves are wiring, no gates).
+  c.matching_units = (circular && parallel_bfa) ? D : 1;
+  c.encoder_gates = c.matching_units * (encoder(K) + K /* mask AND row */);
+
+  // Per-wavelength OR tree over its N register bits (summary generation).
+  c.or_tree_gates = K * or_tree(N);
+
+  // Per-wavelength round-robin arbiter: rotate + encode over N requesters.
+  c.arbiter_gates = K * (encoder(N) + 2 * N);
+
+  c.total_gates =
+      c.encoder_gates + c.or_tree_gates + c.arbiter_gates + c.register_bits / 8;
+  return c;
+}
+
+}  // namespace wdm::hw

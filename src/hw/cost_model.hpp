@@ -1,0 +1,30 @@
+// First-order hardware cost model for the scheduler datapath.
+//
+// Complements the cycle counts of HwPortScheduler with *area* estimates, so
+// the serial-vs-parallel BFA trade-off the paper discusses in Section IV.B
+// ("time complexity could be reduced to O(k), but we then need d units of
+// hardware") can be quantified. All counts are in equivalent 2-input gates
+// and register bits; constants follow textbook structures (OR trees,
+// priority encoders as parallel-prefix networks, iSLIP grant arbiters).
+#pragma once
+
+#include <cstdint>
+
+namespace wdm::hw {
+
+struct SchedulerCost {
+  std::uint64_t register_bits = 0;   ///< request + decision + pointer state
+  std::uint64_t encoder_gates = 0;   ///< priority encoders
+  std::uint64_t or_tree_gates = 0;   ///< per-wavelength summary OR trees
+  std::uint64_t arbiter_gates = 0;   ///< per-wavelength round-robin arbiters
+  std::uint64_t matching_units = 0;  ///< replicated FA datapaths (BFA)
+  std::uint64_t total_gates = 0;
+};
+
+/// Cost of one output fiber's scheduler.
+/// `n_fibers` = N, `k` wavelengths, conversion degree `d`;
+/// `parallel_bfa` replicates the matching datapath d times (circular only).
+SchedulerCost estimate_cost(std::int32_t n_fibers, std::int32_t k,
+                            std::int32_t d, bool circular, bool parallel_bfa);
+
+}  // namespace wdm::hw

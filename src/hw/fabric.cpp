@@ -1,0 +1,67 @@
+#include "hw/fabric.hpp"
+
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace wdm::hw {
+
+CrosspointFabric::CrosspointFabric(std::int32_t n_fibers,
+                                   core::ConversionScheme scheme)
+    : n_fibers_(n_fibers), scheme_(std::move(scheme)) {
+  WDM_CHECK_MSG(n_fibers > 0, "need at least one fiber");
+}
+
+bool CrosspointFabric::crosspoint_exists(core::Wavelength in_wavelength,
+                                         core::Channel out_channel) const {
+  return scheme_.can_convert(in_wavelength, out_channel);
+}
+
+FabricInventory CrosspointFabric::inventory() const {
+  FabricInventory inv;
+  const auto n = static_cast<std::uint64_t>(n_fibers_);
+  const auto kk = static_cast<std::uint64_t>(scheme_.k());
+  // Crosspoints: every input channel (n*k of them) reaches, on each of the
+  // n output fibers, exactly its adjacency set.
+  std::uint64_t adjacency_total = 0;
+  for (core::Wavelength w = 0; w < scheme_.k(); ++w) {
+    adjacency_total += scheme_.adjacency_list(w).size();
+  }
+  inv.crosspoints = n * n * adjacency_total;
+  inv.full_crossbar = (n * kk) * (n * kk);
+  // Combiner fan-in: all input channels whose wavelength converts to this
+  // output channel, from all N input fibers ("Nd inputs to a combiner" for
+  // interior channels; clipped non-circular edge channels have fewer).
+  inv.combiner_fan_in = n * static_cast<std::uint64_t>(scheme_.degree());
+  inv.converters = n * kk;
+  return inv;
+}
+
+std::size_t CrosspointFabric::route(const std::vector<HwGrant>& grants) const {
+  std::vector<std::uint8_t> combiner_busy(static_cast<std::size_t>(scheme_.k()),
+                                          0);
+  std::vector<std::uint8_t> input_busy(
+      static_cast<std::size_t>(n_fibers_) *
+          static_cast<std::size_t>(scheme_.k()),
+      0);
+  for (const auto& g : grants) {
+    WDM_CHECK_MSG(g.input_fiber >= 0 && g.input_fiber < n_fibers_ &&
+                      g.wavelength >= 0 && g.wavelength < scheme_.k() &&
+                      g.channel >= 0 && g.channel < scheme_.k(),
+                  "grant endpoints out of range");
+    WDM_CHECK_MSG(crosspoint_exists(g.wavelength, g.channel),
+                  "grant uses a crosspoint the fabric does not have");
+    auto& combiner = combiner_busy[static_cast<std::size_t>(g.channel)];
+    WDM_CHECK_MSG(combiner == 0,
+                  "two signals on one combiner (output channel collision)");
+    combiner = 1;
+    auto& input = input_busy[static_cast<std::size_t>(g.input_fiber) *
+                                 static_cast<std::size_t>(scheme_.k()) +
+                             static_cast<std::size_t>(g.wavelength)];
+    WDM_CHECK_MSG(input == 0, "one input channel feeding two grants");
+    input = 1;
+  }
+  return grants.size();
+}
+
+}  // namespace wdm::hw

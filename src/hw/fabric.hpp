@@ -1,0 +1,64 @@
+// The switching fabric of Figure 1, made explicit.
+//
+// The paper's architecture: Nk demultiplexed input channels enter a
+// space-division fabric; each output wavelength channel is fed by a
+// combiner with N·d inputs ("there are Nd inputs to a combiner, but only
+// one of them may carry signal at a time"), followed by the converter and
+// the output multiplexer. The fabric is therefore a sparse crossbar: the
+// crosspoint (input channel (i, w) -> output channel (o, u)) exists iff
+// wavelength w can convert to channel u.
+//
+// This module materialises that crosspoint matrix: it validates that a
+// schedule's grants only use existing crosspoints, enforces the
+// one-signal-per-combiner and one-grant-per-input-channel constraints, and
+// reports the hardware inventory (crosspoints, combiner fan-in) that the
+// sparse fabric saves versus a full Nk x Nk crossbar — the architectural
+// payoff of limited-range conversion.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/conversion.hpp"
+#include "hw/hw_scheduler.hpp"
+
+namespace wdm::hw {
+
+/// Hardware inventory of the Figure-1 fabric.
+struct FabricInventory {
+  std::uint64_t crosspoints = 0;        ///< realised switch points
+  std::uint64_t full_crossbar = 0;      ///< (Nk)^2 reference
+  std::uint64_t combiner_fan_in = 0;    ///< inputs per output-channel combiner
+  std::uint64_t converters = 0;         ///< one per output channel (N*k)
+};
+
+class CrosspointFabric {
+ public:
+  /// Fabric for an n_fibers x n_fibers switch under `scheme`.
+  CrosspointFabric(std::int32_t n_fibers, core::ConversionScheme scheme);
+
+  std::int32_t n_fibers() const noexcept { return n_fibers_; }
+  std::int32_t k() const noexcept { return scheme_.k(); }
+
+  /// Does the crosspoint (input fiber/wavelength -> output fiber/channel)
+  /// exist? Independent of the output fiber (any input channel reaches any
+  /// output fiber); provided for symmetry and checking.
+  bool crosspoint_exists(core::Wavelength in_wavelength,
+                         core::Channel out_channel) const;
+
+  /// Hardware inventory of this fabric vs a full crossbar.
+  FabricInventory inventory() const;
+
+  /// Routes one slot's grants for one output fiber. Throws std::logic_error
+  /// if a grant uses a missing crosspoint, two grants collide on a combiner
+  /// (same output channel), or one input channel carries two grants —
+  /// i.e. it proves the schedule is physically realisable. Returns the
+  /// number of closed crosspoints.
+  std::size_t route(const std::vector<HwGrant>& grants) const;
+
+ private:
+  std::int32_t n_fibers_;
+  core::ConversionScheme scheme_;
+};
+
+}  // namespace wdm::hw

@@ -1,0 +1,275 @@
+#include "hw/hw_scheduler.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "core/breaking.hpp"
+#include "util/check.hpp"
+
+namespace wdm::hw {
+
+namespace {
+
+std::uint64_t ceil_log2(std::uint64_t n) {
+  return n <= 1 ? 0 : static_cast<std::uint64_t>(std::bit_width(n - 1));
+}
+
+}  // namespace
+
+HwPortScheduler::HwPortScheduler(core::ConversionScheme scheme,
+                                 std::int32_t n_fibers,
+                                 bool random_arbitration, std::uint64_t seed)
+    : scheme_(std::move(scheme)),
+      reg_(n_fibers, scheme_.k()),
+      available_(static_cast<std::size_t>(scheme_.k())),
+      random_arbitration_(random_arbitration) {
+  available_.set_all();
+  // Wired conversion-feasibility masks: conv_mask_[u] has bit w set iff
+  // wavelength w can be converted to channel u. Pure combinational logic in
+  // hardware; precomputed once here.
+  conv_mask_.reserve(static_cast<std::size_t>(scheme_.k()));
+  for (core::Channel u = 0; u < scheme_.k(); ++u) {
+    BitVector mask(static_cast<std::size_t>(scheme_.k()));
+    for (core::Wavelength w = 0; w < scheme_.k(); ++w) {
+      if (scheme_.can_convert(w, u)) mask.set(static_cast<std::size_t>(w));
+    }
+    conv_mask_.push_back(std::move(mask));
+  }
+  util::Rng seeder(seed);
+  for (core::Wavelength w = 0; w < scheme_.k(); ++w) {
+    rr_arbiters_.emplace_back(static_cast<std::size_t>(n_fibers));
+    rnd_arbiters_.emplace_back(static_cast<std::size_t>(n_fibers), seeder.next());
+  }
+}
+
+void HwPortScheduler::load(std::span<const core::Request> requests) {
+  reg_.load(requests);
+  cycles_ = CycleReport{};
+  cycles_.total += 1;  // parallel register latch
+}
+
+void HwPortScheduler::set_availability(std::span<const std::uint8_t> available) {
+  if (available.empty()) {
+    available_.set_all();
+    return;
+  }
+  WDM_CHECK_MSG(static_cast<std::int32_t>(available.size()) == scheme_.k(),
+                "availability mask must have one entry per channel");
+  for (core::Channel v = 0; v < scheme_.k(); ++v) {
+    available_.assign(static_cast<std::size_t>(v),
+                      available[static_cast<std::size_t>(v)] != 0);
+  }
+}
+
+bool HwPortScheduler::channel_free(core::Channel v) const {
+  return available_.test(static_cast<std::size_t>(v));
+}
+
+std::vector<HwGrant> HwPortScheduler::run() {
+  Plan plan;
+  if (scheme_.is_full_range()) {
+    plan = run_full_range();
+  } else if (scheme_.kind() == core::ConversionKind::kCircular) {
+    plan = run_break_first_available();
+  } else {
+    plan = run_first_available();
+  }
+  return commit(plan);
+}
+
+HwPortScheduler::Plan HwPortScheduler::run_first_available() {
+  // Table 2 datapath: one cycle per output channel — AND the pending-summary
+  // register with the channel's wired conversion mask and priority-encode.
+  // Consuming a grant immediately updates the summary, so the encoder's
+  // "first pending adjacent wavelength" equals the algorithm's "first
+  // adjacent left vertex".
+  Plan plan{std::vector<core::Wavelength>(static_cast<std::size_t>(k()),
+                                          core::kNone),
+            0};
+  // Scratch pending counters (hardware: per-wavelength popcount counters).
+  std::vector<std::int32_t> counts(static_cast<std::size_t>(k()), 0);
+  for (core::Wavelength w = 0; w < k(); ++w) {
+    counts[static_cast<std::size_t>(w)] =
+        static_cast<std::int32_t>(reg_.requesters(w).count());
+  }
+  BitVector pending = reg_.summary();
+  for (core::Channel u = 0; u < k(); ++u) {
+    cycles_.total += 1;
+    cycles_.channel_steps += 1;
+    core::Wavelength granted_w = core::kNone;
+    if (channel_free(u)) {
+      const std::size_t w =
+          pending.find_first_and(conv_mask_[static_cast<std::size_t>(u)]);
+      if (w != BitVector::npos) {
+        granted_w = static_cast<core::Wavelength>(w);
+        plan.source[static_cast<std::size_t>(u)] = granted_w;
+        plan.granted += 1;
+        if (--counts[w] == 0) pending.clear(w);
+      }
+    }
+    if (tracer_) {
+      tracer_(TraceEvent{TraceEvent::Phase::kMatch, cycles_.total, u,
+                         granted_w, plan.granted});
+    }
+  }
+  cycles_.critical_path = cycles_.total;
+  return plan;
+}
+
+HwPortScheduler::Plan HwPortScheduler::run_full_range() {
+  // Full-range conversion: requests are indistinguishable; serve channels in
+  // order from the first pending wavelength.
+  Plan plan{std::vector<core::Wavelength>(static_cast<std::size_t>(k()),
+                                          core::kNone),
+            0};
+  std::vector<std::int32_t> counts(static_cast<std::size_t>(k()), 0);
+  for (core::Wavelength w = 0; w < k(); ++w) {
+    counts[static_cast<std::size_t>(w)] =
+        static_cast<std::int32_t>(reg_.requesters(w).count());
+  }
+  BitVector pending = reg_.summary();
+  for (core::Channel u = 0; u < k(); ++u) {
+    cycles_.total += 1;
+    cycles_.channel_steps += 1;
+    core::Wavelength granted_w = core::kNone;
+    if (channel_free(u)) {
+      const std::size_t w = pending.find_first();
+      if (w == BitVector::npos) break;
+      granted_w = static_cast<core::Wavelength>(w);
+      plan.source[static_cast<std::size_t>(u)] = granted_w;
+      plan.granted += 1;
+      if (--counts[w] == 0) pending.clear(w);
+    }
+    if (tracer_) {
+      tracer_(TraceEvent{TraceEvent::Phase::kMatch, cycles_.total, u,
+                         granted_w, plan.granted});
+    }
+  }
+  cycles_.critical_path = cycles_.total;
+  return plan;
+}
+
+HwPortScheduler::Plan HwPortScheduler::candidate_break(
+    core::Wavelength w_i, core::Channel u, std::span<const std::int32_t> counts) {
+  // Rotated First Available over the reduced graph (Lemma 2 ordering); the
+  // per-wavelength adjacency bounds are wired functions of (w_i, u, w).
+  Plan plan{std::vector<core::Wavelength>(static_cast<std::size_t>(k()),
+                                          core::kNone),
+            1};
+  plan.source[static_cast<std::size_t>(u)] = w_i;
+
+  std::int32_t kappa = 0;
+  core::Wavelength w = w_i;
+  std::int32_t remaining = counts[static_cast<std::size_t>(w_i)] - 1;
+  graph::Interval iv = remaining > 0
+                           ? core::reduced_adjacency(scheme_, w_i, u, w)
+                           : graph::Interval{};
+  const auto advance = [&] {
+    ++kappa;
+    if (kappa == k()) return;
+    w = core::mod_k(static_cast<std::int64_t>(w_i) + kappa, k());
+    remaining = counts[static_cast<std::size_t>(w)];
+    if (remaining > 0) iv = core::reduced_adjacency(scheme_, w_i, u, w);
+  };
+
+  for (std::int32_t vp = 0; vp <= k() - 2; ++vp) {
+    cycles_.channel_steps += 1;
+    const core::Channel v = core::rotated_to_channel(u, vp, k());
+    if (!channel_free(v)) continue;
+    while (kappa < k() && (remaining == 0 || iv.empty() || iv.end < vp)) {
+      advance();
+    }
+    if (kappa == k()) break;
+    if (iv.begin <= vp) {
+      plan.source[static_cast<std::size_t>(v)] = w;
+      plan.granted += 1;
+      remaining -= 1;
+    }
+  }
+  return plan;
+}
+
+HwPortScheduler::Plan HwPortScheduler::run_break_first_available() {
+  Plan empty{std::vector<core::Wavelength>(static_cast<std::size_t>(k()),
+                                           core::kNone),
+             0};
+  // Phase 1: pick the breaking wavelength — first pending wavelength with a
+  // free adjacent channel (priority encode + wired adjacency check).
+  std::vector<std::int32_t> counts(static_cast<std::size_t>(k()), 0);
+  for (core::Wavelength w = 0; w < k(); ++w) {
+    counts[static_cast<std::size_t>(w)] =
+        static_cast<std::int32_t>(reg_.requesters(w).count());
+  }
+  core::Wavelength w_i = core::kNone;
+  std::vector<core::Channel> candidates;
+  for (std::size_t w = reg_.summary().find_first(); w != BitVector::npos;
+       w = reg_.summary().find_first(w + 1)) {
+    cycles_.total += 1;
+    for (const core::Channel v :
+         scheme_.adjacency_list(static_cast<core::Wavelength>(w))) {
+      if (channel_free(v)) candidates.push_back(v);
+    }
+    if (!candidates.empty()) {
+      w_i = static_cast<core::Wavelength>(w);
+      break;
+    }
+  }
+  if (w_i == core::kNone) {
+    cycles_.critical_path = cycles_.total;
+    return empty;
+  }
+
+  // Phase 2: evaluate all candidate breaks (d matching units in hardware).
+  std::uint64_t serial_steps = 0;
+  Plan best = empty;
+  bool first = true;
+  for (const core::Channel u : candidates) {
+    const std::uint64_t before = cycles_.channel_steps;
+    Plan plan = candidate_break(w_i, u, counts);
+    serial_steps += cycles_.channel_steps - before;
+    cycles_.candidates += 1;
+    if (first || plan.granted > best.granted) {
+      best = std::move(plan);
+      first = false;
+    }
+  }
+  // Serial: sum of candidate sweeps; parallel: one sweep + a log-depth
+  // comparator tree over the d candidate sizes.
+  const std::uint64_t compare = ceil_log2(candidates.size());
+  cycles_.critical_path = cycles_.total +
+                          static_cast<std::uint64_t>(std::max(k() - 1, 1)) +
+                          compare;
+  cycles_.total += serial_steps + candidates.size();
+  return best;
+}
+
+std::vector<HwGrant> HwPortScheduler::commit(const Plan& plan) {
+  // Commit phase: each granted channel pulls one requester of its source
+  // wavelength through that wavelength's arbiter and clears the register
+  // bit. One cycle per grant (arbiters of distinct wavelengths act in
+  // parallel, but grants of the same wavelength serialise on its arbiter).
+  std::vector<HwGrant> grants;
+  grants.reserve(static_cast<std::size_t>(plan.granted));
+  for (core::Channel v = 0; v < k(); ++v) {
+    const core::Wavelength w = plan.source[static_cast<std::size_t>(v)];
+    if (w == core::kNone) continue;
+    const BitVector requesters = reg_.requesters(w);
+    const std::size_t fiber =
+        random_arbitration_
+            ? rnd_arbiters_[static_cast<std::size_t>(w)].grant(requesters)
+            : rr_arbiters_[static_cast<std::size_t>(w)].grant(requesters);
+    WDM_CHECK_MSG(fiber != BitVector::npos,
+                  "matching granted a wavelength with no pending request");
+    reg_.consume(static_cast<std::int32_t>(fiber), w);
+    grants.push_back(HwGrant{static_cast<std::int32_t>(fiber), w, v});
+    cycles_.total += 1;
+    if (tracer_) {
+      tracer_(TraceEvent{TraceEvent::Phase::kCommit, cycles_.total, v, w,
+                         static_cast<std::int32_t>(grants.size())});
+    }
+  }
+  cycles_.critical_path += grants.size();
+  return grants;
+}
+
+}  // namespace wdm::hw

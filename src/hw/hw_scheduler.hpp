@@ -1,0 +1,114 @@
+// Register-transfer-level emulation of the per-output-fiber scheduler.
+//
+// The paper argues its algorithms "can be easily implemented in hardware"
+// with constant-time steps: each channel step is one mask (wired conversion
+// feasibility) + one priority encode (first pending wavelength) + one arbiter
+// grant + one register update. This model executes exactly those primitives
+// against the Section II.B register representation and counts clock cycles,
+// giving experiment E7 its data: ~k cycles for First Available, ~d(k-1) for
+// serial Break-and-First-Available, ~(k-1) + ceil(log2 d) with d parallel
+// matching units.
+//
+// The rotated-FA datapath here is an independent reimplementation of the
+// core kernels (counters + encoders instead of request vectors), which the
+// test suite uses for differential validation: hw grants must equal the
+// core::* matching sizes on every instance.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/conversion.hpp"
+#include "core/request.hpp"
+#include "hw/arbiter.hpp"
+#include "hw/bitvec.hpp"
+#include "hw/request_register.hpp"
+
+namespace wdm::hw {
+
+/// One committed grant: which input channel won which output channel.
+struct HwGrant {
+  std::int32_t input_fiber = 0;
+  core::Wavelength wavelength = 0;
+  core::Channel channel = 0;
+};
+
+/// One traced datapath event: a matching-phase channel step or a commit
+/// grant. `wavelength` is core::kNone when the step left the channel idle.
+struct TraceEvent {
+  enum class Phase : std::uint8_t { kMatch, kCommit };
+  Phase phase = Phase::kMatch;
+  std::uint64_t cycle = 0;
+  core::Channel channel = 0;
+  core::Wavelength wavelength = core::kNone;
+  std::int32_t granted_so_far = 0;
+};
+
+/// Clock-cycle accounting for one scheduled slot.
+struct CycleReport {
+  std::uint64_t total = 0;          ///< serial implementation
+  std::uint64_t critical_path = 0;  ///< with d parallel matching units
+  std::uint64_t channel_steps = 0;  ///< executed channel iterations
+  std::uint64_t candidates = 0;     ///< BFA candidate breaks evaluated
+};
+
+class HwPortScheduler {
+ public:
+  HwPortScheduler(core::ConversionScheme scheme, std::int32_t n_fibers,
+                  bool random_arbitration = false, std::uint64_t seed = 1);
+
+  const core::ConversionScheme& scheme() const noexcept { return scheme_; }
+  std::int32_t n_fibers() const noexcept { return reg_.n_fibers(); }
+  std::int32_t k() const noexcept { return scheme_.k(); }
+
+  /// Latches a slot's requests into the Nk-bit register (1 cycle).
+  void load(std::span<const core::Request> requests);
+
+  /// Marks occupied output channels (Section V); default all free.
+  void set_availability(std::span<const std::uint8_t> available);
+
+  /// Runs the algorithm matching the scheme (FA / BFA / full-range trivial)
+  /// and commits grants through the per-wavelength arbiters.
+  std::vector<HwGrant> run();
+
+  const CycleReport& cycles() const noexcept { return cycles_; }
+
+  /// Installs a per-event trace hook (e.g. a VCD dumper). Fires on the
+  /// matching channel steps of FA / full-range and on every commit grant;
+  /// BFA's internal candidate sweeps are not traced (they are the d
+  /// speculative matching units, whose winner commits).
+  void set_tracer(std::function<void(const TraceEvent&)> tracer) {
+    tracer_ = std::move(tracer);
+  }
+
+ private:
+  /// Tentative channel->wavelength map produced by a matching phase.
+  struct Plan {
+    std::vector<core::Wavelength> source;  // size k, kNone = idle
+    std::int32_t granted = 0;
+  };
+
+  Plan run_first_available();
+  Plan run_break_first_available();
+  Plan run_full_range();
+  /// Rotated First Available for one breaking candidate (counter datapath).
+  Plan candidate_break(core::Wavelength w_i, core::Channel u,
+                       std::span<const std::int32_t> counts);
+  std::vector<HwGrant> commit(const Plan& plan);
+  bool channel_free(core::Channel v) const;
+
+  core::ConversionScheme scheme_;
+  RequestRegister reg_;
+  BitVector available_;
+  std::vector<BitVector> conv_mask_;  // conv_mask_[u]: wavelengths reaching u
+  bool random_arbitration_;
+  std::vector<RoundRobinArbiter> rr_arbiters_;  // one per wavelength
+  std::vector<RandomArbiter> rnd_arbiters_;
+  CycleReport cycles_;
+  std::function<void(const TraceEvent&)> tracer_;
+};
+
+}  // namespace wdm::hw

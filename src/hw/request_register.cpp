@@ -1,0 +1,68 @@
+#include "hw/request_register.hpp"
+
+#include "util/check.hpp"
+
+namespace wdm::hw {
+
+RequestRegister::RequestRegister(std::int32_t n_fibers, std::int32_t k)
+    : n_fibers_(n_fibers),
+      k_(k),
+      bits_(static_cast<std::size_t>(n_fibers) * static_cast<std::size_t>(k)),
+      summary_(static_cast<std::size_t>(k)) {
+  WDM_CHECK_MSG(n_fibers > 0 && k > 0, "register dimensions must be positive");
+}
+
+std::size_t RequestRegister::bit_index(std::int32_t fiber,
+                                       core::Wavelength w) const {
+  WDM_CHECK(fiber >= 0 && fiber < n_fibers_);
+  WDM_CHECK(w >= 0 && w < k_);
+  return static_cast<std::size_t>(fiber) * static_cast<std::size_t>(k_) +
+         static_cast<std::size_t>(w);
+}
+
+void RequestRegister::load(std::span<const core::Request> requests) {
+  clear();
+  for (const auto& r : requests) {
+    bits_.set(bit_index(r.input_fiber, r.wavelength));
+    summary_.set(static_cast<std::size_t>(r.wavelength));
+  }
+}
+
+void RequestRegister::clear() {
+  bits_.clear_all();
+  summary_.clear_all();
+}
+
+bool RequestRegister::pending(std::int32_t fiber, core::Wavelength w) const {
+  return bits_.test(bit_index(fiber, w));
+}
+
+bool RequestRegister::wavelength_pending(core::Wavelength w) const {
+  WDM_CHECK(w >= 0 && w < k_);
+  return summary_.test(static_cast<std::size_t>(w));
+}
+
+BitVector RequestRegister::requesters(core::Wavelength w) const {
+  WDM_CHECK(w >= 0 && w < k_);
+  BitVector out(static_cast<std::size_t>(n_fibers_));
+  for (std::int32_t fiber = 0; fiber < n_fibers_; ++fiber) {
+    if (bits_.test(bit_index(fiber, w))) out.set(static_cast<std::size_t>(fiber));
+  }
+  return out;
+}
+
+void RequestRegister::consume(std::int32_t fiber, core::Wavelength w) {
+  const std::size_t idx = bit_index(fiber, w);
+  WDM_CHECK_MSG(bits_.test(idx), "consuming a request that is not pending");
+  bits_.clear(idx);
+  refresh_summary(w);
+}
+
+void RequestRegister::refresh_summary(core::Wavelength w) {
+  for (std::int32_t fiber = 0; fiber < n_fibers_; ++fiber) {
+    if (bits_.test(bit_index(fiber, w))) return;  // still pending somewhere
+  }
+  summary_.clear(static_cast<std::size_t>(w));
+}
+
+}  // namespace wdm::hw

@@ -1,0 +1,58 @@
+// The per-output-fiber request register (Section II.B).
+//
+// "The left side vertices of the request graph can be implemented by an
+// Nk x 1 binary vector (an Nk bit register), with element (i-1)k + j being 1
+// meaning λj on the i-th input fiber is destined for this output fiber."
+// (0-based here: bit i*k + j.) A k-bit summary register carries, for each
+// wavelength, whether *any* input fiber has a pending request on it — in
+// hardware a per-wavelength OR tree over the register slice.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/request.hpp"
+#include "hw/bitvec.hpp"
+
+namespace wdm::hw {
+
+class RequestRegister {
+ public:
+  RequestRegister(std::int32_t n_fibers, std::int32_t k);
+
+  std::int32_t n_fibers() const noexcept { return n_fibers_; }
+  std::int32_t k() const noexcept { return k_; }
+
+  /// Latches a slot's requests (set at the beginning of each time slot).
+  /// Requests must satisfy 0 <= input_fiber < N, 0 <= wavelength < k.
+  /// Duplicate (fiber, wavelength) pairs collapse into one bit, exactly as
+  /// the register representation dictates.
+  void load(std::span<const core::Request> requests);
+
+  void clear();
+
+  bool pending(std::int32_t fiber, core::Wavelength w) const;
+  /// Summary bit: does any fiber have a pending request on wavelength w?
+  bool wavelength_pending(core::Wavelength w) const;
+  const BitVector& summary() const noexcept { return summary_; }
+
+  /// Fibers with a pending request on wavelength w, as an N-bit vector —
+  /// the requester inputs of that wavelength's arbiter.
+  BitVector requesters(core::Wavelength w) const;
+
+  /// Clears one pending bit and refreshes the summary (the grant datapath).
+  void consume(std::int32_t fiber, core::Wavelength w);
+
+  std::size_t pending_count() const noexcept { return bits_.count(); }
+
+ private:
+  std::size_t bit_index(std::int32_t fiber, core::Wavelength w) const;
+  void refresh_summary(core::Wavelength w);
+
+  std::int32_t n_fibers_;
+  std::int32_t k_;
+  BitVector bits_;     // Nk bits, bit i*k + j
+  BitVector summary_;  // k bits
+};
+
+}  // namespace wdm::hw

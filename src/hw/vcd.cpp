@@ -1,0 +1,142 @@
+#include "hw/vcd.hpp"
+
+#include <ostream>
+
+#include "hw/hw_scheduler.hpp"
+#include "util/check.hpp"
+
+namespace wdm::hw {
+
+namespace {
+
+/// VCD identifier codes, shortest-first. The standard allows any printable
+/// ASCII 33..126; we skip '#' and '$' so identifiers never look like
+/// timestamps or keywords to simple downstream tooling.
+std::string id_for(std::size_t index) {
+  static constexpr char kAlphabet[] =
+      "!\"%&'()*+,-./0123456789:;<=>?@ABCDEFGHIJKLMNOPQRSTUVWXYZ[\\]^_`"
+      "abcdefghijklmnopqrstuvwxyz{|}~";
+  constexpr std::size_t kBase = sizeof(kAlphabet) - 1;
+  std::string id;
+  std::size_t n = index;
+  do {
+    id += kAlphabet[n % kBase];
+    n /= kBase;
+  } while (n > 0);
+  return id;
+}
+
+}  // namespace
+
+VcdWriter::VcdWriter(std::ostream& os, std::string module)
+    : os_(os), module_(std::move(module)) {}
+
+VcdWriter::Signal VcdWriter::add_wire(const std::string& name,
+                                      std::uint32_t width) {
+  WDM_CHECK_MSG(!begun_, "wires must be declared before begin()");
+  WDM_CHECK_MSG(width >= 1 && width <= 64, "wire width must be in [1, 64]");
+  wires_.push_back(Wire{name, width, id_for(wires_.size()), 0, false, false, 0});
+  return wires_.size() - 1;
+}
+
+void VcdWriter::begin() {
+  WDM_CHECK_MSG(!begun_, "begin() called twice");
+  begun_ = true;
+  os_ << "$timescale 1ns $end\n";
+  os_ << "$scope module " << module_ << " $end\n";
+  for (const auto& wire : wires_) {
+    os_ << "$var wire " << wire.width << ' ' << wire.id << ' ' << wire.name
+        << " $end\n";
+  }
+  os_ << "$upscope $end\n$enddefinitions $end\n$dumpvars\n";
+  for (const auto& wire : wires_) {
+    if (wire.width == 1) {
+      os_ << 'x' << wire.id << '\n';
+    } else {
+      os_ << "bx " << wire.id << '\n';
+    }
+  }
+  os_ << "$end\n";
+}
+
+void VcdWriter::set(Signal signal, std::uint64_t value) {
+  WDM_CHECK_MSG(begun_, "set() before begin()");
+  WDM_CHECK(signal < wires_.size());
+  auto& wire = wires_[signal];
+  if (wire.width < 64) value &= (1ULL << wire.width) - 1;
+  wire.pending = value;
+  wire.dirty = true;
+}
+
+void VcdWriter::emit_value(const Wire& wire, std::uint64_t value) {
+  if (wire.width == 1) {
+    os_ << (value & 1) << wire.id << '\n';
+    return;
+  }
+  os_ << 'b';
+  bool leading = true;
+  for (std::int32_t bit = static_cast<std::int32_t>(wire.width) - 1; bit >= 0;
+       --bit) {
+    const bool set_bit = (value >> bit) & 1;
+    if (set_bit) leading = false;
+    if (!leading || bit == 0) os_ << (set_bit ? '1' : '0');
+  }
+  os_ << ' ' << wire.id << '\n';
+}
+
+void VcdWriter::tick() {
+  WDM_CHECK_MSG(begun_, "tick() before begin()");
+  bool any = false;
+  for (auto& wire : wires_) {
+    if (!wire.dirty) continue;
+    if (wire.initialised && wire.pending == wire.value) {
+      wire.dirty = false;
+      continue;
+    }
+    if (!any) {
+      os_ << '#' << time_ << '\n';
+      any = true;
+    }
+    emit_value(wire, wire.pending);
+    wire.value = wire.pending;
+    wire.initialised = true;
+    wire.dirty = false;
+  }
+  time_ += 1;
+}
+
+void VcdWriter::finish() {
+  if (finished_ || !begun_) return;
+  finished_ = true;
+  os_ << '#' << time_ << '\n';
+}
+
+std::vector<HwGrant> dump_schedule_vcd(std::ostream& os, HwPortScheduler& port,
+                                       std::span<const core::Request> requests) {
+  VcdWriter vcd(os, "wdm_port_scheduler");
+  const auto phase = vcd.add_wire("phase", 1);
+  const auto channel = vcd.add_wire("channel", 16);
+  const auto wavelength = vcd.add_wire("wavelength", 16);
+  const auto granted = vcd.add_wire("granted", 16);
+  vcd.begin();
+
+  port.set_tracer([&](const TraceEvent& event) {
+    vcd.set(phase, event.phase == TraceEvent::Phase::kCommit ? 1 : 0);
+    vcd.set(channel, static_cast<std::uint64_t>(event.channel));
+    const std::uint64_t wl =
+        event.wavelength == core::kNone
+            ? std::uint64_t{0xFFFF}
+            : static_cast<std::uint64_t>(
+                  static_cast<std::uint32_t>(event.wavelength));
+    vcd.set(wavelength, wl);
+    vcd.set(granted, static_cast<std::uint64_t>(event.granted_so_far));
+    vcd.tick();
+  });
+  port.load(requests);
+  auto grants = port.run();
+  port.set_tracer(nullptr);
+  vcd.finish();
+  return grants;
+}
+
+}  // namespace wdm::hw

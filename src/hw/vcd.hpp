@@ -1,0 +1,78 @@
+// Minimal Value Change Dump (VCD, IEEE 1364 §18) writer.
+//
+// Lets the register-level scheduler emit real waveforms: declare wires,
+// advance the clock with tick(), and view the schedule in GTKWave or any
+// VCD viewer. Deliberately tiny — binary vector wires only, one timescale
+// unit per cycle — but produces standard-conforming output (validated by
+// the test suite against the grammar's key productions).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/request.hpp"
+
+namespace wdm::hw {
+
+class HwPortScheduler;
+struct HwGrant;
+
+class VcdWriter {
+ public:
+  using Signal = std::size_t;
+
+  /// Writes to `os`; `module` names the single $scope.
+  VcdWriter(std::ostream& os, std::string module);
+
+  /// Declares a wire of 1..64 bits. Must be called before begin().
+  Signal add_wire(const std::string& name, std::uint32_t width);
+
+  /// Emits the header, $enddefinitions, and a $dumpvars block with every
+  /// wire initialised to x. Must be called exactly once, before set()/tick().
+  void begin();
+
+  /// Schedules a value change to flush on the next tick(). Values are
+  /// truncated to the wire's width.
+  void set(Signal signal, std::uint64_t value);
+
+  /// Emits `#<time>` plus all pending changes, then advances time by one.
+  void tick();
+
+  /// Flushes a final timestamp. Idempotent.
+  void finish();
+
+  std::uint64_t time() const noexcept { return time_; }
+
+ private:
+  struct Wire {
+    std::string name;
+    std::uint32_t width;
+    std::string id;        // VCD identifier code
+    std::uint64_t value;   // last emitted value
+    bool initialised;      // first set() must always emit
+    bool dirty;
+    std::uint64_t pending;
+  };
+
+  void emit_value(const Wire& wire, std::uint64_t value);
+
+  std::ostream& os_;
+  std::string module_;
+  std::vector<Wire> wires_;
+  std::uint64_t time_ = 0;
+  bool begun_ = false;
+  bool finished_ = false;
+};
+
+/// Loads `requests` into `port`, runs the schedule with a VCD tracer
+/// attached, writes the waveform to `os`, and returns the grants. Wires:
+/// `phase` (0 match / 1 commit), `channel`, `wavelength` (all-ones = idle
+/// step), and the running `granted` count, one timescale unit per traced
+/// cycle.
+std::vector<HwGrant> dump_schedule_vcd(std::ostream& os, HwPortScheduler& port,
+                                       std::span<const core::Request> requests);
+
+}  // namespace wdm::hw

@@ -1,0 +1,47 @@
+#include "sim/analysis.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace wdm::sim {
+
+double binomial_pmf(std::int32_t n, double q, std::int32_t x) {
+  WDM_CHECK(n >= 0 && x >= 0 && x <= n);
+  WDM_CHECK(q >= 0.0 && q <= 1.0);
+  if (q == 0.0) return x == 0 ? 1.0 : 0.0;
+  if (q == 1.0) return x == n ? 1.0 : 0.0;
+  const double log_pmf = std::lgamma(n + 1.0) - std::lgamma(x + 1.0) -
+                         std::lgamma(n - x + 1.0) + x * std::log(q) +
+                         (n - x) * std::log1p(-q);
+  return std::exp(log_pmf);
+}
+
+double slotted_loss_no_conversion(std::int32_t n_fibers, double p) {
+  WDM_CHECK_MSG(n_fibers > 0, "need at least one fiber");
+  WDM_CHECK_MSG(p > 0.0 && p <= 1.0, "offered load must be in (0, 1]");
+  // Arrivals at one output channel: Binomial(N, p/N). One is served, the
+  // rest are lost. Per-request loss = 1 - P(channel serves) / E[arrivals].
+  const double q = p / static_cast<double>(n_fibers);
+  const double p_served =
+      1.0 - std::pow(1.0 - q, static_cast<double>(n_fibers));
+  return 1.0 - p_served / p;
+}
+
+double slotted_loss_full_range(std::int32_t n_fibers, std::int32_t k,
+                               double p) {
+  WDM_CHECK_MSG(n_fibers > 0 && k > 0, "dimensions must be positive");
+  WDM_CHECK_MSG(p > 0.0 && p <= 1.0, "offered load must be in (0, 1]");
+  // Arrivals at one output fiber: B ~ Binomial(N k, p/N); it serves
+  // min(B, k). E[B] = k p.
+  const std::int32_t trials = n_fibers * k;
+  const double q = p / static_cast<double>(n_fibers);
+  double served = 0.0;
+  for (std::int32_t b = 0; b <= trials; ++b) {
+    served += binomial_pmf(trials, q, b) * static_cast<double>(std::min(b, k));
+  }
+  const double offered = static_cast<double>(k) * p;
+  return 1.0 - served / offered;
+}
+
+}  // namespace wdm::sim

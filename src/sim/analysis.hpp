@@ -1,0 +1,35 @@
+// Closed-form loss analysis for the slotted interconnect's corner cases.
+//
+// Under Bernoulli uniform traffic (each input channel fires with probability
+// p, destination uniform over N fibers) the slotted system decomposes
+// exactly at the two extremes of conversion:
+//
+//  * d = 1 (no conversion): each output channel (fiber, wavelength) is an
+//    independent slotted loss system fed Binomial(N, p/N) arrivals and
+//    serving at most one — loss = 1 - (1 - (1 - p/N)^N) / p.
+//  * d = k (full range): a whole output fiber pools its k channels and is
+//    fed Binomial(N k, p/N) arrivals, serving at most k —
+//    loss = (E[B] - E[min(B, k)]) / E[B].
+//
+// These formulas validate the simulator analytically (test_analysis.cpp):
+// the measured loss must fall inside the batch-means CI of the closed form.
+// Limited-range 1 < d < k has no product-form solution — that is exactly
+// why the paper (and this library) simulate it.
+#pragma once
+
+#include <cstdint>
+
+namespace wdm::sim {
+
+/// Exact per-request loss probability, slotted, d = 1, Bernoulli(p) sources,
+/// uniform destinations over n_fibers. p in (0, 1].
+double slotted_loss_no_conversion(std::int32_t n_fibers, double p);
+
+/// Exact per-request loss probability, slotted, full-range conversion.
+double slotted_loss_full_range(std::int32_t n_fibers, std::int32_t k, double p);
+
+/// Binomial(n, q) probability mass at exactly x successes (numerically
+/// stable log-space evaluation; exposed for the tests).
+double binomial_pmf(std::int32_t n, double q, std::int32_t x);
+
+}  // namespace wdm::sim

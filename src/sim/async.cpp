@@ -1,0 +1,149 @@
+#include "sim/async.hpp"
+
+#include <cmath>
+#include <queue>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace wdm::sim {
+
+namespace {
+
+struct Departure {
+  double time;
+  std::int32_t fiber;
+  core::Channel channel;
+
+  bool operator>(const Departure& other) const noexcept {
+    return time > other.time;
+  }
+};
+
+double exponential(util::Rng& rng, double mean) {
+  // Inversion with u in (0, 1].
+  const double u = 1.0 - rng.uniform01();
+  return -mean * std::log(u);
+}
+
+}  // namespace
+
+AsyncReport run_async_simulation(const AsyncConfig& config) {
+  WDM_CHECK_MSG(config.n_fibers > 0, "need at least one fiber");
+  WDM_CHECK_MSG(config.load >= 0.0, "offered load must be nonnegative");
+  WDM_CHECK_MSG(config.mean_holding > 0.0, "holding time must be positive");
+  WDM_CHECK_MSG(config.arrivals > 0, "need at least one measured arrival");
+
+  const std::int32_t k = config.scheme.k();
+  const auto n_channels = static_cast<double>(config.n_fibers) *
+                          static_cast<double>(k);
+  // Total Poisson arrival rate so that per-input-channel offered load is
+  // config.load erlangs.
+  const double total_rate = n_channels * config.load / config.mean_holding;
+  WDM_CHECK_MSG(total_rate > 0.0, "offered load must be positive");
+
+  util::Rng rng(config.seed);
+  std::vector<std::vector<std::uint8_t>> busy(
+      static_cast<std::size_t>(config.n_fibers),
+      std::vector<std::uint8_t>(static_cast<std::size_t>(k), 0));
+  std::priority_queue<Departure, std::vector<Departure>, std::greater<>> heap;
+
+  double now = 0.0;           // simulation clock (last processed event)
+  double arrival_clock = 0.0; // Poisson arrival process
+  std::uint64_t busy_count = 0;
+  double busy_area = 0.0;     // integral of busy_count over the window
+  double window_start = 0.0;
+  bool measuring = false;
+  util::Proportion blocked;
+
+  const std::uint64_t total_arrivals = config.warmup + config.arrivals;
+  for (std::uint64_t n = 0; n < total_arrivals; ++n) {
+    arrival_clock += exponential(rng, 1.0 / total_rate);
+    // Release connections that depart before this arrival, integrating the
+    // busy-channel count over each inter-event interval.
+    while (!heap.empty() && heap.top().time <= arrival_clock) {
+      const auto dep = heap.top();
+      heap.pop();
+      if (measuring) {
+        busy_area += static_cast<double>(busy_count) * (dep.time - now);
+      }
+      now = dep.time;
+      busy[static_cast<std::size_t>(dep.fiber)]
+          [static_cast<std::size_t>(dep.channel)] = 0;
+      busy_count -= 1;
+    }
+    if (measuring) {
+      busy_area += static_cast<double>(busy_count) * (arrival_clock - now);
+    }
+    now = arrival_clock;
+    if (n == config.warmup) {
+      measuring = true;
+      window_start = now;
+      busy_area = 0.0;
+    }
+
+    // The arrival: uniform source wavelength, uniform destination fiber.
+    const auto w = static_cast<core::Wavelength>(
+        rng.uniform_below(static_cast<std::uint64_t>(k)));
+    const auto dest = static_cast<std::int32_t>(
+        rng.uniform_below(static_cast<std::uint64_t>(config.n_fibers)));
+
+    // FCFS channel grab: free admissible channels of the destination fiber.
+    core::Channel chosen = core::kNone;
+    if (config.policy == FitPolicy::kFirstFit) {
+      // First-fit in channel-index order (not adjacency order): scan the
+      // admissible set and keep the lowest index.
+      for (const core::Channel v : config.scheme.adjacency_list(w)) {
+        if (busy[static_cast<std::size_t>(dest)][static_cast<std::size_t>(v)]) {
+          continue;
+        }
+        if (chosen == core::kNone || v < chosen) chosen = v;
+      }
+    } else {
+      std::int32_t free_seen = 0;
+      for (const core::Channel v : config.scheme.adjacency_list(w)) {
+        if (busy[static_cast<std::size_t>(dest)][static_cast<std::size_t>(v)]) {
+          continue;
+        }
+        free_seen += 1;
+        if (rng.uniform_below(static_cast<std::uint64_t>(free_seen)) == 0) {
+          chosen = v;  // reservoir sample: uniform over free admissible
+        }
+      }
+    }
+
+    const bool is_blocked = chosen == core::kNone;
+    if (measuring) blocked.add(is_blocked);
+    if (!is_blocked) {
+      busy[static_cast<std::size_t>(dest)][static_cast<std::size_t>(chosen)] = 1;
+      busy_count += 1;
+      heap.push(Departure{now + exponential(rng, config.mean_holding), dest,
+                          chosen});
+    }
+  }
+
+  AsyncReport report;
+  report.arrivals = blocked.trials();
+  report.blocked = blocked.successes();
+  report.blocking_probability = blocked.value();
+  report.blocking_wilson_low = blocked.wilson_low();
+  report.blocking_wilson_high = blocked.wilson_high();
+  const double window = now - window_start;
+  report.utilization = window > 0.0 ? busy_area / (window * n_channels) : 0.0;
+  return report;
+}
+
+double erlang_b(std::int32_t servers, double erlangs) {
+  WDM_CHECK_MSG(servers >= 0, "server count must be nonnegative");
+  WDM_CHECK_MSG(erlangs >= 0.0, "offered traffic must be nonnegative");
+  // Stable recurrence: B(0) = 1; B(m) = a B(m-1) / (m + a B(m-1)).
+  double b = 1.0;
+  for (std::int32_t m = 1; m <= servers; ++m) {
+    b = erlangs * b / (static_cast<double>(m) + erlangs * b);
+  }
+  return b;
+}
+
+}  // namespace wdm::sim

@@ -1,0 +1,65 @@
+// Asynchronous (unslotted) operation — the wavelength-routing regime the
+// paper contrasts against in Section I: "the packet arrivals ... were
+// assumed to be asynchronous, thus eliminates the need for a scheduling
+// algorithm since the requests have a natural order and are assumed to be
+// served according to the 'first come first served' rule" [11][13][14].
+//
+// Model: a continuous-time Erlang loss system. Connection requests arrive
+// as a Poisson process, each carrying a uniformly random source wavelength
+// and destination fiber; holding times are exponential. A request is served
+// immediately (FCFS — no batching, no matching): it takes a free admissible
+// channel of its destination fiber per the conversion scheme, chosen
+// first-fit or uniformly at random, and is *blocked* (lost) if none is
+// free. Input-side blocking is not modelled, matching the single-node
+// analyses of the paper's references.
+//
+// This substrate exists so experiment E9 can show what the paper's slotted
+// scheduling buys: at equal offered load, batching a slot's requests and
+// computing a maximum matching loses fewer requests than first-come-first-
+// served channel grabbing, and the gap grows with contention.
+#pragma once
+
+#include <cstdint>
+
+#include "core/conversion.hpp"
+
+namespace wdm::sim {
+
+enum class FitPolicy : std::uint8_t {
+  kFirstFit,   ///< lowest-index free admissible channel
+  kRandomFit,  ///< uniform over free admissible channels
+};
+
+struct AsyncConfig {
+  std::int32_t n_fibers = 8;
+  core::ConversionScheme scheme = core::ConversionScheme::circular(8, 1, 1);
+  /// Offered load per input wavelength channel: arrival rate x mean holding
+  /// divided across the N*k input channels, i.e. total arrival rate is
+  /// n_fibers * k * load / mean_holding.
+  double load = 0.5;
+  double mean_holding = 1.0;  ///< exponential mean (time units)
+  FitPolicy policy = FitPolicy::kFirstFit;
+  std::uint64_t arrivals = 200000;  ///< measured arrivals
+  std::uint64_t warmup = 20000;     ///< discarded leading arrivals
+  std::uint64_t seed = 1;
+};
+
+struct AsyncReport {
+  std::uint64_t arrivals = 0;
+  std::uint64_t blocked = 0;
+  double blocking_probability = 0.0;
+  double blocking_wilson_low = 0.0;
+  double blocking_wilson_high = 0.0;
+  /// Time-averaged fraction of busy output channels (measured window).
+  double utilization = 0.0;
+};
+
+/// Runs the FCFS continuous-time loss simulation to completion.
+AsyncReport run_async_simulation(const AsyncConfig& config);
+
+/// Erlang-B blocking probability for `servers` servers at offered traffic
+/// `erlangs` — the analytic check for the full-range (M/M/k/k per fiber)
+/// and no-conversion (M/M/1/1 per channel) corners of the async model.
+double erlang_b(std::int32_t servers, double erlangs);
+
+}  // namespace wdm::sim

@@ -1,0 +1,98 @@
+// The slotted N x N WDM optical interconnect (Figure 1).
+//
+// Structure per the paper: N input fibers are demultiplexed into Nk input
+// wavelength channels; a bufferless switching fabric connects any input
+// channel to the adjacent channels (per the conversion scheme) on any output
+// fiber, where combiners + converters + a multiplexer recombine k channels
+// per output fiber. Contention resolution is the distributed scheduler: one
+// independent per-output-fiber schedule per slot.
+//
+// Connections may hold for multiple slots (Section V). Two policies:
+//  * kNoDisturb  — ongoing connections keep their exact channel (optical
+//    burst switching); new requests see only free channels;
+//  * kRearrange  — ongoing connections may be reassigned to a different
+//    channel each slot; they are re-scheduled first (always all placeable)
+//    and new requests fill the remainder.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/conversion.hpp"
+#include "core/distributed.hpp"
+#include "sim/metrics.hpp"
+#include "util/threadpool.hpp"
+
+namespace wdm::sim {
+
+enum class OccupiedPolicy : std::uint8_t { kNoDisturb, kRearrange };
+
+struct InterconnectConfig {
+  std::int32_t n_fibers = 8;  ///< N (square switch: N inputs, N outputs)
+  core::ConversionScheme scheme = core::ConversionScheme::circular(8, 1, 1);
+  core::Algorithm algorithm = core::Algorithm::kAuto;
+  core::Arbitration arbitration = core::Arbitration::kRoundRobin;
+  OccupiedPolicy policy = OccupiedPolicy::kNoDisturb;
+  /// Per-fiber converter pool size for Algorithm::kSparseBudgeted; negative
+  /// keeps the default (a dedicated converter per channel).
+  std::int32_t converter_budget = -1;
+  std::uint64_t seed = 1;
+};
+
+class Interconnect {
+ public:
+  explicit Interconnect(InterconnectConfig config);
+
+  std::int32_t n_fibers() const noexcept { return config_.n_fibers; }
+  std::int32_t k() const noexcept { return config_.scheme.k(); }
+  const InterconnectConfig& config() const noexcept { return config_; }
+
+  /// Advances one time slot: ages ongoing connections, schedules `arrivals`
+  /// (all per-output-fiber schedules run on `pool` when given), and occupies
+  /// the granted channels. Returns the slot's accounting.
+  SlotStats step(std::span<const core::SlotRequest> arrivals,
+                 util::ThreadPool* pool = nullptr);
+
+  /// Busy flags of the N*k input wavelength channels (fiber*k + wavelength)
+  /// *for the upcoming slot* — i.e. connections that still hold after the
+  /// next aging tick. Feed this to TrafficGenerator::next_slot so sources do
+  /// not emit while their channel is mid-connection.
+  std::vector<std::uint8_t> input_channel_busy() const;
+
+  /// Grants per output fiber in the most recent step (fairness accounting).
+  const std::vector<std::uint64_t>& last_fiber_grants() const noexcept {
+    return last_fiber_grants_;
+  }
+
+  std::uint64_t busy_output_channels() const noexcept;
+
+ private:
+  struct ChannelState {
+    std::int32_t remaining = 0;  ///< slots left, 0 = free
+    std::int32_t input_fiber = core::kNone;
+    core::Wavelength wavelength = core::kNone;
+    std::uint64_t id = 0;
+  };
+
+  SlotStats step_no_disturb(std::span<const core::SlotRequest> arrivals,
+                            util::ThreadPool* pool);
+  SlotStats step_rearrange(std::span<const core::SlotRequest> arrivals,
+                           util::ThreadPool* pool);
+  /// Schedules new arrivals strict-priority class by class (§VI extension);
+  /// single-class slots collapse to one scheduling pass.
+  void schedule_new_arrivals(std::span<const core::SlotRequest> arrivals,
+                             util::ThreadPool* pool, SlotStats& stats);
+  void age_connections();
+  void occupy(std::int32_t output_fiber, core::Channel channel,
+              const core::SlotRequest& request, std::int32_t remaining);
+  std::vector<std::vector<std::uint8_t>> availability() const;
+
+  InterconnectConfig config_;
+  core::DistributedScheduler scheduler_;
+  std::vector<std::vector<ChannelState>> out_state_;  // [fiber][channel]
+  std::vector<std::int32_t> input_remaining_;         // [fiber*k + w]
+  std::vector<std::uint64_t> last_fiber_grants_;
+};
+
+}  // namespace wdm::sim

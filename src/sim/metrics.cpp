@@ -1,0 +1,55 @@
+#include "sim/metrics.hpp"
+
+#include "util/check.hpp"
+
+namespace wdm::sim {
+
+MetricsCollector::MetricsCollector(std::int32_t n_fibers, std::int32_t k)
+    : n_fibers_(n_fibers), k_(k) {
+  WDM_CHECK_MSG(n_fibers > 0 && k > 0, "metric dimensions must be positive");
+  fiber_grants_.assign(static_cast<std::size_t>(n_fibers), 0.0);
+}
+
+void MetricsCollector::record_slot(const SlotStats& stats) {
+  WDM_CHECK_MSG(stats.granted + stats.rejected == stats.arrivals,
+                "slot accounting must conserve requests");
+  slots_ += 1;
+  granted_total_ += stats.granted;
+  loss_.add(stats.rejected, stats.arrivals);
+  const double capacity =
+      static_cast<double>(n_fibers_) * static_cast<double>(k_);
+  utilization_.add(static_cast<double>(stats.busy_channels) / capacity);
+}
+
+void MetricsCollector::record_fiber_grants(std::int32_t output_fiber,
+                                           std::uint64_t granted) {
+  WDM_CHECK(output_fiber >= 0 && output_fiber < n_fibers_);
+  fiber_grants_[static_cast<std::size_t>(output_fiber)] +=
+      static_cast<double>(granted);
+}
+
+void MetricsCollector::merge(const MetricsCollector& other) {
+  WDM_CHECK_MSG(other.n_fibers_ == n_fibers_ && other.k_ == k_,
+                "metric layouts must match to merge");
+  slots_ += other.slots_;
+  granted_total_ += other.granted_total_;
+  loss_.merge(other.loss_);
+  utilization_.merge(other.utilization_);
+  for (std::size_t i = 0; i < fiber_grants_.size(); ++i) {
+    fiber_grants_[i] += other.fiber_grants_[i];
+  }
+}
+
+double MetricsCollector::throughput_per_channel() const noexcept {
+  if (slots_ == 0) return 0.0;
+  const double capacity =
+      static_cast<double>(n_fibers_) * static_cast<double>(k_);
+  return static_cast<double>(granted_total_) /
+         (static_cast<double>(slots_) * capacity);
+}
+
+double MetricsCollector::fiber_fairness() const {
+  return util::jain_fairness(fiber_grants_);
+}
+
+}  // namespace wdm::sim

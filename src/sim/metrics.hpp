@@ -1,0 +1,64 @@
+// Simulation metrics: loss probability, throughput, utilisation, fairness.
+//
+// All accumulators are mergeable so warm-up can be discarded and parallel
+// partials combined. Loss probability comes with a Wilson 95% interval —
+// the quantity the paper's motivation cares about is small at light load.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace wdm::sim {
+
+/// What happened in one slot of the interconnect.
+struct SlotStats {
+  std::uint64_t arrivals = 0;       ///< new requests offered this slot
+  std::uint64_t granted = 0;        ///< new requests granted
+  std::uint64_t rejected = 0;       ///< new requests dropped (no buffers)
+  std::uint64_t preempted = 0;      ///< ongoing connections dropped mid-hold
+  std::uint64_t busy_channels = 0;  ///< occupied output channels after the slot
+  /// Per-QoS-class accounting (index = priority class); sized to the
+  /// highest class seen this slot, empty for single-class traffic.
+  std::vector<std::uint64_t> arrivals_per_class;
+  std::vector<std::uint64_t> granted_per_class;
+};
+
+class MetricsCollector {
+ public:
+  /// `n_fibers` and `k` size the utilisation and fairness accumulators.
+  MetricsCollector(std::int32_t n_fibers, std::int32_t k);
+
+  void record_slot(const SlotStats& stats);
+  /// Per-output-fiber grant accounting (fairness across destinations).
+  void record_fiber_grants(std::int32_t output_fiber, std::uint64_t granted);
+  void merge(const MetricsCollector& other);
+
+  std::uint64_t slots() const noexcept { return slots_; }
+  std::uint64_t arrivals() const noexcept { return loss_.trials(); }
+  std::uint64_t losses() const noexcept { return loss_.successes(); }
+
+  /// P(new request rejected).
+  double loss_probability() const noexcept { return loss_.value(); }
+  double loss_wilson_low() const noexcept { return loss_.wilson_low(); }
+  double loss_wilson_high() const noexcept { return loss_.wilson_high(); }
+
+  /// Granted requests per slot per output channel (normalised throughput).
+  double throughput_per_channel() const noexcept;
+  /// Mean fraction of output channels occupied.
+  double utilization() const noexcept { return utilization_.mean(); }
+  /// Jain fairness index of per-output-fiber grant totals.
+  double fiber_fairness() const;
+
+ private:
+  std::int32_t n_fibers_;
+  std::int32_t k_;
+  std::uint64_t slots_ = 0;
+  std::uint64_t granted_total_ = 0;
+  util::Proportion loss_;
+  util::RunningStats utilization_;
+  std::vector<double> fiber_grants_;
+};
+
+}  // namespace wdm::sim

@@ -1,0 +1,119 @@
+#include "sim/network.hpp"
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace wdm::sim {
+
+namespace {
+
+/// A packet mid-flight: its current wavelength and where it is headed.
+struct Packet {
+  std::int32_t input_fiber;    ///< arriving fiber at the current switch
+  core::Wavelength wavelength; ///< arriving wavelength at the current switch
+  std::uint64_t id;
+};
+
+}  // namespace
+
+ChainReport run_chain_simulation(const ChainConfig& config) {
+  WDM_CHECK_MSG(config.hops >= 1, "need at least one switch in the chain");
+  WDM_CHECK_MSG(config.n_fibers > 0, "need at least one fiber");
+  WDM_CHECK_MSG(config.load >= 0.0 && config.load <= 1.0,
+                "offered load must be in [0, 1]");
+  WDM_CHECK_MSG(config.slots > 0, "need at least one measured slot");
+
+  const std::int32_t k = config.scheme.k();
+  util::Rng seeder(config.seed);
+  util::Rng traffic_rng = seeder.split();
+
+  // One distributed scheduler per switch in the chain.
+  std::vector<core::DistributedScheduler> switches;
+  switches.reserve(static_cast<std::size_t>(config.hops));
+  for (std::int32_t h = 0; h < config.hops; ++h) {
+    switches.emplace_back(config.n_fibers, config.scheme, config.algorithm,
+                          config.arbitration, seeder.next());
+  }
+
+  // stage[h] = packets arriving at switch h this slot. Measured packets
+  // carry id != 0; warm-up packets id == 0 (counted by nobody).
+  std::vector<std::vector<Packet>> stage(
+      static_cast<std::size_t>(config.hops));
+  ChainReport report;
+  report.dropped_at_hop.assign(static_cast<std::size_t>(config.hops), 0);
+  std::vector<std::uint64_t> reached_hop(
+      static_cast<std::size_t>(config.hops), 0);
+  std::uint64_t next_id = 1;
+
+  // Drain: after the last injection slot, let in-flight packets finish.
+  const std::uint64_t total_slots = config.warmup + config.slots +
+                                    static_cast<std::uint64_t>(config.hops);
+  for (std::uint64_t slot = 0; slot < total_slots; ++slot) {
+    // Fresh arrivals at switch 0 (stop injecting during the drain phase).
+    if (slot < config.warmup + config.slots) {
+      const bool measured = slot >= config.warmup;
+      for (std::int32_t fiber = 0; fiber < config.n_fibers; ++fiber) {
+        for (core::Wavelength w = 0; w < k; ++w) {
+          if (!traffic_rng.bernoulli(config.load)) continue;
+          const std::uint64_t id = measured ? next_id++ : 0;
+          stage[0].push_back(Packet{fiber, w, id});
+          if (measured) report.injected += 1;
+        }
+      }
+    }
+
+    // Each switch schedules its batch; survivors advance one hop.
+    std::vector<std::vector<Packet>> next_stage(
+        static_cast<std::size_t>(config.hops));
+    for (std::int32_t h = 0; h < config.hops; ++h) {
+      auto& batch = stage[static_cast<std::size_t>(h)];
+      if (batch.empty()) continue;
+      std::vector<core::SlotRequest> requests;
+      requests.reserve(batch.size());
+      for (const auto& p : batch) {
+        const auto out_fiber = static_cast<std::int32_t>(
+            traffic_rng.uniform_below(
+                static_cast<std::uint64_t>(config.n_fibers)));
+        requests.push_back(
+            core::SlotRequest{p.input_fiber, p.wavelength, out_fiber, p.id, 1});
+      }
+      const auto decisions =
+          switches[static_cast<std::size_t>(h)].schedule_slot(requests);
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        const bool measured = batch[i].id != 0;
+        if (measured) reached_hop[static_cast<std::size_t>(h)] += 1;
+        if (!decisions[i].granted) {
+          if (measured) report.dropped_at_hop[static_cast<std::size_t>(h)] += 1;
+          continue;
+        }
+        if (h + 1 == config.hops) {
+          if (measured) report.delivered += 1;
+        } else {
+          // The packet leaves on its assigned channel: per-hop conversion.
+          next_stage[static_cast<std::size_t>(h) + 1].push_back(
+              Packet{requests[i].output_fiber, decisions[i].channel,
+                     batch[i].id});
+        }
+      }
+    }
+    stage = std::move(next_stage);
+  }
+
+  report.end_to_end_loss =
+      report.injected == 0
+          ? 0.0
+          : 1.0 - static_cast<double>(report.delivered) /
+                      static_cast<double>(report.injected);
+  report.hop_loss.resize(static_cast<std::size_t>(config.hops), 0.0);
+  for (std::int32_t h = 0; h < config.hops; ++h) {
+    const auto reached = reached_hop[static_cast<std::size_t>(h)];
+    if (reached > 0) {
+      report.hop_loss[static_cast<std::size_t>(h)] =
+          static_cast<double>(report.dropped_at_hop[static_cast<std::size_t>(h)]) /
+          static_cast<double>(reached);
+    }
+  }
+  return report;
+}
+
+}  // namespace wdm::sim

@@ -1,0 +1,97 @@
+#include "sim/simulation.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace wdm::sim {
+
+SimulationReport run_simulation(const SimulationConfig& config) {
+  WDM_CHECK_MSG(config.slots > 0, "simulation needs at least one measured slot");
+
+  util::Rng seeder(config.seed);
+  InterconnectConfig icfg = config.interconnect;
+  icfg.seed = seeder.next();
+  Interconnect interconnect(icfg);
+  TrafficGenerator traffic(icfg.n_fibers, icfg.scheme.k(), config.traffic,
+                           seeder.next());
+  MetricsCollector metrics(icfg.n_fibers, icfg.scheme.k());
+
+  std::unique_ptr<util::ThreadPool> pool;
+  if (config.threads > 0) {
+    pool = std::make_unique<util::ThreadPool>(config.threads);
+  }
+
+  const util::Stopwatch clock;
+  std::uint64_t preemptions = 0;
+  std::vector<std::uint64_t> report_class_arrivals;
+  std::vector<std::uint64_t> report_class_losses;
+  // Method of batch means: 30 contiguous batches of measured slots give a
+  // correlation-robust CI on the loss probability.
+  constexpr std::uint64_t kBatches = 30;
+  const std::uint64_t batch_len = std::max<std::uint64_t>(1, config.slots / kBatches);
+  util::RunningStats batch_means;
+  std::uint64_t batch_arrivals = 0;
+  std::uint64_t batch_losses = 0;
+  std::uint64_t in_batch = 0;
+
+  for (std::uint64_t slot = 0; slot < config.warmup + config.slots; ++slot) {
+    const auto arrivals = traffic.next_slot(interconnect.input_channel_busy());
+    const SlotStats stats = interconnect.step(arrivals, pool.get());
+    if (slot < config.warmup) continue;
+    metrics.record_slot(stats);
+    preemptions += stats.preempted;
+    if (!stats.arrivals_per_class.empty()) {
+      if (report_class_arrivals.size() < stats.arrivals_per_class.size()) {
+        report_class_arrivals.resize(stats.arrivals_per_class.size(), 0);
+        report_class_losses.resize(stats.arrivals_per_class.size(), 0);
+      }
+      for (std::size_t c = 0; c < stats.arrivals_per_class.size(); ++c) {
+        report_class_arrivals[c] += stats.arrivals_per_class[c];
+        report_class_losses[c] +=
+            stats.arrivals_per_class[c] - stats.granted_per_class[c];
+      }
+    }
+    batch_arrivals += stats.arrivals;
+    batch_losses += stats.rejected;
+    if (++in_batch == batch_len) {
+      if (batch_arrivals > 0) {
+        batch_means.add(static_cast<double>(batch_losses) /
+                        static_cast<double>(batch_arrivals));
+      }
+      batch_arrivals = batch_losses = 0;
+      in_batch = 0;
+    }
+    for (std::int32_t fiber = 0; fiber < icfg.n_fibers; ++fiber) {
+      metrics.record_fiber_grants(
+          fiber,
+          interconnect.last_fiber_grants()[static_cast<std::size_t>(fiber)]);
+    }
+  }
+
+  SimulationReport report;
+  report.slots = metrics.slots();
+  report.arrivals = metrics.arrivals();
+  report.losses = metrics.losses();
+  report.offered_load = config.traffic.load;
+  report.loss_probability = metrics.loss_probability();
+  report.loss_wilson_low = metrics.loss_wilson_low();
+  report.loss_wilson_high = metrics.loss_wilson_high();
+  report.loss_batch_ci = batch_means.ci95_halfwidth();
+  report.throughput_per_channel = metrics.throughput_per_channel();
+  report.utilization = metrics.utilization();
+  report.fiber_fairness = metrics.fiber_fairness();
+  report.preemptions = preemptions;
+  report.wall_seconds = clock.elapsed_s();
+  if (report_class_arrivals.size() > 1) {
+    // Per-class vectors are only meaningful for multi-class traffic.
+    report.class_arrivals = std::move(report_class_arrivals);
+    report.class_losses = std::move(report_class_losses);
+  }
+  return report;
+}
+
+}  // namespace wdm::sim

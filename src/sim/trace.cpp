@@ -1,0 +1,103 @@
+#include "sim/trace.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "sim/interconnect.hpp"
+#include "sim/traffic.hpp"
+#include "util/check.hpp"
+
+namespace wdm::sim {
+
+std::uint64_t Trace::total_requests() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& slot : slots) total += slot.size();
+  return total;
+}
+
+void write_trace(std::ostream& os, const Trace& trace) {
+  os << "# wdmsched trace v1\n";
+  os << "# n_fibers=" << trace.n_fibers << " k=" << trace.k
+     << " slots=" << trace.slots.size() << "\n";
+  os << "# slot,input_fiber,wavelength,output_fiber,id,duration\n";
+  for (std::size_t slot = 0; slot < trace.slots.size(); ++slot) {
+    for (const auto& r : trace.slots[slot]) {
+      os << slot << ',' << r.input_fiber << ',' << r.wavelength << ','
+         << r.output_fiber << ',' << r.id << ',' << r.duration << '\n';
+    }
+  }
+}
+
+Trace read_trace(std::istream& is) {
+  Trace trace;
+  std::string line;
+  bool got_header = false;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      // Parse the dimension header if present.
+      std::size_t pos = line.find("n_fibers=");
+      if (pos != std::string::npos) {
+        std::istringstream hs(line.substr(pos + 9));
+        hs >> trace.n_fibers;
+        pos = line.find("k=");
+        WDM_CHECK_MSG(pos != std::string::npos, "malformed trace header");
+        std::istringstream ks(line.substr(pos + 2));
+        ks >> trace.k;
+        got_header = true;
+      }
+      continue;
+    }
+    std::istringstream ls(line);
+    std::uint64_t slot = 0;
+    core::SlotRequest r;
+    char comma = 0;
+    if (!(ls >> slot >> comma >> r.input_fiber >> comma >> r.wavelength >>
+          comma >> r.output_fiber >> comma >> r.id >> comma >> r.duration)) {
+      throw std::invalid_argument("malformed trace line: " + line);
+    }
+    if (slot >= trace.slots.size()) trace.slots.resize(slot + 1);
+    trace.slots[slot].push_back(r);
+  }
+  WDM_CHECK_MSG(got_header, "trace is missing its dimension header");
+  for (const auto& slot : trace.slots) {
+    for (const auto& r : slot) {
+      WDM_CHECK_MSG(r.input_fiber >= 0 && r.input_fiber < trace.n_fibers &&
+                        r.output_fiber >= 0 &&
+                        r.output_fiber < trace.n_fibers && r.wavelength >= 0 &&
+                        r.wavelength < trace.k && r.duration >= 1,
+                    "trace entry out of range");
+    }
+  }
+  return trace;
+}
+
+Trace capture_trace(TrafficGenerator& generator, std::int32_t n_fibers,
+                    std::int32_t k, std::uint64_t slots) {
+  WDM_CHECK_MSG(generator.n_fibers() == n_fibers && generator.k() == k,
+                "generator dimensions must match the trace");
+  Trace trace;
+  trace.n_fibers = n_fibers;
+  trace.k = k;
+  trace.slots.reserve(slots);
+  for (std::uint64_t s = 0; s < slots; ++s) {
+    trace.slots.push_back(generator.next_slot());
+  }
+  return trace;
+}
+
+std::vector<SlotStats> replay_trace(const Trace& trace,
+                                    Interconnect& interconnect) {
+  WDM_CHECK_MSG(interconnect.n_fibers() == trace.n_fibers &&
+                    interconnect.k() == trace.k,
+                "interconnect dimensions must match the trace");
+  std::vector<SlotStats> stats;
+  stats.reserve(trace.slots.size());
+  for (const auto& slot : trace.slots) {
+    stats.push_back(interconnect.step(slot));
+  }
+  return stats;
+}
+
+}  // namespace wdm::sim

@@ -1,0 +1,51 @@
+// Slot-request traces: record and replay the exact workload of a run.
+//
+// A trace is a plain-text format, one request per line:
+//
+//     slot,input_fiber,wavelength,output_fiber,id,duration
+//
+// with `#`-prefixed comment lines. Traces make experiments portable across
+// machines and schedulers: the same captured workload can be replayed
+// against different algorithms/policies (the ablation methodology of
+// experiments E8/E10), or archived next to published numbers.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/distributed.hpp"
+#include "sim/metrics.hpp"
+
+namespace wdm::sim {
+
+/// One slot's worth of arrivals.
+using TraceSlot = std::vector<core::SlotRequest>;
+
+/// A whole captured workload: slot 0, 1, ... (possibly empty slots).
+struct Trace {
+  std::int32_t n_fibers = 0;
+  std::int32_t k = 0;
+  std::vector<TraceSlot> slots;
+
+  std::uint64_t total_requests() const noexcept;
+};
+
+/// Serialises a trace (header comment + one line per request).
+void write_trace(std::ostream& os, const Trace& trace);
+
+/// Parses a trace; throws std::invalid_argument on malformed input and
+/// std::logic_error on out-of-range fields.
+Trace read_trace(std::istream& is);
+
+/// Captures `slots` slots from a traffic generator (with no interconnect
+/// feedback — every input channel is treated as always idle).
+Trace capture_trace(class TrafficGenerator& generator, std::int32_t n_fibers,
+                    std::int32_t k, std::uint64_t slots);
+
+/// Replays a trace through an interconnect and returns per-slot stats.
+std::vector<SlotStats> replay_trace(const Trace& trace,
+                                    class Interconnect& interconnect);
+
+}  // namespace wdm::sim

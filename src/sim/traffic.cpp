@@ -1,0 +1,118 @@
+#include "sim/traffic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace wdm::sim {
+
+TrafficGenerator::TrafficGenerator(std::int32_t n_fibers, std::int32_t k,
+                                   TrafficConfig config, std::uint64_t seed)
+    : n_fibers_(n_fibers),
+      k_(k),
+      config_(config),
+      rng_(seed),
+      zipf_(static_cast<std::size_t>(n_fibers),
+            config.destinations == DestinationPattern::kHotspot
+                ? config.hotspot_alpha
+                : 0.0) {
+  WDM_CHECK_MSG(n_fibers > 0 && k > 0, "traffic dimensions must be positive");
+  WDM_CHECK_MSG(config.load >= 0.0 && config.load <= 1.0,
+                "offered load must be in [0, 1]");
+  WDM_CHECK_MSG(config.mean_burst_length >= 1.0,
+                "mean burst length must be at least one slot");
+  WDM_CHECK_MSG(config.mean_holding >= 1.0,
+                "mean holding time must be at least one slot");
+  WDM_CHECK_MSG(!config.class_mix.empty(), "need at least one QoS class");
+  double mix_total = 0.0;
+  for (const double p : config.class_mix) {
+    WDM_CHECK_MSG(p >= 0.0, "class probabilities must be nonnegative");
+    mix_total += p;
+  }
+  WDM_CHECK_MSG(mix_total > 0.99 && mix_total < 1.01,
+                "class mix must sum to 1");
+
+  burst_dest_.assign(
+      static_cast<std::size_t>(n_fibers) * static_cast<std::size_t>(k), -1);
+  // Two-state Markov source with stationary ON probability = load and mean
+  // ON duration b: p_off = 1/b, p_on = load * p_off / (1 - load).
+  p_off_ = 1.0 / config.mean_burst_length;
+  p_on_ = config.load >= 1.0 ? 1.0
+                             : std::min(1.0, config.load * p_off_ /
+                                                 (1.0 - config.load));
+}
+
+std::int32_t TrafficGenerator::sample_destination() {
+  return static_cast<std::int32_t>(zipf_.sample(rng_));
+}
+
+std::int32_t TrafficGenerator::sample_duration() {
+  switch (config_.holding) {
+    case HoldingTime::kSingleSlot:
+      return 1;
+    case HoldingTime::kFixed:
+      return std::max<std::int32_t>(
+          1, static_cast<std::int32_t>(std::llround(config_.mean_holding)));
+    case HoldingTime::kGeometric:
+      return static_cast<std::int32_t>(
+          std::min<std::uint64_t>(rng_.geometric(1.0 / config_.mean_holding),
+                                  1u << 20));
+  }
+  return 1;
+}
+
+std::int32_t TrafficGenerator::sample_priority() {
+  if (config_.class_mix.size() == 1) return 0;
+  const double u = rng_.uniform01();
+  double cum = 0.0;
+  for (std::size_t c = 0; c < config_.class_mix.size(); ++c) {
+    cum += config_.class_mix[c];
+    if (u < cum) return static_cast<std::int32_t>(c);
+  }
+  return static_cast<std::int32_t>(config_.class_mix.size()) - 1;
+}
+
+std::vector<core::SlotRequest> TrafficGenerator::next_slot(
+    const std::vector<std::uint8_t>& input_channel_busy) {
+  WDM_CHECK_MSG(input_channel_busy.empty() ||
+                    input_channel_busy.size() == burst_dest_.size(),
+                "busy mask must cover every input wavelength channel");
+  std::vector<core::SlotRequest> out;
+  for (std::int32_t fiber = 0; fiber < n_fibers_; ++fiber) {
+    for (core::Wavelength w = 0; w < k_; ++w) {
+      const std::size_t ch = static_cast<std::size_t>(fiber) *
+                                 static_cast<std::size_t>(k_) +
+                             static_cast<std::size_t>(w);
+      const bool busy =
+          !input_channel_busy.empty() && input_channel_busy[ch] != 0;
+
+      if (config_.arrivals == ArrivalProcess::kBernoulli) {
+        if (busy) continue;
+        if (!rng_.bernoulli(config_.load)) continue;
+        out.push_back(core::SlotRequest{fiber, w, sample_destination(),
+                                        next_id_++, sample_duration(),
+                                        sample_priority()});
+        continue;
+      }
+
+      // On-off source: advance the Markov chain even while the channel is
+      // busy transmitting (the burst keeps "arriving" but is suppressed).
+      auto& dest = burst_dest_[ch];
+      if (dest < 0) {
+        if (rng_.bernoulli(p_on_)) dest = sample_destination();
+      }
+      if (dest >= 0) {
+        if (!busy) {
+          out.push_back(core::SlotRequest{fiber, w, dest, next_id_++,
+                                          sample_duration(),
+                                          sample_priority()});
+        }
+        if (rng_.bernoulli(p_off_)) dest = -1;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace wdm::sim

@@ -1,0 +1,78 @@
+// Synthetic slotted traffic for the WDM interconnect (the paper's setting:
+// optical packets arriving at the beginning of each time slot, unicast, no
+// buffers).
+//
+// Arrival processes:
+//  * Bernoulli — each idle input wavelength channel carries a new packet
+//    with probability `load`, i.i.d. per slot (the standard model in the
+//    paper's references [11][13][14]);
+//  * On-off (bursty) — each input channel is a two-state Markov source; ON
+//    emits one packet per slot toward a per-burst destination. For a given
+//    offered load and mean burst length b: p(off->on) = load/((1-load) b),
+//    p(on->off) = 1/b.
+//
+// Destinations are uniform or Zipf-skewed hotspots. Holding times (Section
+// V) are 1 slot, a fixed D, or geometric with a given mean.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/distributed.hpp"
+#include "util/rng.hpp"
+
+namespace wdm::sim {
+
+enum class ArrivalProcess : std::uint8_t { kBernoulli, kOnOff };
+enum class DestinationPattern : std::uint8_t { kUniform, kHotspot };
+enum class HoldingTime : std::uint8_t { kSingleSlot, kFixed, kGeometric };
+
+struct TrafficConfig {
+  double load = 0.5;  ///< offered load per input wavelength channel, [0, 1]
+  ArrivalProcess arrivals = ArrivalProcess::kBernoulli;
+  double mean_burst_length = 8.0;  ///< on-off: mean ON duration in slots
+  DestinationPattern destinations = DestinationPattern::kUniform;
+  double hotspot_alpha = 1.0;  ///< Zipf exponent for kHotspot
+  HoldingTime holding = HoldingTime::kSingleSlot;
+  double mean_holding = 1.0;  ///< slots; kFixed rounds, kGeometric mean
+  /// QoS class mix: class_mix[c] is the probability a new request belongs
+  /// to priority class c (0 = highest). Must sum to ~1. Default: one class.
+  std::vector<double> class_mix = {1.0};
+};
+
+class TrafficGenerator {
+ public:
+  TrafficGenerator(std::int32_t n_fibers, std::int32_t k, TrafficConfig config,
+                   std::uint64_t seed);
+
+  std::int32_t n_fibers() const noexcept { return n_fibers_; }
+  std::int32_t k() const noexcept { return k_; }
+  const TrafficConfig& config() const noexcept { return config_; }
+
+  /// New requests for one slot. `input_channel_busy`, if nonempty (size
+  /// N*k, index fiber*k + wavelength), suppresses arrivals on input channels
+  /// still occupied by a multi-slot connection.
+  std::vector<core::SlotRequest> next_slot(
+      const std::vector<std::uint8_t>& input_channel_busy = {});
+
+  /// Total requests generated so far.
+  std::uint64_t generated() const noexcept { return next_id_; }
+
+ private:
+  std::int32_t sample_destination();
+  std::int32_t sample_duration();
+  std::int32_t sample_priority();
+
+  std::int32_t n_fibers_;
+  std::int32_t k_;
+  TrafficConfig config_;
+  util::Rng rng_;
+  util::ZipfSampler zipf_;
+  // On-off per-channel state: current burst destination, or -1 when OFF.
+  std::vector<std::int32_t> burst_dest_;
+  double p_on_;   // off -> on
+  double p_off_;  // on -> off
+  std::uint64_t next_id_ = 0;
+};
+
+}  // namespace wdm::sim

@@ -1,0 +1,40 @@
+// Checked-precondition macros used throughout the library.
+//
+// WDM_CHECK is always on: it guards API contracts (caller-supplied parameters,
+// configuration sanity) and throws std::invalid_argument / std::logic_error so
+// misuse is reported deterministically instead of corrupting a schedule.
+// WDM_DCHECK compiles away in NDEBUG builds and guards internal invariants on
+// hot paths (per-slot scheduling loops).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace wdm::util {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const std::string& msg) {
+  std::ostringstream os;
+  os << "WDM_CHECK failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace wdm::util
+
+#define WDM_CHECK(expr)                                                \
+  do {                                                                 \
+    if (!(expr)) ::wdm::util::check_failed(#expr, __FILE__, __LINE__, {}); \
+  } while (0)
+
+#define WDM_CHECK_MSG(expr, msg)                                       \
+  do {                                                                 \
+    if (!(expr)) ::wdm::util::check_failed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#ifdef NDEBUG
+#define WDM_DCHECK(expr) ((void)0)
+#else
+#define WDM_DCHECK(expr) WDM_CHECK(expr)
+#endif

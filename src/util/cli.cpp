@@ -1,0 +1,134 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/check.hpp"
+
+namespace wdm::util {
+
+Cli::Cli(std::string program, std::string summary)
+    : program_(std::move(program)), summary_(std::move(summary)) {}
+
+void Cli::add_option(const std::string& name, const std::string& default_value,
+                     const std::string& help) {
+  WDM_CHECK_MSG(!options_.contains(name), "duplicate option: " + name);
+  options_[name] = Option{default_value, help, /*is_flag=*/false};
+  order_.push_back(name);
+}
+
+void Cli::add_flag(const std::string& name, const std::string& help) {
+  WDM_CHECK_MSG(!options_.contains(name), "duplicate flag: " + name);
+  options_[name] = Option{"false", help, /*is_flag=*/true};
+  order_.push_back(name);
+}
+
+bool Cli::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage().c_str(), stdout);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected positional argument: %s\n%s", arg.c_str(),
+                   usage().c_str());
+      return false;
+    }
+    arg = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      has_value = true;
+    }
+    const auto it = options_.find(arg);
+    if (it == options_.end()) {
+      std::fprintf(stderr, "unknown option: --%s\n%s", arg.c_str(), usage().c_str());
+      return false;
+    }
+    if (it->second.is_flag) {
+      values_[arg] = has_value ? value : "true";
+    } else if (has_value) {
+      values_[arg] = value;
+    } else if (i + 1 < argc) {
+      values_[arg] = argv[++i];
+    } else {
+      std::fprintf(stderr, "option --%s needs a value\n%s", arg.c_str(),
+                   usage().c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string Cli::get(const std::string& name) const {
+  const auto opt = options_.find(name);
+  WDM_CHECK_MSG(opt != options_.end(), "undeclared option queried: " + name);
+  const auto it = values_.find(name);
+  return it != values_.end() ? it->second : opt->second.default_value;
+}
+
+std::int64_t Cli::get_int(const std::string& name) const {
+  const std::string v = get(name);
+  try {
+    return std::stoll(v);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("option --" + name + " is not an integer: " + v);
+  }
+}
+
+double Cli::get_double(const std::string& name) const {
+  const std::string v = get(name);
+  try {
+    return std::stod(v);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("option --" + name + " is not a number: " + v);
+  }
+}
+
+bool Cli::get_flag(const std::string& name) const {
+  const std::string v = get(name);
+  return v == "true" || v == "1" || v == "yes" || v == "on";
+}
+
+namespace {
+std::vector<std::string> split_commas(const std::string& s) {
+  std::vector<std::string> parts;
+  std::stringstream ss(s);
+  std::string part;
+  while (std::getline(ss, part, ',')) {
+    if (!part.empty()) parts.push_back(part);
+  }
+  return parts;
+}
+}  // namespace
+
+std::vector<double> Cli::get_double_list(const std::string& name) const {
+  std::vector<double> out;
+  for (const auto& part : split_commas(get(name))) out.push_back(std::stod(part));
+  return out;
+}
+
+std::vector<std::int64_t> Cli::get_int_list(const std::string& name) const {
+  std::vector<std::int64_t> out;
+  for (const auto& part : split_commas(get(name))) out.push_back(std::stoll(part));
+  return out;
+}
+
+std::string Cli::usage() const {
+  std::ostringstream os;
+  os << program_ << " — " << summary_ << "\n\noptions:\n";
+  for (const auto& name : order_) {
+    const auto& opt = options_.at(name);
+    os << "  --" << name;
+    if (!opt.is_flag) os << "=<" << opt.default_value << ">";
+    os << "\n      " << opt.help << "\n";
+  }
+  os << "  --help\n      print this message\n";
+  return os.str();
+}
+
+}  // namespace wdm::util

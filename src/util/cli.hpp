@@ -1,0 +1,56 @@
+// Minimal command-line option parser for the examples and bench harnesses.
+//
+// Supports `--name=value`, `--name value`, and boolean `--flag`. Options are
+// declared with defaults and help text so every binary can print a consistent
+// `--help`. Unknown options are an error (typos in sweep parameters silently
+// changing an experiment is worse than a hard failure).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace wdm::util {
+
+class Cli {
+ public:
+  /// `program` and `summary` feed the --help banner.
+  Cli(std::string program, std::string summary);
+
+  /// Declares an option. `default_value` is also what --help displays.
+  void add_option(const std::string& name, const std::string& default_value,
+                  const std::string& help);
+  /// Declares a boolean flag (false unless present).
+  void add_flag(const std::string& name, const std::string& help);
+
+  /// Parses argv. Returns false (after printing usage) on --help or error.
+  bool parse(int argc, const char* const* argv);
+
+  std::string get(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_flag(const std::string& name) const;
+  /// Comma-separated list of doubles, e.g. --loads=0.1,0.2,0.3.
+  std::vector<double> get_double_list(const std::string& name) const;
+  /// Comma-separated list of integers.
+  std::vector<std::int64_t> get_int_list(const std::string& name) const;
+
+  std::string usage() const;
+
+ private:
+  struct Option {
+    std::string default_value;
+    std::string help;
+    bool is_flag = false;
+  };
+
+  std::string program_;
+  std::string summary_;
+  std::vector<std::string> order_;  // declaration order for --help
+  std::map<std::string, Option> options_;
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace wdm::util

@@ -1,0 +1,84 @@
+// Deterministic, seedable random number generation for simulations.
+//
+// The simulator needs (1) reproducible streams — the same seed must replay the
+// same experiment bit-for-bit across runs and platforms, and (2) cheap
+// independent streams for parallel per-output-fiber scheduling. xoshiro256**
+// (Blackman & Vigna) with splitmix64 seeding provides both; `split()` derives a
+// statistically independent child stream, so each output fiber / traffic source
+// can own its own generator without locking.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace wdm::util {
+
+/// splitmix64 step: used for seeding and for deriving child streams.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// xoshiro256** pseudo-random generator. Satisfies the essentials of
+/// UniformRandomBitGenerator so it can also feed <random> adaptors.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds all 256 bits of state from `seed` via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  /// Next 64 uniformly random bits.
+  std::uint64_t operator()() noexcept { return next(); }
+  std::uint64_t next() noexcept;
+
+  /// Derives an independent child generator (counter-based splitting).
+  Rng split() noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform in [0, n). Requires n > 0. Unbiased (Lemire rejection).
+  std::uint64_t uniform_below(std::uint64_t n) noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform01() noexcept;
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool bernoulli(double p) noexcept;
+
+  /// Geometric: number of slots a connection holds, support {1, 2, ...},
+  /// mean 1/p. Requires 0 < p <= 1.
+  std::uint64_t geometric(double p) noexcept;
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) noexcept {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(uniform_below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::uint64_t s_[4];
+  std::uint64_t split_counter_ = 0;
+};
+
+/// Zipf(α) sampler over {0, ..., n-1} with precomputed inverse CDF; used for
+/// hotspot destination traffic. α = 0 degenerates to the uniform distribution.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double alpha);
+
+  std::size_t sample(Rng& rng) const noexcept;
+  std::size_t size() const noexcept { return cdf_.size(); }
+  double alpha() const noexcept { return alpha_; }
+
+ private:
+  std::vector<double> cdf_;  // cdf_[i] = P(X <= i)
+  double alpha_;
+};
+
+}  // namespace wdm::util

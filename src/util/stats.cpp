@@ -1,0 +1,154 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace wdm::util {
+
+void RunningStats::add(double x) noexcept {
+  n_ += 1;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double n_total = na + nb;
+  mean_ += delta * nb / n_total;
+  m2_ += other.m2_ + delta * delta * na * nb / n_total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double RunningStats::ci95_halfwidth() const noexcept {
+  if (n_ < 2) return 0.0;
+  return 1.959964 * stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+namespace {
+constexpr double kZ95 = 1.959964;
+
+double wilson_centre(double p, double n) noexcept {
+  return (p + kZ95 * kZ95 / (2 * n)) / (1 + kZ95 * kZ95 / n);
+}
+
+double wilson_halfwidth(double p, double n) noexcept {
+  return kZ95 / (1 + kZ95 * kZ95 / n) *
+         std::sqrt(p * (1 - p) / n + kZ95 * kZ95 / (4 * n * n));
+}
+}  // namespace
+
+double Proportion::wilson_low() const noexcept {
+  if (n_ == 0) return 0.0;
+  const auto n = static_cast<double>(n_);
+  const double p = value();
+  return std::max(0.0, wilson_centre(p, n) - wilson_halfwidth(p, n));
+}
+
+double Proportion::wilson_high() const noexcept {
+  if (n_ == 0) return 1.0;
+  const auto n = static_cast<double>(n_);
+  const double p = value();
+  return std::min(1.0, wilson_centre(p, n) + wilson_halfwidth(p, n));
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo), hi_(hi) {
+  WDM_CHECK_MSG(hi > lo, "histogram range must be nonempty");
+  WDM_CHECK_MSG(bins > 0, "histogram needs at least one bin");
+  counts_.assign(bins, 0);
+}
+
+void Histogram::add(double x) noexcept {
+  const double frac = (x - lo_) / (hi_ - lo_);
+  auto idx = static_cast<std::ptrdiff_t>(frac * static_cast<double>(counts_.size()));
+  idx = std::clamp<std::ptrdiff_t>(idx, 0,
+                                   static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  counts_[static_cast<std::size_t>(idx)] += 1;
+  total_ += 1;
+}
+
+void Histogram::merge(const Histogram& other) {
+  WDM_CHECK_MSG(other.counts_.size() == counts_.size() && other.lo_ == lo_ &&
+                    other.hi_ == hi_,
+                "histogram layouts must match to merge");
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  total_ += other.total_;
+}
+
+std::uint64_t Histogram::bin_count(std::size_t i) const {
+  WDM_CHECK(i < counts_.size());
+  return counts_[i];
+}
+
+double Histogram::bin_low(std::size_t i) const {
+  WDM_CHECK(i < counts_.size());
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) / static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_high(std::size_t i) const {
+  return bin_low(i) + (hi_ - lo_) / static_cast<double>(counts_.size());
+}
+
+double Histogram::quantile(double q) const {
+  WDM_CHECK(q >= 0.0 && q <= 1.0);
+  if (total_ == 0) return lo_;
+  const double target = q * static_cast<double>(total_);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto c = static_cast<double>(counts_[i]);
+    if (cum + c >= target) {
+      const double within = c > 0 ? (target - cum) / c : 0.0;
+      const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+      return bin_low(i) + within * width;
+    }
+    cum += c;
+  }
+  return hi_;
+}
+
+std::string Histogram::ascii(std::size_t width) const {
+  std::uint64_t peak = 1;
+  for (const auto c : counts_) peak = std::max(peak, c);
+  std::ostringstream os;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto bar =
+        static_cast<std::size_t>(static_cast<double>(counts_[i]) /
+                                 static_cast<double>(peak) * static_cast<double>(width));
+    os << '[' << bin_low(i) << ", " << bin_high(i) << ") "
+       << std::string(bar, '#') << ' ' << counts_[i] << '\n';
+  }
+  return os.str();
+}
+
+double jain_fairness(const std::vector<double>& xs) noexcept {
+  if (xs.empty()) return 1.0;
+  double sum = 0.0, sumsq = 0.0;
+  for (const double x : xs) {
+    sum += x;
+    sumsq += x * x;
+  }
+  if (sumsq == 0.0) return 1.0;
+  return sum * sum / (static_cast<double>(xs.size()) * sumsq);
+}
+
+}  // namespace wdm::util

@@ -1,0 +1,95 @@
+// Online statistics used by the simulator and the benchmark harness.
+//
+// All accumulators are single-pass (Welford) so multi-million-slot simulations
+// keep O(1) memory, and mergeable so per-thread partials from the distributed
+// scheduler can be combined without synchronisation during the run.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace wdm::util {
+
+/// Welford mean/variance accumulator with min/max tracking.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  /// Merges another accumulator (Chan et al. parallel variance update).
+  void merge(const RunningStats& other) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Unbiased sample variance; 0 for fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+  double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+  /// Half-width of the normal-approximation 95% confidence interval.
+  double ci95_halfwidth() const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Counting accumulator for a binomial proportion (e.g. packet-loss rate).
+class Proportion {
+ public:
+  void add(bool success) noexcept { n_ += 1; k_ += success ? 1u : 0u; }
+  void add(std::uint64_t successes, std::uint64_t trials) noexcept {
+    k_ += successes;
+    n_ += trials;
+  }
+  void merge(const Proportion& other) noexcept { k_ += other.k_; n_ += other.n_; }
+
+  std::uint64_t successes() const noexcept { return k_; }
+  std::uint64_t trials() const noexcept { return n_; }
+  double value() const noexcept {
+    return n_ ? static_cast<double>(k_) / static_cast<double>(n_) : 0.0;
+  }
+  /// Wilson score 95% interval — stays inside [0,1] even for rare events,
+  /// which matters for loss probabilities down at 1e-5.
+  double wilson_low() const noexcept;
+  double wilson_high() const noexcept;
+
+ private:
+  std::uint64_t k_ = 0;
+  std::uint64_t n_ = 0;
+};
+
+/// Fixed-width histogram over [lo, hi); out-of-range samples are clamped into
+/// the first/last bin so totals are conserved.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  void merge(const Histogram& other);
+
+  std::size_t bins() const noexcept { return counts_.size(); }
+  std::uint64_t bin_count(std::size_t i) const;
+  std::uint64_t total() const noexcept { return total_; }
+  double bin_low(std::size_t i) const;
+  double bin_high(std::size_t i) const;
+  /// Linear-interpolated quantile, q in [0,1].
+  double quantile(double q) const;
+  std::string ascii(std::size_t width = 50) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Jain's fairness index of a set of nonnegative allocations:
+/// (sum x)^2 / (n * sum x^2); 1.0 = perfectly fair. Empty input yields 1.0.
+double jain_fairness(const std::vector<double>& xs) noexcept;
+
+}  // namespace wdm::util

@@ -1,0 +1,85 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace wdm::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  WDM_CHECK_MSG(!headers_.empty(), "a table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  WDM_CHECK_MSG(cells.size() == headers_.size(),
+                "row width must match the header");
+  rows_.push_back(std::move(cells));
+}
+
+const std::string& Table::at(std::size_t row, std::size_t col) const {
+  WDM_CHECK(row < rows_.size() && col < headers_.size());
+  return rows_[row][col];
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  const auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << std::setw(static_cast<int>(widths[c])) << row[c];
+      os << (c + 1 == row.size() ? "\n" : "  ");
+    }
+  };
+  emit(headers_);
+  std::size_t rule = 0;
+  for (const auto w : widths) rule += w + 2;
+  os << std::string(rule > 2 ? rule - 2 : rule, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+namespace {
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (const char ch : s) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+void Table::print_csv(std::ostream& os) const {
+  const auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      os << csv_escape(row[c]) << (c + 1 == row.size() ? "\n" : ",");
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string cell(double v, int digits) {
+  std::ostringstream os;
+  os << std::setprecision(digits) << v;
+  return os.str();
+}
+
+std::string cell_prob(double p) {
+  std::ostringstream os;
+  if (p != 0.0 && p < 1e-3) {
+    os << std::scientific << std::setprecision(3) << p;
+  } else {
+    os << std::fixed << std::setprecision(5) << p;
+  }
+  return os.str();
+}
+
+}  // namespace wdm::util

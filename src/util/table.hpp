@@ -1,0 +1,53 @@
+// Plain-text and CSV table output for the benchmark harness.
+//
+// Every bench binary regenerates one paper experiment as rows of a table; this
+// keeps the formatting consistent (aligned console output for humans, CSV for
+// plotting) without dragging in a serialisation library.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace wdm::util {
+
+/// Column-aligned table with a header row. Cells are preformatted strings;
+/// the `cell()` helpers format numerics with sensible defaults.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+  std::size_t columns() const noexcept { return headers_.size(); }
+  const std::string& at(std::size_t row, std::size_t col) const;
+
+  /// Renders with space-padded, right-aligned columns.
+  void print(std::ostream& os) const;
+  /// Renders as RFC-4180-ish CSV (quotes cells containing commas/quotes).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` significant digits.
+std::string cell(double v, int digits = 4);
+
+/// Formats any integer type.
+template <typename T>
+  requires std::is_integral_v<T>
+std::string cell(T v) {
+  return std::to_string(v);
+}
+
+/// Formats a probability in scientific notation when small (loss rates).
+std::string cell_prob(double p);
+
+}  // namespace wdm::util

@@ -1,0 +1,84 @@
+#include "util/threadpool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+#include "util/check.hpp"
+
+namespace wdm::util {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> task) {
+  std::packaged_task<void()> packaged(std::move(task));
+  auto future = packaged.get_future();
+  {
+    const std::lock_guard lock(mutex_);
+    WDM_CHECK_MSG(!stopping_, "submit() on a stopping ThreadPool");
+    queue_.push_back(std::move(packaged));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& fn) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  // Chunk so each worker gets a contiguous range: per-index task dispatch
+  // would cost a queue round-trip per output fiber, dwarfing an O(k) schedule.
+  const std::size_t chunks = std::min(n, workers_.size());
+  std::vector<std::future<void>> futures;
+  futures.reserve(chunks);
+  std::atomic<std::size_t> next{begin};
+  for (std::size_t c = 0; c < chunks; ++c) {
+    futures.push_back(submit([&] {
+      for (std::size_t i = next.fetch_add(1); i < end; i = next.fetch_add(1)) {
+        fn(i);
+      }
+    }));
+  }
+  std::exception_ptr first_error;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // packaged_task captures exceptions into the future
+  }
+}
+
+}  // namespace wdm::util

@@ -1,0 +1,50 @@
+// Fixed-size worker pool used by the distributed scheduler.
+//
+// The paper's key observation is that per-output-fiber schedules are
+// independent, so the N schedules of a slot can run concurrently — on separate
+// hardware units in a switch, or on worker threads in this reproduction. The
+// pool is deliberately simple: a mutex-protected deque is plenty for N tasks
+// per time slot, and keeps the code auditable.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace wdm::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueues a task; the returned future rethrows any task exception.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Runs fn(i) for i in [begin, end) across the pool and waits for all of
+  /// them. Exceptions propagate (the first one encountered is rethrown).
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::packaged_task<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace wdm::util

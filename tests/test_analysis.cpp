@@ -1,0 +1,113 @@
+// Closed-form corner analysis vs the slotted simulator: the strongest
+// end-to-end validation the model admits — measured loss must match the
+// exact formulas at d = 1 and d = k.
+#include <gtest/gtest.h>
+
+#include "sim/analysis.hpp"
+#include "sim/simulation.hpp"
+
+namespace wdm {
+namespace {
+
+TEST(BinomialPmf, SumsToOneAndMatchesKnownValues) {
+  double total = 0.0;
+  for (std::int32_t x = 0; x <= 10; ++x) {
+    total += sim::binomial_pmf(10, 0.3, x);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  EXPECT_NEAR(sim::binomial_pmf(4, 0.5, 2), 6.0 / 16.0, 1e-12);
+  EXPECT_DOUBLE_EQ(sim::binomial_pmf(5, 0.0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(sim::binomial_pmf(5, 1.0, 5), 1.0);
+  EXPECT_DOUBLE_EQ(sim::binomial_pmf(5, 1.0, 3), 0.0);
+}
+
+TEST(SlottedAnalysis, NoConversionFormulaSanity) {
+  // N = 1: the only input fiber always wins its own channel — zero loss.
+  EXPECT_NEAR(sim::slotted_loss_no_conversion(1, 0.7), 0.0, 1e-12);
+  // Loss increases with N at fixed p (more contention for each channel).
+  EXPECT_LT(sim::slotted_loss_no_conversion(2, 0.8),
+            sim::slotted_loss_no_conversion(16, 0.8));
+  // p -> 0: loss -> (N-1)/(2N) * p -> 0.
+  EXPECT_LT(sim::slotted_loss_no_conversion(8, 0.01), 0.01);
+}
+
+TEST(SlottedAnalysis, FullRangeFormulaSanity) {
+  // Full range with k = 1 degenerates to the no-conversion channel formula.
+  EXPECT_NEAR(sim::slotted_loss_full_range(8, 1, 0.6),
+              sim::slotted_loss_no_conversion(8, 0.6), 1e-12);
+  // Pooling k channels strictly reduces loss.
+  EXPECT_LT(sim::slotted_loss_full_range(8, 8, 0.8),
+            sim::slotted_loss_no_conversion(8, 0.8));
+  // More channels, less loss.
+  EXPECT_LT(sim::slotted_loss_full_range(8, 16, 0.8),
+            sim::slotted_loss_full_range(8, 4, 0.8));
+}
+
+TEST(SlottedAnalysis, SimulatorMatchesNoConversionFormula) {
+  for (const double load : {0.3, 0.7, 0.95}) {
+    sim::SimulationConfig cfg;
+    cfg.interconnect.n_fibers = 6;
+    cfg.interconnect.scheme = core::ConversionScheme::circular(8, 0, 0);
+    cfg.traffic.load = load;
+    cfg.slots = 6000;
+    cfg.warmup = 500;
+    cfg.seed = 4;
+    const auto r = sim::run_simulation(cfg);
+    const double expected = sim::slotted_loss_no_conversion(6, load);
+    EXPECT_NEAR(r.loss_probability, expected, 0.01) << "load " << load;
+  }
+}
+
+TEST(SlottedAnalysis, SimulatorMatchesFullRangeFormula) {
+  for (const double load : {0.5, 0.8, 0.95}) {
+    sim::SimulationConfig cfg;
+    cfg.interconnect.n_fibers = 6;
+    cfg.interconnect.scheme = core::ConversionScheme::full_range(8);
+    cfg.traffic.load = load;
+    cfg.slots = 6000;
+    cfg.warmup = 500;
+    cfg.seed = 8;
+    const auto r = sim::run_simulation(cfg);
+    const double expected = sim::slotted_loss_full_range(6, 8, load);
+    EXPECT_NEAR(r.loss_probability, expected, 0.01) << "load " << load;
+  }
+}
+
+TEST(SlottedAnalysis, LimitedRangeFallsBetweenTheCorners) {
+  sim::SimulationConfig cfg;
+  cfg.interconnect.n_fibers = 6;
+  cfg.interconnect.scheme = core::ConversionScheme::circular(8, 1, 1);
+  cfg.traffic.load = 0.8;
+  cfg.slots = 8000;
+  cfg.warmup = 800;
+  cfg.seed = 15;
+  const auto r = sim::run_simulation(cfg);
+  EXPECT_LT(r.loss_probability, sim::slotted_loss_no_conversion(6, 0.8));
+  EXPECT_GT(r.loss_probability,
+            sim::slotted_loss_full_range(6, 8, 0.8) - 0.005);
+}
+
+TEST(SlottedAnalysis, BatchMeansCiBracketsTruth) {
+  sim::SimulationConfig cfg;
+  cfg.interconnect.n_fibers = 6;
+  cfg.interconnect.scheme = core::ConversionScheme::full_range(8);
+  cfg.traffic.load = 0.8;
+  cfg.slots = 9000;
+  cfg.warmup = 900;
+  cfg.seed = 16;
+  const auto r = sim::run_simulation(cfg);
+  const double truth = sim::slotted_loss_full_range(6, 8, 0.8);
+  EXPECT_GT(r.loss_batch_ci, 0.0);
+  // 95% CI: allow 2x slack to keep the test deterministic-safe.
+  EXPECT_NEAR(r.loss_probability, truth, 2.0 * r.loss_batch_ci + 1e-4);
+}
+
+TEST(SlottedAnalysis, InvalidInputsRejected) {
+  EXPECT_THROW(sim::slotted_loss_no_conversion(0, 0.5), std::logic_error);
+  EXPECT_THROW(sim::slotted_loss_no_conversion(4, 0.0), std::logic_error);
+  EXPECT_THROW(sim::slotted_loss_full_range(4, 0, 0.5), std::logic_error);
+  EXPECT_THROW(sim::slotted_loss_full_range(4, 4, 1.5), std::logic_error);
+}
+
+}  // namespace
+}  // namespace wdm

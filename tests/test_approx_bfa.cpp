@@ -1,0 +1,116 @@
+// Section IV.C approximation: Theorem 3 gap bound, Corollary 1 centre break,
+// and behaviour under availability masks.
+#include <gtest/gtest.h>
+
+#include "core/break_first_available.hpp"
+#include "core/crossing.hpp"
+#include "test_support.hpp"
+
+namespace wdm {
+namespace {
+
+using core::ConversionScheme;
+using core::RequestVector;
+
+TEST(ApproxBfa, EmptyRequests) {
+  const auto scheme = ConversionScheme::circular(6, 1, 1);
+  const auto out = core::approx_break_first_available(RequestVector(6), scheme);
+  EXPECT_EQ(out.assignment.granted, 0);
+  EXPECT_EQ(out.break_channel, core::kNone);
+}
+
+TEST(ApproxBfa, DegreeOneIsExact) {
+  // d = 1: the only break is δ = 1, bound 0 — the approximation is exact.
+  const auto scheme = ConversionScheme::circular(6, 0, 0);
+  util::Rng rng(1);
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto rv = test::random_request_vector(rng, 6, 3, 0.5);
+    if (rv.empty()) continue;
+    const auto out = core::approx_break_first_available(rv, scheme);
+    EXPECT_EQ(out.gap_bound, 0);
+    EXPECT_EQ(out.assignment.granted, test::oracle_max_matching(scheme, rv));
+  }
+}
+
+TEST(ApproxBfa, FallsBackWhenCentreChannelOccupied) {
+  const auto scheme = ConversionScheme::circular(6, 1, 1);
+  RequestVector rv(6);
+  rv.add(2, 2);
+  // Centre break for λ2 would be b2; occupy it.
+  std::vector<std::uint8_t> mask{1, 1, 0, 1, 1, 1};
+  const auto out = core::approx_break_first_available(rv, scheme, mask);
+  EXPECT_NE(out.break_channel, 2);
+  // δ ∈ {1, 3}, both have bound d - 1 - ... = max{δ-1, d-δ} = 2.
+  EXPECT_EQ(out.gap_bound, 2);
+  EXPECT_EQ(out.assignment.granted, 2);  // b1 and b3 still fit both requests
+  test::expect_valid_assignment(out.assignment, rv, scheme, mask);
+}
+
+struct ApproxCase {
+  std::int32_t k, e, f, n_fibers;
+  double load;
+};
+
+class ApproxSweep : public ::testing::TestWithParam<ApproxCase> {};
+
+TEST_P(ApproxSweep, TheoremThreeGapBoundHolds) {
+  const auto [k, e, f, n_fibers, load] = GetParam();
+  const auto scheme = ConversionScheme::circular(k, e, f);
+  util::Rng rng(static_cast<std::uint64_t>(k * 211 + e * 47 + f * 9) + 3);
+  std::int64_t total_gap = 0;
+  std::int64_t instances = 0;
+  for (int trial = 0; trial < 80; ++trial) {
+    const auto rv = test::random_request_vector(rng, k, n_fibers, load);
+    if (rv.empty()) continue;
+    const auto approx = core::approx_break_first_available(rv, scheme);
+    test::expect_valid_assignment(approx.assignment, rv, scheme);
+    const auto maximum = test::oracle_max_matching(scheme, rv);
+    const auto gap = maximum - approx.assignment.granted;
+    EXPECT_GE(gap, 0);
+    EXPECT_LE(gap, approx.gap_bound) << "k=" << k << " trial=" << trial;
+    // Corollary 1: the centred break minimises the bound at (d-1)/2 for odd
+    // d; for even d the best achievable value is floor(d/2).
+    EXPECT_EQ(approx.gap_bound, scheme.degree() / 2);
+    total_gap += gap;
+    instances += 1;
+  }
+  ASSERT_GT(instances, 0);
+  // The bound is worst-case; on random traffic the approximation is close
+  // to exact on average (well under half the bound per instance).
+  EXPECT_LE(static_cast<double>(total_gap),
+            0.5 * static_cast<double>(instances) *
+                std::max(1, scheme.degree() / 2));
+}
+
+TEST_P(ApproxSweep, GapBoundHoldsWithOccupiedChannels) {
+  const auto [k, e, f, n_fibers, load] = GetParam();
+  const auto scheme = ConversionScheme::circular(k, e, f);
+  util::Rng rng(static_cast<std::uint64_t>(k * 223 + e * 53 + f * 11) + 5);
+  for (int trial = 0; trial < 60; ++trial) {
+    const auto rv = test::random_request_vector(rng, k, n_fibers, load);
+    const auto mask = test::random_mask(rng, k, 0.7);
+    const auto approx = core::approx_break_first_available(rv, scheme, mask);
+    if (approx.break_channel == core::kNone) continue;
+    test::expect_valid_assignment(approx.assignment, rv, scheme, mask);
+    const auto maximum = test::oracle_max_matching(scheme, rv, mask);
+    EXPECT_LE(maximum - approx.assignment.granted, approx.gap_bound);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ApproxSweep,
+    ::testing::Values(ApproxCase{6, 1, 1, 4, 0.4},   // d = 3 (bound 1)
+                      ApproxCase{8, 2, 2, 4, 0.4},   // d = 5 (bound 2)
+                      ApproxCase{8, 1, 1, 8, 0.7},   // overload
+                      ApproxCase{10, 3, 3, 4, 0.3},  // d = 7 (bound 3)
+                      ApproxCase{12, 2, 1, 3, 0.35},
+                      ApproxCase{16, 4, 4, 2, 0.3}),
+    [](const ::testing::TestParamInfo<ApproxCase>& pinfo) {
+      const auto& p = pinfo.param;
+      return "k" + std::to_string(p.k) + "_e" + std::to_string(p.e) + "_f" +
+             std::to_string(p.f) + "_L" +
+             std::to_string(static_cast<int>(p.load * 100));
+    });
+
+}  // namespace
+}  // namespace wdm

@@ -1,0 +1,87 @@
+// Arbitrary (non-interval) conversion: construction, scheduling optimality,
+// and agreement with the interval schedulers on interval relations.
+#include <gtest/gtest.h>
+
+#include "core/arbitrary_conversion.hpp"
+#include "core/priority.hpp"
+#include "test_support.hpp"
+
+namespace wdm {
+namespace {
+
+using core::ArbitraryConversion;
+using core::ConversionScheme;
+using core::RequestVector;
+
+TEST(ArbitraryConversion, ConstructionValidation) {
+  ArbitraryConversion ok(3, {{0, 1}, {}, {2}});
+  EXPECT_EQ(ok.k(), 3);
+  EXPECT_TRUE(ok.can_convert(0, 1));
+  EXPECT_FALSE(ok.can_convert(0, 2));
+  EXPECT_FALSE(ok.can_convert(1, 1));  // isolated wavelength
+  EXPECT_EQ(ok.max_degree(), 2);
+
+  EXPECT_THROW(ArbitraryConversion(2, {{0}}), std::logic_error);  // wrong size
+  EXPECT_THROW(ArbitraryConversion(2, {{0, 0}, {}}), std::logic_error);  // dup
+  EXPECT_THROW(ArbitraryConversion(2, {{2}, {}}), std::logic_error);  // range
+}
+
+TEST(ArbitraryConversion, GappedRelationIsScheduledOptimally) {
+  // A parametric-style converter: λw reaches {w, (k-1)-w} — a relation with
+  // gaps no interval scheme can express.
+  const std::int32_t k = 6;
+  std::vector<std::vector<core::Channel>> reach(static_cast<std::size_t>(k));
+  for (core::Wavelength w = 0; w < k; ++w) {
+    reach[static_cast<std::size_t>(w)] = {w};
+    if (k - 1 - w != w) reach[static_cast<std::size_t>(w)].push_back(k - 1 - w);
+  }
+  const ArbitraryConversion conv(k, std::move(reach));
+
+  RequestVector rv(k);
+  rv.add(0, 2);  // reach {0, 5}
+  rv.add(5, 1);  // reach {5, 0} — total 3 requests for channels {0, 5}
+  const auto out = core::schedule_arbitrary(rv, conv);
+  EXPECT_EQ(out.granted, 2);
+
+  RequestVector spread(k);
+  spread.add(1, 2);  // reach {1, 4}
+  const auto out2 = core::schedule_arbitrary(spread, conv);
+  EXPECT_EQ(out2.granted, 2);
+  EXPECT_EQ(out2.source[1], 1);
+  EXPECT_EQ(out2.source[4], 1);
+}
+
+TEST(ArbitraryConversion, MatchesIntervalSchedulersOnIntervalRelations) {
+  util::Rng rng(888);
+  for (int trial = 0; trial < 60; ++trial) {
+    const auto k = static_cast<std::int32_t>(2 + rng.uniform_below(10));
+    const auto e = static_cast<std::int32_t>(rng.uniform_below(3));
+    const auto f = static_cast<std::int32_t>(rng.uniform_below(3));
+    if (e + f + 1 > k) continue;
+    const bool circ = rng.bernoulli(0.5);
+    const auto scheme = circ ? ConversionScheme::circular(k, e, f)
+                             : ConversionScheme::non_circular(k, e, f);
+    const auto conv = ArbitraryConversion::from_scheme(scheme);
+    const auto rv = test::random_request_vector(rng, k, 4, 0.4);
+    const auto mask = test::random_mask(rng, k, 0.7);
+
+    const auto generic = core::schedule_arbitrary(rv, conv, mask);
+    test::expect_valid_assignment(generic, rv, scheme, mask);
+    const auto fast = core::assign_maximum(rv, scheme, mask);
+    EXPECT_EQ(generic.granted, fast.granted)
+        << (circ ? "circular" : "non-circular") << " k=" << k;
+  }
+}
+
+TEST(ArbitraryConversion, RespectsAvailability) {
+  const ArbitraryConversion conv(3, {{0, 1, 2}, {0, 1, 2}, {0, 1, 2}});
+  RequestVector rv(3);
+  rv.add(0, 3);
+  const std::vector<std::uint8_t> mask{1, 0, 1};
+  const auto out = core::schedule_arbitrary(rv, conv, mask);
+  EXPECT_EQ(out.granted, 2);
+  EXPECT_EQ(out.source[1], core::kNone);
+}
+
+}  // namespace
+}  // namespace wdm

@@ -1,0 +1,128 @@
+// Asynchronous FCFS wavelength-routing mode: Erlang-B corner validation,
+// monotonicity, determinism, and policy behaviour.
+#include <gtest/gtest.h>
+
+#include "sim/async.hpp"
+
+namespace wdm {
+namespace {
+
+using core::ConversionScheme;
+using sim::AsyncConfig;
+using sim::FitPolicy;
+
+TEST(ErlangB, KnownValues) {
+  // B(1, a) = a / (1 + a).
+  EXPECT_NEAR(sim::erlang_b(1, 1.0), 0.5, 1e-12);
+  EXPECT_NEAR(sim::erlang_b(1, 0.25), 0.2, 1e-12);
+  // Textbook value: B(5, 3) ≈ 0.11005.
+  EXPECT_NEAR(sim::erlang_b(5, 3.0), 0.11005, 1e-4);
+  // Degenerate cases.
+  EXPECT_DOUBLE_EQ(sim::erlang_b(0, 2.0), 1.0);
+  EXPECT_DOUBLE_EQ(sim::erlang_b(4, 0.0), 0.0);
+  // Monotone: more servers, less blocking; more load, more blocking.
+  EXPECT_LT(sim::erlang_b(6, 3.0), sim::erlang_b(5, 3.0));
+  EXPECT_LT(sim::erlang_b(5, 2.0), sim::erlang_b(5, 3.0));
+}
+
+TEST(Async, DeterministicForSeed) {
+  AsyncConfig cfg;
+  cfg.arrivals = 20000;
+  cfg.warmup = 2000;
+  const auto a = sim::run_async_simulation(cfg);
+  const auto b = sim::run_async_simulation(cfg);
+  EXPECT_EQ(a.blocked, b.blocked);
+  EXPECT_DOUBLE_EQ(a.utilization, b.utilization);
+}
+
+TEST(Async, NoConversionMatchesErlangB1) {
+  // d = 1: every output channel is an independent M/M/1/1 loss system with
+  // offered traffic = per-channel load (uniform wavelength & destination
+  // sampling spreads total arrivals evenly over the N*k channels).
+  AsyncConfig cfg;
+  cfg.n_fibers = 4;
+  cfg.scheme = ConversionScheme::circular(6, 0, 0);
+  cfg.load = 0.6;
+  cfg.arrivals = 300000;
+  cfg.warmup = 30000;
+  cfg.seed = 9;
+  const auto r = sim::run_async_simulation(cfg);
+  const double expected = sim::erlang_b(1, 0.6);
+  EXPECT_NEAR(r.blocking_probability, expected, 0.01);
+}
+
+TEST(Async, FullRangeMatchesErlangBk) {
+  // Full range: a destination fiber pools its k channels — M/M/k/k with
+  // offered traffic k * load.
+  AsyncConfig cfg;
+  cfg.n_fibers = 4;
+  cfg.scheme = ConversionScheme::full_range(6);
+  cfg.load = 0.8;
+  cfg.arrivals = 300000;
+  cfg.warmup = 30000;
+  cfg.seed = 11;
+  const auto r = sim::run_async_simulation(cfg);
+  const double expected = sim::erlang_b(6, 6 * 0.8);
+  EXPECT_NEAR(r.blocking_probability, expected, 0.01);
+}
+
+TEST(Async, BlockingMonotoneInLoadAndDegree) {
+  AsyncConfig cfg;
+  cfg.arrivals = 60000;
+  cfg.warmup = 6000;
+  cfg.scheme = ConversionScheme::circular(8, 1, 1);
+  cfg.load = 0.4;
+  const auto light = sim::run_async_simulation(cfg);
+  cfg.load = 0.9;
+  const auto heavy = sim::run_async_simulation(cfg);
+  EXPECT_LT(light.blocking_probability, heavy.blocking_probability);
+
+  cfg.load = 0.7;
+  cfg.scheme = ConversionScheme::circular(8, 0, 0);
+  const auto d1 = sim::run_async_simulation(cfg);
+  cfg.scheme = ConversionScheme::circular(8, 1, 1);
+  const auto d3 = sim::run_async_simulation(cfg);
+  cfg.scheme = ConversionScheme::full_range(8);
+  const auto full = sim::run_async_simulation(cfg);
+  EXPECT_GT(d1.blocking_probability, d3.blocking_probability);
+  EXPECT_GE(d3.blocking_probability, full.blocking_probability - 0.005);
+}
+
+TEST(Async, RandomFitCloseToFirstFit) {
+  // Both policies are work-conserving single-request placements; their
+  // blocking differs only via packing effects, which are small here.
+  AsyncConfig cfg;
+  cfg.scheme = ConversionScheme::circular(8, 1, 1);
+  cfg.load = 0.7;
+  cfg.arrivals = 80000;
+  cfg.warmup = 8000;
+  cfg.policy = FitPolicy::kFirstFit;
+  const auto first = sim::run_async_simulation(cfg);
+  cfg.policy = FitPolicy::kRandomFit;
+  const auto random = sim::run_async_simulation(cfg);
+  EXPECT_NEAR(first.blocking_probability, random.blocking_probability, 0.02);
+}
+
+TEST(Async, UtilizationConsistent) {
+  // Carried load = offered * (1 - blocking); utilization per channel should
+  // match carried load per channel (PASTA / work conservation).
+  AsyncConfig cfg;
+  cfg.scheme = ConversionScheme::circular(8, 1, 1);
+  cfg.load = 0.6;
+  cfg.arrivals = 150000;
+  cfg.warmup = 15000;
+  const auto r = sim::run_async_simulation(cfg);
+  EXPECT_NEAR(r.utilization, 0.6 * (1.0 - r.blocking_probability), 0.02);
+}
+
+TEST(Async, InvalidConfigRejected) {
+  AsyncConfig cfg;
+  cfg.arrivals = 0;
+  EXPECT_THROW(sim::run_async_simulation(cfg), std::logic_error);
+  AsyncConfig cfg2;
+  cfg2.mean_holding = 0.0;
+  EXPECT_THROW(sim::run_async_simulation(cfg2), std::logic_error);
+}
+
+}  // namespace
+}  // namespace wdm

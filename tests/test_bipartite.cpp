@@ -1,0 +1,86 @@
+// BipartiteGraph and Matching container invariants.
+#include <gtest/gtest.h>
+
+#include "graph/bipartite_graph.hpp"
+#include "graph/matching.hpp"
+
+namespace wdm {
+namespace {
+
+TEST(BipartiteGraph, EmptyGraph) {
+  const graph::BipartiteGraph g(0, 0);
+  EXPECT_EQ(g.n_left(), 0);
+  EXPECT_EQ(g.n_right(), 0);
+  EXPECT_EQ(g.n_edges(), 0u);
+}
+
+TEST(BipartiteGraph, AddAndQueryEdges) {
+  graph::BipartiteGraph g(3, 4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 3);
+  g.add_edge(2, 0);
+  EXPECT_EQ(g.n_edges(), 3u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(0, 3));
+  EXPECT_FALSE(g.has_edge(0, 0));
+  EXPECT_FALSE(g.has_edge(1, 1));
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(1), 0u);
+}
+
+TEST(BipartiteGraph, BoundsChecked) {
+  graph::BipartiteGraph g(2, 2);
+  EXPECT_THROW(g.add_edge(2, 0), std::logic_error);
+  EXPECT_THROW(g.add_edge(0, 2), std::logic_error);
+  EXPECT_THROW(g.add_edge(-1, 0), std::logic_error);
+  EXPECT_THROW(g.neighbors(5), std::logic_error);
+}
+
+TEST(Matching, MatchAndUnmatch) {
+  graph::Matching m(3, 3);
+  m.match(0, 2);
+  m.match(1, 0);
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_EQ(m.right_of(0), 2);
+  EXPECT_EQ(m.left_of(2), 0);
+  EXPECT_TRUE(m.left_matched(1));
+  EXPECT_FALSE(m.right_matched(1));
+  m.unmatch_left(0);
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_EQ(m.right_of(0), graph::kNoVertex);
+  EXPECT_EQ(m.left_of(2), graph::kNoVertex);
+  m.unmatch_left(0);  // idempotent on unmatched vertex
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(Matching, DoubleMatchRejected) {
+  graph::Matching m(2, 2);
+  m.match(0, 0);
+  EXPECT_THROW(m.match(0, 1), std::logic_error);  // left already matched
+  EXPECT_THROW(m.match(1, 0), std::logic_error);  // right already matched
+}
+
+TEST(Matching, ConsistencyHolds) {
+  graph::Matching m(4, 4);
+  m.match(0, 3);
+  m.match(3, 0);
+  EXPECT_TRUE(m.is_consistent());
+}
+
+TEST(Matching, ValidityAgainstGraph) {
+  graph::BipartiteGraph g(2, 2);
+  g.add_edge(0, 0);
+  graph::Matching ok(2, 2);
+  ok.match(0, 0);
+  EXPECT_TRUE(graph::is_valid_matching(g, ok));
+
+  graph::Matching bad(2, 2);
+  bad.match(1, 1);  // edge absent from g
+  EXPECT_FALSE(graph::is_valid_matching(g, bad));
+
+  graph::Matching wrong_shape(3, 2);
+  EXPECT_FALSE(graph::is_valid_matching(g, wrong_shape));
+}
+
+}  // namespace
+}  // namespace wdm

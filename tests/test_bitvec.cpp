@@ -1,0 +1,110 @@
+// BitVector register model: bit ops, encoders, word-boundary behaviour.
+#include <gtest/gtest.h>
+
+#include "hw/bitvec.hpp"
+
+namespace wdm {
+namespace {
+
+using hw::BitVector;
+
+TEST(BitVector, SetTestClear) {
+  BitVector v(130);  // spans three 64-bit words
+  EXPECT_EQ(v.size(), 130u);
+  EXPECT_TRUE(v.none());
+  v.set(0);
+  v.set(64);
+  v.set(129);
+  EXPECT_TRUE(v.test(0));
+  EXPECT_TRUE(v.test(64));
+  EXPECT_TRUE(v.test(129));
+  EXPECT_FALSE(v.test(1));
+  EXPECT_EQ(v.count(), 3u);
+  v.clear(64);
+  EXPECT_FALSE(v.test(64));
+  EXPECT_EQ(v.count(), 2u);
+  v.assign(5, true);
+  EXPECT_TRUE(v.test(5));
+  v.assign(5, false);
+  EXPECT_FALSE(v.test(5));
+}
+
+TEST(BitVector, BoundsChecked) {
+  BitVector v(10);
+  EXPECT_THROW(v.set(10), std::logic_error);
+  EXPECT_THROW(v.test(11), std::logic_error);
+}
+
+TEST(BitVector, SetAllRespectsSize) {
+  BitVector v(70);
+  v.set_all();
+  EXPECT_EQ(v.count(), 70u);
+  EXPECT_TRUE(v.any());
+  v.clear_all();
+  EXPECT_TRUE(v.none());
+}
+
+TEST(BitVector, FindFirst) {
+  BitVector v(200);
+  EXPECT_EQ(v.find_first(), BitVector::npos);
+  v.set(3);
+  v.set(100);
+  v.set(199);
+  EXPECT_EQ(v.find_first(), 3u);
+  EXPECT_EQ(v.find_first(4), 100u);
+  EXPECT_EQ(v.find_first(100), 100u);
+  EXPECT_EQ(v.find_first(101), 199u);
+  EXPECT_EQ(v.find_first(200), BitVector::npos);
+}
+
+TEST(BitVector, FindFirstAnd) {
+  BitVector v(80), mask(80);
+  v.set(10);
+  v.set(40);
+  v.set(70);
+  mask.set(40);
+  mask.set(70);
+  EXPECT_EQ(v.find_first_and(mask), 40u);
+  BitVector empty_mask(80);
+  EXPECT_EQ(v.find_first_and(empty_mask), BitVector::npos);
+  BitVector wrong_size(81);
+  EXPECT_THROW(v.find_first_and(wrong_size), std::logic_error);
+}
+
+TEST(BitVector, FindFirstCircular) {
+  BitVector v(16);
+  v.set(2);
+  v.set(9);
+  EXPECT_EQ(v.find_first_circular(0), 2u);
+  EXPECT_EQ(v.find_first_circular(3), 9u);
+  EXPECT_EQ(v.find_first_circular(10), 2u);  // wraps
+  EXPECT_EQ(v.find_first_circular(9), 9u);
+  BitVector empty(16);
+  EXPECT_EQ(empty.find_first_circular(5), BitVector::npos);
+}
+
+TEST(BitVector, AndOrAssign) {
+  BitVector a(70), b(70);
+  a.set(1);
+  a.set(65);
+  b.set(65);
+  b.set(2);
+  BitVector a_and = a;
+  a_and &= b;
+  EXPECT_EQ(a_and.count(), 1u);
+  EXPECT_TRUE(a_and.test(65));
+  BitVector a_or = a;
+  a_or |= b;
+  EXPECT_EQ(a_or.count(), 3u);
+}
+
+TEST(BitVector, Equality) {
+  BitVector a(10), b(10);
+  a.set(4);
+  EXPECT_NE(a, b);
+  b.set(4);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace wdm

@@ -1,0 +1,99 @@
+// Command-line parser behaviour.
+#include <gtest/gtest.h>
+
+#include "util/cli.hpp"
+
+namespace wdm {
+namespace {
+
+util::Cli make_cli() {
+  util::Cli cli("prog", "test program");
+  cli.add_option("k", "8", "wavelengths");
+  cli.add_option("load", "0.5", "offered load");
+  cli.add_option("loads", "0.1,0.2", "load sweep");
+  cli.add_flag("verbose", "chatty output");
+  return cli;
+}
+
+TEST(Cli, DefaultsApply) {
+  auto cli = make_cli();
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, argv));
+  EXPECT_EQ(cli.get_int("k"), 8);
+  EXPECT_DOUBLE_EQ(cli.get_double("load"), 0.5);
+  EXPECT_FALSE(cli.get_flag("verbose"));
+}
+
+TEST(Cli, EqualsAndSpaceSyntax) {
+  auto cli = make_cli();
+  const char* argv[] = {"prog", "--k=16", "--load", "0.9", "--verbose"};
+  ASSERT_TRUE(cli.parse(5, argv));
+  EXPECT_EQ(cli.get_int("k"), 16);
+  EXPECT_DOUBLE_EQ(cli.get_double("load"), 0.9);
+  EXPECT_TRUE(cli.get_flag("verbose"));
+}
+
+TEST(Cli, ListParsing) {
+  auto cli = make_cli();
+  const char* argv[] = {"prog", "--loads=0.1,0.5,0.9"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  const auto loads = cli.get_double_list("loads");
+  ASSERT_EQ(loads.size(), 3u);
+  EXPECT_DOUBLE_EQ(loads[1], 0.5);
+}
+
+TEST(Cli, UnknownOptionFails) {
+  auto cli = make_cli();
+  const char* argv[] = {"prog", "--nope=1"};
+  EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(Cli, MissingValueFails) {
+  auto cli = make_cli();
+  const char* argv[] = {"prog", "--k"};
+  EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(Cli, HelpReturnsFalse) {
+  auto cli = make_cli();
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(Cli, PositionalRejected) {
+  auto cli = make_cli();
+  const char* argv[] = {"prog", "stray"};
+  EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(Cli, BadNumberThrows) {
+  auto cli = make_cli();
+  const char* argv[] = {"prog", "--k=notanumber"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  EXPECT_THROW(cli.get_int("k"), std::invalid_argument);
+}
+
+TEST(Cli, UndeclaredQueryThrows) {
+  auto cli = make_cli();
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, argv));
+  EXPECT_THROW(cli.get("missing"), std::logic_error);
+}
+
+TEST(Cli, DuplicateDeclarationThrows) {
+  util::Cli cli("p", "s");
+  cli.add_option("x", "1", "h");
+  EXPECT_THROW(cli.add_option("x", "2", "h"), std::logic_error);
+  EXPECT_THROW(cli.add_flag("x", "h"), std::logic_error);
+}
+
+TEST(Cli, UsageListsOptions) {
+  const auto cli = make_cli();
+  const auto usage = cli.usage();
+  EXPECT_NE(usage.find("--k"), std::string::npos);
+  EXPECT_NE(usage.find("--verbose"), std::string::npos);
+  EXPECT_NE(usage.find("--help"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wdm

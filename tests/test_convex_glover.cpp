@@ -1,0 +1,119 @@
+// Convex bipartite graphs, Glover's algorithm (paper Table 1), and the
+// vertex-level staircase First Available rule.
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/glover.hpp"
+#include "graph/hopcroft_karp.hpp"
+#include "util/rng.hpp"
+
+namespace wdm {
+namespace {
+
+using graph::ConvexBipartiteGraph;
+using graph::Interval;
+
+TEST(Interval, Basics) {
+  const Interval iv{2, 5};
+  EXPECT_FALSE(iv.empty());
+  EXPECT_EQ(iv.length(), 4);
+  EXPECT_TRUE(iv.contains(2));
+  EXPECT_TRUE(iv.contains(5));
+  EXPECT_FALSE(iv.contains(1));
+  EXPECT_FALSE(iv.contains(6));
+
+  const Interval empty{};
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.length(), 0);
+  EXPECT_FALSE(empty.contains(0));
+}
+
+TEST(ConvexGraph, ConstructionAndEdges) {
+  const ConvexBipartiteGraph g({{0, 2}, {1, 3}, {}, {3, 3}}, 4);
+  EXPECT_EQ(g.n_left(), 4);
+  EXPECT_EQ(g.n_right(), 4);
+  EXPECT_EQ(g.n_edges(), 3u + 3u + 0u + 1u);
+  EXPECT_TRUE(g.is_staircase());
+  const auto b = g.to_bipartite();
+  EXPECT_TRUE(b.has_edge(0, 0));
+  EXPECT_TRUE(b.has_edge(1, 3));
+  EXPECT_EQ(b.degree(2), 0u);
+}
+
+TEST(ConvexGraph, StaircaseDetection) {
+  EXPECT_TRUE(ConvexBipartiteGraph({{0, 1}, {0, 2}, {1, 2}}, 3).is_staircase());
+  // END decreases: not staircase.
+  EXPECT_FALSE(ConvexBipartiteGraph({{0, 2}, {0, 1}}, 3).is_staircase());
+  // BEGIN decreases: not staircase.
+  EXPECT_FALSE(ConvexBipartiteGraph({{1, 2}, {0, 2}}, 3).is_staircase());
+  // Empty intervals are transparent.
+  EXPECT_TRUE(ConvexBipartiteGraph({{0, 1}, {}, {1, 2}}, 3).is_staircase());
+}
+
+TEST(ConvexGraph, OutOfRangeIntervalRejected) {
+  EXPECT_THROW(ConvexBipartiteGraph({{0, 3}}, 3), std::logic_error);
+  EXPECT_THROW(ConvexBipartiteGraph({{-1, 1}}, 3), std::logic_error);
+}
+
+TEST(Glover, PaperTableOneSemantics) {
+  // Right vertices scanned in order; each matched to the adjacent unmatched
+  // left vertex with minimum END. Classic instance where greedy-by-begin
+  // fails but min-END succeeds.
+  const ConvexBipartiteGraph g({{0, 0}, {0, 2}}, 3);
+  const auto m = graph::glover_maximum_matching(g);
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_EQ(m.left_of(0), 0);  // b0 must go to the short interval
+}
+
+TEST(Glover, MatchesHopcroftKarpOnRandomConvexGraphs) {
+  util::Rng rng(42);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto n_left = static_cast<graph::VertexId>(1 + rng.uniform_below(24));
+    const auto n_right = static_cast<graph::VertexId>(1 + rng.uniform_below(16));
+    const auto width = static_cast<graph::VertexId>(1 + rng.uniform_below(6));
+    const auto g = graph::random_convex(rng, n_left, n_right, width, 0.1);
+    const auto glover = graph::glover_maximum_matching(g);
+    const auto hk = graph::hopcroft_karp(g.to_bipartite());
+    EXPECT_TRUE(graph::is_valid_matching(g.to_bipartite(), glover));
+    EXPECT_EQ(glover.size(), hk.size()) << "trial " << trial;
+  }
+}
+
+TEST(StaircaseFirstAvailable, RequiresStaircase) {
+  const ConvexBipartiteGraph not_staircase({{0, 2}, {0, 1}}, 3);
+  EXPECT_THROW(graph::staircase_first_available(not_staircase),
+               std::logic_error);
+}
+
+TEST(StaircaseFirstAvailable, MatchesGloverOnStaircaseGraphs) {
+  util::Rng rng(4242);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto n_left = static_cast<graph::VertexId>(1 + rng.uniform_below(24));
+    const auto n_right = static_cast<graph::VertexId>(1 + rng.uniform_below(16));
+    const auto width = static_cast<graph::VertexId>(1 + rng.uniform_below(6));
+    const auto g = graph::random_staircase(rng, n_left, n_right, width);
+    ASSERT_TRUE(g.is_staircase());
+    const auto fa = graph::staircase_first_available(g);
+    const auto glover = graph::glover_maximum_matching(g);
+    EXPECT_TRUE(graph::is_valid_matching(g.to_bipartite(), fa));
+    EXPECT_EQ(fa.size(), glover.size()) << "trial " << trial;
+  }
+}
+
+TEST(StaircaseFirstAvailable, HandlesEmptyAndIsolated) {
+  const ConvexBipartiteGraph g({{}, {0, 0}, {}}, 2);
+  const auto m = graph::staircase_first_available(g);
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_EQ(m.right_of(1), 0);
+}
+
+TEST(Generators, RandomStaircaseIsAlwaysStaircase) {
+  util::Rng rng(7);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto g = graph::random_staircase(rng, 15, 10, 4);
+    EXPECT_TRUE(g.is_staircase());
+  }
+}
+
+}  // namespace
+}  // namespace wdm

@@ -1,0 +1,215 @@
+// Crossing edges: Definition 1, Lemma 1 (uncrossing), Lemma 5 (mutual
+// crossing of opposite-side edges), Lemma 6 (crossing-count bound).
+#include <gtest/gtest.h>
+
+#include "core/crossing.hpp"
+#include "graph/hopcroft_karp.hpp"
+#include "test_support.hpp"
+
+namespace wdm {
+namespace {
+
+using core::ConversionScheme;
+using core::Edge;
+using core::RequestGraph;
+using core::RequestVector;
+
+RequestGraph paper_graph() {
+  return RequestGraph(ConversionScheme::circular(6, 1, 1),
+                      RequestVector{2, 1, 0, 1, 1, 2});
+}
+
+TEST(Crossing, PaperExamples) {
+  const auto g = paper_graph();
+  // "edges a0 b1 and a1 b0 cross each other"
+  EXPECT_TRUE(core::edges_cross(g, Edge{0, 1}, Edge{1, 0}));
+  // "edge a3 b4 crosses a4 b3"
+  EXPECT_TRUE(core::edges_cross(g, Edge{3, 4}, Edge{4, 3}));
+  // "edge a0 b5 and a4 b4, though intersecting in the figure, are not a
+  // pair of crossing edges"
+  EXPECT_FALSE(core::edges_cross(g, Edge{0, 5}, Edge{4, 4}));
+}
+
+TEST(Crossing, EdgeDoesNotCrossItself) {
+  const auto g = paper_graph();
+  EXPECT_FALSE(core::edges_cross(g, Edge{0, 1}, Edge{0, 1}));
+}
+
+TEST(Crossing, ParallelSameWavelengthEdgesDoNotCross) {
+  const auto g = paper_graph();
+  // a0 -> b0 and a1 -> b1: aligned with index order, not crossing.
+  EXPECT_FALSE(core::edges_cross(g, Edge{0, 0}, Edge{1, 1}));
+  // a5 -> b4 and a6 -> b5 (λ5 group): aligned, not crossing.
+  EXPECT_FALSE(core::edges_cross(g, Edge{5, 4}, Edge{6, 5}));
+  // a5 -> b5 and a6 -> b4: inverted, crossing.
+  EXPECT_TRUE(core::edges_cross(g, Edge{5, 5}, Edge{6, 4}));
+}
+
+TEST(Crossing, RequiresCircularScheme) {
+  const RequestGraph g(ConversionScheme::non_circular(6, 1, 1),
+                       RequestVector{1, 1, 0, 0, 0, 0});
+  EXPECT_THROW(core::edges_cross(g, Edge{0, 0}, Edge{1, 1}), std::logic_error);
+}
+
+TEST(Crossing, RequiresExistingEdges) {
+  const auto g = paper_graph();
+  EXPECT_THROW(core::crosses(g, Edge{0, 3}, Edge{1, 0}), std::logic_error);
+}
+
+TEST(Crossing, DeltaOf) {
+  const auto scheme = ConversionScheme::circular(6, 2, 1);  // d = 4
+  // adjacency of λ3 is {1, 2, 3, 4} in minus-to-plus order.
+  EXPECT_EQ(core::delta_of(scheme, 3, 1), 1);
+  EXPECT_EQ(core::delta_of(scheme, 3, 2), 2);
+  EXPECT_EQ(core::delta_of(scheme, 3, 3), 3);
+  EXPECT_EQ(core::delta_of(scheme, 3, 4), 4);
+  // Wrapping: adjacency of λ0 is {4, 5, 0, 1}.
+  EXPECT_EQ(core::delta_of(scheme, 0, 4), 1);
+  EXPECT_EQ(core::delta_of(scheme, 0, 1), 4);
+  EXPECT_THROW(core::delta_of(scheme, 0, 2), std::logic_error);
+}
+
+// --- Randomised structural properties ---------------------------------------
+
+struct CrossCase {
+  std::int32_t k, e, f;
+};
+
+class CrossingProperties : public ::testing::TestWithParam<CrossCase> {
+ protected:
+  std::vector<Edge> all_edges(const RequestGraph& g) const {
+    std::vector<Edge> edges;
+    for (std::int32_t j = 0; j < g.n_requests(); ++j) {
+      for (core::Channel u = 0; u < g.k(); ++u) {
+        if (g.has_edge(j, u)) edges.push_back(Edge{j, u});
+      }
+    }
+    return edges;
+  }
+};
+
+TEST_P(CrossingProperties, CrossingIsSymmetric) {
+  const auto [k, e, f] = GetParam();
+  const auto scheme = ConversionScheme::circular(k, e, f);
+  util::Rng rng(static_cast<std::uint64_t>(k * 7 + e * 3 + f));
+  for (int trial = 0; trial < 12; ++trial) {
+    const RequestGraph g(scheme, test::random_request_vector(rng, k, 3, 0.35));
+    const auto edges = all_edges(g);
+    for (const auto& x : edges) {
+      for (const auto& y : edges) {
+        EXPECT_EQ(core::crosses(g, x, y), core::crosses(g, y, x))
+            << "x=(" << x.j << "," << x.v << ") y=(" << y.j << "," << y.v << ")";
+      }
+    }
+  }
+}
+
+TEST_P(CrossingProperties, CrossingEdgesAreVertexDisjoint) {
+  const auto [k, e, f] = GetParam();
+  const auto scheme = ConversionScheme::circular(k, e, f);
+  util::Rng rng(static_cast<std::uint64_t>(k * 11 + e * 5 + f) + 17);
+  for (int trial = 0; trial < 12; ++trial) {
+    const RequestGraph g(scheme, test::random_request_vector(rng, k, 3, 0.35));
+    const auto edges = all_edges(g);
+    for (const auto& x : edges) {
+      for (const auto& y : edges) {
+        if (core::edges_cross(g, x, y)) {
+          EXPECT_NE(x.j, y.j);
+          EXPECT_NE(x.v, y.v);
+        }
+      }
+    }
+  }
+}
+
+TEST_P(CrossingProperties, LemmaOneUncrossingPreservesMaximumMatchings) {
+  const auto [k, e, f] = GetParam();
+  const auto scheme = ConversionScheme::circular(k, e, f);
+  util::Rng rng(static_cast<std::uint64_t>(k * 13 + e * 7 + f) + 29);
+  for (int trial = 0; trial < 25; ++trial) {
+    const RequestGraph g(scheme, test::random_request_vector(rng, k, 4, 0.4));
+    const auto bipartite = g.to_bipartite();
+    auto m = graph::hopcroft_karp(bipartite);
+    const std::size_t size_before = m.size();
+    core::uncross_matching(g, m);
+    EXPECT_EQ(m.size(), size_before);
+    EXPECT_TRUE(graph::is_valid_matching(bipartite, m));
+    EXPECT_FALSE(core::find_crossing_pair(g, m).has_value());
+  }
+}
+
+TEST_P(CrossingProperties, LemmaSixCrossingCountBound) {
+  const auto [k, e, f] = GetParam();
+  const auto scheme = ConversionScheme::circular(k, e, f);
+  const std::int32_t d = scheme.degree();
+  util::Rng rng(static_cast<std::uint64_t>(k * 17 + e * 11 + f) + 31);
+  for (int trial = 0; trial < 12; ++trial) {
+    const RequestGraph g(scheme, test::random_request_vector(rng, k, 3, 0.4));
+    auto m = graph::hopcroft_karp(g.to_bipartite());
+    core::uncross_matching(g, m);
+    // For every edge of G: at most max{δ(u)-1, d-δ(u)} matched edges cross it.
+    for (std::int32_t i = 0; i < g.n_requests(); ++i) {
+      for (const core::Channel u : scheme.adjacency_list(g.wavelength_of(i))) {
+        const Edge candidate{i, u};
+        std::int32_t crossing = 0;
+        for (std::int32_t j = 0; j < g.n_requests(); ++j) {
+          const auto v = m.right_of(j);
+          if (v == graph::kNoVertex || j == i) continue;
+          if (core::edges_cross(g, Edge{j, v}, candidate)) crossing += 1;
+        }
+        const auto delta = core::delta_of(scheme, g.wavelength_of(i), u);
+        EXPECT_LE(crossing, core::breaking_gap_bound(d, delta))
+            << "i=" << i << " u=" << u;
+      }
+    }
+  }
+}
+
+TEST_P(CrossingProperties, LemmaFiveOppositeSideEdgesCrossEachOther) {
+  const auto [k, e, f] = GetParam();
+  const auto scheme = ConversionScheme::circular(k, e, f);
+  util::Rng rng(static_cast<std::uint64_t>(k * 19 + e * 13 + f) + 37);
+  for (int trial = 0; trial < 8; ++trial) {
+    const RequestGraph g(scheme, test::random_request_vector(rng, k, 3, 0.35));
+    const auto edges = all_edges(g);
+    for (const auto& base : edges) {
+      const auto wi = g.wavelength_of(base.j);
+      const auto u = base.v;
+      for (const auto& x : edges) {
+        for (const auto& y : edges) {
+          if (x.j == y.j || x.v == y.v) continue;
+          if (!core::crosses(g, x, base) || !core::crosses(g, y, base)) continue;
+          const auto wx = g.wavelength_of(x.j);
+          const auto wy = g.wavelength_of(y.j);
+          // x on the plus side of W(i), y on the minus side (Lemma 5 roles).
+          const bool x_plus =
+              core::fwd(wi, wx, k) > 0 &&
+              core::fwd(wi, wx, k) < core::fwd(wi, core::mod_k(u + e, k), k);
+          const bool y_minus =
+              core::fwd(core::mod_k(u - f, k), wy, k) > 0 &&
+              core::fwd(core::mod_k(u - f, k), wy, k) <
+                  core::fwd(core::mod_k(u - f, k), wi, k);
+          if (x_plus && y_minus) {
+            EXPECT_TRUE(core::edges_cross(g, x, y))
+                << "base=(" << base.j << "," << base.v << ") x=(" << x.j << ","
+                << x.v << ") y=(" << y.j << "," << y.v << ")";
+          }
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, CrossingProperties,
+    ::testing::Values(CrossCase{6, 1, 1}, CrossCase{6, 2, 1}, CrossCase{8, 2, 2},
+                      CrossCase{5, 1, 1}, CrossCase{7, 0, 2}, CrossCase{7, 3, 0},
+                      CrossCase{10, 3, 2}),
+    [](const ::testing::TestParamInfo<CrossCase>& pinfo) {
+      const auto& p = pinfo.param;
+      return "k" + std::to_string(p.k) + "_e" + std::to_string(p.e) + "_f" +
+             std::to_string(p.f);
+    });
+
+}  // namespace
+}  // namespace wdm

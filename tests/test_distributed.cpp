@@ -1,0 +1,129 @@
+// DistributedScheduler: per-output-fiber independence, serial/parallel
+// equivalence in matching size, and request conservation.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/distributed.hpp"
+#include "test_support.hpp"
+
+namespace wdm {
+namespace {
+
+using core::Algorithm;
+using core::ConversionScheme;
+using core::DistributedScheduler;
+using core::SlotRequest;
+
+std::vector<SlotRequest> random_slot(util::Rng& rng, std::int32_t n_fibers,
+                                     std::int32_t k, double load) {
+  std::vector<SlotRequest> out;
+  std::uint64_t id = 0;
+  for (std::int32_t fiber = 0; fiber < n_fibers; ++fiber) {
+    for (core::Wavelength w = 0; w < k; ++w) {
+      if (rng.bernoulli(load)) {
+        out.push_back(SlotRequest{
+            fiber, w,
+            static_cast<std::int32_t>(rng.uniform_below(
+                static_cast<std::uint64_t>(n_fibers))),
+            id++, 1});
+      }
+    }
+  }
+  return out;
+}
+
+TEST(Distributed, DecisionsRespectDestinationsAndChannels) {
+  util::Rng rng(808);
+  DistributedScheduler sched(4, ConversionScheme::circular(6, 1, 1));
+  const auto requests = random_slot(rng, 4, 6, 0.5);
+  const auto decisions = sched.schedule_slot(requests);
+  ASSERT_EQ(decisions.size(), requests.size());
+  // No output channel double-booked within a fiber; conversions legal.
+  std::set<std::pair<std::int32_t, core::Channel>> used;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (!decisions[i].granted) continue;
+    EXPECT_TRUE(sched.scheme().can_convert(requests[i].wavelength,
+                                           decisions[i].channel));
+    EXPECT_TRUE(
+        used.insert({requests[i].output_fiber, decisions[i].channel}).second);
+  }
+}
+
+TEST(Distributed, MatchingSizePerFiberIsMaximum) {
+  util::Rng rng(909);
+  const auto scheme = ConversionScheme::circular(8, 1, 1);
+  DistributedScheduler sched(5, scheme);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto requests = random_slot(rng, 5, 8, 0.5);
+    const auto decisions = sched.schedule_slot(requests);
+    // Aggregate per-fiber and compare with the oracle fiber by fiber.
+    for (std::int32_t fiber = 0; fiber < 5; ++fiber) {
+      core::RequestVector rv(8);
+      std::int32_t granted = 0;
+      for (std::size_t i = 0; i < requests.size(); ++i) {
+        if (requests[i].output_fiber != fiber) continue;
+        rv.add(requests[i].wavelength);
+        granted += decisions[i].granted ? 1 : 0;
+      }
+      EXPECT_EQ(granted, test::oracle_max_matching(scheme, rv))
+          << "fiber " << fiber;
+    }
+  }
+}
+
+TEST(Distributed, ParallelEqualsSerialInSize) {
+  util::ThreadPool pool(3);
+  util::Rng rng(1010);
+  const auto scheme = ConversionScheme::circular(8, 2, 2);
+  DistributedScheduler serial(6, scheme, Algorithm::kAuto,
+                              core::Arbitration::kFifo, 7);
+  DistributedScheduler parallel(6, scheme, Algorithm::kAuto,
+                                core::Arbitration::kFifo, 7);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto requests = random_slot(rng, 6, 8, 0.6);
+    const auto a = serial.schedule_slot(requests);
+    const auto b = parallel.schedule_slot(requests, nullptr, &pool);
+    ASSERT_EQ(a.size(), b.size());
+    // FIFO arbitration + deterministic kernels: identical decisions.
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].granted, b[i].granted);
+      EXPECT_EQ(a[i].channel, b[i].channel);
+    }
+  }
+}
+
+TEST(Distributed, PerFiberAvailabilityMasks) {
+  DistributedScheduler sched(2, ConversionScheme::circular(4, 1, 1));
+  // Fiber 0 fully occupied, fiber 1 free.
+  std::vector<std::vector<std::uint8_t>> availability{
+      {0, 0, 0, 0}, {1, 1, 1, 1}};
+  std::vector<SlotRequest> requests{{0, 1, 0, 1, 1}, {0, 1, 1, 2, 1}};
+  const auto decisions = sched.schedule_slot(requests, &availability);
+  EXPECT_FALSE(decisions[0].granted);  // destined to the occupied fiber
+  EXPECT_TRUE(decisions[1].granted);
+}
+
+TEST(Distributed, InvalidDestinationRejected) {
+  DistributedScheduler sched(2, ConversionScheme::circular(4, 1, 1));
+  std::vector<SlotRequest> requests{{0, 0, 5, 1, 1}};
+  EXPECT_THROW(sched.schedule_slot(requests), std::logic_error);
+}
+
+TEST(Distributed, WrongAvailabilityShapeRejected) {
+  DistributedScheduler sched(3, ConversionScheme::circular(4, 1, 1));
+  std::vector<std::vector<std::uint8_t>> availability(2);  // need 3
+  std::vector<SlotRequest> requests{{0, 0, 0, 1, 1}};
+  EXPECT_THROW(sched.schedule_slot(requests, &availability), std::logic_error);
+}
+
+TEST(Distributed, PortAccessor) {
+  DistributedScheduler sched(3, ConversionScheme::non_circular(4, 1, 1));
+  EXPECT_EQ(sched.port(0).algorithm(), Algorithm::kFirstAvailable);
+  EXPECT_THROW(sched.port(3), std::logic_error);
+  EXPECT_EQ(sched.n_output_fibers(), 3);
+  EXPECT_EQ(sched.k(), 4);
+}
+
+}  // namespace
+}  // namespace wdm

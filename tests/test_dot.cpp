@@ -1,0 +1,73 @@
+// DOT export: structural checks on the generated Graphviz source.
+#include <gtest/gtest.h>
+
+#include "core/break_first_available.hpp"
+#include "core/dot.hpp"
+
+namespace wdm {
+namespace {
+
+using core::ConversionScheme;
+using core::RequestGraph;
+using core::RequestVector;
+
+TEST(Dot, ConversionGraphContainsAllEdges) {
+  const auto scheme = ConversionScheme::circular(4, 1, 0);
+  const auto dot = core::conversion_graph_dot(scheme);
+  EXPECT_NE(dot.find("graph conversion"), std::string::npos);
+  // λ0 -> {λ3, λ0}: the wrap edge must be present.
+  EXPECT_NE(dot.find("in0 -- out3"), std::string::npos);
+  EXPECT_NE(dot.find("in0 -- out0"), std::string::npos);
+  EXPECT_EQ(dot.find("in0 -- out1"), std::string::npos);
+  // Every wavelength appears on both sides.
+  for (int w = 0; w < 4; ++w) {
+    EXPECT_NE(dot.find("in" + std::to_string(w) + " "), std::string::npos);
+    EXPECT_NE(dot.find("out" + std::to_string(w) + " "), std::string::npos);
+  }
+}
+
+TEST(Dot, RequestGraphMarksOccupiedChannelsAndMatching) {
+  const auto scheme = ConversionScheme::circular(6, 1, 1);
+  const RequestVector rv{2, 1, 0, 1, 1, 2};
+  std::vector<std::uint8_t> mask{1, 1, 1, 1, 1, 0};  // b5 occupied
+  const RequestGraph g(scheme, rv, mask);
+
+  const auto assignment = core::break_first_available(rv, scheme, mask);
+  const auto matching = core::assignment_to_matching(g, assignment);
+  const auto dot = core::request_graph_dot(g, &matching);
+
+  EXPECT_NE(dot.find("graph request_graph"), std::string::npos);
+  // Occupied channel rendered dashed.
+  EXPECT_NE(dot.find("b5 [label=\"b5\", shape=doublecircle, style=dashed]"),
+            std::string::npos);
+  // Exactly `granted` bold edges.
+  std::size_t bold = 0, pos = 0;
+  while ((pos = dot.find("penwidth=3", pos)) != std::string::npos) {
+    bold += 1;
+    pos += 1;
+  }
+  EXPECT_EQ(bold, static_cast<std::size_t>(assignment.granted));
+  // A request label carries its wavelength.
+  EXPECT_NE(dot.find("a0 (λ0)"), std::string::npos);
+}
+
+TEST(Dot, AssignmentToMatchingValidatesShape) {
+  const auto scheme = ConversionScheme::circular(4, 1, 1);
+  const RequestVector rv{1, 0, 0, 0};
+  const RequestGraph g(scheme, rv);
+  core::ChannelAssignment bogus(4);
+  bogus.source[0] = 0;
+  bogus.source[1] = 0;  // two channels claim wavelength 0: only one request
+  bogus.granted = 2;
+  EXPECT_THROW(core::assignment_to_matching(g, bogus), std::logic_error);
+}
+
+TEST(Dot, MatchingShapeMismatchRejected) {
+  const auto scheme = ConversionScheme::circular(4, 1, 1);
+  const RequestGraph g(scheme, RequestVector{1, 0, 0, 0});
+  const graph::Matching wrong(2, 4);  // graph has 1 request
+  EXPECT_THROW(core::request_graph_dot(g, &wrong), std::logic_error);
+}
+
+}  // namespace
+}  // namespace wdm

@@ -1,0 +1,79 @@
+// Crosspoint fabric (Figure 1): inventory arithmetic, route validation, and
+// the guarantee that every scheduler output is physically realisable.
+#include <gtest/gtest.h>
+
+#include "hw/fabric.hpp"
+#include "test_support.hpp"
+
+namespace wdm {
+namespace {
+
+using core::ConversionScheme;
+using hw::CrosspointFabric;
+using hw::HwGrant;
+
+TEST(Fabric, InventoryCircular) {
+  const CrosspointFabric fabric(4, ConversionScheme::circular(8, 1, 1));
+  const auto inv = fabric.inventory();
+  // Every wavelength reaches d = 3 channels: 4*4 fiber pairs * 8*3 edges.
+  EXPECT_EQ(inv.crosspoints, 4u * 4u * 8u * 3u);
+  EXPECT_EQ(inv.full_crossbar, 32u * 32u);
+  EXPECT_LT(inv.crosspoints, inv.full_crossbar);
+  EXPECT_EQ(inv.combiner_fan_in, 4u * 3u);  // the paper's "Nd inputs"
+  EXPECT_EQ(inv.converters, 32u);
+}
+
+TEST(Fabric, InventoryNonCircularHasFewerCrosspoints) {
+  const CrosspointFabric circ(4, ConversionScheme::circular(8, 1, 1));
+  const CrosspointFabric nonc(4, ConversionScheme::non_circular(8, 1, 1));
+  EXPECT_LT(nonc.inventory().crosspoints, circ.inventory().crosspoints);
+}
+
+TEST(Fabric, CrosspointExistence) {
+  const CrosspointFabric fabric(2, ConversionScheme::circular(6, 1, 1));
+  EXPECT_TRUE(fabric.crosspoint_exists(0, 5));  // wrap
+  EXPECT_FALSE(fabric.crosspoint_exists(0, 3));
+}
+
+TEST(Fabric, RouteAcceptsValidGrants) {
+  const CrosspointFabric fabric(3, ConversionScheme::circular(6, 1, 1));
+  const std::vector<HwGrant> grants{{0, 1, 0}, {1, 1, 2}, {2, 4, 5}};
+  EXPECT_EQ(fabric.route(grants), 3u);
+  EXPECT_EQ(fabric.route({}), 0u);
+}
+
+TEST(Fabric, RouteRejectsPhysicalViolations) {
+  const CrosspointFabric fabric(3, ConversionScheme::circular(6, 1, 1));
+  // Missing crosspoint: λ0 cannot reach channel 3.
+  EXPECT_THROW(fabric.route({{0, 0, 3}}), std::logic_error);
+  // Combiner collision: two grants on channel 1.
+  EXPECT_THROW(fabric.route({{0, 1, 1}, {1, 2, 1}}), std::logic_error);
+  // One input channel driving two outputs.
+  EXPECT_THROW(fabric.route({{0, 1, 0}, {0, 1, 2}}), std::logic_error);
+  // Out-of-range endpoints.
+  EXPECT_THROW(fabric.route({{5, 1, 0}}), std::logic_error);
+}
+
+TEST(Fabric, EveryScheduledSlotRoutes) {
+  // End-to-end physical-realisability: whatever the hardware scheduler
+  // grants must close cleanly in the fabric, across random slots.
+  util::Rng rng(2025);
+  const auto scheme = ConversionScheme::circular(8, 2, 1);
+  const CrosspointFabric fabric(4, scheme);
+  hw::HwPortScheduler port(scheme, 4);
+  for (int slot = 0; slot < 100; ++slot) {
+    std::vector<core::Request> requests;
+    std::uint64_t id = 0;
+    for (std::int32_t fib = 0; fib < 4; ++fib) {
+      for (core::Wavelength w = 0; w < 8; ++w) {
+        if (rng.bernoulli(0.5)) requests.push_back({fib, w, id++, 1});
+      }
+    }
+    port.load(requests);
+    const auto grants = port.run();
+    EXPECT_EQ(fabric.route(grants), grants.size()) << "slot " << slot;
+  }
+}
+
+}  // namespace
+}  // namespace wdm

@@ -1,0 +1,178 @@
+// First Available Algorithm (Table 2): Theorem 1 says it finds a maximum
+// matching in every non-circular request graph. The property sweeps check
+// optimality against Hopcroft–Karp over randomized instances, with and
+// without occupied channels (Section V).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/first_available.hpp"
+#include "graph/glover.hpp"
+#include "test_support.hpp"
+
+namespace wdm {
+namespace {
+
+using core::ConversionScheme;
+using core::RequestVector;
+
+TEST(FirstAvailable, EmptyRequestsGrantNothing) {
+  const auto scheme = ConversionScheme::non_circular(8, 1, 1);
+  const auto out = core::first_available(RequestVector(8), scheme);
+  EXPECT_EQ(out.granted, 0);
+  for (const auto w : out.source) EXPECT_EQ(w, core::kNone);
+}
+
+TEST(FirstAvailable, SingleWavelengthSingleRequest) {
+  const auto scheme = ConversionScheme::non_circular(4, 1, 1);
+  RequestVector rv(4);
+  rv.add(2);
+  const auto out = core::first_available(rv, scheme);
+  EXPECT_EQ(out.granted, 1);
+  // FA grants the first adjacent channel: b1 (BEGIN value of λ2 is 1).
+  EXPECT_EQ(out.source[1], 2);
+}
+
+TEST(FirstAvailable, NoConversionDegenerate) {
+  // e = f = 0: wavelength-continuity constraint; grants min(count, 1) per λ.
+  const auto scheme = ConversionScheme::non_circular(5, 0, 0);
+  RequestVector rv(5);
+  rv.add(0, 3);
+  rv.add(2, 1);
+  rv.add(4, 2);
+  const auto out = core::first_available(rv, scheme);
+  EXPECT_EQ(out.granted, 3);
+  EXPECT_EQ(out.source[0], 0);
+  EXPECT_EQ(out.source[2], 2);
+  EXPECT_EQ(out.source[4], 4);
+  EXPECT_EQ(out.source[1], core::kNone);
+}
+
+TEST(FirstAvailable, OverloadedGrantsAllChannels) {
+  const auto scheme = ConversionScheme::non_circular(6, 2, 2);
+  RequestVector rv(6);
+  for (core::Wavelength w = 0; w < 6; ++w) rv.add(w, 4);
+  const auto out = core::first_available(rv, scheme);
+  EXPECT_EQ(out.granted, 6);  // every channel busy
+}
+
+TEST(FirstAvailable, EndWavelengthsAreDisadvantaged) {
+  // Non-circular conversion: λ0 with e=1,f=1 reaches only {0,1}. Three λ0
+  // requests can win at most two channels.
+  const auto scheme = ConversionScheme::non_circular(6, 1, 1);
+  RequestVector rv(6);
+  rv.add(0, 3);
+  const auto out = core::first_available(rv, scheme);
+  EXPECT_EQ(out.granted, 2);
+  EXPECT_EQ(out.source[0], 0);
+  EXPECT_EQ(out.source[1], 0);
+}
+
+TEST(FirstAvailable, OccupiedChannelsAreSkipped) {
+  const auto scheme = ConversionScheme::non_circular(6, 1, 1);
+  RequestVector rv(6);
+  rv.add(1, 2);
+  std::vector<std::uint8_t> mask{1, 0, 1, 1, 1, 1};  // b1 occupied
+  const auto out = core::first_available(rv, scheme, mask);
+  EXPECT_EQ(out.granted, 2);
+  EXPECT_EQ(out.source[1], core::kNone);
+  EXPECT_EQ(out.source[0], 1);
+  EXPECT_EQ(out.source[2], 1);
+  test::expect_valid_assignment(out, rv, scheme, mask);
+}
+
+TEST(FirstAvailable, AllChannelsOccupiedGrantsNothing) {
+  const auto scheme = ConversionScheme::non_circular(4, 1, 1);
+  RequestVector rv(4);
+  rv.add(1, 2);
+  const std::vector<std::uint8_t> mask(4, 0);
+  const auto out = core::first_available(rv, scheme, mask);
+  EXPECT_EQ(out.granted, 0);
+}
+
+TEST(FirstAvailable, RejectsCircularScheme) {
+  RequestVector rv(4);
+  EXPECT_THROW(core::first_available(rv, ConversionScheme::circular(4, 1, 1)),
+               std::logic_error);
+}
+
+TEST(FirstAvailable, MatchesStaircaseGraphFormulation) {
+  // The request-vector kernel and the vertex-level staircase FA from
+  // src/graph must produce identical matching sizes.
+  util::Rng rng(2023);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::int32_t k = static_cast<std::int32_t>(2 + rng.uniform_below(14));
+    const std::int32_t e = static_cast<std::int32_t>(rng.uniform_below(3));
+    const std::int32_t f = static_cast<std::int32_t>(rng.uniform_below(3));
+    if (e + f + 1 > k) continue;
+    const auto scheme = ConversionScheme::non_circular(k, e, f);
+    const auto rv = test::random_request_vector(rng, k, 4, 0.3);
+    const core::RequestGraph g(scheme, rv);
+    const auto vertex_level = graph::staircase_first_available(g.to_convex());
+    const auto vector_level = core::first_available(rv, scheme);
+    EXPECT_EQ(static_cast<std::int32_t>(vertex_level.size()),
+              vector_level.granted);
+  }
+}
+
+// --- Theorem 1 property sweep: FA is maximum --------------------------------
+
+struct FaSweepParam {
+  std::int32_t k, e, f, n_fibers;
+  double load;
+};
+
+class FirstAvailableSweep : public ::testing::TestWithParam<FaSweepParam> {};
+
+TEST_P(FirstAvailableSweep, MatchesHopcroftKarp) {
+  const auto [k, e, f, n_fibers, load] = GetParam();
+  const auto scheme = ConversionScheme::non_circular(k, e, f);
+  util::Rng rng(static_cast<std::uint64_t>(k * 1009 + e * 101 + f * 11) +
+                static_cast<std::uint64_t>(load * 997));
+  for (int trial = 0; trial < 60; ++trial) {
+    const auto rv = test::random_request_vector(rng, k, n_fibers, load);
+    const auto fa = core::first_available(rv, scheme);
+    test::expect_valid_assignment(fa, rv, scheme);
+    EXPECT_EQ(fa.granted, test::oracle_max_matching(scheme, rv))
+        << "k=" << k << " e=" << e << " f=" << f << " trial=" << trial;
+  }
+}
+
+TEST_P(FirstAvailableSweep, MatchesHopcroftKarpWithOccupiedChannels) {
+  const auto [k, e, f, n_fibers, load] = GetParam();
+  const auto scheme = ConversionScheme::non_circular(k, e, f);
+  util::Rng rng(static_cast<std::uint64_t>(k * 31 + e * 7 + f) + 77);
+  for (int trial = 0; trial < 60; ++trial) {
+    const auto rv = test::random_request_vector(rng, k, n_fibers, load);
+    const auto mask = test::random_mask(rng, k, 0.6);
+    const auto fa = core::first_available(rv, scheme, mask);
+    test::expect_valid_assignment(fa, rv, scheme, mask);
+    EXPECT_EQ(fa.granted, test::oracle_max_matching(scheme, rv, mask));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FirstAvailableSweep,
+    ::testing::Values(
+        FaSweepParam{1, 0, 0, 4, 0.5},    // single wavelength
+        FaSweepParam{2, 1, 0, 4, 0.5},    // minus-only conversion
+        FaSweepParam{4, 0, 1, 4, 0.4},    // plus-only conversion
+        FaSweepParam{6, 1, 1, 4, 0.3},    // the paper's running shape
+        FaSweepParam{6, 1, 1, 8, 0.7},    // heavy overload
+        FaSweepParam{8, 2, 2, 4, 0.3},    // d = 5
+        FaSweepParam{8, 3, 1, 4, 0.3},    // asymmetric e > f
+        FaSweepParam{8, 1, 3, 4, 0.3},    // asymmetric f > e
+        FaSweepParam{16, 2, 2, 2, 0.2},   // larger k, light load
+        FaSweepParam{16, 7, 8, 2, 0.3},   // d = k (maximal range)
+        FaSweepParam{32, 3, 3, 2, 0.15},  // wide fiber
+        FaSweepParam{5, 4, 0, 3, 0.4},    // e = k-1 edge case
+        FaSweepParam{5, 0, 4, 3, 0.4}),   // f = k-1 edge case
+    [](const ::testing::TestParamInfo<FaSweepParam>& pinfo) {
+      const auto& p = pinfo.param;
+      return "k" + std::to_string(p.k) + "_e" + std::to_string(p.e) + "_f" +
+             std::to_string(p.f) + "_N" + std::to_string(p.n_fibers) + "_L" +
+             std::to_string(static_cast<int>(p.load * 100));
+    });
+
+}  // namespace
+}  // namespace wdm

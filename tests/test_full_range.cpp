@@ -1,0 +1,64 @@
+// Full-range scheduling (Section I): grant min(#requests, #free channels).
+#include <gtest/gtest.h>
+
+#include "core/full_range.hpp"
+#include "test_support.hpp"
+
+namespace wdm {
+namespace {
+
+using core::RequestVector;
+
+TEST(FullRange, GrantsUpToCapacity) {
+  RequestVector rv(4);
+  rv.add(0, 2);
+  rv.add(3, 5);
+  const auto out = core::full_range_schedule(rv);
+  EXPECT_EQ(out.granted, 4);  // 7 requests, 4 channels
+}
+
+TEST(FullRange, GrantsAllWhenUnderloaded) {
+  RequestVector rv(6);
+  rv.add(2, 2);
+  rv.add(5, 1);
+  const auto out = core::full_range_schedule(rv);
+  EXPECT_EQ(out.granted, 3);
+  const auto scheme = core::ConversionScheme::full_range(6);
+  test::expect_valid_assignment(out, rv, scheme);
+}
+
+TEST(FullRange, RespectsAvailability) {
+  RequestVector rv(4);
+  rv.add(1, 4);
+  const std::vector<std::uint8_t> mask{0, 1, 0, 1};
+  const auto out = core::full_range_schedule(rv, mask);
+  EXPECT_EQ(out.granted, 2);
+  EXPECT_EQ(out.source[0], core::kNone);
+  EXPECT_EQ(out.source[1], 1);
+  EXPECT_EQ(out.source[3], 1);
+}
+
+TEST(FullRange, MatchesOracleOnRandomInstances) {
+  util::Rng rng(77);
+  const auto scheme = core::ConversionScheme::full_range(8);
+  for (int trial = 0; trial < 60; ++trial) {
+    const auto rv = test::random_request_vector(rng, 8, 4, 0.4);
+    const auto mask = test::random_mask(rng, 8, 0.7);
+    const auto out = core::full_range_schedule(rv, mask);
+    EXPECT_EQ(out.granted, test::oracle_max_matching(scheme, rv, mask));
+    test::expect_valid_assignment(out, rv, scheme, mask);
+  }
+}
+
+TEST(FullRange, EmptyRequests) {
+  EXPECT_EQ(core::full_range_schedule(RequestVector(5)).granted, 0);
+}
+
+TEST(FullRange, BadMaskRejected) {
+  RequestVector rv(4);
+  const std::vector<std::uint8_t> mask(3, 1);
+  EXPECT_THROW(core::full_range_schedule(rv, mask), std::logic_error);
+}
+
+}  // namespace
+}  // namespace wdm

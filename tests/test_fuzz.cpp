@@ -1,0 +1,143 @@
+// Differential fuzzing across the whole algorithm stack.
+//
+// For thousands of random (scheme, request-vector, availability) instances,
+// every implementation that should agree must agree:
+//   * the scheme-specific kernel (FA / BFA / full-range) == Hopcroft–Karp
+//     == Kuhn on the explicit request graph;
+//   * Glover == staircase FA on convex instances;
+//   * greedy is sandwiched in [max/2, max];
+//   * approximate BFA obeys its Theorem-3 bound;
+//   * every produced assignment is feasible.
+#include <gtest/gtest.h>
+
+#include "core/break_first_available.hpp"
+#include "core/priority.hpp"
+#include "graph/glover.hpp"
+#include "graph/greedy.hpp"
+#include "graph/kuhn.hpp"
+#include "test_support.hpp"
+
+namespace wdm {
+namespace {
+
+using core::ConversionKind;
+using core::ConversionScheme;
+
+ConversionScheme random_scheme(util::Rng& rng) {
+  const auto k = static_cast<std::int32_t>(1 + rng.uniform_below(20));
+  const auto kind = rng.bernoulli(0.5) ? ConversionKind::kCircular
+                                       : ConversionKind::kNonCircular;
+  // Any split with e + f + 1 <= k, biased toward small degrees like real
+  // converters but covering the full range incl. d == k.
+  const auto d = static_cast<std::int32_t>(1 + rng.uniform_below(
+                     static_cast<std::uint64_t>(k)));
+  const auto e = static_cast<std::int32_t>(rng.uniform_below(
+      static_cast<std::uint64_t>(d)));
+  const auto f = d - 1 - e;
+  return kind == ConversionKind::kCircular ? ConversionScheme::circular(k, e, f)
+                                           : ConversionScheme::non_circular(k, e, f);
+}
+
+TEST(Fuzz, KernelsAgreeWithBothOraclesEverywhere) {
+  util::Rng rng(0xF00D);
+  int checked = 0;
+  for (int trial = 0; trial < 3000; ++trial) {
+    const auto scheme = random_scheme(rng);
+    const auto k = scheme.k();
+    const auto n_fibers = static_cast<std::int32_t>(1 + rng.uniform_below(6));
+    const double load = rng.uniform01();
+    const auto rv = test::random_request_vector(rng, k, n_fibers, load);
+    const auto mask = rng.bernoulli(0.5)
+                          ? test::random_mask(rng, k, rng.uniform01())
+                          : std::vector<std::uint8_t>{};
+
+    const auto kernel = core::assign_maximum(rv, scheme, mask);
+    test::expect_valid_assignment(kernel, rv, scheme, mask);
+
+    const core::RequestGraph g(scheme, rv, mask);
+    const auto explicit_graph = g.to_bipartite();
+    const auto hk = graph::hopcroft_karp(explicit_graph);
+    const auto kuhn = graph::kuhn_matching(explicit_graph);
+    ASSERT_EQ(hk.size(), kuhn.size()) << "oracles disagree, trial " << trial;
+    ASSERT_EQ(kernel.granted, static_cast<std::int32_t>(hk.size()))
+        << "kernel not maximum: kind="
+        << (scheme.kind() == ConversionKind::kCircular ? "circ" : "noncirc")
+        << " k=" << k << " e=" << scheme.e() << " f=" << scheme.f()
+        << " trial=" << trial;
+
+    // Greedy sandwich on the same instance.
+    const auto greedy = graph::greedy_maximal_matching(explicit_graph, rng);
+    EXPECT_LE(greedy.size(), hk.size());
+    EXPECT_GE(2 * greedy.size(), hk.size());
+    checked += 1;
+  }
+  EXPECT_EQ(checked, 3000);
+}
+
+TEST(Fuzz, ApproxBoundHoldsEverywhere) {
+  util::Rng rng(0xBEEF);
+  for (int trial = 0; trial < 1500; ++trial) {
+    auto scheme = random_scheme(rng);
+    if (scheme.kind() != ConversionKind::kCircular || scheme.is_full_range()) {
+      continue;
+    }
+    const auto k = scheme.k();
+    const auto rv = test::random_request_vector(
+        rng, k, static_cast<std::int32_t>(1 + rng.uniform_below(5)),
+        rng.uniform01());
+    const auto mask = rng.bernoulli(0.4)
+                          ? test::random_mask(rng, k, 0.5 + 0.5 * rng.uniform01())
+                          : std::vector<std::uint8_t>{};
+    const auto approx = core::approx_break_first_available(rv, scheme, mask);
+    if (approx.break_channel == core::kNone) continue;
+    test::expect_valid_assignment(approx.assignment, rv, scheme, mask);
+    const auto maximum = test::oracle_max_matching(scheme, rv, mask);
+    ASSERT_LE(maximum - approx.assignment.granted, approx.gap_bound)
+        << "k=" << k << " e=" << scheme.e() << " f=" << scheme.f()
+        << " trial=" << trial;
+  }
+}
+
+TEST(Fuzz, GloverAndStaircaseFaAgreeOnConvexInstances) {
+  util::Rng rng(0xCAFE);
+  for (int trial = 0; trial < 1000; ++trial) {
+    const auto k = static_cast<std::int32_t>(1 + rng.uniform_below(16));
+    const auto d = static_cast<std::int32_t>(
+        1 + rng.uniform_below(static_cast<std::uint64_t>(k)));
+    const auto e = static_cast<std::int32_t>(
+        rng.uniform_below(static_cast<std::uint64_t>(d)));
+    const auto scheme = ConversionScheme::non_circular(k, e, d - 1 - e);
+    const auto rv = test::random_request_vector(
+        rng, k, static_cast<std::int32_t>(1 + rng.uniform_below(4)),
+        rng.uniform01() * 0.7);
+    const core::RequestGraph g(scheme, rv);
+    const auto convex = g.to_convex();
+    const auto glover = graph::glover_maximum_matching(convex);
+    const auto fa = graph::staircase_first_available(convex);
+    EXPECT_EQ(glover.size(), fa.size()) << "trial " << trial;
+  }
+}
+
+TEST(Fuzz, PriorityInsulationHoldsEverywhere) {
+  util::Rng rng(0xDADA);
+  for (int trial = 0; trial < 600; ++trial) {
+    const auto scheme = random_scheme(rng);
+    const auto k = scheme.k();
+    const auto n_classes = static_cast<std::size_t>(1 + rng.uniform_below(3));
+    std::vector<core::RequestVector> classes;
+    for (std::size_t c = 0; c < n_classes; ++c) {
+      classes.push_back(test::random_request_vector(
+          rng, k, 2, rng.uniform01() * 0.6));
+    }
+    const auto prio = core::priority_schedule(classes, scheme);
+    // Class 0 insulated; combined consistent.
+    EXPECT_EQ(prio.granted_per_class[0],
+              core::assign_maximum(classes[0], scheme).granted);
+    std::int32_t total = 0;
+    for (const auto gpc : prio.granted_per_class) total += gpc;
+    EXPECT_EQ(total, prio.combined.granted);
+  }
+}
+
+}  // namespace
+}  // namespace wdm

@@ -1,0 +1,109 @@
+// Additional hardware-model coverage: conversion-mask wiring, cycle
+// accounting of the trivial paths, availability interactions, tracer hooks.
+#include <gtest/gtest.h>
+
+#include "hw/hw_scheduler.hpp"
+#include "test_support.hpp"
+
+namespace wdm {
+namespace {
+
+using core::ConversionScheme;
+using core::Request;
+using hw::HwPortScheduler;
+
+TEST(HwExtra, EmptySlotCostsOnlyTheScan) {
+  const auto scheme = ConversionScheme::non_circular(8, 1, 1);
+  HwPortScheduler port(scheme, 4);
+  port.load({});
+  const auto grants = port.run();
+  EXPECT_TRUE(grants.empty());
+  // 1 latch + k match steps, no commits.
+  EXPECT_EQ(port.cycles().total, 1u + 8u);
+  EXPECT_EQ(port.cycles().channel_steps, 8u);
+}
+
+TEST(HwExtra, BfaEmptySlotTerminatesImmediately) {
+  const auto scheme = ConversionScheme::circular(8, 1, 1);
+  HwPortScheduler port(scheme, 4);
+  port.load({});
+  EXPECT_TRUE(port.run().empty());
+  EXPECT_EQ(port.cycles().candidates, 0u);
+}
+
+TEST(HwExtra, FullyOccupiedFiberGrantsNothing) {
+  const auto scheme = ConversionScheme::circular(6, 1, 1);
+  HwPortScheduler port(scheme, 3);
+  std::vector<Request> requests{{0, 1, 1, 1}, {1, 4, 2, 1}};
+  port.load(requests);
+  const std::vector<std::uint8_t> mask(6, 0);
+  port.set_availability(mask);
+  EXPECT_TRUE(port.run().empty());
+}
+
+TEST(HwExtra, AvailabilityResetRestoresAllChannels) {
+  const auto scheme = ConversionScheme::circular(6, 1, 1);
+  HwPortScheduler port(scheme, 3);
+  std::vector<Request> requests{{0, 1, 1, 1}};
+  const std::vector<std::uint8_t> mask(6, 0);
+  port.set_availability(mask);
+  port.load(requests);
+  EXPECT_TRUE(port.run().empty());
+  port.set_availability({});  // empty = all free
+  port.load(requests);
+  EXPECT_EQ(port.run().size(), 1u);
+}
+
+TEST(HwExtra, TracerSeesEveryCommit) {
+  const auto scheme = ConversionScheme::circular(6, 1, 1);
+  HwPortScheduler port(scheme, 4);
+  std::vector<Request> requests{{0, 0, 1, 1}, {1, 2, 2, 1}, {2, 4, 3, 1}};
+  std::size_t commits = 0;
+  std::int32_t last_total = 0;
+  port.set_tracer([&](const hw::TraceEvent& event) {
+    if (event.phase == hw::TraceEvent::Phase::kCommit) {
+      commits += 1;
+      EXPECT_GT(event.granted_so_far, last_total);
+      last_total = event.granted_so_far;
+      EXPECT_TRUE(scheme.can_convert(event.wavelength, event.channel));
+    }
+  });
+  port.load(requests);
+  const auto grants = port.run();
+  EXPECT_EQ(commits, grants.size());
+  port.set_tracer(nullptr);
+}
+
+TEST(HwExtra, ConsecutiveSlotsAreIndependent) {
+  // Round-robin arbiter state persists, but request state must not leak.
+  const auto scheme = ConversionScheme::non_circular(6, 1, 1);
+  HwPortScheduler port(scheme, 3);
+  std::vector<Request> heavy{{0, 1, 1, 1}, {1, 1, 2, 1}, {2, 1, 3, 1}};
+  port.load(heavy);
+  const auto first = port.run();
+  port.load({});
+  EXPECT_TRUE(port.run().empty());
+  port.load(heavy);
+  EXPECT_EQ(port.run().size(), first.size());
+}
+
+TEST(HwExtra, GrantsMatchOracleUnderHeavySkew) {
+  // All requests on one wavelength: grants = min(requesters, d-ish window).
+  util::Rng rng(31);
+  const auto scheme = ConversionScheme::circular(8, 1, 1);
+  HwPortScheduler port(scheme, 6);
+  std::vector<Request> requests;
+  for (std::int32_t fib = 0; fib < 6; ++fib) {
+    requests.push_back(Request{fib, 3, static_cast<std::uint64_t>(fib), 1});
+  }
+  port.load(requests);
+  const auto grants = port.run();
+  EXPECT_EQ(grants.size(), 3u);  // λ3 reaches {2, 3, 4}
+  core::RequestVector rv(8);
+  rv.add(3, 6);
+  EXPECT_EQ(static_cast<std::int32_t>(grants.size()),
+            test::oracle_max_matching(scheme, rv));
+}
+
+}  // namespace
+}  // namespace wdm

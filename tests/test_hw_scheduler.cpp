@@ -1,0 +1,187 @@
+// Differential validation of the register-level scheduler against the core
+// kernels, plus the cycle-count claims of experiments E7.
+//
+// The hardware datapath must produce the same *matching size* as the
+// software kernels on every instance (the committed identities differ only
+// by arbitration). Requests use distinct (fiber, wavelength) pairs, since
+// the register representation collapses duplicates by design.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/break_first_available.hpp"
+#include "core/first_available.hpp"
+#include "core/full_range.hpp"
+#include "hw/cost_model.hpp"
+#include "hw/hw_scheduler.hpp"
+#include "test_support.hpp"
+
+namespace wdm {
+namespace {
+
+using core::ConversionScheme;
+using core::Request;
+using hw::HwPortScheduler;
+
+/// One request per (fiber, wavelength) pair with probability p.
+std::vector<Request> random_register_slot(util::Rng& rng, std::int32_t n_fibers,
+                                          std::int32_t k, double p) {
+  std::vector<Request> out;
+  std::uint64_t id = 0;
+  for (std::int32_t fiber = 0; fiber < n_fibers; ++fiber) {
+    for (core::Wavelength w = 0; w < k; ++w) {
+      if (rng.bernoulli(p)) out.push_back(Request{fiber, w, id++, 1});
+    }
+  }
+  return out;
+}
+
+core::RequestVector to_vector(std::int32_t k, const std::vector<Request>& reqs) {
+  core::RequestVector rv(k);
+  for (const auto& r : reqs) rv.add(r.wavelength);
+  return rv;
+}
+
+void expect_valid_grants(const std::vector<hw::HwGrant>& grants,
+                         const ConversionScheme& scheme,
+                         const std::vector<Request>& requests) {
+  std::set<core::Channel> channels;
+  std::set<std::pair<std::int32_t, core::Wavelength>> sources;
+  const std::set<std::pair<std::int32_t, core::Wavelength>> offered = [&] {
+    std::set<std::pair<std::int32_t, core::Wavelength>> s;
+    for (const auto& r : requests) s.insert({r.input_fiber, r.wavelength});
+    return s;
+  }();
+  for (const auto& g : grants) {
+    EXPECT_TRUE(scheme.can_convert(g.wavelength, g.channel));
+    EXPECT_TRUE(channels.insert(g.channel).second) << "channel double-booked";
+    EXPECT_TRUE(sources.insert({g.input_fiber, g.wavelength}).second)
+        << "input channel granted twice";
+    EXPECT_TRUE(offered.contains({g.input_fiber, g.wavelength}))
+        << "grant for a request that was never made";
+  }
+}
+
+TEST(HwScheduler, FirstAvailableMatchesCoreKernel) {
+  util::Rng rng(11111);
+  const auto scheme = ConversionScheme::non_circular(8, 2, 1);
+  HwPortScheduler hw(scheme, 4);
+  for (int trial = 0; trial < 60; ++trial) {
+    const auto requests = random_register_slot(rng, 4, 8, 0.35);
+    hw.load(requests);
+    const auto grants = hw.run();
+    expect_valid_grants(grants, scheme, requests);
+    const auto sw = core::first_available(to_vector(8, requests), scheme);
+    EXPECT_EQ(static_cast<std::int32_t>(grants.size()), sw.granted);
+  }
+}
+
+TEST(HwScheduler, BfaMatchesCoreKernel) {
+  util::Rng rng(22222);
+  const auto scheme = ConversionScheme::circular(8, 2, 1);
+  HwPortScheduler hw(scheme, 4);
+  for (int trial = 0; trial < 60; ++trial) {
+    const auto requests = random_register_slot(rng, 4, 8, 0.35);
+    hw.load(requests);
+    const auto grants = hw.run();
+    expect_valid_grants(grants, scheme, requests);
+    const auto sw = core::break_first_available(to_vector(8, requests), scheme);
+    EXPECT_EQ(static_cast<std::int32_t>(grants.size()), sw.granted);
+  }
+}
+
+TEST(HwScheduler, FullRangeMatchesCoreKernel) {
+  util::Rng rng(33333);
+  const auto scheme = ConversionScheme::full_range(6);
+  HwPortScheduler hw(scheme, 5);
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto requests = random_register_slot(rng, 5, 6, 0.4);
+    hw.load(requests);
+    const auto grants = hw.run();
+    expect_valid_grants(grants, scheme, requests);
+    const auto sw = core::full_range_schedule(to_vector(6, requests));
+    EXPECT_EQ(static_cast<std::int32_t>(grants.size()), sw.granted);
+  }
+}
+
+TEST(HwScheduler, AvailabilityMaskHonoured) {
+  util::Rng rng(44444);
+  const auto scheme = ConversionScheme::circular(8, 1, 1);
+  HwPortScheduler hw(scheme, 3);
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto requests = random_register_slot(rng, 3, 8, 0.4);
+    const auto mask = test::random_mask(rng, 8, 0.6);
+    hw.load(requests);
+    hw.set_availability(mask);
+    const auto grants = hw.run();
+    for (const auto& g : grants) {
+      EXPECT_NE(mask[static_cast<std::size_t>(g.channel)], 0);
+    }
+    const auto sw =
+        core::break_first_available(to_vector(8, requests), scheme, mask);
+    EXPECT_EQ(static_cast<std::int32_t>(grants.size()), sw.granted);
+  }
+}
+
+TEST(HwScheduler, FaCycleCountIsLinearInK) {
+  // Theorem 1's O(k) claim at the register level: exactly k channel steps
+  // regardless of N and d.
+  for (const std::int32_t k : {4, 8, 16, 32}) {
+    const auto scheme = ConversionScheme::non_circular(k, 1, 1);
+    HwPortScheduler hw(scheme, 16);
+    util::Rng rng(static_cast<std::uint64_t>(k));
+    hw.load(random_register_slot(rng, 16, k, 0.3));
+    hw.run();
+    EXPECT_EQ(hw.cycles().channel_steps, static_cast<std::uint64_t>(k));
+  }
+}
+
+TEST(HwScheduler, BfaCycleCountIsLinearInDK) {
+  // Theorem 2's O(dk): d candidates, k-1 steps each (serial), and a
+  // critical path of about k with d parallel units.
+  const std::int32_t k = 16;
+  for (const std::int32_t d : {1, 3, 5, 7}) {
+    const auto scheme =
+        ConversionScheme::symmetric(core::ConversionKind::kCircular, k, d);
+    HwPortScheduler hw(scheme, 8);
+    util::Rng rng(static_cast<std::uint64_t>(d) + 99);
+    // Dense traffic so the first wavelength always has requests.
+    hw.load(random_register_slot(rng, 8, k, 0.9));
+    hw.run();
+    EXPECT_EQ(hw.cycles().candidates, static_cast<std::uint64_t>(d));
+    EXPECT_EQ(hw.cycles().channel_steps,
+              static_cast<std::uint64_t>(d) * static_cast<std::uint64_t>(k - 1));
+    EXPECT_LT(hw.cycles().critical_path, hw.cycles().total);
+  }
+}
+
+TEST(HwScheduler, RandomArbitrationStillMaximum) {
+  util::Rng rng(55555);
+  const auto scheme = ConversionScheme::circular(6, 1, 1);
+  HwPortScheduler hw(scheme, 4, /*random_arbitration=*/true, 17);
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto requests = random_register_slot(rng, 4, 6, 0.4);
+    hw.load(requests);
+    const auto grants = hw.run();
+    expect_valid_grants(grants, scheme, requests);
+    const auto sw = core::break_first_available(to_vector(6, requests), scheme);
+    EXPECT_EQ(static_cast<std::int32_t>(grants.size()), sw.granted);
+  }
+}
+
+TEST(CostModel, ScalesSensibly) {
+  const auto small = hw::estimate_cost(8, 8, 3, true, false);
+  const auto big_n = hw::estimate_cost(64, 8, 3, true, false);
+  const auto parallel = hw::estimate_cost(8, 8, 3, true, true);
+  EXPECT_GT(big_n.register_bits, small.register_bits);
+  EXPECT_GT(big_n.or_tree_gates, small.or_tree_gates);
+  EXPECT_EQ(parallel.matching_units, 3u);
+  EXPECT_EQ(small.matching_units, 1u);
+  EXPECT_GT(parallel.encoder_gates, small.encoder_gates);
+  EXPECT_GT(small.total_gates, 0u);
+  EXPECT_THROW(hw::estimate_cost(0, 8, 3, true, false), std::logic_error);
+  EXPECT_THROW(hw::estimate_cost(8, 8, 9, true, false), std::logic_error);
+}
+
+}  // namespace
+}  // namespace wdm

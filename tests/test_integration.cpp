@@ -1,0 +1,125 @@
+// Cross-module integration: every scheduling algorithm drives the same
+// simulated interconnect and must agree with the maximum-matching baseline
+// slot by slot; the hardware model rides along as a shadow of the software
+// path.
+#include <gtest/gtest.h>
+
+#include "core/distributed.hpp"
+#include "hw/hw_scheduler.hpp"
+#include "sim/simulation.hpp"
+#include "test_support.hpp"
+
+namespace wdm {
+namespace {
+
+using core::Algorithm;
+using core::ConversionScheme;
+using core::SlotRequest;
+
+TEST(Integration, FastAlgorithmsMatchBaselineThroughputInSimulation) {
+  // Same seed, same traffic; the fast scheduler and the Hopcroft–Karp
+  // baseline must grant the same number of requests in every slot (matching
+  // sizes are unique even when assignments differ).
+  for (const bool circular : {true, false}) {
+    sim::SimulationConfig fast;
+    fast.interconnect.n_fibers = 4;
+    fast.interconnect.scheme = circular
+                                   ? ConversionScheme::circular(6, 1, 1)
+                                   : ConversionScheme::non_circular(6, 1, 1);
+    fast.interconnect.algorithm = Algorithm::kAuto;
+    fast.traffic.load = 0.7;
+    fast.slots = 800;
+    fast.warmup = 100;
+    fast.seed = 13;
+
+    sim::SimulationConfig baseline = fast;
+    baseline.interconnect.algorithm = Algorithm::kHopcroftKarp;
+
+    const auto a = sim::run_simulation(fast);
+    const auto b = sim::run_simulation(baseline);
+    EXPECT_EQ(a.arrivals, b.arrivals);
+    EXPECT_EQ(a.losses, b.losses) << (circular ? "circular" : "non-circular");
+  }
+}
+
+TEST(Integration, HwShadowsDistributedSchedulerAcrossSlots) {
+  // Feed identical multi-slot traffic to the software distributed scheduler
+  // and one hardware port; compare grant counts for the watched fiber.
+  const auto scheme = ConversionScheme::circular(8, 1, 1);
+  const std::int32_t n_fibers = 3;
+  const std::int32_t watched = 1;
+  core::DistributedScheduler sw(n_fibers, scheme, Algorithm::kAuto,
+                                core::Arbitration::kFifo, 3);
+  hw::HwPortScheduler hw_port(scheme, n_fibers);
+  util::Rng rng(21);
+
+  for (int slot = 0; slot < 60; ++slot) {
+    std::vector<SlotRequest> arrivals;
+    std::vector<core::Request> watched_requests;
+    std::uint64_t id = 0;
+    for (std::int32_t fib = 0; fib < n_fibers; ++fib) {
+      for (core::Wavelength w = 0; w < 8; ++w) {
+        if (!rng.bernoulli(0.4)) continue;
+        const auto dest =
+            static_cast<std::int32_t>(rng.uniform_below(n_fibers));
+        arrivals.push_back(SlotRequest{fib, w, dest, id++, 1});
+        if (dest == watched) {
+          watched_requests.push_back(core::Request{fib, w, id, 1});
+        }
+      }
+    }
+    const auto decisions = sw.schedule_slot(arrivals);
+    std::int32_t sw_granted = 0;
+    for (std::size_t i = 0; i < arrivals.size(); ++i) {
+      if (arrivals[i].output_fiber == watched && decisions[i].granted) {
+        sw_granted += 1;
+      }
+    }
+    hw_port.load(watched_requests);
+    const auto hw_grants = hw_port.run();
+    EXPECT_EQ(static_cast<std::int32_t>(hw_grants.size()), sw_granted)
+        << "slot " << slot;
+  }
+}
+
+TEST(Integration, ApproxLossStaysCloseToExactInSimulation) {
+  sim::SimulationConfig exact;
+  exact.interconnect.n_fibers = 4;
+  exact.interconnect.scheme = ConversionScheme::circular(8, 2, 2);  // d = 5
+  exact.traffic.load = 0.8;
+  exact.slots = 1500;
+  exact.warmup = 200;
+  exact.seed = 31;
+
+  sim::SimulationConfig approx = exact;
+  approx.interconnect.algorithm = Algorithm::kApproxBfa;
+
+  const auto e = sim::run_simulation(exact);
+  const auto a = sim::run_simulation(approx);
+  EXPECT_GE(a.loss_probability, e.loss_probability - 1e-9);
+  // Theorem 3 keeps the approximation within (d-1)/2 per fiber-slot; in
+  // aggregate the loss degradation is small.
+  EXPECT_LT(a.loss_probability - e.loss_probability, 0.08);
+}
+
+TEST(Integration, CircularBeatsNonCircularAtEqualDegree) {
+  // Circular conversion has no disadvantaged edge wavelengths, so at equal
+  // degree its loss is at most the non-circular one's (plus noise).
+  sim::SimulationConfig circ;
+  circ.interconnect.n_fibers = 4;
+  circ.interconnect.scheme = ConversionScheme::circular(8, 1, 1);
+  circ.traffic.load = 0.85;
+  circ.slots = 4000;
+  circ.warmup = 400;
+  circ.seed = 17;
+
+  sim::SimulationConfig nc = circ;
+  nc.interconnect.scheme = ConversionScheme::non_circular(8, 1, 1);
+
+  const auto c = sim::run_simulation(circ);
+  const auto n = sim::run_simulation(nc);
+  EXPECT_LT(c.loss_probability, n.loss_probability + 0.01);
+}
+
+}  // namespace
+}  // namespace wdm

@@ -1,0 +1,100 @@
+// Cross-validation of the two generic maximum-matching oracles.
+//
+// Hopcroft–Karp and Kuhn's algorithm are implemented independently; they
+// must agree on the maximum matching *size* of any bipartite graph. These
+// are the oracles every scheduler property test leans on, so they get their
+// own adversarial coverage (including König-style certificates on known
+// graphs).
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/hopcroft_karp.hpp"
+#include "graph/kuhn.hpp"
+#include "util/rng.hpp"
+
+namespace wdm {
+namespace {
+
+TEST(Oracles, EmptyGraph) {
+  const graph::BipartiteGraph g(4, 4);
+  EXPECT_EQ(graph::hopcroft_karp(g).size(), 0u);
+  EXPECT_EQ(graph::kuhn_matching(g).size(), 0u);
+}
+
+TEST(Oracles, PerfectMatchingOnIdentity) {
+  graph::BipartiteGraph g(5, 5);
+  for (graph::VertexId i = 0; i < 5; ++i) g.add_edge(i, i);
+  EXPECT_EQ(graph::hopcroft_karp(g).size(), 5u);
+  EXPECT_EQ(graph::kuhn_matching(g).size(), 5u);
+}
+
+TEST(Oracles, CompleteBipartite) {
+  graph::BipartiteGraph g(3, 7);
+  for (graph::VertexId a = 0; a < 3; ++a) {
+    for (graph::VertexId b = 0; b < 7; ++b) g.add_edge(a, b);
+  }
+  EXPECT_EQ(graph::hopcroft_karp(g).size(), 3u);  // min(3, 7)
+}
+
+TEST(Oracles, AugmentingPathRequired) {
+  // Classic instance where a greedy pass gets stuck at 2 but the maximum is
+  // 3: a0-{b0,b1}, a1-{b0}, a2-{b1,b2}... force a chain of augmentations.
+  graph::BipartiteGraph g(3, 3);
+  g.add_edge(0, 0);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  g.add_edge(2, 1);
+  g.add_edge(2, 2);
+  const auto m = graph::hopcroft_karp(g);
+  EXPECT_EQ(m.size(), 3u);
+  EXPECT_TRUE(graph::is_valid_matching(g, m));
+}
+
+TEST(Oracles, KoenigCertificateStar) {
+  // A star: one left vertex adjacent to all rights → max matching 1.
+  graph::BipartiteGraph g(1, 6);
+  for (graph::VertexId b = 0; b < 6; ++b) g.add_edge(0, b);
+  EXPECT_EQ(graph::hopcroft_karp(g).size(), 1u);
+
+  // Many lefts, one right.
+  graph::BipartiteGraph h(6, 1);
+  for (graph::VertexId a = 0; a < 6; ++a) h.add_edge(a, 0);
+  EXPECT_EQ(graph::hopcroft_karp(h).size(), 1u);
+}
+
+TEST(Oracles, AgreeOnRandomGraphs) {
+  util::Rng rng(314);
+  for (int trial = 0; trial < 150; ++trial) {
+    const auto n_left = static_cast<graph::VertexId>(1 + rng.uniform_below(20));
+    const auto n_right = static_cast<graph::VertexId>(1 + rng.uniform_below(20));
+    const double p = rng.uniform01() * 0.4;
+    const auto g = graph::random_bipartite(rng, n_left, n_right, p);
+    const auto hk = graph::hopcroft_karp(g);
+    const auto kuhn = graph::kuhn_matching(g);
+    EXPECT_TRUE(graph::is_valid_matching(g, hk));
+    EXPECT_TRUE(graph::is_valid_matching(g, kuhn));
+    EXPECT_EQ(hk.size(), kuhn.size()) << "trial " << trial;
+  }
+}
+
+TEST(Oracles, AgreeOnDenseGraphs) {
+  util::Rng rng(2718);
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto g = graph::random_bipartite(rng, 25, 25, 0.8);
+    EXPECT_EQ(graph::hopcroft_karp(g).size(), graph::kuhn_matching(g).size());
+  }
+}
+
+TEST(Oracles, MatchingNeverExceedsEitherSide) {
+  util::Rng rng(999);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto n_left = static_cast<graph::VertexId>(1 + rng.uniform_below(12));
+    const auto n_right = static_cast<graph::VertexId>(1 + rng.uniform_below(12));
+    const auto g = graph::random_bipartite(rng, n_left, n_right, 0.5);
+    const auto m = graph::hopcroft_karp(g);
+    EXPECT_LE(m.size(), static_cast<std::size_t>(std::min(n_left, n_right)));
+  }
+}
+
+}  // namespace
+}  // namespace wdm

@@ -1,0 +1,81 @@
+// MetricsCollector: conservation checks, aggregation, merge.
+#include <gtest/gtest.h>
+
+#include "sim/metrics.hpp"
+
+namespace wdm {
+namespace {
+
+using sim::MetricsCollector;
+using sim::SlotStats;
+
+SlotStats make_stats(std::uint64_t arrivals, std::uint64_t granted,
+                     std::uint64_t rejected, std::uint64_t preempted,
+                     std::uint64_t busy_channels) {
+  SlotStats s;
+  s.arrivals = arrivals;
+  s.granted = granted;
+  s.rejected = rejected;
+  s.preempted = preempted;
+  s.busy_channels = busy_channels;
+  return s;
+}
+
+TEST(Metrics, RecordsLossAndUtilization) {
+  MetricsCollector m(2, 4);  // capacity 8 channels
+  m.record_slot(make_stats(10, 8, 2, 0, 4));
+  m.record_slot(make_stats(6, 6, 0, 0, 8));
+  EXPECT_EQ(m.slots(), 2u);
+  EXPECT_EQ(m.arrivals(), 16u);
+  EXPECT_EQ(m.losses(), 2u);
+  EXPECT_DOUBLE_EQ(m.loss_probability(), 2.0 / 16.0);
+  EXPECT_DOUBLE_EQ(m.utilization(), (0.5 + 1.0) / 2.0);
+  EXPECT_DOUBLE_EQ(m.throughput_per_channel(), 14.0 / (2.0 * 8.0));
+}
+
+TEST(Metrics, ConservationEnforced) {
+  MetricsCollector m(2, 4);
+  EXPECT_THROW(m.record_slot(make_stats(10, 8, 1, 0, 0)), std::logic_error);
+}
+
+TEST(Metrics, EmptySlotIsFine) {
+  MetricsCollector m(2, 2);
+  m.record_slot(make_stats(0, 0, 0, 0, 0));
+  EXPECT_EQ(m.loss_probability(), 0.0);
+  EXPECT_EQ(m.throughput_per_channel(), 0.0);
+}
+
+TEST(Metrics, FiberFairness) {
+  MetricsCollector m(4, 2);
+  for (std::int32_t f = 0; f < 4; ++f) m.record_fiber_grants(f, 10);
+  EXPECT_DOUBLE_EQ(m.fiber_fairness(), 1.0);
+
+  MetricsCollector skew(4, 2);
+  skew.record_fiber_grants(0, 100);
+  EXPECT_NEAR(skew.fiber_fairness(), 0.25, 1e-12);
+}
+
+TEST(Metrics, MergeCombines) {
+  MetricsCollector a(2, 2), b(2, 2);
+  a.record_slot(make_stats(4, 3, 1, 0, 2));
+  b.record_slot(make_stats(4, 4, 0, 0, 4));
+  b.record_fiber_grants(1, 4);
+  a.merge(b);
+  EXPECT_EQ(a.slots(), 2u);
+  EXPECT_EQ(a.arrivals(), 8u);
+  EXPECT_EQ(a.losses(), 1u);
+
+  MetricsCollector c(3, 2);
+  EXPECT_THROW(a.merge(c), std::logic_error);
+}
+
+TEST(Metrics, WilsonBracketsLoss) {
+  MetricsCollector m(1, 1);
+  for (int i = 0; i < 100; ++i) m.record_slot(make_stats(1, 1, 0, 0, 1));
+  m.record_slot(make_stats(1, 0, 1, 0, 0));
+  EXPECT_LT(m.loss_wilson_low(), m.loss_probability());
+  EXPECT_GT(m.loss_wilson_high(), m.loss_probability());
+}
+
+}  // namespace
+}  // namespace wdm

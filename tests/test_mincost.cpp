@@ -1,0 +1,166 @@
+// Min-cost maximum matching: cardinality always maximum, cost minimal among
+// maximum matchings (verified against brute force on small graphs), and the
+// converter-frugal scheduling built on it.
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "core/break_first_available.hpp"
+#include "core/first_available.hpp"
+#include "core/min_conversion.hpp"
+#include "graph/generators.hpp"
+#include "graph/hopcroft_karp.hpp"
+#include "graph/mincost_matching.hpp"
+#include "test_support.hpp"
+
+namespace wdm {
+namespace {
+
+/// Brute force: enumerates all matchings, returns (max size, min cost at
+/// max size). Only for tiny graphs.
+std::pair<std::size_t, std::int64_t> brute_force(
+    const graph::BipartiteGraph& g, const graph::EdgeCost& cost) {
+  std::size_t best_size = 0;
+  std::int64_t best_cost = 0;
+  std::vector<char> right_used(static_cast<std::size_t>(g.n_right()), 0);
+
+  const std::function<void(graph::VertexId, std::size_t, std::int64_t)> rec =
+      [&](graph::VertexId a, std::size_t size, std::int64_t total) {
+        if (a == g.n_left()) {
+          if (size > best_size || (size == best_size && total < best_cost)) {
+            best_size = size;
+            best_cost = total;
+          }
+          return;
+        }
+        rec(a + 1, size, total);  // leave a unmatched
+        for (const auto b : g.neighbors(a)) {
+          if (right_used[static_cast<std::size_t>(b)]) continue;
+          right_used[static_cast<std::size_t>(b)] = 1;
+          rec(a + 1, size + 1, total + cost(a, b));
+          right_used[static_cast<std::size_t>(b)] = 0;
+        }
+      };
+  rec(0, 0, 0);
+  return {best_size, best_cost};
+}
+
+TEST(MinCostMatching, EmptyAndTrivialGraphs) {
+  const graph::BipartiteGraph empty(3, 3);
+  const auto r = graph::min_cost_maximum_matching(
+      empty, [](auto, auto) { return 1; });
+  EXPECT_EQ(r.matching.size(), 0u);
+  EXPECT_EQ(r.total_cost, 0);
+}
+
+TEST(MinCostMatching, PrefersCheapPerfectMatching) {
+  // a0-{b0(0), b1(5)}, a1-{b0(0), b1(0)}: both perfect matchings have size
+  // 2; the cheap one routes a0->b0, a1->b1 (cost 0) instead of 5.
+  graph::BipartiteGraph g(2, 2);
+  g.add_edge(0, 0);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  g.add_edge(1, 1);
+  const auto cost = [](graph::VertexId a, graph::VertexId b) {
+    return (a == 0 && b == 1) ? 5 : 0;
+  };
+  const auto r = graph::min_cost_maximum_matching(g, cost);
+  EXPECT_EQ(r.matching.size(), 2u);
+  EXPECT_EQ(r.total_cost, 0);
+  EXPECT_EQ(r.matching.right_of(0), 0);
+}
+
+TEST(MinCostMatching, CardinalityBeatsCost) {
+  // Matching both costs 10; matching only a0 costs 0 — cardinality first.
+  graph::BipartiteGraph g(2, 2);
+  g.add_edge(0, 0);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  const auto cost = [](graph::VertexId a, graph::VertexId b) {
+    return (a == 0 && b == 0) ? 0 : 10;
+  };
+  const auto r = graph::min_cost_maximum_matching(g, cost);
+  EXPECT_EQ(r.matching.size(), 2u);  // must take both, paying 20 - wait:
+  // a0->b1 (10) + a1->b0 (10) = 20; vs a0->b0 (0) + a1 unmatched (size 1).
+  EXPECT_EQ(r.total_cost, 20);
+}
+
+TEST(MinCostMatching, MatchesBruteForceOnRandomGraphs) {
+  util::Rng rng(606);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto n_left = static_cast<graph::VertexId>(1 + rng.uniform_below(6));
+    const auto n_right = static_cast<graph::VertexId>(1 + rng.uniform_below(6));
+    const auto g = graph::random_bipartite(rng, n_left, n_right, 0.5);
+    // Deterministic pseudo-random costs in [0, 4].
+    const auto cost = [](graph::VertexId a, graph::VertexId b) {
+      return static_cast<std::int32_t>((a * 7 + b * 13) % 5);
+    };
+    const auto fast = graph::min_cost_maximum_matching(g, cost);
+    const auto [size, total] = brute_force(g, cost);
+    EXPECT_TRUE(graph::is_valid_matching(g, fast.matching));
+    ASSERT_EQ(fast.matching.size(), size) << "trial " << trial;
+    ASSERT_EQ(fast.total_cost, total) << "trial " << trial;
+  }
+}
+
+TEST(MinCostMatching, AgreesWithHopcroftKarpOnCardinality) {
+  util::Rng rng(607);
+  for (int trial = 0; trial < 60; ++trial) {
+    const auto g = graph::random_bipartite(rng, 15, 15, 0.3);
+    const auto r = graph::min_cost_maximum_matching(
+        g, [](auto a, auto b) { return static_cast<std::int32_t>((a + b) % 3); });
+    EXPECT_EQ(r.matching.size(), graph::hopcroft_karp(g).size());
+  }
+}
+
+// --- Converter-frugal scheduling --------------------------------------------
+
+TEST(MinConversion, CountsConversions) {
+  core::ChannelAssignment a(4);
+  a.source[0] = 0;  // straight through
+  a.source[1] = 2;  // converted
+  a.source[3] = 3;  // straight through
+  a.granted = 3;
+  EXPECT_EQ(core::conversions_used(a), 1);
+}
+
+TEST(MinConversion, StraightThroughWhenPossible) {
+  // One request per wavelength: the identity assignment needs 0 converters.
+  const auto scheme = core::ConversionScheme::circular(6, 1, 1);
+  core::RequestVector rv(6);
+  for (core::Wavelength w = 0; w < 6; ++w) rv.add(w);
+  const auto r = core::min_conversion_schedule(rv, scheme);
+  EXPECT_EQ(r.assignment.granted, 6);
+  EXPECT_EQ(r.conversions, 0);
+}
+
+TEST(MinConversion, MaximumCardinalityAndNeverMoreConversionsThanBfa) {
+  util::Rng rng(608);
+  const auto scheme = core::ConversionScheme::circular(8, 1, 1);
+  for (int trial = 0; trial < 60; ++trial) {
+    const auto rv = test::random_request_vector(rng, 8, 4, 0.4);
+    const auto mask = test::random_mask(rng, 8, 0.8);
+    const auto frugal = core::min_conversion_schedule(rv, scheme, mask);
+    test::expect_valid_assignment(frugal.assignment, rv, scheme, mask);
+    EXPECT_EQ(frugal.assignment.granted,
+              test::oracle_max_matching(scheme, rv, mask));
+    const auto bfa = core::break_first_available(rv, scheme, mask);
+    EXPECT_EQ(frugal.assignment.granted, bfa.granted);
+    EXPECT_LE(frugal.conversions, core::conversions_used(bfa));
+  }
+}
+
+TEST(MinConversion, NonCircularToo) {
+  util::Rng rng(609);
+  const auto scheme = core::ConversionScheme::non_circular(8, 2, 1);
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto rv = test::random_request_vector(rng, 8, 3, 0.4);
+    const auto frugal = core::min_conversion_schedule(rv, scheme);
+    const auto fa = core::first_available(rv, scheme);
+    EXPECT_EQ(frugal.assignment.granted, fa.granted);
+    EXPECT_LE(frugal.conversions, core::conversions_used(fa));
+  }
+}
+
+}  // namespace
+}  // namespace wdm

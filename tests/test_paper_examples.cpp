@@ -1,0 +1,254 @@
+// Bit-for-bit reproduction of the paper's worked examples:
+// Figure 2 (conversion graphs), Figure 3 (request graphs), Figure 4
+// (maximum matchings), Figure 5 (breaking at a2 b1), the Section I
+// motivating contention example, and the Section IV.C / Corollary 1 bounds.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/break_first_available.hpp"
+#include "core/breaking.hpp"
+#include "core/crossing.hpp"
+#include "core/first_available.hpp"
+#include "core/full_range.hpp"
+#include "core/request_graph.hpp"
+#include "graph/hopcroft_karp.hpp"
+#include "test_support.hpp"
+
+namespace wdm {
+namespace {
+
+using core::Channel;
+using core::ConversionKind;
+using core::ConversionScheme;
+using core::RequestGraph;
+using core::RequestVector;
+using core::Wavelength;
+
+// --- Figure 2: conversion graphs, k = 6, d = 3 (e = f = 1) -----------------
+
+TEST(PaperFig2, CircularConversionGraph) {
+  const auto scheme = ConversionScheme::circular(6, 1, 1);
+  EXPECT_EQ(scheme.degree(), 3);
+  const auto g = scheme.conversion_graph();
+  EXPECT_EQ(g.n_edges(), 18u);  // every wavelength has exactly d = 3 edges
+  for (Wavelength i = 0; i < 6; ++i) {
+    // λi converts to λ(i-1) mod 6, λi, λ(i+1) mod 6 — the paper's example.
+    EXPECT_TRUE(g.has_edge(i, (i + 5) % 6));
+    EXPECT_TRUE(g.has_edge(i, i));
+    EXPECT_TRUE(g.has_edge(i, (i + 1) % 6));
+    EXPECT_EQ(g.degree(i), 3u);
+  }
+  // The adjacency set of λ0 is {λ5, λ0, λ1} = interval [-1, 1] mod 6.
+  EXPECT_TRUE(scheme.can_convert(0, 5));
+  EXPECT_TRUE(scheme.can_convert(0, 0));
+  EXPECT_TRUE(scheme.can_convert(0, 1));
+  EXPECT_FALSE(scheme.can_convert(0, 2));
+  EXPECT_FALSE(scheme.can_convert(0, 4));
+}
+
+TEST(PaperFig2, NonCircularConversionGraph) {
+  const auto scheme = ConversionScheme::non_circular(6, 1, 1);
+  const auto g = scheme.conversion_graph();
+  // λ0 can only be converted to λ0 and λ1 — not to λ5 (the paper's example).
+  EXPECT_TRUE(scheme.can_convert(0, 0));
+  EXPECT_TRUE(scheme.can_convert(0, 1));
+  EXPECT_FALSE(scheme.can_convert(0, 5));
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(5), 2u);
+  for (Wavelength i = 1; i < 5; ++i) EXPECT_EQ(g.degree(i), 3u);
+  EXPECT_EQ(g.n_edges(), 16u);
+}
+
+// --- Figure 3: request graphs for request vector [2,1,0,1,1,2] -------------
+
+class PaperFig3 : public ::testing::Test {
+ protected:
+  const RequestVector rv_{2, 1, 0, 1, 1, 2};
+};
+
+TEST_F(PaperFig3, LeftVertexWavelengths) {
+  const RequestGraph g(ConversionScheme::circular(6, 1, 1), rv_);
+  ASSERT_EQ(g.n_requests(), 7);
+  // W(0) = W(1) = 0 and W(2) = 1 — exactly the paper's example.
+  EXPECT_EQ(g.wavelength_of(0), 0);
+  EXPECT_EQ(g.wavelength_of(1), 0);
+  EXPECT_EQ(g.wavelength_of(2), 1);
+  EXPECT_EQ(g.wavelength_of(3), 3);
+  EXPECT_EQ(g.wavelength_of(4), 4);
+  EXPECT_EQ(g.wavelength_of(5), 5);
+  EXPECT_EQ(g.wavelength_of(6), 5);
+}
+
+TEST_F(PaperFig3, CircularEdges) {
+  const RequestGraph g(ConversionScheme::circular(6, 1, 1), rv_);
+  // a0 (λ0) reaches b5, b0, b1 — including the wrap edge a0 b5.
+  EXPECT_TRUE(g.has_edge(0, 5));
+  EXPECT_TRUE(g.has_edge(0, 0));
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  // a6 (λ5) reaches b4, b5, b0 — including the wrap edge a6 b0.
+  EXPECT_TRUE(g.has_edge(6, 0));
+  EXPECT_TRUE(g.has_edge(6, 4));
+  EXPECT_FALSE(g.has_edge(6, 1));
+}
+
+TEST_F(PaperFig3, NonCircularEdges) {
+  const RequestGraph g(ConversionScheme::non_circular(6, 1, 1), rv_);
+  // a2 is on λ1; B(a2) = {b0, b1, b2} = interval [0, 2] (paper Section III).
+  EXPECT_TRUE(g.has_edge(2, 0));
+  EXPECT_TRUE(g.has_edge(2, 1));
+  EXPECT_TRUE(g.has_edge(2, 2));
+  EXPECT_FALSE(g.has_edge(2, 3));
+  // No wrap edges: a0 (λ0) does not reach b5, a6 (λ5) does not reach b0.
+  EXPECT_FALSE(g.has_edge(0, 5));
+  EXPECT_FALSE(g.has_edge(6, 0));
+  // The non-circular request graph is convex (Section III).
+  EXPECT_TRUE(g.to_convex().is_staircase());
+}
+
+// --- Figure 4: maximum matchings of both Figure 3 graphs have size 6 -------
+
+TEST_F(PaperFig3, Fig4MaximumMatchingSizes) {
+  const auto circular = ConversionScheme::circular(6, 1, 1);
+  const auto non_circular = ConversionScheme::non_circular(6, 1, 1);
+
+  // Seven requests, six channels: the maximum matchings have size 6 in both
+  // conversion types (Figure 4 shows them explicitly and they are identical
+  // in cardinality).
+  EXPECT_EQ(test::oracle_max_matching(circular, rv_), 6);
+  EXPECT_EQ(test::oracle_max_matching(non_circular, rv_), 6);
+
+  const auto bfa = core::break_first_available(rv_, circular);
+  EXPECT_EQ(bfa.granted, 6);
+  test::expect_valid_assignment(bfa, rv_, circular);
+
+  const auto fa = core::first_available(rv_, non_circular);
+  EXPECT_EQ(fa.granted, 6);
+  test::expect_valid_assignment(fa, rv_, non_circular);
+}
+
+TEST_F(PaperFig3, Fig4NonCircularMatchingAssignsEveryChannel) {
+  // In Figure 4(b) all six channels are matched; First Available reproduces
+  // a perfect channel cover: b0..b5 all carry some request.
+  const auto fa = core::first_available(rv_, ConversionScheme::non_circular(6, 1, 1));
+  for (Channel u = 0; u < 6; ++u) {
+    EXPECT_NE(fa.source[static_cast<std::size_t>(u)], core::kNone)
+        << "channel " << u << " unmatched";
+  }
+}
+
+// --- Section I: the motivating contention example ---------------------------
+
+TEST(PaperSection1, ContentionExampleLosesExactlyOneRequest) {
+  // "two connections on λ1, three connections on λ2 and one connection on λ4"
+  // with k = 6, d = 3: five requests on λ1/λ2 compete for only four output
+  // wavelengths {λ0..λ3}, so exactly one must be dropped; full-range
+  // conversion would satisfy all six.
+  RequestVector rv(6);
+  rv.add(1, 2);
+  rv.add(2, 3);
+  rv.add(4, 1);
+
+  const auto circular = ConversionScheme::circular(6, 1, 1);
+  EXPECT_EQ(test::oracle_max_matching(circular, rv), 5);
+  const auto bfa = core::break_first_available(rv, circular);
+  EXPECT_EQ(bfa.granted, 5);
+  test::expect_valid_assignment(bfa, rv, circular);
+
+  const auto full = core::full_range_schedule(rv);
+  EXPECT_EQ(full.granted, 6);
+}
+
+// --- Figure 5: breaking the circular request graph at a2 b1 ----------------
+
+TEST_F(PaperFig3, Fig5BreakingAtA2B1) {
+  const auto scheme = ConversionScheme::circular(6, 1, 1);
+  const RequestGraph g(scheme, rv_);
+  // a2 is the (only) request on λ1; break at edge a2 b1 (w_i = 1, u = 1).
+  const Wavelength w_i = 1;
+  const Channel u = 1;
+  ASSERT_TRUE(g.has_edge(2, u));
+
+  // Closed-form reduced adjacencies, mapped back to original channels.
+  const auto channels_of = [&](Wavelength w) {
+    std::set<Channel> out;
+    const auto iv = core::reduced_adjacency(scheme, w_i, u, w);
+    for (auto pos = iv.begin; pos <= iv.end; ++pos) {
+      out.insert(core::rotated_to_channel(u, pos, 6));
+    }
+    return out;
+  };
+  // After deleting b1 and the edges crossing a2 b1 (Figure 5a):
+  EXPECT_EQ(channels_of(0), (std::set<Channel>{5, 0}));   // a0, a1
+  EXPECT_EQ(channels_of(3), (std::set<Channel>{2, 3, 4}));  // a3
+  EXPECT_EQ(channels_of(4), (std::set<Channel>{3, 4, 5}));  // a4
+  EXPECT_EQ(channels_of(5), (std::set<Channel>{4, 5, 0}));  // a5, a6
+
+  // The closed form agrees with literal Definition-2 deletion.
+  const auto reference = core::reduced_graph_reference(g, 2, u);
+  for (std::int32_t j = 0; j < g.n_requests(); ++j) {
+    if (j == 2) {
+      EXPECT_EQ(reference.degree(j), 0u);
+      continue;
+    }
+    const std::set<Channel> expected = channels_of(g.wavelength_of(j));
+    const auto& nb = reference.neighbors(j);
+    EXPECT_EQ(std::set<Channel>(nb.begin(), nb.end()), expected)
+        << "left vertex " << j;
+  }
+
+  // Lemma 2: in the rotated ordering the reduced graph is staircase convex.
+  // (Wavelength order after rotation: λ2, λ3, λ4, λ5, λ0 — λ2 has no
+  // requests, λ1's group is exhausted by a2 itself.)
+  graph::Interval prev{0, -1};
+  bool seen = false;
+  for (std::int32_t kappa = 0; kappa < 6; ++kappa) {
+    const Wavelength w = static_cast<Wavelength>((w_i + kappa) % 6);
+    const std::int32_t count = rv_.count(w) - (w == w_i ? 1 : 0);
+    if (count <= 0) continue;
+    const auto iv = core::reduced_adjacency(scheme, w_i, u, w);
+    if (iv.empty()) continue;
+    if (seen) {
+      EXPECT_GE(iv.begin, prev.begin);
+      EXPECT_GE(iv.end, prev.end);
+    }
+    prev = iv;
+    seen = true;
+  }
+
+  // Breaking at a2 b1 plus First Available on the reduced graph recovers a
+  // maximum matching (Lemma 3): size 6 total.
+  const auto single = core::bfa_single_break(rv_, scheme, {}, w_i, u);
+  EXPECT_EQ(single.granted, 6);
+  test::expect_valid_assignment(single, rv_, scheme);
+}
+
+// --- Section IV.C: approximation bounds (Theorem 3, Corollary 1) -----------
+
+TEST(PaperSection4C, CorollaryOneBounds) {
+  // δ(u) = (d+1)/2 minimises max{δ-1, d-δ} at (d-1)/2.
+  EXPECT_EQ(core::breaking_gap_bound(3, 2), 1);  // d = 3: at most 1 off
+  EXPECT_EQ(core::breaking_gap_bound(5, 3), 2);  // d = 5: at most 2 off
+  // Breaking at an extreme edge is worst: d - 1.
+  EXPECT_EQ(core::breaking_gap_bound(3, 1), 2);
+  EXPECT_EQ(core::breaking_gap_bound(3, 3), 2);
+  EXPECT_EQ(core::breaking_gap_bound(1, 1), 0);  // d = 1 is always exact
+}
+
+TEST(PaperSection4C, ApproxPicksShortestEdge) {
+  const auto scheme = ConversionScheme::circular(6, 1, 1);
+  const RequestVector rv{2, 1, 0, 1, 1, 2};
+  const auto approx = core::approx_break_first_available(rv, scheme);
+  // With e = f = 1 (d = 3) the "shortest" edge is δ = 2, i.e. u = w_i: the
+  // first requesting wavelength is λ0, so the break is at channel 0.
+  EXPECT_EQ(approx.delta, 2);
+  EXPECT_EQ(approx.break_channel, 0);
+  EXPECT_EQ(approx.gap_bound, 1);
+  // Theorem 3: within gap_bound of the maximum (6).
+  EXPECT_GE(approx.assignment.granted, 6 - approx.gap_bound);
+  test::expect_valid_assignment(approx.assignment, rv, scheme);
+}
+
+}  // namespace
+}  // namespace wdm

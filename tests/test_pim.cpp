@@ -1,0 +1,96 @@
+// PIM-style iterative matching: validity, convergence with rounds, and the
+// optimality gap against the exact schedulers.
+#include <gtest/gtest.h>
+
+#include "core/pim.hpp"
+#include "test_support.hpp"
+
+namespace wdm {
+namespace {
+
+using core::ConversionScheme;
+using core::RequestVector;
+
+TEST(Pim, ProducesValidAssignments) {
+  util::Rng rng(1212);
+  const auto scheme = ConversionScheme::circular(8, 1, 1);
+  for (int trial = 0; trial < 60; ++trial) {
+    const auto rv = test::random_request_vector(rng, 8, 4, 0.4);
+    const auto mask = test::random_mask(rng, 8, 0.7);
+    const auto out = core::pim_schedule(rv, scheme, 2, rng, mask);
+    test::expect_valid_assignment(out, rv, scheme, mask);
+    EXPECT_LE(out.granted, test::oracle_max_matching(scheme, rv, mask));
+  }
+}
+
+TEST(Pim, NeverExceedsAndUsuallyTrailsExact) {
+  util::Rng rng(1313);
+  const auto scheme = ConversionScheme::circular(8, 1, 1);
+  std::int64_t pim_total = 0, exact_total = 0;
+  for (int trial = 0; trial < 150; ++trial) {
+    const auto rv = test::random_request_vector(rng, 8, 6, 0.5);
+    pim_total += core::pim_schedule(rv, scheme, 1, rng).granted;
+    exact_total += test::oracle_max_matching(scheme, rv);
+  }
+  EXPECT_LT(pim_total, exact_total);            // one round is lossy
+  EXPECT_GT(pim_total * 2, exact_total);        // but not catastrophically
+}
+
+TEST(Pim, MoreIterationsNeverHurtOnAverage) {
+  const auto scheme = ConversionScheme::circular(8, 1, 1);
+  std::int64_t totals[3] = {};
+  for (int trial = 0; trial < 200; ++trial) {
+    util::Rng traffic(static_cast<std::uint64_t>(trial) + 5000);
+    const auto rv = test::random_request_vector(traffic, 8, 6, 0.5);
+    std::int32_t rounds_idx = 0;
+    for (const std::int32_t rounds : {1, 2, 4}) {
+      util::Rng rng(static_cast<std::uint64_t>(trial) * 7 + 1);
+      totals[rounds_idx++] +=
+          core::pim_schedule(rv, scheme, rounds, rng).granted;
+    }
+  }
+  EXPECT_LE(totals[0], totals[1]);
+  EXPECT_LE(totals[1], totals[2]);
+}
+
+TEST(Pim, ConvergesToMaximalMatching) {
+  // With many rounds the result is maximal: no unmatched request has a free
+  // admissible channel left.
+  util::Rng rng(1414);
+  const auto scheme = ConversionScheme::circular(8, 2, 1);
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto rv = test::random_request_vector(rng, 8, 4, 0.5);
+    const auto out = core::pim_schedule(rv, scheme, 32, rng);
+    const auto grants = out.grants_per_wavelength();
+    for (core::Wavelength w = 0; w < 8; ++w) {
+      if (grants[static_cast<std::size_t>(w)] >= rv.count(w)) continue;
+      // Some request of w is unmatched: every admissible channel must be
+      // taken (else another round would have matched it).
+      for (const core::Channel v : scheme.adjacency_list(w)) {
+        EXPECT_NE(out.source[static_cast<std::size_t>(v)], core::kNone)
+            << "free admissible channel " << v << " left for wavelength " << w;
+      }
+    }
+  }
+}
+
+TEST(Pim, FullyAvailableSingleRequestAlwaysWins) {
+  util::Rng rng(1515);
+  const auto scheme = ConversionScheme::circular(6, 1, 1);
+  RequestVector rv(6);
+  rv.add(2);
+  const auto out = core::pim_schedule(rv, scheme, 1, rng);
+  EXPECT_EQ(out.granted, 1);
+}
+
+TEST(Pim, InvalidInputsRejected) {
+  util::Rng rng(1);
+  const auto scheme = ConversionScheme::circular(4, 1, 1);
+  EXPECT_THROW(core::pim_schedule(RequestVector(4), scheme, 0, rng),
+               std::logic_error);
+  EXPECT_THROW(core::pim_schedule(RequestVector(5), scheme, 1, rng),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace wdm

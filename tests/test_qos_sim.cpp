@@ -1,0 +1,90 @@
+// QoS classes in the time domain: multi-class traffic through the slotted
+// interconnect under strict priority.
+#include <gtest/gtest.h>
+
+#include "sim/simulation.hpp"
+
+namespace wdm {
+namespace {
+
+using core::ConversionScheme;
+using sim::SimulationConfig;
+
+SimulationConfig two_class_config(double high_share, double load) {
+  SimulationConfig cfg;
+  cfg.interconnect.n_fibers = 4;
+  cfg.interconnect.scheme = ConversionScheme::circular(8, 1, 1);
+  cfg.traffic.load = load;
+  cfg.traffic.class_mix = {high_share, 1.0 - high_share};
+  cfg.slots = 3000;
+  cfg.warmup = 300;
+  cfg.seed = 2468;
+  return cfg;
+}
+
+TEST(QosSim, PerClassAccountingConserves) {
+  const auto r = sim::run_simulation(two_class_config(0.3, 0.8));
+  ASSERT_EQ(r.class_arrivals.size(), 2u);
+  ASSERT_EQ(r.class_losses.size(), 2u);
+  EXPECT_EQ(r.class_arrivals[0] + r.class_arrivals[1], r.arrivals);
+  EXPECT_EQ(r.class_losses[0] + r.class_losses[1], r.losses);
+  EXPECT_LE(r.class_losses[0], r.class_arrivals[0]);
+  // Class mix roughly honoured.
+  EXPECT_NEAR(static_cast<double>(r.class_arrivals[0]) /
+                  static_cast<double>(r.arrivals),
+              0.3, 0.03);
+}
+
+TEST(QosSim, HighClassLosesLessUnderContention) {
+  const auto r = sim::run_simulation(two_class_config(0.3, 0.9));
+  const double high_loss = static_cast<double>(r.class_losses[0]) /
+                           static_cast<double>(r.class_arrivals[0]);
+  const double low_loss = static_cast<double>(r.class_losses[1]) /
+                          static_cast<double>(r.class_arrivals[1]);
+  EXPECT_LT(high_loss, low_loss);
+  EXPECT_LT(high_loss, 0.5 * low_loss);  // strict priority bites hard
+}
+
+TEST(QosSim, SingleClassReportsNoClassVectors) {
+  SimulationConfig cfg = two_class_config(0.3, 0.5);
+  cfg.traffic.class_mix = {1.0};
+  const auto r = sim::run_simulation(cfg);
+  EXPECT_TRUE(r.class_arrivals.empty());
+  EXPECT_TRUE(r.class_losses.empty());
+}
+
+TEST(QosSim, ThreeClassesAreOrdered) {
+  SimulationConfig cfg = two_class_config(0.2, 0.95);
+  cfg.traffic.class_mix = {0.2, 0.3, 0.5};
+  cfg.slots = 5000;
+  const auto r = sim::run_simulation(cfg);
+  ASSERT_EQ(r.class_arrivals.size(), 3u);
+  std::vector<double> loss(3);
+  for (std::size_t c = 0; c < 3; ++c) {
+    loss[c] = static_cast<double>(r.class_losses[c]) /
+              static_cast<double>(r.class_arrivals[c]);
+  }
+  EXPECT_LE(loss[0], loss[1] + 0.01);
+  EXPECT_LE(loss[1], loss[2] + 0.01);
+}
+
+TEST(QosSim, PriorityClassesWorkWithRearrangeAndHolding) {
+  SimulationConfig cfg = two_class_config(0.25, 0.6);
+  cfg.interconnect.policy = sim::OccupiedPolicy::kRearrange;
+  cfg.traffic.holding = sim::HoldingTime::kGeometric;
+  cfg.traffic.mean_holding = 4.0;
+  const auto r = sim::run_simulation(cfg);
+  EXPECT_EQ(r.preemptions, 0u);
+  EXPECT_EQ(r.class_losses[0] + r.class_losses[1], r.losses);
+}
+
+TEST(QosSim, BadClassMixRejected) {
+  SimulationConfig cfg = two_class_config(0.3, 0.5);
+  cfg.traffic.class_mix = {0.3, 0.3};  // sums to 0.6
+  EXPECT_THROW(sim::run_simulation(cfg), std::logic_error);
+  cfg.traffic.class_mix = {};
+  EXPECT_THROW(sim::run_simulation(cfg), std::logic_error);
+}
+
+}  // namespace
+}  // namespace wdm

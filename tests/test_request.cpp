@@ -1,0 +1,63 @@
+// RequestVector semantics (Section II.B).
+#include <gtest/gtest.h>
+
+#include "core/request.hpp"
+
+namespace wdm {
+namespace {
+
+using core::RequestVector;
+
+TEST(RequestVector, EmptyAndAdd) {
+  RequestVector rv(4);
+  EXPECT_EQ(rv.k(), 4);
+  EXPECT_TRUE(rv.empty());
+  EXPECT_EQ(rv.first_nonempty(), core::kNone);
+  rv.add(2);
+  rv.add(2, 3);
+  EXPECT_EQ(rv.count(2), 4);
+  EXPECT_EQ(rv.total(), 4);
+  EXPECT_EQ(rv.first_nonempty(), 2);
+  rv.clear();
+  EXPECT_TRUE(rv.empty());
+}
+
+TEST(RequestVector, InitializerList) {
+  const RequestVector rv{2, 1, 0, 1, 1, 2};
+  EXPECT_EQ(rv.k(), 6);
+  EXPECT_EQ(rv.total(), 7);
+  EXPECT_EQ(rv.count(0), 2);
+  EXPECT_EQ(rv.count(2), 0);
+}
+
+TEST(RequestVector, NegativeCountsRejected) {
+  EXPECT_THROW((RequestVector{1, -1}), std::logic_error);
+  RequestVector rv(2);
+  EXPECT_THROW(rv.add(0, -2), std::logic_error);
+  EXPECT_THROW(rv.add(5), std::logic_error);
+  EXPECT_THROW(rv.count(-1), std::logic_error);
+}
+
+TEST(RequestVector, SortedExpansionMatchesPaperOrdering) {
+  const RequestVector rv{2, 1, 0, 1, 1, 2};
+  const auto ws = rv.to_sorted_wavelengths();
+  // Left vertices a0..a6: λ0, λ0, λ1, λ3, λ4, λ5, λ5.
+  EXPECT_EQ(ws, (std::vector<core::Wavelength>{0, 0, 1, 3, 4, 5, 5}));
+}
+
+TEST(RequestVector, MakeFromRequests) {
+  std::vector<core::Request> reqs{
+      {0, 3, 1, 1}, {1, 3, 2, 1}, {2, 0, 3, 1}};
+  const auto rv = core::make_request_vector(5, reqs);
+  EXPECT_EQ(rv.count(3), 2);
+  EXPECT_EQ(rv.count(0), 1);
+  EXPECT_EQ(rv.total(), 3);
+}
+
+TEST(RequestVector, Equality) {
+  EXPECT_EQ((RequestVector{1, 2}), (RequestVector{1, 2}));
+  EXPECT_NE((RequestVector{1, 2}), (RequestVector{2, 1}));
+}
+
+}  // namespace
+}  // namespace wdm

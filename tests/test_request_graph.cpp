@@ -1,0 +1,85 @@
+// Request graphs (Section II.B): construction, availability masks, exports.
+#include <gtest/gtest.h>
+
+#include "core/request_graph.hpp"
+#include "test_support.hpp"
+
+namespace wdm {
+namespace {
+
+using core::ConversionScheme;
+using core::RequestGraph;
+using core::RequestVector;
+
+TEST(RequestGraph, DimensionsAndOrdering) {
+  const RequestGraph g(ConversionScheme::circular(6, 1, 1),
+                       RequestVector{0, 2, 0, 0, 1, 0});
+  EXPECT_EQ(g.k(), 6);
+  EXPECT_EQ(g.n_requests(), 3);
+  EXPECT_EQ(g.wavelength_of(0), 1);
+  EXPECT_EQ(g.wavelength_of(1), 1);
+  EXPECT_EQ(g.wavelength_of(2), 4);
+  EXPECT_THROW(g.wavelength_of(3), std::logic_error);
+}
+
+TEST(RequestGraph, MismatchedKRejected) {
+  EXPECT_THROW(RequestGraph(ConversionScheme::circular(6, 1, 1),
+                            RequestVector(5)),
+               std::logic_error);
+  EXPECT_THROW(RequestGraph(ConversionScheme::circular(6, 1, 1),
+                            RequestVector(6), std::vector<std::uint8_t>(4, 1)),
+               std::logic_error);
+}
+
+TEST(RequestGraph, AvailabilityGatesEdges) {
+  std::vector<std::uint8_t> mask{1, 0, 1, 1, 1, 1};
+  const RequestGraph g(ConversionScheme::circular(6, 1, 1),
+                       RequestVector{0, 1, 0, 0, 0, 0}, mask);
+  EXPECT_TRUE(g.has_edge(0, 0));
+  EXPECT_FALSE(g.has_edge(0, 1));  // occupied
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_FALSE(g.channel_available(1));
+  const auto b = g.to_bipartite();
+  EXPECT_EQ(b.degree(0), 2u);
+}
+
+TEST(RequestGraph, BipartiteExportMatchesEdgePredicate) {
+  util::Rng rng(55);
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto scheme = ConversionScheme::circular(8, 2, 1);
+    const auto rv = test::random_request_vector(rng, 8, 3, 0.4);
+    const auto mask = test::random_mask(rng, 8, 0.7);
+    const RequestGraph g(scheme, rv, mask);
+    const auto b = g.to_bipartite();
+    for (std::int32_t j = 0; j < g.n_requests(); ++j) {
+      for (core::Channel u = 0; u < 8; ++u) {
+        EXPECT_EQ(b.has_edge(j, u), g.has_edge(j, u));
+      }
+    }
+  }
+}
+
+TEST(RequestGraph, ConvexExportOnlyForNonCircular) {
+  const RequestVector rv{1, 0, 1, 0};
+  const RequestGraph nc(ConversionScheme::non_circular(4, 1, 1), rv);
+  const auto convex = nc.to_convex();
+  EXPECT_TRUE(convex.is_staircase());
+  EXPECT_EQ(convex.n_left(), 2);
+
+  const RequestGraph circ(ConversionScheme::circular(4, 1, 1), rv);
+  EXPECT_THROW(circ.to_convex(), std::logic_error);
+
+  std::vector<std::uint8_t> mask{1, 1, 0, 1};
+  const RequestGraph masked(ConversionScheme::non_circular(4, 1, 1), rv, mask);
+  EXPECT_THROW(masked.to_convex(), std::logic_error);
+}
+
+TEST(RequestGraph, AllAvailableHelper) {
+  const auto mask = core::all_available(5);
+  EXPECT_EQ(mask.size(), 5u);
+  for (const auto m : mask) EXPECT_EQ(m, 1);
+  EXPECT_THROW(core::all_available(0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace wdm

@@ -1,0 +1,72 @@
+// RequestRegister: the Section II.B Nk-bit encoding and its summary logic.
+#include <gtest/gtest.h>
+
+#include "hw/request_register.hpp"
+
+namespace wdm {
+namespace {
+
+using core::Request;
+using hw::RequestRegister;
+
+TEST(RequestRegister, LoadAndQuery) {
+  RequestRegister reg(4, 6);
+  std::vector<Request> requests{{0, 2, 1, 1}, {3, 2, 2, 1}, {1, 5, 3, 1}};
+  reg.load(requests);
+  EXPECT_TRUE(reg.pending(0, 2));
+  EXPECT_TRUE(reg.pending(3, 2));
+  EXPECT_TRUE(reg.pending(1, 5));
+  EXPECT_FALSE(reg.pending(2, 2));
+  EXPECT_TRUE(reg.wavelength_pending(2));
+  EXPECT_TRUE(reg.wavelength_pending(5));
+  EXPECT_FALSE(reg.wavelength_pending(0));
+  EXPECT_EQ(reg.pending_count(), 3u);
+}
+
+TEST(RequestRegister, DuplicateRequestsCollapse) {
+  RequestRegister reg(2, 4);
+  std::vector<Request> requests{{0, 1, 1, 1}, {0, 1, 2, 1}};
+  reg.load(requests);
+  EXPECT_EQ(reg.pending_count(), 1u);  // one register bit
+}
+
+TEST(RequestRegister, RequestersVector) {
+  RequestRegister reg(4, 3);
+  std::vector<Request> requests{{0, 1, 1, 1}, {2, 1, 2, 1}};
+  reg.load(requests);
+  const auto who = reg.requesters(1);
+  EXPECT_TRUE(who.test(0));
+  EXPECT_FALSE(who.test(1));
+  EXPECT_TRUE(who.test(2));
+  EXPECT_EQ(who.count(), 2u);
+}
+
+TEST(RequestRegister, ConsumeUpdatesSummary) {
+  RequestRegister reg(2, 3);
+  std::vector<Request> requests{{0, 1, 1, 1}, {1, 1, 2, 1}};
+  reg.load(requests);
+  reg.consume(0, 1);
+  EXPECT_TRUE(reg.wavelength_pending(1));  // fiber 1 still pending
+  reg.consume(1, 1);
+  EXPECT_FALSE(reg.wavelength_pending(1));
+  EXPECT_THROW(reg.consume(0, 1), std::logic_error);  // already consumed
+}
+
+TEST(RequestRegister, LoadReplacesPreviousSlot) {
+  RequestRegister reg(2, 3);
+  reg.load(std::vector<Request>{{0, 0, 1, 1}});
+  reg.load(std::vector<Request>{{1, 2, 2, 1}});
+  EXPECT_FALSE(reg.pending(0, 0));
+  EXPECT_TRUE(reg.pending(1, 2));
+  EXPECT_FALSE(reg.wavelength_pending(0));
+}
+
+TEST(RequestRegister, BoundsChecked) {
+  RequestRegister reg(2, 3);
+  EXPECT_THROW(reg.load(std::vector<Request>{{2, 0, 1, 1}}), std::logic_error);
+  EXPECT_THROW(reg.load(std::vector<Request>{{0, 3, 1, 1}}), std::logic_error);
+  EXPECT_THROW(RequestRegister(0, 3), std::logic_error);
+}
+
+}  // namespace
+}  // namespace wdm

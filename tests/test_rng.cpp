@@ -1,0 +1,151 @@
+// RNG determinism, distribution sanity, and stream independence.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace wdm {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  util::Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  util::Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next() == b.next() ? 1 : 0;
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, SplitStreamsAreIndependentAndDeterministic) {
+  util::Rng parent1(7), parent2(7);
+  util::Rng child1 = parent1.split();
+  util::Rng child2 = parent2.split();
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(child1.next(), child2.next());
+  // A second split from the same parent is a different stream.
+  util::Rng sibling = parent1.split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += sibling.next() == child1.next() ? 1 : 0;
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, UniformBelowStaysInRange) {
+  util::Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.uniform_below(7), 7u);
+  }
+}
+
+TEST(Rng, UniformBelowCoversSupport) {
+  util::Rng rng(3);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_below(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, UniformBelowIsApproximatelyUniform) {
+  util::Rng rng(11);
+  std::vector<int> counts(8, 0);
+  const int n = 80000;
+  for (int i = 0; i < n; ++i) counts[rng.uniform_below(8)] += 1;
+  for (const int c : counts) {
+    EXPECT_NEAR(c, n / 8, n / 8 / 5);  // within 20%
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  util::Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, Uniform01HalfOpen) {
+  util::Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  util::Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliMean) {
+  util::Rng rng(17);
+  int hits = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, GeometricSupportAndMean) {
+  util::Rng rng(19);
+  double sum = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const auto g = rng.geometric(0.25);
+    EXPECT_GE(g, 1u);
+    sum += static_cast<double>(g);
+  }
+  EXPECT_NEAR(sum / n, 4.0, 0.2);  // mean 1/p
+  EXPECT_EQ(rng.geometric(1.0), 1u);
+}
+
+TEST(Zipf, AlphaZeroIsUniform) {
+  util::Rng rng(23);
+  util::ZipfSampler zipf(4, 0.0);
+  std::vector<int> counts(4, 0);
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) counts[zipf.sample(rng)] += 1;
+  for (const int c : counts) EXPECT_NEAR(c, n / 4, n / 4 / 5);
+}
+
+TEST(Zipf, SkewPrefersLowIndices) {
+  util::Rng rng(29);
+  util::ZipfSampler zipf(8, 1.5);
+  std::vector<int> counts(8, 0);
+  for (int i = 0; i < 40000; ++i) counts[zipf.sample(rng)] += 1;
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_GT(counts[1], counts[3]);
+  EXPECT_GT(counts[3], counts[7]);
+}
+
+TEST(Zipf, SingletonSupport) {
+  util::Rng rng(31);
+  util::ZipfSampler zipf(1, 2.0);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(zipf.sample(rng), 0u);
+}
+
+TEST(Zipf, RejectsInvalidConfig) {
+  EXPECT_THROW(util::ZipfSampler(0, 1.0), std::logic_error);
+  EXPECT_THROW(util::ZipfSampler(4, -0.5), std::logic_error);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  util::Rng rng(37);
+  std::vector<int> v{0, 1, 2, 3, 4, 5, 6, 7};
+  rng.shuffle(v);
+  std::set<int> s(v.begin(), v.end());
+  EXPECT_EQ(s.size(), 8u);
+}
+
+}  // namespace
+}  // namespace wdm

@@ -1,0 +1,159 @@
+// OutputPortScheduler: algorithm dispatch, baseline equivalence, and the
+// fairness of the arbitration stage.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "core/scheduler.hpp"
+#include "test_support.hpp"
+
+namespace wdm {
+namespace {
+
+using core::Algorithm;
+using core::Arbitration;
+using core::ConversionScheme;
+using core::OutputPortScheduler;
+using core::Request;
+using core::RequestVector;
+
+TEST(Scheduler, AutoResolution) {
+  OutputPortScheduler circ(ConversionScheme::circular(6, 1, 1));
+  EXPECT_EQ(circ.algorithm(), Algorithm::kBreakFirstAvailable);
+  OutputPortScheduler nc(ConversionScheme::non_circular(6, 1, 1));
+  EXPECT_EQ(nc.algorithm(), Algorithm::kFirstAvailable);
+  OutputPortScheduler full(ConversionScheme::full_range(6));
+  EXPECT_EQ(full.algorithm(), Algorithm::kFullRange);
+}
+
+TEST(Scheduler, MismatchedAlgorithmRejected) {
+  EXPECT_THROW(OutputPortScheduler(ConversionScheme::circular(6, 1, 1),
+                                   Algorithm::kFirstAvailable),
+               std::logic_error);
+  EXPECT_THROW(OutputPortScheduler(ConversionScheme::non_circular(6, 1, 1),
+                                   Algorithm::kBreakFirstAvailable),
+               std::logic_error);
+  EXPECT_THROW(OutputPortScheduler(ConversionScheme::circular(6, 1, 1),
+                                   Algorithm::kFullRange),
+               std::logic_error);
+  EXPECT_THROW(OutputPortScheduler(ConversionScheme::circular(6, 1, 1),
+                                   Algorithm::kGlover),
+               std::logic_error);
+}
+
+TEST(Scheduler, DecisionsAreConsistentWithRequests) {
+  OutputPortScheduler sched(ConversionScheme::circular(6, 1, 1));
+  std::vector<Request> requests{{0, 1, 10, 1}, {1, 1, 11, 1}, {2, 4, 12, 1}};
+  const auto decisions = sched.schedule(requests);
+  ASSERT_EQ(decisions.size(), 3u);
+  std::set<core::Channel> channels;
+  for (std::size_t i = 0; i < decisions.size(); ++i) {
+    if (!decisions[i].granted) continue;
+    EXPECT_TRUE(sched.scheme().can_convert(requests[i].wavelength,
+                                           decisions[i].channel));
+    EXPECT_TRUE(channels.insert(decisions[i].channel).second)
+        << "channel assigned twice";
+  }
+  // All three fit (λ1 x2 reach {0,1,2}, λ4 reaches {3,4,5}).
+  EXPECT_EQ(channels.size(), 3u);
+}
+
+TEST(Scheduler, BaselinesMatchFastAlgorithms) {
+  util::Rng rng(6060);
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto rv = test::random_request_vector(rng, 8, 4, 0.4);
+    const auto mask = test::random_mask(rng, 8, 0.75);
+
+    // Circular: BFA vs Hopcroft–Karp baseline.
+    const auto circ = ConversionScheme::circular(8, 2, 1);
+    OutputPortScheduler bfa(circ, Algorithm::kBreakFirstAvailable);
+    OutputPortScheduler hk(circ, Algorithm::kHopcroftKarp);
+    EXPECT_EQ(bfa.assign_channels(rv, mask).granted,
+              hk.assign_channels(rv, mask).granted);
+
+    // Non-circular: FA vs Glover vs Hopcroft–Karp.
+    const auto nc = ConversionScheme::non_circular(8, 2, 1);
+    OutputPortScheduler fa(nc, Algorithm::kFirstAvailable);
+    OutputPortScheduler glover(nc, Algorithm::kGlover);
+    OutputPortScheduler hk2(nc, Algorithm::kHopcroftKarp);
+    const auto fa_size = fa.assign_channels(rv, mask).granted;
+    EXPECT_EQ(fa_size, glover.assign_channels(rv, mask).granted);
+    EXPECT_EQ(fa_size, hk2.assign_channels(rv, mask).granted);
+  }
+}
+
+TEST(Scheduler, GloverHandlesOccupiedChannelsByCompaction) {
+  const auto nc = ConversionScheme::non_circular(6, 1, 1);
+  OutputPortScheduler glover(nc, Algorithm::kGlover);
+  RequestVector rv(6);
+  rv.add(1, 2);
+  const std::vector<std::uint8_t> mask{1, 0, 1, 1, 1, 1};
+  const auto out = glover.assign_channels(rv, mask);
+  EXPECT_EQ(out.granted, 2);
+  test::expect_valid_assignment(out, rv, nc, mask);
+}
+
+TEST(Scheduler, FifoArbitrationPrefersEarlierRequests) {
+  OutputPortScheduler sched(ConversionScheme::circular(6, 1, 1),
+                            Algorithm::kAuto, Arbitration::kFifo);
+  // Four λ0 requests, only three reachable channels {5, 0, 1}.
+  std::vector<Request> requests{{0, 0, 1, 1}, {1, 0, 2, 1}, {2, 0, 3, 1},
+                                {3, 0, 4, 1}};
+  const auto decisions = sched.schedule(requests);
+  EXPECT_TRUE(decisions[0].granted);
+  EXPECT_TRUE(decisions[1].granted);
+  EXPECT_TRUE(decisions[2].granted);
+  EXPECT_FALSE(decisions[3].granted);
+}
+
+TEST(Scheduler, RoundRobinArbitrationRotatesLosers) {
+  OutputPortScheduler sched(ConversionScheme::circular(4, 0, 0),
+                            Algorithm::kAuto, Arbitration::kRoundRobin);
+  // Two λ0 requests per slot, one channel: the loser alternates.
+  std::vector<Request> requests{{0, 0, 1, 1}, {1, 0, 2, 1}};
+  std::map<std::int32_t, int> wins;
+  for (int slot = 0; slot < 10; ++slot) {
+    const auto decisions = sched.schedule(requests);
+    EXPECT_NE(decisions[0].granted, decisions[1].granted);
+    wins[decisions[0].granted ? 0 : 1] += 1;
+  }
+  EXPECT_EQ(wins[0], 5);
+  EXPECT_EQ(wins[1], 5);
+}
+
+TEST(Scheduler, RandomArbitrationIsFairInTheLongRun) {
+  OutputPortScheduler sched(ConversionScheme::circular(4, 0, 0),
+                            Algorithm::kAuto, Arbitration::kRandom, 99);
+  std::vector<Request> requests{{0, 0, 1, 1}, {1, 0, 2, 1}};
+  int wins0 = 0;
+  const int slots = 4000;
+  for (int slot = 0; slot < slots; ++slot) {
+    const auto decisions = sched.schedule(requests);
+    wins0 += decisions[0].granted ? 1 : 0;
+  }
+  EXPECT_NEAR(wins0, slots / 2, slots / 10);
+}
+
+TEST(Scheduler, ApproxAlgorithmNeverExceedsExact) {
+  util::Rng rng(31337);
+  const auto scheme = ConversionScheme::circular(10, 2, 2);
+  OutputPortScheduler exact(scheme, Algorithm::kBreakFirstAvailable);
+  OutputPortScheduler approx(scheme, Algorithm::kApproxBfa);
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto rv = test::random_request_vector(rng, 10, 4, 0.4);
+    const auto exact_size = exact.assign_channels(rv).granted;
+    const auto approx_size = approx.assign_channels(rv).granted;
+    EXPECT_LE(approx_size, exact_size);
+    EXPECT_GE(approx_size, exact_size - (scheme.degree() - 1) / 2);
+  }
+}
+
+TEST(Scheduler, EmptyScheduleCall) {
+  OutputPortScheduler sched(ConversionScheme::circular(6, 1, 1));
+  const auto decisions = sched.schedule({});
+  EXPECT_TRUE(decisions.empty());
+}
+
+}  // namespace
+}  // namespace wdm

@@ -1,0 +1,142 @@
+// Statistics accumulators: Welford correctness, merge laws, Wilson bounds.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace wdm {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  const util::RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.ci95_halfwidth(), 0.0);
+}
+
+TEST(RunningStats, KnownSmallSample) {
+  util::RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.sum(), 40.0, 1e-12);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  util::Rng rng(1);
+  util::RunningStats whole, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform01() * 10 - 3;
+    whole.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-9);
+  EXPECT_EQ(a.min(), whole.min());
+  EXPECT_EQ(a.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  util::RunningStats a, b;
+  a.add(1.0);
+  a.add(3.0);
+  const double mean = a.mean();
+  a.merge(b);  // no-op
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.mean(), mean);
+  b.merge(a);  // adopt
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_EQ(b.mean(), mean);
+}
+
+TEST(Proportion, ValueAndConservation) {
+  util::Proportion p;
+  p.add(true);
+  p.add(false);
+  p.add(false);
+  p.add(false);
+  EXPECT_EQ(p.trials(), 4u);
+  EXPECT_EQ(p.successes(), 1u);
+  EXPECT_DOUBLE_EQ(p.value(), 0.25);
+}
+
+TEST(Proportion, WilsonBracketsAndStaysInUnitInterval) {
+  util::Proportion p;
+  p.add(3, 1000);
+  EXPECT_GT(p.wilson_low(), 0.0);
+  EXPECT_LT(p.wilson_low(), p.value());
+  EXPECT_GT(p.wilson_high(), p.value());
+  EXPECT_LT(p.wilson_high(), 1.0);
+
+  util::Proportion zero;
+  zero.add(0, 50);
+  EXPECT_EQ(zero.wilson_low(), 0.0);
+  EXPECT_GT(zero.wilson_high(), 0.0);
+
+  util::Proportion empty;
+  EXPECT_EQ(empty.wilson_low(), 0.0);
+  EXPECT_EQ(empty.wilson_high(), 1.0);
+}
+
+TEST(Proportion, IntervalShrinksWithSamples) {
+  util::Proportion small, large;
+  small.add(5, 50);
+  large.add(500, 5000);
+  EXPECT_LT(large.wilson_high() - large.wilson_low(),
+            small.wilson_high() - small.wilson_low());
+}
+
+TEST(Histogram, CountsAndClamping) {
+  util::Histogram h(0.0, 10.0, 5);
+  h.add(0.5);    // bin 0
+  h.add(9.99);   // bin 4
+  h.add(-3.0);   // clamped to bin 0
+  h.add(42.0);   // clamped to bin 4
+  h.add(5.0);    // bin 2
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(2), 1u);
+  EXPECT_EQ(h.bin_count(4), 2u);
+  EXPECT_DOUBLE_EQ(h.bin_low(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_high(4), 10.0);
+}
+
+TEST(Histogram, QuantileMonotone) {
+  util::Histogram h(0.0, 1.0, 20);
+  util::Rng rng(2);
+  for (int i = 0; i < 10000; ++i) h.add(rng.uniform01());
+  const double q25 = h.quantile(0.25);
+  const double q50 = h.quantile(0.5);
+  const double q75 = h.quantile(0.75);
+  EXPECT_LT(q25, q50);
+  EXPECT_LT(q50, q75);
+  EXPECT_NEAR(q50, 0.5, 0.05);
+}
+
+TEST(Histogram, MergeRequiresSameLayout) {
+  util::Histogram a(0.0, 1.0, 4), b(0.0, 1.0, 4), c(0.0, 2.0, 4);
+  a.add(0.1);
+  b.add(0.9);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 2u);
+  EXPECT_THROW(a.merge(c), std::logic_error);
+}
+
+TEST(Jain, KnownValues) {
+  EXPECT_DOUBLE_EQ(util::jain_fairness({}), 1.0);
+  EXPECT_DOUBLE_EQ(util::jain_fairness({5.0, 5.0, 5.0}), 1.0);
+  // One user hogging everything among n: index = 1/n.
+  EXPECT_NEAR(util::jain_fairness({1.0, 0.0, 0.0, 0.0}), 0.25, 1e-12);
+  EXPECT_DOUBLE_EQ(util::jain_fairness({0.0, 0.0}), 1.0);  // vacuous
+}
+
+}  // namespace
+}  // namespace wdm

@@ -1,0 +1,65 @@
+// Table rendering: alignment, CSV escaping, cell formatting.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/table.hpp"
+
+namespace wdm {
+namespace {
+
+TEST(Table, RowWidthEnforced) {
+  util::Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::logic_error);
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_EQ(t.columns(), 2u);
+  EXPECT_EQ(t.at(0, 1), "2");
+}
+
+TEST(Table, PrintAligned) {
+  util::Table t({"name", "v"});
+  t.add_row({"x", "1234"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("1234"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+  // Header and row lines align on the same width.
+  std::istringstream is(out);
+  std::string header, rule, row;
+  std::getline(is, header);
+  std::getline(is, rule);
+  std::getline(is, row);
+  EXPECT_EQ(header.size(), row.size());
+}
+
+TEST(Table, CsvEscaping) {
+  util::Table t({"x", "note"});
+  t.add_row({"1", "hello, \"world\""});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "x,note\n1,\"hello, \"\"world\"\"\"\n");
+}
+
+TEST(Cell, Formatting) {
+  EXPECT_EQ(util::cell(42), "42");
+  EXPECT_EQ(util::cell(std::uint64_t{7}), "7");
+  EXPECT_EQ(util::cell(std::int64_t{-3}), "-3");
+  EXPECT_EQ(util::cell(1.5), "1.5");
+  EXPECT_EQ(util::cell(3.14159, 3), "3.14");
+}
+
+TEST(CellProb, SwitchesToScientificForSmallValues) {
+  EXPECT_EQ(util::cell_prob(0.0), "0.00000");
+  EXPECT_NE(util::cell_prob(0.25).find("0.25000"), std::string::npos);
+  EXPECT_NE(util::cell_prob(1.2e-5).find("e-05"), std::string::npos);
+}
+
+TEST(Table, EmptyHeaderRejected) {
+  EXPECT_THROW(util::Table({}), std::logic_error);
+}
+
+}  // namespace
+}  // namespace wdm

@@ -1,0 +1,76 @@
+// Thread pool: completion, exception propagation, parallel_for coverage.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "util/threadpool.hpp"
+
+namespace wdm {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  util::ThreadPool pool(2);
+  EXPECT_EQ(pool.size(), 2u);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 20; ++i) {
+    futures.push_back(pool.submit([&] { counter.fetch_add(1); }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptions) {
+  util::ThreadPool pool(1);
+  auto f = pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  util::ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(257);
+  pool.parallel_for(0, hits.size(),
+                    [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmptyRange) {
+  util::ThreadPool pool(2);
+  bool ran = false;
+  pool.parallel_for(5, 5, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, ParallelForSubrange) {
+  util::ThreadPool pool(2);
+  std::atomic<std::size_t> sum{0};
+  pool.parallel_for(10, 20, [&](std::size_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), std::size_t{145});  // 10+...+19
+}
+
+TEST(ThreadPool, ParallelForPropagatesFirstException) {
+  util::ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(0, 8,
+                                 [&](std::size_t i) {
+                                   if (i == 3) throw std::runtime_error("x");
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, DefaultSizeIsPositive) {
+  util::ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, ManyMoreTasksThanThreads) {
+  util::ThreadPool pool(1);
+  std::atomic<int> counter{0};
+  pool.parallel_for(0, 1000, [&](std::size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 1000);
+}
+
+}  // namespace
+}  // namespace wdm

@@ -1,0 +1,61 @@
+// Remaining util coverage: Stopwatch, Histogram rendering, grants helper.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/channel_assignment.hpp"
+#include "util/stats.hpp"
+#include "util/timer.hpp"
+
+namespace wdm {
+namespace {
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  util::Stopwatch clock;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const auto ms = clock.elapsed_ms();
+  EXPECT_GE(ms, 15.0);
+  EXPECT_LT(ms, 5000.0);
+  EXPECT_NEAR(clock.elapsed_s(), clock.elapsed_ms() / 1000.0, 0.05);
+}
+
+TEST(Stopwatch, ResetRestarts) {
+  util::Stopwatch clock;
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  clock.reset();
+  EXPECT_LT(clock.elapsed_ms(), 15.0);
+}
+
+TEST(Stopwatch, MonotoneReadings) {
+  util::Stopwatch clock;
+  const auto a = clock.elapsed_ns();
+  const auto b = clock.elapsed_ns();
+  EXPECT_LE(a, b);
+}
+
+TEST(Histogram, AsciiRendering) {
+  util::Histogram h(0.0, 4.0, 4);
+  h.add(0.5);
+  h.add(0.6);
+  h.add(2.5);
+  const auto art = h.ascii(10);
+  // One line per bin, hash bars proportional to counts.
+  EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 4);
+  EXPECT_NE(art.find("##########"), std::string::npos);  // peak bin
+  EXPECT_NE(art.find(" 2"), std::string::npos);
+  EXPECT_NE(art.find(" 0"), std::string::npos);
+}
+
+TEST(ChannelAssignment, GrantsPerWavelength) {
+  core::ChannelAssignment a(4);
+  a.source[0] = 1;
+  a.source[2] = 1;
+  a.source[3] = 3;
+  a.granted = 3;
+  const auto grants = a.grants_per_wavelength();
+  EXPECT_EQ(grants, (std::vector<std::int32_t>{0, 2, 0, 1}));
+  EXPECT_EQ(a.k(), 4);
+}
+
+}  // namespace
+}  // namespace wdm

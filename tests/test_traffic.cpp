@@ -1,0 +1,192 @@
+// Traffic generators: load calibration, determinism, busy suppression,
+// destination patterns, holding-time distributions.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "sim/traffic.hpp"
+
+namespace wdm {
+namespace {
+
+using sim::ArrivalProcess;
+using sim::DestinationPattern;
+using sim::HoldingTime;
+using sim::TrafficConfig;
+using sim::TrafficGenerator;
+
+TEST(Traffic, BernoulliLoadCalibration) {
+  TrafficConfig cfg;
+  cfg.load = 0.3;
+  TrafficGenerator gen(4, 8, cfg, 1);
+  std::uint64_t total = 0;
+  const int slots = 3000;
+  for (int s = 0; s < slots; ++s) total += gen.next_slot().size();
+  const double per_channel =
+      static_cast<double>(total) / (slots * 4.0 * 8.0);
+  EXPECT_NEAR(per_channel, 0.3, 0.02);
+}
+
+TEST(Traffic, DeterministicForSeed) {
+  TrafficConfig cfg;
+  cfg.load = 0.5;
+  TrafficGenerator a(3, 4, cfg, 99), b(3, 4, cfg, 99);
+  for (int s = 0; s < 50; ++s) {
+    const auto ra = a.next_slot();
+    const auto rb = b.next_slot();
+    ASSERT_EQ(ra.size(), rb.size());
+    for (std::size_t i = 0; i < ra.size(); ++i) {
+      EXPECT_EQ(ra[i].input_fiber, rb[i].input_fiber);
+      EXPECT_EQ(ra[i].wavelength, rb[i].wavelength);
+      EXPECT_EQ(ra[i].output_fiber, rb[i].output_fiber);
+    }
+  }
+}
+
+TEST(Traffic, RequestsAreWellFormed) {
+  TrafficConfig cfg;
+  cfg.load = 0.8;
+  TrafficGenerator gen(5, 6, cfg, 7);
+  for (int s = 0; s < 100; ++s) {
+    for (const auto& r : gen.next_slot()) {
+      EXPECT_GE(r.input_fiber, 0);
+      EXPECT_LT(r.input_fiber, 5);
+      EXPECT_GE(r.wavelength, 0);
+      EXPECT_LT(r.wavelength, 6);
+      EXPECT_GE(r.output_fiber, 0);
+      EXPECT_LT(r.output_fiber, 5);
+      EXPECT_EQ(r.duration, 1);
+    }
+  }
+}
+
+TEST(Traffic, BusyChannelsAreSuppressed) {
+  TrafficConfig cfg;
+  cfg.load = 1.0;  // every idle channel fires
+  TrafficGenerator gen(2, 3, cfg, 3);
+  std::vector<std::uint8_t> busy(6, 0);
+  busy[0 * 3 + 1] = 1;  // fiber 0, λ1
+  busy[1 * 3 + 2] = 1;  // fiber 1, λ2
+  const auto requests = gen.next_slot(busy);
+  EXPECT_EQ(requests.size(), 4u);  // 6 channels - 2 busy
+  for (const auto& r : requests) {
+    EXPECT_FALSE(r.input_fiber == 0 && r.wavelength == 1);
+    EXPECT_FALSE(r.input_fiber == 1 && r.wavelength == 2);
+  }
+}
+
+TEST(Traffic, UniformDestinationsCoverAllFibers) {
+  TrafficConfig cfg;
+  cfg.load = 1.0;
+  TrafficGenerator gen(6, 2, cfg, 11);
+  std::map<std::int32_t, int> hist;
+  for (int s = 0; s < 400; ++s) {
+    for (const auto& r : gen.next_slot()) hist[r.output_fiber] += 1;
+  }
+  ASSERT_EQ(hist.size(), 6u);
+  for (const auto& [fiber, count] : hist) {
+    EXPECT_NEAR(count, 400 * 2, 400 * 2 / 4) << "fiber " << fiber;
+  }
+}
+
+TEST(Traffic, HotspotSkewsDestinations) {
+  TrafficConfig cfg;
+  cfg.load = 1.0;
+  cfg.destinations = DestinationPattern::kHotspot;
+  cfg.hotspot_alpha = 1.5;
+  TrafficGenerator gen(8, 2, cfg, 13);
+  std::map<std::int32_t, int> hist;
+  for (int s = 0; s < 400; ++s) {
+    for (const auto& r : gen.next_slot()) hist[r.output_fiber] += 1;
+  }
+  EXPECT_GT(hist[0], hist[3]);
+  EXPECT_GT(hist[0], hist[7]);
+}
+
+TEST(Traffic, OnOffProducesBurstsAtConfiguredLoad) {
+  TrafficConfig cfg;
+  cfg.load = 0.4;
+  cfg.arrivals = ArrivalProcess::kOnOff;
+  cfg.mean_burst_length = 5.0;
+  TrafficGenerator gen(4, 4, cfg, 17);
+  std::uint64_t total = 0;
+  const int slots = 8000;
+  for (int s = 0; s < slots; ++s) total += gen.next_slot().size();
+  EXPECT_NEAR(static_cast<double>(total) / (slots * 16.0), 0.4, 0.05);
+}
+
+TEST(Traffic, OnOffBurstsShareDestination) {
+  TrafficConfig cfg;
+  cfg.load = 0.5;
+  cfg.arrivals = ArrivalProcess::kOnOff;
+  cfg.mean_burst_length = 20.0;
+  TrafficGenerator gen(1, 1, cfg, 23);
+  // Track destination changes on the single channel: within a burst the
+  // destination is constant, so the number of distinct destinations is far
+  // smaller than the number of packets.
+  std::int32_t changes = 0, packets = 0, last = -1;
+  for (int s = 0; s < 4000; ++s) {
+    const auto reqs = gen.next_slot();
+    if (reqs.empty()) {
+      last = -1;
+      continue;
+    }
+    packets += 1;
+    if (last != -1 && reqs[0].output_fiber != last) changes += 1;
+    last = reqs[0].output_fiber;
+  }
+  ASSERT_GT(packets, 100);
+  EXPECT_LT(changes, packets / 5);
+}
+
+TEST(Traffic, FixedHolding) {
+  TrafficConfig cfg;
+  cfg.load = 1.0;
+  cfg.holding = HoldingTime::kFixed;
+  cfg.mean_holding = 4.0;
+  TrafficGenerator gen(2, 2, cfg, 29);
+  for (const auto& r : gen.next_slot()) EXPECT_EQ(r.duration, 4);
+}
+
+TEST(Traffic, GeometricHoldingMean) {
+  TrafficConfig cfg;
+  cfg.load = 1.0;
+  cfg.holding = HoldingTime::kGeometric;
+  cfg.mean_holding = 6.0;
+  TrafficGenerator gen(4, 4, cfg, 31);
+  double sum = 0;
+  int n = 0;
+  for (int s = 0; s < 400; ++s) {
+    for (const auto& r : gen.next_slot()) {
+      EXPECT_GE(r.duration, 1);
+      sum += r.duration;
+      n += 1;
+    }
+  }
+  EXPECT_NEAR(sum / n, 6.0, 0.5);
+}
+
+TEST(Traffic, UniqueIds) {
+  TrafficConfig cfg;
+  cfg.load = 0.7;
+  TrafficGenerator gen(3, 3, cfg, 37);
+  std::set<std::uint64_t> ids;
+  for (int s = 0; s < 100; ++s) {
+    for (const auto& r : gen.next_slot()) {
+      EXPECT_TRUE(ids.insert(r.id).second);
+    }
+  }
+  EXPECT_EQ(ids.size(), gen.generated());
+}
+
+TEST(Traffic, InvalidConfigRejected) {
+  TrafficConfig bad;
+  bad.load = 1.5;
+  EXPECT_THROW(TrafficGenerator(2, 2, bad, 1), std::logic_error);
+  TrafficConfig bad2;
+  bad2.mean_holding = 0.5;
+  EXPECT_THROW(TrafficGenerator(2, 2, bad2, 1), std::logic_error);
+}
+
+}  // namespace
+}  // namespace wdm

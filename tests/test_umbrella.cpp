@@ -1,0 +1,21 @@
+// The umbrella header must compile standalone and expose the whole API.
+#include "wdm.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wdm {
+namespace {
+
+TEST(Umbrella, EndToEndThroughTheSingleHeader) {
+  const auto scheme = core::ConversionScheme::circular(6, 1, 1);
+  const core::RequestVector rv{2, 1, 0, 1, 1, 2};
+  EXPECT_EQ(core::break_first_available(rv, scheme).granted, 6);
+  EXPECT_EQ(graph::hopcroft_karp(
+                core::RequestGraph(scheme, rv).to_bipartite())
+                .size(),
+            6u);
+  EXPECT_GT(sim::erlang_b(1, 1.0), 0.49);
+}
+
+}  // namespace
+}  // namespace wdm

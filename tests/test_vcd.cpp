@@ -1,0 +1,116 @@
+// VCD writer: grammar essentials, change coalescing, scheduler integration.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "hw/hw_scheduler.hpp"
+#include "hw/vcd.hpp"
+
+namespace wdm {
+namespace {
+
+TEST(Vcd, HeaderAndDeclarations) {
+  std::ostringstream os;
+  hw::VcdWriter vcd(os, "top");
+  const auto clk = vcd.add_wire("clk", 1);
+  const auto bus = vcd.add_wire("bus", 8);
+  vcd.begin();
+  vcd.set(clk, 1);
+  vcd.set(bus, 0xA5);
+  vcd.tick();
+  vcd.finish();
+
+  const std::string out = os.str();
+  EXPECT_NE(out.find("$timescale 1ns $end"), std::string::npos);
+  EXPECT_NE(out.find("$scope module top $end"), std::string::npos);
+  EXPECT_NE(out.find("$var wire 1 ! clk $end"), std::string::npos);
+  EXPECT_NE(out.find("$var wire 8 \" bus $end"), std::string::npos);
+  EXPECT_NE(out.find("$enddefinitions $end"), std::string::npos);
+  EXPECT_NE(out.find("$dumpvars"), std::string::npos);
+  EXPECT_NE(out.find("#0\n"), std::string::npos);
+  EXPECT_NE(out.find("1!"), std::string::npos);
+  EXPECT_NE(out.find("b10100101 \""), std::string::npos);
+}
+
+TEST(Vcd, UnchangedValuesAreCoalesced) {
+  std::ostringstream os;
+  hw::VcdWriter vcd(os, "m");
+  const auto sig = vcd.add_wire("s", 4);
+  vcd.begin();
+  vcd.set(sig, 3);
+  vcd.tick();  // #0: emitted
+  vcd.set(sig, 3);
+  vcd.tick();  // #1: identical — no emission
+  vcd.set(sig, 4);
+  vcd.tick();  // #2: emitted
+  vcd.finish();
+  const std::string out = os.str();
+  EXPECT_NE(out.find("#0"), std::string::npos);
+  EXPECT_EQ(out.find("#1\n"), std::string::npos);
+  EXPECT_NE(out.find("#2"), std::string::npos);
+  EXPECT_NE(out.find("b11 "), std::string::npos);
+  EXPECT_NE(out.find("b100 "), std::string::npos);
+}
+
+TEST(Vcd, ValueTruncatedToWidth) {
+  std::ostringstream os;
+  hw::VcdWriter vcd(os, "m");
+  const auto sig = vcd.add_wire("s", 2);
+  vcd.begin();
+  vcd.set(sig, 0xFF);  // truncates to 0b11
+  vcd.tick();
+  vcd.finish();
+  EXPECT_NE(os.str().find("b11 "), std::string::npos);
+}
+
+TEST(Vcd, ApiMisuseRejected) {
+  std::ostringstream os;
+  hw::VcdWriter vcd(os, "m");
+  EXPECT_THROW(vcd.set(0, 1), std::logic_error);  // before begin / no wire
+  EXPECT_THROW(vcd.add_wire("w", 0), std::logic_error);
+  EXPECT_THROW(vcd.add_wire("w", 65), std::logic_error);
+  const auto sig = vcd.add_wire("ok", 4);
+  vcd.begin();
+  EXPECT_THROW(vcd.add_wire("late", 1), std::logic_error);
+  EXPECT_THROW(vcd.begin(), std::logic_error);
+  vcd.set(sig, 1);
+  vcd.tick();
+}
+
+TEST(Vcd, SchedulerDumpContainsOneTickPerTracedCycle) {
+  const auto scheme = core::ConversionScheme::non_circular(6, 1, 1);
+  hw::HwPortScheduler port(scheme, 3);
+  std::vector<core::Request> requests{{0, 1, 1, 1}, {1, 1, 2, 1}, {2, 4, 3, 1}};
+  std::ostringstream os;
+  const auto grants = hw::dump_schedule_vcd(os, port, requests);
+  EXPECT_EQ(grants.size(), 3u);
+
+  // k match steps + |grants| commit steps, each its own timestamp.
+  const std::string out = os.str();
+  std::size_t stamps = 0, pos = 0;
+  while ((pos = out.find('#', pos)) != std::string::npos) {
+    stamps += 1;
+    pos += 1;
+  }
+  EXPECT_EQ(stamps, 6u + 3u + 1u);  // + final finish() stamp
+  EXPECT_NE(out.find("wavelength"), std::string::npos);
+}
+
+TEST(Vcd, BfaDumpTracesCommitsOnly) {
+  const auto scheme = core::ConversionScheme::circular(6, 1, 1);
+  hw::HwPortScheduler port(scheme, 3);
+  std::vector<core::Request> requests{{0, 0, 1, 1}, {1, 3, 2, 1}};
+  std::ostringstream os;
+  const auto grants = hw::dump_schedule_vcd(os, port, requests);
+  EXPECT_EQ(grants.size(), 2u);
+  const std::string out = os.str();
+  std::size_t stamps = 0, pos = 0;
+  while ((pos = out.find('#', pos)) != std::string::npos) {
+    stamps += 1;
+    pos += 1;
+  }
+  EXPECT_EQ(stamps, 2u + 1u);  // two commits + finish
+}
+
+}  // namespace
+}  // namespace wdm
