@@ -32,34 +32,54 @@ std::vector<PortDecision> DistributedScheduler::schedule_slot(
     const std::vector<std::vector<std::uint8_t>>* availability,
     util::ThreadPool* pool) {
   const auto n_fibers = static_cast<std::size_t>(n_output_fibers());
-  if (availability != nullptr) {
-    WDM_CHECK_MSG(availability->size() == n_fibers,
-                  "need one availability mask per output fiber");
+  std::vector<PortDecision> decisions(requests.size());
+
+  // Externally supplied data is rejected per-request, never with a throw: a
+  // malformed SlotRequest (or a wrong-shaped availability vector) costs the
+  // affected grants only, not the slot or the process.
+  if (availability != nullptr && availability->size() != n_fibers) {
+    for (auto& d : decisions) {
+      d = PortDecision::reject(RejectReason::kBadAvailabilityMask);
+    }
+    return decisions;
   }
 
   // Partition the slot's requests into the N destination subsets. No request
   // appears in two subsets, so the per-fiber schedules are independent.
+  // Per-request field validation happens inside the per-port scheduler.
   std::vector<std::vector<Request>> per_fiber(n_fibers);
   std::vector<std::vector<std::size_t>> origin(n_fibers);
   for (std::size_t idx = 0; idx < requests.size(); ++idx) {
     const auto& r = requests[idx];
-    WDM_CHECK_MSG(r.output_fiber >= 0 &&
-                      r.output_fiber < n_output_fibers(),
-                  "request destined to a nonexistent output fiber");
+    if (r.output_fiber < 0 || r.output_fiber >= n_output_fibers()) {
+      decisions[idx] = PortDecision::reject(RejectReason::kInvalidOutputFiber);
+      continue;
+    }
+    if (r.priority < 0) {
+      decisions[idx] = PortDecision::reject(RejectReason::kInvalidPriority);
+      continue;
+    }
     per_fiber[static_cast<std::size_t>(r.output_fiber)].push_back(
         Request{r.input_fiber, r.wavelength, r.id, r.duration});
     origin[static_cast<std::size_t>(r.output_fiber)].push_back(idx);
   }
 
-  std::vector<PortDecision> decisions(requests.size());
   const auto schedule_fiber = [&](std::size_t fiber) {
     if (per_fiber[fiber].empty()) return;
     const std::span<const std::uint8_t> mask =
         availability != nullptr ? std::span<const std::uint8_t>((*availability)[fiber])
                                 : std::span<const std::uint8_t>{};
-    const auto fiber_decisions = ports_[fiber].schedule(per_fiber[fiber], mask);
-    for (std::size_t i = 0; i < fiber_decisions.size(); ++i) {
-      decisions[origin[fiber][i]] = fiber_decisions[i];
+    try {
+      const auto fiber_decisions = ports_[fiber].schedule(per_fiber[fiber], mask);
+      for (std::size_t i = 0; i < fiber_decisions.size(); ++i) {
+        decisions[origin[fiber][i]] = fiber_decisions[i];
+      }
+    } catch (...) {
+      // A kernel bug must not take the other fibers' grants down with it;
+      // the fiber's requests are rejected and the fault shows up in metrics.
+      for (const std::size_t idx : origin[fiber]) {
+        decisions[idx] = PortDecision::reject(RejectReason::kInternalError);
+      }
     }
   };
 
@@ -68,6 +88,12 @@ std::vector<PortDecision> DistributedScheduler::schedule_slot(
   } else {
     for (std::size_t fiber = 0; fiber < n_fibers; ++fiber) {
       schedule_fiber(fiber);
+    }
+  }
+  for (auto& d : decisions) {
+    if (!d.granted && d.reason == RejectReason::kUndecided) {
+      WDM_DCHECK(!"schedule_slot left a request undecided");
+      d = PortDecision::reject(RejectReason::kInternalError);
     }
   }
   return decisions;

@@ -51,6 +51,11 @@ class DistributedScheduler {
   /// per output fiber (occupied channels, Section V). If `pool` is non-null
   /// the per-fiber schedules run concurrently. The result is parallel to
   /// `requests`.
+  ///
+  /// Robustness contract: malformed inputs (out-of-range fiber or wavelength,
+  /// nonpositive duration, negative priority, wrong-shaped availability) never
+  /// throw — each affected request comes back rejected with a RejectReason,
+  /// and well-formed requests in the same slot are scheduled normally.
   std::vector<PortDecision> schedule_slot(
       std::span<const SlotRequest> requests,
       const std::vector<std::vector<std::uint8_t>>* availability = nullptr,

@@ -38,6 +38,31 @@ graph::Interval compact_interval(const graph::Interval& iv,
 
 }  // namespace
 
+const char* to_string(RejectReason reason) noexcept {
+  switch (reason) {
+    case RejectReason::kGranted: return "granted";
+    case RejectReason::kUndecided: return "undecided";
+    case RejectReason::kNoChannel: return "no-channel";
+    case RejectReason::kInvalidOutputFiber: return "invalid-output-fiber";
+    case RejectReason::kInvalidWavelength: return "invalid-wavelength";
+    case RejectReason::kInvalidInputFiber: return "invalid-input-fiber";
+    case RejectReason::kInvalidDuration: return "invalid-duration";
+    case RejectReason::kInvalidPriority: return "invalid-priority";
+    case RejectReason::kBadAvailabilityMask: return "bad-availability-mask";
+    case RejectReason::kInternalError: return "internal-error";
+  }
+  return "unknown";
+}
+
+RejectReason validate_request(const Request& r, std::int32_t k) noexcept {
+  if (r.wavelength < 0 || r.wavelength >= k) {
+    return RejectReason::kInvalidWavelength;
+  }
+  if (r.input_fiber < 0) return RejectReason::kInvalidInputFiber;
+  if (r.duration < 1) return RejectReason::kInvalidDuration;
+  return RejectReason::kGranted;
+}
+
 OutputPortScheduler::OutputPortScheduler(ConversionScheme scheme,
                                          Algorithm algorithm,
                                          Arbitration arbitration,
@@ -160,8 +185,28 @@ ChannelAssignment OutputPortScheduler::assign_channels(
 std::vector<PortDecision> OutputPortScheduler::schedule(
     std::span<const Request> requests, std::span<const std::uint8_t> available) {
   const std::int32_t k = scheme_.k();
+  std::vector<PortDecision> decisions(requests.size());
+
+  // Externally supplied data never aborts the slot: a wrong-shaped mask or a
+  // malformed request yields per-request rejections instead of a WDM_CHECK
+  // throw (the kernels below still enforce their contracts).
+  if (!available.empty() &&
+      static_cast<std::int32_t>(available.size()) != k) {
+    for (auto& d : decisions) {
+      d = PortDecision::reject(RejectReason::kBadAvailabilityMask);
+    }
+    return decisions;
+  }
+
   RequestVector rv(k);
-  for (const auto& r : requests) rv.add(r.wavelength);
+  for (std::size_t idx = 0; idx < requests.size(); ++idx) {
+    const RejectReason reason = validate_request(requests[idx], k);
+    if (reason != RejectReason::kGranted) {
+      decisions[idx] = PortDecision::reject(reason);
+      continue;
+    }
+    rv.add(requests[idx].wavelength);
+  }
 
   const ChannelAssignment assignment = assign_channels(rv, available);
 
@@ -172,13 +217,14 @@ std::vector<PortDecision> OutputPortScheduler::schedule(
     if (w != kNone) channels_won[static_cast<std::size_t>(w)].push_back(v);
   }
 
-  // Requests of each wavelength, in arrival (input) order.
+  // Requests of each wavelength, in arrival (input) order. Malformed
+  // requests were rejected above and never compete.
   std::vector<std::vector<std::size_t>> members(static_cast<std::size_t>(k));
   for (std::size_t idx = 0; idx < requests.size(); ++idx) {
+    if (decisions[idx].reason != RejectReason::kUndecided) continue;
     members[static_cast<std::size_t>(requests[idx].wavelength)].push_back(idx);
   }
 
-  std::vector<PortDecision> decisions(requests.size());
   for (Wavelength w = 0; w < k; ++w) {
     auto& group = members[static_cast<std::size_t>(w)];
     const auto& won = channels_won[static_cast<std::size_t>(w)];
@@ -211,7 +257,14 @@ std::vector<PortDecision> OutputPortScheduler::schedule(
       }
     }
     for (std::size_t t = 0; t < won.size(); ++t) {
-      decisions[winners[t]] = PortDecision{true, won[t]};
+      decisions[winners[t]] = PortDecision::grant(won[t]);
+    }
+  }
+  // Everything still undecided competed and lost: an explicit capacity
+  // rejection, so no decision ever leaves here as kUndecided.
+  for (auto& d : decisions) {
+    if (!d.granted && d.reason == RejectReason::kUndecided) {
+      d = PortDecision::reject(RejectReason::kNoChannel);
     }
   }
   return decisions;

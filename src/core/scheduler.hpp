@@ -44,11 +44,49 @@ enum class Arbitration : std::uint8_t {
   kRandom,      ///< uniform random winners (PIM-style)
 };
 
+/// Why a request was not granted. Malformed inputs are rejected per-request —
+/// one bad SlotRequest costs one grant, never the slot or the process — and
+/// surface in MetricsCollector as `rejected_malformed`.
+enum class RejectReason : std::uint8_t {
+  kGranted = 0,          ///< granted (no rejection)
+  kUndecided,            ///< default state: the scheduler never decided (bug)
+  kNoChannel,            ///< well-formed, but the matching had no channel left
+  kInvalidOutputFiber,   ///< output fiber outside [0, N)
+  kInvalidWavelength,    ///< wavelength outside [0, k)
+  kInvalidInputFiber,    ///< negative (or out-of-range) input fiber
+  kInvalidDuration,      ///< holding time < 1 slot
+  kInvalidPriority,      ///< negative QoS class
+  kBadAvailabilityMask,  ///< availability mask has the wrong shape
+  kInternalError,        ///< the per-fiber kernel threw; the slot survived
+};
+
+/// True for rejections caused by malformed input or an internal fault, as
+/// opposed to a genuine capacity loss (kNoChannel).
+constexpr bool is_malformed(RejectReason reason) noexcept {
+  return reason != RejectReason::kGranted && reason != RejectReason::kNoChannel;
+}
+
+const char* to_string(RejectReason reason) noexcept;
+
 /// Grant decision for one request, parallel to the schedule() input.
+/// Invariant on every decision a scheduler returns: granted ⇔ reason ==
+/// kGranted; kUndecided never escapes (the fuzz harness asserts both).
 struct PortDecision {
   bool granted = false;
   Channel channel = kNone;
+  RejectReason reason = RejectReason::kUndecided;
+
+  static constexpr PortDecision grant(Channel c) noexcept {
+    return PortDecision{true, c, RejectReason::kGranted};
+  }
+  static constexpr PortDecision reject(RejectReason r) noexcept {
+    return PortDecision{false, kNone, r};
+  }
 };
+
+/// Field validation shared by the per-port and distributed schedulers:
+/// kGranted if `r` is well-formed for a k-wavelength port, else the reason.
+RejectReason validate_request(const Request& r, std::int32_t k) noexcept;
 
 class OutputPortScheduler {
  public:

@@ -94,14 +94,33 @@ void Interconnect::schedule_new_arrivals(
     SlotStats& stats) {
   stats.arrivals += arrivals.size();
 
+  // Per-request validation of externally supplied data (trace replay, user
+  // workloads): a malformed request is dropped and counted, never thrown on.
+  // The scheduler re-validates what it can see, but the input-fiber upper
+  // bound — needed before occupy() touches per-input-channel state — is only
+  // known here.
+  std::vector<core::SlotRequest> valid;
+  valid.reserve(arrivals.size());
+  for (const auto& r : arrivals) {
+    const bool ok = r.input_fiber >= 0 && r.input_fiber < config_.n_fibers &&
+                    r.output_fiber >= 0 && r.output_fiber < config_.n_fibers &&
+                    r.wavelength >= 0 && r.wavelength < k() &&
+                    r.duration >= 1 && r.priority >= 0;
+    if (!ok) {
+      stats.rejected += 1;
+      stats.rejected_malformed += 1;
+      continue;
+    }
+    valid.push_back(r);
+  }
+
   // Partition by QoS class (strict priority, 0 = highest); the common
   // single-class case stays a single scheduling pass.
   std::int32_t max_class = 0;
-  for (const auto& r : arrivals) {
-    WDM_CHECK_MSG(r.priority >= 0, "priority classes must be nonnegative");
+  for (const auto& r : valid) {
     max_class = std::max(max_class, r.priority);
   }
-  if (!arrivals.empty()) {
+  if (!valid.empty()) {
     // Always record per-class; a multi-class *run* can still have
     // single-class slots, and the driver must see them (it collapses the
     // vectors at report time if the whole run was single-class).
@@ -111,7 +130,7 @@ void Interconnect::schedule_new_arrivals(
 
   for (std::int32_t cls = 0; cls <= max_class; ++cls) {
     std::vector<core::SlotRequest> batch;
-    for (const auto& r : arrivals) {
+    for (const auto& r : valid) {
       if (r.priority == cls) batch.push_back(r);
     }
     if (batch.empty()) continue;
@@ -122,6 +141,9 @@ void Interconnect::schedule_new_arrivals(
     for (std::size_t i = 0; i < batch.size(); ++i) {
       if (!decisions[i].granted) {
         stats.rejected += 1;
+        if (core::is_malformed(decisions[i].reason)) {
+          stats.rejected_malformed += 1;
+        }
         continue;
       }
       stats.granted += 1;

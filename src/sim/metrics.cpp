@@ -13,9 +13,16 @@ MetricsCollector::MetricsCollector(std::int32_t n_fibers, std::int32_t k)
 void MetricsCollector::record_slot(const SlotStats& stats) {
   WDM_CHECK_MSG(stats.granted + stats.rejected == stats.arrivals,
                 "slot accounting must conserve requests");
+  WDM_CHECK_MSG(stats.rejected_malformed <= stats.rejected,
+                "malformed rejections are a subset of rejections");
   slots_ += 1;
   granted_total_ += stats.granted;
-  loss_.add(stats.rejected, stats.arrivals);
+  rejected_malformed_ += stats.rejected_malformed;
+  if (stats.arrivals > 0) {
+    // Idle slots contribute no Bernoulli trials: the loss ratio is per
+    // request, so a long idle stream must not dilute (or seed) it.
+    loss_.add(stats.rejected, stats.arrivals);
+  }
   const double capacity =
       static_cast<double>(n_fibers_) * static_cast<double>(k_);
   utilization_.add(static_cast<double>(stats.busy_channels) / capacity);
@@ -33,6 +40,7 @@ void MetricsCollector::merge(const MetricsCollector& other) {
                 "metric layouts must match to merge");
   slots_ += other.slots_;
   granted_total_ += other.granted_total_;
+  rejected_malformed_ += other.rejected_malformed_;
   loss_.merge(other.loss_);
   utilization_.merge(other.utilization_);
   for (std::size_t i = 0; i < fiber_grants_.size(); ++i) {

@@ -17,6 +17,9 @@ struct SlotStats {
   std::uint64_t arrivals = 0;       ///< new requests offered this slot
   std::uint64_t granted = 0;        ///< new requests granted
   std::uint64_t rejected = 0;       ///< new requests dropped (no buffers)
+  /// Subset of `rejected` dropped for malformed fields (core::is_malformed
+  /// RejectReasons), not for lack of capacity.
+  std::uint64_t rejected_malformed = 0;
   std::uint64_t preempted = 0;      ///< ongoing connections dropped mid-hold
   std::uint64_t busy_channels = 0;  ///< occupied output channels after the slot
   /// Per-QoS-class accounting (index = priority class); sized to the
@@ -38,6 +41,10 @@ class MetricsCollector {
   std::uint64_t slots() const noexcept { return slots_; }
   std::uint64_t arrivals() const noexcept { return loss_.trials(); }
   std::uint64_t losses() const noexcept { return loss_.successes(); }
+  /// Requests dropped for malformed fields rather than lack of capacity.
+  std::uint64_t rejected_malformed() const noexcept {
+    return rejected_malformed_;
+  }
 
   /// P(new request rejected).
   double loss_probability() const noexcept { return loss_.value(); }
@@ -56,6 +63,7 @@ class MetricsCollector {
   std::int32_t k_;
   std::uint64_t slots_ = 0;
   std::uint64_t granted_total_ = 0;
+  std::uint64_t rejected_malformed_ = 0;
   util::Proportion loss_;
   util::RunningStats utilization_;
   std::vector<double> fiber_grants_;

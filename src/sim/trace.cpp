@@ -57,19 +57,15 @@ Trace read_trace(std::istream& is) {
           comma >> r.output_fiber >> comma >> r.id >> comma >> r.duration)) {
       throw std::invalid_argument("malformed trace line: " + line);
     }
+    // Guard the one field that sizes our own allocation; out-of-range
+    // *request* fields are kept as-is — the interconnect rejects them
+    // per-request at replay (RejectReason accounting), so one bad line
+    // costs one grant, not the whole replay.
+    WDM_CHECK_MSG(slot < kMaxTraceSlots, "trace slot index implausibly large");
     if (slot >= trace.slots.size()) trace.slots.resize(slot + 1);
     trace.slots[slot].push_back(r);
   }
   WDM_CHECK_MSG(got_header, "trace is missing its dimension header");
-  for (const auto& slot : trace.slots) {
-    for (const auto& r : slot) {
-      WDM_CHECK_MSG(r.input_fiber >= 0 && r.input_fiber < trace.n_fibers &&
-                        r.output_fiber >= 0 &&
-                        r.output_fiber < trace.n_fibers && r.wavelength >= 0 &&
-                        r.wavelength < trace.k && r.duration >= 1,
-                    "trace entry out of range");
-    }
-  }
   return trace;
 }
 

@@ -32,11 +32,17 @@ struct Trace {
   std::uint64_t total_requests() const noexcept;
 };
 
+/// Upper bound on slot indices read_trace accepts; guards its own allocation
+/// against a corrupt or hostile slot column.
+inline constexpr std::uint64_t kMaxTraceSlots = 1ull << 24;
+
 /// Serialises a trace (header comment + one line per request).
 void write_trace(std::ostream& os, const Trace& trace);
 
-/// Parses a trace; throws std::invalid_argument on malformed input and
-/// std::logic_error on out-of-range fields.
+/// Parses a trace. Structural problems (unparseable line, missing header,
+/// implausible slot index) throw; out-of-range *request fields* are kept and
+/// rejected per-request at replay, where they are counted as
+/// SlotStats::rejected_malformed.
 Trace read_trace(std::istream& is);
 
 /// Captures `slots` slots from a traffic generator (with no interconnect

@@ -1,12 +1,29 @@
 #include "util/threadpool.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <exception>
 
 #include "util/check.hpp"
 
 namespace wdm::util {
+
+std::vector<std::pair<std::size_t, std::size_t>> split_ranges(
+    std::size_t begin, std::size_t end, std::size_t max_parts) {
+  std::vector<std::pair<std::size_t, std::size_t>> ranges;
+  if (begin >= end || max_parts == 0) return ranges;
+  const std::size_t n = end - begin;
+  const std::size_t parts = std::min(n, max_parts);
+  const std::size_t base = n / parts;
+  const std::size_t extra = n % parts;
+  ranges.reserve(parts);
+  std::size_t lo = begin;
+  for (std::size_t c = 0; c < parts; ++c) {
+    const std::size_t hi = lo + base + (c < extra ? 1 : 0);
+    ranges.emplace_back(lo, hi);
+    lo = hi;
+  }
+  return ranges;
+}
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -42,18 +59,19 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
                               const std::function<void(std::size_t)>& fn) {
   if (begin >= end) return;
-  const std::size_t n = end - begin;
-  // Chunk so each worker gets a contiguous range: per-index task dispatch
-  // would cost a queue round-trip per output fiber, dwarfing an O(k) schedule.
-  const std::size_t chunks = std::min(n, workers_.size());
+  // Chunk so each worker gets a contiguous range: per-index dispatch through
+  // a shared cursor would pay a contended fetch_add per output fiber,
+  // dwarfing an O(k) schedule.
+  const auto chunks = split_ranges(begin, end, workers_.size());
+  if (chunks.size() == 1) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
   std::vector<std::future<void>> futures;
-  futures.reserve(chunks);
-  std::atomic<std::size_t> next{begin};
-  for (std::size_t c = 0; c < chunks; ++c) {
-    futures.push_back(submit([&] {
-      for (std::size_t i = next.fetch_add(1); i < end; i = next.fetch_add(1)) {
-        fn(i);
-      }
+  futures.reserve(chunks.size());
+  for (const auto& [lo, hi] : chunks) {
+    futures.push_back(submit([&fn, lo, hi] {
+      for (std::size_t i = lo; i < hi; ++i) fn(i);
     }));
   }
   std::exception_ptr first_error;

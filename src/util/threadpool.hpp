@@ -14,9 +14,17 @@
 #include <future>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace wdm::util {
+
+/// Splits [begin, end) into at most `max_parts` contiguous non-empty
+/// [lo, hi) ranges that cover it exactly, in order; earlier ranges take the
+/// remainder. This is the chunking parallel_for dispatches — exposed so tests
+/// can assert each chunk runs as one task.
+std::vector<std::pair<std::size_t, std::size_t>> split_ranges(
+    std::size_t begin, std::size_t end, std::size_t max_parts);
 
 class ThreadPool {
  public:
@@ -33,7 +41,10 @@ class ThreadPool {
   std::future<void> submit(std::function<void()> task);
 
   /// Runs fn(i) for i in [begin, end) across the pool and waits for all of
-  /// them. Exceptions propagate (the first one encountered is rethrown).
+  /// them. The range is split into split_ranges(begin, end, size()) contiguous
+  /// chunks, one task each, so workers never contend on a shared index; a
+  /// single-chunk range runs inline on the caller. Exceptions propagate (the
+  /// first one encountered is rethrown).
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& fn);
 

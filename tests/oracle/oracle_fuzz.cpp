@@ -1,0 +1,374 @@
+// Differential oracle fuzzer for the scheduling kernels.
+//
+// Two modes, combinable in one invocation:
+//
+//  * random (--cases N): N random (scheme, request-vector, mask) instances,
+//    spanning circular and non-circular conversion, every degree up to k,
+//    empty and random availability masks. Each instance runs the
+//    scheme-appropriate kernel (First Available, Break-and-First-Available
+//    serial and pooled, the full-range rule) and must match the
+//    Hopcroft–Karp maximum on the explicit request graph exactly; the
+//    single-break approximation must stay within its Theorem-3 gap bound.
+//    A slice of cases additionally runs DistributedScheduler::schedule_slot
+//    end-to-end with malformed requests injected, asserting the rejection
+//    contract: no decision leaves as kUndecided, granted ⇔ kGranted,
+//    malformed inputs are rejected with a malformed reason and never
+//    disturb the matching granted to well-formed requests.
+//
+//  * exhaustive (--exhaustive-k K): every scheme kind, every (e, f) split
+//    with e + f + 1 <= k, every request vector with counts in {0, 1, 2},
+//    and every availability mask, for each k = 1..K. For small k this is a
+//    complete proof-by-enumeration that the O(k)/O(dk) kernels are maximum.
+//
+// Exit status is the number of failing instances (0 = clean), so the binary
+// drops straight into ctest and the sanitizer CI jobs.
+#include <cstdint>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/break_first_available.hpp"
+#include "core/distributed.hpp"
+#include "core/priority.hpp"
+#include "core/request_graph.hpp"
+#include "graph/hopcroft_karp.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/threadpool.hpp"
+
+namespace wdm::oracle {
+namespace {
+
+using core::ConversionKind;
+using core::ConversionScheme;
+using core::RequestVector;
+
+struct Stats {
+  std::uint64_t instances = 0;
+  std::uint64_t failures = 0;
+  std::uint64_t distributed_slots = 0;
+};
+
+/// Prints one instance compactly so a failure is reproducible by hand.
+std::string describe(const ConversionScheme& scheme, const RequestVector& rv,
+                     const std::vector<std::uint8_t>& mask) {
+  std::string out = scheme.kind() == ConversionKind::kCircular ? "circ" : "noncirc";
+  out += " k=" + std::to_string(scheme.k()) + " e=" + std::to_string(scheme.e()) +
+         " f=" + std::to_string(scheme.f()) + " rv=[";
+  for (core::Wavelength w = 0; w < rv.k(); ++w) {
+    if (w > 0) out += ",";
+    out += std::to_string(rv.count(w));
+  }
+  out += "] mask=[";
+  for (std::size_t i = 0; i < mask.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(static_cast<int>(mask[i]));
+  }
+  out += "]";
+  return out;
+}
+
+bool fail(Stats& stats, const std::string& what, const ConversionScheme& scheme,
+          const RequestVector& rv, const std::vector<std::uint8_t>& mask) {
+  stats.failures += 1;
+  std::cerr << "FAIL: " << what << " @ " << describe(scheme, rv, mask) << "\n";
+  return false;
+}
+
+/// Feasibility of a kernel result: free channels only, legal conversions,
+/// no wavelength over-granted, `granted` consistent with `source`.
+bool assignment_valid(const core::ChannelAssignment& a, const RequestVector& rv,
+                      const ConversionScheme& scheme,
+                      const std::vector<std::uint8_t>& mask) {
+  if (a.k() != scheme.k()) return false;
+  std::int32_t granted = 0;
+  std::vector<std::int32_t> used(static_cast<std::size_t>(scheme.k()), 0);
+  for (core::Channel u = 0; u < scheme.k(); ++u) {
+    const core::Wavelength w = a.source[static_cast<std::size_t>(u)];
+    if (w == core::kNone) continue;
+    granted += 1;
+    if (w < 0 || w >= scheme.k()) return false;
+    if (!scheme.can_convert(w, u)) return false;
+    if (!mask.empty() && mask[static_cast<std::size_t>(u)] == 0) return false;
+    used[static_cast<std::size_t>(w)] += 1;
+  }
+  if (granted != a.granted) return false;
+  for (core::Wavelength w = 0; w < scheme.k(); ++w) {
+    if (used[static_cast<std::size_t>(w)] > rv.count(w)) return false;
+  }
+  return true;
+}
+
+/// One differential check: scheme kernel(s) vs the Hopcroft–Karp maximum on
+/// the explicit request graph. Returns true if the instance is clean.
+bool check_instance(Stats& stats, const ConversionScheme& scheme,
+                    const RequestVector& rv,
+                    const std::vector<std::uint8_t>& mask,
+                    util::ThreadPool* pool) {
+  stats.instances += 1;
+  const core::RequestGraph g(scheme, rv, mask);
+  const auto maximum =
+      static_cast<std::int32_t>(graph::hopcroft_karp(g.to_bipartite()).size());
+
+  // Scheme-appropriate exact kernel (FA / BFA / full-range dispatch).
+  const auto kernel = core::assign_maximum(rv, scheme, mask);
+  if (!assignment_valid(kernel, rv, scheme, mask)) {
+    return fail(stats, "kernel produced an infeasible assignment", scheme, rv, mask);
+  }
+  if (kernel.granted != maximum) {
+    return fail(stats,
+                "kernel granted " + std::to_string(kernel.granted) +
+                    " != maximum " + std::to_string(maximum),
+                scheme, rv, mask);
+  }
+
+  if (scheme.kind() == ConversionKind::kCircular && !scheme.is_full_range()) {
+    // Pooled BFA must agree with the serial result exactly.
+    if (pool != nullptr) {
+      const auto pooled = core::break_first_available(rv, scheme, mask, pool);
+      if (pooled.granted != maximum || pooled.source != kernel.source) {
+        return fail(stats, "pooled BFA diverged from serial", scheme, rv, mask);
+      }
+    }
+    // Theorem 3: the single-break approximation stays within its bound.
+    const auto approx = core::approx_break_first_available(rv, scheme, mask);
+    if (approx.break_channel != core::kNone) {
+      if (!assignment_valid(approx.assignment, rv, scheme, mask)) {
+        return fail(stats, "approx BFA produced an infeasible assignment",
+                    scheme, rv, mask);
+      }
+      if (maximum - approx.assignment.granted > approx.gap_bound) {
+        return fail(stats,
+                    "approx BFA gap " +
+                        std::to_string(maximum - approx.assignment.granted) +
+                        " exceeds bound " + std::to_string(approx.gap_bound),
+                    scheme, rv, mask);
+      }
+    } else if (maximum != 0) {
+      return fail(stats, "approx BFA found nothing schedulable but maximum > 0",
+                  scheme, rv, mask);
+    }
+  }
+  return true;
+}
+
+/// End-to-end slot through DistributedScheduler with malformed requests
+/// injected: the decision invariants of scheduler.hpp must hold, and the
+/// per-fiber grant counts must still be maximum for the well-formed subset.
+bool check_distributed(Stats& stats, util::Rng& rng,
+                       const ConversionScheme& scheme, util::ThreadPool* pool) {
+  stats.distributed_slots += 1;
+  const auto k = scheme.k();
+  const auto n_fibers = static_cast<std::int32_t>(1 + rng.uniform_below(4));
+  core::DistributedScheduler sched(n_fibers, scheme, core::Algorithm::kAuto,
+                                   core::Arbitration::kFifo, rng.next());
+
+  std::vector<core::SlotRequest> requests;
+  const double load = rng.uniform01();
+  std::uint64_t id = 0;
+  for (std::int32_t fib = 0; fib < n_fibers; ++fib) {
+    for (core::Wavelength w = 0; w < k; ++w) {
+      if (!rng.bernoulli(load)) continue;
+      requests.push_back(core::SlotRequest{
+          fib, w,
+          static_cast<std::int32_t>(
+              rng.uniform_below(static_cast<std::uint64_t>(n_fibers))),
+          id++, 1, 0});
+    }
+  }
+  // Inject malformed requests: each kind of field corruption, sometimes.
+  std::size_t n_malformed = 0;
+  const auto inject = [&](core::SlotRequest r) {
+    requests.push_back(r);
+    n_malformed += 1;
+  };
+  if (rng.bernoulli(0.5)) inject({0, k + 3, 0, id++, 1, 0});      // wavelength
+  if (rng.bernoulli(0.5)) inject({0, -1, 0, id++, 1, 0});         // wavelength
+  if (rng.bernoulli(0.5)) inject({0, 0, n_fibers + 2, id++, 1, 0});  // out fiber
+  if (rng.bernoulli(0.5)) inject({0, 0, -4, id++, 1, 0});         // out fiber
+  if (rng.bernoulli(0.5)) inject({-2, 0, 0, id++, 1, 0});         // in fiber
+  if (rng.bernoulli(0.5)) inject({0, 0, 0, id++, 0, 0});          // duration
+  if (rng.bernoulli(0.5)) inject({0, 0, 0, id++, 1, -1});         // priority
+
+  // Optional per-fiber availability masks.
+  std::vector<std::vector<std::uint8_t>> availability;
+  const bool with_masks = rng.bernoulli(0.5);
+  if (with_masks) {
+    availability.resize(static_cast<std::size_t>(n_fibers));
+    for (auto& m : availability) {
+      m.resize(static_cast<std::size_t>(k));
+      for (auto& bit : m) bit = rng.bernoulli(0.7) ? 1 : 0;
+    }
+  }
+
+  const auto decisions = sched.schedule_slot(
+      requests, with_masks ? &availability : nullptr,
+      rng.bernoulli(0.5) ? pool : nullptr);
+  const auto report = [&](const std::string& what) {
+    stats.failures += 1;
+    std::cerr << "FAIL: distributed: " << what << " (kind="
+              << (scheme.kind() == ConversionKind::kCircular ? "circ" : "noncirc")
+              << " k=" << k << " e=" << scheme.e() << " f=" << scheme.f()
+              << " N=" << n_fibers << " reqs=" << requests.size() << ")\n";
+    return false;
+  };
+  if (decisions.size() != requests.size()) return report("decision count");
+  const std::size_t n_valid = requests.size() - n_malformed;
+  for (std::size_t i = 0; i < decisions.size(); ++i) {
+    const auto& d = decisions[i];
+    if (d.reason == core::RejectReason::kUndecided) {
+      return report("kUndecided escaped at index " + std::to_string(i));
+    }
+    if (d.granted != (d.reason == core::RejectReason::kGranted)) {
+      return report("granted flag disagrees with reason");
+    }
+    if (i >= n_valid) {  // the injected malformed tail
+      if (d.granted || !core::is_malformed(d.reason)) {
+        return report("malformed request not rejected as malformed");
+      }
+    } else if (core::is_malformed(d.reason)) {
+      return report("well-formed request rejected as malformed");
+    }
+  }
+  // Per-fiber grants must equal the maximum matching of the well-formed
+  // subset under that fiber's mask — malformed riders change nothing.
+  for (std::int32_t fib = 0; fib < n_fibers; ++fib) {
+    RequestVector rv(k);
+    std::int32_t granted = 0;
+    for (std::size_t i = 0; i < n_valid; ++i) {
+      if (requests[i].output_fiber != fib) continue;
+      rv.add(requests[i].wavelength);
+      granted += decisions[i].granted ? 1 : 0;
+    }
+    std::vector<std::uint8_t> mask =
+        with_masks ? availability[static_cast<std::size_t>(fib)]
+                   : std::vector<std::uint8_t>{};
+    const core::RequestGraph g(scheme, rv, mask);
+    const auto maximum =
+        static_cast<std::int32_t>(graph::hopcroft_karp(g.to_bipartite()).size());
+    if (granted != maximum) {
+      return report("fiber " + std::to_string(fib) + " granted " +
+                    std::to_string(granted) + " != maximum " +
+                    std::to_string(maximum));
+    }
+  }
+  return true;
+}
+
+ConversionScheme random_scheme(util::Rng& rng, std::int32_t max_k) {
+  const auto k = static_cast<std::int32_t>(
+      1 + rng.uniform_below(static_cast<std::uint64_t>(max_k)));
+  const auto d = static_cast<std::int32_t>(
+      1 + rng.uniform_below(static_cast<std::uint64_t>(k)));
+  const auto e = static_cast<std::int32_t>(
+      rng.uniform_below(static_cast<std::uint64_t>(d)));
+  const auto f = d - 1 - e;
+  return rng.bernoulli(0.5) ? ConversionScheme::circular(k, e, f)
+                            : ConversionScheme::non_circular(k, e, f);
+}
+
+void run_random(Stats& stats, std::uint64_t cases, std::uint64_t seed,
+                std::int32_t max_k, util::ThreadPool& pool) {
+  util::Rng rng(seed);
+  for (std::uint64_t c = 0; c < cases; ++c) {
+    const auto scheme = random_scheme(rng, max_k);
+    const auto k = scheme.k();
+    RequestVector rv(k);
+    const auto n_fibers = static_cast<std::int32_t>(1 + rng.uniform_below(6));
+    const double load = rng.uniform01();
+    for (core::Wavelength w = 0; w < k; ++w) {
+      for (std::int32_t fib = 0; fib < n_fibers; ++fib) {
+        if (rng.bernoulli(load)) rv.add(w);
+      }
+    }
+    std::vector<std::uint8_t> mask;
+    if (rng.bernoulli(0.5)) {
+      mask.resize(static_cast<std::size_t>(k));
+      const double p_free = rng.uniform01();
+      for (auto& bit : mask) bit = rng.bernoulli(p_free) ? 1 : 0;
+    }
+    check_instance(stats, scheme, rv, mask, &pool);
+    if (c % 8 == 0) check_distributed(stats, rng, scheme, &pool);
+  }
+}
+
+void run_exhaustive(Stats& stats, std::int32_t max_k) {
+  for (std::int32_t k = 1; k <= max_k; ++k) {
+    for (const auto kind : {ConversionKind::kCircular, ConversionKind::kNonCircular}) {
+      for (std::int32_t e = 0; e < k; ++e) {
+        for (std::int32_t f = 0; e + f + 1 <= k; ++f) {
+          const auto scheme = kind == ConversionKind::kCircular
+                                  ? ConversionScheme::circular(k, e, f)
+                                  : ConversionScheme::non_circular(k, e, f);
+          // counts in {0,1,2}^k, odometer-style.
+          std::vector<std::int32_t> counts(static_cast<std::size_t>(k), 0);
+          for (;;) {
+            RequestVector rv(k);
+            for (core::Wavelength w = 0; w < k; ++w) {
+              rv.add(w, counts[static_cast<std::size_t>(w)]);
+            }
+            // All 2^k availability masks, with 0 meaning "no mask".
+            std::vector<std::uint8_t> mask(static_cast<std::size_t>(k));
+            for (std::uint64_t bits = 0; bits < (1ull << k); ++bits) {
+              if (bits == 0) {
+                check_instance(stats, scheme, rv, {}, nullptr);
+                continue;
+              }
+              for (std::int32_t i = 0; i < k; ++i) {
+                mask[static_cast<std::size_t>(i)] =
+                    (bits >> i) & 1ull ? 1 : 0;
+              }
+              check_instance(stats, scheme, rv, mask, nullptr);
+            }
+            // Odometer increment over {0,1,2}^k.
+            std::size_t pos = 0;
+            while (pos < counts.size() && counts[pos] == 2) counts[pos++] = 0;
+            if (pos == counts.size()) break;
+            counts[pos] += 1;
+          }
+        }
+      }
+    }
+    std::fprintf(stderr, "exhaustive: k=%d done, %llu instances, %llu failures\n",
+                 k, static_cast<unsigned long long>(stats.instances),
+                 static_cast<unsigned long long>(stats.failures));
+  }
+}
+
+}  // namespace
+}  // namespace wdm::oracle
+
+int main(int argc, char** argv) {
+  wdm::util::Cli cli("wdm_oracle_fuzz",
+                     "Differential oracle fuzzer: scheme kernels vs Hopcroft-Karp");
+  cli.add_option("cases", "10000", "random differential cases (0 = skip)");
+  cli.add_option("seed", "1", "seed for the random mode");
+  cli.add_option("max-k", "16", "largest k drawn in the random mode");
+  cli.add_option("exhaustive-k", "0",
+                 "enumerate every instance with counts in {0,1,2} and every "
+                 "mask up to this k (0 = skip)");
+  cli.add_option("threads", "3", "thread pool size for pooled-BFA checks");
+  if (!cli.parse(argc, argv)) return 2;
+
+  wdm::oracle::Stats stats;
+  const auto cases = static_cast<std::uint64_t>(cli.get_int("cases"));
+  if (cases > 0) {
+    wdm::util::ThreadPool pool(
+        static_cast<std::size_t>(cli.get_int("threads")));
+    wdm::oracle::run_random(stats, cases,
+                            static_cast<std::uint64_t>(cli.get_int("seed")),
+                            static_cast<std::int32_t>(cli.get_int("max-k")),
+                            pool);
+  }
+  const auto exhaustive_k = static_cast<std::int32_t>(cli.get_int("exhaustive-k"));
+  if (exhaustive_k > 0) {
+    wdm::oracle::run_exhaustive(stats, exhaustive_k);
+  }
+
+  std::printf("oracle_fuzz: %llu instances (%llu distributed slots), %llu failures\n",
+              static_cast<unsigned long long>(stats.instances),
+              static_cast<unsigned long long>(stats.distributed_slots),
+              static_cast<unsigned long long>(stats.failures));
+  return stats.failures == 0 ? 0 : 1;
+}

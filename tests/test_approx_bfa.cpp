@@ -97,6 +97,48 @@ TEST_P(ApproxSweep, GapBoundHoldsWithOccupiedChannels) {
   }
 }
 
+TEST_P(ApproxSweep, ReportedDeltaMatchesCrossingNumberUnderMasks) {
+  // The approximation derives δ positionally (delta = idx + 1 over
+  // adjacency_list order); check the reported break against the real
+  // crossing number and the minimal bound among *free* edges, so a mask
+  // that removes the centre channel cannot desynchronise the two.
+  const auto [k, e, f, n_fibers, load] = GetParam();
+  const auto scheme = ConversionScheme::circular(k, e, f);
+  util::Rng rng(static_cast<std::uint64_t>(k * 239 + e * 59 + f * 13) + 7);
+  for (int trial = 0; trial < 60; ++trial) {
+    const auto rv = test::random_request_vector(rng, k, n_fibers, load);
+    const auto mask = test::random_mask(rng, k, 0.5);
+    const auto approx = core::approx_break_first_available(rv, scheme, mask);
+    if (approx.break_channel == core::kNone) continue;
+    EXPECT_NE(mask[static_cast<std::size_t>(approx.break_channel)], 0)
+        << "broke at an occupied channel";
+    // Recover the breaking wavelength the same way the implementation does.
+    const auto w_i = [&] {
+      for (core::Wavelength w = 0; w < k; ++w) {
+        if (rv.count(w) == 0) continue;
+        for (const auto u : scheme.adjacency_list(w)) {
+          if (mask[static_cast<std::size_t>(u)] != 0) return w;
+        }
+      }
+      return core::kNone;
+    }();
+    ASSERT_NE(w_i, core::kNone);
+    EXPECT_EQ(approx.delta, core::delta_of(scheme, w_i, approx.break_channel));
+    EXPECT_EQ(approx.gap_bound,
+              core::breaking_gap_bound(scheme.degree(), approx.delta));
+    std::int32_t min_free_bound = scheme.degree();
+    for (const auto u : scheme.adjacency_list(w_i)) {
+      if (mask[static_cast<std::size_t>(u)] == 0) continue;
+      min_free_bound =
+          std::min(min_free_bound,
+                   core::breaking_gap_bound(scheme.degree(),
+                                            core::delta_of(scheme, w_i, u)));
+    }
+    EXPECT_EQ(approx.gap_bound, min_free_bound)
+        << "did not pick the best-bounded free edge";
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Sweep, ApproxSweep,
     ::testing::Values(ApproxCase{6, 1, 1, 4, 0.4},   // d = 3 (bound 1)

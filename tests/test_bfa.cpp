@@ -177,6 +177,59 @@ TEST_P(BfaSweep, EverySingleBreakRespectsTheoremThree) {
   }
 }
 
+TEST_P(BfaSweep, SingleBreakWithMasksStaysWithinTheoremThreeOfOracle) {
+  // Section V + Theorem 3 together: with occupied channels deleted, every
+  // single-break schedule is still feasible and within the gap bound of the
+  // Hopcroft–Karp maximum on the masked request graph.
+  const auto [k, e, f, n_fibers, load] = GetParam();
+  const auto scheme = ConversionScheme::circular(k, e, f);
+  util::Rng rng(static_cast<std::uint64_t>(k * 67 + e * 31 + f * 7) + 777);
+  for (int trial = 0; trial < 25; ++trial) {
+    const auto rv = test::random_request_vector(rng, k, n_fibers, load);
+    const auto mask = test::random_mask(rng, k, 0.6);
+    const auto w_i = [&] {
+      for (core::Wavelength w = 0; w < k; ++w) {
+        if (rv.count(w) == 0) continue;
+        for (const auto u : scheme.adjacency_list(w)) {
+          if (mask[static_cast<std::size_t>(u)] != 0) return w;
+        }
+      }
+      return core::kNone;
+    }();
+    if (w_i == core::kNone) continue;
+    const auto maximum = test::oracle_max_matching(scheme, rv, mask);
+    for (const auto u : scheme.adjacency_list(w_i)) {
+      if (mask[static_cast<std::size_t>(u)] == 0) continue;  // occupied
+      const auto single = core::bfa_single_break(rv, scheme, mask, w_i, u);
+      test::expect_valid_assignment(single, rv, scheme, mask);
+      EXPECT_LE(single.granted, maximum);
+      const auto delta = core::delta_of(scheme, w_i, u);
+      EXPECT_GE(single.granted,
+                maximum - core::breaking_gap_bound(scheme.degree(), delta))
+          << "k=" << k << " u=" << u << " delta=" << delta;
+    }
+  }
+}
+
+TEST_P(BfaSweep, AdjacencyListOrderGivesDeltaIdxPlusOne) {
+  // approx_break_first_available assumes adjacency_list(w)[idx] is the
+  // (idx+1)-th crossing edge, i.e. delta_of == idx + 1 in minus-to-plus
+  // order. Pin that ordering contract for every wavelength of every shape.
+  const auto [k, e, f, n_fibers, load] = GetParam();
+  (void)n_fibers;
+  (void)load;
+  const auto scheme = ConversionScheme::circular(k, e, f);
+  for (core::Wavelength w = 0; w < k; ++w) {
+    const auto adjacency = scheme.adjacency_list(w);
+    ASSERT_EQ(static_cast<std::int32_t>(adjacency.size()), scheme.degree());
+    for (std::size_t idx = 0; idx < adjacency.size(); ++idx) {
+      EXPECT_EQ(core::delta_of(scheme, w, adjacency[idx]),
+                static_cast<std::int32_t>(idx) + 1)
+          << "k=" << k << " w=" << w << " idx=" << idx;
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Sweep, BfaSweep,
     ::testing::Values(

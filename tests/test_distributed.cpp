@@ -104,17 +104,113 @@ TEST(Distributed, PerFiberAvailabilityMasks) {
   EXPECT_TRUE(decisions[1].granted);
 }
 
-TEST(Distributed, InvalidDestinationRejected) {
+TEST(Distributed, InvalidDestinationRejectedPerRequest) {
+  // A malformed destination no longer throws: the bad request comes back
+  // rejected with a reason, and the well-formed one in the same slot is
+  // scheduled normally.
   DistributedScheduler sched(2, ConversionScheme::circular(4, 1, 1));
-  std::vector<SlotRequest> requests{{0, 0, 5, 1, 1}};
-  EXPECT_THROW(sched.schedule_slot(requests), std::logic_error);
+  std::vector<SlotRequest> requests{{0, 0, 5, 1, 1},   // fiber 5 of 2
+                                    {0, 0, -1, 2, 1},  // negative fiber
+                                    {0, 0, 1, 3, 1}};  // valid
+  const auto decisions = sched.schedule_slot(requests);
+  ASSERT_EQ(decisions.size(), 3u);
+  EXPECT_FALSE(decisions[0].granted);
+  EXPECT_EQ(decisions[0].reason, core::RejectReason::kInvalidOutputFiber);
+  EXPECT_FALSE(decisions[1].granted);
+  EXPECT_EQ(decisions[1].reason, core::RejectReason::kInvalidOutputFiber);
+  EXPECT_TRUE(decisions[2].granted);
+  EXPECT_EQ(decisions[2].reason, core::RejectReason::kGranted);
 }
 
-TEST(Distributed, WrongAvailabilityShapeRejected) {
+TEST(Distributed, InvalidWavelengthAndDurationRejectedPerRequest) {
+  DistributedScheduler sched(2, ConversionScheme::circular(4, 1, 1));
+  std::vector<SlotRequest> requests{{0, 9, 0, 1, 1},    // wavelength 9 of 4
+                                    {0, -2, 0, 2, 1},   // negative wavelength
+                                    {0, 1, 0, 3, 0},    // zero duration
+                                    {-1, 1, 0, 4, 1},   // negative input fiber
+                                    {0, 1, 0, 5, 1}};   // valid
+  const auto decisions = sched.schedule_slot(requests);
+  ASSERT_EQ(decisions.size(), 5u);
+  EXPECT_EQ(decisions[0].reason, core::RejectReason::kInvalidWavelength);
+  EXPECT_EQ(decisions[1].reason, core::RejectReason::kInvalidWavelength);
+  EXPECT_EQ(decisions[2].reason, core::RejectReason::kInvalidDuration);
+  EXPECT_EQ(decisions[3].reason, core::RejectReason::kInvalidInputFiber);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_FALSE(decisions[static_cast<std::size_t>(i)].granted);
+    EXPECT_TRUE(core::is_malformed(
+        decisions[static_cast<std::size_t>(i)].reason));
+  }
+  EXPECT_TRUE(decisions[4].granted);
+}
+
+TEST(Distributed, WrongAvailabilityShapeRejectedPerRequest) {
   DistributedScheduler sched(3, ConversionScheme::circular(4, 1, 1));
   std::vector<std::vector<std::uint8_t>> availability(2);  // need 3
-  std::vector<SlotRequest> requests{{0, 0, 0, 1, 1}};
-  EXPECT_THROW(sched.schedule_slot(requests, &availability), std::logic_error);
+  std::vector<SlotRequest> requests{{0, 0, 0, 1, 1}, {0, 1, 2, 2, 1}};
+  const auto decisions = sched.schedule_slot(requests, &availability);
+  ASSERT_EQ(decisions.size(), 2u);
+  for (const auto& d : decisions) {
+    EXPECT_FALSE(d.granted);
+    EXPECT_EQ(d.reason, core::RejectReason::kBadAvailabilityMask);
+  }
+}
+
+TEST(Distributed, RaggedInnerMaskRejectsOnlyThatFiber) {
+  // Outer shape is right but fiber 0's mask is ragged: fiber 0's requests
+  // are rejected explicitly, fiber 1 schedules normally.
+  DistributedScheduler sched(2, ConversionScheme::circular(4, 1, 1));
+  std::vector<std::vector<std::uint8_t>> availability{{1, 1}, {1, 1, 1, 1}};
+  std::vector<SlotRequest> requests{{0, 0, 0, 1, 1}, {0, 1, 1, 2, 1}};
+  const auto decisions = sched.schedule_slot(requests, &availability);
+  ASSERT_EQ(decisions.size(), 2u);
+  EXPECT_FALSE(decisions[0].granted);
+  EXPECT_EQ(decisions[0].reason, core::RejectReason::kBadAvailabilityMask);
+  EXPECT_TRUE(decisions[1].granted);
+}
+
+TEST(Distributed, MalformedRequestsDoNotDisturbValidOnes) {
+  // The matching granted to well-formed requests is unchanged by malformed
+  // requests riding along in the same slot.
+  util::Rng rng(321);
+  const auto scheme = ConversionScheme::circular(6, 1, 1);
+  for (int trial = 0; trial < 20; ++trial) {
+    DistributedScheduler clean(3, scheme, Algorithm::kAuto,
+                               core::Arbitration::kFifo, 5);
+    DistributedScheduler dirty(3, scheme, Algorithm::kAuto,
+                               core::Arbitration::kFifo, 5);
+    const auto valid = random_slot(rng, 3, 6, 0.5);
+    auto mixed = valid;
+    mixed.push_back(SlotRequest{0, 17, 1, 900, 1});   // bad wavelength
+    mixed.push_back(SlotRequest{0, 0, 42, 901, 1});   // bad fiber
+    mixed.push_back(SlotRequest{0, 0, 0, 902, -3});   // bad duration
+    const auto a = clean.schedule_slot(valid);
+    const auto b = dirty.schedule_slot(mixed);
+    for (std::size_t i = 0; i < valid.size(); ++i) {
+      EXPECT_EQ(a[i].granted, b[i].granted);
+      EXPECT_EQ(a[i].channel, b[i].channel);
+    }
+    for (std::size_t i = valid.size(); i < mixed.size(); ++i) {
+      EXPECT_FALSE(b[i].granted);
+      EXPECT_TRUE(core::is_malformed(b[i].reason));
+    }
+  }
+}
+
+TEST(Distributed, EveryDecisionIsExplicit) {
+  // No decision ever leaves schedule_slot as kUndecided, granted or not.
+  util::Rng rng(654);
+  DistributedScheduler sched(4, ConversionScheme::circular(8, 2, 1));
+  for (int trial = 0; trial < 20; ++trial) {
+    auto requests = random_slot(rng, 4, 8, 0.6);
+    if (trial % 2 == 1) {
+      requests.push_back(SlotRequest{0, -1, 0, 999, 1});
+    }
+    const auto decisions = sched.schedule_slot(requests);
+    for (const auto& d : decisions) {
+      EXPECT_NE(d.reason, core::RejectReason::kUndecided);
+      EXPECT_EQ(d.granted, d.reason == core::RejectReason::kGranted);
+    }
+  }
 }
 
 TEST(Distributed, PortAccessor) {

@@ -69,6 +69,51 @@ TEST(Metrics, MergeCombines) {
   EXPECT_THROW(a.merge(c), std::logic_error);
 }
 
+TEST(Metrics, IdleSlotsDoNotDiluteLoss) {
+  // Zero-arrival slots contribute no Bernoulli trials: a stream padded with
+  // idle slots reports the same loss probability and Wilson interval as the
+  // busy slots alone, and only throughput (a per-slot rate) changes.
+  MetricsCollector busy(2, 2), padded(2, 2);
+  for (int i = 0; i < 10; ++i) {
+    const auto s = make_stats(4, 3, 1, 0, 3);
+    busy.record_slot(s);
+    padded.record_slot(s);
+    padded.record_slot(make_stats(0, 0, 0, 0, 0));  // idle slot between each
+  }
+  EXPECT_EQ(padded.arrivals(), busy.arrivals());
+  EXPECT_EQ(padded.losses(), busy.losses());
+  EXPECT_DOUBLE_EQ(padded.loss_probability(), busy.loss_probability());
+  EXPECT_DOUBLE_EQ(padded.loss_wilson_low(), busy.loss_wilson_low());
+  EXPECT_DOUBLE_EQ(padded.loss_wilson_high(), busy.loss_wilson_high());
+  EXPECT_EQ(padded.slots(), 2 * busy.slots());
+  EXPECT_DOUBLE_EQ(padded.throughput_per_channel(),
+                   busy.throughput_per_channel() / 2.0);
+  // Idle slots do count toward utilisation: the fabric really was empty.
+  EXPECT_DOUBLE_EQ(padded.utilization(), busy.utilization() / 2.0);
+}
+
+TEST(Metrics, RejectedMalformedAccumulatesAndMerges) {
+  MetricsCollector a(2, 4), b(2, 4);
+  auto s = make_stats(5, 3, 2, 0, 3);
+  s.rejected_malformed = 1;
+  a.record_slot(s);
+  a.record_slot(make_stats(2, 2, 0, 0, 5));
+  EXPECT_EQ(a.rejected_malformed(), 1u);
+
+  auto t = make_stats(4, 0, 4, 0, 0);
+  t.rejected_malformed = 4;
+  b.record_slot(t);
+  a.merge(b);
+  EXPECT_EQ(a.rejected_malformed(), 5u);
+}
+
+TEST(Metrics, RejectedMalformedBoundedByRejected) {
+  MetricsCollector m(2, 4);
+  auto s = make_stats(5, 3, 2, 0, 3);
+  s.rejected_malformed = 3;  // claims more malformed drops than drops
+  EXPECT_THROW(m.record_slot(s), std::logic_error);
+}
+
 TEST(Metrics, WilsonBracketsLoss) {
   MetricsCollector m(1, 1);
   for (int i = 0; i < 100; ++i) m.record_slot(make_stats(1, 1, 0, 0, 1));

@@ -72,5 +72,72 @@ TEST(ThreadPool, ManyMoreTasksThanThreads) {
   EXPECT_EQ(counter.load(), 1000);
 }
 
+TEST(ThreadPool, SplitRangesPartitionsExactly) {
+  // 10 over 3 parts: earlier chunks take the remainder.
+  const auto r = util::split_ranges(0, 10, 3);
+  ASSERT_EQ(r.size(), 3u);
+  EXPECT_EQ(r[0], (std::pair<std::size_t, std::size_t>{0, 4}));
+  EXPECT_EQ(r[1], (std::pair<std::size_t, std::size_t>{4, 7}));
+  EXPECT_EQ(r[2], (std::pair<std::size_t, std::size_t>{7, 10}));
+
+  // Fewer items than parts: one singleton chunk per item, none empty.
+  const auto s = util::split_ranges(5, 8, 16);
+  ASSERT_EQ(s.size(), 3u);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    EXPECT_EQ(s[i].first, 5 + i);
+    EXPECT_EQ(s[i].second, 6 + i);
+  }
+
+  EXPECT_TRUE(util::split_ranges(4, 4, 3).empty());
+  EXPECT_TRUE(util::split_ranges(0, 10, 0).empty());
+
+  // Generic partition property: in order, non-empty, covering exactly.
+  for (std::size_t n : {1u, 2u, 7u, 64u, 257u}) {
+    for (std::size_t parts : {1u, 2u, 3u, 8u, 300u}) {
+      const auto ranges = util::split_ranges(10, 10 + n, parts);
+      ASSERT_EQ(ranges.size(), std::min(n, parts));
+      std::size_t expect = 10;
+      for (const auto& [lo, hi] : ranges) {
+        EXPECT_EQ(lo, expect);
+        EXPECT_LT(lo, hi);
+        expect = hi;
+      }
+      EXPECT_EQ(expect, 10 + n);
+    }
+  }
+}
+
+TEST(ThreadPool, ParallelForRunsEachChunkContiguouslyOnOneThread) {
+  // The documented design: one task per contiguous chunk, so every index of
+  // a chunk runs on the same thread — no shared-cursor interleaving.
+  util::ThreadPool pool(4);
+  constexpr std::size_t kN = 103;
+  std::vector<std::thread::id> owner(kN);
+  std::vector<std::atomic<int>> visits(kN);
+  pool.parallel_for(0, kN, [&](std::size_t i) {
+    owner[i] = std::this_thread::get_id();
+    visits[i].fetch_add(1);
+  });
+  for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+  const auto chunks = util::split_ranges(0, kN, pool.size());
+  ASSERT_EQ(chunks.size(), 4u);
+  for (const auto& [lo, hi] : chunks) {
+    for (std::size_t i = lo + 1; i < hi; ++i) {
+      EXPECT_EQ(owner[i], owner[lo]) << "index " << i << " left its chunk";
+    }
+  }
+}
+
+TEST(ThreadPool, ParallelForSingleChunkRunsInline) {
+  // One worker (or n == 1) means one chunk, which runs on the caller: no
+  // queue round-trip for work that cannot be parallelised anyway.
+  util::ThreadPool pool(1);
+  std::thread::id ran_on;
+  pool.parallel_for(0, 1, [&](std::size_t) {
+    ran_on = std::this_thread::get_id();
+  });
+  EXPECT_EQ(ran_on, std::this_thread::get_id());
+}
+
 }  // namespace
 }  // namespace wdm

@@ -39,13 +39,36 @@ TEST(Trace, WriteReadRoundTrip) {
   EXPECT_EQ(parsed.slots[2][0].id, 12u);
 }
 
-TEST(Trace, MalformedInputRejected) {
+TEST(Trace, StructurallyMalformedInputRejected) {
   std::stringstream bad1("# n_fibers=2 k=4 slots=1\nnot,a,number\n");
   EXPECT_THROW(sim::read_trace(bad1), std::invalid_argument);
   std::stringstream no_header("0,0,0,0,1,1\n");
   EXPECT_THROW(sim::read_trace(no_header), std::logic_error);
-  std::stringstream out_of_range("# n_fibers=2 k=4 slots=1\n0,5,0,0,1,1\n");
-  EXPECT_THROW(sim::read_trace(out_of_range), std::logic_error);
+  std::stringstream huge_slot("# n_fibers=2 k=4 slots=1\n999999999999,0,0,0,1,1\n");
+  EXPECT_THROW(sim::read_trace(huge_slot), std::logic_error);
+}
+
+TEST(Trace, OutOfRangeEntriesAreKeptAndRejectedAtReplay) {
+  // One bad line costs one grant, not the whole replay: the out-of-range
+  // request parses, replays, and is counted as a malformed rejection.
+  std::stringstream ss(
+      "# n_fibers=2 k=4 slots=1\n"
+      "0,5,0,0,1,1\n"    // input fiber 5 of 2
+      "0,0,9,1,2,1\n"    // wavelength 9 of 4
+      "0,1,2,1,3,1\n");  // valid
+  const Trace t = sim::read_trace(ss);
+  EXPECT_EQ(t.total_requests(), 3u);
+
+  sim::InterconnectConfig icfg;
+  icfg.n_fibers = 2;
+  icfg.scheme = core::ConversionScheme::circular(4, 1, 1);
+  sim::Interconnect ic(icfg);
+  const auto stats = sim::replay_trace(t, ic);
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].arrivals, 3u);
+  EXPECT_EQ(stats[0].granted, 1u);
+  EXPECT_EQ(stats[0].rejected, 2u);
+  EXPECT_EQ(stats[0].rejected_malformed, 2u);
 }
 
 TEST(Trace, CaptureMatchesGeneratorStream) {
