@@ -30,29 +30,43 @@ void DistributedScheduler::set_converter_budget(std::int32_t budget) {
 std::vector<PortDecision> DistributedScheduler::schedule_slot(
     std::span<const SlotRequest> requests,
     const std::vector<std::vector<std::uint8_t>>* availability,
-    util::ThreadPool* pool) {
+    const std::vector<HealthMask>* health, util::ThreadPool* pool) {
   const auto n_fibers = static_cast<std::size_t>(n_output_fibers());
   std::vector<PortDecision> decisions(requests.size());
 
   // Externally supplied data is rejected per-request, never with a throw: a
-  // malformed SlotRequest (or a wrong-shaped availability vector) costs the
-  // affected grants only, not the slot or the process.
+  // malformed SlotRequest (or a wrong-shaped availability or health vector)
+  // costs the affected grants only, not the slot or the process.
   if (availability != nullptr && availability->size() != n_fibers) {
     for (auto& d : decisions) {
       d = PortDecision::reject(RejectReason::kBadAvailabilityMask);
     }
     return decisions;
   }
+  if (health != nullptr && health->size() != n_fibers) {
+    for (auto& d : decisions) {
+      d = PortDecision::reject(RejectReason::kBadHealthMask);
+    }
+    return decisions;
+  }
 
   // Partition the slot's requests into the N destination subsets. No request
   // appears in two subsets, so the per-fiber schedules are independent.
-  // Per-request field validation happens inside the per-port scheduler.
+  // Per-request field validation happens inside the per-port scheduler. A
+  // faulted destination fiber outranks field validation (the fiber is down,
+  // nothing destined to it is inspected), but not output-fiber validity —
+  // an out-of-range fiber has no health to consult.
   std::vector<std::vector<Request>> per_fiber(n_fibers);
   std::vector<std::vector<std::size_t>> origin(n_fibers);
   for (std::size_t idx = 0; idx < requests.size(); ++idx) {
     const auto& r = requests[idx];
     if (r.output_fiber < 0 || r.output_fiber >= n_output_fibers()) {
       decisions[idx] = PortDecision::reject(RejectReason::kInvalidOutputFiber);
+      continue;
+    }
+    if (health != nullptr &&
+        (*health)[static_cast<std::size_t>(r.output_fiber)].fiber_faulted) {
+      decisions[idx] = PortDecision::reject(RejectReason::kFaulted);
       continue;
     }
     if (r.priority < 0) {
@@ -69,8 +83,11 @@ std::vector<PortDecision> DistributedScheduler::schedule_slot(
     const std::span<const std::uint8_t> mask =
         availability != nullptr ? std::span<const std::uint8_t>((*availability)[fiber])
                                 : std::span<const std::uint8_t>{};
+    const HealthMask* fiber_health =
+        health != nullptr ? &(*health)[fiber] : nullptr;
     try {
-      const auto fiber_decisions = ports_[fiber].schedule(per_fiber[fiber], mask);
+      const auto fiber_decisions =
+          ports_[fiber].schedule(per_fiber[fiber], mask, fiber_health);
       for (std::size_t i = 0; i < fiber_decisions.size(); ++i) {
         decisions[origin[fiber][i]] = fiber_decisions[i];
       }

@@ -48,17 +48,22 @@ class DistributedScheduler {
   void set_converter_budget(std::int32_t budget);
 
   /// Schedules one slot. `availability`, if non-null, holds one size-k mask
-  /// per output fiber (occupied channels, Section V). If `pool` is non-null
-  /// the per-fiber schedules run concurrently. The result is parallel to
-  /// `requests`.
+  /// per output fiber (occupied channels, Section V). `health`, if non-null,
+  /// holds one HealthMask per output fiber (hardware faults): requests to a
+  /// faulted fiber are rejected with RejectReason::kFaulted, and channel /
+  /// converter faults shrink each fiber's matching to the surviving request
+  /// graph while staying maximum on it. If `pool` is non-null the per-fiber
+  /// schedules run concurrently. The result is parallel to `requests`.
   ///
   /// Robustness contract: malformed inputs (out-of-range fiber or wavelength,
-  /// nonpositive duration, negative priority, wrong-shaped availability) never
-  /// throw — each affected request comes back rejected with a RejectReason,
-  /// and well-formed requests in the same slot are scheduled normally.
+  /// nonpositive duration, negative priority, wrong-shaped availability or
+  /// health vectors) never throw — each affected request comes back rejected
+  /// with a RejectReason, and well-formed requests in the same slot are
+  /// scheduled normally.
   std::vector<PortDecision> schedule_slot(
       std::span<const SlotRequest> requests,
       const std::vector<std::vector<std::uint8_t>>* availability = nullptr,
+      const std::vector<HealthMask>* health = nullptr,
       util::ThreadPool* pool = nullptr);
 
  private:

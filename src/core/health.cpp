@@ -1,0 +1,74 @@
+#include "core/health.hpp"
+
+#include "util/check.hpp"
+
+namespace wdm::core {
+
+bool HealthMask::all_healthy() const noexcept {
+  if (fiber_faulted) return false;
+  for (const auto h : channels) {
+    if (h != ChannelHealth::kHealthy) return false;
+  }
+  return true;
+}
+
+HealthMask HealthMask::healthy(std::int32_t k) {
+  WDM_CHECK(k > 0);
+  HealthMask mask;
+  mask.channels.assign(static_cast<std::size_t>(k), ChannelHealth::kHealthy);
+  return mask;
+}
+
+HealthReduction apply_health(const RequestVector& requests,
+                             std::span<const std::uint8_t> available,
+                             const HealthMask& health) {
+  const std::int32_t k = requests.k();
+  WDM_CHECK_MSG(available.empty() ||
+                    static_cast<std::int32_t>(available.size()) == k,
+                "availability mask must be empty or size k");
+  WDM_CHECK_MSG(health.channels.empty() ||
+                    static_cast<std::int32_t>(health.channels.size()) == k,
+                "health mask must be empty or size k");
+
+  HealthReduction out(k);
+  if (health.fiber_faulted) {
+    // The fiber is cut: nothing survives. Callers reject with kFaulted
+    // before scheduling, so this is a defensive all-unavailable instance.
+    out.availability.assign(static_cast<std::size_t>(k), 0);
+    return out;
+  }
+
+  std::vector<std::int32_t> counts = requests.counts();
+  for (Channel u = 0; u < k; ++u) {
+    const auto su = static_cast<std::size_t>(u);
+    const bool free = available.empty() || available[su] != 0;
+    out.availability[su] = free ? 1 : 0;
+    switch (health.channel(u)) {
+      case ChannelHealth::kHealthy:
+        break;
+      case ChannelHealth::kChannelFaulted:
+        out.availability[su] = 0;
+        break;
+      case ChannelHealth::kConverterFaulted:
+        // The channel's only surviving edge is to its own wavelength. If a
+        // wavelength-u request exists and the channel is free, some maximum
+        // matching of the fault-reduced graph grants u to one of them
+        // (exchange argument: re-home any wavelength-u request matched
+        // elsewhere), so pre-granting the pair and deleting u preserves the
+        // maximum. If no such request exists, the channel is dead weight.
+        if (free && counts[su] > 0) {
+          counts[su] -= 1;
+          out.pre_granted[su] = 1;
+          out.pre_grant_count += 1;
+        }
+        out.availability[su] = 0;
+        break;
+    }
+  }
+  for (Wavelength w = 0; w < k; ++w) {
+    out.requests.add(w, counts[static_cast<std::size_t>(w)]);
+  }
+  return out;
+}
+
+}  // namespace wdm::core

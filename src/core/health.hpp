@@ -1,0 +1,91 @@
+// Hardware health state for one output fiber, and the fault reduction that
+// keeps the scheduling kernels maximum when hardware degrades.
+//
+// The paper's Figure-1 architecture gives every output channel a dedicated
+// limited-range converter; the schedulers assume all of them (and the
+// channels and fibers themselves) are healthy. At production scale they are
+// not, so three fault classes become first-class scheduling inputs:
+//
+//  * converter fault — the channel's converter is dead, but the channel
+//    itself still passes light: only a request already on the channel's
+//    wavelength can use it (the adjacency collapses to d = 1);
+//  * channel fault — the output channel (laser / transceiver) is dead:
+//    nothing can use it;
+//  * fiber fault — the whole output fiber is cut: every request destined
+//    to it is rejected with RejectReason::kFaulted.
+//
+// Degraded scheduling stays a *maximum matching on the surviving request
+// graph* via a reduction instead of new kernels (see apply_health): a
+// converter-faulted free channel u has edges only to wavelength-u requests,
+// and an exchange argument shows some maximum matching grants u to one of
+// them whenever one exists — so pre-granting that pair and deleting u
+// preserves the maximum. Channel deletion is the availability-mask deletion
+// the kernels already handle exactly (Section V of the paper; fuzz-verified
+// in PR 1). The oracle fuzzer re-proves the whole reduction differentially
+// against Hopcroft–Karp on the explicit fault-reduced graph.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/request.hpp"
+#include "core/wavelength.hpp"
+
+namespace wdm::core {
+
+/// Health of one output wavelength channel (converter + transceiver).
+enum class ChannelHealth : std::uint8_t {
+  kHealthy = 0,
+  kConverterFaulted,  ///< channel up, converter down: only wavelength u -> u
+  kChannelFaulted,    ///< channel down: unusable by every wavelength
+};
+
+/// Health of one output fiber: a fiber-cut flag plus per-channel states.
+/// An empty `channels` vector means every channel is healthy.
+struct HealthMask {
+  bool fiber_faulted = false;
+  std::vector<ChannelHealth> channels;
+
+  /// All-healthy fast-path predicate (empty channels counts as healthy).
+  bool all_healthy() const noexcept;
+
+  /// Health of channel `u` (empty channels vector = healthy).
+  ChannelHealth channel(Channel u) const noexcept {
+    return channels.empty() ? ChannelHealth::kHealthy
+                            : channels[static_cast<std::size_t>(u)];
+  }
+
+  static HealthMask healthy(std::int32_t k);
+
+  friend bool operator==(const HealthMask&, const HealthMask&) = default;
+};
+
+/// The fault reduction of one per-fiber scheduling instance.
+struct HealthReduction {
+  /// Request counts after the converter-fault pre-grants were taken out.
+  RequestVector requests;
+  /// Effective availability mask: input mask with every faulted channel
+  /// (converter or channel fault) removed. Always size k.
+  std::vector<std::uint8_t> availability;
+  /// pre_granted[u] = 1 iff converter-faulted channel u was pre-granted to a
+  /// wavelength-u request (exactly one per such channel).
+  std::vector<std::uint8_t> pre_granted;
+  std::int32_t pre_grant_count = 0;
+
+  explicit HealthReduction(std::int32_t k)
+      : requests(k),
+        availability(static_cast<std::size_t>(k), 1),
+        pre_granted(static_cast<std::size_t>(k), 0) {}
+};
+
+/// Reduces (requests, available, health) to a healthy-hardware instance whose
+/// maximum matching, plus the pre-grants, is a maximum matching of the
+/// fault-reduced request graph. `available` may be empty (= all free);
+/// `health.channels` must be empty or size k; `health.fiber_faulted` yields
+/// an all-unavailable reduction with no pre-grants.
+HealthReduction apply_health(const RequestVector& requests,
+                             std::span<const std::uint8_t> available,
+                             const HealthMask& health);
+
+}  // namespace wdm::core

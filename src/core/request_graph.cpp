@@ -14,9 +14,16 @@ RequestGraph::RequestGraph(ConversionScheme scheme, const RequestVector& request
 
 RequestGraph::RequestGraph(ConversionScheme scheme, const RequestVector& requests,
                            std::vector<std::uint8_t> available)
+    : RequestGraph(std::move(scheme), requests, std::move(available),
+                   HealthMask{}) {}
+
+RequestGraph::RequestGraph(ConversionScheme scheme, const RequestVector& requests,
+                           std::vector<std::uint8_t> available,
+                           HealthMask health)
     : scheme_(std::move(scheme)),
       wavelengths_(requests.to_sorted_wavelengths()),
-      available_(std::move(available)) {
+      available_(std::move(available)),
+      health_(std::move(health)) {
   WDM_CHECK_MSG(requests.k() == scheme_.k(),
                 "request vector and scheme disagree on k");
   if (available_.empty()) {
@@ -24,6 +31,10 @@ RequestGraph::RequestGraph(ConversionScheme scheme, const RequestVector& request
   }
   WDM_CHECK_MSG(static_cast<std::int32_t>(available_.size()) == scheme_.k(),
                 "availability mask must have one entry per channel");
+  WDM_CHECK_MSG(health_.channels.empty() ||
+                    static_cast<std::int32_t>(health_.channels.size()) ==
+                        scheme_.k(),
+                "health mask must be empty or have one entry per channel");
 }
 
 Wavelength RequestGraph::wavelength_of(std::int32_t j) const {
@@ -37,14 +48,26 @@ bool RequestGraph::channel_available(Channel u) const {
 }
 
 bool RequestGraph::has_edge(std::int32_t j, Channel u) const {
-  return channel_available(u) && scheme_.can_convert(wavelength_of(j), u);
+  if (health_.fiber_faulted) return false;
+  if (!channel_available(u)) return false;
+  const Wavelength w = wavelength_of(j);
+  switch (health_.channel(u)) {
+    case ChannelHealth::kChannelFaulted:
+      return false;
+    case ChannelHealth::kConverterFaulted:
+      return w == u;  // straight-through needs no converter
+    case ChannelHealth::kHealthy:
+      break;
+  }
+  return scheme_.can_convert(w, u);
 }
 
 graph::BipartiteGraph RequestGraph::to_bipartite() const {
   graph::BipartiteGraph g(n_requests(), k());
+  if (health_.fiber_faulted) return g;
   for (std::int32_t j = 0; j < n_requests(); ++j) {
     for (const Channel u : scheme_.adjacency_list(wavelength_of(j))) {
-      if (channel_available(u)) g.add_edge(j, u);
+      if (has_edge(j, u)) g.add_edge(j, u);
     }
   }
   return g;
@@ -56,6 +79,8 @@ graph::ConvexBipartiteGraph RequestGraph::to_convex() const {
   for (const auto a : available_) {
     WDM_CHECK_MSG(a != 0, "to_convex requires all channels available");
   }
+  WDM_CHECK_MSG(health_.all_healthy(),
+                "a fault-reduced request graph is not convex");
   std::vector<graph::Interval> intervals;
   intervals.reserve(wavelengths_.size());
   for (const Wavelength w : wavelengths_) {

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/conversion.hpp"
+#include "core/health.hpp"
 #include "core/request.hpp"
 #include "graph/bipartite_graph.hpp"
 #include "graph/convex.hpp"
@@ -31,6 +32,12 @@ class RequestGraph {
   /// Builds with an explicit channel availability mask (size k, 1 = free).
   RequestGraph(ConversionScheme scheme, const RequestVector& requests,
                std::vector<std::uint8_t> available);
+  /// Builds the *fault-reduced* request graph (core/health.hpp): a faulted
+  /// fiber has no edges, a channel-faulted channel has no edges, and a
+  /// converter-faulted channel keeps only its same-wavelength edges. This is
+  /// the oracle's ground truth for degraded-mode scheduling.
+  RequestGraph(ConversionScheme scheme, const RequestVector& requests,
+               std::vector<std::uint8_t> available, HealthMask health);
 
   const ConversionScheme& scheme() const noexcept { return scheme_; }
   std::int32_t k() const noexcept { return scheme_.k(); }
@@ -46,8 +53,10 @@ class RequestGraph {
   const std::vector<std::uint8_t>& availability() const noexcept {
     return available_;
   }
+  const HealthMask& health() const noexcept { return health_; }
 
-  /// Edge predicate: conversion feasible and channel free.
+  /// Edge predicate: conversion feasible, channel free, and hardware healthy
+  /// enough (converter-faulted channels accept only their own wavelength).
   bool has_edge(std::int32_t j, Channel u) const;
 
   /// Explicit edge-list form for the generic oracles.
@@ -62,6 +71,7 @@ class RequestGraph {
   ConversionScheme scheme_;
   std::vector<Wavelength> wavelengths_;  // sorted ascending
   std::vector<std::uint8_t> available_;  // size k
+  HealthMask health_;                    // all-healthy unless given
 };
 
 }  // namespace wdm::core

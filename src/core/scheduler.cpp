@@ -50,6 +50,8 @@ const char* to_string(RejectReason reason) noexcept {
     case RejectReason::kInvalidPriority: return "invalid-priority";
     case RejectReason::kBadAvailabilityMask: return "bad-availability-mask";
     case RejectReason::kInternalError: return "internal-error";
+    case RejectReason::kFaulted: return "faulted";
+    case RejectReason::kBadHealthMask: return "bad-health-mask";
   }
   return "unknown";
 }
@@ -182,8 +184,25 @@ ChannelAssignment OutputPortScheduler::assign_channels(
   util::check_failed("algorithm dispatch", __FILE__, __LINE__, "unreachable");
 }
 
+ChannelAssignment OutputPortScheduler::assign_channels(
+    const RequestVector& requests, std::span<const std::uint8_t> available,
+    const HealthMask& health) {
+  if (health.fiber_faulted) return ChannelAssignment(scheme_.k());
+  if (health.all_healthy()) return assign_channels(requests, available);
+  const HealthReduction red = apply_health(requests, available, health);
+  ChannelAssignment out = assign_channels(red.requests, red.availability);
+  for (Channel u = 0; u < scheme_.k(); ++u) {
+    if (red.pre_granted[static_cast<std::size_t>(u)] == 0) continue;
+    WDM_DCHECK(out.source[static_cast<std::size_t>(u)] == kNone);
+    out.source[static_cast<std::size_t>(u)] = u;
+    out.granted += 1;
+  }
+  return out;
+}
+
 std::vector<PortDecision> OutputPortScheduler::schedule(
-    std::span<const Request> requests, std::span<const std::uint8_t> available) {
+    std::span<const Request> requests, std::span<const std::uint8_t> available,
+    const HealthMask* health) {
   const std::int32_t k = scheme_.k();
   std::vector<PortDecision> decisions(requests.size());
 
@@ -197,6 +216,24 @@ std::vector<PortDecision> OutputPortScheduler::schedule(
     }
     return decisions;
   }
+  if (health != nullptr) {
+    if (!health->channels.empty() &&
+        static_cast<std::int32_t>(health->channels.size()) != k) {
+      for (auto& d : decisions) {
+        d = PortDecision::reject(RejectReason::kBadHealthMask);
+      }
+      return decisions;
+    }
+    // A fiber cut outranks per-request validation: nothing on a dead fiber
+    // is inspected, everything is rejected as faulted.
+    if (health->fiber_faulted) {
+      for (auto& d : decisions) {
+        d = PortDecision::reject(RejectReason::kFaulted);
+      }
+      return decisions;
+    }
+    if (health->all_healthy()) health = nullptr;
+  }
 
   RequestVector rv(k);
   for (std::size_t idx = 0; idx < requests.size(); ++idx) {
@@ -208,7 +245,9 @@ std::vector<PortDecision> OutputPortScheduler::schedule(
     rv.add(requests[idx].wavelength);
   }
 
-  const ChannelAssignment assignment = assign_channels(rv, available);
+  const ChannelAssignment assignment =
+      health != nullptr ? assign_channels(rv, available, *health)
+                        : assign_channels(rv, available);
 
   // Channels won by each wavelength, in increasing channel order.
   std::vector<std::vector<Channel>> channels_won(static_cast<std::size_t>(k));

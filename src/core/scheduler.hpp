@@ -20,6 +20,7 @@
 
 #include "core/channel_assignment.hpp"
 #include "core/conversion.hpp"
+#include "core/health.hpp"
 #include "core/request.hpp"
 #include "util/rng.hpp"
 #include "util/threadpool.hpp"
@@ -58,12 +59,18 @@ enum class RejectReason : std::uint8_t {
   kInvalidPriority,      ///< negative QoS class
   kBadAvailabilityMask,  ///< availability mask has the wrong shape
   kInternalError,        ///< the per-fiber kernel threw; the slot survived
+  kFaulted,              ///< destination fiber is down (hardware fault)
+  kBadHealthMask,        ///< health mask has the wrong shape
 };
 
 /// True for rejections caused by malformed input or an internal fault, as
-/// opposed to a genuine capacity loss (kNoChannel).
+/// opposed to a genuine capacity loss (kNoChannel) or a hardware fault on
+/// the destination (kFaulted, which MetricsCollector counts separately and
+/// the interconnect's retry queue may re-offer in a later slot).
 constexpr bool is_malformed(RejectReason reason) noexcept {
-  return reason != RejectReason::kGranted && reason != RejectReason::kNoChannel;
+  return reason != RejectReason::kGranted &&
+         reason != RejectReason::kNoChannel &&
+         reason != RejectReason::kFaulted;
 }
 
 const char* to_string(RejectReason reason) noexcept;
@@ -113,10 +120,23 @@ class OutputPortScheduler {
   ChannelAssignment assign_channels(const RequestVector& requests,
                                     std::span<const std::uint8_t> available = {});
 
+  /// Channel-level schedule under degraded hardware: applies the fault
+  /// reduction (core/health.hpp), runs the kernel on the surviving
+  /// instance, and folds the converter-fault pre-grants back in. The result
+  /// is a maximum matching of the fault-reduced request graph whenever the
+  /// healthy kernel is maximum. A faulted fiber grants nothing.
+  ChannelAssignment assign_channels(const RequestVector& requests,
+                                    std::span<const std::uint8_t> available,
+                                    const HealthMask& health);
+
   /// Full schedule of one slot: grant/reject + channel per request.
   /// `available` masks occupied channels (Section V); empty = all free.
+  /// `health`, if non-null, degrades the fiber: a fiber fault rejects every
+  /// request with kFaulted; channel/converter faults shrink the matching to
+  /// the surviving request graph (still maximum on it).
   std::vector<PortDecision> schedule(std::span<const Request> requests,
-                                     std::span<const std::uint8_t> available = {});
+                                     std::span<const std::uint8_t> available = {},
+                                     const HealthMask* health = nullptr);
 
  private:
   ConversionScheme scheme_;

@@ -1,0 +1,126 @@
+#include "sim/faults.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace wdm::sim {
+
+namespace {
+
+void check_rates(const MtbfMttr& rates, const char* what) {
+  if (!rates.enabled()) return;
+  WDM_CHECK_MSG(rates.mtbf >= 1.0, std::string(what) + " MTBF must be >= 1 slot");
+  WDM_CHECK_MSG(rates.mttr >= 1.0, std::string(what) + " MTTR must be >= 1 slot");
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(std::int32_t n_fibers, std::int32_t k,
+                             FaultConfig config, std::uint64_t seed)
+    : n_fibers_(n_fibers), k_(k), config_(std::move(config)), rng_(seed) {
+  WDM_CHECK_MSG(n_fibers > 0 && k > 0, "fault geometry must be positive");
+  check_rates(config_.converters, "converter");
+  check_rates(config_.channels, "channel");
+  check_rates(config_.fibers, "fiber");
+  for (const auto& ev : config_.script) {
+    WDM_CHECK_MSG(ev.fiber >= 0 && ev.fiber < n_fibers_,
+                  "scripted fault fiber out of range");
+    if (ev.kind != FaultKind::kFiber) {
+      WDM_CHECK_MSG(ev.channel >= 0 && ev.channel < k_,
+                    "scripted fault channel out of range");
+    }
+  }
+  std::stable_sort(config_.script.begin(), config_.script.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.slot < b.slot;
+                   });
+  const auto n_channels =
+      static_cast<std::size_t>(n_fibers_) * static_cast<std::size_t>(k_);
+  converter_down_.assign(n_channels, 0);
+  channel_down_.assign(n_channels, 0);
+  fiber_down_.assign(static_cast<std::size_t>(n_fibers_), 0);
+  health_.assign(static_cast<std::size_t>(n_fibers_),
+                 core::HealthMask::healthy(k_));
+}
+
+void FaultInjector::set_state(std::uint8_t& down, bool make_down) {
+  if (down == (make_down ? 1 : 0)) return;
+  down = make_down ? 1 : 0;
+  down_components_ += make_down ? 1 : -1;
+  (make_down ? failures_ : repairs_) += 1;
+}
+
+void FaultInjector::apply(FaultKind kind, std::int32_t fiber,
+                          std::int32_t channel, bool repair) {
+  const std::size_t at = static_cast<std::size_t>(fiber) *
+                             static_cast<std::size_t>(k_) +
+                         static_cast<std::size_t>(channel);
+  switch (kind) {
+    case FaultKind::kConverter:
+      set_state(converter_down_[at], !repair);
+      break;
+    case FaultKind::kChannel:
+      set_state(channel_down_[at], !repair);
+      break;
+    case FaultKind::kFiber:
+      set_state(fiber_down_[static_cast<std::size_t>(fiber)], !repair);
+      break;
+  }
+}
+
+void FaultInjector::tick() {
+  const std::uint64_t slot = slots_;
+  slots_ += 1;
+
+  // Scripted events for this slot (the script is sorted by slot).
+  while (next_event_ < config_.script.size() &&
+         config_.script[next_event_].slot <= slot) {
+    const auto& ev = config_.script[next_event_];
+    if (ev.slot == slot) apply(ev.kind, ev.fiber, ev.channel, ev.repair);
+    next_event_ += 1;
+  }
+
+  // Stochastic transitions. Every enabled component draws exactly one
+  // variate per slot whatever its state, so the stream position depends
+  // only on (geometry, slot) — a fault schedule replays from its seed and
+  // stays aligned under any mixture of scripted and stochastic events.
+  const auto transition = [&](std::uint8_t& down, const MtbfMttr& rates) {
+    const double u = rng_.uniform01();
+    if (down == 0) {
+      if (u < 1.0 / rates.mtbf) set_state(down, true);
+    } else {
+      if (u < 1.0 / rates.mttr) set_state(down, false);
+    }
+  };
+  if (config_.converters.enabled()) {
+    for (auto& down : converter_down_) transition(down, config_.converters);
+  }
+  if (config_.channels.enabled()) {
+    for (auto& down : channel_down_) transition(down, config_.channels);
+  }
+  if (config_.fibers.enabled()) {
+    for (auto& down : fiber_down_) transition(down, config_.fibers);
+  }
+
+  rebuild_health();
+}
+
+void FaultInjector::rebuild_health() {
+  for (std::int32_t fiber = 0; fiber < n_fibers_; ++fiber) {
+    auto& mask = health_[static_cast<std::size_t>(fiber)];
+    mask.fiber_faulted = fiber_down_[static_cast<std::size_t>(fiber)] != 0;
+    for (std::int32_t ch = 0; ch < k_; ++ch) {
+      const std::size_t at = static_cast<std::size_t>(fiber) *
+                                 static_cast<std::size_t>(k_) +
+                             static_cast<std::size_t>(ch);
+      // A dead channel shadows a dead converter on the same channel.
+      mask.channels[static_cast<std::size_t>(ch)] =
+          channel_down_[at] != 0    ? core::ChannelHealth::kChannelFaulted
+          : converter_down_[at] != 0 ? core::ChannelHealth::kConverterFaulted
+                                     : core::ChannelHealth::kHealthy;
+    }
+  }
+}
+
+}  // namespace wdm::sim

@@ -1,0 +1,117 @@
+// Fault injection for the interconnect: scripted and stochastic failure /
+// repair events over converters, output channels, and whole output fibers.
+//
+// A real interconnect serving heavy traffic loses hardware at runtime; this
+// module turns those losses into the per-fiber core::HealthMask vector the
+// schedulers consume, so degradation is a first-class scheduling constraint
+// instead of an invisible error.
+//
+// Two event sources, combinable:
+//
+//  * scripted — an explicit list of (slot, component, fail/repair) events,
+//    for reproducible drills ("cut fiber 3 at slot 2000, splice it at 6000");
+//  * stochastic — every component alternates up/down as a two-state Markov
+//    chain with per-slot failure probability 1/MTBF and repair probability
+//    1/MTTR (geometric up- and down-times, the standard memoryless model).
+//
+// Determinism contract: the injector owns an independent RNG stream (seeded
+// via util::derive_stream_seed, never shared with traffic or scheduling) and
+// draws exactly one variate per stochastic component per slot regardless of
+// state, so a fault schedule replays bit-for-bit from its seed and enabling
+// faults never perturbs the arrival sequence of the same master seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/health.hpp"
+#include "util/rng.hpp"
+
+namespace wdm::sim {
+
+enum class FaultKind : std::uint8_t {
+  kConverter,  ///< one channel's wavelength converter (adjacency -> d = 1)
+  kChannel,    ///< one output wavelength channel (unusable entirely)
+  kFiber,      ///< one whole output fiber (everything rejected kFaulted)
+};
+
+/// One scripted failure or repair, applied at the start of `slot`.
+struct FaultEvent {
+  std::uint64_t slot = 0;
+  FaultKind kind = FaultKind::kChannel;
+  std::int32_t fiber = 0;
+  std::int32_t channel = 0;  ///< ignored for kFiber
+  bool repair = false;       ///< false = fail, true = repair
+};
+
+/// Geometric up/down times for one fault class; mtbf == 0 disables the
+/// class. Both times are in slots and must be >= 1 when enabled.
+struct MtbfMttr {
+  double mtbf = 0.0;
+  double mttr = 0.0;
+  bool enabled() const noexcept { return mtbf > 0.0; }
+};
+
+struct FaultConfig {
+  std::vector<FaultEvent> script;
+  MtbfMttr converters;
+  MtbfMttr channels;
+  MtbfMttr fibers;
+
+  bool enabled() const noexcept {
+    return !script.empty() || converters.enabled() || channels.enabled() ||
+           fibers.enabled();
+  }
+};
+
+class FaultInjector {
+ public:
+  /// Validates the script against the (n_fibers, k) geometry up front;
+  /// `seed` should come from util::derive_stream_seed so the fault stream is
+  /// independent of every other consumer of the master seed.
+  FaultInjector(std::int32_t n_fibers, std::int32_t k, FaultConfig config,
+                std::uint64_t seed);
+
+  /// Advances one slot: applies scripted events for the new slot index
+  /// (starting at 0), then one stochastic transition per enabled component.
+  void tick();
+
+  /// Slots ticked so far.
+  std::uint64_t slots() const noexcept { return slots_; }
+
+  /// Current per-output-fiber health, one mask per fiber, channels always
+  /// materialised (size k).
+  const std::vector<core::HealthMask>& health() const noexcept {
+    return health_;
+  }
+
+  /// True while any component is down — lets callers skip the degraded
+  /// scheduling path entirely on healthy slots.
+  bool any_fault() const noexcept { return down_components_ > 0; }
+  std::int64_t down_components() const noexcept { return down_components_; }
+
+  std::uint64_t failures_injected() const noexcept { return failures_; }
+  std::uint64_t repairs_applied() const noexcept { return repairs_; }
+
+ private:
+  void apply(FaultKind kind, std::int32_t fiber, std::int32_t channel,
+             bool repair);
+  void set_state(std::uint8_t& down, bool make_down);
+  void rebuild_health();
+
+  std::int32_t n_fibers_;
+  std::int32_t k_;
+  FaultConfig config_;  // script sorted by slot in the constructor
+  util::Rng rng_;
+  std::size_t next_event_ = 0;
+  std::uint64_t slots_ = 0;
+  std::vector<std::uint8_t> converter_down_;  // [fiber * k + channel]
+  std::vector<std::uint8_t> channel_down_;    // [fiber * k + channel]
+  std::vector<std::uint8_t> fiber_down_;      // [fiber]
+  std::int64_t down_components_ = 0;
+  std::uint64_t failures_ = 0;
+  std::uint64_t repairs_ = 0;
+  std::vector<core::HealthMask> health_;
+};
+
+}  // namespace wdm::sim

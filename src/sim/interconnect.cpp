@@ -6,13 +6,30 @@
 
 namespace wdm::sim {
 
+namespace {
+
+/// Label for the fault injector's RNG substream (see util::derive_stream_seed):
+/// independent of the scheduler streams that consume the config seed itself.
+constexpr std::uint64_t kFaultStreamLabel = 0xFA171ULL;
+
+}  // namespace
+
 Interconnect::Interconnect(InterconnectConfig config)
     : config_(std::move(config)),
       scheduler_(config_.n_fibers, config_.scheme, config_.algorithm,
                  config_.arbitration, config_.seed) {
   WDM_CHECK_MSG(config_.n_fibers > 0, "need at least one fiber");
+  WDM_CHECK_MSG(config_.retry.max_retries >= 0 &&
+                    config_.retry.backoff_base >= 1 &&
+                    config_.retry.backoff_factor >= 1,
+                "retry config: max_retries >= 0, backoff >= 1");
   if (config_.converter_budget >= 0) {
     scheduler_.set_converter_budget(config_.converter_budget);
+  }
+  if (config_.faults.enabled()) {
+    faults_ = std::make_unique<FaultInjector>(
+        config_.n_fibers, k(), config_.faults,
+        util::derive_stream_seed(config_.seed, kFaultStreamLabel));
   }
   out_state_.assign(
       static_cast<std::size_t>(config_.n_fibers),
@@ -54,6 +71,14 @@ std::vector<std::uint8_t> Interconnect::input_channel_busy() const {
   return busy;
 }
 
+void Interconnect::release_input(std::int32_t input_fiber,
+                                 core::Wavelength wavelength) {
+  const std::size_t in = static_cast<std::size_t>(input_fiber) *
+                             static_cast<std::size_t>(k()) +
+                         static_cast<std::size_t>(wavelength);
+  input_remaining_[in] = 0;
+}
+
 void Interconnect::occupy(std::int32_t output_fiber, core::Channel channel,
                           const core::SlotRequest& request,
                           std::int32_t remaining) {
@@ -80,17 +105,109 @@ std::vector<std::vector<std::uint8_t>> Interconnect::availability() const {
   return masks;
 }
 
+void Interconnect::teardown_faulted(
+    const std::vector<core::HealthMask>& health, SlotStats& stats) {
+  for (std::size_t fiber = 0; fiber < out_state_.size(); ++fiber) {
+    const auto& mask = health[fiber];
+    for (std::size_t u = 0; u < out_state_[fiber].size(); ++u) {
+      auto& ch = out_state_[fiber][u];
+      if (ch.remaining == 0) continue;
+      const auto channel_health = mask.channel(static_cast<core::Channel>(u));
+      // A converter fault only kills connections that are actually
+      // converting; a straight-through connection (wavelength == channel)
+      // keeps flowing without the converter.
+      const bool dead =
+          mask.fiber_faulted ||
+          channel_health == core::ChannelHealth::kChannelFaulted ||
+          (channel_health == core::ChannelHealth::kConverterFaulted &&
+           ch.wavelength != static_cast<core::Wavelength>(u));
+      if (!dead) continue;
+      stats.dropped_faulted += 1;
+      release_input(ch.input_fiber, ch.wavelength);
+      ch = ChannelState{};
+    }
+  }
+}
+
+bool Interconnect::try_defer(const core::SlotRequest& request,
+                             std::int32_t attempts, SlotStats& stats) {
+  if (attempts >= config_.retry.max_retries) return false;
+  if (retry_queue_.size() >= config_.retry.queue_capacity) return false;
+  // Exponential backoff, capped so the delay arithmetic cannot overflow.
+  std::uint64_t delay = static_cast<std::uint64_t>(config_.retry.backoff_base);
+  for (std::int32_t a = 0; a < attempts && delay < (1ULL << 20); ++a) {
+    delay *= static_cast<std::uint64_t>(config_.retry.backoff_factor);
+  }
+  retry_queue_.push_back(PendingRetry{request, attempts + 1, slot_ + delay});
+  stats.deferred_faulted += 1;
+  return true;
+}
+
 SlotStats Interconnect::step(std::span<const core::SlotRequest> arrivals,
                              util::ThreadPool* pool) {
   age_connections();
   last_fiber_grants_.assign(last_fiber_grants_.size(), 0);
-  return config_.policy == OccupiedPolicy::kNoDisturb
-             ? step_no_disturb(arrivals, pool)
-             : step_rearrange(arrivals, pool);
+
+  const std::vector<core::HealthMask>* health = nullptr;
+  if (faults_ != nullptr) {
+    faults_->tick();
+    // Healthy slots skip the degraded scheduling path entirely.
+    if (faults_->any_fault()) health = &faults_->health();
+  }
+
+  SlotStats stats;
+  if (config_.policy == OccupiedPolicy::kNoDisturb) {
+    step_no_disturb(arrivals, health, pool, stats);
+  } else {
+    step_rearrange(arrivals, health, pool, stats);
+  }
+  stats.busy_channels = busy_output_channels();
+  slot_ += 1;
+  return stats;
+}
+
+void Interconnect::run_retries(const std::vector<core::HealthMask>* health,
+                               util::ThreadPool* pool, SlotStats& stats) {
+  if (retry_queue_.empty()) return;
+  std::vector<PendingRetry> due;
+  std::vector<PendingRetry> later;
+  for (auto& pending : retry_queue_) {
+    (pending.due_slot <= slot_ ? due : later).push_back(pending);
+  }
+  retry_queue_ = std::move(later);
+  if (due.empty()) return;
+
+  stats.retry_attempts += due.size();
+  std::vector<core::SlotRequest> batch;
+  batch.reserve(due.size());
+  for (const auto& pending : due) batch.push_back(pending.request);
+  const auto masks = availability();
+  const auto decisions = scheduler_.schedule_slot(batch, &masks, health, pool);
+  for (std::size_t i = 0; i < due.size(); ++i) {
+    if (decisions[i].granted) {
+      stats.granted += 1;
+      stats.retry_successes += 1;
+      occupy(batch[i].output_fiber, decisions[i].channel, batch[i],
+             batch[i].duration);
+      last_fiber_grants_[static_cast<std::size_t>(batch[i].output_fiber)] += 1;
+      continue;
+    }
+    if (decisions[i].reason == core::RejectReason::kFaulted &&
+        try_defer(batch[i], due[i].attempts, stats)) {
+      continue;
+    }
+    stats.rejected += 1;
+    if (decisions[i].reason == core::RejectReason::kFaulted) {
+      stats.rejected_faulted += 1;
+    } else if (core::is_malformed(decisions[i].reason)) {
+      stats.rejected_malformed += 1;
+    }
+  }
 }
 
 void Interconnect::schedule_new_arrivals(
-    std::span<const core::SlotRequest> arrivals, util::ThreadPool* pool,
+    std::span<const core::SlotRequest> arrivals,
+    const std::vector<core::HealthMask>* health, util::ThreadPool* pool,
     SlotStats& stats) {
   stats.arrivals += arrivals.size();
 
@@ -137,11 +254,17 @@ void Interconnect::schedule_new_arrivals(
     stats.arrivals_per_class[static_cast<std::size_t>(cls)] += batch.size();
     // Availability reflects everything higher classes just took.
     const auto masks = availability();
-    const auto decisions = scheduler_.schedule_slot(batch, &masks, pool);
+    const auto decisions = scheduler_.schedule_slot(batch, &masks, health, pool);
     for (std::size_t i = 0; i < batch.size(); ++i) {
       if (!decisions[i].granted) {
+        if (decisions[i].reason == core::RejectReason::kFaulted &&
+            try_defer(batch[i], 0, stats)) {
+          continue;
+        }
         stats.rejected += 1;
-        if (core::is_malformed(decisions[i].reason)) {
+        if (decisions[i].reason == core::RejectReason::kFaulted) {
+          stats.rejected_faulted += 1;
+        } else if (core::is_malformed(decisions[i].reason)) {
           stats.rejected_malformed += 1;
         }
         continue;
@@ -155,21 +278,28 @@ void Interconnect::schedule_new_arrivals(
   }
 }
 
-SlotStats Interconnect::step_no_disturb(
-    std::span<const core::SlotRequest> arrivals, util::ThreadPool* pool) {
-  SlotStats stats;
-  schedule_new_arrivals(arrivals, pool, stats);
-  stats.busy_channels = busy_output_channels();
-  return stats;
+void Interconnect::step_no_disturb(
+    std::span<const core::SlotRequest> arrivals,
+    const std::vector<core::HealthMask>* health, util::ThreadPool* pool,
+    SlotStats& stats) {
+  // Under kNoDisturb a connection is pinned to its exact channel, so losing
+  // that channel (or its converter mid-conversion, or the fiber) kills the
+  // connection outright.
+  if (health != nullptr) teardown_faulted(*health, stats);
+  run_retries(health, pool, stats);
+  schedule_new_arrivals(arrivals, health, pool, stats);
 }
 
-SlotStats Interconnect::step_rearrange(
-    std::span<const core::SlotRequest> arrivals, util::ThreadPool* pool) {
-  SlotStats stats;
-
+void Interconnect::step_rearrange(
+    std::span<const core::SlotRequest> arrivals,
+    const std::vector<core::HealthMask>* health, util::ThreadPool* pool,
+    SlotStats& stats) {
   // Phase 1: lift ongoing connections out of the fabric and re-schedule them
-  // with the whole fiber free. They were simultaneously placed a slot ago,
-  // so a full placement exists and the maximum matching saturates them all.
+  // with the whole fiber free. On healthy hardware they were simultaneously
+  // placed a slot ago, so a full placement exists and the maximum matching
+  // saturates them all. Under faults the surviving graph may be smaller: the
+  // health-aware schedule re-homes whoever still fits, and the rest are
+  // genuine fault casualties.
   std::vector<core::SlotRequest> continuing;
   std::vector<std::int32_t> continuing_remaining;
   for (std::size_t fiber = 0; fiber < out_state_.size(); ++fiber) {
@@ -183,23 +313,29 @@ SlotStats Interconnect::step_rearrange(
     }
   }
   if (!continuing.empty()) {
-    const auto decisions = scheduler_.schedule_slot(continuing, nullptr, pool);
+    const auto decisions =
+        scheduler_.schedule_slot(continuing, nullptr, health, pool);
     for (std::size_t i = 0; i < continuing.size(); ++i) {
       if (decisions[i].granted) {
         occupy(continuing[i].output_fiber, decisions[i].channel, continuing[i],
                continuing_remaining[i]);
       } else {
-        // Cannot happen for a maximum matching (see above); accounted
-        // defensively so a scheduler bug surfaces in the metrics.
-        stats.preempted += 1;
+        // With faults active this is a connection the surviving graph could
+        // not re-home; without, it cannot happen for a maximum matching (see
+        // above) and is accounted defensively so a scheduler bug surfaces.
+        release_input(continuing[i].input_fiber, continuing[i].wavelength);
+        if (health != nullptr) {
+          stats.dropped_faulted += 1;
+        } else {
+          stats.preempted += 1;
+        }
       }
     }
   }
 
-  // Phase 2: new arrivals compete for the channels left over.
-  schedule_new_arrivals(arrivals, pool, stats);
-  stats.busy_channels = busy_output_channels();
-  return stats;
+  // Phase 2: retries, then new arrivals, compete for the channels left over.
+  run_retries(health, pool, stats);
+  schedule_new_arrivals(arrivals, health, pool, stats);
 }
 
 }  // namespace wdm::sim

@@ -16,17 +16,31 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "core/conversion.hpp"
 #include "core/distributed.hpp"
+#include "sim/faults.hpp"
 #include "sim/metrics.hpp"
 #include "util/threadpool.hpp"
 
 namespace wdm::sim {
 
 enum class OccupiedPolicy : std::uint8_t { kNoDisturb, kRearrange };
+
+/// Bounded retry-with-backoff for fault-rejected requests: a request denied
+/// with RejectReason::kFaulted (hardware down, as opposed to contention) is
+/// parked and re-offered `backoff_base * backoff_factor^(attempt-1)` slots
+/// later, up to `max_retries` attempts, while the queue has room. Retries
+/// re-enter scheduling ahead of fresh arrivals (they have waited longest).
+struct RetryConfig {
+  std::int32_t max_retries = 0;     ///< 0 disables retrying
+  std::int32_t backoff_base = 1;    ///< slots before the first retry
+  std::int32_t backoff_factor = 2;  ///< exponential backoff multiplier
+  std::size_t queue_capacity = 1024;  ///< overflow drops (rejected_faulted)
+};
 
 struct InterconnectConfig {
   std::int32_t n_fibers = 8;  ///< N (square switch: N inputs, N outputs)
@@ -38,6 +52,11 @@ struct InterconnectConfig {
   /// keeps the default (a dedicated converter per channel).
   std::int32_t converter_budget = -1;
   std::uint64_t seed = 1;
+  /// Hardware fault injection (off by default). The injector's RNG stream
+  /// is derived from `seed` by label, so enabling faults never perturbs the
+  /// scheduler arbitration streams (or the caller's traffic) for a seed.
+  FaultConfig faults;
+  RetryConfig retry;
 };
 
 class Interconnect {
@@ -67,6 +86,11 @@ class Interconnect {
 
   std::uint64_t busy_output_channels() const noexcept;
 
+  /// The fault injector, or nullptr when the config enables no faults.
+  const FaultInjector* fault_injector() const noexcept { return faults_.get(); }
+  /// Requests currently parked in the retry queue.
+  std::size_t retry_queue_depth() const noexcept { return retry_queue_.size(); }
+
  private:
   struct ChannelState {
     std::int32_t remaining = 0;  ///< slots left, 0 = free
@@ -74,15 +98,35 @@ class Interconnect {
     core::Wavelength wavelength = core::kNone;
     std::uint64_t id = 0;
   };
+  struct PendingRetry {
+    core::SlotRequest request;
+    std::int32_t attempts = 0;     ///< retry attempts already consumed
+    std::uint64_t due_slot = 0;    ///< re-offer at this internal slot
+  };
 
-  SlotStats step_no_disturb(std::span<const core::SlotRequest> arrivals,
-                            util::ThreadPool* pool);
-  SlotStats step_rearrange(std::span<const core::SlotRequest> arrivals,
-                           util::ThreadPool* pool);
+  void step_no_disturb(std::span<const core::SlotRequest> arrivals,
+                       const std::vector<core::HealthMask>* health,
+                       util::ThreadPool* pool, SlotStats& stats);
+  void step_rearrange(std::span<const core::SlotRequest> arrivals,
+                      const std::vector<core::HealthMask>* health,
+                      util::ThreadPool* pool, SlotStats& stats);
+  /// Tears down ongoing connections whose channel, converter, or fiber
+  /// failed (kNoDisturb policy; kRearrange re-homes instead).
+  void teardown_faulted(const std::vector<core::HealthMask>& health,
+                        SlotStats& stats);
+  /// Re-offers due retry-queue entries, ahead of fresh arrivals.
+  void run_retries(const std::vector<core::HealthMask>* health,
+                   util::ThreadPool* pool, SlotStats& stats);
   /// Schedules new arrivals strict-priority class by class (§VI extension);
   /// single-class slots collapse to one scheduling pass.
   void schedule_new_arrivals(std::span<const core::SlotRequest> arrivals,
+                             const std::vector<core::HealthMask>* health,
                              util::ThreadPool* pool, SlotStats& stats);
+  /// Parks a fault-rejected request for retry if budget and queue capacity
+  /// allow; returns false when it must be dropped instead.
+  bool try_defer(const core::SlotRequest& request, std::int32_t attempts,
+                 SlotStats& stats);
+  void release_input(std::int32_t input_fiber, core::Wavelength wavelength);
   void age_connections();
   void occupy(std::int32_t output_fiber, core::Channel channel,
               const core::SlotRequest& request, std::int32_t remaining);
@@ -90,9 +134,12 @@ class Interconnect {
 
   InterconnectConfig config_;
   core::DistributedScheduler scheduler_;
+  std::unique_ptr<FaultInjector> faults_;  // null when faults disabled
   std::vector<std::vector<ChannelState>> out_state_;  // [fiber][channel]
   std::vector<std::int32_t> input_remaining_;         // [fiber*k + w]
   std::vector<std::uint64_t> last_fiber_grants_;
+  std::vector<PendingRetry> retry_queue_;
+  std::uint64_t slot_ = 0;  // internal slot counter (retry due times)
 };
 
 }  // namespace wdm::sim

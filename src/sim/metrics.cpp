@@ -11,17 +11,29 @@ MetricsCollector::MetricsCollector(std::int32_t n_fibers, std::int32_t k)
 }
 
 void MetricsCollector::record_slot(const SlotStats& stats) {
-  WDM_CHECK_MSG(stats.granted + stats.rejected == stats.arrivals,
-                "slot accounting must conserve requests");
-  WDM_CHECK_MSG(stats.rejected_malformed <= stats.rejected,
-                "malformed rejections are a subset of rejections");
+  WDM_CHECK_MSG(stats.granted + stats.rejected + stats.deferred_faulted ==
+                    stats.arrivals + stats.retry_attempts,
+                "slot accounting must conserve offered requests");
+  WDM_CHECK_MSG(stats.rejected_malformed + stats.rejected_faulted <=
+                    stats.rejected,
+                "malformed and faulted rejections are disjoint subsets");
+  WDM_CHECK_MSG(stats.retry_successes <= stats.granted &&
+                    stats.retry_successes <= stats.retry_attempts,
+                "retry successes are a subset of grants and attempts");
   slots_ += 1;
   granted_total_ += stats.granted;
   rejected_malformed_ += stats.rejected_malformed;
-  if (stats.arrivals > 0) {
+  rejected_faulted_ += stats.rejected_faulted;
+  deferred_faulted_ += stats.deferred_faulted;
+  retry_attempts_ += stats.retry_attempts;
+  retry_successes_ += stats.retry_successes;
+  dropped_faulted_ += stats.dropped_faulted;
+  const std::uint64_t offered = stats.arrivals + stats.retry_attempts;
+  if (offered > 0) {
     // Idle slots contribute no Bernoulli trials: the loss ratio is per
-    // request, so a long idle stream must not dilute (or seed) it.
-    loss_.add(stats.rejected, stats.arrivals);
+    // offered request, so a long idle stream must not dilute (or seed) it.
+    // A deferred request is not (yet) a loss — its retry outcome is.
+    loss_.add(stats.rejected, offered);
   }
   const double capacity =
       static_cast<double>(n_fibers_) * static_cast<double>(k_);
@@ -41,6 +53,11 @@ void MetricsCollector::merge(const MetricsCollector& other) {
   slots_ += other.slots_;
   granted_total_ += other.granted_total_;
   rejected_malformed_ += other.rejected_malformed_;
+  rejected_faulted_ += other.rejected_faulted_;
+  deferred_faulted_ += other.deferred_faulted_;
+  retry_attempts_ += other.retry_attempts_;
+  retry_successes_ += other.retry_successes_;
+  dropped_faulted_ += other.dropped_faulted_;
   loss_.merge(other.loss_);
   utilization_.merge(other.utilization_);
   for (std::size_t i = 0; i < fiber_grants_.size(); ++i) {

@@ -13,17 +13,37 @@
 namespace wdm::sim {
 
 /// What happened in one slot of the interconnect.
+///
+/// Conservation: every request offered this slot — fresh (`arrivals`) or
+/// re-offered from the retry queue (`retry_attempts`) — ends granted,
+/// rejected, or deferred back to the queue:
+///     granted + rejected + deferred_faulted == arrivals + retry_attempts.
 struct SlotStats {
-  std::uint64_t arrivals = 0;       ///< new requests offered this slot
-  std::uint64_t granted = 0;        ///< new requests granted
-  std::uint64_t rejected = 0;       ///< new requests dropped (no buffers)
+  std::uint64_t arrivals = 0;       ///< fresh requests offered this slot
+  std::uint64_t granted = 0;        ///< offered requests granted
+  std::uint64_t rejected = 0;       ///< offered requests dropped (no buffers)
   /// Subset of `rejected` dropped for malformed fields (core::is_malformed
   /// RejectReasons), not for lack of capacity.
   std::uint64_t rejected_malformed = 0;
+  /// Subset of `rejected` dropped because the destination hardware was
+  /// faulted (RejectReason::kFaulted) with no retry budget left.
+  std::uint64_t rejected_faulted = 0;
+  /// Offered requests parked in the retry queue instead of dropped
+  /// (fault-rejected, with retry budget and queue capacity remaining).
+  std::uint64_t deferred_faulted = 0;
+  /// Requests re-offered from the retry queue this slot.
+  std::uint64_t retry_attempts = 0;
+  /// Subset of `granted` that came from the retry queue.
+  std::uint64_t retry_successes = 0;
   std::uint64_t preempted = 0;      ///< ongoing connections dropped mid-hold
+  /// Ongoing connections torn down mid-hold because their channel,
+  /// converter, or fiber failed (kNoDisturb), or because no surviving
+  /// channel could re-home them (kRearrange). Disjoint from `preempted`.
+  std::uint64_t dropped_faulted = 0;
   std::uint64_t busy_channels = 0;  ///< occupied output channels after the slot
   /// Per-QoS-class accounting (index = priority class); sized to the
-  /// highest class seen this slot, empty for single-class traffic.
+  /// highest class seen this slot, empty for single-class traffic. Retries
+  /// are tracked by the retry_* counters only, never per class.
   std::vector<std::uint64_t> arrivals_per_class;
   std::vector<std::uint64_t> granted_per_class;
 };
@@ -45,8 +65,18 @@ class MetricsCollector {
   std::uint64_t rejected_malformed() const noexcept {
     return rejected_malformed_;
   }
+  /// Requests dropped because the destination hardware was faulted.
+  std::uint64_t rejected_faulted() const noexcept { return rejected_faulted_; }
+  /// Fault-rejected requests parked in the retry queue instead of dropped.
+  std::uint64_t deferred_faulted() const noexcept { return deferred_faulted_; }
+  /// Requests re-offered from the retry queue.
+  std::uint64_t retry_attempts() const noexcept { return retry_attempts_; }
+  /// Retry attempts that ended in a grant.
+  std::uint64_t retry_successes() const noexcept { return retry_successes_; }
+  /// Ongoing connections torn down mid-hold by hardware faults.
+  std::uint64_t dropped_faulted() const noexcept { return dropped_faulted_; }
 
-  /// P(new request rejected).
+  /// P(offered request rejected) — offered = fresh arrivals + retries.
   double loss_probability() const noexcept { return loss_.value(); }
   double loss_wilson_low() const noexcept { return loss_.wilson_low(); }
   double loss_wilson_high() const noexcept { return loss_.wilson_high(); }
@@ -64,6 +94,11 @@ class MetricsCollector {
   std::uint64_t slots_ = 0;
   std::uint64_t granted_total_ = 0;
   std::uint64_t rejected_malformed_ = 0;
+  std::uint64_t rejected_faulted_ = 0;
+  std::uint64_t deferred_faulted_ = 0;
+  std::uint64_t retry_attempts_ = 0;
+  std::uint64_t retry_successes_ = 0;
+  std::uint64_t dropped_faulted_ = 0;
   util::Proportion loss_;
   util::RunningStats utilization_;
   std::vector<double> fiber_grants_;

@@ -26,6 +26,12 @@ ChainReport run_chain_simulation(const ChainConfig& config) {
   const std::int32_t k = config.scheme.k();
   util::Rng seeder(config.seed);
   util::Rng traffic_rng = seeder.split();
+  // Routing draws live on their own stream: the number of packets in flight
+  // (and so the number of destination picks) depends on per-hop outcomes, and
+  // sharing a stream with injection would let a single extra drop — e.g. a
+  // fault — shift every later arrival. Kept separate, the injection sequence
+  // for a seed is invariant under anything that happens downstream.
+  util::Rng routing_rng(util::derive_stream_seed(config.seed, 0x407E));
 
   // One distributed scheduler per switch in the chain.
   std::vector<core::DistributedScheduler> switches;
@@ -33,6 +39,20 @@ ChainReport run_chain_simulation(const ChainConfig& config) {
   for (std::int32_t h = 0; h < config.hops; ++h) {
     switches.emplace_back(config.n_fibers, config.scheme, config.algorithm,
                           config.arbitration, seeder.next());
+  }
+
+  // One independent fault injector per hop, on seed-derived streams so the
+  // seeder / traffic draw order above is untouched whether faults are on or
+  // off (the arrival sequence for a seed never moves).
+  std::vector<FaultInjector> injectors;
+  if (config.faults.enabled()) {
+    injectors.reserve(static_cast<std::size_t>(config.hops));
+    for (std::int32_t h = 0; h < config.hops; ++h) {
+      injectors.emplace_back(
+          config.n_fibers, k, config.faults,
+          util::derive_stream_seed(
+              config.seed, std::uint64_t{0xC5A1} + static_cast<std::uint64_t>(h)));
+    }
   }
 
   // stage[h] = packets arriving at switch h this slot. Measured packets
@@ -62,6 +82,11 @@ ChainReport run_chain_simulation(const ChainConfig& config) {
       }
     }
 
+    // Hop hardware fails and recovers on its own clock, every slot —
+    // including idle ones, so the fault schedule depends only on the slot
+    // index, never on the traffic.
+    for (auto& injector : injectors) injector.tick();
+
     // Each switch schedules its batch; survivors advance one hop.
     std::vector<std::vector<Packet>> next_stage(
         static_cast<std::size_t>(config.hops));
@@ -72,18 +97,28 @@ ChainReport run_chain_simulation(const ChainConfig& config) {
       requests.reserve(batch.size());
       for (const auto& p : batch) {
         const auto out_fiber = static_cast<std::int32_t>(
-            traffic_rng.uniform_below(
+            routing_rng.uniform_below(
                 static_cast<std::uint64_t>(config.n_fibers)));
         requests.push_back(
             core::SlotRequest{p.input_fiber, p.wavelength, out_fiber, p.id, 1});
       }
+      const std::vector<core::HealthMask>* health =
+          injectors.empty() || !injectors[static_cast<std::size_t>(h)].any_fault()
+              ? nullptr
+              : &injectors[static_cast<std::size_t>(h)].health();
       const auto decisions =
-          switches[static_cast<std::size_t>(h)].schedule_slot(requests);
+          switches[static_cast<std::size_t>(h)].schedule_slot(requests, nullptr,
+                                                              health);
       for (std::size_t i = 0; i < batch.size(); ++i) {
         const bool measured = batch[i].id != 0;
         if (measured) reached_hop[static_cast<std::size_t>(h)] += 1;
         if (!decisions[i].granted) {
-          if (measured) report.dropped_at_hop[static_cast<std::size_t>(h)] += 1;
+          if (measured) {
+            report.dropped_at_hop[static_cast<std::size_t>(h)] += 1;
+            if (decisions[i].reason == core::RejectReason::kFaulted) {
+              report.dropped_faulted += 1;
+            }
+          }
           continue;
         }
         if (h + 1 == config.hops) {

@@ -19,6 +19,7 @@
 
 #include "core/conversion.hpp"
 #include "core/distributed.hpp"
+#include "sim/faults.hpp"
 #include "util/stats.hpp"
 
 namespace wdm::sim {
@@ -33,6 +34,10 @@ struct ChainConfig {
   std::uint64_t slots = 10000;
   std::uint64_t warmup = 1000;
   std::uint64_t seed = 1;
+  /// Hardware fault injection, applied independently at every hop (each
+  /// switch gets its own injector on a seed-derived stream, so enabling
+  /// faults never perturbs the traffic or scheduler streams).
+  FaultConfig faults;
 };
 
 struct ChainReport {
@@ -40,6 +45,9 @@ struct ChainReport {
   std::uint64_t delivered = 0;  ///< packets surviving all M hops
   /// Per-hop drop counts (index = hop at which the packet died).
   std::vector<std::uint64_t> dropped_at_hop;
+  /// Subset of the drops caused by faulted hardware (RejectReason::kFaulted)
+  /// rather than contention. Zero when the config enables no faults.
+  std::uint64_t dropped_faulted = 0;
   double end_to_end_loss = 0.0;
   /// Conditional per-hop loss: P(dropped at hop h | reached hop h).
   std::vector<double> hop_loss;

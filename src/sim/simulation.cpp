@@ -85,6 +85,14 @@ SimulationReport run_simulation(const SimulationConfig& config) {
   report.utilization = metrics.utilization();
   report.fiber_fairness = metrics.fiber_fairness();
   report.preemptions = preemptions;
+  report.rejected_faulted = metrics.rejected_faulted();
+  report.dropped_faulted = metrics.dropped_faulted();
+  report.retry_attempts = metrics.retry_attempts();
+  report.retry_successes = metrics.retry_successes();
+  if (const auto* injector = interconnect.fault_injector()) {
+    report.fault_failures = injector->failures_injected();
+    report.fault_repairs = injector->repairs_applied();
+  }
   report.wall_seconds = clock.elapsed_s();
   if (report_class_arrivals.size() > 1) {
     // Per-class vectors are only meaningful for multi-class traffic.

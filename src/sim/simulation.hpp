@@ -38,6 +38,13 @@ struct SimulationReport {
   double utilization = 0.0;
   double fiber_fairness = 1.0;
   std::uint64_t preemptions = 0;
+  /// Fault accounting (all zero when the config enables no faults).
+  std::uint64_t rejected_faulted = 0;   ///< dropped: destination hardware down
+  std::uint64_t dropped_faulted = 0;    ///< ongoing connections killed by faults
+  std::uint64_t retry_attempts = 0;     ///< retry-queue re-offers
+  std::uint64_t retry_successes = 0;    ///< re-offers that ended in a grant
+  std::uint64_t fault_failures = 0;     ///< component failures injected
+  std::uint64_t fault_repairs = 0;      ///< component repairs applied
   double wall_seconds = 0.0;
   /// Per-QoS-class totals (index = priority class); empty for single-class
   /// traffic.

@@ -14,6 +14,16 @@ std::uint64_t splitmix64(std::uint64_t& state) noexcept {
   return z ^ (z >> 31);
 }
 
+std::uint64_t derive_stream_seed(std::uint64_t master_seed,
+                                 std::uint64_t label) noexcept {
+  // Two splitmix64 rounds over (seed, label): the label lands in a distinct
+  // 2^64-strided region of the splitmix sequence, so distinct labels give
+  // decorrelated seeds even for adjacent master seeds.
+  std::uint64_t state = master_seed;
+  std::uint64_t mixed = splitmix64(state) ^ (0xd1342543de82ef95ULL * (label + 1));
+  return splitmix64(mixed);
+}
+
 namespace {
 constexpr std::uint64_t rotl(std::uint64_t x, int s) noexcept {
   return (x << s) | (x >> (64 - s));

@@ -16,6 +16,14 @@ namespace wdm::util {
 /// splitmix64 step: used for seeding and for deriving child streams.
 std::uint64_t splitmix64(std::uint64_t& state) noexcept;
 
+/// Seed of an independent *labeled* substream of `master_seed`. Unlike
+/// sequential `seeder.next()` draws, labeled substreams are position-free:
+/// adding or removing one consumer (e.g. enabling fault injection) cannot
+/// shift the seeds of the others, so the traffic and scheduling streams of a
+/// given master seed replay bit-for-bit with faults on or off.
+std::uint64_t derive_stream_seed(std::uint64_t master_seed,
+                                 std::uint64_t label) noexcept;
+
 /// xoshiro256** pseudo-random generator. Satisfies the essentials of
 /// UniformRandomBitGenerator so it can also feed <random> adaptors.
 class Rng {

@@ -20,6 +20,17 @@
 //    and every availability mask, for each k = 1..K. For small k this is a
 //    complete proof-by-enumeration that the O(k)/O(dk) kernels are maximum.
 //
+// Fault injection (PR 2) extends both modes: with --fault-prob > 0 a slice
+// of random instances also carries a random core::HealthMask (converter,
+// channel, and fiber faults), and --exhaustive-faults-k K enumerates every
+// per-channel health vector in {healthy, converter-faulted,
+// channel-faulted}^k (plus the fiber cut) against every request vector with
+// counts in {0, 1, 2}. In both, the production fault reduction
+// (core::apply_health + the healthy-instance kernels, pre-grants folded
+// back) must match Hopcroft–Karp on the explicit *fault-reduced* request
+// graph exactly — the degraded schedule stays a maximum matching on the
+// surviving graph.
+//
 // Exit status is the number of failing instances (0 = clean), so the binary
 // drops straight into ctest and the sanitizer CI jobs.
 #include <cstdint>
@@ -30,6 +41,7 @@
 
 #include "core/break_first_available.hpp"
 #include "core/distributed.hpp"
+#include "core/health.hpp"
 #include "core/priority.hpp"
 #include "core/request_graph.hpp"
 #include "graph/hopcroft_karp.hpp"
@@ -48,6 +60,7 @@ struct Stats {
   std::uint64_t instances = 0;
   std::uint64_t failures = 0;
   std::uint64_t distributed_slots = 0;
+  std::uint64_t health_instances = 0;
 };
 
 /// Prints one instance compactly so a failure is reproducible by hand.
@@ -153,11 +166,119 @@ bool check_instance(Stats& stats, const ConversionScheme& scheme,
   return true;
 }
 
+std::string describe_health(const core::HealthMask& health) {
+  if (health.fiber_faulted) return "health=FIBER-CUT";
+  std::string out = "health=[";
+  for (std::size_t u = 0; u < health.channels.size(); ++u) {
+    if (u > 0) out += ",";
+    switch (health.channels[u]) {
+      case core::ChannelHealth::kHealthy: out += "h"; break;
+      case core::ChannelHealth::kConverterFaulted: out += "C"; break;
+      case core::ChannelHealth::kChannelFaulted: out += "X"; break;
+    }
+  }
+  return out + "]";
+}
+
+core::HealthMask random_health(util::Rng& rng, std::int32_t k) {
+  core::HealthMask health = core::HealthMask::healthy(k);
+  health.fiber_faulted = rng.bernoulli(0.1);
+  for (auto& ch : health.channels) {
+    const double u = rng.uniform01();
+    ch = u < 0.15   ? core::ChannelHealth::kConverterFaulted
+         : u < 0.30 ? core::ChannelHealth::kChannelFaulted
+                    : core::ChannelHealth::kHealthy;
+  }
+  return health;
+}
+
+/// Degraded-mode differential check: the production fault reduction
+/// (core::apply_health + the healthy-instance kernels, pre-grants folded
+/// back) vs Hopcroft–Karp on the explicit fault-reduced request graph.
+bool check_instance_health(Stats& stats, const ConversionScheme& scheme,
+                           const RequestVector& rv,
+                           const std::vector<std::uint8_t>& mask,
+                           const core::HealthMask& health,
+                           util::ThreadPool* pool) {
+  stats.instances += 1;
+  stats.health_instances += 1;
+  const auto report = [&](const std::string& what) {
+    return fail(stats, what + " @ " + describe_health(health), scheme, rv, mask);
+  };
+
+  // Ground truth: HK maximum on the explicit fault-reduced request graph.
+  const core::RequestGraph g(scheme, rv, mask, health);
+  const auto maximum =
+      static_cast<std::int32_t>(graph::hopcroft_karp(g.to_bipartite()).size());
+
+  if (health.fiber_faulted) {
+    // A cut fiber has no surviving edges; the production path rejects with
+    // kFaulted before any kernel runs, so only the graph is checked here.
+    return maximum == 0 ? true : report("cut fiber has nonzero maximum");
+  }
+
+  const auto red = core::apply_health(rv, mask, health);
+  const auto kernel = core::assign_maximum(red.requests, scheme, red.availability);
+  if (!assignment_valid(kernel, red.requests, scheme, red.availability)) {
+    return report("reduced kernel produced an infeasible assignment");
+  }
+  for (core::Channel u = 0; u < scheme.k(); ++u) {
+    const bool pre = red.pre_granted[static_cast<std::size_t>(u)] != 0;
+    if (pre && kernel.source[static_cast<std::size_t>(u)] != core::kNone) {
+      return report("kernel re-granted a pre-granted channel");
+    }
+    if (pre) {
+      // A pre-grant is only legal on a free converter-faulted channel with a
+      // same-wavelength request, and consumes exactly one of them.
+      if (health.channel(u) != core::ChannelHealth::kConverterFaulted ||
+          (!mask.empty() && mask[static_cast<std::size_t>(u)] == 0) ||
+          rv.count(u) != red.requests.count(u) + 1) {
+        return report("illegal pre-grant on channel " + std::to_string(u));
+      }
+    }
+  }
+  if (kernel.granted + red.pre_grant_count != maximum) {
+    return report("reduction total " +
+                  std::to_string(kernel.granted + red.pre_grant_count) +
+                  " != fault-reduced maximum " + std::to_string(maximum));
+  }
+
+  if (scheme.kind() == ConversionKind::kCircular && !scheme.is_full_range()) {
+    const auto reduced_max = maximum - red.pre_grant_count;
+    if (pool != nullptr) {
+      const auto pooled =
+          core::break_first_available(red.requests, scheme, red.availability, pool);
+      if (pooled.granted != reduced_max || pooled.source != kernel.source) {
+        return report("pooled BFA diverged on the reduced instance");
+      }
+    }
+    const auto approx =
+        core::approx_break_first_available(red.requests, scheme, red.availability);
+    if (approx.break_channel != core::kNone) {
+      if (!assignment_valid(approx.assignment, red.requests, scheme,
+                            red.availability)) {
+        return report("approx BFA infeasible on the reduced instance");
+      }
+      if (reduced_max - approx.assignment.granted > approx.gap_bound) {
+        return report("approx BFA gap exceeds bound on the reduced instance");
+      }
+    } else if (reduced_max != 0) {
+      return report("approx BFA found nothing but reduced maximum > 0");
+    }
+  }
+  return true;
+}
+
 /// End-to-end slot through DistributedScheduler with malformed requests
 /// injected: the decision invariants of scheduler.hpp must hold, and the
 /// per-fiber grant counts must still be maximum for the well-formed subset.
+/// With probability `fault_prob` the slot also carries random per-fiber
+/// health masks; requests to a cut fiber must come back kFaulted (which
+/// outranks field validation — nothing on a dead fiber is inspected), and
+/// surviving fibers must still be maximum on their fault-reduced graphs.
 bool check_distributed(Stats& stats, util::Rng& rng,
-                       const ConversionScheme& scheme, util::ThreadPool* pool) {
+                       const ConversionScheme& scheme, double fault_prob,
+                       util::ThreadPool* pool) {
   stats.distributed_slots += 1;
   const auto k = scheme.k();
   const auto n_fibers = static_cast<std::int32_t>(1 + rng.uniform_below(4));
@@ -202,9 +323,23 @@ bool check_distributed(Stats& stats, util::Rng& rng,
     }
   }
 
+  // Optional per-fiber hardware health.
+  std::vector<core::HealthMask> health;
+  const bool with_health = fault_prob > 0.0 && rng.bernoulli(fault_prob);
+  if (with_health) {
+    health.reserve(static_cast<std::size_t>(n_fibers));
+    for (std::int32_t fib = 0; fib < n_fibers; ++fib) {
+      health.push_back(random_health(rng, k));
+    }
+  }
+  const auto fiber_cut = [&](std::int32_t fiber) {
+    return with_health && fiber >= 0 && fiber < n_fibers &&
+           health[static_cast<std::size_t>(fiber)].fiber_faulted;
+  };
+
   const auto decisions = sched.schedule_slot(
       requests, with_masks ? &availability : nullptr,
-      rng.bernoulli(0.5) ? pool : nullptr);
+      with_health ? &health : nullptr, rng.bernoulli(0.5) ? pool : nullptr);
   const auto report = [&](const std::string& what) {
     stats.failures += 1;
     std::cerr << "FAIL: distributed: " << what << " (kind="
@@ -223,16 +358,30 @@ bool check_distributed(Stats& stats, util::Rng& rng,
     if (d.granted != (d.reason == core::RejectReason::kGranted)) {
       return report("granted flag disagrees with reason");
     }
+    // Rejection-reason precedence: an out-of-range output fiber has no
+    // health to consult; anything else destined to a cut fiber is kFaulted
+    // before its fields are inspected.
     if (i >= n_valid) {  // the injected malformed tail
-      if (d.granted || !core::is_malformed(d.reason)) {
+      const bool bad_out_fiber = requests[i].output_fiber < 0 ||
+                                 requests[i].output_fiber >= n_fibers;
+      if (!bad_out_fiber && fiber_cut(requests[i].output_fiber)) {
+        if (d.reason != core::RejectReason::kFaulted) {
+          return report("malformed request to a cut fiber not kFaulted");
+        }
+      } else if (d.granted || !core::is_malformed(d.reason)) {
         return report("malformed request not rejected as malformed");
+      }
+    } else if (fiber_cut(requests[i].output_fiber)) {
+      if (d.reason != core::RejectReason::kFaulted) {
+        return report("request to a cut fiber not rejected kFaulted");
       }
     } else if (core::is_malformed(d.reason)) {
       return report("well-formed request rejected as malformed");
     }
   }
   // Per-fiber grants must equal the maximum matching of the well-formed
-  // subset under that fiber's mask — malformed riders change nothing.
+  // subset on that fiber's (mask, health)-reduced request graph — malformed
+  // riders change nothing, and a cut fiber grants nothing.
   for (std::int32_t fib = 0; fib < n_fibers; ++fib) {
     RequestVector rv(k);
     std::int32_t granted = 0;
@@ -241,10 +390,19 @@ bool check_distributed(Stats& stats, util::Rng& rng,
       rv.add(requests[i].wavelength);
       granted += decisions[i].granted ? 1 : 0;
     }
+    if (fiber_cut(fib)) {
+      if (granted != 0) {
+        return report("fiber " + std::to_string(fib) + " is cut but granted " +
+                      std::to_string(granted));
+      }
+      continue;
+    }
     std::vector<std::uint8_t> mask =
         with_masks ? availability[static_cast<std::size_t>(fib)]
                    : std::vector<std::uint8_t>{};
-    const core::RequestGraph g(scheme, rv, mask);
+    const core::HealthMask fiber_health =
+        with_health ? health[static_cast<std::size_t>(fib)] : core::HealthMask{};
+    const core::RequestGraph g(scheme, rv, mask, fiber_health);
     const auto maximum =
         static_cast<std::int32_t>(graph::hopcroft_karp(g.to_bipartite()).size());
     if (granted != maximum) {
@@ -269,7 +427,7 @@ ConversionScheme random_scheme(util::Rng& rng, std::int32_t max_k) {
 }
 
 void run_random(Stats& stats, std::uint64_t cases, std::uint64_t seed,
-                std::int32_t max_k, util::ThreadPool& pool) {
+                std::int32_t max_k, double fault_prob, util::ThreadPool& pool) {
   util::Rng rng(seed);
   for (std::uint64_t c = 0; c < cases; ++c) {
     const auto scheme = random_scheme(rng, max_k);
@@ -289,7 +447,12 @@ void run_random(Stats& stats, std::uint64_t cases, std::uint64_t seed,
       for (auto& bit : mask) bit = rng.bernoulli(p_free) ? 1 : 0;
     }
     check_instance(stats, scheme, rv, mask, &pool);
-    if (c % 8 == 0) check_distributed(stats, rng, scheme, &pool);
+    if (fault_prob > 0.0 && rng.bernoulli(fault_prob)) {
+      // Same instance, degraded hardware: the reduction must stay maximum.
+      check_instance_health(stats, scheme, rv, mask, random_health(rng, k),
+                            &pool);
+    }
+    if (c % 8 == 0) check_distributed(stats, rng, scheme, fault_prob, &pool);
   }
 }
 
@@ -336,6 +499,58 @@ void run_exhaustive(Stats& stats, std::int32_t max_k) {
   }
 }
 
+/// Proof-by-enumeration for the fault reduction: every scheme shape, every
+/// request vector with counts in {0, 1, 2}, the fiber cut, and every
+/// per-channel health vector in {healthy, converter-faulted,
+/// channel-faulted}^k, all channels free (channel faults subsume the
+/// availability-mask sweep of run_exhaustive: both delete channels).
+void run_exhaustive_faults(Stats& stats, std::int32_t max_k) {
+  for (std::int32_t k = 1; k <= max_k; ++k) {
+    for (const auto kind : {ConversionKind::kCircular, ConversionKind::kNonCircular}) {
+      for (std::int32_t e = 0; e < k; ++e) {
+        for (std::int32_t f = 0; e + f + 1 <= k; ++f) {
+          const auto scheme = kind == ConversionKind::kCircular
+                                  ? ConversionScheme::circular(k, e, f)
+                                  : ConversionScheme::non_circular(k, e, f);
+          std::vector<std::int32_t> counts(static_cast<std::size_t>(k), 0);
+          for (;;) {
+            RequestVector rv(k);
+            for (core::Wavelength w = 0; w < k; ++w) {
+              rv.add(w, counts[static_cast<std::size_t>(w)]);
+            }
+            core::HealthMask cut;
+            cut.fiber_faulted = true;
+            check_instance_health(stats, scheme, rv, {}, cut, nullptr);
+            // Odometer over {healthy, converter, channel}^k.
+            core::HealthMask health = core::HealthMask::healthy(k);
+            std::vector<std::int32_t> states(static_cast<std::size_t>(k), 0);
+            for (;;) {
+              for (std::int32_t u = 0; u < k; ++u) {
+                health.channels[static_cast<std::size_t>(u)] =
+                    static_cast<core::ChannelHealth>(
+                        states[static_cast<std::size_t>(u)]);
+              }
+              check_instance_health(stats, scheme, rv, {}, health, nullptr);
+              std::size_t pos = 0;
+              while (pos < states.size() && states[pos] == 2) states[pos++] = 0;
+              if (pos == states.size()) break;
+              states[pos] += 1;
+            }
+            std::size_t pos = 0;
+            while (pos < counts.size() && counts[pos] == 2) counts[pos++] = 0;
+            if (pos == counts.size()) break;
+            counts[pos] += 1;
+          }
+        }
+      }
+    }
+    std::fprintf(stderr,
+                 "exhaustive-faults: k=%d done, %llu health instances, %llu failures\n",
+                 k, static_cast<unsigned long long>(stats.health_instances),
+                 static_cast<unsigned long long>(stats.failures));
+  }
+}
+
 }  // namespace
 }  // namespace wdm::oracle
 
@@ -348,6 +563,13 @@ int main(int argc, char** argv) {
   cli.add_option("exhaustive-k", "0",
                  "enumerate every instance with counts in {0,1,2} and every "
                  "mask up to this k (0 = skip)");
+  cli.add_option("fault-prob", "0.35",
+                 "probability a random instance / distributed slot also runs "
+                 "with a random health mask (0 = faults off)");
+  cli.add_option("exhaustive-faults-k", "0",
+                 "enumerate every per-channel health state in {healthy, "
+                 "converter-faulted, channel-faulted} plus the fiber cut, for "
+                 "counts in {0,1,2}, up to this k (0 = skip)");
   cli.add_option("threads", "3", "thread pool size for pooled-BFA checks");
   if (!cli.parse(argc, argv)) return 2;
 
@@ -359,16 +581,24 @@ int main(int argc, char** argv) {
     wdm::oracle::run_random(stats, cases,
                             static_cast<std::uint64_t>(cli.get_int("seed")),
                             static_cast<std::int32_t>(cli.get_int("max-k")),
-                            pool);
+                            cli.get_double("fault-prob"), pool);
   }
   const auto exhaustive_k = static_cast<std::int32_t>(cli.get_int("exhaustive-k"));
   if (exhaustive_k > 0) {
     wdm::oracle::run_exhaustive(stats, exhaustive_k);
   }
+  const auto exhaustive_faults_k =
+      static_cast<std::int32_t>(cli.get_int("exhaustive-faults-k"));
+  if (exhaustive_faults_k > 0) {
+    wdm::oracle::run_exhaustive_faults(stats, exhaustive_faults_k);
+  }
 
-  std::printf("oracle_fuzz: %llu instances (%llu distributed slots), %llu failures\n",
-              static_cast<unsigned long long>(stats.instances),
-              static_cast<unsigned long long>(stats.distributed_slots),
-              static_cast<unsigned long long>(stats.failures));
+  std::printf(
+      "oracle_fuzz: %llu instances (%llu distributed slots, %llu with faults), "
+      "%llu failures\n",
+      static_cast<unsigned long long>(stats.instances),
+      static_cast<unsigned long long>(stats.distributed_slots),
+      static_cast<unsigned long long>(stats.health_instances),
+      static_cast<unsigned long long>(stats.failures));
   return stats.failures == 0 ? 0 : 1;
 }

@@ -83,7 +83,7 @@ TEST(Distributed, ParallelEqualsSerialInSize) {
   for (int trial = 0; trial < 10; ++trial) {
     const auto requests = random_slot(rng, 6, 8, 0.6);
     const auto a = serial.schedule_slot(requests);
-    const auto b = parallel.schedule_slot(requests, nullptr, &pool);
+    const auto b = parallel.schedule_slot(requests, nullptr, nullptr, &pool);
     ASSERT_EQ(a.size(), b.size());
     // FIFO arbitration + deterministic kernels: identical decisions.
     for (std::size_t i = 0; i < a.size(); ++i) {
