@@ -11,6 +11,7 @@
 // stays marginal (Theorem 3).
 #include <iostream>
 
+#include "bench_io.hpp"
 #include "core/break_first_available.hpp"
 #include "core/pim.hpp"
 #include "core/scheduler.hpp"
@@ -94,5 +95,11 @@ int main() {
   pim_table.print(std::cout);
   std::cout << "\nShape: PIM approaches but does not reach the exact maximum; "
                "each extra round shrinks the gap.\n";
+  bench::Json root = bench::Json::object();
+  root.set("bench", "ablation")
+      .set("rows", bench::table_json(table))
+      .set("pim_rows", bench::table_json(pim_table));
+  bench::write_bench_json("ablation", root);
+
   return 0;
 }

@@ -6,6 +6,7 @@
 // random traffic; approximate runtime ≈ exact / d.
 #include <iostream>
 
+#include "bench_io.hpp"
 #include "core/break_first_available.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -70,5 +71,9 @@ int main() {
   }
   table.print(std::cout);
   std::cout << "\nTheorem 3 held on every instance (gap <= bound).\n";
+  bench::Json root = bench::Json::object();
+  root.set("bench", "approx").set("rows", bench::table_json(table));
+  bench::write_bench_json("approx", root);
+
   return 0;
 }

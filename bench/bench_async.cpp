@@ -15,6 +15,7 @@
 // blindly).
 #include <iostream>
 
+#include "bench_io.hpp"
 #include "sim/async.hpp"
 #include "sim/simulation.hpp"
 #include "util/table.hpp"
@@ -68,5 +69,9 @@ int main() {
   std::cout << "\nShape: both columns fall steeply with d; slotted scheduling "
                "<= async FCFS at equal load; async matches Erlang-B at the "
                "d = 1 and d = k corners.\n";
+  bench::Json root = bench::Json::object();
+  root.set("bench", "async").set("rows", bench::table_json(table));
+  bench::write_bench_json("async", root);
+
   return 0;
 }

@@ -9,6 +9,7 @@
 // zero (continuing connections are provably re-placeable).
 #include <iostream>
 
+#include "bench_io.hpp"
 #include "sim/simulation.hpp"
 #include "util/table.hpp"
 
@@ -55,5 +56,9 @@ int main() {
                "the two policies are statistically indistinguishable under "
                "uniform traffic (rearrangement never pays a preemption "
                "penalty: preempted = 0 everywhere).\n";
+  bench::Json root = bench::Json::object();
+  root.set("bench", "burst").set("rows", bench::table_json(table));
+  bench::write_bench_json("burst", root);
+
   return 0;
 }

@@ -10,6 +10,7 @@
 // column degrades far faster than d = 3, which tracks full range.
 #include <iostream>
 
+#include "bench_io.hpp"
 #include "sim/network.hpp"
 #include "util/table.hpp"
 
@@ -46,5 +47,9 @@ int main() {
   table.print(std::cout);
   std::cout << "\nShape: every column grows with hops; d=1 degrades much "
                "faster than d=3, which tracks full conversion.\n";
+  bench::Json root = bench::Json::object();
+  root.set("bench", "chain").set("rows", bench::table_json(table));
+  bench::write_bench_json("chain", root);
+
   return 0;
 }

@@ -12,6 +12,7 @@
 // gap grows with load and degree.
 #include <iostream>
 
+#include "bench_io.hpp"
 #include "core/break_first_available.hpp"
 #include "core/min_conversion.hpp"
 #include "util/rng.hpp"
@@ -62,5 +63,9 @@ int main() {
   table.print(std::cout);
   std::cout << "\nShape: same granted column for both schedulers (both are "
                "maximum); BFA engages more converters than the optimum.\n";
+  bench::Json root = bench::Json::object();
+  root.set("bench", "conversions").set("rows", bench::table_json(table));
+  bench::write_bench_json("conversions", root);
+
   return 0;
 }

@@ -12,6 +12,7 @@
 // round-robin and random split evenly (Jain ≈ 1).
 #include <iostream>
 
+#include "bench_io.hpp"
 #include "core/scheduler.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -63,5 +64,9 @@ int main() {
   table.print(std::cout);
   std::cout << "\nShape: fifo starves input 3 (share 0); round-robin and "
                "random both settle at 3/4 grant share each, Jain ~= 1.\n";
+  bench::Json root = bench::Json::object();
+  root.set("bench", "fairness").set("rows", bench::table_json(table));
+  bench::write_bench_json("fairness", root);
+
   return 0;
 }

@@ -10,6 +10,7 @@
 #include <iostream>
 #include <vector>
 
+#include "bench_io.hpp"
 #include "core/distributed.hpp"
 #include "core/health.hpp"
 #include "util/rng.hpp"
@@ -106,24 +107,20 @@ int main() {
   add("degraded + 1 fiber cut", cut);
   table.print(std::cout);
 
-  std::FILE* json = std::fopen("BENCH_faults.json", "w");
-  if (json != nullptr) {
-    std::fprintf(json,
-                 "{\n"
-                 "  \"n_fibers\": %d,\n"
-                 "  \"k\": %d,\n"
-                 "  \"slots\": %zu,\n"
-                 "  \"baseline_slots_per_s\": %.1f,\n"
-                 "  \"all_healthy_slots_per_s\": %.1f,\n"
-                 "  \"degraded_slots_per_s\": %.1f,\n"
-                 "  \"fiber_cut_slots_per_s\": %.1f,\n"
-                 "  \"all_healthy_overhead\": %.4f,\n"
-                 "  \"degraded_overhead\": %.4f\n"
-                 "}\n",
-                 n, k, n_slots, base, healthy, faulted, cut, base / healthy,
-                 base / faulted);
-    std::fclose(json);
-    std::cout << "\nwrote BENCH_faults.json\n";
-  }
+  // Same keys the std::fprintf emission used since PR 2, now through the
+  // shared writer so scripts/bench_report.py sees one layout everywhere.
+  bench::Json root = bench::Json::object();
+  root.set("bench", "faults")
+      .set("n_fibers", n)
+      .set("k", k)
+      .set("slots", static_cast<std::uint64_t>(n_slots))
+      .set("baseline_slots_per_s", base)
+      .set("all_healthy_slots_per_s", healthy)
+      .set("degraded_slots_per_s", faulted)
+      .set("fiber_cut_slots_per_s", cut)
+      .set("all_healthy_overhead", base / healthy)
+      .set("degraded_overhead", base / faulted)
+      .set("rows", bench::table_json(table));
+  bench::write_bench_json("faults", root);
   return 0;
 }

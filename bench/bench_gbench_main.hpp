@@ -1,0 +1,42 @@
+// main() for the google-benchmark binaries: identical to benchmark_main,
+// except that when the caller did not ask for a report file it injects
+// --benchmark_out=BENCH_<name>.json so every bench target leaves the same
+// diffable artifact the table-based ones write through bench_io.hpp
+// (scripts/bench_report.py understands both layouts).
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace wdm::bench {
+
+inline int run_gbench_main(const std::string& name, int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_out", 0) == 0) has_out = true;
+  }
+  std::string out_flag = "--benchmark_out=BENCH_" + name + ".json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!has_out) std::cout << "\nwrote BENCH_" << name << ".json\n";
+  return 0;
+}
+
+}  // namespace wdm::bench
+
+#define WDM_BENCHMARK_MAIN(name)                            \
+  int main(int argc, char** argv) {                         \
+    return ::wdm::bench::run_gbench_main(name, argc, argv); \
+  }

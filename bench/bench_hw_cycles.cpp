@@ -10,6 +10,7 @@
 // the parallel datapath ~ d x the encoder block.
 #include <iostream>
 
+#include "bench_io.hpp"
 #include "hw/cost_model.hpp"
 #include "hw/hw_scheduler.hpp"
 #include "util/rng.hpp"
@@ -38,6 +39,9 @@ int main() {
 
   std::cout << "E7: register-level cycle counts (means over 200 slots)\n\n";
 
+  bench::Json root = bench::Json::object();
+  root.set("bench", "hw_cycles");
+
   // Part 1: FA cycles vs k at several N — flat in N, linear in k.
   {
     util::Table table({"algo", "k", "N", "d", "cycles_serial",
@@ -62,6 +66,7 @@ int main() {
       }
     }
     table.print(std::cout);
+    root.set("fa_rows", bench::table_json(table));
   }
 
   // Part 2: BFA cycles vs d at fixed k — serial ~ d(k-1), parallel ~ k.
@@ -91,6 +96,7 @@ int main() {
                      util::cell(steps / slots), util::cell(cands / slots)});
     }
     table.print(std::cout);
+    root.set("bfa_rows", bench::table_json(table));
   }
 
   // Part 3: area model — the Section IV.B serial/parallel trade-off.
@@ -112,8 +118,10 @@ int main() {
       }
     }
     table.print(std::cout);
+    root.set("area_rows", bench::table_json(table));
   }
 
+  bench::write_bench_json("hw_cycles", root);
   std::cout << "\nShape: FA cycles track k (flat in N); BFA serial steps = "
                "d*(k-1); parallel critical path ~ k + log2 d.\n";
   return 0;

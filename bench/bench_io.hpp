@@ -1,0 +1,202 @@
+// Shared JSON emission for the bench harness.
+//
+// Every bench_* binary records its headline numbers as BENCH_<name>.json in
+// the working directory so perf runs become diffable artifacts:
+//
+//   Json root = Json::object();
+//   root.set("n_fibers", n).set("slots_per_s", rate);
+//   root.set("rows", table_json(table));
+//   write_bench_json("faults", root);          // -> BENCH_faults.json
+//
+// Two runs are compared with scripts/bench_report.py. The writer is a tiny
+// ordered value tree — no serialisation library, matching the rest of the
+// harness (util::Table for humans, this for machines).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/table.hpp"
+
+namespace wdm::bench {
+
+/// Ordered JSON value: object, array, number, string, or bool. Insertion
+/// order is preserved so diffs stay stable across runs.
+class Json {
+ public:
+  static Json object() { return Json(Kind::kObject); }
+  static Json array() { return Json(Kind::kArray); }
+  Json() : Json(Kind::kObject) {}
+  Json(double v) : kind_(Kind::kNumber), number_(v) {}  // NOLINT(google-explicit-constructor)
+  Json(bool v) : kind_(Kind::kBool), bool_(v) {}        // NOLINT(google-explicit-constructor)
+  Json(const char* v) : kind_(Kind::kString), string_(v) {}  // NOLINT(google-explicit-constructor)
+  Json(std::string v) : kind_(Kind::kString), string_(std::move(v)) {}  // NOLINT(google-explicit-constructor)
+  template <typename T>
+    requires std::is_integral_v<T>
+  Json(T v)  // NOLINT(google-explicit-constructor)
+      : kind_(Kind::kNumber),
+        number_(static_cast<double>(v)),
+        integral_(true) {}
+
+  /// Object member (insertion-ordered; duplicate keys overwrite).
+  Json& set(const std::string& key, Json value) {
+    for (auto& [k, v] : members_) {
+      if (k == key) {
+        v = std::move(value);
+        return *this;
+      }
+    }
+    members_.emplace_back(key, std::move(value));
+    return *this;
+  }
+
+  /// Array element.
+  Json& push(Json value) {
+    elements_.push_back(std::move(value));
+    return *this;
+  }
+
+  std::string dump(int indent = 2) const {
+    std::string out;
+    dump_to(out, indent, 0);
+    out.push_back('\n');
+    return out;
+  }
+
+ private:
+  enum class Kind : std::uint8_t { kObject, kArray, kNumber, kString, kBool };
+
+  explicit Json(Kind kind) : kind_(kind) {}
+
+  static void escape_to(std::string& out, const std::string& s) {
+    out.push_back('"');
+    for (const char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            out += buf;
+          } else {
+            out.push_back(c);
+          }
+      }
+    }
+    out.push_back('"');
+  }
+
+  void dump_to(std::string& out, int indent, int depth) const {
+    const std::string pad(static_cast<std::size_t>(indent) *
+                              static_cast<std::size_t>(depth + 1),
+                          ' ');
+    const std::string close_pad(
+        static_cast<std::size_t>(indent) * static_cast<std::size_t>(depth),
+        ' ');
+    switch (kind_) {
+      case Kind::kObject: {
+        if (members_.empty()) {
+          out += "{}";
+          return;
+        }
+        out += "{\n";
+        for (std::size_t i = 0; i < members_.size(); ++i) {
+          out += pad;
+          escape_to(out, members_[i].first);
+          out += ": ";
+          members_[i].second.dump_to(out, indent, depth + 1);
+          if (i + 1 < members_.size()) out.push_back(',');
+          out.push_back('\n');
+        }
+        out += close_pad + "}";
+        return;
+      }
+      case Kind::kArray: {
+        if (elements_.empty()) {
+          out += "[]";
+          return;
+        }
+        out += "[\n";
+        for (std::size_t i = 0; i < elements_.size(); ++i) {
+          out += pad;
+          elements_[i].dump_to(out, indent, depth + 1);
+          if (i + 1 < elements_.size()) out.push_back(',');
+          out.push_back('\n');
+        }
+        out += close_pad + "]";
+        return;
+      }
+      case Kind::kNumber: {
+        char buf[40];
+        if (integral_) {
+          std::snprintf(buf, sizeof buf, "%.0f", number_);
+        } else {
+          std::snprintf(buf, sizeof buf, "%.10g", number_);
+        }
+        out += buf;
+        return;
+      }
+      case Kind::kString:
+        escape_to(out, string_);
+        return;
+      case Kind::kBool:
+        out += bool_ ? "true" : "false";
+        return;
+    }
+  }
+
+  Kind kind_;
+  double number_ = 0.0;
+  bool integral_ = false;
+  bool bool_ = false;
+  std::string string_;
+  std::vector<std::pair<std::string, Json>> members_;
+  std::vector<Json> elements_;
+};
+
+/// Serialises a util::Table as an array of row objects keyed by the column
+/// headers; cells that parse fully as numbers are emitted as numbers.
+inline Json table_json(const util::Table& table) {
+  Json rows = Json::array();
+  for (std::size_t r = 0; r < table.rows(); ++r) {
+    Json row = Json::object();
+    for (std::size_t c = 0; c < table.columns(); ++c) {
+      const std::string& cell = table.at(r, c);
+      char* end = nullptr;
+      const double v = std::strtod(cell.c_str(), &end);
+      if (!cell.empty() && end == cell.c_str() + cell.size()) {
+        row.set(table.header(c), Json(v));
+      } else {
+        row.set(table.header(c), Json(cell));
+      }
+    }
+    rows.push(std::move(row));
+  }
+  return rows;
+}
+
+/// Writes BENCH_<name>.json in the working directory (the convention every
+/// bench binary follows) and logs the path. Failure to write is reported but
+/// never fatal: the console table already happened.
+inline void write_bench_json(const std::string& name, const Json& root) {
+  const std::string path = "BENCH_" + name + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::cerr << "could not write " << path << "\n";
+    return;
+  }
+  const std::string text = root.dump();
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  std::cout << "\nwrote " << path << "\n";
+}
+
+}  // namespace wdm::bench

@@ -14,6 +14,7 @@
 //     (no disadvantaged end wavelengths).
 #include <iostream>
 
+#include "bench_io.hpp"
 #include "sim/simulation.hpp"
 #include "util/table.hpp"
 
@@ -93,5 +94,11 @@ int main() {
   std::cout << "\nSeries shape checks: loss(d=1) > loss(d=3) >= loss(full); "
                "loss monotone in load; loss falls with k at d >= 3 "
                "(statistical multiplexing).\n";
+  bench::Json root = bench::Json::object();
+  root.set("bench", "loss_vs_load")
+      .set("rows", bench::table_json(table))
+      .set("k_rows", bench::table_json(ktable));
+  bench::write_bench_json("loss_vs_load", root);
+
   return 0;
 }

@@ -10,6 +10,8 @@
 // widening gap to HopcroftKarp/Glover as k grows.
 #include <benchmark/benchmark.h>
 
+#include "bench_gbench_main.hpp"
+
 #include "core/break_first_available.hpp"
 #include "core/first_available.hpp"
 #include "core/scheduler.hpp"
@@ -105,3 +107,5 @@ void BM_HopcroftKarpBaseline(benchmark::State& state) {
 BENCHMARK(BM_HopcroftKarpBaseline)->RangeMultiplier(2)->Range(8, 256)->Complexity(benchmark::oNSquared);
 
 }  // namespace
+
+WDM_BENCHMARK_MAIN("matchers")

@@ -12,6 +12,7 @@
 #include <iostream>
 #include <thread>
 
+#include "bench_io.hpp"
 #include "sim/interconnect.hpp"
 #include "sim/traffic.hpp"
 #include "util/table.hpp"
@@ -65,5 +66,9 @@ int main() {
   table.print(std::cout);
   std::cout << "\n'granted' identical across rows: the schedule is "
                "deterministic whatever the worker count.\n";
+  bench::Json root = bench::Json::object();
+  root.set("bench", "parallel").set("rows", bench::table_json(table));
+  bench::write_bench_json("parallel", root);
+
   return 0;
 }

@@ -8,6 +8,7 @@
 // pooled maximum only marginally (the price of strict priority).
 #include <iostream>
 
+#include "bench_io.hpp"
 #include "core/priority.hpp"
 #include "sim/simulation.hpp"
 #include "util/rng.hpp"
@@ -116,5 +117,11 @@ int main() {
   }
   sim_table.print(std::cout);
   std::cout << "\nShape: loss_high << loss_low at every load.\n";
+  bench::Json root = bench::Json::object();
+  root.set("bench", "priority")
+      .set("rows", bench::table_json(table))
+      .set("sim_rows", bench::table_json(sim_table));
+  bench::write_bench_json("priority", root);
+
   return 0;
 }

@@ -9,6 +9,8 @@
 // grows superlinearly.
 #include <benchmark/benchmark.h>
 
+#include "bench_gbench_main.hpp"
+
 #include "core/break_first_available.hpp"
 #include "core/first_available.hpp"
 #include "core/scheduler.hpp"
@@ -64,3 +66,5 @@ void BM_HopcroftKarp_vs_N(benchmark::State& state) {
 BENCHMARK(BM_HopcroftKarp_vs_N)->RangeMultiplier(4)->Range(4, 1024);
 
 }  // namespace
+
+WDM_BENCHMARK_MAIN("scale_n")

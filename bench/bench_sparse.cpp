@@ -10,6 +10,7 @@
 // the unconstrained maximum within a few converters, well before C = k.
 #include <iostream>
 
+#include "bench_io.hpp"
 #include "core/sparse_converters.hpp"
 #include "sim/simulation.hpp"
 #include "util/rng.hpp"
@@ -94,5 +95,11 @@ int main() {
 
   std::cout << "\nShape: grants saturate within a handful of converters — "
                "full per-channel conversion hardware is overkill.\n";
+  bench::Json root = bench::Json::object();
+  root.set("bench", "sparse")
+      .set("rows", bench::table_json(table))
+      .set("sim_rows", bench::table_json(sim_table));
+  bench::write_bench_json("sparse", root);
+
   return 0;
 }

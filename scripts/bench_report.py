@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Diff two sets of BENCH_*.json artifacts.
+
+Usage:
+    scripts/bench_report.py BASELINE_DIR CURRENT_DIR [--threshold PCT]
+
+Each directory holds the BENCH_<name>.json files a bench run leaves behind
+(bench/baselines/ keeps the checked-in reference; a fresh run writes its
+files into the working directory). The report pairs files by name, walks
+every numeric leaf that looks like a rate or cost, and prints the relative
+change. Exit status is 1 when any throughput-like metric regresses by more
+than --threshold percent (default 15, generous because the CI box is a
+noisy single core), so the script can gate CI.
+
+Understands both artifact layouts:
+  * the bench_io.hpp tree (objects/arrays of numbers, "rows" tables), and
+  * google-benchmark --benchmark_out files ("benchmarks": [{name, cpu_time}]).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+# Metric-name fragments where bigger is better; everything else numeric is
+# reported but never gates (loss probabilities, gate counts, byte tallies
+# move for legitimate reasons).
+HIGHER_IS_BETTER = ("slots_per_s", "slots/s", "slots_per_sec", "throughput")
+LOWER_IS_BETTER = ("cpu_time", "real_time", "allocs_per_slot", "bytes_per_slot")
+
+
+def flatten(node, prefix=""):
+    """Yield (path, number) for every numeric leaf of a JSON tree."""
+    if isinstance(node, dict):
+        # google-benchmark entries are keyed by their "name" field.
+        name = node.get("name")
+        for key, value in node.items():
+            if key == "name":
+                continue
+            label = f"{prefix}{name}.{key}" if name else f"{prefix}{key}"
+            yield from flatten(value, label)
+    elif isinstance(node, list):
+        for i, value in enumerate(node):
+            label = prefix if isinstance(value, dict) and "name" in value else f"{prefix}[{i}]"
+            yield from flatten(value, f"{label}." if label else "")
+    elif isinstance(node, bool):
+        return
+    elif isinstance(node, (int, float)):
+        yield prefix.rstrip("."), float(node)
+
+
+def classify(path):
+    lowered = path.lower()
+    if any(frag in lowered for frag in HIGHER_IS_BETTER):
+        return "higher"
+    if any(frag in lowered for frag in LOWER_IS_BETTER):
+        return "lower"
+    return "neutral"
+
+
+def compare_file(name, base, curr, threshold):
+    base_map = dict(flatten(base))
+    curr_map = dict(flatten(curr))
+    regressions = []
+    lines = []
+    for path, old in sorted(base_map.items()):
+        new = curr_map.get(path)
+        if new is None or old == 0:
+            continue
+        direction = classify(path)
+        if direction == "neutral":
+            continue
+        change = 100.0 * (new - old) / old
+        marker = ""
+        regressed = (direction == "higher" and change < -threshold) or (
+            direction == "lower" and change > threshold
+        )
+        if regressed:
+            marker = "  <-- REGRESSION"
+            regressions.append(path)
+        lines.append(f"  {path}: {old:.4g} -> {new:.4g} ({change:+.1f}%){marker}")
+    if lines:
+        print(f"{name}:")
+        print("\n".join(lines))
+    return regressions
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", type=Path)
+    parser.add_argument("current", type=Path)
+    parser.add_argument("--threshold", type=float, default=15.0,
+                        help="regression gate in percent (default 15)")
+    args = parser.parse_args()
+
+    base_files = {p.name: p for p in sorted(args.baseline.glob("BENCH_*.json"))}
+    curr_files = {p.name: p for p in sorted(args.current.glob("BENCH_*.json"))}
+    common = sorted(set(base_files) & set(curr_files))
+    if not common:
+        print("no BENCH_*.json pairs found in common", file=sys.stderr)
+        return 2
+
+    all_regressions = []
+    for name in common:
+        base = json.loads(base_files[name].read_text())
+        curr = json.loads(curr_files[name].read_text())
+        all_regressions += compare_file(name, base, curr, args.threshold)
+
+    only_base = sorted(set(base_files) - set(curr_files))
+    only_curr = sorted(set(curr_files) - set(base_files))
+    if only_base:
+        print(f"only in baseline: {', '.join(only_base)}")
+    if only_curr:
+        print(f"only in current:  {', '.join(only_curr)}")
+
+    if all_regressions:
+        print(f"\n{len(all_regressions)} metric(s) regressed beyond "
+              f"{args.threshold:.0f}%", file=sys.stderr)
+        return 1
+    print(f"\nno regressions beyond {args.threshold:.0f}% across "
+          f"{len(common)} artifact(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,40 @@
+// Flat availability plane (Section V occupancy, all output fibers at once).
+//
+// The slot pipeline's replacement for vector<vector<uint8_t>>: one contiguous
+// row-major N×k block of 0/1 bytes (1 = channel free), owned by the caller
+// (the Interconnect keeps it up to date incrementally on grant and expiry)
+// and passed to the distributed scheduler as a non-owning view. One span per
+// output fiber, no per-slot rebuild, no per-fiber heap node.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace wdm::core {
+
+/// Non-owning view of a row-major N×k availability plane.
+class AvailabilityView {
+ public:
+  constexpr AvailabilityView() noexcept = default;
+  constexpr AvailabilityView(const std::uint8_t* data, std::int32_t n_fibers,
+                             std::int32_t k) noexcept
+      : data_(data), n_fibers_(n_fibers), k_(k) {}
+
+  /// An empty view means "every channel free" (like an empty mask).
+  constexpr bool empty() const noexcept { return data_ == nullptr; }
+  constexpr std::int32_t n_fibers() const noexcept { return n_fibers_; }
+  constexpr std::int32_t k() const noexcept { return k_; }
+
+  /// Size-k mask of one output fiber. Requires fiber in [0, n_fibers).
+  constexpr std::span<const std::uint8_t> row(std::int32_t fiber) const noexcept {
+    return {data_ + static_cast<std::size_t>(fiber) * static_cast<std::size_t>(k_),
+            static_cast<std::size_t>(k_)};
+  }
+
+ private:
+  const std::uint8_t* data_ = nullptr;
+  std::int32_t n_fibers_ = 0;
+  std::int32_t k_ = 0;
+};
+
+}  // namespace wdm::core

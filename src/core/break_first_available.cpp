@@ -21,10 +21,12 @@ bool channel_free(std::span<const std::uint8_t> available, Channel v) {
 Wavelength pick_breaking_wavelength(const RequestVector& requests,
                                     const ConversionScheme& scheme,
                                     std::span<const std::uint8_t> available) {
+  const std::vector<std::int32_t>& counts = requests.counts();
   for (Wavelength w = 0; w < scheme.k(); ++w) {
-    if (requests.count(w) == 0) continue;
-    for (const Channel v : scheme.adjacency_list(w)) {
-      if (channel_free(available, v)) return w;
+    if (counts[static_cast<std::size_t>(w)] == 0) continue;
+    const std::int32_t deg = scheme.adjacency_count(w);
+    for (std::int32_t idx = 0; idx < deg; ++idx) {
+      if (channel_free(available, scheme.adjacency_at(w, idx))) return w;
     }
   }
   return kNone;
@@ -47,40 +49,62 @@ void validate_inputs(const RequestVector& requests,
 
 }  // namespace
 
-ChannelAssignment bfa_single_break(const RequestVector& requests,
-                                   const ConversionScheme& scheme,
-                                   std::span<const std::uint8_t> available,
-                                   Wavelength w_i, Channel u) {
-  validate_inputs(requests, scheme, available);
-  WDM_CHECK_MSG(requests.count(w_i) > 0,
-                "breaking wavelength must have a pending request");
-  WDM_CHECK_MSG(scheme.can_convert(w_i, u), "breaking edge must exist");
-  WDM_CHECK_MSG(channel_free(available, u), "breaking channel must be free");
+namespace {
 
+/// bfa_single_break_into minus the input validation — the exhaustive sweep
+/// validates once and runs this d times, so the per-candidate cost stays the
+/// Table-3 O(k) with no repeated shape checks.
+void single_break_unchecked(const RequestVector& requests,
+                            const ConversionScheme& scheme,
+                            std::span<const std::uint8_t> available,
+                            Wavelength w_i, Channel u, ChannelAssignment& out) {
   const std::int32_t k = scheme.k();
-  ChannelAssignment out(k);
+  const std::int32_t d = scheme.degree();
+  const std::vector<std::int32_t>& counts = requests.counts();
+  out.reset(k);
   out.source[static_cast<std::size_t>(u)] = w_i;
   out.granted = 1;
 
   // First Available over the rotated (staircase convex, Lemma 2) reduced
   // graph, in request-vector form. The left pointer walks wavelengths in
   // rotated order κ = 0..k-1, i.e. w_i's remaining group first.
+  //
+  // Every modular quantity advances by exactly +1 per step — the wavelength,
+  // the rotated start of its adjacency run, and the original channel of the
+  // current rotated position — so the sweep maintains them incrementally
+  // (conditional wrap) instead of re-deriving them with mod_k. This keeps the
+  // per-candidate cost the Table-3 O(k) with no divisions in the loop, and
+  // computes exactly the same intervals as reduced_adjacency (the closed
+  // form's `start` is the only per-wavelength input, and it advances with
+  // the wavelength).
+  const std::int32_t plus_side_span =
+      fwd(w_i, mod_k(static_cast<std::int64_t>(u) + scheme.e(), k), k);
+  std::int32_t run_start =
+      channel_to_rotated(u, scheme.adjacency_start(w_i), k);
+  const auto iv_of = [&](std::int32_t kappa_now) {
+    const std::int32_t last = run_start + d - 1;  // may pass k-1 (wraps)
+    if (last <= k - 2) return graph::Interval{run_start, last};
+    if (kappa_now <= plus_side_span) return graph::Interval{0, last - k};
+    return graph::Interval{run_start, k - 2};
+  };
+
   std::int32_t kappa = 0;
   Wavelength w = w_i;
-  std::int32_t remaining = requests.count(w_i) - 1;  // a_i itself is consumed
-  graph::Interval iv =
-      remaining > 0 ? reduced_adjacency(scheme, w_i, u, w) : graph::Interval{};
+  std::int32_t remaining =
+      counts[static_cast<std::size_t>(w_i)] - 1;  // a_i itself is consumed
+  graph::Interval iv = remaining > 0 ? iv_of(0) : graph::Interval{};
 
   const auto advance = [&] {
     ++kappa;
     if (kappa == k) return;
-    w = mod_k(static_cast<std::int64_t>(w_i) + kappa, k);
-    remaining = requests.count(w);
-    if (remaining > 0) iv = reduced_adjacency(scheme, w_i, u, w);
+    if (++w == k) w = 0;
+    if (++run_start == k) run_start = 0;
+    remaining = counts[static_cast<std::size_t>(w)];
+    if (remaining > 0) iv = iv_of(kappa);
   };
 
-  for (std::int32_t vp = 0; vp <= k - 2; ++vp) {
-    const Channel v = rotated_to_channel(u, vp, k);
+  Channel v = u + 1 == k ? 0 : u + 1;  // rotated position 0 is b_{u+1}
+  for (std::int32_t vp = 0; vp <= k - 2; ++vp, v = (v + 1 == k ? 0 : v + 1)) {
     if (!channel_free(available, v)) continue;  // Section V: occupied channel
     while (kappa < k && (remaining == 0 || iv.empty() || iv.end < vp)) {
       advance();
@@ -88,48 +112,132 @@ ChannelAssignment bfa_single_break(const RequestVector& requests,
     if (kappa == k) break;
     if (iv.begin <= vp) {
       WDM_DCHECK(scheme.can_convert(w, v));
+      WDM_DCHECK(iv == reduced_adjacency(scheme, w_i, u, w));
       out.source[static_cast<std::size_t>(v)] = w;
       out.granted += 1;
       remaining -= 1;
     }
   }
+}
+
+}  // namespace
+
+void bfa_single_break_into(const RequestVector& requests,
+                           const ConversionScheme& scheme,
+                           std::span<const std::uint8_t> available,
+                           Wavelength w_i, Channel u, ChannelAssignment& out) {
+  validate_inputs(requests, scheme, available);
+  WDM_CHECK_MSG(requests.count(w_i) > 0,
+                "breaking wavelength must have a pending request");
+  WDM_CHECK_MSG(scheme.can_convert(w_i, u), "breaking edge must exist");
+  WDM_CHECK_MSG(channel_free(available, u), "breaking channel must be free");
+  single_break_unchecked(requests, scheme, available, w_i, u, out);
+}
+
+ChannelAssignment bfa_single_break(const RequestVector& requests,
+                                   const ConversionScheme& scheme,
+                                   std::span<const std::uint8_t> available,
+                                   Wavelength w_i, Channel u) {
+  ChannelAssignment out(scheme.k());
+  bfa_single_break_into(requests, scheme, available, w_i, u, out);
   return out;
 }
 
-ChannelAssignment break_first_available(const RequestVector& requests,
-                                        const ConversionScheme& scheme,
-                                        std::span<const std::uint8_t> available,
-                                        util::ThreadPool* pool) {
+void break_first_available_into(const RequestVector& requests,
+                                const ConversionScheme& scheme,
+                                std::span<const std::uint8_t> available,
+                                util::ThreadPool* pool, BfaScratch& scratch,
+                                ChannelAssignment& out) {
   validate_inputs(requests, scheme, available);
+  const std::int32_t k = scheme.k();
   const Wavelength w_i = pick_breaking_wavelength(requests, scheme, available);
-  if (w_i == kNone) return ChannelAssignment(scheme.k());
-
-  std::vector<Channel> candidates;
-  for (const Channel u : scheme.adjacency_list(w_i)) {
-    if (channel_free(available, u)) candidates.push_back(u);
+  if (w_i == kNone) {
+    out.reset(k);
+    return;
   }
-  WDM_DCHECK(!candidates.empty());
 
-  std::vector<ChannelAssignment> results(candidates.size(),
-                                         ChannelAssignment(scheme.k()));
+  scratch.candidates.clear();
+  const std::int32_t deg = scheme.adjacency_count(w_i);
+  for (std::int32_t idx = 0; idx < deg; ++idx) {
+    const Channel u = scheme.adjacency_at(w_i, idx);
+    if (channel_free(available, u)) scratch.candidates.push_back(u);
+  }
+  WDM_DCHECK(!scratch.candidates.empty());
+
+  // Grow-only: keep previously warmed assignments alive; each candidate run
+  // resets its slot in place, so no per-slot allocation once warm.
+  if (scratch.results.size() < scratch.candidates.size()) {
+    scratch.results.resize(scratch.candidates.size(), ChannelAssignment(k));
+  }
   const auto run_candidate = [&](std::size_t idx) {
-    results[idx] =
-        bfa_single_break(requests, scheme, available, w_i, candidates[idx]);
+    single_break_unchecked(requests, scheme, available, w_i,
+                           scratch.candidates[idx], scratch.results[idx]);
   };
-  if (pool != nullptr && candidates.size() > 1) {
-    pool->parallel_for(0, candidates.size(), run_candidate);
+  if (pool != nullptr && scratch.candidates.size() > 1) {
+    pool->parallel_for(0, scratch.candidates.size(), run_candidate);
   } else {
-    for (std::size_t idx = 0; idx < candidates.size(); ++idx) {
+    for (std::size_t idx = 0; idx < scratch.candidates.size(); ++idx) {
       run_candidate(idx);
     }
   }
 
   // Deterministic winner: first candidate (minus-side order) of maximum size.
   std::size_t best = 0;
-  for (std::size_t idx = 1; idx < results.size(); ++idx) {
-    if (results[idx].granted > results[best].granted) best = idx;
+  for (std::size_t idx = 1; idx < scratch.candidates.size(); ++idx) {
+    if (scratch.results[idx].granted > scratch.results[best].granted) {
+      best = idx;
+    }
   }
-  return std::move(results[best]);
+  out.source.assign(scratch.results[best].source.begin(),
+                    scratch.results[best].source.end());
+  out.granted = scratch.results[best].granted;
+}
+
+ChannelAssignment break_first_available(const RequestVector& requests,
+                                        const ConversionScheme& scheme,
+                                        std::span<const std::uint8_t> available,
+                                        util::ThreadPool* pool) {
+  BfaScratch scratch;
+  ChannelAssignment out(scheme.k());
+  break_first_available_into(requests, scheme, available, pool, scratch, out);
+  return out;
+}
+
+Channel approx_break_first_available_into(
+    const RequestVector& requests, const ConversionScheme& scheme,
+    std::span<const std::uint8_t> available, ChannelAssignment& out) {
+  validate_inputs(requests, scheme, available);
+  const Wavelength w_i = pick_breaking_wavelength(requests, scheme, available);
+  if (w_i == kNone) {
+    out.reset(scheme.k());
+    return kNone;
+  }
+
+  const std::int32_t d = scheme.degree();
+  const std::int32_t delta_star = (d + 1) / 2;  // Corollary 1: "shortest" edge
+
+  // Pick the available adjacent channel with the smallest Theorem-3 bound,
+  // breaking ties toward the centre.
+  Channel best_u = kNone;
+  std::int32_t best_delta = 0;
+  std::int32_t best_bound = 0;
+  for (std::int32_t idx = 0; idx < d; ++idx) {
+    const Channel u = scheme.adjacency_at(w_i, idx);
+    if (!channel_free(available, u)) continue;
+    const std::int32_t delta = idx + 1;
+    const std::int32_t bound = breaking_gap_bound(d, delta);
+    if (best_u == kNone || bound < best_bound ||
+        (bound == best_bound &&
+         std::abs(delta - delta_star) < std::abs(best_delta - delta_star))) {
+      best_u = u;
+      best_delta = delta;
+      best_bound = bound;
+    }
+  }
+  WDM_DCHECK(best_u != kNone);
+
+  bfa_single_break_into(requests, scheme, available, w_i, best_u, out);
+  return best_u;
 }
 
 ApproxBfaResult approx_break_first_available(
@@ -143,14 +251,11 @@ ApproxBfaResult approx_break_first_available(
   const std::int32_t d = scheme.degree();
   const std::int32_t delta_star = (d + 1) / 2;  // Corollary 1: "shortest" edge
 
-  // Pick the available adjacent channel with the smallest Theorem-3 bound,
-  // breaking ties toward the centre.
-  const auto adjacency = scheme.adjacency_list(w_i);
   Channel best_u = kNone;
   std::int32_t best_delta = 0;
   std::int32_t best_bound = 0;
   for (std::int32_t idx = 0; idx < d; ++idx) {
-    const Channel u = adjacency[static_cast<std::size_t>(idx)];
+    const Channel u = scheme.adjacency_at(w_i, idx);
     if (!channel_free(available, u)) continue;
     const std::int32_t delta = idx + 1;
     const std::int32_t bound = breaking_gap_bound(d, delta);

@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <span>
+#include <vector>
 
 #include "core/channel_assignment.hpp"
 #include "core/conversion.hpp"
@@ -24,6 +25,14 @@
 #include "util/threadpool.hpp"
 
 namespace wdm::core {
+
+/// Reusable per-candidate buffers for the exhaustive sweep. Owned by the
+/// caller (OutputPortScheduler keeps one per port) so that in steady state
+/// the d candidate schedules of every slot run entirely in warm memory.
+struct BfaScratch {
+  std::vector<Channel> candidates;          ///< available breaking channels
+  std::vector<ChannelAssignment> results;   ///< one assignment per candidate
+};
 
 /// Exact maximum-matching schedule for a circular, non-full-range scheme.
 /// `available` is a size-k mask (1 = free); empty means all free. If `pool`
@@ -33,6 +42,15 @@ ChannelAssignment break_first_available(const RequestVector& requests,
                                         std::span<const std::uint8_t> available = {},
                                         util::ThreadPool* pool = nullptr);
 
+/// As break_first_available, with caller-owned scratch: candidate buffers
+/// live in `scratch` and the winning assignment is written into `out`.
+/// Allocation-free once the scratch is warm.
+void break_first_available_into(const RequestVector& requests,
+                                const ConversionScheme& scheme,
+                                std::span<const std::uint8_t> available,
+                                util::ThreadPool* pool, BfaScratch& scratch,
+                                ChannelAssignment& out);
+
 /// One candidate of the exhaustive sweep: breaks at (first request of w_i,
 /// channel u) and schedules the reduced graph with First Available. The
 /// result includes the breaking grant itself. Exposed for tests and for the
@@ -41,6 +59,12 @@ ChannelAssignment bfa_single_break(const RequestVector& requests,
                                    const ConversionScheme& scheme,
                                    std::span<const std::uint8_t> available,
                                    Wavelength w_i, Channel u);
+
+/// As bfa_single_break, writing into caller-owned scratch.
+void bfa_single_break_into(const RequestVector& requests,
+                           const ConversionScheme& scheme,
+                           std::span<const std::uint8_t> available,
+                           Wavelength w_i, Channel u, ChannelAssignment& out);
 
 struct ApproxBfaResult {
   ChannelAssignment assignment;
@@ -54,5 +78,11 @@ struct ApproxBfaResult {
 ApproxBfaResult approx_break_first_available(
     const RequestVector& requests, const ConversionScheme& scheme,
     std::span<const std::uint8_t> available = {});
+
+/// As approx_break_first_available, writing the assignment into caller-owned
+/// scratch; returns the chosen break channel (kNone when nothing schedules).
+Channel approx_break_first_available_into(
+    const RequestVector& requests, const ConversionScheme& scheme,
+    std::span<const std::uint8_t> available, ChannelAssignment& out);
 
 }  // namespace wdm::core

@@ -23,6 +23,14 @@ struct ChannelAssignment {
   explicit ChannelAssignment(std::int32_t k)
       : source(static_cast<std::size_t>(k), kNone) {}
 
+  /// Clears to the all-rejected state for `k` channels. Reuses the existing
+  /// capacity, so resetting a warm scratch assignment never allocates — the
+  /// property the zero-allocation slot pipeline relies on.
+  void reset(std::int32_t k) {
+    source.assign(static_cast<std::size_t>(k), kNone);
+    granted = 0;
+  }
+
   std::int32_t k() const noexcept {
     return static_cast<std::int32_t>(source.size());
   }

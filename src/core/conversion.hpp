@@ -11,6 +11,7 @@
 // Full-range conversion is the special case d = k.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -67,6 +68,24 @@ class ConversionScheme {
   /// The d adjacent channels of `in`, ordered from the minus side to the plus
   /// side — the order in which δ(u) of Section IV.C counts (δ = position + 1).
   std::vector<Channel> adjacency_list(Wavelength in) const;
+
+  /// adjacency_list(in)[idx] without materialising the list — the per-slot
+  /// kernels iterate adjacency with this so the hot path never allocates.
+  /// `idx` must be in [0, degree()).
+  Channel adjacency_at(Wavelength in, std::int32_t idx) const noexcept {
+    if (kind_ == ConversionKind::kCircular) {
+      return mod_k(static_cast<std::int64_t>(in) - e_ + idx, k_);
+    }
+    return std::max<std::int32_t>(0, in - e_) + idx;
+  }
+
+  /// Number of adjacent channels of `in` (= degree() for circular schemes;
+  /// clipped at the wavelength range ends for non-circular ones).
+  std::int32_t adjacency_count(Wavelength in) const noexcept {
+    if (kind_ == ConversionKind::kCircular) return d_;
+    return std::min<std::int32_t>(k_ - 1, in + f_) -
+           std::max<std::int32_t>(0, in - e_) + 1;
+  }
 
   /// The conversion graph of Figure 2: left = input wavelengths, right =
   /// output wavelengths, an edge wherever conversion is possible.

@@ -1,5 +1,7 @@
 #include "core/distributed.hpp"
 
+#include <algorithm>
+
 #include "util/check.hpp"
 
 namespace wdm::core {
@@ -27,37 +29,32 @@ void DistributedScheduler::set_converter_budget(std::int32_t budget) {
   for (auto& port : ports_) port.set_converter_budget(budget);
 }
 
-std::vector<PortDecision> DistributedScheduler::schedule_slot(
-    std::span<const SlotRequest> requests,
-    const std::vector<std::vector<std::uint8_t>>* availability,
-    const std::vector<HealthMask>* health, util::ThreadPool* pool) {
+template <typename RowFn>
+void DistributedScheduler::schedule_slot_impl(
+    std::span<const SlotRequest> requests, RowFn&& row_of,
+    const std::vector<HealthMask>* health, util::ThreadPool* pool,
+    std::span<PortDecision> decisions) {
   const auto n_fibers = static_cast<std::size_t>(n_output_fibers());
-  std::vector<PortDecision> decisions(requests.size());
+  std::fill(decisions.begin(), decisions.end(), PortDecision{});
 
   // Externally supplied data is rejected per-request, never with a throw: a
   // malformed SlotRequest (or a wrong-shaped availability or health vector)
   // costs the affected grants only, not the slot or the process.
-  if (availability != nullptr && availability->size() != n_fibers) {
-    for (auto& d : decisions) {
-      d = PortDecision::reject(RejectReason::kBadAvailabilityMask);
-    }
-    return decisions;
-  }
   if (health != nullptr && health->size() != n_fibers) {
     for (auto& d : decisions) {
       d = PortDecision::reject(RejectReason::kBadHealthMask);
     }
-    return decisions;
+    return;
   }
 
-  // Partition the slot's requests into the N destination subsets. No request
-  // appears in two subsets, so the per-fiber schedules are independent.
-  // Per-request field validation happens inside the per-port scheduler. A
-  // faulted destination fiber outranks field validation (the fiber is down,
-  // nothing destined to it is inspected), but not output-fiber validity —
-  // an out-of-range fiber has no health to consult.
-  std::vector<std::vector<Request>> per_fiber(n_fibers);
-  std::vector<std::vector<std::size_t>> origin(n_fibers);
+  // Partition the slot's requests into the N destination subsets — a stable
+  // counting sort into the reusable CSR arenas, so no request appears in two
+  // subsets and arrival order within a fiber is preserved. Per-request field
+  // validation happens inside the per-port scheduler. A faulted destination
+  // fiber outranks field validation (the fiber is down, nothing destined to
+  // it is inspected), but not output-fiber validity — an out-of-range fiber
+  // has no health to consult.
+  fiber_offsets_.assign(n_fibers + 1, 0);
   for (std::size_t idx = 0; idx < requests.size(); ++idx) {
     const auto& r = requests[idx];
     if (r.output_fiber < 0 || r.output_fiber >= n_output_fibers()) {
@@ -73,29 +70,43 @@ std::vector<PortDecision> DistributedScheduler::schedule_slot(
       decisions[idx] = PortDecision::reject(RejectReason::kInvalidPriority);
       continue;
     }
-    per_fiber[static_cast<std::size_t>(r.output_fiber)].push_back(
-        Request{r.input_fiber, r.wavelength, r.id, r.duration});
-    origin[static_cast<std::size_t>(r.output_fiber)].push_back(idx);
+    fiber_offsets_[static_cast<std::size_t>(r.output_fiber) + 1] += 1;
+  }
+  for (std::size_t fiber = 0; fiber < n_fibers; ++fiber) {
+    fiber_offsets_[fiber + 1] += fiber_offsets_[fiber];
+  }
+  flat_requests_.resize(fiber_offsets_[n_fibers]);
+  flat_origin_.resize(fiber_offsets_[n_fibers]);
+  csr_decisions_.resize(fiber_offsets_[n_fibers]);
+  fiber_cursor_.assign(fiber_offsets_.begin(), fiber_offsets_.end() - 1);
+  for (std::size_t idx = 0; idx < requests.size(); ++idx) {
+    if (decisions[idx].reason != RejectReason::kUndecided) continue;
+    const auto& r = requests[idx];
+    const std::size_t pos =
+        fiber_cursor_[static_cast<std::size_t>(r.output_fiber)]++;
+    flat_requests_[pos] = Request{r.input_fiber, r.wavelength, r.id, r.duration};
+    flat_origin_[pos] = idx;
   }
 
   const auto schedule_fiber = [&](std::size_t fiber) {
-    if (per_fiber[fiber].empty()) return;
-    const std::span<const std::uint8_t> mask =
-        availability != nullptr ? std::span<const std::uint8_t>((*availability)[fiber])
-                                : std::span<const std::uint8_t>{};
+    const std::size_t lo = fiber_offsets_[fiber];
+    const std::size_t hi = fiber_offsets_[fiber + 1];
+    if (lo == hi) return;
+    const std::span<const Request> batch{flat_requests_.data() + lo, hi - lo};
+    const std::span<PortDecision> staged{csr_decisions_.data() + lo, hi - lo};
     const HealthMask* fiber_health =
         health != nullptr ? &(*health)[fiber] : nullptr;
     try {
-      const auto fiber_decisions =
-          ports_[fiber].schedule(per_fiber[fiber], mask, fiber_health);
-      for (std::size_t i = 0; i < fiber_decisions.size(); ++i) {
-        decisions[origin[fiber][i]] = fiber_decisions[i];
+      ports_[fiber].schedule_into(batch, row_of(fiber), fiber_health, staged);
+      for (std::size_t i = 0; i < staged.size(); ++i) {
+        decisions[flat_origin_[lo + i]] = staged[i];
       }
     } catch (...) {
       // A kernel bug must not take the other fibers' grants down with it;
       // the fiber's requests are rejected and the fault shows up in metrics.
-      for (const std::size_t idx : origin[fiber]) {
-        decisions[idx] = PortDecision::reject(RejectReason::kInternalError);
+      for (std::size_t i = lo; i < hi; ++i) {
+        decisions[flat_origin_[i]] =
+            PortDecision::reject(RejectReason::kInternalError);
       }
     }
   };
@@ -113,7 +124,50 @@ std::vector<PortDecision> DistributedScheduler::schedule_slot(
       d = PortDecision::reject(RejectReason::kInternalError);
     }
   }
+}
+
+std::vector<PortDecision> DistributedScheduler::schedule_slot(
+    std::span<const SlotRequest> requests,
+    const std::vector<std::vector<std::uint8_t>>* availability,
+    const std::vector<HealthMask>* health, util::ThreadPool* pool) {
+  std::vector<PortDecision> decisions(requests.size());
+  if (availability != nullptr &&
+      availability->size() != static_cast<std::size_t>(n_output_fibers())) {
+    for (auto& d : decisions) {
+      d = PortDecision::reject(RejectReason::kBadAvailabilityMask);
+    }
+    return decisions;
+  }
+  // A ragged inner mask is caught per fiber by the port scheduler, which
+  // rejects only that fiber's requests with kBadAvailabilityMask.
+  const auto row_of = [&](std::size_t fiber) {
+    return availability != nullptr
+               ? std::span<const std::uint8_t>((*availability)[fiber])
+               : std::span<const std::uint8_t>{};
+  };
+  schedule_slot_impl(requests, row_of, health, pool, decisions);
   return decisions;
+}
+
+void DistributedScheduler::schedule_slot_into(
+    std::span<const SlotRequest> requests, AvailabilityView availability,
+    const std::vector<HealthMask>* health, util::ThreadPool* pool,
+    std::span<PortDecision> decisions) {
+  WDM_CHECK_MSG(decisions.size() == requests.size(),
+                "one decision slot per request");
+  if (!availability.empty() && (availability.n_fibers() != n_output_fibers() ||
+                                availability.k() != k())) {
+    for (auto& d : decisions) {
+      d = PortDecision::reject(RejectReason::kBadAvailabilityMask);
+    }
+    return;
+  }
+  const auto row_of = [&](std::size_t fiber) {
+    return availability.empty()
+               ? std::span<const std::uint8_t>{}
+               : availability.row(static_cast<std::int32_t>(fiber));
+  };
+  schedule_slot_impl(requests, row_of, health, pool, decisions);
 }
 
 }  // namespace wdm::core

@@ -11,6 +11,7 @@
 #include <span>
 #include <vector>
 
+#include "core/availability.hpp"
 #include "core/conversion.hpp"
 #include "core/request.hpp"
 #include "core/scheduler.hpp"
@@ -66,9 +67,39 @@ class DistributedScheduler {
       const std::vector<HealthMask>* health = nullptr,
       util::ThreadPool* pool = nullptr);
 
+  /// As schedule_slot, with a flat N×k availability plane and caller-owned
+  /// decisions (one entry per request). Decision-for-decision identical to
+  /// schedule_slot(); the fast path of the slot pipeline — the request
+  /// partition is a counting-sort CSR over reusable arenas, so the steady
+  /// state performs zero heap allocations. An empty view means all free; a
+  /// view whose shape disagrees with (N, k) rejects every request with
+  /// kBadAvailabilityMask, mirroring the nested-vector overload.
+  void schedule_slot_into(std::span<const SlotRequest> requests,
+                          AvailabilityView availability,
+                          const std::vector<HealthMask>* health,
+                          util::ThreadPool* pool,
+                          std::span<PortDecision> decisions);
+
  private:
+  /// Shared core of both overloads: `row_of(fiber)` yields that fiber's
+  /// size-k mask (or an empty span for "all free").
+  template <typename RowFn>
+  void schedule_slot_impl(std::span<const SlotRequest> requests, RowFn&& row_of,
+                          const std::vector<HealthMask>* health,
+                          util::ThreadPool* pool,
+                          std::span<PortDecision> decisions);
+
   ConversionScheme scheme_;
   std::vector<OutputPortScheduler> ports_;
+
+  // Reusable per-slot scratch: CSR partition of the slot's requests into the
+  // N destination subsets (stable counting sort keeps arrival order within a
+  // fiber), plus per-fiber decision staging. Capacity persists across slots.
+  std::vector<std::size_t> fiber_offsets_;   // size N+1
+  std::vector<Request> flat_requests_;       // partitioned requests, CSR order
+  std::vector<std::size_t> flat_origin_;     // original index per CSR entry
+  std::vector<std::size_t> fiber_cursor_;    // fill cursors for the sort
+  std::vector<PortDecision> csr_decisions_;  // per-fiber results, CSR order
 };
 
 }  // namespace wdm::core

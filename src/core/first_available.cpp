@@ -7,6 +7,15 @@ namespace wdm::core {
 ChannelAssignment first_available(const RequestVector& requests,
                                   const ConversionScheme& scheme,
                                   std::span<const std::uint8_t> available) {
+  ChannelAssignment out(scheme.k());
+  first_available_into(requests, scheme, available, out);
+  return out;
+}
+
+void first_available_into(const RequestVector& requests,
+                          const ConversionScheme& scheme,
+                          std::span<const std::uint8_t> available,
+                          ChannelAssignment& out) {
   WDM_CHECK_MSG(scheme.kind() == ConversionKind::kNonCircular,
                 "first_available requires a non-circular scheme (Theorem 1); "
                 "use break_first_available for circular conversion");
@@ -19,7 +28,7 @@ ChannelAssignment first_available(const RequestVector& requests,
   const std::int32_t k = scheme.k();
   const std::int32_t e = scheme.e();
   const std::int32_t f = scheme.f();
-  ChannelAssignment out(k);
+  out.reset(k);
 
   // Pointer over left vertices in request-vector form: wavelength `w` with
   // `remaining` unscheduled requests. All lower wavelengths are either fully
@@ -48,7 +57,6 @@ ChannelAssignment first_available(const RequestVector& requests,
       remaining -= 1;
     }
   }
-  return out;
 }
 
 }  // namespace wdm::core

@@ -27,4 +27,12 @@ ChannelAssignment first_available(const RequestVector& requests,
                                   const ConversionScheme& scheme,
                                   std::span<const std::uint8_t> available = {});
 
+/// As first_available, writing into caller-owned scratch: `out` is reset to
+/// k channels and filled in place, so a warm scratch assignment makes the
+/// call allocation-free (the per-slot hot path).
+void first_available_into(const RequestVector& requests,
+                          const ConversionScheme& scheme,
+                          std::span<const std::uint8_t> available,
+                          ChannelAssignment& out);
+
 }  // namespace wdm::core

@@ -6,11 +6,19 @@ namespace wdm::core {
 
 ChannelAssignment full_range_schedule(const RequestVector& requests,
                                       std::span<const std::uint8_t> available) {
+  ChannelAssignment out(requests.k());
+  full_range_schedule_into(requests, available, out);
+  return out;
+}
+
+void full_range_schedule_into(const RequestVector& requests,
+                              std::span<const std::uint8_t> available,
+                              ChannelAssignment& out) {
   const std::int32_t k = requests.k();
   WDM_CHECK_MSG(available.empty() ||
                     static_cast<std::int32_t>(available.size()) == k,
                 "availability mask must have one entry per channel");
-  ChannelAssignment out(k);
+  out.reset(k);
 
   Wavelength w = 0;
   std::int32_t remaining = requests.count(0);
@@ -27,7 +35,6 @@ ChannelAssignment full_range_schedule(const RequestVector& requests,
     out.granted += 1;
     remaining -= 1;
   }
-  return out;
 }
 
 }  // namespace wdm::core

@@ -20,4 +20,10 @@ namespace wdm::core {
 ChannelAssignment full_range_schedule(const RequestVector& requests,
                                       std::span<const std::uint8_t> available = {});
 
+/// As full_range_schedule, writing into caller-owned scratch: `out` is reset
+/// and filled in place, allocation-free once the scratch is warm.
+void full_range_schedule_into(const RequestVector& requests,
+                              std::span<const std::uint8_t> available,
+                              ChannelAssignment& out);
+
 }  // namespace wdm::core

@@ -76,7 +76,9 @@ OutputPortScheduler::OutputPortScheduler(ConversionScheme scheme,
       rng_(seed),
       pool_(pool),
       converter_budget_(scheme_.k()),
-      rr_cursor_(static_cast<std::size_t>(scheme_.k()), 0) {
+      rr_cursor_(static_cast<std::size_t>(scheme_.k()), 0),
+      rv_scratch_(scheme_.k()),
+      assign_scratch_(scheme_.k()) {
   switch (algorithm_) {
     case Algorithm::kFirstAvailable:
     case Algorithm::kGlover:
@@ -200,11 +202,47 @@ ChannelAssignment OutputPortScheduler::assign_channels(
   return out;
 }
 
+void OutputPortScheduler::assign_channels_into(
+    const RequestVector& requests, std::span<const std::uint8_t> available,
+    ChannelAssignment& out) {
+  switch (algorithm_) {
+    case Algorithm::kFirstAvailable:
+      first_available_into(requests, scheme_, available, out);
+      return;
+    case Algorithm::kBreakFirstAvailable:
+      break_first_available_into(requests, scheme_, available, pool_,
+                                 bfa_scratch_, out);
+      return;
+    case Algorithm::kApproxBfa:
+      approx_break_first_available_into(requests, scheme_, available, out);
+      return;
+    case Algorithm::kFullRange:
+      full_range_schedule_into(requests, available, out);
+      return;
+    default:
+      // The baseline graph algorithms build their graphs afresh every call;
+      // copy the result into the scratch so callers see one contract.
+      out = assign_channels(requests, available);
+      return;
+  }
+}
+
 std::vector<PortDecision> OutputPortScheduler::schedule(
     std::span<const Request> requests, std::span<const std::uint8_t> available,
     const HealthMask* health) {
-  const std::int32_t k = scheme_.k();
   std::vector<PortDecision> decisions(requests.size());
+  schedule_into(requests, available, health, decisions);
+  return decisions;
+}
+
+void OutputPortScheduler::schedule_into(std::span<const Request> requests,
+                                        std::span<const std::uint8_t> available,
+                                        const HealthMask* health,
+                                        std::span<PortDecision> decisions) {
+  WDM_CHECK_MSG(decisions.size() == requests.size(),
+                "one decision slot per request");
+  const std::int32_t k = scheme_.k();
+  std::fill(decisions.begin(), decisions.end(), PortDecision{});
 
   // Externally supplied data never aborts the slot: a wrong-shaped mask or a
   // malformed request yields per-request rejections instead of a WDM_CHECK
@@ -214,7 +252,7 @@ std::vector<PortDecision> OutputPortScheduler::schedule(
     for (auto& d : decisions) {
       d = PortDecision::reject(RejectReason::kBadAvailabilityMask);
     }
-    return decisions;
+    return;
   }
   if (health != nullptr) {
     if (!health->channels.empty() &&
@@ -222,7 +260,7 @@ std::vector<PortDecision> OutputPortScheduler::schedule(
       for (auto& d : decisions) {
         d = PortDecision::reject(RejectReason::kBadHealthMask);
       }
-      return decisions;
+      return;
     }
     // A fiber cut outranks per-request validation: nothing on a dead fiber
     // is inspected, everything is rejected as faulted.
@@ -230,73 +268,103 @@ std::vector<PortDecision> OutputPortScheduler::schedule(
       for (auto& d : decisions) {
         d = PortDecision::reject(RejectReason::kFaulted);
       }
-      return decisions;
+      return;
     }
     if (health->all_healthy()) health = nullptr;
   }
 
-  RequestVector rv(k);
+  rv_scratch_.clear();
   for (std::size_t idx = 0; idx < requests.size(); ++idx) {
     const RejectReason reason = validate_request(requests[idx], k);
     if (reason != RejectReason::kGranted) {
       decisions[idx] = PortDecision::reject(reason);
       continue;
     }
-    rv.add(requests[idx].wavelength);
+    rv_scratch_.add(requests[idx].wavelength);
   }
 
-  const ChannelAssignment assignment =
-      health != nullptr ? assign_channels(rv, available, *health)
-                        : assign_channels(rv, available);
+  if (health != nullptr) {
+    // Fault reduction allocates; degraded slots are rare, so this path is
+    // deliberately outside the zero-allocation contract.
+    assign_scratch_ = assign_channels(rv_scratch_, available, *health);
+  } else {
+    assign_channels_into(rv_scratch_, available, assign_scratch_);
+  }
+  const ChannelAssignment& assignment = assign_scratch_;
 
-  // Channels won by each wavelength, in increasing channel order.
-  std::vector<std::vector<Channel>> channels_won(static_cast<std::size_t>(k));
+  // Channels won by each wavelength, in increasing channel order, laid out
+  // as CSR (counting sort over the assignment; stability keeps the channel
+  // order the nested-vector implementation produced).
+  const auto uw = [](std::int32_t x) { return static_cast<std::size_t>(x); };
+  won_offsets_.assign(uw(k) + 1, 0);
   for (Channel v = 0; v < k; ++v) {
-    const Wavelength w = assignment.source[static_cast<std::size_t>(v)];
-    if (w != kNone) channels_won[static_cast<std::size_t>(w)].push_back(v);
+    const Wavelength w = assignment.source[uw(v)];
+    if (w != kNone) won_offsets_[uw(w) + 1] += 1;
+  }
+  for (std::size_t w = 0; w < uw(k); ++w) {
+    won_offsets_[w + 1] += won_offsets_[w];
+  }
+  won_flat_.resize(won_offsets_[uw(k)]);
+  csr_cursor_.assign(won_offsets_.begin(), won_offsets_.end() - 1);
+  for (Channel v = 0; v < k; ++v) {
+    const Wavelength w = assignment.source[uw(v)];
+    if (w == kNone) continue;
+    won_flat_[csr_cursor_[uw(w)]++] = v;
   }
 
-  // Requests of each wavelength, in arrival (input) order. Malformed
-  // requests were rejected above and never compete.
-  std::vector<std::vector<std::size_t>> members(static_cast<std::size_t>(k));
+  // Competing request indices per wavelength, in arrival (input) order —
+  // again a stable counting sort. Malformed requests were rejected above
+  // and never compete.
+  member_offsets_.assign(uw(k) + 1, 0);
   for (std::size_t idx = 0; idx < requests.size(); ++idx) {
     if (decisions[idx].reason != RejectReason::kUndecided) continue;
-    members[static_cast<std::size_t>(requests[idx].wavelength)].push_back(idx);
+    member_offsets_[uw(requests[idx].wavelength) + 1] += 1;
+  }
+  for (std::size_t w = 0; w < uw(k); ++w) {
+    member_offsets_[w + 1] += member_offsets_[w];
+  }
+  member_flat_.resize(member_offsets_[uw(k)]);
+  csr_cursor_.assign(member_offsets_.begin(), member_offsets_.end() - 1);
+  for (std::size_t idx = 0; idx < requests.size(); ++idx) {
+    if (decisions[idx].reason != RejectReason::kUndecided) continue;
+    member_flat_[csr_cursor_[uw(requests[idx].wavelength)]++] = idx;
   }
 
   for (Wavelength w = 0; w < k; ++w) {
-    auto& group = members[static_cast<std::size_t>(w)];
-    const auto& won = channels_won[static_cast<std::size_t>(w)];
-    if (won.empty()) continue;
-    WDM_DCHECK(won.size() <= group.size());
+    const std::size_t won_lo = won_offsets_[uw(w)];
+    const std::size_t won_hi = won_offsets_[uw(w) + 1];
+    if (won_lo == won_hi) continue;
+    const std::size_t n_won = won_hi - won_lo;
+    const std::span<std::size_t> group{
+        member_flat_.data() + member_offsets_[uw(w)],
+        member_offsets_[uw(w) + 1] - member_offsets_[uw(w)]};
+    WDM_DCHECK(n_won <= group.size());
 
     // Arbitration: choose |won| winners among the group (Section III:
     // "a random selecting or a round-robin scheduling procedure").
-    std::vector<std::size_t> winners;
-    winners.reserve(won.size());
     switch (arbitration_) {
       case Arbitration::kFifo:
-        winners.assign(group.begin(),
-                       group.begin() + static_cast<std::ptrdiff_t>(won.size()));
+        for (std::size_t t = 0; t < n_won; ++t) {
+          decisions[group[t]] = PortDecision::grant(won_flat_[won_lo + t]);
+        }
         break;
       case Arbitration::kRoundRobin: {
-        auto& cursor = rr_cursor_[static_cast<std::size_t>(w)];
+        auto& cursor = rr_cursor_[uw(w)];
         const std::size_t n = group.size();
-        for (std::size_t t = 0; t < won.size(); ++t) {
-          winners.push_back(group[(cursor + t) % n]);
+        for (std::size_t t = 0; t < n_won; ++t) {
+          decisions[group[(cursor + t) % n]] =
+              PortDecision::grant(won_flat_[won_lo + t]);
         }
-        cursor = static_cast<std::uint32_t>((cursor + won.size()) % n);
+        cursor = static_cast<std::uint32_t>((cursor + n_won) % n);
         break;
       }
       case Arbitration::kRandom: {
         rng_.shuffle(group);
-        winners.assign(group.begin(),
-                       group.begin() + static_cast<std::ptrdiff_t>(won.size()));
+        for (std::size_t t = 0; t < n_won; ++t) {
+          decisions[group[t]] = PortDecision::grant(won_flat_[won_lo + t]);
+        }
         break;
       }
-    }
-    for (std::size_t t = 0; t < won.size(); ++t) {
-      decisions[winners[t]] = PortDecision::grant(won[t]);
     }
   }
   // Everything still undecided competed and lost: an explicit capacity
@@ -306,7 +374,6 @@ std::vector<PortDecision> OutputPortScheduler::schedule(
       d = PortDecision::reject(RejectReason::kNoChannel);
     }
   }
-  return decisions;
 }
 
 }  // namespace wdm::core

@@ -18,6 +18,7 @@
 #include <span>
 #include <vector>
 
+#include "core/break_first_available.hpp"
 #include "core/channel_assignment.hpp"
 #include "core/conversion.hpp"
 #include "core/health.hpp"
@@ -129,6 +130,14 @@ class OutputPortScheduler {
                                     std::span<const std::uint8_t> available,
                                     const HealthMask& health);
 
+  /// As assign_channels, writing into caller-owned scratch. The paper's
+  /// kernels (FA / BFA / approx-BFA / full-range) run allocation-free once
+  /// the scheduler's arenas are warm; the baseline graph algorithms still
+  /// build their graphs afresh and copy the result out.
+  void assign_channels_into(const RequestVector& requests,
+                            std::span<const std::uint8_t> available,
+                            ChannelAssignment& out);
+
   /// Full schedule of one slot: grant/reject + channel per request.
   /// `available` masks occupied channels (Section V); empty = all free.
   /// `health`, if non-null, degrades the fiber: a fiber fault rejects every
@@ -138,6 +147,15 @@ class OutputPortScheduler {
                                      std::span<const std::uint8_t> available = {},
                                      const HealthMask* health = nullptr);
 
+  /// As schedule, writing decisions into a caller-owned span (one entry per
+  /// request). Decision-for-decision identical to schedule(); the fast path
+  /// of the slot pipeline — zero heap allocations once the scratch arenas
+  /// are warm (healthy hardware; the fault-reduction path still allocates).
+  void schedule_into(std::span<const Request> requests,
+                     std::span<const std::uint8_t> available,
+                     const HealthMask* health,
+                     std::span<PortDecision> decisions);
+
  private:
   ConversionScheme scheme_;
   Algorithm algorithm_;
@@ -146,6 +164,20 @@ class OutputPortScheduler {
   util::ThreadPool* pool_;
   std::int32_t converter_budget_;
   std::vector<std::uint32_t> rr_cursor_;  // per-wavelength round-robin state
+
+  // Per-slot scratch arenas, reused across schedule_into calls. Vector
+  // capacity persists between slots, so the steady state never allocates.
+  RequestVector rv_scratch_;
+  ChannelAssignment assign_scratch_;
+  BfaScratch bfa_scratch_;
+  // CSR (counting-sort) layout of the arbitration inputs: channels won per
+  // wavelength in increasing channel order, and competing request indices
+  // per wavelength in arrival order.
+  std::vector<std::size_t> won_offsets_;     // size k+1
+  std::vector<Channel> won_flat_;
+  std::vector<std::size_t> member_offsets_;  // size k+1
+  std::vector<std::size_t> member_flat_;
+  std::vector<std::size_t> csr_cursor_;      // fill cursors for both sorts
 };
 
 }  // namespace wdm::core

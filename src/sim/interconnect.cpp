@@ -36,24 +36,29 @@ Interconnect::Interconnect(InterconnectConfig config)
       std::vector<ChannelState>(static_cast<std::size_t>(k())));
   const auto n_input_channels = static_cast<std::size_t>(config_.n_fibers) *
                                 static_cast<std::size_t>(k());
+  avail_.assign(n_input_channels, 1);  // N*k output plane, all channels free
   input_remaining_.assign(n_input_channels, 0);
   last_fiber_grants_.assign(static_cast<std::size_t>(config_.n_fibers), 0);
 }
 
 std::uint64_t Interconnect::busy_output_channels() const noexcept {
+  // The flat plane mirrors out_state_ occupancy, and scanning one byte per
+  // channel beats striding the 24-byte state structs.
   std::uint64_t busy = 0;
-  for (const auto& fiber : out_state_) {
-    for (const auto& ch : fiber) busy += ch.remaining > 0 ? 1u : 0u;
-  }
+  for (const auto a : avail_) busy += a == 0 ? 1u : 0u;
   return busy;
 }
 
 void Interconnect::age_connections() {
-  for (auto& fiber : out_state_) {
-    for (auto& ch : fiber) {
-      if (ch.remaining > 0) {
-        ch.remaining -= 1;
-        if (ch.remaining == 0) ch = ChannelState{};
+  const auto kk = static_cast<std::size_t>(k());
+  for (std::size_t fiber = 0; fiber < out_state_.size(); ++fiber) {
+    for (std::size_t u = 0; u < out_state_[fiber].size(); ++u) {
+      if (avail_[fiber * kk + u] != 0) continue;  // free, nothing to age
+      auto& ch = out_state_[fiber][u];
+      ch.remaining -= 1;
+      if (ch.remaining == 0) {
+        ch = ChannelState{};
+        avail_[fiber * kk + u] = 1;
       }
     }
   }
@@ -87,6 +92,9 @@ void Interconnect::occupy(std::int32_t output_fiber, core::Channel channel,
   WDM_CHECK_MSG(ch.remaining == 0, "granted channel is already occupied");
   ch = ChannelState{remaining, request.input_fiber, request.wavelength,
                     request.id};
+  avail_[static_cast<std::size_t>(output_fiber) *
+             static_cast<std::size_t>(k()) +
+         static_cast<std::size_t>(channel)] = 0;
   const std::size_t in = static_cast<std::size_t>(request.input_fiber) *
                              static_cast<std::size_t>(k()) +
                          static_cast<std::size_t>(request.wavelength);
@@ -125,6 +133,7 @@ void Interconnect::teardown_faulted(
       stats.dropped_faulted += 1;
       release_input(ch.input_fiber, ch.wavelength);
       ch = ChannelState{};
+      avail_[fiber * static_cast<std::size_t>(k()) + u] = 1;
     }
   }
 }
@@ -163,43 +172,58 @@ SlotStats Interconnect::step(std::span<const core::SlotRequest> arrivals,
   }
   stats.busy_channels = busy_output_channels();
   slot_ += 1;
+#ifndef NDEBUG
+  // The incrementally maintained plane must agree with a from-scratch
+  // rebuild after every step (debug builds only; the rebuild is O(Nk)).
+  const auto rebuilt = availability();
+  for (std::size_t fiber = 0; fiber < rebuilt.size(); ++fiber) {
+    for (std::size_t u = 0; u < rebuilt[fiber].size(); ++u) {
+      WDM_DCHECK(avail_[fiber * static_cast<std::size_t>(k()) + u] ==
+                 rebuilt[fiber][u]);
+    }
+  }
+#endif
   return stats;
 }
 
 void Interconnect::run_retries(const std::vector<core::HealthMask>* health,
                                util::ThreadPool* pool, SlotStats& stats) {
   if (retry_queue_.empty()) return;
-  std::vector<PendingRetry> due;
-  std::vector<PendingRetry> later;
+  due_.clear();
+  retry_later_.clear();
+  due_.reserve(retry_queue_.size());
+  retry_later_.reserve(retry_queue_.size());
   for (auto& pending : retry_queue_) {
-    (pending.due_slot <= slot_ ? due : later).push_back(pending);
+    (pending.due_slot <= slot_ ? due_ : retry_later_).push_back(pending);
   }
-  retry_queue_ = std::move(later);
-  if (due.empty()) return;
+  // Swap instead of move-assign so both buffers keep their capacity.
+  std::swap(retry_queue_, retry_later_);
+  if (due_.empty()) return;
 
-  stats.retry_attempts += due.size();
-  std::vector<core::SlotRequest> batch;
-  batch.reserve(due.size());
-  for (const auto& pending : due) batch.push_back(pending.request);
-  const auto masks = availability();
-  const auto decisions = scheduler_.schedule_slot(batch, &masks, health, pool);
-  for (std::size_t i = 0; i < due.size(); ++i) {
-    if (decisions[i].granted) {
+  stats.retry_attempts += due_.size();
+  batch_.clear();
+  batch_.reserve(due_.size());
+  for (const auto& pending : due_) batch_.push_back(pending.request);
+  decisions_.resize(batch_.size());
+  scheduler_.schedule_slot_into(batch_, availability_view(), health, pool,
+                                decisions_);
+  for (std::size_t i = 0; i < due_.size(); ++i) {
+    if (decisions_[i].granted) {
       stats.granted += 1;
       stats.retry_successes += 1;
-      occupy(batch[i].output_fiber, decisions[i].channel, batch[i],
-             batch[i].duration);
-      last_fiber_grants_[static_cast<std::size_t>(batch[i].output_fiber)] += 1;
+      occupy(batch_[i].output_fiber, decisions_[i].channel, batch_[i],
+             batch_[i].duration);
+      last_fiber_grants_[static_cast<std::size_t>(batch_[i].output_fiber)] += 1;
       continue;
     }
-    if (decisions[i].reason == core::RejectReason::kFaulted &&
-        try_defer(batch[i], due[i].attempts, stats)) {
+    if (decisions_[i].reason == core::RejectReason::kFaulted &&
+        try_defer(batch_[i], due_[i].attempts, stats)) {
       continue;
     }
     stats.rejected += 1;
-    if (decisions[i].reason == core::RejectReason::kFaulted) {
+    if (decisions_[i].reason == core::RejectReason::kFaulted) {
       stats.rejected_faulted += 1;
-    } else if (core::is_malformed(decisions[i].reason)) {
+    } else if (core::is_malformed(decisions_[i].reason)) {
       stats.rejected_malformed += 1;
     }
   }
@@ -216,8 +240,8 @@ void Interconnect::schedule_new_arrivals(
   // The scheduler re-validates what it can see, but the input-fiber upper
   // bound — needed before occupy() touches per-input-channel state — is only
   // known here.
-  std::vector<core::SlotRequest> valid;
-  valid.reserve(arrivals.size());
+  valid_.clear();
+  valid_.reserve(arrivals.size());
   for (const auto& r : arrivals) {
     const bool ok = r.input_fiber >= 0 && r.input_fiber < config_.n_fibers &&
                     r.output_fiber >= 0 && r.output_fiber < config_.n_fibers &&
@@ -228,16 +252,16 @@ void Interconnect::schedule_new_arrivals(
       stats.rejected_malformed += 1;
       continue;
     }
-    valid.push_back(r);
+    valid_.push_back(r);
   }
 
   // Partition by QoS class (strict priority, 0 = highest); the common
   // single-class case stays a single scheduling pass.
   std::int32_t max_class = 0;
-  for (const auto& r : valid) {
+  for (const auto& r : valid_) {
     max_class = std::max(max_class, r.priority);
   }
-  if (!valid.empty()) {
+  if (!valid_.empty()) {
     // Always record per-class; a multi-class *run* can still have
     // single-class slots, and the driver must see them (it collapses the
     // vectors at report time if the whole run was single-class).
@@ -246,34 +270,36 @@ void Interconnect::schedule_new_arrivals(
   }
 
   for (std::int32_t cls = 0; cls <= max_class; ++cls) {
-    std::vector<core::SlotRequest> batch;
-    for (const auto& r : valid) {
-      if (r.priority == cls) batch.push_back(r);
+    batch_.clear();
+    batch_.reserve(valid_.size());
+    for (const auto& r : valid_) {
+      if (r.priority == cls) batch_.push_back(r);
     }
-    if (batch.empty()) continue;
-    stats.arrivals_per_class[static_cast<std::size_t>(cls)] += batch.size();
+    if (batch_.empty()) continue;
+    stats.arrivals_per_class[static_cast<std::size_t>(cls)] += batch_.size();
     // Availability reflects everything higher classes just took.
-    const auto masks = availability();
-    const auto decisions = scheduler_.schedule_slot(batch, &masks, health, pool);
-    for (std::size_t i = 0; i < batch.size(); ++i) {
-      if (!decisions[i].granted) {
-        if (decisions[i].reason == core::RejectReason::kFaulted &&
-            try_defer(batch[i], 0, stats)) {
+    decisions_.resize(batch_.size());
+    scheduler_.schedule_slot_into(batch_, availability_view(), health, pool,
+                                  decisions_);
+    for (std::size_t i = 0; i < batch_.size(); ++i) {
+      if (!decisions_[i].granted) {
+        if (decisions_[i].reason == core::RejectReason::kFaulted &&
+            try_defer(batch_[i], 0, stats)) {
           continue;
         }
         stats.rejected += 1;
-        if (decisions[i].reason == core::RejectReason::kFaulted) {
+        if (decisions_[i].reason == core::RejectReason::kFaulted) {
           stats.rejected_faulted += 1;
-        } else if (core::is_malformed(decisions[i].reason)) {
+        } else if (core::is_malformed(decisions_[i].reason)) {
           stats.rejected_malformed += 1;
         }
         continue;
       }
       stats.granted += 1;
       stats.granted_per_class[static_cast<std::size_t>(cls)] += 1;
-      occupy(batch[i].output_fiber, decisions[i].channel, batch[i],
-             batch[i].duration);
-      last_fiber_grants_[static_cast<std::size_t>(batch[i].output_fiber)] += 1;
+      occupy(batch_[i].output_fiber, decisions_[i].channel, batch_[i],
+             batch_[i].duration);
+      last_fiber_grants_[static_cast<std::size_t>(batch_[i].output_fiber)] += 1;
     }
   }
 }
@@ -300,30 +326,35 @@ void Interconnect::step_rearrange(
   // saturates them all. Under faults the surviving graph may be smaller: the
   // health-aware schedule re-homes whoever still fits, and the rest are
   // genuine fault casualties.
-  std::vector<core::SlotRequest> continuing;
-  std::vector<std::int32_t> continuing_remaining;
+  continuing_.clear();
+  continuing_remaining_.clear();
   for (std::size_t fiber = 0; fiber < out_state_.size(); ++fiber) {
-    for (auto& ch : out_state_[fiber]) {
+    for (std::size_t u = 0; u < out_state_[fiber].size(); ++u) {
+      auto& ch = out_state_[fiber][u];
       if (ch.remaining == 0) continue;
-      continuing.push_back(core::SlotRequest{
+      continuing_.push_back(core::SlotRequest{
           ch.input_fiber, ch.wavelength, static_cast<std::int32_t>(fiber),
           ch.id, ch.remaining});
-      continuing_remaining.push_back(ch.remaining);
+      continuing_remaining_.push_back(ch.remaining);
       ch = ChannelState{};
+      avail_[fiber * static_cast<std::size_t>(k()) + u] = 1;
     }
   }
-  if (!continuing.empty()) {
-    const auto decisions =
-        scheduler_.schedule_slot(continuing, nullptr, health, pool);
-    for (std::size_t i = 0; i < continuing.size(); ++i) {
-      if (decisions[i].granted) {
-        occupy(continuing[i].output_fiber, decisions[i].channel, continuing[i],
-               continuing_remaining[i]);
+  if (!continuing_.empty()) {
+    // Phase 1 sees the whole fabric free: an empty view, like the old null
+    // availability pointer, means every channel is schedulable.
+    decisions_.resize(continuing_.size());
+    scheduler_.schedule_slot_into(continuing_, core::AvailabilityView{},
+                                  health, pool, decisions_);
+    for (std::size_t i = 0; i < continuing_.size(); ++i) {
+      if (decisions_[i].granted) {
+        occupy(continuing_[i].output_fiber, decisions_[i].channel,
+               continuing_[i], continuing_remaining_[i]);
       } else {
         // With faults active this is a connection the surviving graph could
         // not re-home; without, it cannot happen for a maximum matching (see
         // above) and is accounted defensively so a scheduler bug surfaces.
-        release_input(continuing[i].input_fiber, continuing[i].wavelength);
+        release_input(continuing_[i].input_fiber, continuing_[i].wavelength);
         if (health != nullptr) {
           stats.dropped_faulted += 1;
         } else {

@@ -20,6 +20,7 @@
 #include <span>
 #include <vector>
 
+#include "core/availability.hpp"
 #include "core/conversion.hpp"
 #include "core/distributed.hpp"
 #include "sim/faults.hpp"
@@ -86,6 +87,13 @@ class Interconnect {
 
   std::uint64_t busy_output_channels() const noexcept;
 
+  /// Flat N×k occupancy plane (1 = free), maintained incrementally on grant
+  /// and expiry — the zero-rebuild availability input of the slot pipeline.
+  core::AvailabilityView availability_view() const noexcept {
+    return core::AvailabilityView(avail_.data(), config_.n_fibers,
+                                  config_.scheme.k());
+  }
+
   /// The fault injector, or nullptr when the config enables no faults.
   const FaultInjector* fault_injector() const noexcept { return faults_.get(); }
   /// Requests currently parked in the retry queue.
@@ -130,16 +138,30 @@ class Interconnect {
   void age_connections();
   void occupy(std::int32_t output_fiber, core::Channel channel,
               const core::SlotRequest& request, std::int32_t remaining);
+  /// From-scratch rebuild of the occupancy masks; debug cross-check of the
+  /// incrementally maintained `avail_` plane only.
   std::vector<std::vector<std::uint8_t>> availability() const;
 
   InterconnectConfig config_;
   core::DistributedScheduler scheduler_;
   std::unique_ptr<FaultInjector> faults_;  // null when faults disabled
   std::vector<std::vector<ChannelState>> out_state_;  // [fiber][channel]
+  std::vector<std::uint8_t> avail_;  // flat N×k plane, 1 = free; updated in
+                                     // lockstep with out_state_ (no rebuild)
   std::vector<std::int32_t> input_remaining_;         // [fiber*k + w]
   std::vector<std::uint64_t> last_fiber_grants_;
   std::vector<PendingRetry> retry_queue_;
   std::uint64_t slot_ = 0;  // internal slot counter (retry due times)
+
+  // Reusable per-slot scratch: capacity persists across steps, so the
+  // scheduling path of a steady-state slot performs no heap allocation.
+  std::vector<core::SlotRequest> valid_;        // validated fresh arrivals
+  std::vector<core::SlotRequest> batch_;        // one class / retry batch
+  std::vector<PendingRetry> due_;               // retries due this slot
+  std::vector<PendingRetry> retry_later_;       // retries still waiting
+  std::vector<core::PortDecision> decisions_;   // scheduler output
+  std::vector<core::SlotRequest> continuing_;   // kRearrange lifted conns
+  std::vector<std::int32_t> continuing_remaining_;
 };
 
 }  // namespace wdm::sim

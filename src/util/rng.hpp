@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 namespace wdm::util {
@@ -59,14 +60,19 @@ class Rng {
   /// mean 1/p. Requires 0 < p <= 1.
   std::uint64_t geometric(double p) noexcept;
 
-  /// Fisher–Yates shuffle.
+  /// Fisher–Yates shuffle. The draw sequence depends only on the length, so
+  /// shuffling a vector or a span of the same size replays identically.
   template <typename T>
-  void shuffle(std::vector<T>& v) noexcept {
+  void shuffle(std::span<T> v) noexcept {
     for (std::size_t i = v.size(); i > 1; --i) {
       const std::size_t j = static_cast<std::size_t>(uniform_below(i));
       using std::swap;
       swap(v[i - 1], v[j]);
     }
+  }
+  template <typename T>
+  void shuffle(std::vector<T>& v) noexcept {
+    shuffle(std::span<T>(v));
   }
 
  private:

@@ -24,6 +24,11 @@ const std::string& Table::at(std::size_t row, std::size_t col) const {
   return rows_[row][col];
 }
 
+const std::string& Table::header(std::size_t col) const {
+  WDM_CHECK(col < headers_.size());
+  return headers_[col];
+}
+
 void Table::print(std::ostream& os) const {
   std::vector<std::size_t> widths(headers_.size());
   for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();

@@ -26,6 +26,8 @@ class Table {
   std::size_t rows() const noexcept { return rows_.size(); }
   std::size_t columns() const noexcept { return headers_.size(); }
   const std::string& at(std::size_t row, std::size_t col) const;
+  /// Header of column `col` (bench JSON serialisation keys rows by these).
+  const std::string& header(std::size_t col) const;
 
   /// Renders with space-padded, right-aligned columns.
   void print(std::ostream& os) const;

@@ -1,7 +1,6 @@
 #include "util/threadpool.hpp"
 
 #include <algorithm>
-#include <exception>
 
 #include "util/check.hpp"
 
@@ -56,46 +55,78 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
   return future;
 }
 
-void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
-                              const std::function<void(std::size_t)>& fn) {
-  if (begin >= end) return;
-  // Chunk so each worker gets a contiguous range: per-index dispatch through
-  // a shared cursor would pay a contended fetch_add per output fiber,
-  // dwarfing an O(k) schedule.
-  const auto chunks = split_ranges(begin, end, workers_.size());
-  if (chunks.size() == 1) {
-    for (std::size_t i = begin; i < end; ++i) fn(i);
-    return;
-  }
-  std::vector<std::future<void>> futures;
-  futures.reserve(chunks.size());
-  for (const auto& [lo, hi] : chunks) {
-    futures.push_back(submit([&fn, lo, hi] {
-      for (std::size_t i = lo; i < hi; ++i) fn(i);
-    }));
-  }
-  std::exception_ptr first_error;
-  for (auto& f : futures) {
+void ThreadPool::work_on(ParallelJob& job) {
+  // Chunk c is the c-th split_ranges(begin, begin + total, n_chunks) range:
+  // earlier chunks take the remainder, computed arithmetically so claiming a
+  // chunk is one relaxed fetch_add and no shared state.
+  const std::size_t base = job.total / job.n_chunks;
+  const std::size_t extra = job.total % job.n_chunks;
+  for (;;) {
+    const std::size_t c = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (c >= job.n_chunks) return;
+    const std::size_t lo = job.begin + c * base + std::min(c, extra);
+    const std::size_t hi = lo + base + (c < extra ? 1 : 0);
     try {
-      f.get();
+      job.invoke(job.ctx, lo, hi);
     } catch (...) {
-      if (!first_error) first_error = std::current_exception();
+      const std::lock_guard lock(mutex_);
+      if (!job.error) job.error = std::current_exception();
     }
   }
-  if (first_error) std::rethrow_exception(first_error);
+}
+
+void ThreadPool::run_parallel_job(ParallelJob& job) {
+  {
+    std::unique_lock lock(mutex_);
+    if (job_ != nullptr || stopping_) {
+      // The parallel slot is taken (concurrent or nested parallel_for on the
+      // same pool): run the whole range inline — correct, never deadlocks.
+      lock.unlock();
+      job.invoke(job.ctx, job.begin, job.begin + job.total);
+      return;
+    }
+    job_ = &job;
+  }
+  cv_.notify_all();
+  work_on(job);  // the caller claims chunks alongside the workers
+
+  std::unique_lock lock(mutex_);
+  // The ticket is exhausted (work_on returned), so unpublish the job: no new
+  // worker may pick it up. A worker that drained the ticket first may have
+  // already done this.
+  if (job_ == &job) job_ = nullptr;
+  done_cv_.wait(lock, [&job] { return job.refs == 0; });
+  if (job.error) std::rethrow_exception(job.error);
 }
 
 void ThreadPool::worker_loop() {
+  std::unique_lock lock(mutex_);
   for (;;) {
-    std::packaged_task<void()> task;
-    {
-      std::unique_lock lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping_ and drained
-      task = std::move(queue_.front());
-      queue_.pop_front();
+    cv_.wait(lock, [this] {
+      return stopping_ || job_ != nullptr || !queue_.empty();
+    });
+    if (job_ != nullptr) {
+      ParallelJob* job = job_;
+      job->refs += 1;
+      lock.unlock();
+      work_on(*job);
+      lock.lock();
+      // Ticket drained: unpublish so no worker re-claims it, then drop the
+      // reference; the last thread out wakes the waiting caller.
+      if (job_ == job) job_ = nullptr;
+      job->refs -= 1;
+      if (job->refs == 0) done_cv_.notify_all();
+      continue;
     }
-    task();  // packaged_task captures exceptions into the future
+    if (!queue_.empty()) {
+      std::packaged_task<void()> task = std::move(queue_.front());
+      queue_.pop_front();
+      lock.unlock();
+      task();  // packaged_task captures exceptions into the future
+      lock.lock();
+      continue;
+    }
+    return;  // stopping_ and drained
   }
 }
 

@@ -2,18 +2,31 @@
 //
 // The paper's key observation is that per-output-fiber schedules are
 // independent, so the N schedules of a slot can run concurrently — on separate
-// hardware units in a switch, or on worker threads in this reproduction. The
-// pool is deliberately simple: a mutex-protected deque is plenty for N tasks
-// per time slot, and keeps the code auditable.
+// hardware units in a switch, or on worker threads in this reproduction.
+//
+// Two dispatch paths:
+//  * submit() — general one-off tasks through a mutex-protected deque with a
+//    future per task. Simple and auditable; not on the per-slot hot path.
+//  * parallel_for() — the per-slot fan-out. A slot dispatches N fiber
+//    schedules thousands of times per second, so this path allocates nothing:
+//    the loop body stays a stack-held callable (no std::function, no
+//    packaged_task/future pair), workers claim contiguous chunks off an
+//    atomic ticket, and ranges below a small threshold run inline on the
+//    caller. The chunking is split_ranges(begin, end, size()), same as the
+//    deque path always used, so each chunk runs contiguously on one thread.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -28,6 +41,10 @@ std::vector<std::pair<std::size_t, std::size_t>> split_ranges(
 
 class ThreadPool {
  public:
+  /// Ranges of at most this many indices run inline on the caller: waking
+  /// workers costs more than a handful of O(k) fiber schedules.
+  static constexpr std::size_t kInlineThreshold = 8;
+
   /// Spawns `threads` workers; 0 means std::thread::hardware_concurrency().
   explicit ThreadPool(std::size_t threads = 0);
   ~ThreadPool();
@@ -42,19 +59,60 @@ class ThreadPool {
 
   /// Runs fn(i) for i in [begin, end) across the pool and waits for all of
   /// them. The range is split into split_ranges(begin, end, size()) contiguous
-  /// chunks, one task each, so workers never contend on a shared index; a
-  /// single-chunk range runs inline on the caller. Exceptions propagate (the
-  /// first one encountered is rethrown).
-  void parallel_for(std::size_t begin, std::size_t end,
-                    const std::function<void(std::size_t)>& fn);
+  /// chunks claimed off an atomic ticket by the workers *and the caller*, so
+  /// workers never contend on a shared index and the dispatch performs no
+  /// heap allocation. Ranges of at most kInlineThreshold indices (or a pool
+  /// with one worker, or a pool whose parallel slot is already taken by a
+  /// concurrent/nested parallel_for) run inline on the caller. Exceptions
+  /// propagate (the first one encountered is rethrown).
+  template <typename Fn>
+  void parallel_for(std::size_t begin, std::size_t end, Fn&& fn) {
+    if (begin >= end) return;
+    const std::size_t n = end - begin;
+    if (n <= kInlineThreshold || workers_.size() <= 1) {
+      for (std::size_t i = begin; i < end; ++i) fn(i);
+      return;
+    }
+    using F = std::remove_reference_t<Fn>;
+    ParallelJob job;
+    job.invoke = [](void* ctx, std::size_t lo, std::size_t hi) {
+      F& f = *static_cast<F*>(ctx);
+      for (std::size_t i = lo; i < hi; ++i) f(i);
+    };
+    job.ctx = const_cast<void*>(static_cast<const void*>(std::addressof(fn)));
+    job.begin = begin;
+    job.total = n;
+    job.n_chunks = std::min(n, workers_.size());
+    run_parallel_job(job);
+  }
 
  private:
+  /// One parallel_for dispatch, held on the caller's stack for its duration.
+  /// `next` is the chunk ticket; chunk c covers the split_ranges chunk of the
+  /// same index. `refs` (guarded by mutex_) counts threads still touching the
+  /// job, so the caller knows when the stack frame may be retired.
+  struct ParallelJob {
+    void (*invoke)(void* ctx, std::size_t lo, std::size_t hi) = nullptr;
+    void* ctx = nullptr;
+    std::size_t begin = 0;
+    std::size_t total = 0;
+    std::size_t n_chunks = 0;
+    std::atomic<std::size_t> next{0};
+    std::size_t refs = 0;              // guarded by mutex_
+    std::exception_ptr error;          // first failure, guarded by mutex_
+  };
+
+  void run_parallel_job(ParallelJob& job);
+  /// Claims and runs chunks until the ticket is exhausted.
+  void work_on(ParallelJob& job);
   void worker_loop();
 
   std::vector<std::thread> workers_;
   std::deque<std::packaged_task<void()>> queue_;
+  ParallelJob* job_ = nullptr;  // active parallel_for, guarded by mutex_
   std::mutex mutex_;
-  std::condition_variable cv_;
+  std::condition_variable cv_;       // wakes workers (queue, job, stop)
+  std::condition_variable done_cv_;  // wakes parallel_for callers (refs == 0)
   bool stopping_ = false;
 };
 

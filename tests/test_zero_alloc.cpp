@@ -1,0 +1,145 @@
+// Enforces the zero-allocation contract of the slot pipeline: once the
+// scratch arenas are warm, the scheduler + availability-update path performs
+// no heap allocation at all, and a full Interconnect::step allocates exactly
+// the two SlotStats per-class vectors it returns by value (the documented
+// QoS-accounting allowance).
+//
+// This test replaces the global operator new/delete with counting versions,
+// so it lives in its own binary (tests/CMakeLists.txt) — instrumenting the
+// main wdm_tests binary would tax every other test for no benefit.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "core/availability.hpp"
+#include "core/distributed.hpp"
+#include "sim/interconnect.hpp"
+#include "util/rng.hpp"
+
+namespace {
+std::atomic<std::uint64_t> g_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace wdm {
+namespace {
+
+std::vector<std::vector<core::SlotRequest>> make_slots(std::int32_t n_fibers,
+                                                       std::int32_t k,
+                                                       std::size_t n_slots,
+                                                       double load) {
+  util::Rng rng(42);
+  std::vector<std::vector<core::SlotRequest>> slots(n_slots);
+  std::uint64_t id = 0;
+  for (auto& slot : slots) {
+    for (std::int32_t fib = 0; fib < n_fibers; ++fib) {
+      for (core::Wavelength w = 0; w < k; ++w) {
+        if (!rng.bernoulli(load)) continue;
+        slot.push_back(core::SlotRequest{
+            fib, w,
+            static_cast<std::int32_t>(
+                rng.uniform_below(static_cast<std::uint64_t>(n_fibers))),
+            id++, 1 + static_cast<std::int32_t>(rng.uniform_below(3)), 0});
+      }
+    }
+  }
+  return slots;
+}
+
+// The debug builds cross-check the incremental availability plane against a
+// from-scratch rebuild inside Interconnect::step, and WDM_DCHECKs in the BFA
+// kernel recompute reduced adjacencies — both allocate. The contract holds
+// for optimized builds, which is what the benchmarks and CI smoke job run.
+#ifdef NDEBUG
+constexpr bool kOptimizedBuild = true;
+#else
+constexpr bool kOptimizedBuild = false;
+#endif
+
+TEST(ZeroAlloc, SchedulerAndAvailabilityPathIsAllocationFreeWhenWarm) {
+  if (!kOptimizedBuild) GTEST_SKIP() << "debug cross-checks allocate";
+  const std::int32_t n = 16;
+  const std::int32_t k = 8;
+  const auto slots = make_slots(n, k, 64, 0.7);
+  for (const bool circular : {true, false}) {
+    const auto scheme = circular ? core::ConversionScheme::circular(k, 1, 1)
+                                 : core::ConversionScheme::non_circular(k, 1, 1);
+    // kRandom arbitration: the RNG-consuming path must be allocation-free too.
+    core::DistributedScheduler sched(n, scheme, core::Algorithm::kAuto,
+                                     core::Arbitration::kRandom, 5);
+    std::vector<std::uint8_t> plane(
+        static_cast<std::size_t>(n) * static_cast<std::size_t>(k), 1);
+    const core::AvailabilityView view(plane.data(), n, k);
+    std::vector<core::PortDecision> decisions;
+    decisions.reserve(static_cast<std::size_t>(n) * static_cast<std::size_t>(k));
+
+    const auto sweep = [&] {
+      for (const auto& slot : slots) {
+        decisions.resize(slot.size());
+        sched.schedule_slot_into(slot, view, nullptr, nullptr, decisions);
+        // Plane updates in both directions, as the interconnect would do.
+        for (std::size_t i = 0; i < slot.size(); ++i) {
+          if (!decisions[i].granted) continue;
+          plane[static_cast<std::size_t>(slot[i].output_fiber) *
+                    static_cast<std::size_t>(k) +
+                static_cast<std::size_t>(decisions[i].channel)] = 0;
+        }
+        for (std::size_t i = 0; i < slot.size(); ++i) {
+          if (!decisions[i].granted) continue;
+          plane[static_cast<std::size_t>(slot[i].output_fiber) *
+                    static_cast<std::size_t>(k) +
+                static_cast<std::size_t>(decisions[i].channel)] = 1;
+        }
+      }
+    };
+
+    sweep();  // warm-up: every scratch arena reaches its high-water capacity
+    const std::uint64_t before = g_allocs.load(std::memory_order_relaxed);
+    sweep();
+    const std::uint64_t after = g_allocs.load(std::memory_order_relaxed);
+    EXPECT_EQ(after - before, 0u)
+        << (circular ? "circular" : "non-circular")
+        << ": the warm scheduler + availability path must not allocate";
+  }
+}
+
+TEST(ZeroAlloc, InterconnectStepAllocatesOnlyTheSlotStatsVectors) {
+  if (!kOptimizedBuild) GTEST_SKIP() << "debug cross-checks allocate";
+  const std::int32_t n = 16;
+  const std::int32_t k = 8;
+  const auto slots = make_slots(n, k, 64, 0.7);
+  sim::InterconnectConfig cfg;
+  cfg.n_fibers = n;
+  cfg.scheme = core::ConversionScheme::circular(k, 1, 1);
+  cfg.seed = 5;
+  sim::Interconnect ic(cfg);
+
+  std::uint64_t sink = 0;
+  for (const auto& slot : slots) sink += ic.step(slot).granted;  // warm-up
+
+  const std::uint64_t before = g_allocs.load(std::memory_order_relaxed);
+  for (const auto& slot : slots) sink += ic.step(slot).granted;
+  const std::uint64_t after = g_allocs.load(std::memory_order_relaxed);
+
+  // Exactly 2 per slot: SlotStats.arrivals_per_class and .granted_per_class,
+  // sized to the number of QoS classes in the returned-by-value stats. The
+  // pipeline itself (partition, schedule, occupy, age) contributes zero.
+  EXPECT_EQ(after - before, 2 * slots.size()) << "sink " << sink;
+}
+
+}  // namespace
+}  // namespace wdm
