@@ -16,10 +16,16 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/utsname.h>
+#endif
 
 #include "util/table.hpp"
 
@@ -183,9 +189,52 @@ inline Json table_json(const util::Table& table) {
   return rows;
 }
 
+/// First /proc/cpuinfo "model name" value, or empty when unavailable
+/// (non-Linux, restricted container).
+inline std::string cpu_model() {
+  std::ifstream cpuinfo("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(cpuinfo, line)) {
+    const auto colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    if (line.compare(0, 10, "model name") != 0) continue;
+    auto value = line.substr(colon + 1);
+    const auto first = value.find_first_not_of(" \t");
+    return first == std::string::npos ? std::string() : value.substr(first);
+  }
+  return {};
+}
+
+/// Host identity block attached to every artifact: uname fields, CPU model,
+/// and logical core count. bench_report.py uses "host_key" to pick the
+/// matching baseline set and skips the whole "meta" subtree when diffing
+/// numbers — two hosts' throughputs are never directly comparable.
+inline Json host_meta_json() {
+  std::string sysname = "unknown";
+  std::string release;
+  std::string machine = "unknown";
+#if defined(__unix__) || defined(__APPLE__)
+  utsname u{};
+  if (uname(&u) == 0) {
+    sysname = u.sysname;
+    release = u.release;
+    machine = u.machine;
+  }
+#endif
+  Json meta = Json::object();
+  meta.set("host_key", sysname + "-" + machine)
+      .set("uname_sysname", sysname)
+      .set("uname_release", release)
+      .set("uname_machine", machine)
+      .set("cpu_model", cpu_model())
+      .set("ncpus", std::thread::hardware_concurrency());
+  return meta;
+}
+
 /// Writes BENCH_<name>.json in the working directory (the convention every
-/// bench binary follows) and logs the path. Failure to write is reported but
-/// never fatal: the console table already happened.
+/// bench binary follows) and logs the path. A "meta" host-identity block is
+/// stamped onto the root so baselines can be keyed by host. Failure to
+/// write is reported but never fatal: the console table already happened.
 inline void write_bench_json(const std::string& name, const Json& root) {
   const std::string path = "BENCH_" + name + ".json";
   std::FILE* f = std::fopen(path.c_str(), "w");
@@ -193,7 +242,9 @@ inline void write_bench_json(const std::string& name, const Json& root) {
     std::cerr << "could not write " << path << "\n";
     return;
   }
-  const std::string text = root.dump();
+  Json stamped = root;
+  stamped.set("meta", host_meta_json());
+  const std::string text = stamped.dump();
   std::fwrite(text.data(), 1, text.size(), f);
   std::fclose(f);
   std::cout << "\nwrote " << path << "\n";

@@ -2,15 +2,24 @@
 """Diff two sets of BENCH_*.json artifacts.
 
 Usage:
-    scripts/bench_report.py BASELINE_DIR CURRENT_DIR [--threshold PCT]
+    scripts/bench_report.py BASELINE_DIR CURRENT_DIR [--tolerance PCT]
 
 Each directory holds the BENCH_<name>.json files a bench run leaves behind
 (bench/baselines/ keeps the checked-in reference; a fresh run writes its
 files into the working directory). The report pairs files by name, walks
 every numeric leaf that looks like a rate or cost, and prints the relative
 change. Exit status is 1 when any throughput-like metric regresses by more
-than --threshold percent (default 15, generous because the CI box is a
-noisy single core), so the script can gate CI.
+than --tolerance percent (default 15, generous because the CI box is a
+noisy single core), so the script can gate CI. --threshold is kept as a
+deprecated alias.
+
+Baselines are keyed by host: every artifact carries a "meta" block
+(bench_io.hpp) with a "host_key" like "Linux-x86_64". When the baseline
+directory has a subdirectory named after the current artifacts' host key,
+that subdirectory is used; otherwise the directory itself is. A host-key
+mismatch between the chosen baseline and the current run is reported as a
+warning — cross-host numbers never gate. The "meta" subtree is excluded
+from the numeric diff entirely.
 
 Understands both artifact layouts:
   * the bench_io.hpp tree (objects/arrays of numbers, "rows" tables), and
@@ -28,7 +37,8 @@ from pathlib import Path
 # reported but never gates (loss probabilities, gate counts, byte tallies
 # move for legitimate reasons).
 HIGHER_IS_BETTER = ("slots_per_s", "slots/s", "slots_per_sec", "throughput")
-LOWER_IS_BETTER = ("cpu_time", "real_time", "allocs_per_slot", "bytes_per_slot")
+LOWER_IS_BETTER = ("cpu_time", "real_time", "allocs_per_slot", "bytes_per_slot",
+                   "p50_ns", "p99_ns")
 
 
 def flatten(node, prefix=""):
@@ -39,6 +49,8 @@ def flatten(node, prefix=""):
         for key, value in node.items():
             if key == "name":
                 continue
+            if key == "meta" and not prefix:
+                continue  # host identity block: never part of the diff
             label = f"{prefix}{name}.{key}" if name else f"{prefix}{key}"
             yield from flatten(value, label)
     elif isinstance(node, list):
@@ -60,7 +72,12 @@ def classify(path):
     return "neutral"
 
 
-def compare_file(name, base, curr, threshold):
+def host_key(tree):
+    meta = tree.get("meta") if isinstance(tree, dict) else None
+    return meta.get("host_key") if isinstance(meta, dict) else None
+
+
+def compare_file(name, base, curr, tolerance):
     base_map = dict(flatten(base))
     curr_map = dict(flatten(curr))
     regressions = []
@@ -74,8 +91,8 @@ def compare_file(name, base, curr, threshold):
             continue
         change = 100.0 * (new - old) / old
         marker = ""
-        regressed = (direction == "higher" and change < -threshold) or (
-            direction == "lower" and change > threshold
+        regressed = (direction == "higher" and change < -tolerance) or (
+            direction == "lower" and change > tolerance
         )
         if regressed:
             marker = "  <-- REGRESSION"
@@ -87,26 +104,53 @@ def compare_file(name, base, curr, threshold):
     return regressions
 
 
+def pick_baseline_dir(baseline, curr_files):
+    """Resolve per-host baseline layout: baseline/<host_key>/ if it matches
+    the current artifacts' host key, else the flat directory."""
+    for path in curr_files.values():
+        try:
+            key = host_key(json.loads(path.read_text()))
+        except (OSError, json.JSONDecodeError):
+            continue
+        if key and (baseline / key).is_dir():
+            return baseline / key
+        break
+    return baseline
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("baseline", type=Path)
     parser.add_argument("current", type=Path)
-    parser.add_argument("--threshold", type=float, default=15.0,
-                        help="regression gate in percent (default 15)")
+    parser.add_argument("--tolerance", "--threshold", dest="tolerance",
+                        type=float, default=15.0,
+                        help="regression gate in percent (default 15); "
+                             "--threshold is a deprecated alias")
     args = parser.parse_args()
 
-    base_files = {p.name: p for p in sorted(args.baseline.glob("BENCH_*.json"))}
     curr_files = {p.name: p for p in sorted(args.current.glob("BENCH_*.json"))}
+    baseline_dir = pick_baseline_dir(args.baseline, curr_files)
+    if baseline_dir != args.baseline:
+        print(f"using host-keyed baseline {baseline_dir}")
+    base_files = {p.name: p for p in sorted(baseline_dir.glob("BENCH_*.json"))}
     common = sorted(set(base_files) & set(curr_files))
     if not common:
         print("no BENCH_*.json pairs found in common", file=sys.stderr)
         return 2
 
     all_regressions = []
+    host_mismatch = False
     for name in common:
         base = json.loads(base_files[name].read_text())
         curr = json.loads(curr_files[name].read_text())
-        all_regressions += compare_file(name, base, curr, args.threshold)
+        base_key, curr_key = host_key(base), host_key(curr)
+        if base_key and curr_key and base_key != curr_key:
+            host_mismatch = True
+            print(f"{name}: host mismatch ({base_key} baseline vs {curr_key} "
+                  "current) — reporting only, not gating")
+            compare_file(name, base, curr, float("inf"))
+            continue
+        all_regressions += compare_file(name, base, curr, args.tolerance)
 
     only_base = sorted(set(base_files) - set(curr_files))
     only_curr = sorted(set(curr_files) - set(base_files))
@@ -117,10 +161,11 @@ def main():
 
     if all_regressions:
         print(f"\n{len(all_regressions)} metric(s) regressed beyond "
-              f"{args.threshold:.0f}%", file=sys.stderr)
+              f"{args.tolerance:.0f}%", file=sys.stderr)
         return 1
-    print(f"\nno regressions beyond {args.threshold:.0f}% across "
-          f"{len(common)} artifact(s)")
+    suffix = " (host-mismatched artifacts not gated)" if host_mismatch else ""
+    print(f"\nno regressions beyond {args.tolerance:.0f}% across "
+          f"{len(common)} artifact(s){suffix}")
     return 0
 
 

@@ -1,8 +1,10 @@
 #include "core/distributed.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 #include "util/check.hpp"
+#include "util/timer.hpp"
 
 namespace wdm::core {
 
@@ -33,7 +35,7 @@ template <typename RowFn>
 void DistributedScheduler::schedule_slot_impl(
     std::span<const SlotRequest> requests, RowFn&& row_of,
     const std::vector<HealthMask>* health, util::ThreadPool* pool,
-    std::span<PortDecision> decisions) {
+    std::span<PortDecision> decisions, SlotBudget* budget) {
   const auto n_fibers = static_cast<std::size_t>(n_output_fibers());
   std::fill(decisions.begin(), decisions.end(), PortDecision{});
 
@@ -88,6 +90,34 @@ void DistributedScheduler::schedule_slot_impl(
     flat_origin_[pos] = idx;
   }
 
+  // Deadline-bounded degradation plan. The op-budget decisions are made here,
+  // serially and in fiber order, *before* any scheduling work: the same slot
+  // degrades the same ports whether or not a pool is attached. The wall-clock
+  // deadline is additionally checked as each fiber's schedule starts.
+  const bool budgeted = budget != nullptr && budget->active();
+  if (budgeted) {
+    degrade_flags_.assign(n_fibers, 0);
+    const auto kk = static_cast<std::uint64_t>(k());
+    const auto d = static_cast<std::uint64_t>(scheme_.degree());
+    for (std::size_t fiber = 0; fiber < n_fibers; ++fiber) {
+      if (fiber_offsets_[fiber] == fiber_offsets_[fiber + 1]) continue;
+      const bool degradable = ports_[fiber].degradable();
+      const std::uint64_t exact_cost = degradable ? d * kk : kk;
+      budget->ops_exact_estimate += exact_cost;
+      bool degrade = budget->force_degraded;
+      if (!degrade && budget->op_budget > 0 &&
+          budget->ops_charged + exact_cost > budget->op_budget) {
+        degrade = true;
+      }
+      budget->ops_charged += degrade && degradable ? kk : exact_cost;
+      if (degrade && degradable) {
+        degrade_flags_[fiber] = 1;
+        budget->degraded_ports += 1;
+      }
+    }
+  }
+  std::atomic<std::int32_t> deadline_degraded{0};
+
   const auto schedule_fiber = [&](std::size_t fiber) {
     const std::size_t lo = fiber_offsets_[fiber];
     const std::size_t hi = fiber_offsets_[fiber + 1];
@@ -96,8 +126,15 @@ void DistributedScheduler::schedule_slot_impl(
     const std::span<PortDecision> staged{csr_decisions_.data() + lo, hi - lo};
     const HealthMask* fiber_health =
         health != nullptr ? &(*health)[fiber] : nullptr;
+    bool degraded = budgeted && degrade_flags_[fiber] != 0;
+    if (budgeted && !degraded && budget->deadline_ns != 0 &&
+        ports_[fiber].degradable() && util::now_ns() > budget->deadline_ns) {
+      degraded = true;
+      deadline_degraded.fetch_add(1, std::memory_order_relaxed);
+    }
     try {
-      ports_[fiber].schedule_into(batch, row_of(fiber), fiber_health, staged);
+      ports_[fiber].schedule_into(batch, row_of(fiber), fiber_health, staged,
+                                  degraded);
       for (std::size_t i = 0; i < staged.size(); ++i) {
         decisions[flat_origin_[lo + i]] = staged[i];
       }
@@ -117,6 +154,9 @@ void DistributedScheduler::schedule_slot_impl(
     for (std::size_t fiber = 0; fiber < n_fibers; ++fiber) {
       schedule_fiber(fiber);
     }
+  }
+  if (budgeted) {
+    budget->degraded_ports += deadline_degraded.load(std::memory_order_relaxed);
   }
   for (auto& d : decisions) {
     if (!d.granted && d.reason == RejectReason::kUndecided) {
@@ -145,14 +185,14 @@ std::vector<PortDecision> DistributedScheduler::schedule_slot(
                ? std::span<const std::uint8_t>((*availability)[fiber])
                : std::span<const std::uint8_t>{};
   };
-  schedule_slot_impl(requests, row_of, health, pool, decisions);
+  schedule_slot_impl(requests, row_of, health, pool, decisions, nullptr);
   return decisions;
 }
 
 void DistributedScheduler::schedule_slot_into(
     std::span<const SlotRequest> requests, AvailabilityView availability,
     const std::vector<HealthMask>* health, util::ThreadPool* pool,
-    std::span<PortDecision> decisions) {
+    std::span<PortDecision> decisions, SlotBudget* budget) {
   WDM_CHECK_MSG(decisions.size() == requests.size(),
                 "one decision slot per request");
   if (!availability.empty() && (availability.n_fibers() != n_output_fibers() ||
@@ -167,7 +207,19 @@ void DistributedScheduler::schedule_slot_into(
                ? std::span<const std::uint8_t>{}
                : availability.row(static_cast<std::int32_t>(fiber));
   };
-  schedule_slot_impl(requests, row_of, health, pool, decisions);
+  schedule_slot_impl(requests, row_of, health, pool, decisions, budget);
+}
+
+void DistributedScheduler::save_state(util::SnapshotWriter& w) const {
+  w.u64(ports_.size());
+  for (const auto& port : ports_) port.save_state(w);
+}
+
+void DistributedScheduler::restore_state(util::SnapshotReader& r) {
+  const std::uint64_t n = r.u64();
+  WDM_CHECK_MSG(n == ports_.size(),
+                "snapshot port count does not match this scheduler's N");
+  for (auto& port : ports_) port.restore_state(r);
 }
 
 }  // namespace wdm::core

@@ -30,6 +30,35 @@ struct SlotRequest {
   std::int32_t priority = 0;  ///< QoS class, 0 = highest (§VI extension)
 };
 
+/// Per-slot work budget for deadline-bounded degradation. One SlotBudget is
+/// shared by every schedule_slot_into call of a slot (retries, per-class
+/// batches); `ops_charged` accumulates across them, so the budget bounds the
+/// slot, not the call.
+///
+/// The op-count proxy is deterministic (the paper's complexity model, in
+/// "channel visits"): scheduling a fiber with pending requests costs d*k for
+/// the exact circular BFA sweep and k for every O(k) kernel (FA, the
+/// single-break approximation, full-range). Ports whose exact cost no longer
+/// fits are downgraded in fiber order — deterministically, before any
+/// scheduling work runs, so the same slot degrades the same ports with or
+/// without a thread pool. The wall-clock deadline is the production variant:
+/// each fiber checks the steady clock as its schedule starts (inherently
+/// nondeterministic; tests use the op budget).
+struct SlotBudget {
+  std::uint64_t op_budget = 0;     ///< op-count ceiling per slot; 0 = none
+  std::uint64_t deadline_ns = 0;   ///< util::now_ns() deadline; 0 = none
+  bool force_degraded = false;     ///< hysteresis hold: degrade every port
+
+  // Outputs, accumulated across the slot's scheduling calls.
+  std::uint64_t ops_charged = 0;        ///< cost actually charged
+  std::uint64_t ops_exact_estimate = 0; ///< what exact-everywhere would cost
+  std::int32_t degraded_ports = 0;      ///< degradable ports downgraded
+
+  bool active() const noexcept {
+    return op_budget > 0 || deadline_ns > 0 || force_degraded;
+  }
+};
+
 class DistributedScheduler {
  public:
   DistributedScheduler(std::int32_t n_output_fibers, ConversionScheme scheme,
@@ -74,11 +103,22 @@ class DistributedScheduler {
   /// state performs zero heap allocations. An empty view means all free; a
   /// view whose shape disagrees with (N, k) rejects every request with
   /// kBadAvailabilityMask, mirroring the nested-vector overload.
+  /// `budget`, if non-null, applies deadline-bounded degradation: ports the
+  /// slot's remaining budget cannot schedule exactly fall back to the O(k)
+  /// approximation (SlotBudget above; a no-op for ports that are not
+  /// degradable()). Grants stay a valid matching either way — degradation
+  /// trades matching size (bounded by Theorem 3), never validity.
   void schedule_slot_into(std::span<const SlotRequest> requests,
                           AvailabilityView availability,
                           const std::vector<HealthMask>* health,
                           util::ThreadPool* pool,
-                          std::span<PortDecision> decisions);
+                          std::span<PortDecision> decisions,
+                          SlotBudget* budget = nullptr);
+
+  /// Checkpoint of every port's mutable state (arbitration RNGs, round-robin
+  /// cursors), in fiber order.
+  void save_state(util::SnapshotWriter& w) const;
+  void restore_state(util::SnapshotReader& r);
 
  private:
   /// Shared core of both overloads: `row_of(fiber)` yields that fiber's
@@ -87,7 +127,8 @@ class DistributedScheduler {
   void schedule_slot_impl(std::span<const SlotRequest> requests, RowFn&& row_of,
                           const std::vector<HealthMask>* health,
                           util::ThreadPool* pool,
-                          std::span<PortDecision> decisions);
+                          std::span<PortDecision> decisions,
+                          SlotBudget* budget);
 
   ConversionScheme scheme_;
   std::vector<OutputPortScheduler> ports_;
@@ -100,6 +141,7 @@ class DistributedScheduler {
   std::vector<std::size_t> flat_origin_;     // original index per CSR entry
   std::vector<std::size_t> fiber_cursor_;    // fill cursors for the sort
   std::vector<PortDecision> csr_decisions_;  // per-fiber results, CSR order
+  std::vector<std::uint8_t> degrade_flags_;  // per-fiber degradation plan
 };
 
 }  // namespace wdm::core

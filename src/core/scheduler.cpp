@@ -52,6 +52,7 @@ const char* to_string(RejectReason reason) noexcept {
     case RejectReason::kInternalError: return "internal-error";
     case RejectReason::kFaulted: return "faulted";
     case RejectReason::kBadHealthMask: return "bad-health-mask";
+    case RejectReason::kShedOverload: return "shed-overload";
   }
   return "unknown";
 }
@@ -188,11 +189,19 @@ ChannelAssignment OutputPortScheduler::assign_channels(
 
 ChannelAssignment OutputPortScheduler::assign_channels(
     const RequestVector& requests, std::span<const std::uint8_t> available,
-    const HealthMask& health) {
+    const HealthMask& health, bool degraded) {
   if (health.fiber_faulted) return ChannelAssignment(scheme_.k());
-  if (health.all_healthy()) return assign_channels(requests, available);
+  if (health.all_healthy() && !degraded) {
+    return assign_channels(requests, available);
+  }
+  if (health.all_healthy()) {
+    ChannelAssignment out(scheme_.k());
+    assign_channels_into(requests, available, out, degraded);
+    return out;
+  }
   const HealthReduction red = apply_health(requests, available, health);
-  ChannelAssignment out = assign_channels(red.requests, red.availability);
+  ChannelAssignment out(scheme_.k());
+  assign_channels_into(red.requests, red.availability, out, degraded);
   for (Channel u = 0; u < scheme_.k(); ++u) {
     if (red.pre_granted[static_cast<std::size_t>(u)] == 0) continue;
     WDM_DCHECK(out.source[static_cast<std::size_t>(u)] == kNone);
@@ -204,12 +213,19 @@ ChannelAssignment OutputPortScheduler::assign_channels(
 
 void OutputPortScheduler::assign_channels_into(
     const RequestVector& requests, std::span<const std::uint8_t> available,
-    ChannelAssignment& out) {
+    ChannelAssignment& out, bool degraded) {
   switch (algorithm_) {
     case Algorithm::kFirstAvailable:
       first_available_into(requests, scheme_, available, out);
       return;
     case Algorithm::kBreakFirstAvailable:
+      if (degraded) {
+        // Overload degeneration: the Theorem-1 ladder — one break instead
+        // of the exhaustive d-way sweep, O(k) instead of O(dk), within
+        // (d-1)/2 of the maximum (Theorem 3).
+        approx_break_first_available_into(requests, scheme_, available, out);
+        return;
+      }
       break_first_available_into(requests, scheme_, available, pool_,
                                  bfa_scratch_, out);
       return;
@@ -238,7 +254,8 @@ std::vector<PortDecision> OutputPortScheduler::schedule(
 void OutputPortScheduler::schedule_into(std::span<const Request> requests,
                                         std::span<const std::uint8_t> available,
                                         const HealthMask* health,
-                                        std::span<PortDecision> decisions) {
+                                        std::span<PortDecision> decisions,
+                                        bool degraded) {
   WDM_CHECK_MSG(decisions.size() == requests.size(),
                 "one decision slot per request");
   const std::int32_t k = scheme_.k();
@@ -286,9 +303,9 @@ void OutputPortScheduler::schedule_into(std::span<const Request> requests,
   if (health != nullptr) {
     // Fault reduction allocates; degraded slots are rare, so this path is
     // deliberately outside the zero-allocation contract.
-    assign_scratch_ = assign_channels(rv_scratch_, available, *health);
+    assign_scratch_ = assign_channels(rv_scratch_, available, *health, degraded);
   } else {
-    assign_channels_into(rv_scratch_, available, assign_scratch_);
+    assign_channels_into(rv_scratch_, available, assign_scratch_, degraded);
   }
   const ChannelAssignment& assignment = assign_scratch_;
 
@@ -374,6 +391,25 @@ void OutputPortScheduler::schedule_into(std::span<const Request> requests,
       d = PortDecision::reject(RejectReason::kNoChannel);
     }
   }
+}
+
+void OutputPortScheduler::save_state(util::SnapshotWriter& w) const {
+  const auto rng = rng_.state();
+  for (const auto word : rng.s) w.u64(word);
+  w.u64(rng.split_counter);
+  w.u64(rr_cursor_.size());
+  for (const auto c : rr_cursor_) w.u32(c);
+}
+
+void OutputPortScheduler::restore_state(util::SnapshotReader& r) {
+  util::Rng::State rng;
+  for (auto& word : rng.s) word = r.u64();
+  rng.split_counter = r.u64();
+  rng_.restore(rng);
+  const std::uint64_t n = r.u64();
+  WDM_CHECK_MSG(n == rr_cursor_.size(),
+                "snapshot round-robin state does not match this port's k");
+  for (auto& c : rr_cursor_) c = r.u32();
 }
 
 }  // namespace wdm::core

@@ -24,6 +24,7 @@
 #include "core/health.hpp"
 #include "core/request.hpp"
 #include "util/rng.hpp"
+#include "util/snapshot.hpp"
 #include "util/threadpool.hpp"
 
 namespace wdm::core {
@@ -62,16 +63,19 @@ enum class RejectReason : std::uint8_t {
   kInternalError,        ///< the per-fiber kernel threw; the slot survived
   kFaulted,              ///< destination fiber is down (hardware fault)
   kBadHealthMask,        ///< health mask has the wrong shape
+  kShedOverload,         ///< shed by admission control / queue overflow
 };
 
 /// True for rejections caused by malformed input or an internal fault, as
-/// opposed to a genuine capacity loss (kNoChannel) or a hardware fault on
+/// opposed to a genuine capacity loss (kNoChannel), a hardware fault on
 /// the destination (kFaulted, which MetricsCollector counts separately and
-/// the interconnect's retry queue may re-offer in a later slot).
+/// the interconnect's retry queue may re-offer in a later slot), or an
+/// overload shed (kShedOverload, a deliberate admission-control drop).
 constexpr bool is_malformed(RejectReason reason) noexcept {
   return reason != RejectReason::kGranted &&
          reason != RejectReason::kNoChannel &&
-         reason != RejectReason::kFaulted;
+         reason != RejectReason::kFaulted &&
+         reason != RejectReason::kShedOverload;
 }
 
 const char* to_string(RejectReason reason) noexcept;
@@ -126,17 +130,30 @@ class OutputPortScheduler {
   /// instance, and folds the converter-fault pre-grants back in. The result
   /// is a maximum matching of the fault-reduced request graph whenever the
   /// healthy kernel is maximum. A faulted fiber grants nothing.
+  /// `degraded` requests the overload degeneration (see schedule_into).
   ChannelAssignment assign_channels(const RequestVector& requests,
                                     std::span<const std::uint8_t> available,
-                                    const HealthMask& health);
+                                    const HealthMask& health,
+                                    bool degraded = false);
 
   /// As assign_channels, writing into caller-owned scratch. The paper's
   /// kernels (FA / BFA / approx-BFA / full-range) run allocation-free once
   /// the scheduler's arenas are warm; the baseline graph algorithms still
-  /// build their graphs afresh and copy the result out.
+  /// build their graphs afresh and copy the result out. With `degraded` set,
+  /// the exact circular BFA sweep (O(dk)) is downgraded to the Section IV.C
+  /// single-break approximation (O(k), within (d-1)/2 of maximum, Theorem 3)
+  /// — the overload ladder's work-bounded mode. Algorithms that already run
+  /// in O(k) (FA, approx-BFA, full-range) are unaffected by the flag.
   void assign_channels_into(const RequestVector& requests,
                             std::span<const std::uint8_t> available,
-                            ChannelAssignment& out);
+                            ChannelAssignment& out, bool degraded = false);
+
+  /// True iff `degraded` scheduling actually changes this port's kernel
+  /// (exact circular BFA with d > 1 is the only O(dk) per-slot kernel).
+  bool degradable() const noexcept {
+    return algorithm_ == Algorithm::kBreakFirstAvailable &&
+           scheme_.degree() > 1;
+  }
 
   /// Full schedule of one slot: grant/reject + channel per request.
   /// `available` masks occupied channels (Section V); empty = all free.
@@ -151,10 +168,18 @@ class OutputPortScheduler {
   /// request). Decision-for-decision identical to schedule(); the fast path
   /// of the slot pipeline — zero heap allocations once the scratch arenas
   /// are warm (healthy hardware; the fault-reduction path still allocates).
+  /// `degraded` downgrades a degradable() kernel to its O(k) approximation
+  /// (deadline-bounded degradation; composes with `health`).
   void schedule_into(std::span<const Request> requests,
                      std::span<const std::uint8_t> available,
                      const HealthMask* health,
-                     std::span<PortDecision> decisions);
+                     std::span<PortDecision> decisions,
+                     bool degraded = false);
+
+  /// Checkpoint of the port's mutable scheduling state (arbitration RNG and
+  /// round-robin cursors — everything a replay needs beyond the config).
+  void save_state(util::SnapshotWriter& w) const;
+  void restore_state(util::SnapshotReader& r);
 
  private:
   ConversionScheme scheme_;

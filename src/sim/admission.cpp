@@ -1,0 +1,130 @@
+#include "sim/admission.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace wdm::sim {
+
+AdmissionControl::AdmissionControl(std::int32_t n_fibers,
+                                   AdmissionConfig config)
+    : config_(config) {
+  WDM_CHECK_MSG(n_fibers > 0, "admission control needs at least one fiber");
+  WDM_CHECK_MSG(config_.tokens_per_slot > 0.0 && config_.bucket_depth >= 1.0,
+                "admission: tokens_per_slot > 0 and bucket_depth >= 1");
+  // Buckets start full so a cold start does not shed the first slot.
+  tokens_.assign(static_cast<std::size_t>(n_fibers), config_.bucket_depth);
+}
+
+void AdmissionControl::begin_slot() {
+  for (auto& t : tokens_) {
+    t = std::min(config_.bucket_depth, t + config_.tokens_per_slot);
+  }
+}
+
+std::deque<core::SlotRequest>& AdmissionControl::class_queue(
+    std::int32_t priority) {
+  const auto cls = static_cast<std::size_t>(priority);
+  if (cls >= queues_.size()) queues_.resize(cls + 1);
+  return queues_[cls];
+}
+
+void AdmissionControl::drain(std::vector<core::SlotRequest>& out,
+                             SlotStats& stats) {
+  if (queued_ == 0) return;
+  for (auto& queue : queues_) {
+    if (queue.empty()) continue;
+    // Stable partition: releasable entries leave in FIFO order, dry-fiber
+    // entries keep their relative order for the next slot.
+    keep_.clear();
+    for (auto& request : queue) {
+      auto& tokens = tokens_[static_cast<std::size_t>(request.input_fiber)];
+      if (tokens >= 1.0) {
+        tokens -= 1.0;
+        out.push_back(request);
+        stats.ingress_releases += 1;
+        queued_ -= 1;
+      } else {
+        keep_.push_back(request);
+      }
+    }
+    queue.assign(keep_.begin(), keep_.end());
+  }
+}
+
+AdmissionControl::Verdict AdmissionControl::offer(
+    const core::SlotRequest& request, SlotStats& stats) {
+  auto& tokens = tokens_[static_cast<std::size_t>(request.input_fiber)];
+  if (tokens >= 1.0) {
+    tokens -= 1.0;
+    return Verdict::kAdmit;
+  }
+  if (queued_ < config_.queue_capacity) {
+    class_queue(request.priority).push_back(request);
+    queued_ += 1;
+    stats.deferred_overload += 1;
+    return Verdict::kQueued;
+  }
+  if (config_.drop_policy == DropPolicy::kPriorityShed) {
+    // Evict the newest request of the worst (highest-index) queued class
+    // that is strictly worse than the arrival; the eviction both leaves the
+    // queue (ingress_releases) and is dropped (rejected + shed_overload).
+    for (std::size_t cls = queues_.size();
+         cls-- > static_cast<std::size_t>(request.priority) + 1;) {
+      if (queues_[cls].empty()) continue;
+      queues_[cls].pop_back();
+      queued_ -= 1;
+      stats.ingress_releases += 1;
+      stats.rejected += 1;
+      stats.shed_overload += 1;
+      class_queue(request.priority).push_back(request);
+      queued_ += 1;
+      stats.deferred_overload += 1;
+      return Verdict::kQueued;
+    }
+  }
+  stats.rejected += 1;
+  stats.shed_overload += 1;
+  return Verdict::kShed;
+}
+
+void AdmissionControl::save_state(util::SnapshotWriter& w) const {
+  w.vec_f64(tokens_);
+  w.u64(queues_.size());
+  for (const auto& queue : queues_) {
+    w.u64(queue.size());
+    for (const auto& r : queue) {
+      w.i32(r.input_fiber);
+      w.i32(r.wavelength);
+      w.i32(r.output_fiber);
+      w.u64(r.id);
+      w.i32(r.duration);
+      w.i32(r.priority);
+    }
+  }
+}
+
+void AdmissionControl::restore_state(util::SnapshotReader& r) {
+  const auto tokens = r.vec_f64();
+  WDM_CHECK_MSG(tokens.size() == tokens_.size(),
+                "snapshot admission state does not match this fiber count");
+  tokens_ = tokens;
+  queues_.assign(r.u64(), {});
+  queued_ = 0;
+  for (auto& queue : queues_) {
+    const std::uint64_t n = r.u64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      core::SlotRequest request;
+      request.input_fiber = r.i32();
+      request.wavelength = r.i32();
+      request.output_fiber = r.i32();
+      request.id = r.u64();
+      request.duration = r.i32();
+      request.priority = r.i32();
+      queue.push_back(request);
+      queued_ += 1;
+    }
+  }
+}
+
+}  // namespace wdm::sim

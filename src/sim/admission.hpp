@@ -1,0 +1,102 @@
+// Admission control: the first rung of the overload ladder.
+//
+// An interconnect driven past saturation must not melt down in the scheduler
+// — it should refuse work early, predictably, and observably. This module
+// implements the refusal: per-input-fiber token buckets meter how many fresh
+// requests each fiber may inject per slot, and requests that arrive out of
+// tokens wait in a bounded ingress queue partitioned by QoS class instead of
+// competing for the fabric. When the queue is full the configured drop
+// policy decides who is shed: the newcomer (tail drop) or the newest request
+// of the worst queued class (priority-aware shedding).
+//
+// Accounting contract (enforced by MetricsCollector's conservation law):
+// every offered request ends exactly one of granted / rejected / deferred,
+// and every queued request is later released (drained into scheduling or
+// evicted by the shed policy) exactly once:
+//
+//   granted + rejected + deferred_faulted + deferred_overload
+//       == arrivals + retry_attempts + ingress_releases
+//
+// Shed drops count as `rejected` with the `shed_overload` subset flag —
+// deliberate policy drops, disjoint from malformed and faulted rejections.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "core/distributed.hpp"
+#include "sim/metrics.hpp"
+#include "util/snapshot.hpp"
+
+namespace wdm::sim {
+
+/// Who is dropped when a request arrives out of tokens and the ingress
+/// queue is full.
+enum class DropPolicy : std::uint8_t {
+  kTailDrop,      ///< shed the arriving request
+  kPriorityShed,  ///< evict the newest queued request of a strictly worse
+                  ///< class to make room; shed the arrival if none is worse
+};
+
+struct AdmissionConfig {
+  bool enabled = false;
+  /// Token-bucket refill per input fiber per slot (fresh requests a fiber
+  /// may inject per slot, sustained). Fractional rates accumulate.
+  double tokens_per_slot = 1.0;
+  /// Bucket depth: the largest burst one fiber may inject at once.
+  double bucket_depth = 4.0;
+  /// Total ingress-queue bound across all QoS classes; 0 queues nothing
+  /// (out-of-tokens requests are shed immediately).
+  std::size_t queue_capacity = 64;
+  DropPolicy drop_policy = DropPolicy::kTailDrop;
+};
+
+/// Token buckets + bounded per-class ingress queues for one interconnect.
+/// The caller owns the slot loop: begin_slot() refills, drain() releases
+/// queued requests that have tokens again, offer() meters fresh arrivals.
+class AdmissionControl {
+ public:
+  AdmissionControl(std::int32_t n_fibers, AdmissionConfig config);
+
+  const AdmissionConfig& config() const noexcept { return config_; }
+
+  /// Refills every fiber's token bucket (call once at the start of a slot,
+  /// before drain/offer).
+  void begin_slot();
+
+  /// Releases queued requests whose input fiber has a token again into
+  /// `out`, consuming one token each — strict class order, FIFO within a
+  /// class; entries whose fiber is still dry stay queued in order. Each
+  /// release counts in `stats.ingress_releases`.
+  void drain(std::vector<core::SlotRequest>& out, SlotStats& stats);
+
+  enum class Verdict : std::uint8_t {
+    kAdmit,   ///< token consumed; schedule the request this slot
+    kQueued,  ///< parked in the ingress queue (deferred_overload)
+    kShed,    ///< dropped (rejected + shed_overload)
+  };
+
+  /// Admission decision for one fresh, already-validated arrival. Queue,
+  /// shed, and eviction accounting is recorded on `stats`; an admitted
+  /// request is the caller's to schedule (and count granted/rejected).
+  Verdict offer(const core::SlotRequest& request, SlotStats& stats);
+
+  /// Requests currently parked across all class queues.
+  std::size_t queued() const noexcept { return queued_; }
+
+  void save_state(util::SnapshotWriter& w) const;
+  void restore_state(util::SnapshotReader& r);
+
+ private:
+  std::deque<core::SlotRequest>& class_queue(std::int32_t priority);
+
+  AdmissionConfig config_;
+  std::vector<double> tokens_;  // per input fiber
+  std::vector<std::deque<core::SlotRequest>> queues_;  // per QoS class
+  std::size_t queued_ = 0;
+  // Scratch for drain()'s stable partition; capacity persists.
+  std::vector<core::SlotRequest> keep_;
+};
+
+}  // namespace wdm::sim

@@ -1,0 +1,75 @@
+#include "sim/checkpoint.hpp"
+
+#include <ostream>
+
+#include "util/check.hpp"
+#include "util/snapshot.hpp"
+
+namespace wdm::sim {
+
+namespace {
+
+/// Leading payload byte: does this frame carry traffic-generator state?
+constexpr std::uint8_t kInterconnectOnly = 0;
+constexpr std::uint8_t kWithTraffic = 1;
+
+}  // namespace
+
+void save_checkpoint(std::ostream& os, const Interconnect& interconnect) {
+  util::SnapshotWriter w;
+  w.u8(kInterconnectOnly);
+  interconnect.save_state(w);
+  w.write_to(os);
+}
+
+void save_checkpoint(std::ostream& os, const Interconnect& interconnect,
+                     const TrafficGenerator& traffic) {
+  util::SnapshotWriter w;
+  w.u8(kWithTraffic);
+  interconnect.save_state(w);
+  traffic.save_state(w);
+  w.write_to(os);
+}
+
+void load_checkpoint(std::istream& is, Interconnect& interconnect) {
+  util::SnapshotReader r(is);
+  WDM_CHECK_MSG(r.u8() == kInterconnectOnly,
+                "checkpoint carries traffic state; load it with a generator");
+  interconnect.restore_state(r);
+  WDM_CHECK_MSG(r.exhausted(), "checkpoint has trailing bytes");
+}
+
+void load_checkpoint(std::istream& is, Interconnect& interconnect,
+                     TrafficGenerator& traffic) {
+  util::SnapshotReader r(is);
+  WDM_CHECK_MSG(r.u8() == kWithTraffic,
+                "checkpoint carries no traffic state");
+  interconnect.restore_state(r);
+  traffic.restore_state(r);
+  WDM_CHECK_MSG(r.exhausted(), "checkpoint has trailing bytes");
+}
+
+std::uint64_t state_digest(const Interconnect& interconnect) {
+  util::SnapshotWriter w;
+  interconnect.save_state(w);
+  return w.digest();
+}
+
+std::vector<SlotStats> replay_from(const Trace& trace,
+                                   std::uint64_t first_slot,
+                                   Interconnect& interconnect) {
+  WDM_CHECK_MSG(trace.n_fibers == interconnect.n_fibers() &&
+                    trace.k == interconnect.k(),
+                "trace geometry does not match the interconnect");
+  WDM_CHECK_MSG(first_slot <= trace.slots.size(),
+                "replay start is past the end of the trace");
+  std::vector<SlotStats> stats;
+  stats.reserve(trace.slots.size() - static_cast<std::size_t>(first_slot));
+  for (std::size_t s = static_cast<std::size_t>(first_slot);
+       s < trace.slots.size(); ++s) {
+    stats.push_back(interconnect.step(trace.slots[s]));
+  }
+  return stats;
+}
+
+}  // namespace wdm::sim

@@ -1,0 +1,57 @@
+// Deterministic checkpoint/replay for the interconnect (overload ladder
+// rung three: when a run must be stopped — maintenance, migration, crash —
+// it resumes bit-for-bit instead of being re-simulated or lost).
+//
+// A checkpoint is one util::SnapshotWriter frame (versioned, digest-checked;
+// see util/snapshot.hpp) holding the interconnect's complete mutable state
+// and, optionally, the traffic generator's. Two guarantees, test-enforced:
+//
+//  * round trip — save, restore into a fresh same-config interconnect, and
+//    the state digests are identical and every subsequent slot's SlotStats
+//    match the uncheckpointed run exactly;
+//  * replay — re-running a recorded sim::Trace from a mid-run checkpoint
+//    reproduces the original run's remaining slots bit-for-bit (fixed
+//    seed), which is what makes overload incidents debuggable after the
+//    fact: capture trace + checkpoint, replay the incident on a dev box.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "sim/interconnect.hpp"
+#include "sim/metrics.hpp"
+#include "sim/trace.hpp"
+#include "sim/traffic.hpp"
+
+namespace wdm::sim {
+
+/// Writes one snapshot frame holding the interconnect state (and the
+/// traffic generator's, when given — a live simulation needs both to
+/// resume; trace replay needs only the interconnect).
+void save_checkpoint(std::ostream& os, const Interconnect& interconnect);
+void save_checkpoint(std::ostream& os, const Interconnect& interconnect,
+                     const TrafficGenerator& traffic);
+
+/// Restores a frame written by the matching save_checkpoint overload into
+/// already-constructed objects. The interconnect (and traffic generator)
+/// must have been built from the same config as the saved one — the frame
+/// carries a geometry echo and throws util::logic errors on any mismatch,
+/// version skew, truncation, or digest failure.
+void load_checkpoint(std::istream& is, Interconnect& interconnect);
+void load_checkpoint(std::istream& is, Interconnect& interconnect,
+                     TrafficGenerator& traffic);
+
+/// FNV-1a64 fingerprint of the interconnect's serialised state — equal iff
+/// the checkpoint payloads are byte-identical; the bit-for-bit equality the
+/// replay tests assert.
+std::uint64_t state_digest(const Interconnect& interconnect);
+
+/// Replays `trace` slots [first_slot, trace.slots.size()) through
+/// `interconnect` — the tail re-run that, started from a checkpoint taken
+/// after slot `first_slot - 1`, must reproduce the original run.
+std::vector<SlotStats> replay_from(const Trace& trace,
+                                   std::uint64_t first_slot,
+                                   Interconnect& interconnect);
+
+}  // namespace wdm::sim

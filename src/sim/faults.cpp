@@ -123,4 +123,41 @@ void FaultInjector::rebuild_health() {
   }
 }
 
+void FaultInjector::save_state(util::SnapshotWriter& w) const {
+  const auto rng = rng_.state();
+  for (const auto word : rng.s) w.u64(word);
+  w.u64(rng.split_counter);
+  w.u64(slots_);
+  w.u64(next_event_);
+  w.vec_u8(converter_down_);
+  w.vec_u8(channel_down_);
+  w.vec_u8(fiber_down_);
+  w.i64(down_components_);
+  w.u64(failures_);
+  w.u64(repairs_);
+}
+
+void FaultInjector::restore_state(util::SnapshotReader& r) {
+  util::Rng::State rng;
+  for (auto& word : rng.s) word = r.u64();
+  rng.split_counter = r.u64();
+  rng_.restore(rng);
+  slots_ = r.u64();
+  next_event_ = r.u64();
+  const auto converter_down = r.vec_u8();
+  const auto channel_down = r.vec_u8();
+  const auto fiber_down = r.vec_u8();
+  WDM_CHECK_MSG(converter_down.size() == converter_down_.size() &&
+                    channel_down.size() == channel_down_.size() &&
+                    fiber_down.size() == fiber_down_.size(),
+                "snapshot fault state does not match this geometry");
+  converter_down_ = converter_down;
+  channel_down_ = channel_down;
+  fiber_down_ = fiber_down;
+  down_components_ = r.i64();
+  failures_ = r.u64();
+  repairs_ = r.u64();
+  rebuild_health();
+}
+
 }  // namespace wdm::sim

@@ -26,6 +26,7 @@
 
 #include "core/health.hpp"
 #include "util/rng.hpp"
+#include "util/snapshot.hpp"
 
 namespace wdm::sim {
 
@@ -92,6 +93,11 @@ class FaultInjector {
 
   std::uint64_t failures_injected() const noexcept { return failures_; }
   std::uint64_t repairs_applied() const noexcept { return repairs_; }
+
+  /// Checkpoint of the injector's mutable state (RNG stream, script cursor,
+  /// per-component up/down flags); the health masks are rebuilt on restore.
+  void save_state(util::SnapshotWriter& w) const;
+  void restore_state(util::SnapshotReader& r);
 
  private:
   void apply(FaultKind kind, std::int32_t fiber, std::int32_t channel,

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/check.hpp"
+#include "util/timer.hpp"
 
 namespace wdm::sim {
 
@@ -30,6 +31,12 @@ Interconnect::Interconnect(InterconnectConfig config)
     faults_ = std::make_unique<FaultInjector>(
         config_.n_fibers, k(), config_.faults,
         util::derive_stream_seed(config_.seed, kFaultStreamLabel));
+  }
+  WDM_CHECK_MSG(config_.degrade.recovery_slots >= 1,
+                "degrade config: recovery_slots >= 1");
+  if (config_.admission.enabled) {
+    admission_ =
+        std::make_unique<AdmissionControl>(config_.n_fibers, config_.admission);
   }
   out_state_.assign(
       static_cast<std::size_t>(config_.n_fibers),
@@ -138,10 +145,13 @@ void Interconnect::teardown_faulted(
   }
 }
 
-bool Interconnect::try_defer(const core::SlotRequest& request,
-                             std::int32_t attempts, SlotStats& stats) {
-  if (attempts >= config_.retry.max_retries) return false;
-  if (retry_queue_.size() >= config_.retry.queue_capacity) return false;
+Interconnect::Defer Interconnect::try_defer(const core::SlotRequest& request,
+                                            std::int32_t attempts,
+                                            SlotStats& stats) {
+  if (attempts >= config_.retry.max_retries) return Defer::kBudgetExhausted;
+  if (retry_queue_.size() >= config_.retry.queue_capacity) {
+    return Defer::kQueueFull;
+  }
   // Exponential backoff, capped so the delay arithmetic cannot overflow.
   std::uint64_t delay = static_cast<std::uint64_t>(config_.retry.backoff_base);
   for (std::int32_t a = 0; a < attempts && delay < (1ULL << 20); ++a) {
@@ -149,7 +159,31 @@ bool Interconnect::try_defer(const core::SlotRequest& request,
   }
   retry_queue_.push_back(PendingRetry{request, attempts + 1, slot_ + delay});
   stats.deferred_faulted += 1;
-  return true;
+  return Defer::kParked;
+}
+
+void Interconnect::count_rejection(const core::SlotRequest& request,
+                                   core::RejectReason reason,
+                                   std::int32_t attempts, SlotStats& stats) {
+  if (reason == core::RejectReason::kFaulted) {
+    switch (try_defer(request, attempts, stats)) {
+      case Defer::kParked:
+        return;
+      case Defer::kBudgetExhausted:
+        stats.rejected += 1;
+        stats.rejected_faulted += 1;
+        return;
+      case Defer::kQueueFull:
+        // The hardware fault is real, but the drop happened because the
+        // retry queue is at its cap — a load condition, counted as an
+        // overload shed so the conservation law stays exact at the cap.
+        stats.rejected += 1;
+        stats.shed_overload += 1;
+        return;
+    }
+  }
+  stats.rejected += 1;
+  if (core::is_malformed(reason)) stats.rejected_malformed += 1;
 }
 
 SlotStats Interconnect::step(std::span<const core::SlotRequest> arrivals,
@@ -165,10 +199,26 @@ SlotStats Interconnect::step(std::span<const core::SlotRequest> arrivals,
   }
 
   SlotStats stats;
+  core::SlotBudget budget;
+  core::SlotBudget* budget_ptr = nullptr;
+  std::uint64_t slot_start_ns = 0;
+  if (config_.degrade.enabled()) {
+    budget.op_budget = config_.degrade.op_budget;
+    if (config_.degrade.slot_deadline_ns > 0) {
+      slot_start_ns = util::now_ns();
+      budget.deadline_ns = slot_start_ns + config_.degrade.slot_deadline_ns;
+    }
+    budget.force_degraded = degraded_mode_;
+    budget_ptr = &budget;
+  }
   if (config_.policy == OccupiedPolicy::kNoDisturb) {
-    step_no_disturb(arrivals, health, pool, stats);
+    step_no_disturb(arrivals, health, pool, stats, budget_ptr);
   } else {
-    step_rearrange(arrivals, health, pool, stats);
+    step_rearrange(arrivals, health, pool, stats, budget_ptr);
+  }
+  if (budget_ptr != nullptr) {
+    stats.degraded_ports = static_cast<std::uint64_t>(budget.degraded_ports);
+    update_hysteresis(budget, slot_start_ns);
   }
   stats.busy_channels = busy_output_channels();
   slot_ += 1;
@@ -186,8 +236,41 @@ SlotStats Interconnect::step(std::span<const core::SlotRequest> arrivals,
   return stats;
 }
 
+void Interconnect::update_hysteresis(const core::SlotBudget& budget,
+                                     std::uint64_t slot_start_ns) {
+  // "Overloaded" is judged against what exact-everywhere scheduling would
+  // have cost (ops_exact_estimate), not against what was charged — a slot
+  // held degraded by hysteresis charges little, which must not read as calm.
+  bool overloaded = false;
+  if (config_.degrade.op_budget > 0 &&
+      budget.ops_exact_estimate > config_.degrade.op_budget) {
+    overloaded = true;
+  }
+  if (config_.degrade.slot_deadline_ns > 0 &&
+      util::now_ns() - slot_start_ns > config_.degrade.slot_deadline_ns) {
+    overloaded = true;
+  }
+  if (!degraded_mode_) {
+    if (budget.degraded_ports > 0) {
+      degraded_mode_ = true;
+      calm_slots_ = 0;
+    }
+    return;
+  }
+  if (overloaded) {
+    calm_slots_ = 0;
+    return;
+  }
+  calm_slots_ += 1;
+  if (calm_slots_ >= config_.degrade.recovery_slots) {
+    degraded_mode_ = false;
+    calm_slots_ = 0;
+  }
+}
+
 void Interconnect::run_retries(const std::vector<core::HealthMask>* health,
-                               util::ThreadPool* pool, SlotStats& stats) {
+                               util::ThreadPool* pool, SlotStats& stats,
+                               core::SlotBudget* budget) {
   if (retry_queue_.empty()) return;
   due_.clear();
   retry_later_.clear();
@@ -206,7 +289,7 @@ void Interconnect::run_retries(const std::vector<core::HealthMask>* health,
   for (const auto& pending : due_) batch_.push_back(pending.request);
   decisions_.resize(batch_.size());
   scheduler_.schedule_slot_into(batch_, availability_view(), health, pool,
-                                decisions_);
+                                decisions_, budget);
   for (std::size_t i = 0; i < due_.size(); ++i) {
     if (decisions_[i].granted) {
       stats.granted += 1;
@@ -216,23 +299,42 @@ void Interconnect::run_retries(const std::vector<core::HealthMask>* health,
       last_fiber_grants_[static_cast<std::size_t>(batch_[i].output_fiber)] += 1;
       continue;
     }
-    if (decisions_[i].reason == core::RejectReason::kFaulted &&
-        try_defer(batch_[i], due_[i].attempts, stats)) {
+    count_rejection(batch_[i], decisions_[i].reason, due_[i].attempts, stats);
+  }
+}
+
+void Interconnect::run_ingress(const std::vector<core::HealthMask>* health,
+                               util::ThreadPool* pool, SlotStats& stats,
+                               core::SlotBudget* budget) {
+  if (admission_ == nullptr) return;
+  admission_->begin_slot();
+  released_.clear();
+  admission_->drain(released_, stats);
+  if (released_.empty()) return;
+  // Released requests are scheduled as their own batch between retries and
+  // fresh arrivals (they have waited longer than anything arriving now).
+  // Like retries, they are tracked by the ingress_* counters only, never in
+  // the per-class arrival accounting.
+  decisions_.resize(released_.size());
+  scheduler_.schedule_slot_into(released_, availability_view(), health, pool,
+                                decisions_, budget);
+  for (std::size_t i = 0; i < released_.size(); ++i) {
+    if (decisions_[i].granted) {
+      stats.granted += 1;
+      occupy(released_[i].output_fiber, decisions_[i].channel, released_[i],
+             released_[i].duration);
+      last_fiber_grants_[static_cast<std::size_t>(released_[i].output_fiber)] +=
+          1;
       continue;
     }
-    stats.rejected += 1;
-    if (decisions_[i].reason == core::RejectReason::kFaulted) {
-      stats.rejected_faulted += 1;
-    } else if (core::is_malformed(decisions_[i].reason)) {
-      stats.rejected_malformed += 1;
-    }
+    count_rejection(released_[i], decisions_[i].reason, 0, stats);
   }
 }
 
 void Interconnect::schedule_new_arrivals(
     std::span<const core::SlotRequest> arrivals,
     const std::vector<core::HealthMask>* health, util::ThreadPool* pool,
-    SlotStats& stats) {
+    SlotStats& stats, core::SlotBudget* budget) {
   stats.arrivals += arrivals.size();
 
   // Per-request validation of externally supplied data (trace replay, user
@@ -253,6 +355,19 @@ void Interconnect::schedule_new_arrivals(
       continue;
     }
     valid_.push_back(r);
+  }
+
+  // Admission: fresh arrivals pass through the token buckets after the
+  // ingress queue drained (run_ingress), so queued requests get the slot's
+  // tokens first. Non-admitted requests are queued or shed inside offer().
+  if (admission_ != nullptr) {
+    std::size_t kept = 0;
+    for (const auto& r : valid_) {
+      if (admission_->offer(r, stats) == AdmissionControl::Verdict::kAdmit) {
+        valid_[kept++] = r;
+      }
+    }
+    valid_.resize(kept);
   }
 
   // Partition by QoS class (strict priority, 0 = highest); the common
@@ -280,19 +395,10 @@ void Interconnect::schedule_new_arrivals(
     // Availability reflects everything higher classes just took.
     decisions_.resize(batch_.size());
     scheduler_.schedule_slot_into(batch_, availability_view(), health, pool,
-                                  decisions_);
+                                  decisions_, budget);
     for (std::size_t i = 0; i < batch_.size(); ++i) {
       if (!decisions_[i].granted) {
-        if (decisions_[i].reason == core::RejectReason::kFaulted &&
-            try_defer(batch_[i], 0, stats)) {
-          continue;
-        }
-        stats.rejected += 1;
-        if (decisions_[i].reason == core::RejectReason::kFaulted) {
-          stats.rejected_faulted += 1;
-        } else if (core::is_malformed(decisions_[i].reason)) {
-          stats.rejected_malformed += 1;
-        }
+        count_rejection(batch_[i], decisions_[i].reason, 0, stats);
         continue;
       }
       stats.granted += 1;
@@ -307,19 +413,20 @@ void Interconnect::schedule_new_arrivals(
 void Interconnect::step_no_disturb(
     std::span<const core::SlotRequest> arrivals,
     const std::vector<core::HealthMask>* health, util::ThreadPool* pool,
-    SlotStats& stats) {
+    SlotStats& stats, core::SlotBudget* budget) {
   // Under kNoDisturb a connection is pinned to its exact channel, so losing
   // that channel (or its converter mid-conversion, or the fiber) kills the
   // connection outright.
   if (health != nullptr) teardown_faulted(*health, stats);
-  run_retries(health, pool, stats);
-  schedule_new_arrivals(arrivals, health, pool, stats);
+  run_retries(health, pool, stats, budget);
+  run_ingress(health, pool, stats, budget);
+  schedule_new_arrivals(arrivals, health, pool, stats, budget);
 }
 
 void Interconnect::step_rearrange(
     std::span<const core::SlotRequest> arrivals,
     const std::vector<core::HealthMask>* health, util::ThreadPool* pool,
-    SlotStats& stats) {
+    SlotStats& stats, core::SlotBudget* budget) {
   // Phase 1: lift ongoing connections out of the fabric and re-schedule them
   // with the whole fiber free. On healthy hardware they were simultaneously
   // placed a slot ago, so a full placement exists and the maximum matching
@@ -342,7 +449,10 @@ void Interconnect::step_rearrange(
   }
   if (!continuing_.empty()) {
     // Phase 1 sees the whole fabric free: an empty view, like the old null
-    // availability pointer, means every channel is schedulable.
+    // availability pointer, means every channel is schedulable. Re-homing
+    // runs exact even under a blown budget (no SlotBudget): the "continuing
+    // connections are always re-placeable" invariant rests on the matching
+    // being maximum, which the approximation does not guarantee.
     decisions_.resize(continuing_.size());
     scheduler_.schedule_slot_into(continuing_, core::AvailabilityView{},
                                   health, pool, decisions_);
@@ -364,9 +474,113 @@ void Interconnect::step_rearrange(
     }
   }
 
-  // Phase 2: retries, then new arrivals, compete for the channels left over.
-  run_retries(health, pool, stats);
-  schedule_new_arrivals(arrivals, health, pool, stats);
+  // Phase 2: retries, ingress releases, then new arrivals compete for the
+  // channels left over.
+  run_retries(health, pool, stats, budget);
+  run_ingress(health, pool, stats, budget);
+  schedule_new_arrivals(arrivals, health, pool, stats, budget);
+}
+
+void Interconnect::save_state(util::SnapshotWriter& w) const {
+  // Geometry/config echo, validated on restore: a checkpoint only restores
+  // into an interconnect built from the same config.
+  w.i32(config_.n_fibers);
+  w.i32(k());
+  w.u8(static_cast<std::uint8_t>(config_.scheme.kind()));
+  w.i32(config_.scheme.e());
+  w.i32(config_.scheme.f());
+  w.u8(static_cast<std::uint8_t>(config_.algorithm));
+  w.u8(static_cast<std::uint8_t>(config_.arbitration));
+  w.u8(static_cast<std::uint8_t>(config_.policy));
+  w.u64(config_.seed);
+
+  w.u64(slot_);
+  for (const auto& fiber : out_state_) {
+    for (const auto& ch : fiber) {
+      w.i32(ch.remaining);
+      w.i32(ch.input_fiber);
+      w.i32(ch.wavelength);
+      w.u64(ch.id);
+    }
+  }
+  w.vec_i32(input_remaining_);
+  w.u64(retry_queue_.size());
+  for (const auto& pending : retry_queue_) {
+    w.i32(pending.request.input_fiber);
+    w.i32(pending.request.wavelength);
+    w.i32(pending.request.output_fiber);
+    w.u64(pending.request.id);
+    w.i32(pending.request.duration);
+    w.i32(pending.request.priority);
+    w.i32(pending.attempts);
+    w.u64(pending.due_slot);
+  }
+  scheduler_.save_state(w);
+  w.u8(faults_ != nullptr ? 1 : 0);
+  if (faults_ != nullptr) faults_->save_state(w);
+  w.u8(admission_ != nullptr ? 1 : 0);
+  if (admission_ != nullptr) admission_->save_state(w);
+  w.u8(degraded_mode_ ? 1 : 0);
+  w.i32(calm_slots_);
+}
+
+void Interconnect::restore_state(util::SnapshotReader& r) {
+  WDM_CHECK_MSG(
+      r.i32() == config_.n_fibers && r.i32() == k() &&
+          r.u8() == static_cast<std::uint8_t>(config_.scheme.kind()) &&
+          r.i32() == config_.scheme.e() && r.i32() == config_.scheme.f() &&
+          r.u8() == static_cast<std::uint8_t>(config_.algorithm) &&
+          r.u8() == static_cast<std::uint8_t>(config_.arbitration) &&
+          r.u8() == static_cast<std::uint8_t>(config_.policy) &&
+          r.u64() == config_.seed,
+      "snapshot was taken from a different interconnect config");
+
+  slot_ = r.u64();
+  const auto kk = static_cast<std::size_t>(k());
+  for (std::size_t fiber = 0; fiber < out_state_.size(); ++fiber) {
+    for (std::size_t u = 0; u < out_state_[fiber].size(); ++u) {
+      auto& ch = out_state_[fiber][u];
+      ch.remaining = r.i32();
+      ch.input_fiber = r.i32();
+      ch.wavelength = r.i32();
+      ch.id = r.u64();
+      // The flat plane is rebuilt from the occupancy it mirrors, so the two
+      // cannot disagree after a restore.
+      avail_[fiber * kk + u] = ch.remaining > 0 ? 0 : 1;
+    }
+  }
+  const auto input_remaining = r.vec_i32();
+  WDM_CHECK_MSG(input_remaining.size() == input_remaining_.size(),
+                "snapshot input-channel state has the wrong size");
+  input_remaining_ = input_remaining;
+  retry_queue_.clear();
+  const std::uint64_t pending_count = r.u64();
+  WDM_CHECK_MSG(pending_count <= config_.retry.queue_capacity,
+                "snapshot retry queue exceeds this config's capacity");
+  for (std::uint64_t i = 0; i < pending_count; ++i) {
+    PendingRetry pending;
+    pending.request.input_fiber = r.i32();
+    pending.request.wavelength = r.i32();
+    pending.request.output_fiber = r.i32();
+    pending.request.id = r.u64();
+    pending.request.duration = r.i32();
+    pending.request.priority = r.i32();
+    pending.attempts = r.i32();
+    pending.due_slot = r.u64();
+    retry_queue_.push_back(pending);
+  }
+  scheduler_.restore_state(r);
+  const bool had_faults = r.u8() != 0;
+  WDM_CHECK_MSG(had_faults == (faults_ != nullptr),
+                "snapshot fault-injection state does not match this config");
+  if (faults_ != nullptr) faults_->restore_state(r);
+  const bool had_admission = r.u8() != 0;
+  WDM_CHECK_MSG(had_admission == (admission_ != nullptr),
+                "snapshot admission state does not match this config");
+  if (admission_ != nullptr) admission_->restore_state(r);
+  degraded_mode_ = r.u8() != 0;
+  calm_slots_ = r.i32();
+  last_fiber_grants_.assign(last_fiber_grants_.size(), 0);
 }
 
 }  // namespace wdm::sim

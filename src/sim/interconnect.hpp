@@ -23,8 +23,10 @@
 #include "core/availability.hpp"
 #include "core/conversion.hpp"
 #include "core/distributed.hpp"
+#include "sim/admission.hpp"
 #include "sim/faults.hpp"
 #include "sim/metrics.hpp"
+#include "util/snapshot.hpp"
 #include "util/threadpool.hpp"
 
 namespace wdm::sim {
@@ -40,7 +42,32 @@ struct RetryConfig {
   std::int32_t max_retries = 0;     ///< 0 disables retrying
   std::int32_t backoff_base = 1;    ///< slots before the first retry
   std::int32_t backoff_factor = 2;  ///< exponential backoff multiplier
-  std::size_t queue_capacity = 1024;  ///< overflow drops (rejected_faulted)
+  /// Queue bound; overflow is an overload shed (rejected + shed_overload —
+  /// the queue being full is a load problem, not a hardware one).
+  std::size_t queue_capacity = 1024;
+};
+
+/// Deadline-bounded degradation (rung two of the overload ladder): a
+/// per-slot work budget that, when blown, downgrades the remaining exact
+/// O(dk) ports to the O(k) single-break approximation (Theorem 3 bounds the
+/// matching loss at (d-1)/2 per port). Hysteresis keeps the switch in
+/// degraded mode until the offered work has stayed under budget for
+/// `recovery_slots` consecutive slots, so a load hovering at the threshold
+/// does not flap between kernels.
+struct DegradeConfig {
+  /// Op-count budget per slot, in "channel visits" (an exact-BFA port with
+  /// pending requests costs d*k, every O(k) kernel costs k). Deterministic;
+  /// what the tests drive. 0 disables.
+  std::uint64_t op_budget = 0;
+  /// Wall-clock budget per slot in nanoseconds (the production variant;
+  /// inherently nondeterministic). 0 disables.
+  std::uint64_t slot_deadline_ns = 0;
+  /// Consecutive under-budget slots required to return to exact scheduling.
+  std::int32_t recovery_slots = 8;
+
+  bool enabled() const noexcept {
+    return op_budget > 0 || slot_deadline_ns > 0;
+  }
 };
 
 struct InterconnectConfig {
@@ -58,6 +85,11 @@ struct InterconnectConfig {
   /// scheduler arbitration streams (or the caller's traffic) for a seed.
   FaultConfig faults;
   RetryConfig retry;
+  /// Overload control plane (docs/ALGORITHMS.md §10); both rungs default
+  /// off, and a config with both off schedules exactly as before (and keeps
+  /// the zero-allocation steady state).
+  AdmissionConfig admission;
+  DegradeConfig degrade;
 };
 
 class Interconnect {
@@ -98,6 +130,26 @@ class Interconnect {
   const FaultInjector* fault_injector() const noexcept { return faults_.get(); }
   /// Requests currently parked in the retry queue.
   std::size_t retry_queue_depth() const noexcept { return retry_queue_.size(); }
+  /// The admission control plane, or nullptr when disabled.
+  const AdmissionControl* admission() const noexcept {
+    return admission_.get();
+  }
+  /// Requests currently parked in the admission ingress queue.
+  std::size_t ingress_queue_depth() const noexcept {
+    return admission_ != nullptr ? admission_->queued() : 0;
+  }
+  /// True while degradation hysteresis holds the switch in O(k) mode.
+  bool degraded_mode() const noexcept { return degraded_mode_; }
+  /// Internal slot counter (slots stepped since construction or restore).
+  std::uint64_t current_slot() const noexcept { return slot_; }
+
+  /// Checkpoint of the complete mutable state — occupancy plane, retry and
+  /// ingress queues, per-port scheduler state, fault injector, degradation
+  /// hysteresis — everything a bit-for-bit replay needs beyond the config
+  /// (a geometry echo is stored and validated on restore). See
+  /// sim/checkpoint.hpp for the framed stream-level API.
+  void save_state(util::SnapshotWriter& w) const;
+  void restore_state(util::SnapshotReader& r);
 
  private:
   struct ChannelState {
@@ -114,26 +166,48 @@ class Interconnect {
 
   void step_no_disturb(std::span<const core::SlotRequest> arrivals,
                        const std::vector<core::HealthMask>* health,
-                       util::ThreadPool* pool, SlotStats& stats);
+                       util::ThreadPool* pool, SlotStats& stats,
+                       core::SlotBudget* budget);
   void step_rearrange(std::span<const core::SlotRequest> arrivals,
                       const std::vector<core::HealthMask>* health,
-                      util::ThreadPool* pool, SlotStats& stats);
+                      util::ThreadPool* pool, SlotStats& stats,
+                      core::SlotBudget* budget);
   /// Tears down ongoing connections whose channel, converter, or fiber
   /// failed (kNoDisturb policy; kRearrange re-homes instead).
   void teardown_faulted(const std::vector<core::HealthMask>& health,
                         SlotStats& stats);
   /// Re-offers due retry-queue entries, ahead of fresh arrivals.
   void run_retries(const std::vector<core::HealthMask>* health,
-                   util::ThreadPool* pool, SlotStats& stats);
+                   util::ThreadPool* pool, SlotStats& stats,
+                   core::SlotBudget* budget);
+  /// Refills the token buckets and schedules ingress-queue releases, after
+  /// retries and before fresh arrivals (they have waited longer).
+  void run_ingress(const std::vector<core::HealthMask>* health,
+                   util::ThreadPool* pool, SlotStats& stats,
+                   core::SlotBudget* budget);
   /// Schedules new arrivals strict-priority class by class (§VI extension);
   /// single-class slots collapse to one scheduling pass.
   void schedule_new_arrivals(std::span<const core::SlotRequest> arrivals,
                              const std::vector<core::HealthMask>* health,
-                             util::ThreadPool* pool, SlotStats& stats);
+                             util::ThreadPool* pool, SlotStats& stats,
+                             core::SlotBudget* budget);
+  enum class Defer : std::uint8_t {
+    kParked,           ///< queued for retry (deferred_faulted)
+    kBudgetExhausted,  ///< out of attempts -> rejected_faulted
+    kQueueFull,        ///< retry queue at cap -> overload shed
+  };
   /// Parks a fault-rejected request for retry if budget and queue capacity
-  /// allow; returns false when it must be dropped instead.
-  bool try_defer(const core::SlotRequest& request, std::int32_t attempts,
-                 SlotStats& stats);
+  /// allow; otherwise says which limit was hit (the caller counts the drop).
+  Defer try_defer(const core::SlotRequest& request, std::int32_t attempts,
+                  SlotStats& stats);
+  /// Counts a non-granted decision into `stats` (shared by every
+  /// scheduling pass; `attempts` seeds the retry deferral).
+  void count_rejection(const core::SlotRequest& request,
+                       core::RejectReason reason, std::int32_t attempts,
+                       SlotStats& stats);
+  /// Degradation hysteresis update at the end of a budgeted slot.
+  void update_hysteresis(const core::SlotBudget& budget,
+                         std::uint64_t slot_start_ns);
   void release_input(std::int32_t input_fiber, core::Wavelength wavelength);
   void age_connections();
   void occupy(std::int32_t output_fiber, core::Channel channel,
@@ -145,6 +219,7 @@ class Interconnect {
   InterconnectConfig config_;
   core::DistributedScheduler scheduler_;
   std::unique_ptr<FaultInjector> faults_;  // null when faults disabled
+  std::unique_ptr<AdmissionControl> admission_;  // null when disabled
   std::vector<std::vector<ChannelState>> out_state_;  // [fiber][channel]
   std::vector<std::uint8_t> avail_;  // flat N×k plane, 1 = free; updated in
                                      // lockstep with out_state_ (no rebuild)
@@ -152,6 +227,10 @@ class Interconnect {
   std::vector<std::uint64_t> last_fiber_grants_;
   std::vector<PendingRetry> retry_queue_;
   std::uint64_t slot_ = 0;  // internal slot counter (retry due times)
+  // Degradation hysteresis: once a slot degrades, stay degraded until the
+  // offered work has fit the budget for `recovery_slots` consecutive slots.
+  bool degraded_mode_ = false;
+  std::int32_t calm_slots_ = 0;
 
   // Reusable per-slot scratch: capacity persists across steps, so the
   // scheduling path of a steady-state slot performs no heap allocation.
@@ -162,6 +241,7 @@ class Interconnect {
   std::vector<core::PortDecision> decisions_;   // scheduler output
   std::vector<core::SlotRequest> continuing_;   // kRearrange lifted conns
   std::vector<std::int32_t> continuing_remaining_;
+  std::vector<core::SlotRequest> released_;     // ingress-queue drain batch
 };
 
 }  // namespace wdm::sim

@@ -11,12 +11,15 @@ MetricsCollector::MetricsCollector(std::int32_t n_fibers, std::int32_t k)
 }
 
 void MetricsCollector::record_slot(const SlotStats& stats) {
-  WDM_CHECK_MSG(stats.granted + stats.rejected + stats.deferred_faulted ==
-                    stats.arrivals + stats.retry_attempts,
+  WDM_CHECK_MSG(stats.granted + stats.rejected + stats.deferred_faulted +
+                        stats.deferred_overload ==
+                    stats.arrivals + stats.retry_attempts +
+                        stats.ingress_releases,
                 "slot accounting must conserve offered requests");
-  WDM_CHECK_MSG(stats.rejected_malformed + stats.rejected_faulted <=
+  WDM_CHECK_MSG(stats.rejected_malformed + stats.rejected_faulted +
+                        stats.shed_overload <=
                     stats.rejected,
-                "malformed and faulted rejections are disjoint subsets");
+                "malformed, faulted, and shed rejections are disjoint subsets");
   WDM_CHECK_MSG(stats.retry_successes <= stats.granted &&
                     stats.retry_successes <= stats.retry_attempts,
                 "retry successes are a subset of grants and attempts");
@@ -25,10 +28,16 @@ void MetricsCollector::record_slot(const SlotStats& stats) {
   rejected_malformed_ += stats.rejected_malformed;
   rejected_faulted_ += stats.rejected_faulted;
   deferred_faulted_ += stats.deferred_faulted;
+  shed_overload_ += stats.shed_overload;
+  deferred_overload_ += stats.deferred_overload;
+  ingress_releases_ += stats.ingress_releases;
+  degraded_ports_ += stats.degraded_ports;
+  degraded_slots_ += stats.degraded_ports > 0 ? 1 : 0;
   retry_attempts_ += stats.retry_attempts;
   retry_successes_ += stats.retry_successes;
   dropped_faulted_ += stats.dropped_faulted;
-  const std::uint64_t offered = stats.arrivals + stats.retry_attempts;
+  const std::uint64_t offered =
+      stats.arrivals + stats.retry_attempts + stats.ingress_releases;
   if (offered > 0) {
     // Idle slots contribute no Bernoulli trials: the loss ratio is per
     // offered request, so a long idle stream must not dilute (or seed) it.
@@ -55,6 +64,11 @@ void MetricsCollector::merge(const MetricsCollector& other) {
   rejected_malformed_ += other.rejected_malformed_;
   rejected_faulted_ += other.rejected_faulted_;
   deferred_faulted_ += other.deferred_faulted_;
+  shed_overload_ += other.shed_overload_;
+  deferred_overload_ += other.deferred_overload_;
+  ingress_releases_ += other.ingress_releases_;
+  degraded_ports_ += other.degraded_ports_;
+  degraded_slots_ += other.degraded_slots_;
   retry_attempts_ += other.retry_attempts_;
   retry_successes_ += other.retry_successes_;
   dropped_faulted_ += other.dropped_faulted_;

@@ -14,10 +14,12 @@ namespace wdm::sim {
 
 /// What happened in one slot of the interconnect.
 ///
-/// Conservation: every request offered this slot — fresh (`arrivals`) or
-/// re-offered from the retry queue (`retry_attempts`) — ends granted,
-/// rejected, or deferred back to the queue:
-///     granted + rejected + deferred_faulted == arrivals + retry_attempts.
+/// Conservation: every request offered this slot — fresh (`arrivals`),
+/// re-offered from the retry queue (`retry_attempts`), or released from the
+/// admission ingress queue (`ingress_releases`) — ends granted, rejected,
+/// or deferred into one of the two bounded queues:
+///     granted + rejected + deferred_faulted + deferred_overload
+///         == arrivals + retry_attempts + ingress_releases.
 struct SlotStats {
   std::uint64_t arrivals = 0;       ///< fresh requests offered this slot
   std::uint64_t granted = 0;        ///< offered requests granted
@@ -28,9 +30,23 @@ struct SlotStats {
   /// Subset of `rejected` dropped because the destination hardware was
   /// faulted (RejectReason::kFaulted) with no retry budget left.
   std::uint64_t rejected_faulted = 0;
+  /// Subset of `rejected` shed deliberately by overload control — admission
+  /// drops (tail or priority-aware) and retry-queue overflow. Disjoint from
+  /// the malformed and faulted subsets.
+  std::uint64_t shed_overload = 0;
   /// Offered requests parked in the retry queue instead of dropped
   /// (fault-rejected, with retry budget and queue capacity remaining).
   std::uint64_t deferred_faulted = 0;
+  /// Fresh arrivals parked in the admission ingress queue (input fiber out
+  /// of tokens, queue capacity remaining).
+  std::uint64_t deferred_overload = 0;
+  /// Requests leaving the ingress queue this slot: drained back into
+  /// scheduling once their fiber regained tokens, or evicted by the
+  /// priority-aware shed policy.
+  std::uint64_t ingress_releases = 0;
+  /// Output ports downgraded from the exact O(dk) kernel to the O(k)
+  /// approximation this slot (deadline-bounded degradation).
+  std::uint64_t degraded_ports = 0;
   /// Requests re-offered from the retry queue this slot.
   std::uint64_t retry_attempts = 0;
   /// Subset of `granted` that came from the retry queue.
@@ -69,6 +85,18 @@ class MetricsCollector {
   std::uint64_t rejected_faulted() const noexcept { return rejected_faulted_; }
   /// Fault-rejected requests parked in the retry queue instead of dropped.
   std::uint64_t deferred_faulted() const noexcept { return deferred_faulted_; }
+  /// Requests shed by overload control (admission + retry-queue overflow).
+  std::uint64_t shed_overload() const noexcept { return shed_overload_; }
+  /// Arrivals parked in the admission ingress queue.
+  std::uint64_t deferred_overload() const noexcept {
+    return deferred_overload_;
+  }
+  /// Requests released from the ingress queue (drained or evicted).
+  std::uint64_t ingress_releases() const noexcept { return ingress_releases_; }
+  /// Port-slots scheduled in degraded (O(k)) mode.
+  std::uint64_t degraded_ports() const noexcept { return degraded_ports_; }
+  /// Slots in which at least one port ran degraded.
+  std::uint64_t degraded_slots() const noexcept { return degraded_slots_; }
   /// Requests re-offered from the retry queue.
   std::uint64_t retry_attempts() const noexcept { return retry_attempts_; }
   /// Retry attempts that ended in a grant.
@@ -96,6 +124,11 @@ class MetricsCollector {
   std::uint64_t rejected_malformed_ = 0;
   std::uint64_t rejected_faulted_ = 0;
   std::uint64_t deferred_faulted_ = 0;
+  std::uint64_t shed_overload_ = 0;
+  std::uint64_t deferred_overload_ = 0;
+  std::uint64_t ingress_releases_ = 0;
+  std::uint64_t degraded_ports_ = 0;
+  std::uint64_t degraded_slots_ = 0;
   std::uint64_t retry_attempts_ = 0;
   std::uint64_t retry_successes_ = 0;
   std::uint64_t dropped_faulted_ = 0;

@@ -89,6 +89,11 @@ SimulationReport run_simulation(const SimulationConfig& config) {
   report.dropped_faulted = metrics.dropped_faulted();
   report.retry_attempts = metrics.retry_attempts();
   report.retry_successes = metrics.retry_successes();
+  report.shed_overload = metrics.shed_overload();
+  report.deferred_overload = metrics.deferred_overload();
+  report.ingress_releases = metrics.ingress_releases();
+  report.degraded_ports = metrics.degraded_ports();
+  report.degraded_slots = metrics.degraded_slots();
   if (const auto* injector = interconnect.fault_injector()) {
     report.fault_failures = injector->failures_injected();
     report.fault_repairs = injector->repairs_applied();

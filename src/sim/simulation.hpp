@@ -45,6 +45,13 @@ struct SimulationReport {
   std::uint64_t retry_successes = 0;    ///< re-offers that ended in a grant
   std::uint64_t fault_failures = 0;     ///< component failures injected
   std::uint64_t fault_repairs = 0;      ///< component repairs applied
+  /// Overload-control accounting (all zero when admission and degradation
+  /// are disabled in the config).
+  std::uint64_t shed_overload = 0;      ///< deliberate overload drops
+  std::uint64_t deferred_overload = 0;  ///< arrivals parked in ingress queue
+  std::uint64_t ingress_releases = 0;   ///< ingress-queue releases
+  std::uint64_t degraded_ports = 0;     ///< port-slots run in O(k) mode
+  std::uint64_t degraded_slots = 0;     ///< slots with any degraded port
   double wall_seconds = 0.0;
   /// Per-QoS-class totals (index = priority class); empty for single-class
   /// traffic.

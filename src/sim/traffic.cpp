@@ -115,4 +115,24 @@ std::vector<core::SlotRequest> TrafficGenerator::next_slot(
   return out;
 }
 
+void TrafficGenerator::save_state(util::SnapshotWriter& w) const {
+  const auto rng = rng_.state();
+  for (const auto word : rng.s) w.u64(word);
+  w.u64(rng.split_counter);
+  w.vec_i32(burst_dest_);
+  w.u64(next_id_);
+}
+
+void TrafficGenerator::restore_state(util::SnapshotReader& r) {
+  util::Rng::State rng;
+  for (auto& word : rng.s) word = r.u64();
+  rng.split_counter = r.u64();
+  rng_.restore(rng);
+  const auto burst_dest = r.vec_i32();
+  WDM_CHECK_MSG(burst_dest.size() == burst_dest_.size(),
+                "snapshot traffic state does not match this geometry");
+  burst_dest_ = burst_dest;
+  next_id_ = r.u64();
+}
+
 }  // namespace wdm::sim

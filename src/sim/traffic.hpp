@@ -20,6 +20,7 @@
 
 #include "core/distributed.hpp"
 #include "util/rng.hpp"
+#include "util/snapshot.hpp"
 
 namespace wdm::sim {
 
@@ -57,6 +58,11 @@ class TrafficGenerator {
 
   /// Total requests generated so far.
   std::uint64_t generated() const noexcept { return next_id_; }
+
+  /// Checkpoint of the generator's mutable state (RNG stream, per-channel
+  /// burst state, id counter) so a live simulation can resume bit-for-bit.
+  void save_state(util::SnapshotWriter& w) const;
+  void restore_state(util::SnapshotReader& r);
 
  private:
   std::int32_t sample_destination();

@@ -53,6 +53,21 @@ std::uint64_t Rng::next() noexcept {
   return result;
 }
 
+Rng::State Rng::state() const noexcept {
+  State out;
+  for (int i = 0; i < 4; ++i) out.s[i] = s_[i];
+  out.split_counter = split_counter_;
+  return out;
+}
+
+void Rng::restore(const State& state) noexcept {
+  for (int i = 0; i < 4; ++i) s_[i] = state.s[i];
+  split_counter_ = state.split_counter;
+  // Re-apply the constructor's all-zero guard: a hand-rolled state must not
+  // be able to park the generator on the xoshiro fixed point.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 0x9e3779b97f4a7c15ULL;
+}
+
 Rng Rng::split() noexcept {
   // Mix a fresh draw with a per-parent counter so repeated splits yield
   // distinct, decorrelated children even if the parent state were reused.

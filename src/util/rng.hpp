@@ -44,6 +44,16 @@ class Rng {
   /// Derives an independent child generator (counter-based splitting).
   Rng split() noexcept;
 
+  /// Raw generator state for checkpoint/replay: the four xoshiro words plus
+  /// the split counter. restore() resumes the stream at the exact position
+  /// state() captured, so a checkpointed simulation replays bit-for-bit.
+  struct State {
+    std::uint64_t s[4] = {};
+    std::uint64_t split_counter = 0;
+  };
+  State state() const noexcept;
+  void restore(const State& state) noexcept;
+
   /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
   std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
 

@@ -1,0 +1,216 @@
+#include "util/snapshot.hpp"
+
+#include <bit>
+#include <cstring>
+#include <istream>
+#include <ostream>
+
+#include "util/check.hpp"
+
+namespace wdm::util {
+
+namespace {
+
+constexpr char kMagic[8] = {'W', 'D', 'M', 'S', 'N', 'A', 'P', '1'};
+
+/// Guards the payload-size field of a frame against hostile or corrupt
+/// headers sizing our allocation: no interconnect snapshot is remotely this
+/// large (the biggest component is the N*k occupancy plane).
+constexpr std::uint64_t kMaxPayload = 1ull << 32;
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+}  // namespace
+
+std::uint64_t fnv1a64(std::span<const std::uint8_t> bytes) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const std::uint8_t b : bytes) {
+    h ^= b;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+void SnapshotWriter::u8(std::uint8_t v) { payload_.push_back(v); }
+
+void SnapshotWriter::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    payload_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void SnapshotWriter::u64(std::uint64_t v) { put_u64(payload_, v); }
+
+void SnapshotWriter::i32(std::int32_t v) {
+  u32(static_cast<std::uint32_t>(v));
+}
+
+void SnapshotWriter::i64(std::int64_t v) {
+  u64(static_cast<std::uint64_t>(v));
+}
+
+void SnapshotWriter::f64(double v) {
+  u64(std::bit_cast<std::uint64_t>(v));
+}
+
+void SnapshotWriter::bytes(std::span<const std::uint8_t> v) {
+  payload_.insert(payload_.end(), v.begin(), v.end());
+}
+
+void SnapshotWriter::vec_u8(const std::vector<std::uint8_t>& v) {
+  u64(v.size());
+  bytes(v);
+}
+
+void SnapshotWriter::vec_i32(const std::vector<std::int32_t>& v) {
+  u64(v.size());
+  for (const auto x : v) i32(x);
+}
+
+void SnapshotWriter::vec_u64(const std::vector<std::uint64_t>& v) {
+  u64(v.size());
+  for (const auto x : v) u64(x);
+}
+
+void SnapshotWriter::vec_f64(const std::vector<double>& v) {
+  u64(v.size());
+  for (const auto x : v) f64(x);
+}
+
+std::uint64_t SnapshotWriter::digest() const noexcept {
+  return fnv1a64(payload_);
+}
+
+void SnapshotWriter::write_to(std::ostream& os) const {
+  std::vector<std::uint8_t> frame;
+  frame.reserve(sizeof kMagic + 4 + 8 + 8 + payload_.size());
+  for (const char c : kMagic) frame.push_back(static_cast<std::uint8_t>(c));
+  for (int i = 0; i < 4; ++i) {
+    frame.push_back(static_cast<std::uint8_t>(kSnapshotVersion >> (8 * i)));
+  }
+  put_u64(frame, payload_.size());
+  put_u64(frame, digest());
+  frame.insert(frame.end(), payload_.begin(), payload_.end());
+  os.write(reinterpret_cast<const char*>(frame.data()),
+           static_cast<std::streamsize>(frame.size()));
+  WDM_CHECK_MSG(os.good(), "snapshot write failed");
+}
+
+SnapshotReader::SnapshotReader(std::istream& is) {
+  char magic[sizeof kMagic];
+  is.read(magic, sizeof magic);
+  WDM_CHECK_MSG(is.gcount() == sizeof magic &&
+                    std::memcmp(magic, kMagic, sizeof kMagic) == 0,
+                "not a wdmsched snapshot (bad magic)");
+  std::uint8_t head[4 + 8 + 8];
+  is.read(reinterpret_cast<char*>(head), sizeof head);
+  WDM_CHECK_MSG(is.gcount() == sizeof head, "snapshot header truncated");
+  std::uint32_t version = 0;
+  for (int i = 0; i < 4; ++i) {
+    version |= static_cast<std::uint32_t>(head[i]) << (8 * i);
+  }
+  WDM_CHECK_MSG(version == kSnapshotVersion,
+                "unsupported snapshot version " + std::to_string(version) +
+                    " (this build reads v" +
+                    std::to_string(kSnapshotVersion) + ")");
+  std::uint64_t size = 0;
+  std::uint64_t want_digest = 0;
+  for (int i = 0; i < 8; ++i) {
+    size |= static_cast<std::uint64_t>(head[4 + i]) << (8 * i);
+    want_digest |= static_cast<std::uint64_t>(head[12 + i]) << (8 * i);
+  }
+  WDM_CHECK_MSG(size <= kMaxPayload, "snapshot payload implausibly large");
+  payload_.resize(static_cast<std::size_t>(size));
+  is.read(reinterpret_cast<char*>(payload_.data()),
+          static_cast<std::streamsize>(size));
+  WDM_CHECK_MSG(static_cast<std::uint64_t>(is.gcount()) == size,
+                "snapshot payload truncated");
+  digest_ = fnv1a64(payload_);
+  WDM_CHECK_MSG(digest_ == want_digest,
+                "snapshot digest mismatch (corrupt checkpoint)");
+}
+
+void SnapshotReader::need(std::size_t n) const {
+  WDM_CHECK_MSG(cursor_ + n <= payload_.size(),
+                "snapshot payload shorter than its schema");
+}
+
+std::uint8_t SnapshotReader::u8() {
+  need(1);
+  return payload_[cursor_++];
+}
+
+std::uint32_t SnapshotReader::u32() {
+  need(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(payload_[cursor_ + static_cast<std::size_t>(i)])
+         << (8 * i);
+  }
+  cursor_ += 4;
+  return v;
+}
+
+std::uint64_t SnapshotReader::u64() {
+  need(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(payload_[cursor_ + static_cast<std::size_t>(i)])
+         << (8 * i);
+  }
+  cursor_ += 8;
+  return v;
+}
+
+std::int32_t SnapshotReader::i32() {
+  return static_cast<std::int32_t>(u32());
+}
+
+std::int64_t SnapshotReader::i64() {
+  return static_cast<std::int64_t>(u64());
+}
+
+double SnapshotReader::f64() { return std::bit_cast<double>(u64()); }
+
+std::vector<std::uint8_t> SnapshotReader::vec_u8() {
+  const std::uint64_t n = u64();
+  need(static_cast<std::size_t>(n));
+  std::vector<std::uint8_t> v(payload_.begin() + static_cast<std::ptrdiff_t>(cursor_),
+                              payload_.begin() +
+                                  static_cast<std::ptrdiff_t>(cursor_ + n));
+  cursor_ += static_cast<std::size_t>(n);
+  return v;
+}
+
+std::vector<std::int32_t> SnapshotReader::vec_i32() {
+  const std::uint64_t n = u64();
+  need(static_cast<std::size_t>(n) * 4);
+  std::vector<std::int32_t> v;
+  v.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) v.push_back(i32());
+  return v;
+}
+
+std::vector<std::uint64_t> SnapshotReader::vec_u64() {
+  const std::uint64_t n = u64();
+  need(static_cast<std::size_t>(n) * 8);
+  std::vector<std::uint64_t> v;
+  v.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) v.push_back(u64());
+  return v;
+}
+
+std::vector<double> SnapshotReader::vec_f64() {
+  const std::uint64_t n = u64();
+  need(static_cast<std::size_t>(n) * 8);
+  std::vector<double> v;
+  v.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) v.push_back(f64());
+  return v;
+}
+
+}  // namespace wdm::util

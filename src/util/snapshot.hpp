@@ -1,0 +1,95 @@
+// Versioned binary snapshots for deterministic checkpoint/replay.
+//
+// A snapshot is a little-endian byte stream framed as
+//
+//     magic "WDMSNAP1" | version u32 | payload size u64 | FNV-1a64 digest |
+//     payload bytes
+//
+// written by SnapshotWriter and consumed by SnapshotReader. The digest is
+// over the payload, so a truncated or bit-flipped checkpoint is rejected at
+// load time instead of silently restoring corrupt scheduler state. The same
+// payload bytes double as the state fingerprint: fnv1a64 over them is the
+// digest that checkpoint/replay tests compare bit-for-bit.
+//
+// Encoding is deliberately dumb: fixed-width integers written byte by byte
+// (endianness-independent), vectors as u64 length + elements. Every consumer
+// bumps kSnapshotVersion when its layout changes; readers reject unknown
+// versions rather than guessing.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace wdm::util {
+
+/// Bump when any serialised layout changes; readers reject other versions.
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+
+/// FNV-1a 64-bit over a byte range (the snapshot digest primitive).
+std::uint64_t fnv1a64(std::span<const std::uint8_t> bytes) noexcept;
+
+/// Accumulates a snapshot payload in memory; frame + payload are written out
+/// in one piece by write_to so a crash mid-save never leaves a half-frame.
+class SnapshotWriter {
+ public:
+  void u8(std::uint8_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i32(std::int32_t v);
+  void i64(std::int64_t v);
+  void f64(double v);
+  void bytes(std::span<const std::uint8_t> v);
+
+  void vec_u8(const std::vector<std::uint8_t>& v);
+  void vec_i32(const std::vector<std::int32_t>& v);
+  void vec_u64(const std::vector<std::uint64_t>& v);
+  void vec_f64(const std::vector<double>& v);
+
+  /// FNV-1a64 of the payload accumulated so far.
+  std::uint64_t digest() const noexcept;
+  std::size_t size() const noexcept { return payload_.size(); }
+
+  /// Writes magic + version + size + digest + payload. Throws on stream
+  /// failure (a checkpoint the caller cannot trust must not look saved).
+  void write_to(std::ostream& os) const;
+
+ private:
+  std::vector<std::uint8_t> payload_;
+};
+
+/// Parses one snapshot frame up front (magic, version, digest check), then
+/// hands out typed reads. Truncation or type-length mismatch throws.
+class SnapshotReader {
+ public:
+  /// Reads and verifies the whole frame from `is`.
+  explicit SnapshotReader(std::istream& is);
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int32_t i32();
+  std::int64_t i64();
+  double f64();
+
+  std::vector<std::uint8_t> vec_u8();
+  std::vector<std::int32_t> vec_i32();
+  std::vector<std::uint64_t> vec_u64();
+  std::vector<double> vec_f64();
+
+  /// True when every payload byte has been consumed.
+  bool exhausted() const noexcept { return cursor_ == payload_.size(); }
+  /// Digest of the verified payload (equals the writer's digest()).
+  std::uint64_t digest() const noexcept { return digest_; }
+
+ private:
+  void need(std::size_t n) const;
+
+  std::vector<std::uint8_t> payload_;
+  std::size_t cursor_ = 0;
+  std::uint64_t digest_ = 0;
+};
+
+}  // namespace wdm::util

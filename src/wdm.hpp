@@ -8,6 +8,7 @@
 #include "util/check.hpp"
 #include "util/cli.hpp"
 #include "util/rng.hpp"
+#include "util/snapshot.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 #include "util/threadpool.hpp"
@@ -54,8 +55,10 @@
 #include "hw/vcd.hpp"
 
 // sim — slotted and asynchronous simulators
+#include "sim/admission.hpp"
 #include "sim/analysis.hpp"
 #include "sim/async.hpp"
+#include "sim/checkpoint.hpp"
 #include "sim/interconnect.hpp"
 #include "sim/metrics.hpp"
 #include "sim/network.hpp"

@@ -1,0 +1,234 @@
+// Deterministic checkpoint/replay: snapshot framing, round-trip digests,
+// bit-for-bit continuation and trace replay from a mid-run checkpoint, and
+// rejection of corrupt / mismatched / version-skewed frames.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/checkpoint.hpp"
+#include "sim/interconnect.hpp"
+#include "sim/trace.hpp"
+#include "sim/traffic.hpp"
+#include "util/snapshot.hpp"
+
+namespace wdm {
+namespace {
+
+// Frame layout (util/snapshot.hpp): magic(8) version(4) size(8) digest(8).
+constexpr std::size_t kHeaderBytes = 28;
+
+sim::InterconnectConfig full_feature_config() {
+  sim::InterconnectConfig cfg;
+  cfg.n_fibers = 4;
+  cfg.scheme = core::ConversionScheme::circular(6, 1, 1);
+  cfg.policy = sim::OccupiedPolicy::kNoDisturb;
+  cfg.seed = 42;
+  cfg.retry.max_retries = 2;
+  cfg.retry.queue_capacity = 8;
+  cfg.faults.channels = sim::MtbfMttr{200.0, 20.0};
+  cfg.admission.enabled = true;
+  cfg.admission.tokens_per_slot = 1.0;
+  cfg.admission.bucket_depth = 2.0;
+  cfg.admission.queue_capacity = 8;
+  cfg.degrade.op_budget = 50;
+  cfg.degrade.recovery_slots = 3;
+  return cfg;
+}
+
+sim::TrafficConfig heavy_traffic() {
+  sim::TrafficConfig traffic;
+  traffic.load = 0.9;
+  traffic.holding = sim::HoldingTime::kGeometric;
+  traffic.mean_holding = 2.0;
+  traffic.class_mix = {0.5, 0.3, 0.2};
+  return traffic;
+}
+
+void expect_stats_equal(const sim::SlotStats& a, const sim::SlotStats& b,
+                        std::uint64_t slot) {
+  EXPECT_EQ(a.arrivals, b.arrivals) << "slot " << slot;
+  EXPECT_EQ(a.granted, b.granted) << "slot " << slot;
+  EXPECT_EQ(a.rejected, b.rejected) << "slot " << slot;
+  EXPECT_EQ(a.rejected_malformed, b.rejected_malformed) << "slot " << slot;
+  EXPECT_EQ(a.rejected_faulted, b.rejected_faulted) << "slot " << slot;
+  EXPECT_EQ(a.shed_overload, b.shed_overload) << "slot " << slot;
+  EXPECT_EQ(a.deferred_faulted, b.deferred_faulted) << "slot " << slot;
+  EXPECT_EQ(a.deferred_overload, b.deferred_overload) << "slot " << slot;
+  EXPECT_EQ(a.ingress_releases, b.ingress_releases) << "slot " << slot;
+  EXPECT_EQ(a.degraded_ports, b.degraded_ports) << "slot " << slot;
+  EXPECT_EQ(a.retry_attempts, b.retry_attempts) << "slot " << slot;
+  EXPECT_EQ(a.retry_successes, b.retry_successes) << "slot " << slot;
+  EXPECT_EQ(a.preempted, b.preempted) << "slot " << slot;
+  EXPECT_EQ(a.dropped_faulted, b.dropped_faulted) << "slot " << slot;
+  EXPECT_EQ(a.busy_channels, b.busy_channels) << "slot " << slot;
+  EXPECT_EQ(a.arrivals_per_class, b.arrivals_per_class) << "slot " << slot;
+  EXPECT_EQ(a.granted_per_class, b.granted_per_class) << "slot " << slot;
+}
+
+TEST(Snapshot, TypedRoundTrip) {
+  util::SnapshotWriter w;
+  w.u8(7);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFull);
+  w.i32(-42);
+  w.i64(-1234567890123ll);
+  w.f64(3.25);
+  w.vec_u8({1, 2, 3});
+  w.vec_i32({-1, 0, 1});
+  w.vec_u64({9, 8});
+  w.vec_f64({0.5});
+  std::stringstream ss;
+  w.write_to(ss);
+
+  util::SnapshotReader r(ss);
+  EXPECT_EQ(r.u8(), 7);
+  EXPECT_EQ(r.u32(), 0xDEADBEEF);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.i32(), -42);
+  EXPECT_EQ(r.i64(), -1234567890123ll);
+  EXPECT_EQ(r.f64(), 3.25);
+  EXPECT_EQ(r.vec_u8(), (std::vector<std::uint8_t>{1, 2, 3}));
+  EXPECT_EQ(r.vec_i32(), (std::vector<std::int32_t>{-1, 0, 1}));
+  EXPECT_EQ(r.vec_u64(), (std::vector<std::uint64_t>{9, 8}));
+  EXPECT_EQ(r.vec_f64(), (std::vector<double>{0.5}));
+  EXPECT_TRUE(r.exhausted());
+  EXPECT_EQ(r.digest(), w.digest());
+}
+
+TEST(Checkpoint, RoundTripRestoresBitForBit) {
+  const auto cfg = full_feature_config();
+  sim::Interconnect original(cfg);
+  sim::TrafficGenerator traffic(cfg.n_fibers, 6, heavy_traffic(), 9001);
+
+  for (std::uint64_t slot = 0; slot < 30; ++slot) {
+    original.step(traffic.next_slot(original.input_channel_busy()));
+  }
+
+  std::stringstream checkpoint;
+  sim::save_checkpoint(checkpoint, original, traffic);
+  const auto digest = sim::state_digest(original);
+
+  sim::Interconnect restored(cfg);
+  sim::TrafficGenerator restored_traffic(cfg.n_fibers, 6, heavy_traffic(), 1);
+  sim::load_checkpoint(checkpoint, restored, restored_traffic);
+  EXPECT_EQ(sim::state_digest(restored), digest);
+
+  // Both copies must now evolve identically, slot for slot, bit for bit.
+  for (std::uint64_t slot = 0; slot < 40; ++slot) {
+    const auto a =
+        original.step(traffic.next_slot(original.input_channel_busy()));
+    const auto b = restored.step(
+        restored_traffic.next_slot(restored.input_channel_busy()));
+    expect_stats_equal(a, b, slot);
+  }
+  EXPECT_EQ(sim::state_digest(original), sim::state_digest(restored));
+  EXPECT_EQ(traffic.generated(), restored_traffic.generated());
+}
+
+TEST(Checkpoint, ReplayFromSnapshotReproducesTheRun) {
+  auto cfg = full_feature_config();
+  cfg.faults = sim::FaultConfig{};  // trace replay: deterministic arrivals
+  cfg.faults.script = {
+      sim::FaultEvent{10, sim::FaultKind::kFiber, 2, 0, false},
+      sim::FaultEvent{30, sim::FaultKind::kFiber, 2, 0, true},
+  };
+  sim::TrafficGenerator source(cfg.n_fibers, 6, heavy_traffic(), 77);
+  const auto trace = sim::capture_trace(source, cfg.n_fibers, 6, 50);
+  constexpr std::uint64_t kSnapshotAt = 20;
+
+  sim::Interconnect original(cfg);
+  std::stringstream checkpoint;
+  std::vector<sim::SlotStats> original_tail;
+  for (std::size_t slot = 0; slot < trace.slots.size(); ++slot) {
+    if (slot == kSnapshotAt) sim::save_checkpoint(checkpoint, original);
+    const auto stats = original.step(trace.slots[slot]);
+    if (slot >= kSnapshotAt) original_tail.push_back(stats);
+  }
+  const auto original_digest = sim::state_digest(original);
+
+  sim::Interconnect resumed(cfg);
+  sim::load_checkpoint(checkpoint, resumed);
+  const auto replay_tail = sim::replay_from(trace, kSnapshotAt, resumed);
+
+  ASSERT_EQ(replay_tail.size(), original_tail.size());
+  for (std::size_t i = 0; i < replay_tail.size(); ++i) {
+    expect_stats_equal(original_tail[i], replay_tail[i], kSnapshotAt + i);
+  }
+  EXPECT_EQ(sim::state_digest(resumed), original_digest);
+}
+
+TEST(Checkpoint, RejectsCorruptFrames) {
+  const auto cfg = full_feature_config();
+  sim::Interconnect ic(cfg);
+  std::stringstream good;
+  sim::save_checkpoint(good, ic);
+  const std::string frame = good.str();
+  ASSERT_GT(frame.size(), kHeaderBytes);
+
+  {  // bad magic
+    std::string bad = frame;
+    bad[0] = 'X';
+    std::stringstream ss(bad);
+    sim::Interconnect target(cfg);
+    EXPECT_THROW(sim::load_checkpoint(ss, target), std::logic_error);
+  }
+  {  // unsupported version
+    std::string bad = frame;
+    bad[8] = static_cast<char>(0x99);
+    std::stringstream ss(bad);
+    sim::Interconnect target(cfg);
+    EXPECT_THROW(sim::load_checkpoint(ss, target), std::logic_error);
+  }
+  {  // truncated payload
+    std::string bad = frame.substr(0, frame.size() - 3);
+    std::stringstream ss(bad);
+    sim::Interconnect target(cfg);
+    EXPECT_THROW(sim::load_checkpoint(ss, target), std::logic_error);
+  }
+  {  // bit flip in the payload -> digest mismatch
+    std::string bad = frame;
+    bad[kHeaderBytes + 5] = static_cast<char>(bad[kHeaderBytes + 5] ^ 0x40);
+    std::stringstream ss(bad);
+    sim::Interconnect target(cfg);
+    EXPECT_THROW(sim::load_checkpoint(ss, target), std::logic_error);
+  }
+  {  // the pristine frame still loads
+    std::stringstream ss(frame);
+    sim::Interconnect target(cfg);
+    EXPECT_NO_THROW(sim::load_checkpoint(ss, target));
+  }
+}
+
+TEST(Checkpoint, RejectsConfigAndFlagMismatch) {
+  const auto cfg = full_feature_config();
+  sim::Interconnect ic(cfg);
+  sim::TrafficGenerator traffic(cfg.n_fibers, 6, heavy_traffic(), 5);
+
+  {  // geometry mismatch
+    std::stringstream ss;
+    sim::save_checkpoint(ss, ic);
+    auto other = cfg;
+    other.n_fibers = 2;
+    sim::Interconnect target(other);
+    EXPECT_THROW(sim::load_checkpoint(ss, target), std::logic_error);
+  }
+  {  // frame with traffic state loaded without a generator
+    std::stringstream ss;
+    sim::save_checkpoint(ss, ic, traffic);
+    sim::Interconnect target(cfg);
+    EXPECT_THROW(sim::load_checkpoint(ss, target), std::logic_error);
+  }
+  {  // frame without traffic state loaded with a generator
+    std::stringstream ss;
+    sim::save_checkpoint(ss, ic);
+    sim::Interconnect target(cfg);
+    sim::TrafficGenerator target_traffic(cfg.n_fibers, 6, heavy_traffic(), 5);
+    EXPECT_THROW(sim::load_checkpoint(ss, target, target_traffic),
+                 std::logic_error);
+  }
+}
+
+}  // namespace
+}  // namespace wdm

@@ -400,8 +400,16 @@ TEST(RetryQueue, CapacityBoundOverflowsToRejection) {
       {0, 0, 0, 1, 1}, {0, 1, 0, 2, 1}, {0, 2, 0, 3, 1}};
   const auto s0 = ic.step(arrivals);
   EXPECT_EQ(s0.deferred_faulted, 2u);
-  EXPECT_EQ(s0.rejected_faulted, 1u);
+  // The request the full queue could not take is a deliberate overload shed
+  // (the hardware fault is real, but the drop happened at the cap), counted
+  // in the shed_overload subset rather than rejected_faulted.
+  EXPECT_EQ(s0.rejected, 1u);
+  EXPECT_EQ(s0.rejected_faulted, 0u);
+  EXPECT_EQ(s0.shed_overload, 1u);
   EXPECT_EQ(ic.retry_queue_depth(), 2u);
+  sim::MetricsCollector metrics(1, 4);
+  metrics.record_slot(s0);  // conservation law balances at the cap
+  EXPECT_EQ(metrics.shed_overload(), 1u);
 }
 
 // -------------------------------------------------------------- metrics law
