@@ -10,18 +10,24 @@
 // ingress and the per-port matcher downgrades from O(dk) exact BFA to the
 // O(k) approximation instead of grinding through a saturated request graph.
 //
-// Emits BENCH_overload.json: per (load factor, control on/off) rows with
-// p50/p99/max slot nanoseconds plus grant/shed/degraded tallies.
+// Latencies accumulate into an obs::Histogram per run (O(1) add, no sample
+// vector, no post-hoc sort), so the JSON rows carry p50/p90/p99/p999/max
+// plus the raw log-bucket counts for offline analysis.
 //
-// WDM_BENCH_SMOKE=1 shrinks slot counts for CI smoke runs.
-#include <algorithm>
+// Emits BENCH_overload.json. WDM_BENCH_SMOKE=1 shrinks slot counts for CI
+// smoke runs. --trace-detail/--telemetry attach a trace recorder to the
+// measured runs and export the (ring-bounded, most-recent) Chrome trace.
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <vector>
 
 #include "bench_io.hpp"
 #include "core/request.hpp"
+#include "obs/histogram.hpp"
+#include "obs/telemetry.hpp"
 #include "sim/interconnect.hpp"
+#include "util/cli.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
@@ -93,24 +99,16 @@ sim::InterconnectConfig overload_config(std::int32_t n, std::int32_t k) {
 struct Row {
   double factor = 0.0;
   bool control = false;
-  double p50_ns = 0.0;
-  double p99_ns = 0.0;
-  double max_ns = 0.0;
+  obs::Histogram latency;  // per-slot step nanoseconds
   std::uint64_t granted = 0;
   std::uint64_t shed = 0;
   std::uint64_t degraded_ports = 0;
   std::uint64_t degraded_slots = 0;
 };
 
-double percentile(std::vector<double>& sorted, double q) {
-  if (sorted.empty()) return 0.0;
-  const auto idx = static_cast<std::size_t>(
-      q * static_cast<double>(sorted.size() - 1) + 0.5);
-  return sorted[std::min(idx, sorted.size() - 1)];
-}
-
 Row run(std::int32_t n, std::int32_t k, double factor, bool control,
-        const std::vector<std::vector<core::SlotRequest>>& slots) {
+        const std::vector<std::vector<core::SlotRequest>>& slots,
+        obs::TraceRecorder* recorder) {
   sim::Interconnect ic(control ? overload_config(n, k) : base_config(n, k));
 
   Row row;
@@ -119,57 +117,88 @@ Row run(std::int32_t n, std::int32_t k, double factor, bool control,
 
   for (const auto& slot : slots) ic.step(slot);  // warm-up sweep
 
-  std::vector<double> samples;
-  samples.reserve(slots.size());
+  ic.set_telemetry(recorder);
   for (const auto& slot : slots) {
     const std::uint64_t t0 = util::now_ns();
     const auto stats = ic.step(slot);
-    samples.push_back(static_cast<double>(util::now_ns() - t0));
+    row.latency.add(util::now_ns() - t0);
     row.granted += stats.granted;
     row.shed += stats.shed_overload;
     row.degraded_ports += stats.degraded_ports;
     row.degraded_slots += stats.degraded_ports > 0 ? 1 : 0;
   }
-  std::sort(samples.begin(), samples.end());
-  row.p50_ns = percentile(samples, 0.50);
-  row.p99_ns = percentile(samples, 0.99);
-  row.max_ns = samples.back();
   return row;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  util::Cli cli("bench_overload",
+                "per-slot latency under oversubscription, control on/off");
+  cli.add_option("trace-detail", "off",
+                 "telemetry level for the measured runs: off|slots|fibers|full");
+  cli.add_option("telemetry", "",
+                 "write the (most recent) Chrome trace JSON to this path");
+  if (!cli.parse(argc, argv)) return 1;
+  const auto detail = obs::parse_trace_detail(cli.get("trace-detail"));
+  if (!detail.has_value()) {
+    std::cerr << "bench_overload: unknown --trace-detail '"
+              << cli.get("trace-detail") << "'\n";
+    return 1;
+  }
+
   const bool smoke = std::getenv("WDM_BENCH_SMOKE") != nullptr;
   const std::int32_t n = 64;
   const std::int32_t k = 16;
   const std::size_t n_slots = smoke ? 100 : 1500;
   const std::vector<double> factors{0.5, 1.0, 1.5, 2.0};
 
-  util::Table table({"load x sat", "control", "p50 us", "p99 us", "max us",
-                     "granted", "shed", "degr ports", "degr slots"});
+  obs::TraceRecorder recorder(*detail);
+  obs::TraceRecorder* recorder_ptr =
+      *detail == obs::TraceDetail::kOff ? nullptr : &recorder;
+
+  util::Table table({"load x sat", "control", "p50 us", "p90 us", "p99 us",
+                     "p999 us", "max us", "granted", "shed", "degr ports",
+                     "degr slots"});
   bench::Json rows = bench::Json::array();
 
   for (const double factor : factors) {
     const auto slots = make_slots(n, k, n_slots, factor);
     for (const bool control : {false, true}) {
-      const Row row = run(n, k, factor, control, slots);
+      const Row row = run(n, k, factor, control, slots, recorder_ptr);
+      const auto& h = row.latency;
       table.add_row({util::cell(factor, 2), control ? "on" : "off",
-                     util::cell(row.p50_ns / 1e3, 4),
-                     util::cell(row.p99_ns / 1e3, 4),
-                     util::cell(row.max_ns / 1e3, 4), util::cell(row.granted),
-                     util::cell(row.shed), util::cell(row.degraded_ports),
+                     util::cell(static_cast<double>(h.p50()) / 1e3, 4),
+                     util::cell(static_cast<double>(h.p90()) / 1e3, 4),
+                     util::cell(static_cast<double>(h.p99()) / 1e3, 4),
+                     util::cell(static_cast<double>(h.p999()) / 1e3, 4),
+                     util::cell(static_cast<double>(h.max()) / 1e3, 4),
+                     util::cell(row.granted), util::cell(row.shed),
+                     util::cell(row.degraded_ports),
                      util::cell(row.degraded_slots)});
       bench::Json j = bench::Json::object();
       j.set("load_factor", row.factor)
           .set("control", row.control)
-          .set("p50_ns", row.p50_ns)
-          .set("p99_ns", row.p99_ns)
-          .set("max_ns", row.max_ns)
+          .set("p50_ns", static_cast<double>(h.p50()))
+          .set("p90_ns", static_cast<double>(h.p90()))
+          .set("p99_ns", static_cast<double>(h.p99()))
+          .set("p999_ns", static_cast<double>(h.p999()))
+          .set("max_ns", static_cast<double>(h.max()))
+          .set("mean_ns", h.mean())
           .set("granted", row.granted)
           .set("shed_overload", row.shed)
           .set("degraded_ports", row.degraded_ports)
           .set("degraded_slots", row.degraded_slots);
+      // Raw log-bucket counts (inclusive upper edges) so offline analysis
+      // can recompute any quantile without the per-slot samples.
+      bench::Json les = bench::Json::array();
+      bench::Json counts = bench::Json::array();
+      h.for_each_nonempty(
+          [&](std::uint64_t /*lo*/, std::uint64_t hi, std::uint64_t count) {
+            les.push(hi);
+            counts.push(count);
+          });
+      j.set("hist_le_ns", std::move(les)).set("hist_count", std::move(counts));
       rows.push(std::move(j));
     }
   }
@@ -178,6 +207,16 @@ int main() {
             << ", circular conversion d=5, " << n_slots
             << " measured slots per point\n\n";
   table.print(std::cout);
+
+  if (!cli.get("telemetry").empty()) {
+    std::ofstream os(cli.get("telemetry"));
+    if (!os) {
+      std::cerr << "bench_overload: cannot open " << cli.get("telemetry")
+                << "\n";
+      return 1;
+    }
+    obs::write_chrome_trace(os, recorder);
+  }
 
   bench::Json root = bench::Json::object();
   root.set("bench", "overload")

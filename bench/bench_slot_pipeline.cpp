@@ -9,6 +9,12 @@
 // (DistributedScheduler against the flat availability plane), the part the
 // zero-allocation contract covers (tests/test_zero_alloc.cpp enforces it).
 //
+// A third measurement re-runs the full pipeline with a trace recorder
+// attached (--trace-detail, default "slots") so the telemetry tax is itself
+// a tracked number: "traced slots/s" should sit within a few percent of the
+// untraced column at slot granularity, and the untraced column is the one
+// bench_report.py regresses against.
+//
 // WDM_BENCH_SMOKE=1 shrinks the matrix and slot counts for CI smoke runs.
 #include <atomic>
 #include <cstdlib>
@@ -18,7 +24,9 @@
 
 #include "bench_io.hpp"
 #include "core/distributed.hpp"
+#include "obs/telemetry.hpp"
 #include "sim/interconnect.hpp"
+#include "util/cli.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
@@ -87,9 +95,11 @@ struct Measurement {
 };
 
 /// Full interconnect pipeline: one warm-up sweep, then a measured sweep over
-/// the same slot stream.
+/// the same slot stream. When `recorder` is non-null it is attached for the
+/// measured sweep, so the measurement includes the telemetry warm path.
 Measurement run_interconnect(std::int32_t n, std::int32_t k, bool circular,
-                             const std::vector<std::vector<core::SlotRequest>>& slots) {
+                             const std::vector<std::vector<core::SlotRequest>>& slots,
+                             obs::TraceRecorder* recorder = nullptr) {
   sim::InterconnectConfig cfg;
   cfg.n_fibers = n;
   cfg.scheme = circular ? core::ConversionScheme::circular(k, 1, 1)
@@ -100,6 +110,7 @@ Measurement run_interconnect(std::int32_t n, std::int32_t k, bool circular,
 
   Measurement m;
   for (const auto& slot : slots) m.grants += ic.step(slot).granted;  // warm-up
+  ic.set_telemetry(recorder);
 
   const AllocSnapshot before = AllocSnapshot::take();
   const util::Stopwatch clock;
@@ -178,7 +189,20 @@ std::size_t slots_for(std::int32_t n, std::int32_t k, bool smoke) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  util::Cli cli("bench_slot_pipeline",
+                "slot-pipeline throughput, allocator traffic, telemetry tax");
+  cli.add_option("trace-detail", "slots",
+                 "telemetry level for the traced measurement: "
+                 "off|slots|fibers|full");
+  if (!cli.parse(argc, argv)) return 1;
+  const auto detail = obs::parse_trace_detail(cli.get("trace-detail"));
+  if (!detail.has_value()) {
+    std::cerr << "bench_slot_pipeline: unknown --trace-detail '"
+              << cli.get("trace-detail") << "'\n";
+    return 1;
+  }
+
   const bool smoke = std::getenv("WDM_BENCH_SMOKE") != nullptr;
   const std::vector<std::int32_t> ns = smoke ? std::vector<std::int32_t>{16}
                                              : std::vector<std::int32_t>{16, 64, 256};
@@ -187,7 +211,7 @@ int main() {
   const double load = 0.7;
 
   util::Table table({"N", "k", "scheme", "slots/s", "allocs/slot", "bytes/slot",
-                     "sched slots/s", "sched allocs/slot"});
+                     "sched slots/s", "sched allocs/slot", "traced slots/s"});
   bench::Json configs = bench::Json::array();
   std::uint64_t sink = 0;
 
@@ -198,14 +222,19 @@ int main() {
       for (const bool circular : {true, false}) {
         const Measurement full = run_interconnect(n, k, circular, slots);
         const Measurement sched = run_scheduler_path(n, k, circular, slots);
-        sink += full.grants + sched.grants;
+        obs::TraceRecorder recorder(*detail);
+        const Measurement traced = run_interconnect(
+            n, k, circular, slots,
+            *detail == obs::TraceDetail::kOff ? nullptr : &recorder);
+        sink += full.grants + sched.grants + traced.grants;
         table.add_row({util::cell(n), util::cell(k),
                        circular ? "circular" : "non-circular",
                        util::cell(static_cast<std::int64_t>(full.slots_per_s)),
                        util::cell(full.allocs_per_slot, 4),
                        util::cell(full.bytes_per_slot, 5),
                        util::cell(static_cast<std::int64_t>(sched.slots_per_s)),
-                       util::cell(sched.allocs_per_slot, 4)});
+                       util::cell(sched.allocs_per_slot, 4),
+                       util::cell(static_cast<std::int64_t>(traced.slots_per_s))});
         bench::Json row = bench::Json::object();
         row.set("n_fibers", n)
             .set("k", k)
@@ -216,7 +245,9 @@ int main() {
             .set("bytes_per_slot", full.bytes_per_slot)
             .set("scheduler_slots_per_s", sched.slots_per_s)
             .set("scheduler_allocs_per_slot", sched.allocs_per_slot)
-            .set("scheduler_bytes_per_slot", sched.bytes_per_slot);
+            .set("scheduler_bytes_per_slot", sched.bytes_per_slot)
+            .set("traced_slots_per_s", traced.slots_per_s)
+            .set("traced_allocs_per_slot", traced.allocs_per_slot);
         configs.push(std::move(row));
       }
     }
@@ -230,6 +261,7 @@ int main() {
   root.set("bench", "slot_pipeline")
       .set("load", load)
       .set("smoke", smoke)
+      .set("trace_detail", cli.get("trace-detail"))
       .set("configs", std::move(configs));
   bench::write_bench_json("slot_pipeline", root);
   return 0;

@@ -1,0 +1,168 @@
+// General-purpose simulation driver with the telemetry plane surfaced:
+//
+//   simulate --n=64 --k=16 --degree=5 --load=0.8 --slots=1000
+//            --trace-detail=full --telemetry=trace.json --metrics=out.prom
+//
+// Unlike sim::run_simulation (which owns its slot loop), this example drives
+// the Interconnect directly so a trace recorder can be attached and every
+// pipeline stage — including metrics recording — shows up in the exported
+// Chrome trace. Open the --telemetry JSON in chrome://tracing or Perfetto;
+// scrape or diff the --metrics file as Prometheus text exposition.
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "obs/registry.hpp"
+#include "obs/telemetry.hpp"
+#include "sim/interconnect.hpp"
+#include "sim/metrics.hpp"
+#include "sim/obs_export.hpp"
+#include "sim/traffic.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace wdm;
+
+  util::Cli cli("simulate",
+                "slotted WDM interconnect simulation with telemetry exports");
+  cli.add_option("n", "8", "number of input/output fibers (N)");
+  cli.add_option("k", "8", "wavelengths per fiber (k)");
+  cli.add_option("degree", "0", "conversion degree d; 0 means full range");
+  cli.add_option("kind", "circular", "conversion kind: circular|noncircular");
+  cli.add_option("load", "0.8", "offered load per input channel");
+  cli.add_option("slots", "1000", "measured slots");
+  cli.add_option("warmup", "100", "warm-up slots discarded from metrics");
+  cli.add_option("seed", "1", "master seed");
+  cli.add_option("threads", "0", "worker threads; 0 runs serially");
+  cli.add_option("policy", "nodisturb", "occupied policy: nodisturb|rearrange");
+  cli.add_option("op-budget", "0",
+                 "per-slot op budget for degradation; 0 disables");
+  cli.add_option("recovery-slots", "8", "hysteresis recovery slots");
+  cli.add_option("retries", "0", "max retries for fault-rejected requests");
+  cli.add_option("tokens-per-slot", "0",
+                 "admission token refill per fiber per slot; 0 disables "
+                 "admission control");
+  cli.add_option("bucket-depth", "4", "admission token bucket depth");
+  cli.add_option("queue-capacity", "64", "admission ingress queue bound");
+  cli.add_option("drop-policy", "tail", "admission drop policy: tail|priority");
+  cli.add_flag("bursty", "use on-off (bursty) sources instead of Bernoulli");
+  cli.add_option("trace-detail", "off",
+                 "telemetry level: off|slots|fibers|full");
+  cli.add_option("trace-capacity", "65536", "trace ring buffer capacity");
+  cli.add_option("telemetry", "", "write a Chrome trace JSON to this path");
+  cli.add_option("metrics", "", "write a Prometheus snapshot to this path");
+  if (!cli.parse(argc, argv)) return 1;
+
+  const auto n = static_cast<std::int32_t>(cli.get_int("n"));
+  const auto k = static_cast<std::int32_t>(cli.get_int("k"));
+  const auto degree = cli.get_int("degree") == 0
+                          ? k
+                          : static_cast<std::int32_t>(cli.get_int("degree"));
+  const auto detail = obs::parse_trace_detail(cli.get("trace-detail"));
+  if (!detail.has_value()) {
+    std::cerr << "simulate: unknown --trace-detail '"
+              << cli.get("trace-detail") << "' (off|slots|fibers|full)\n";
+    return 1;
+  }
+
+  util::Rng seeder(static_cast<std::uint64_t>(cli.get_int("seed")));
+  sim::InterconnectConfig icfg;
+  icfg.n_fibers = n;
+  icfg.scheme = core::ConversionScheme::symmetric(
+      cli.get("kind") == "circular" ? core::ConversionKind::kCircular
+                                    : core::ConversionKind::kNonCircular,
+      k, degree);
+  icfg.policy = cli.get("policy") == "rearrange"
+                    ? sim::OccupiedPolicy::kRearrange
+                    : sim::OccupiedPolicy::kNoDisturb;
+  icfg.seed = seeder.next();
+  icfg.degrade.op_budget = static_cast<std::uint64_t>(cli.get_int("op-budget"));
+  icfg.degrade.recovery_slots =
+      static_cast<std::int32_t>(cli.get_int("recovery-slots"));
+  icfg.retry.max_retries = static_cast<std::int32_t>(cli.get_int("retries"));
+  if (cli.get_double("tokens-per-slot") > 0) {
+    icfg.admission.enabled = true;
+    icfg.admission.tokens_per_slot = cli.get_double("tokens-per-slot");
+    icfg.admission.bucket_depth = cli.get_double("bucket-depth");
+    icfg.admission.queue_capacity =
+        static_cast<std::size_t>(cli.get_int("queue-capacity"));
+    icfg.admission.drop_policy = cli.get("drop-policy") == "priority"
+                                     ? sim::DropPolicy::kPriorityShed
+                                     : sim::DropPolicy::kTailDrop;
+  }
+
+  sim::Interconnect interconnect(icfg);
+  sim::TrafficConfig tcfg;
+  tcfg.load = cli.get_double("load");
+  if (cli.get_flag("bursty")) tcfg.arrivals = sim::ArrivalProcess::kOnOff;
+  sim::TrafficGenerator traffic(n, k, tcfg, seeder.next());
+  sim::MetricsCollector metrics(n, k);
+
+  obs::TraceRecorder recorder(
+      *detail, static_cast<std::size_t>(cli.get_int("trace-capacity")));
+  interconnect.set_telemetry(*detail == obs::TraceDetail::kOff ? nullptr
+                                                               : &recorder);
+
+  std::unique_ptr<util::ThreadPool> pool;
+  if (cli.get_int("threads") > 0) {
+    pool = std::make_unique<util::ThreadPool>(
+        static_cast<std::size_t>(cli.get_int("threads")));
+  }
+
+  const auto warmup = static_cast<std::uint64_t>(cli.get_int("warmup"));
+  const auto slots = static_cast<std::uint64_t>(cli.get_int("slots"));
+  const util::Stopwatch clock;
+  for (std::uint64_t slot = 0; slot < warmup + slots; ++slot) {
+    const auto arrivals = traffic.next_slot(interconnect.input_channel_busy());
+    const sim::SlotStats stats = interconnect.step(arrivals, pool.get());
+    if (slot < warmup) continue;
+    const obs::StageTimer metrics_timer(
+        *detail == obs::TraceDetail::kOff ? nullptr : &recorder,
+        obs::Stage::kMetrics, slot);
+    metrics.record_slot(stats);
+    for (std::int32_t fiber = 0; fiber < n; ++fiber) {
+      metrics.record_fiber_grants(
+          fiber,
+          interconnect.last_fiber_grants()[static_cast<std::size_t>(fiber)]);
+    }
+  }
+  const double wall_s = clock.elapsed_s();
+
+  std::cout << "slots=" << metrics.slots() << " arrivals="
+            << metrics.raw_arrivals() << " granted=" << metrics.granted()
+            << " loss=" << metrics.loss_probability()
+            << " throughput=" << metrics.throughput_per_channel()
+            << " utilization=" << metrics.utilization()
+            << " wall_s=" << wall_s << "\n";
+  if (*detail != obs::TraceDetail::kOff) {
+    std::cout << "trace: " << recorder.recorded() << " events recorded, "
+              << recorder.dropped() << " dropped (ring capacity "
+              << recorder.capacity() << ")\n";
+  }
+
+  if (!cli.get("telemetry").empty()) {
+    std::ofstream os(cli.get("telemetry"));
+    if (!os) {
+      std::cerr << "simulate: cannot open " << cli.get("telemetry") << "\n";
+      return 1;
+    }
+    obs::write_chrome_trace(os, recorder);
+    std::cout << "wrote Chrome trace to " << cli.get("telemetry") << "\n";
+  }
+  if (!cli.get("metrics").empty()) {
+    std::ofstream os(cli.get("metrics"));
+    if (!os) {
+      std::cerr << "simulate: cannot open " << cli.get("metrics") << "\n";
+      return 1;
+    }
+    obs::Registry registry;
+    sim::register_metrics(registry, metrics);
+    obs::register_recorder(registry, recorder);
+    obs::write_prometheus(os, registry);
+    std::cout << "wrote Prometheus snapshot to " << cli.get("metrics") << "\n";
+  }
+  return 0;
+}

@@ -13,6 +13,10 @@ than --tolerance percent (default 15, generous because the CI box is a
 noisy single core), so the script can gate CI. --threshold is kept as a
 deprecated alias.
 
+Exit status 2 means the comparison could not be performed at all: a missing
+directory, no BENCH_*.json pairs in common, or an unreadable/unparseable
+artifact. CI treats 2 as a harness problem, distinct from a perf regression.
+
 Baselines are keyed by host: every artifact carries a "meta" block
 (bench_io.hpp) with a "host_key" like "Linux-x86_64". When the baseline
 directory has a subdirectory named after the current artifacts' host key,
@@ -128,6 +132,11 @@ def main():
                              "--threshold is a deprecated alias")
     args = parser.parse_args()
 
+    for label, path in (("baseline", args.baseline), ("current", args.current)):
+        if not path.is_dir():
+            print(f"{label} directory does not exist: {path}", file=sys.stderr)
+            return 2
+
     curr_files = {p.name: p for p in sorted(args.current.glob("BENCH_*.json"))}
     baseline_dir = pick_baseline_dir(args.baseline, curr_files)
     if baseline_dir != args.baseline:
@@ -141,8 +150,18 @@ def main():
     all_regressions = []
     host_mismatch = False
     for name in common:
-        base = json.loads(base_files[name].read_text())
-        curr = json.loads(curr_files[name].read_text())
+        try:
+            base = json.loads(base_files[name].read_text())
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"cannot read baseline {base_files[name]}: {err}",
+                  file=sys.stderr)
+            return 2
+        try:
+            curr = json.loads(curr_files[name].read_text())
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"cannot read current {curr_files[name]}: {err}",
+                  file=sys.stderr)
+            return 2
         base_key, curr_key = host_key(base), host_key(curr)
         if base_key and curr_key and base_key != curr_key:
             host_mismatch = True

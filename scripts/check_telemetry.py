@@ -1,0 +1,227 @@
+#!/usr/bin/env python3
+"""Validate telemetry-plane artifacts: a Chrome trace and a Prometheus dump.
+
+Usage:
+    scripts/check_telemetry.py --trace trace.json --metrics out.prom
+
+Checks the Chrome trace_event JSON written by obs::write_chrome_trace
+(structure, monotonically plausible timestamps, the stage names the slot
+pipeline must emit) and the Prometheus text exposition written by
+obs::write_prometheus (HELP/TYPE headers, the full SlotStats counter set,
+histogram bucket monotonicity and _count/_sum consistency).
+
+Exit status 0 on success, 1 on any violation (each one is printed). Both
+flags are optional so the script can check either artifact alone.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+# Every phase obs::write_chrome_trace can emit.
+KNOWN_PHASES = {"X", "i", "M"}
+
+# Stage spans Interconnect::step + DistributedScheduler must produce in any
+# full-detail run that schedules at least one slot of traffic.
+REQUIRED_SPAN_NAMES = {"slot", "partition", "fanout"}
+
+# The SlotStats/MetricsCollector counter set sim::register_metrics exports.
+REQUIRED_METRICS = [
+    "wdm_slots_total",
+    "wdm_arrivals_total",
+    "wdm_offered_total",
+    "wdm_granted_total",
+    "wdm_rejected_total",
+    "wdm_rejected_malformed_total",
+    "wdm_rejected_faulted_total",
+    "wdm_shed_overload_total",
+    "wdm_deferred_faulted_total",
+    "wdm_deferred_overload_total",
+    "wdm_ingress_releases_total",
+    "wdm_degraded_ports_total",
+    "wdm_degraded_slots_total",
+    "wdm_retry_attempts_total",
+    "wdm_retry_successes_total",
+    "wdm_preempted_total",
+    "wdm_dropped_faulted_total",
+    "wdm_busy_channel_slots_total",
+    "wdm_loss_probability",
+    "wdm_throughput_per_channel",
+    "wdm_utilization",
+    "wdm_fiber_fairness",
+]
+
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^}]*\})?\s+(?P<value>\S+)$"
+)
+
+
+def check_trace(path: Path, errors: list[str]) -> None:
+    try:
+        tree = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as err:
+        errors.append(f"trace: cannot parse {path}: {err}")
+        return
+    events = tree.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        errors.append("trace: traceEvents missing or empty")
+        return
+    span_names = set()
+    for i, ev in enumerate(events):
+        where = f"trace: event {i}"
+        if not isinstance(ev, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in KNOWN_PHASES:
+            errors.append(f"{where}: unknown ph {ph!r}")
+            continue
+        if not isinstance(ev.get("name"), str) or not ev["name"]:
+            errors.append(f"{where}: missing name")
+        if ph == "M":
+            continue
+        for field in ("ts", "pid", "tid"):
+            if not isinstance(ev.get(field), (int, float)):
+                errors.append(f"{where}: missing numeric {field}")
+        if isinstance(ev.get("ts"), (int, float)) and ev["ts"] < 0:
+            errors.append(f"{where}: negative ts {ev['ts']}")
+        if ph == "X":
+            if not isinstance(ev.get("dur"), (int, float)) or ev["dur"] < 0:
+                errors.append(f"{where}: complete event without valid dur")
+            span_names.add(ev["name"])
+    missing = REQUIRED_SPAN_NAMES - span_names
+    if missing:
+        errors.append(f"trace: missing stage spans: {sorted(missing)}")
+    print(f"trace: {len(events)} events, span names: {sorted(span_names)}")
+
+
+def parse_prometheus(text: str, errors: list[str]):
+    """Return {name: [(labels, value)]}, {name: type} from an exposition."""
+    samples: dict[str, list[tuple[str, float]]] = {}
+    types: dict[str, str] = {}
+    helped: set[str] = set()
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            helped.add(line.split()[2])
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) < 4 or parts[3] not in (
+                    "counter", "gauge", "histogram", "summary", "untyped"):
+                errors.append(f"metrics line {lineno}: malformed TYPE: {line}")
+                continue
+            types[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue
+        m = SAMPLE_RE.match(line.strip())
+        if m is None:
+            errors.append(f"metrics line {lineno}: unparseable sample: {line}")
+            continue
+        try:
+            value = float(m.group("value"))
+        except ValueError:
+            errors.append(f"metrics line {lineno}: non-numeric value: {line}")
+            continue
+        samples.setdefault(m.group("name"), []).append(
+            (m.group("labels") or "", value))
+    for name in samples:
+        base = re.sub(r"_(bucket|sum|count)$", "", name)
+        if base not in helped and name not in helped:
+            errors.append(f"metrics: {name} has no # HELP line")
+    return samples, types
+
+
+def le_of(labels: str) -> float | None:
+    m = re.search(r'le="([^"]+)"', labels)
+    if m is None:
+        return None
+    return float("inf") if m.group(1) == "+Inf" else float(m.group(1))
+
+
+def strip_le(labels: str) -> str:
+    inner = labels.strip("{}")
+    kept = [p for p in inner.split(",") if p and not p.startswith("le=")]
+    return ",".join(sorted(kept))
+
+
+def check_histogram(name: str, samples, errors: list[str]) -> None:
+    buckets = samples.get(name + "_bucket", [])
+    series: dict[str, list[tuple[float, float]]] = {}
+    for labels, value in buckets:
+        le = le_of(labels)
+        if le is None:
+            errors.append(f"metrics: {name}_bucket sample without le label")
+            continue
+        series.setdefault(strip_le(labels), []).append((le, value))
+    if not series:
+        errors.append(f"metrics: histogram {name} has no _bucket samples")
+        return
+    counts = {strip_le(l): v for l, v in samples.get(name + "_count", [])}
+    for key, pairs in series.items():
+        pairs.sort()
+        if pairs[-1][0] != float("inf"):
+            errors.append(f"metrics: {name}{{{key}}} lacks a +Inf bucket")
+            continue
+        values = [v for _, v in pairs]
+        if any(b < a for a, b in zip(values, values[1:])):
+            errors.append(
+                f"metrics: {name}{{{key}}} bucket counts not cumulative")
+        if key in counts and counts[key] != pairs[-1][1]:
+            errors.append(
+                f"metrics: {name}{{{key}}} _count {counts[key]} != +Inf "
+                f"bucket {pairs[-1][1]}")
+        if not any(strip_le(l) == key for l, _ in samples.get(name + "_sum", [])):
+            errors.append(f"metrics: {name}{{{key}}} lacks a _sum sample")
+
+
+def check_metrics(path: Path, errors: list[str]) -> None:
+    try:
+        text = path.read_text()
+    except OSError as err:
+        errors.append(f"metrics: cannot read {path}: {err}")
+        return
+    samples, types = parse_prometheus(text, errors)
+    for name in REQUIRED_METRICS:
+        if name not in samples:
+            errors.append(f"metrics: required metric missing: {name}")
+    for name, kind in types.items():
+        if kind == "histogram":
+            check_histogram(name, samples, errors)
+    n_hist = sum(1 for k in types.values() if k == "histogram")
+    print(f"metrics: {len(samples)} sample families, {n_hist} histogram(s)")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--trace", type=Path, help="Chrome trace JSON path")
+    parser.add_argument("--metrics", type=Path,
+                        help="Prometheus exposition path")
+    args = parser.parse_args()
+    if args.trace is None and args.metrics is None:
+        parser.error("nothing to check: pass --trace and/or --metrics")
+
+    errors: list[str] = []
+    if args.trace is not None:
+        check_trace(args.trace, errors)
+    if args.metrics is not None:
+        check_metrics(args.metrics, errors)
+
+    for err in errors:
+        print(err, file=sys.stderr)
+    if errors:
+        print(f"{len(errors)} telemetry check(s) failed", file=sys.stderr)
+        return 1
+    print("telemetry checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

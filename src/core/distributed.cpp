@@ -56,38 +56,44 @@ void DistributedScheduler::schedule_slot_impl(
   // fiber outranks field validation (the fiber is down, nothing destined to
   // it is inspected), but not output-fiber validity — an out-of-range fiber
   // has no health to consult.
-  fiber_offsets_.assign(n_fibers + 1, 0);
-  for (std::size_t idx = 0; idx < requests.size(); ++idx) {
-    const auto& r = requests[idx];
-    if (r.output_fiber < 0 || r.output_fiber >= n_output_fibers()) {
-      decisions[idx] = PortDecision::reject(RejectReason::kInvalidOutputFiber);
-      continue;
+  {
+    const obs::StageTimer partition_timer(telemetry_, obs::Stage::kPartition,
+                                          trace_slot_);
+    fiber_offsets_.assign(n_fibers + 1, 0);
+    for (std::size_t idx = 0; idx < requests.size(); ++idx) {
+      const auto& r = requests[idx];
+      if (r.output_fiber < 0 || r.output_fiber >= n_output_fibers()) {
+        decisions[idx] =
+            PortDecision::reject(RejectReason::kInvalidOutputFiber);
+        continue;
+      }
+      if (health != nullptr &&
+          (*health)[static_cast<std::size_t>(r.output_fiber)].fiber_faulted) {
+        decisions[idx] = PortDecision::reject(RejectReason::kFaulted);
+        continue;
+      }
+      if (r.priority < 0) {
+        decisions[idx] = PortDecision::reject(RejectReason::kInvalidPriority);
+        continue;
+      }
+      fiber_offsets_[static_cast<std::size_t>(r.output_fiber) + 1] += 1;
     }
-    if (health != nullptr &&
-        (*health)[static_cast<std::size_t>(r.output_fiber)].fiber_faulted) {
-      decisions[idx] = PortDecision::reject(RejectReason::kFaulted);
-      continue;
+    for (std::size_t fiber = 0; fiber < n_fibers; ++fiber) {
+      fiber_offsets_[fiber + 1] += fiber_offsets_[fiber];
     }
-    if (r.priority < 0) {
-      decisions[idx] = PortDecision::reject(RejectReason::kInvalidPriority);
-      continue;
+    flat_requests_.resize(fiber_offsets_[n_fibers]);
+    flat_origin_.resize(fiber_offsets_[n_fibers]);
+    csr_decisions_.resize(fiber_offsets_[n_fibers]);
+    fiber_cursor_.assign(fiber_offsets_.begin(), fiber_offsets_.end() - 1);
+    for (std::size_t idx = 0; idx < requests.size(); ++idx) {
+      if (decisions[idx].reason != RejectReason::kUndecided) continue;
+      const auto& r = requests[idx];
+      const std::size_t pos =
+          fiber_cursor_[static_cast<std::size_t>(r.output_fiber)]++;
+      flat_requests_[pos] =
+          Request{r.input_fiber, r.wavelength, r.id, r.duration};
+      flat_origin_[pos] = idx;
     }
-    fiber_offsets_[static_cast<std::size_t>(r.output_fiber) + 1] += 1;
-  }
-  for (std::size_t fiber = 0; fiber < n_fibers; ++fiber) {
-    fiber_offsets_[fiber + 1] += fiber_offsets_[fiber];
-  }
-  flat_requests_.resize(fiber_offsets_[n_fibers]);
-  flat_origin_.resize(fiber_offsets_[n_fibers]);
-  csr_decisions_.resize(fiber_offsets_[n_fibers]);
-  fiber_cursor_.assign(fiber_offsets_.begin(), fiber_offsets_.end() - 1);
-  for (std::size_t idx = 0; idx < requests.size(); ++idx) {
-    if (decisions[idx].reason != RejectReason::kUndecided) continue;
-    const auto& r = requests[idx];
-    const std::size_t pos =
-        fiber_cursor_[static_cast<std::size_t>(r.output_fiber)]++;
-    flat_requests_[pos] = Request{r.input_fiber, r.wavelength, r.id, r.duration};
-    flat_origin_[pos] = idx;
   }
 
   // Deadline-bounded degradation plan. The op-budget decisions are made here,
@@ -99,7 +105,15 @@ void DistributedScheduler::schedule_slot_impl(
     degrade_flags_.assign(n_fibers, 0);
     const auto kk = static_cast<std::uint64_t>(k());
     const auto d = static_cast<std::uint64_t>(scheme_.degree());
-    for (std::size_t fiber = 0; fiber < n_fibers; ++fiber) {
+    // Fairness rotation: charge fibers starting at budget->rotation so the
+    // fibers past the budget's edge — the ones downgraded — move around the
+    // ring from slot to slot instead of always being the highest-numbered.
+    const std::size_t rot =
+        budget->rotation > 0
+            ? static_cast<std::size_t>(budget->rotation) % n_fibers
+            : 0;
+    for (std::size_t i = 0; i < n_fibers; ++i) {
+      const std::size_t fiber = (i + rot) % n_fibers;
       if (fiber_offsets_[fiber] == fiber_offsets_[fiber + 1]) continue;
       const bool degradable = ports_[fiber].degradable();
       const std::uint64_t exact_cost = degradable ? d * kk : kk;
@@ -118,10 +132,19 @@ void DistributedScheduler::schedule_slot_impl(
   }
   std::atomic<std::int32_t> deadline_degraded{0};
 
+  // Per-fiber trace staging: one preallocated slot per fiber, written by
+  // exactly the worker that schedules that fiber, merged after the join.
+  // No locks, and (capacity persisting across slots) no steady-state
+  // allocation on the warm path.
+  const bool trace_fibers =
+      telemetry_ != nullptr && telemetry_->at(obs::TraceDetail::kFibers);
+  if (trace_fibers) fiber_events_.assign(n_fibers, obs::TraceEvent{});
+
   const auto schedule_fiber = [&](std::size_t fiber) {
     const std::size_t lo = fiber_offsets_[fiber];
     const std::size_t hi = fiber_offsets_[fiber + 1];
     if (lo == hi) return;
+    const std::uint64_t fiber_t0 = trace_fibers ? util::now_ns() : 0;
     const std::span<const Request> batch{flat_requests_.data() + lo, hi - lo};
     const std::span<PortDecision> staged{csr_decisions_.data() + lo, hi - lo};
     const HealthMask* fiber_health =
@@ -132,11 +155,13 @@ void DistributedScheduler::schedule_slot_impl(
       degraded = true;
       deadline_degraded.fetch_add(1, std::memory_order_relaxed);
     }
+    std::uint64_t granted = 0;
     try {
       ports_[fiber].schedule_into(batch, row_of(fiber), fiber_health, staged,
                                   degraded);
       for (std::size_t i = 0; i < staged.size(); ++i) {
         decisions[flat_origin_[lo + i]] = staged[i];
+        if (staged[i].granted) granted += 1;
       }
     } catch (...) {
       // A kernel bug must not take the other fibers' grants down with it;
@@ -146,15 +171,32 @@ void DistributedScheduler::schedule_slot_impl(
             PortDecision::reject(RejectReason::kInternalError);
       }
     }
+    if (trace_fibers) {
+      obs::TraceEvent& e = fiber_events_[fiber];
+      e.ts_ns = fiber_t0;
+      e.dur_ns = util::now_ns() - fiber_t0;
+      e.slot = trace_slot_;
+      e.a = hi - lo;
+      e.b = granted;
+      e.fiber = static_cast<std::int32_t>(fiber);
+      e.kind = obs::EventKind::kFiberSchedule;
+      e.detail = degraded ? 1 : 0;
+      e.tid = util::ThreadPool::worker_index();
+    }
   };
 
-  if (pool != nullptr) {
-    pool->parallel_for(0, n_fibers, schedule_fiber);
-  } else {
-    for (std::size_t fiber = 0; fiber < n_fibers; ++fiber) {
-      schedule_fiber(fiber);
+  {
+    const obs::StageTimer fanout_timer(telemetry_, obs::Stage::kFanout,
+                                       trace_slot_);
+    if (pool != nullptr) {
+      pool->parallel_for(0, n_fibers, schedule_fiber);
+    } else {
+      for (std::size_t fiber = 0; fiber < n_fibers; ++fiber) {
+        schedule_fiber(fiber);
+      }
     }
   }
+  if (trace_fibers) telemetry_->append(fiber_events_);
   if (budgeted) {
     budget->degraded_ports += deadline_degraded.load(std::memory_order_relaxed);
   }

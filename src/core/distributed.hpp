@@ -15,6 +15,7 @@
 #include "core/conversion.hpp"
 #include "core/request.hpp"
 #include "core/scheduler.hpp"
+#include "obs/telemetry.hpp"
 #include "util/threadpool.hpp"
 
 namespace wdm::core {
@@ -48,6 +49,11 @@ struct SlotBudget {
   std::uint64_t op_budget = 0;     ///< op-count ceiling per slot; 0 = none
   std::uint64_t deadline_ns = 0;   ///< util::now_ns() deadline; 0 = none
   bool force_degraded = false;     ///< hysteresis hold: degrade every port
+  /// Fairness rotation: the budget plan charges fibers in the rotated order
+  /// (rotation, rotation+1, ... mod N) so a partially blown budget does not
+  /// always degrade the same low-numbered fibers. Deterministic — the
+  /// interconnect derives it from its slot counter, which is checkpointed.
+  std::int32_t rotation = 0;
 
   // Outputs, accumulated across the slot's scheduling calls.
   std::uint64_t ops_charged = 0;        ///< cost actually charged
@@ -120,6 +126,20 @@ class DistributedScheduler {
   void save_state(util::SnapshotWriter& w) const;
   void restore_state(util::SnapshotReader& r);
 
+  /// Attaches (or detaches, with nullptr) a trace recorder. The scheduler
+  /// records kStage spans for its partition and fan-out phases at kSlots
+  /// detail, and one kFiberSchedule span per scheduled fiber at kFibers —
+  /// staged in a preallocated per-fiber array (each entry written by the one
+  /// worker that owns that fiber) and merged after the join, so tracing adds
+  /// no locks and no allocations to the warm path. Telemetry never alters
+  /// decisions or RNG streams, and none of it enters save_state.
+  void set_telemetry(obs::TraceRecorder* recorder) noexcept {
+    telemetry_ = recorder;
+  }
+  /// Slot index stamped on this scheduler's trace events (the scheduler has
+  /// no slot counter of its own; the interconnect sets it each step).
+  void set_trace_slot(std::uint64_t slot) noexcept { trace_slot_ = slot; }
+
  private:
   /// Shared core of both overloads: `row_of(fiber)` yields that fiber's
   /// size-k mask (or an empty span for "all free").
@@ -142,6 +162,10 @@ class DistributedScheduler {
   std::vector<std::size_t> fiber_cursor_;    // fill cursors for the sort
   std::vector<PortDecision> csr_decisions_;  // per-fiber results, CSR order
   std::vector<std::uint8_t> degrade_flags_;  // per-fiber degradation plan
+
+  obs::TraceRecorder* telemetry_ = nullptr;
+  std::uint64_t trace_slot_ = 0;
+  std::vector<obs::TraceEvent> fiber_events_;  // per-fiber staging, size N
 };
 
 }  // namespace wdm::core

@@ -1,0 +1,75 @@
+#include "obs/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace wdm::obs {
+
+Histogram::Histogram() : counts_(kBucketCount, 0) {}
+
+std::size_t Histogram::bucket_index(std::uint64_t value) noexcept {
+  if (value < kSubCount) return static_cast<std::size_t>(value);
+  const auto msb = static_cast<std::uint32_t>(std::bit_width(value) - 1);
+  const std::uint32_t octave = msb - (kSubBits - 1);  // >= 1
+  const auto sub = static_cast<std::uint32_t>((value >> (msb - kSubBits)) &
+                                              (kSubCount - 1));
+  return static_cast<std::size_t>(octave) * kSubCount + sub;
+}
+
+std::uint64_t Histogram::bucket_lo(std::size_t index) noexcept {
+  if (index < kSubCount) return static_cast<std::uint64_t>(index);
+  const std::size_t octave = index / kSubCount;  // >= 1
+  const std::size_t sub = index % kSubCount;
+  return static_cast<std::uint64_t>(kSubCount + sub) << (octave - 1);
+}
+
+std::uint64_t Histogram::bucket_hi(std::size_t index) noexcept {
+  if (index + 1 >= kBucketCount) return ~0ULL;
+  return bucket_lo(index + 1) - 1;
+}
+
+void Histogram::add(std::uint64_t value) noexcept {
+  counts_[bucket_index(value)] += 1;
+  if (count_ == 0 || value < min_) min_ = value;
+  if (value > max_) max_ = value;
+  count_ += 1;
+  sum_ += value;
+}
+
+void Histogram::merge(const Histogram& other) noexcept {
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  if (other.count_ > 0) {
+    if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void Histogram::clear() noexcept {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  count_ = sum_ = min_ = max_ = 0;
+}
+
+std::uint64_t Histogram::quantile(double q) const noexcept {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(count_))));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    cumulative += counts_[i];
+    if (cumulative >= rank) {
+      // The bucket's inclusive upper edge, clamped to the true extremes so
+      // small-q and large-q answers never leave the observed range.
+      return std::clamp(bucket_hi(i), min_, max_);
+    }
+  }
+  return max_;
+}
+
+}  // namespace wdm::obs

@@ -1,0 +1,86 @@
+// Fixed log-bucket (HDR-style) latency histogram.
+//
+// The slot pipeline needs percentiles over millions of per-slot and
+// per-stage durations without keeping the samples: a sorted vector of
+// doubles is O(n) memory and a post-hoc sort, and cannot be merged across
+// workers. This histogram is a fixed array of counters over logarithmically
+// spaced buckets — values 0..31 are exact, and every later bucket spans
+// 1/32nd of an octave, bounding the relative quantile error at ~3% — so
+// add() is O(1) with no allocation (the hot-path requirement of the
+// telemetry plane), merge() is elementwise addition (exact: merging worker
+// histograms and histogramming the merged stream are the same array), and
+// any quantile is one pass over ~2k counters.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace wdm::obs {
+
+class Histogram {
+ public:
+  /// Sub-bucket resolution: 2^kSubBits buckets per octave, so a reported
+  /// quantile is within a factor 1 + 2^-kSubBits of the true sample.
+  static constexpr std::uint32_t kSubBits = 5;
+  static constexpr std::uint32_t kSubCount = 1u << kSubBits;
+  /// Values below kSubCount get one exact bucket each (octave "0"); each of
+  /// octaves 1..59 — up to and including the one holding 2^63..2^64-1 —
+  /// gets kSubCount buckets.
+  static constexpr std::size_t kBucketCount =
+      kSubCount + (64 - kSubBits) * kSubCount;
+
+  Histogram();
+
+  /// O(1), allocation-free: the counter array is sized in the constructor.
+  void add(std::uint64_t value) noexcept;
+  /// Elementwise counter addition; exact (no re-bucketing error).
+  void merge(const Histogram& other) noexcept;
+  void clear() noexcept;
+
+  std::uint64_t count() const noexcept { return count_; }
+  std::uint64_t sum() const noexcept { return sum_; }
+  std::uint64_t min() const noexcept { return count_ > 0 ? min_ : 0; }
+  std::uint64_t max() const noexcept { return max_; }
+  double mean() const noexcept {
+    return count_ > 0 ? static_cast<double>(sum_) / static_cast<double>(count_)
+                      : 0.0;
+  }
+
+  /// Value v such that at least ceil(q * count) recorded samples are <= v,
+  /// up to the bucket resolution (exact for values < kSubCount). q in [0, 1];
+  /// 0 on an empty histogram.
+  std::uint64_t quantile(double q) const noexcept;
+  std::uint64_t p50() const noexcept { return quantile(0.50); }
+  std::uint64_t p90() const noexcept { return quantile(0.90); }
+  std::uint64_t p99() const noexcept { return quantile(0.99); }
+  std::uint64_t p999() const noexcept { return quantile(0.999); }
+
+  /// Bucket index a value lands in (exposed for tests and exporters).
+  static std::size_t bucket_index(std::uint64_t value) noexcept;
+  /// Smallest value of bucket `index`.
+  static std::uint64_t bucket_lo(std::size_t index) noexcept;
+  /// Largest value of bucket `index` (inclusive; the Prometheus `le` edge).
+  static std::uint64_t bucket_hi(std::size_t index) noexcept;
+
+  std::uint64_t count_at(std::size_t index) const noexcept {
+    return counts_[index];
+  }
+
+  /// Calls fn(lo, hi, count) for every non-empty bucket, in value order.
+  template <typename Fn>
+  void for_each_nonempty(Fn&& fn) const {
+    for (std::size_t i = 0; i < kBucketCount; ++i) {
+      if (counts_[i] != 0) fn(bucket_lo(i), bucket_hi(i), counts_[i]);
+    }
+  }
+
+ private:
+  std::vector<std::uint64_t> counts_;  // kBucketCount entries, preallocated
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace wdm::obs

@@ -1,0 +1,109 @@
+#include "obs/registry.hpp"
+
+#include <ostream>
+#include <unordered_set>
+#include <utility>
+
+namespace wdm::obs {
+
+Registry& Registry::counter(std::string name, std::string help,
+                            std::uint64_t value, std::string labels) {
+  Entry e;
+  e.name = std::move(name);
+  e.help = std::move(help);
+  e.labels = std::move(labels);
+  e.type = Type::kCounter;
+  e.counter_value = value;
+  entries_.push_back(std::move(e));
+  return *this;
+}
+
+Registry& Registry::gauge(std::string name, std::string help, double value,
+                          std::string labels) {
+  Entry e;
+  e.name = std::move(name);
+  e.help = std::move(help);
+  e.labels = std::move(labels);
+  e.type = Type::kGauge;
+  e.gauge_value = value;
+  entries_.push_back(std::move(e));
+  return *this;
+}
+
+Registry& Registry::histogram(std::string name, std::string help,
+                              const Histogram& h, std::string labels) {
+  Entry e;
+  e.name = std::move(name);
+  e.help = std::move(help);
+  e.labels = std::move(labels);
+  e.type = Type::kHistogram;
+  e.hist.count = h.count();
+  e.hist.sum = h.sum();
+  std::uint64_t cumulative = 0;
+  h.for_each_nonempty([&](std::uint64_t /*lo*/, std::uint64_t hi,
+                          std::uint64_t count) {
+    cumulative += count;
+    e.hist.cumulative.emplace_back(hi, cumulative);
+  });
+  entries_.push_back(std::move(e));
+  return *this;
+}
+
+namespace {
+
+/// `name{labels}` or `name{labels,extra}`; bare `name` when both are empty.
+void write_series(std::ostream& os, const std::string& name,
+                  const std::string& suffix, const std::string& labels,
+                  const std::string& extra = "") {
+  os << name << suffix;
+  if (!labels.empty() || !extra.empty()) {
+    os << '{' << labels;
+    if (!labels.empty() && !extra.empty()) os << ',';
+    os << extra << '}';
+  }
+  os << ' ';
+}
+
+}  // namespace
+
+void write_prometheus(std::ostream& os, const Registry& registry) {
+  std::unordered_set<std::string> announced;
+  for (const auto& e : registry.entries_) {
+    if (announced.insert(e.name).second) {
+      os << "# HELP " << e.name << ' ' << e.help << '\n';
+      os << "# TYPE " << e.name << ' ';
+      switch (e.type) {
+        case Registry::Type::kCounter: os << "counter"; break;
+        case Registry::Type::kGauge: os << "gauge"; break;
+        case Registry::Type::kHistogram: os << "histogram"; break;
+      }
+      os << '\n';
+    }
+    switch (e.type) {
+      case Registry::Type::kCounter:
+        write_series(os, e.name, "", e.labels);
+        os << e.counter_value << '\n';
+        break;
+      case Registry::Type::kGauge:
+        write_series(os, e.name, "", e.labels);
+        os << e.gauge_value << '\n';
+        break;
+      case Registry::Type::kHistogram: {
+        for (const auto& [le, cumulative] : e.hist.cumulative) {
+          write_series(os, e.name, "_bucket", e.labels,
+                       "le=\"" + std::to_string(le) + "\"");
+          os << cumulative << '\n';
+        }
+        write_series(os, e.name, "_bucket", e.labels, "le=\"+Inf\"");
+        os << e.hist.count << '\n';
+        write_series(os, e.name, "_sum", e.labels);
+        os << e.hist.sum << '\n';
+        write_series(os, e.name, "_count", e.labels);
+        os << e.hist.count << '\n';
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace wdm::obs

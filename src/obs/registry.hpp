@@ -1,0 +1,68 @@
+// Metric registry + Prometheus text exposition.
+//
+// A Registry is a flat, insertion-ordered snapshot of named metrics —
+// counters, gauges, and histogram snapshots — built at export time from
+// whatever the caller wants to expose (sim::register_metrics covers every
+// SlotStats/MetricsCollector counter; obs::register_recorder adds the stage
+// histograms). write_prometheus renders it in the Prometheus text
+// exposition format (version 0.0.4): `# HELP` / `# TYPE` once per metric
+// name, cumulative `le` buckets plus `+Inf`, `_sum` and `_count` series.
+//
+// This is a snapshot container, not a live metrics pipeline: nothing here
+// is on the hot path, so plain std::string labels are fine.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/histogram.hpp"
+
+namespace wdm::obs {
+
+class Registry {
+ public:
+  /// A monotonically increasing count. `labels` is the raw inside-the-braces
+  /// text, e.g. `class="0"`; empty for none.
+  Registry& counter(std::string name, std::string help, std::uint64_t value,
+                    std::string labels = "");
+  /// A point-in-time value.
+  Registry& gauge(std::string name, std::string help, double value,
+                  std::string labels = "");
+  /// A full histogram snapshot (cumulative buckets at the non-empty bucket
+  /// edges, +Inf, _sum, _count).
+  Registry& histogram(std::string name, std::string help, const Histogram& h,
+                      std::string labels = "");
+
+  std::size_t size() const noexcept { return entries_.size(); }
+
+ private:
+  enum class Type : std::uint8_t { kCounter, kGauge, kHistogram };
+
+  struct HistogramSnapshot {
+    /// (inclusive upper edge, cumulative count) per non-empty bucket.
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> cumulative;
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+  };
+
+  struct Entry {
+    std::string name;
+    std::string help;
+    std::string labels;
+    Type type = Type::kCounter;
+    std::uint64_t counter_value = 0;
+    double gauge_value = 0.0;
+    HistogramSnapshot hist;
+  };
+
+  std::vector<Entry> entries_;
+
+  friend void write_prometheus(std::ostream& os, const Registry& registry);
+};
+
+/// Renders the registry in the Prometheus text exposition format.
+void write_prometheus(std::ostream& os, const Registry& registry);
+
+}  // namespace wdm::obs

@@ -1,0 +1,208 @@
+#include "obs/telemetry.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <ostream>
+#include <set>
+#include <string>
+
+#include "obs/registry.hpp"
+
+namespace wdm::obs {
+
+const char* to_string(TraceDetail detail) noexcept {
+  switch (detail) {
+    case TraceDetail::kOff: return "off";
+    case TraceDetail::kSlots: return "slots";
+    case TraceDetail::kFibers: return "fibers";
+    case TraceDetail::kFull: return "full";
+  }
+  return "?";
+}
+
+std::optional<TraceDetail> parse_trace_detail(std::string_view text) noexcept {
+  if (text == "off") return TraceDetail::kOff;
+  if (text == "slots") return TraceDetail::kSlots;
+  if (text == "fibers") return TraceDetail::kFibers;
+  if (text == "full") return TraceDetail::kFull;
+  return std::nullopt;
+}
+
+const char* to_string(Stage stage) noexcept {
+  switch (stage) {
+    case Stage::kSlot: return "slot";
+    case Stage::kAging: return "aging";
+    case Stage::kFaults: return "faults";
+    case Stage::kRetry: return "retry";
+    case Stage::kIngress: return "ingress";
+    case Stage::kAdmission: return "admission";
+    case Stage::kPartition: return "partition";
+    case Stage::kFanout: return "fanout";
+    case Stage::kMetrics: return "metrics";
+    case Stage::kCount: break;
+  }
+  return "?";
+}
+
+const char* to_string(EventKind kind) noexcept {
+  switch (kind) {
+    case EventKind::kNone: return "none";
+    case EventKind::kStage: return "stage";
+    case EventKind::kFiberSchedule: return "schedule";
+    case EventKind::kAdmissionShed: return "admission-shed";
+    case EventKind::kAdmissionQueue: return "admission-queue";
+    case EventKind::kIngressRelease: return "ingress-release";
+    case EventKind::kRetryDrain: return "retry-drain";
+    case EventKind::kFaultFail: return "fault-fail";
+    case EventKind::kFaultRepair: return "fault-repair";
+    case EventKind::kCheckpointSave: return "checkpoint-save";
+    case EventKind::kCheckpointLoad: return "checkpoint-load";
+    case EventKind::kDegradeEnter: return "degraded-mode-enter";
+    case EventKind::kDegradeExit: return "degraded-mode-exit";
+  }
+  return "?";
+}
+
+TraceRecorder::TraceRecorder(TraceDetail level, std::size_t capacity)
+    : level_(level),
+      ring_(capacity > 0 ? capacity : 1),
+      stage_hist_(static_cast<std::size_t>(Stage::kCount)) {}
+
+void TraceRecorder::snapshot(std::vector<TraceEvent>& out) const {
+  out.clear();
+  const std::uint64_t held = size();
+  out.reserve(static_cast<std::size_t>(held));
+  for (std::uint64_t i = head_ - held; i < head_; ++i) {
+    out.push_back(ring_[static_cast<std::size_t>(i % ring_.size())]);
+  }
+}
+
+void TraceRecorder::clear() noexcept {
+  head_ = 0;
+  for (auto& h : stage_hist_) h.clear();
+}
+
+namespace {
+
+/// Microseconds with sub-ns kept: Chrome trace `ts`/`dur` are micros.
+std::string us(std::uint64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%" PRIu64 ".%03u", ns / 1000,
+                static_cast<unsigned>(ns % 1000));
+  return buf;
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os, const TraceRecorder& recorder) {
+  std::vector<TraceEvent> events;
+  recorder.snapshot(events);
+
+  std::uint64_t t0 = ~0ULL;
+  std::set<std::uint16_t> tids;
+  for (const auto& e : events) {
+    if (e.ts_ns < t0) t0 = e.ts_ns;
+    tids.insert(e.tid);
+  }
+  if (events.empty()) t0 = 0;
+  tids.insert(0);
+
+  os << "{\n  \"displayTimeUnit\": \"ns\",\n  \"traceEvents\": [";
+  bool first = true;
+  const auto begin = [&] {
+    os << (first ? "\n    {" : ",\n    {");
+    first = false;
+  };
+
+  begin();
+  os << "\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 0, "
+        "\"args\": {\"name\": \"wdm-interconnect\"}}";
+  for (const std::uint16_t tid : tids) {
+    begin();
+    os << "\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 0, \"tid\": "
+       << tid << ", \"args\": {\"name\": \""
+       << (tid == 0 ? std::string("slot-loop")
+                    : "worker " + std::to_string(tid))
+       << "\"}}";
+  }
+
+  for (const auto& e : events) {
+    begin();
+    const bool span =
+        e.kind == EventKind::kStage || e.kind == EventKind::kFiberSchedule;
+    const char* name = e.kind == EventKind::kStage
+                           ? to_string(static_cast<Stage>(e.detail))
+                           : to_string(e.kind);
+    const char* cat = "event";
+    switch (e.kind) {
+      case EventKind::kStage: cat = "stage"; break;
+      case EventKind::kFiberSchedule: cat = "fiber"; break;
+      case EventKind::kAdmissionShed:
+      case EventKind::kAdmissionQueue:
+      case EventKind::kIngressRelease: cat = "admission"; break;
+      case EventKind::kRetryDrain: cat = "retry"; break;
+      case EventKind::kFaultFail:
+      case EventKind::kFaultRepair: cat = "fault"; break;
+      case EventKind::kCheckpointSave:
+      case EventKind::kCheckpointLoad: cat = "checkpoint"; break;
+      case EventKind::kDegradeEnter:
+      case EventKind::kDegradeExit: cat = "overload"; break;
+      case EventKind::kNone: break;
+    }
+    os << "\"name\": \"" << name << "\", \"cat\": \"" << cat
+       << "\", \"ph\": \"" << (span ? "X" : "i") << "\", ";
+    if (!span) os << "\"s\": \"t\", ";
+    os << "\"pid\": 0, \"tid\": " << e.tid << ", \"ts\": "
+       << us(e.ts_ns - t0);
+    if (span) os << ", \"dur\": " << us(e.dur_ns);
+    os << ", \"args\": {\"slot\": " << e.slot;
+    switch (e.kind) {
+      case EventKind::kFiberSchedule:
+        os << ", \"fiber\": " << e.fiber << ", \"offered\": " << e.a
+           << ", \"granted\": " << e.b << ", \"kernel\": \""
+           << (e.detail != 0 ? "degraded-approx" : "exact") << "\"";
+        break;
+      case EventKind::kAdmissionShed:
+        os << ", \"fiber\": " << e.fiber << ", \"class\": " << e.a
+           << ", \"evicted\": " << (e.detail != 0 ? "true" : "false");
+        break;
+      case EventKind::kAdmissionQueue:
+        os << ", \"fiber\": " << e.fiber << ", \"class\": " << e.a;
+        break;
+      case EventKind::kIngressRelease:
+        os << ", \"released\": " << e.a;
+        break;
+      case EventKind::kRetryDrain:
+        os << ", \"attempts\": " << e.a << ", \"successes\": " << e.b;
+        break;
+      case EventKind::kFaultFail:
+      case EventKind::kFaultRepair:
+        os << ", \"fiber\": " << e.fiber << ", \"channel\": " << e.a
+           << ", \"kind\": " << static_cast<unsigned>(e.detail);
+        break;
+      default:
+        break;
+    }
+    os << "}}";
+  }
+  os << "\n  ]\n}\n";
+}
+
+void register_recorder(Registry& registry, const TraceRecorder& recorder) {
+  registry.counter("wdm_trace_events_total",
+                   "Trace events recorded (including overwritten)",
+                   recorder.recorded());
+  registry.counter("wdm_trace_events_dropped_total",
+                   "Trace events lost to ring wrap-around",
+                   recorder.dropped());
+  for (std::size_t s = 0; s < static_cast<std::size_t>(Stage::kCount); ++s) {
+    const auto stage = static_cast<Stage>(s);
+    const auto& hist = recorder.stage_histogram(stage);
+    if (hist.count() == 0) continue;
+    registry.histogram(
+        "wdm_stage_duration_ns", "Pipeline stage wall-clock duration", hist,
+        std::string("stage=\"") + to_string(stage) + "\"");
+  }
+}
+
+}  // namespace wdm::obs

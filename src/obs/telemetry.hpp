@@ -1,0 +1,218 @@
+// Slot-event tracing and stage profiling for the scheduling pipeline.
+//
+// The pipeline answers "which slot, which output fiber, which stage" with a
+// TraceRecorder: a preallocated ring buffer of fixed-size TraceEvents that
+// the interconnect, scheduler, admission plane, fault injector, and
+// checkpoint layer append to as a slot executes. The warm path stays inside
+// the zero-allocation contract (tests/test_zero_alloc.cpp): record() is one
+// indexed store into the preallocated ring, StageTimer is two clock reads
+// and a store, and the per-fiber events of a parallel fan-out are staged in
+// a caller-preallocated per-fiber array — each entry written by exactly one
+// worker, no locks, no atomics — and merged into the ring after the join in
+// deterministic fiber order.
+//
+// Telemetry is off by default and costs one null-pointer branch when
+// disabled: every instrumentation site guards with
+// `if (rec != nullptr && rec->at(level))`, both inlinable from this header.
+// Recorded wall-clock timestamps live only here — never in
+// sim::state_digest — so checkpoint/replay stays bit-exact with tracing on.
+//
+// Export: obs::write_chrome_trace emits Chrome/Perfetto `trace_event` JSON
+// (open in chrome://tracing or ui.perfetto.dev), and register_recorder puts
+// the per-stage latency histograms on an obs::Registry for Prometheus
+// exposition (docs/OBSERVABILITY.md documents the schema).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "obs/histogram.hpp"
+#include "util/timer.hpp"
+
+namespace wdm::obs {
+
+/// How much a recorder captures. Levels are cumulative; the CLI surface is
+/// `--trace-detail {off,slots,fibers,full}`.
+enum class TraceDetail : std::uint8_t {
+  kOff = 0,     ///< record nothing (and instrumentation sites stay cold)
+  kSlots = 1,   ///< slot + stage spans, fault / checkpoint / mode instants
+  kFibers = 2,  ///< + one span per scheduled output fiber (kernel kind)
+  kFull = 3,    ///< + per-request admission and ingress instants
+};
+
+const char* to_string(TraceDetail detail) noexcept;
+/// Parses "off" / "slots" / "fibers" / "full"; nullopt on anything else.
+std::optional<TraceDetail> parse_trace_detail(std::string_view text) noexcept;
+
+/// Pipeline stages profiled by StageTimer (one latency histogram each).
+enum class Stage : std::uint8_t {
+  kSlot = 0,   ///< the whole Interconnect::step
+  kAging,      ///< connection aging + expiry
+  kFaults,     ///< fault injector tick + health rebuild
+  kRetry,      ///< retry-queue drain + re-offer scheduling
+  kIngress,    ///< admission bucket refill + ingress-queue release batch
+  kAdmission,  ///< token-bucket offer() pass over fresh arrivals
+  kPartition,  ///< per-slot CSR request partition (counting sort)
+  kFanout,     ///< per-fiber schedule dispatch (serial or pool)
+  kMetrics,    ///< per-slot stats recording in the driver loop
+  kCount,      ///< number of stages (array bound, not a stage)
+};
+
+const char* to_string(Stage stage) noexcept;
+
+/// What a TraceEvent describes. Fixed-size payloads a/b and `detail` are
+/// interpreted per kind (see docs/OBSERVABILITY.md for the full schema).
+enum class EventKind : std::uint8_t {
+  kNone = 0,        ///< empty staging entry; append() skips these
+  kStage,           ///< span: detail = Stage, a/b free per stage
+  kFiberSchedule,   ///< span: fiber scheduled; a = offered, b = granted,
+                    ///< detail = 1 when degraded to the O(k) approximation
+  kAdmissionShed,   ///< instant: request shed; a = priority,
+                    ///< detail = 1 when it was an eviction of a queued entry
+  kAdmissionQueue,  ///< instant: request parked in the ingress queue
+  kIngressRelease,  ///< instant: a = requests released from the queue
+  kRetryDrain,      ///< instant: a = retries re-offered, b = successes
+  kFaultFail,       ///< instant: component failed; detail = FaultKind
+  kFaultRepair,     ///< instant: component repaired; detail = FaultKind
+  kCheckpointSave,  ///< instant: checkpoint written
+  kCheckpointLoad,  ///< instant: checkpoint restored
+  kDegradeEnter,    ///< instant: hysteresis latched degraded mode
+  kDegradeExit,     ///< instant: hysteresis released degraded mode
+};
+
+const char* to_string(EventKind kind) noexcept;
+
+/// One fixed-size slot event. POD; the ring holds these by value.
+struct TraceEvent {
+  std::uint64_t ts_ns = 0;   ///< steady-clock start (util::now_ns)
+  std::uint64_t dur_ns = 0;  ///< span length; 0 for instants
+  std::uint64_t slot = 0;    ///< interconnect slot index
+  std::uint64_t a = 0;       ///< payload, per kind
+  std::uint64_t b = 0;       ///< payload, per kind
+  std::int32_t fiber = -1;   ///< output (or input) fiber, -1 = n/a
+  EventKind kind = EventKind::kNone;
+  std::uint8_t detail = 0;   ///< Stage / kernel kind / FaultKind, per kind
+  std::uint16_t tid = 0;     ///< 0 = caller thread, 1.. = pool worker
+};
+
+/// Preallocated overwrite-oldest ring of TraceEvents plus one latency
+/// histogram per Stage. Single-writer by construction: all record() calls
+/// happen on the slot-loop thread; events produced inside a parallel
+/// fan-out are staged per fiber (one owning worker each) and append()ed
+/// after the join, so the warm path needs no locks and no allocation.
+class TraceRecorder {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1u << 16;
+
+  explicit TraceRecorder(TraceDetail level,
+                         std::size_t capacity = kDefaultCapacity);
+
+  TraceDetail level() const noexcept { return level_; }
+  /// The disabled-overhead guard: one comparison, inlined at every site.
+  bool at(TraceDetail detail) const noexcept { return level_ >= detail; }
+
+  void record(const TraceEvent& event) noexcept {
+    ring_[static_cast<std::size_t>(head_ % ring_.size())] = event;
+    head_ += 1;
+  }
+
+  /// Appends staged per-fiber events, skipping kNone sentinels. Called once
+  /// per scheduling pass, after the parallel join, in fiber order — so the
+  /// ring's content (timestamps aside) is deterministic under any pool.
+  void append(std::span<const TraceEvent> events) noexcept {
+    for (const auto& e : events) {
+      if (e.kind != EventKind::kNone) record(e);
+    }
+  }
+
+  /// Records a kStage span and feeds the stage's latency histogram.
+  void record_stage(Stage stage, std::uint64_t slot, std::uint64_t t0_ns,
+                    std::uint64_t t1_ns, std::uint64_t a = 0,
+                    std::uint64_t b = 0) noexcept {
+    TraceEvent e;
+    e.ts_ns = t0_ns;
+    e.dur_ns = t1_ns - t0_ns;
+    e.slot = slot;
+    e.a = a;
+    e.b = b;
+    e.kind = EventKind::kStage;
+    e.detail = static_cast<std::uint8_t>(stage);
+    record(e);
+    stage_hist_[static_cast<std::size_t>(stage)].add(e.dur_ns);
+  }
+
+  std::size_t capacity() const noexcept { return ring_.size(); }
+  /// Events recorded over the recorder's lifetime (including overwritten).
+  std::uint64_t recorded() const noexcept { return head_; }
+  /// Events lost to ring wrap-around.
+  std::uint64_t dropped() const noexcept {
+    return head_ > ring_.size() ? head_ - ring_.size() : 0;
+  }
+  /// Events currently held.
+  std::size_t size() const noexcept {
+    return static_cast<std::size_t>(
+        head_ < ring_.size() ? head_ : static_cast<std::uint64_t>(ring_.size()));
+  }
+
+  /// Copies the held events oldest-first into `out`.
+  void snapshot(std::vector<TraceEvent>& out) const;
+
+  Histogram& stage_histogram(Stage stage) noexcept {
+    return stage_hist_[static_cast<std::size_t>(stage)];
+  }
+  const Histogram& stage_histogram(Stage stage) const noexcept {
+    return stage_hist_[static_cast<std::size_t>(stage)];
+  }
+
+  void clear() noexcept;
+
+ private:
+  TraceDetail level_;
+  std::vector<TraceEvent> ring_;
+  std::uint64_t head_ = 0;  // total events ever recorded
+  std::vector<Histogram> stage_hist_;  // one per Stage
+};
+
+/// RAII span timer: reads the clock on construction and records a kStage
+/// span (+ histogram sample) on destruction. With a null recorder, or one
+/// below `gate`, both ends collapse to a branch — the telemetry-off cost.
+class StageTimer {
+ public:
+  StageTimer(TraceRecorder* recorder, Stage stage, std::uint64_t slot,
+             TraceDetail gate = TraceDetail::kSlots) noexcept
+      : recorder_(recorder != nullptr && recorder->at(gate) ? recorder
+                                                            : nullptr),
+        stage_(stage),
+        slot_(slot),
+        t0_ns_(recorder_ != nullptr ? util::now_ns() : 0) {}
+  StageTimer(const StageTimer&) = delete;
+  StageTimer& operator=(const StageTimer&) = delete;
+  ~StageTimer() {
+    if (recorder_ != nullptr) {
+      recorder_->record_stage(stage_, slot_, t0_ns_, util::now_ns());
+    }
+  }
+
+ private:
+  TraceRecorder* recorder_;
+  Stage stage_;
+  std::uint64_t slot_;
+  std::uint64_t t0_ns_;
+};
+
+/// Writes the recorder's events as Chrome/Perfetto `trace_event` JSON
+/// (the `{"traceEvents": [...]}` object form, timestamps normalised to the
+/// earliest event). Loads directly in chrome://tracing and ui.perfetto.dev.
+void write_chrome_trace(std::ostream& os, const TraceRecorder& recorder);
+
+class Registry;
+
+/// Registers the recorder's per-stage duration histograms
+/// (wdm_stage_duration_ns{stage=...}) and ring counters on a Registry.
+void register_recorder(Registry& registry, const TraceRecorder& recorder);
+
+}  // namespace wdm::obs

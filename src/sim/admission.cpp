@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/check.hpp"
+#include "util/timer.hpp"
 
 namespace wdm::sim {
 
@@ -17,9 +18,26 @@ AdmissionControl::AdmissionControl(std::int32_t n_fibers,
 }
 
 void AdmissionControl::begin_slot() {
+  trace_slot_ += 1;
   for (auto& t : tokens_) {
     t = std::min(config_.bucket_depth, t + config_.tokens_per_slot);
   }
+}
+
+void AdmissionControl::record_admission(obs::EventKind kind,
+                                        const core::SlotRequest& request,
+                                        bool evicted) {
+  if (telemetry_ == nullptr || !telemetry_->at(obs::TraceDetail::kFull)) {
+    return;
+  }
+  obs::TraceEvent e;
+  e.ts_ns = util::now_ns();
+  e.slot = trace_slot_;
+  e.a = static_cast<std::uint64_t>(request.priority);
+  e.fiber = request.input_fiber;
+  e.kind = kind;
+  e.detail = evicted ? 1 : 0;
+  telemetry_->record(e);
 }
 
 std::deque<core::SlotRequest>& AdmissionControl::class_queue(
@@ -63,6 +81,7 @@ AdmissionControl::Verdict AdmissionControl::offer(
     class_queue(request.priority).push_back(request);
     queued_ += 1;
     stats.deferred_overload += 1;
+    record_admission(obs::EventKind::kAdmissionQueue, request, false);
     return Verdict::kQueued;
   }
   if (config_.drop_policy == DropPolicy::kPriorityShed) {
@@ -72,6 +91,8 @@ AdmissionControl::Verdict AdmissionControl::offer(
     for (std::size_t cls = queues_.size();
          cls-- > static_cast<std::size_t>(request.priority) + 1;) {
       if (queues_[cls].empty()) continue;
+      record_admission(obs::EventKind::kAdmissionShed, queues_[cls].back(),
+                       true);
       queues_[cls].pop_back();
       queued_ -= 1;
       stats.ingress_releases += 1;
@@ -80,11 +101,13 @@ AdmissionControl::Verdict AdmissionControl::offer(
       class_queue(request.priority).push_back(request);
       queued_ += 1;
       stats.deferred_overload += 1;
+      record_admission(obs::EventKind::kAdmissionQueue, request, false);
       return Verdict::kQueued;
     }
   }
   stats.rejected += 1;
   stats.shed_overload += 1;
+  record_admission(obs::EventKind::kAdmissionShed, request, false);
   return Verdict::kShed;
 }
 

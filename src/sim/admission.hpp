@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "core/distributed.hpp"
+#include "obs/telemetry.hpp"
 #include "sim/metrics.hpp"
 #include "util/snapshot.hpp"
 
@@ -85,11 +86,20 @@ class AdmissionControl {
   /// Requests currently parked across all class queues.
   std::size_t queued() const noexcept { return queued_; }
 
+  /// Attaches (or detaches) a trace recorder: offer() records queue and shed
+  /// decisions as instants at kFull detail. Observer only — the trace slot
+  /// counter below is deliberately not serialized.
+  void set_telemetry(obs::TraceRecorder* recorder) noexcept {
+    telemetry_ = recorder;
+  }
+
   void save_state(util::SnapshotWriter& w) const;
   void restore_state(util::SnapshotReader& r);
 
  private:
   std::deque<core::SlotRequest>& class_queue(std::int32_t priority);
+  void record_admission(obs::EventKind kind, const core::SlotRequest& request,
+                        bool evicted);
 
   AdmissionConfig config_;
   std::vector<double> tokens_;  // per input fiber
@@ -97,6 +107,8 @@ class AdmissionControl {
   std::size_t queued_ = 0;
   // Scratch for drain()'s stable partition; capacity persists.
   std::vector<core::SlotRequest> keep_;
+  obs::TraceRecorder* telemetry_ = nullptr;
+  std::uint64_t trace_slot_ = 0;  // bumped in begin_slot; trace labels only
 };
 
 }  // namespace wdm::sim

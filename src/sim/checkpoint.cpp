@@ -2,8 +2,10 @@
 
 #include <ostream>
 
+#include "obs/telemetry.hpp"
 #include "util/check.hpp"
 #include "util/snapshot.hpp"
+#include "util/timer.hpp"
 
 namespace wdm::sim {
 
@@ -13,6 +15,19 @@ namespace {
 constexpr std::uint8_t kInterconnectOnly = 0;
 constexpr std::uint8_t kWithTraffic = 1;
 
+/// Checkpoint save/load instants. Recorded into the interconnect's attached
+/// recorder (if any) — strictly after the snapshot bytes are produced or
+/// consumed, so telemetry can never leak into the digest.
+void record_checkpoint(const Interconnect& interconnect, obs::EventKind kind) {
+  obs::TraceRecorder* recorder = interconnect.telemetry();
+  if (recorder == nullptr || !recorder->at(obs::TraceDetail::kSlots)) return;
+  obs::TraceEvent e;
+  e.ts_ns = util::now_ns();
+  e.slot = interconnect.current_slot();
+  e.kind = kind;
+  recorder->record(e);
+}
+
 }  // namespace
 
 void save_checkpoint(std::ostream& os, const Interconnect& interconnect) {
@@ -20,6 +35,7 @@ void save_checkpoint(std::ostream& os, const Interconnect& interconnect) {
   w.u8(kInterconnectOnly);
   interconnect.save_state(w);
   w.write_to(os);
+  record_checkpoint(interconnect, obs::EventKind::kCheckpointSave);
 }
 
 void save_checkpoint(std::ostream& os, const Interconnect& interconnect,
@@ -29,6 +45,7 @@ void save_checkpoint(std::ostream& os, const Interconnect& interconnect,
   interconnect.save_state(w);
   traffic.save_state(w);
   w.write_to(os);
+  record_checkpoint(interconnect, obs::EventKind::kCheckpointSave);
 }
 
 void load_checkpoint(std::istream& is, Interconnect& interconnect) {
@@ -37,6 +54,7 @@ void load_checkpoint(std::istream& is, Interconnect& interconnect) {
                 "checkpoint carries traffic state; load it with a generator");
   interconnect.restore_state(r);
   WDM_CHECK_MSG(r.exhausted(), "checkpoint has trailing bytes");
+  record_checkpoint(interconnect, obs::EventKind::kCheckpointLoad);
 }
 
 void load_checkpoint(std::istream& is, Interconnect& interconnect,
@@ -47,6 +65,7 @@ void load_checkpoint(std::istream& is, Interconnect& interconnect,
   interconnect.restore_state(r);
   traffic.restore_state(r);
   WDM_CHECK_MSG(r.exhausted(), "checkpoint has trailing bytes");
+  record_checkpoint(interconnect, obs::EventKind::kCheckpointLoad);
 }
 
 std::uint64_t state_digest(const Interconnect& interconnect) {

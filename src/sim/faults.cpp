@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/check.hpp"
+#include "util/timer.hpp"
 
 namespace wdm::sim {
 
@@ -44,11 +45,28 @@ FaultInjector::FaultInjector(std::int32_t n_fibers, std::int32_t k,
                  core::HealthMask::healthy(k_));
 }
 
-void FaultInjector::set_state(std::uint8_t& down, bool make_down) {
-  if (down == (make_down ? 1 : 0)) return;
+bool FaultInjector::set_state(std::uint8_t& down, bool make_down) {
+  if (down == (make_down ? 1 : 0)) return false;
   down = make_down ? 1 : 0;
   down_components_ += make_down ? 1 : -1;
   (make_down ? failures_ : repairs_) += 1;
+  return true;
+}
+
+void FaultInjector::record_fault(FaultKind kind, std::int32_t fiber,
+                                 std::int32_t channel, bool repair) {
+  if (telemetry_ == nullptr || !telemetry_->at(obs::TraceDetail::kSlots)) {
+    return;
+  }
+  obs::TraceEvent e;
+  e.ts_ns = util::now_ns();
+  // tick() bumps slots_ before applying this slot's transitions.
+  e.slot = slots_ > 0 ? slots_ - 1 : 0;
+  e.a = static_cast<std::uint64_t>(channel);
+  e.fiber = fiber;
+  e.kind = repair ? obs::EventKind::kFaultRepair : obs::EventKind::kFaultFail;
+  e.detail = static_cast<std::uint8_t>(kind);
+  telemetry_->record(e);
 }
 
 void FaultInjector::apply(FaultKind kind, std::int32_t fiber,
@@ -56,17 +74,19 @@ void FaultInjector::apply(FaultKind kind, std::int32_t fiber,
   const std::size_t at = static_cast<std::size_t>(fiber) *
                              static_cast<std::size_t>(k_) +
                          static_cast<std::size_t>(channel);
+  bool flipped = false;
   switch (kind) {
     case FaultKind::kConverter:
-      set_state(converter_down_[at], !repair);
+      flipped = set_state(converter_down_[at], !repair);
       break;
     case FaultKind::kChannel:
-      set_state(channel_down_[at], !repair);
+      flipped = set_state(channel_down_[at], !repair);
       break;
     case FaultKind::kFiber:
-      set_state(fiber_down_[static_cast<std::size_t>(fiber)], !repair);
+      flipped = set_state(fiber_down_[static_cast<std::size_t>(fiber)], !repair);
       break;
   }
+  if (flipped) record_fault(kind, fiber, channel, repair);
 }
 
 void FaultInjector::tick() {
@@ -85,22 +105,39 @@ void FaultInjector::tick() {
   // variate per slot whatever its state, so the stream position depends
   // only on (geometry, slot) — a fault schedule replays from its seed and
   // stays aligned under any mixture of scripted and stochastic events.
-  const auto transition = [&](std::uint8_t& down, const MtbfMttr& rates) {
+  const auto transition = [&](std::uint8_t& down, const MtbfMttr& rates,
+                              FaultKind kind, std::int32_t fiber,
+                              std::int32_t channel) {
     const double u = rng_.uniform01();
     if (down == 0) {
-      if (u < 1.0 / rates.mtbf) set_state(down, true);
+      if (u < 1.0 / rates.mtbf && set_state(down, true)) {
+        record_fault(kind, fiber, channel, false);
+      }
     } else {
-      if (u < 1.0 / rates.mttr) set_state(down, false);
+      if (u < 1.0 / rates.mttr && set_state(down, false)) {
+        record_fault(kind, fiber, channel, true);
+      }
     }
   };
   if (config_.converters.enabled()) {
-    for (auto& down : converter_down_) transition(down, config_.converters);
+    for (std::size_t at = 0; at < converter_down_.size(); ++at) {
+      transition(converter_down_[at], config_.converters, FaultKind::kConverter,
+                 static_cast<std::int32_t>(at) / k_,
+                 static_cast<std::int32_t>(at) % k_);
+    }
   }
   if (config_.channels.enabled()) {
-    for (auto& down : channel_down_) transition(down, config_.channels);
+    for (std::size_t at = 0; at < channel_down_.size(); ++at) {
+      transition(channel_down_[at], config_.channels, FaultKind::kChannel,
+                 static_cast<std::int32_t>(at) / k_,
+                 static_cast<std::int32_t>(at) % k_);
+    }
   }
   if (config_.fibers.enabled()) {
-    for (auto& down : fiber_down_) transition(down, config_.fibers);
+    for (std::size_t fiber = 0; fiber < fiber_down_.size(); ++fiber) {
+      transition(fiber_down_[fiber], config_.fibers, FaultKind::kFiber,
+                 static_cast<std::int32_t>(fiber), 0);
+    }
   }
 
   rebuild_health();

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "core/health.hpp"
+#include "obs/telemetry.hpp"
 #include "util/rng.hpp"
 #include "util/snapshot.hpp"
 
@@ -94,6 +95,13 @@ class FaultInjector {
   std::uint64_t failures_injected() const noexcept { return failures_; }
   std::uint64_t repairs_applied() const noexcept { return repairs_; }
 
+  /// Attaches (or detaches) a trace recorder: every state flip — scripted or
+  /// stochastic — records a kFaultFail / kFaultRepair instant. Observer only:
+  /// it never touches the RNG stream and is not serialized.
+  void set_telemetry(obs::TraceRecorder* recorder) noexcept {
+    telemetry_ = recorder;
+  }
+
   /// Checkpoint of the injector's mutable state (RNG stream, script cursor,
   /// per-component up/down flags); the health masks are rebuilt on restore.
   void save_state(util::SnapshotWriter& w) const;
@@ -102,7 +110,10 @@ class FaultInjector {
  private:
   void apply(FaultKind kind, std::int32_t fiber, std::int32_t channel,
              bool repair);
-  void set_state(std::uint8_t& down, bool make_down);
+  /// Returns true when the component actually flipped state.
+  bool set_state(std::uint8_t& down, bool make_down);
+  void record_fault(FaultKind kind, std::int32_t fiber, std::int32_t channel,
+                    bool repair);
   void rebuild_health();
 
   std::int32_t n_fibers_;
@@ -118,6 +129,7 @@ class FaultInjector {
   std::uint64_t failures_ = 0;
   std::uint64_t repairs_ = 0;
   std::vector<core::HealthMask> health_;
+  obs::TraceRecorder* telemetry_ = nullptr;
 };
 
 }  // namespace wdm::sim

@@ -188,11 +188,20 @@ void Interconnect::count_rejection(const core::SlotRequest& request,
 
 SlotStats Interconnect::step(std::span<const core::SlotRequest> arrivals,
                              util::ThreadPool* pool) {
-  age_connections();
+  const bool trace_slots =
+      telemetry_ != nullptr && telemetry_->at(obs::TraceDetail::kSlots);
+  const std::uint64_t step_t0 = trace_slots ? util::now_ns() : 0;
+  scheduler_.set_trace_slot(slot_);
+
+  {
+    const obs::StageTimer aging_timer(telemetry_, obs::Stage::kAging, slot_);
+    age_connections();
+  }
   last_fiber_grants_.assign(last_fiber_grants_.size(), 0);
 
   const std::vector<core::HealthMask>* health = nullptr;
   if (faults_ != nullptr) {
+    const obs::StageTimer fault_timer(telemetry_, obs::Stage::kFaults, slot_);
     faults_->tick();
     // Healthy slots skip the degraded scheduling path entirely.
     if (faults_->any_fault()) health = &faults_->health();
@@ -209,6 +218,12 @@ SlotStats Interconnect::step(std::span<const core::SlotRequest> arrivals,
       budget.deadline_ns = slot_start_ns + config_.degrade.slot_deadline_ns;
     }
     budget.force_degraded = degraded_mode_;
+    // Rotate the budget plan's charge order with the slot counter, so the
+    // ports past the budget's edge move around the ring instead of always
+    // being the highest-numbered (degradation fairness). slot_ is
+    // checkpointed, so replays rotate identically.
+    budget.rotation = static_cast<std::int32_t>(
+        slot_ % static_cast<std::uint64_t>(config_.n_fibers));
     budget_ptr = &budget;
   }
   if (config_.policy == OccupiedPolicy::kNoDisturb) {
@@ -221,6 +236,10 @@ SlotStats Interconnect::step(std::span<const core::SlotRequest> arrivals,
     update_hysteresis(budget, slot_start_ns);
   }
   stats.busy_channels = busy_output_channels();
+  if (trace_slots) {
+    telemetry_->record_stage(obs::Stage::kSlot, slot_, step_t0, util::now_ns(),
+                             stats.arrivals, stats.granted);
+  }
   slot_ += 1;
 #ifndef NDEBUG
   // The incrementally maintained plane must agree with a from-scratch
@@ -250,10 +269,21 @@ void Interconnect::update_hysteresis(const core::SlotBudget& budget,
       util::now_ns() - slot_start_ns > config_.degrade.slot_deadline_ns) {
     overloaded = true;
   }
+  const auto record_flip = [this](obs::EventKind kind) {
+    if (telemetry_ == nullptr || !telemetry_->at(obs::TraceDetail::kSlots)) {
+      return;
+    }
+    obs::TraceEvent e;
+    e.ts_ns = util::now_ns();
+    e.slot = slot_;
+    e.kind = kind;
+    telemetry_->record(e);
+  };
   if (!degraded_mode_) {
     if (budget.degraded_ports > 0) {
       degraded_mode_ = true;
       calm_slots_ = 0;
+      record_flip(obs::EventKind::kDegradeEnter);
     }
     return;
   }
@@ -265,6 +295,7 @@ void Interconnect::update_hysteresis(const core::SlotBudget& budget,
   if (calm_slots_ >= config_.degrade.recovery_slots) {
     degraded_mode_ = false;
     calm_slots_ = 0;
+    record_flip(obs::EventKind::kDegradeExit);
   }
 }
 
@@ -272,6 +303,7 @@ void Interconnect::run_retries(const std::vector<core::HealthMask>* health,
                                util::ThreadPool* pool, SlotStats& stats,
                                core::SlotBudget* budget) {
   if (retry_queue_.empty()) return;
+  const obs::StageTimer retry_timer(telemetry_, obs::Stage::kRetry, slot_);
   due_.clear();
   retry_later_.clear();
   due_.reserve(retry_queue_.size());
@@ -284,6 +316,7 @@ void Interconnect::run_retries(const std::vector<core::HealthMask>* health,
   if (due_.empty()) return;
 
   stats.retry_attempts += due_.size();
+  const std::uint64_t successes_before = stats.retry_successes;
   batch_.clear();
   batch_.reserve(due_.size());
   for (const auto& pending : due_) batch_.push_back(pending.request);
@@ -301,16 +334,34 @@ void Interconnect::run_retries(const std::vector<core::HealthMask>* health,
     }
     count_rejection(batch_[i], decisions_[i].reason, due_[i].attempts, stats);
   }
+  if (telemetry_ != nullptr && telemetry_->at(obs::TraceDetail::kFull)) {
+    obs::TraceEvent e;
+    e.ts_ns = util::now_ns();
+    e.slot = slot_;
+    e.a = due_.size();
+    e.b = stats.retry_successes - successes_before;
+    e.kind = obs::EventKind::kRetryDrain;
+    telemetry_->record(e);
+  }
 }
 
 void Interconnect::run_ingress(const std::vector<core::HealthMask>* health,
                                util::ThreadPool* pool, SlotStats& stats,
                                core::SlotBudget* budget) {
   if (admission_ == nullptr) return;
+  const obs::StageTimer ingress_timer(telemetry_, obs::Stage::kIngress, slot_);
   admission_->begin_slot();
   released_.clear();
   admission_->drain(released_, stats);
   if (released_.empty()) return;
+  if (telemetry_ != nullptr && telemetry_->at(obs::TraceDetail::kFull)) {
+    obs::TraceEvent e;
+    e.ts_ns = util::now_ns();
+    e.slot = slot_;
+    e.a = released_.size();
+    e.kind = obs::EventKind::kIngressRelease;
+    telemetry_->record(e);
+  }
   // Released requests are scheduled as their own batch between retries and
   // fresh arrivals (they have waited longer than anything arriving now).
   // Like retries, they are tracked by the ingress_* counters only, never in
@@ -361,6 +412,8 @@ void Interconnect::schedule_new_arrivals(
   // ingress queue drained (run_ingress), so queued requests get the slot's
   // tokens first. Non-admitted requests are queued or shed inside offer().
   if (admission_ != nullptr) {
+    const obs::StageTimer admission_timer(telemetry_, obs::Stage::kAdmission,
+                                          slot_);
     std::size_t kept = 0;
     for (const auto& r : valid_) {
       if (admission_->offer(r, stats) == AdmissionControl::Verdict::kAdmit) {

@@ -23,6 +23,7 @@
 #include "core/availability.hpp"
 #include "core/conversion.hpp"
 #include "core/distributed.hpp"
+#include "obs/telemetry.hpp"
 #include "sim/admission.hpp"
 #include "sim/faults.hpp"
 #include "sim/metrics.hpp"
@@ -143,11 +144,26 @@ class Interconnect {
   /// Internal slot counter (slots stepped since construction or restore).
   std::uint64_t current_slot() const noexcept { return slot_; }
 
+  /// Attaches (or detaches, with nullptr) a trace recorder, forwarded to the
+  /// scheduler, fault injector, and admission plane. Telemetry is strictly an
+  /// observer: it never alters decisions, RNG streams, or any checkpointed
+  /// state, so a traced run and an untraced run of the same seed are
+  /// bit-identical under sim::state_digest.
+  void set_telemetry(obs::TraceRecorder* recorder) noexcept {
+    telemetry_ = recorder;
+    scheduler_.set_telemetry(recorder);
+    if (faults_ != nullptr) faults_->set_telemetry(recorder);
+    if (admission_ != nullptr) admission_->set_telemetry(recorder);
+  }
+  /// The attached recorder, or nullptr (checkpoint save/load events use it).
+  obs::TraceRecorder* telemetry() const noexcept { return telemetry_; }
+
   /// Checkpoint of the complete mutable state — occupancy plane, retry and
   /// ingress queues, per-port scheduler state, fault injector, degradation
   /// hysteresis — everything a bit-for-bit replay needs beyond the config
   /// (a geometry echo is stored and validated on restore). See
-  /// sim/checkpoint.hpp for the framed stream-level API.
+  /// sim/checkpoint.hpp for the framed stream-level API. Telemetry is never
+  /// serialized: wall-clock trace state must not perturb the digest.
   void save_state(util::SnapshotWriter& w) const;
   void restore_state(util::SnapshotReader& r);
 
@@ -231,6 +247,7 @@ class Interconnect {
   // offered work has fit the budget for `recovery_slots` consecutive slots.
   bool degraded_mode_ = false;
   std::int32_t calm_slots_ = 0;
+  obs::TraceRecorder* telemetry_ = nullptr;  // observer only, never serialized
 
   // Reusable per-slot scratch: capacity persists across steps, so the
   // scheduling path of a steady-state slot performs no heap allocation.

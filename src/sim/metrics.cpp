@@ -1,8 +1,23 @@
 #include "sim/metrics.hpp"
 
+#include <algorithm>
+
 #include "util/check.hpp"
 
 namespace wdm::sim {
+
+namespace {
+
+/// Elementwise accumulation with resize-to-max: per-class vectors are sized
+/// to the highest class each side has seen, so unequal lengths are a normal
+/// consequence of which slots (or which partial collector) saw which class.
+void accumulate_per_class(std::vector<std::uint64_t>& into,
+                          const std::vector<std::uint64_t>& from) {
+  if (from.size() > into.size()) into.resize(from.size(), 0);
+  for (std::size_t i = 0; i < from.size(); ++i) into[i] += from[i];
+}
+
+}  // namespace
 
 MetricsCollector::MetricsCollector(std::int32_t n_fibers, std::int32_t k)
     : n_fibers_(n_fibers), k_(k) {
@@ -36,6 +51,11 @@ void MetricsCollector::record_slot(const SlotStats& stats) {
   retry_attempts_ += stats.retry_attempts;
   retry_successes_ += stats.retry_successes;
   dropped_faulted_ += stats.dropped_faulted;
+  raw_arrivals_ += stats.arrivals;
+  preempted_ += stats.preempted;
+  busy_channel_slots_ += stats.busy_channels;
+  accumulate_per_class(arrivals_per_class_, stats.arrivals_per_class);
+  accumulate_per_class(granted_per_class_, stats.granted_per_class);
   const std::uint64_t offered =
       stats.arrivals + stats.retry_attempts + stats.ingress_releases;
   if (offered > 0) {
@@ -72,6 +92,11 @@ void MetricsCollector::merge(const MetricsCollector& other) {
   retry_attempts_ += other.retry_attempts_;
   retry_successes_ += other.retry_successes_;
   dropped_faulted_ += other.dropped_faulted_;
+  raw_arrivals_ += other.raw_arrivals_;
+  preempted_ += other.preempted_;
+  busy_channel_slots_ += other.busy_channel_slots_;
+  accumulate_per_class(arrivals_per_class_, other.arrivals_per_class_);
+  accumulate_per_class(granted_per_class_, other.granted_per_class_);
   loss_.merge(other.loss_);
   utilization_.merge(other.utilization_);
   for (std::size_t i = 0; i < fiber_grants_.size(); ++i) {

@@ -77,6 +77,26 @@ class MetricsCollector {
   std::uint64_t slots() const noexcept { return slots_; }
   std::uint64_t arrivals() const noexcept { return loss_.trials(); }
   std::uint64_t losses() const noexcept { return loss_.successes(); }
+  /// Fresh arrivals only (no retries / ingress releases) — the raw SlotStats
+  /// `arrivals` sum. `arrivals()` above stays "offered trials" (fresh +
+  /// retries + releases), which the loss ratio and existing callers rely on.
+  std::uint64_t raw_arrivals() const noexcept { return raw_arrivals_; }
+  std::uint64_t granted() const noexcept { return granted_total_; }
+  /// Ongoing connections preempted mid-hold (kRearrange accounting).
+  std::uint64_t preempted() const noexcept { return preempted_; }
+  /// Sum over slots of occupied output channels (utilization() is the mean
+  /// fraction; this is the raw counter an exporter can rate()).
+  std::uint64_t busy_channel_slots() const noexcept {
+    return busy_channel_slots_;
+  }
+  /// Per-QoS-class accounting, sized to the highest class seen; empty for
+  /// runs that never carried a multi-class slot.
+  const std::vector<std::uint64_t>& arrivals_per_class() const noexcept {
+    return arrivals_per_class_;
+  }
+  const std::vector<std::uint64_t>& granted_per_class() const noexcept {
+    return granted_per_class_;
+  }
   /// Requests dropped for malformed fields rather than lack of capacity.
   std::uint64_t rejected_malformed() const noexcept {
     return rejected_malformed_;
@@ -132,6 +152,11 @@ class MetricsCollector {
   std::uint64_t retry_attempts_ = 0;
   std::uint64_t retry_successes_ = 0;
   std::uint64_t dropped_faulted_ = 0;
+  std::uint64_t raw_arrivals_ = 0;
+  std::uint64_t preempted_ = 0;
+  std::uint64_t busy_channel_slots_ = 0;
+  std::vector<std::uint64_t> arrivals_per_class_;
+  std::vector<std::uint64_t> granted_per_class_;
   util::Proportion loss_;
   util::RunningStats utilization_;
   std::vector<double> fiber_grants_;

@@ -1,0 +1,81 @@
+#include "sim/obs_export.hpp"
+
+#include <string>
+
+namespace wdm::sim {
+
+void register_metrics(obs::Registry& registry,
+                      const MetricsCollector& metrics) {
+  registry.counter("wdm_slots_total", "Slots stepped", metrics.slots());
+  registry.counter("wdm_arrivals_total", "Fresh requests offered",
+                   metrics.raw_arrivals());
+  registry.counter("wdm_offered_total",
+                   "Offered requests (fresh + retries + ingress releases)",
+                   metrics.arrivals());
+  registry.counter("wdm_granted_total", "Requests granted", metrics.granted());
+  registry.counter("wdm_rejected_total", "Requests rejected",
+                   metrics.losses());
+  registry.counter("wdm_rejected_malformed_total",
+                   "Rejections for malformed fields",
+                   metrics.rejected_malformed());
+  registry.counter("wdm_rejected_faulted_total",
+                   "Rejections for faulted hardware with no retry budget",
+                   metrics.rejected_faulted());
+  registry.counter("wdm_shed_overload_total",
+                   "Requests shed by overload control",
+                   metrics.shed_overload());
+  registry.counter("wdm_deferred_faulted_total",
+                   "Requests parked in the retry queue",
+                   metrics.deferred_faulted());
+  registry.counter("wdm_deferred_overload_total",
+                   "Arrivals parked in the admission ingress queue",
+                   metrics.deferred_overload());
+  registry.counter("wdm_ingress_releases_total",
+                   "Requests released from the ingress queue",
+                   metrics.ingress_releases());
+  registry.counter("wdm_degraded_ports_total",
+                   "Port-slots scheduled with the degraded O(k) kernel",
+                   metrics.degraded_ports());
+  registry.counter("wdm_degraded_slots_total",
+                   "Slots with at least one degraded port",
+                   metrics.degraded_slots());
+  registry.counter("wdm_retry_attempts_total",
+                   "Requests re-offered from the retry queue",
+                   metrics.retry_attempts());
+  registry.counter("wdm_retry_successes_total",
+                   "Retry attempts that ended in a grant",
+                   metrics.retry_successes());
+  registry.counter("wdm_preempted_total",
+                   "Ongoing connections preempted mid-hold",
+                   metrics.preempted());
+  registry.counter("wdm_dropped_faulted_total",
+                   "Ongoing connections torn down by hardware faults",
+                   metrics.dropped_faulted());
+  registry.counter("wdm_busy_channel_slots_total",
+                   "Sum over slots of occupied output channels",
+                   metrics.busy_channel_slots());
+  const auto& arrivals_pc = metrics.arrivals_per_class();
+  const auto& granted_pc = metrics.granted_per_class();
+  for (std::size_t cls = 0; cls < arrivals_pc.size(); ++cls) {
+    registry.counter("wdm_class_arrivals_total", "Fresh arrivals by QoS class",
+                     arrivals_pc[cls],
+                     "class=\"" + std::to_string(cls) + "\"");
+  }
+  for (std::size_t cls = 0; cls < granted_pc.size(); ++cls) {
+    registry.counter("wdm_class_granted_total", "Grants by QoS class",
+                     granted_pc[cls],
+                     "class=\"" + std::to_string(cls) + "\"");
+  }
+  registry.gauge("wdm_loss_probability", "P(offered request rejected)",
+                 metrics.loss_probability());
+  registry.gauge("wdm_throughput_per_channel",
+                 "Granted requests per slot per output channel",
+                 metrics.throughput_per_channel());
+  registry.gauge("wdm_utilization", "Mean fraction of output channels busy",
+                 metrics.utilization());
+  registry.gauge("wdm_fiber_fairness",
+                 "Jain fairness index of per-fiber grants",
+                 metrics.fiber_fairness());
+}
+
+}  // namespace wdm::sim

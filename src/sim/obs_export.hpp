@@ -1,0 +1,20 @@
+// Bridge from the simulation's metric accumulators to the obs exporters.
+//
+// Kept out of sim/metrics.hpp so the collector itself stays free of any
+// exporter dependency: the slot loop records into MetricsCollector as
+// before, and a caller that wants a Prometheus snapshot builds a Registry
+// at export time (snapshotting is O(counters), nowhere near the hot path).
+#pragma once
+
+#include "obs/registry.hpp"
+#include "sim/metrics.hpp"
+
+namespace wdm::sim {
+
+/// Registers every MetricsCollector counter — one series per SlotStats
+/// counter the collector accumulates, plus the derived ratios — under the
+/// `wdm_` prefix. Call once per snapshot on a fresh or reused Registry.
+void register_metrics(obs::Registry& registry,
+                      const MetricsCollector& metrics);
+
+}  // namespace wdm::sim

@@ -26,9 +26,6 @@ SimulationReport run_simulation(const SimulationConfig& config) {
   }
 
   const util::Stopwatch clock;
-  std::uint64_t preemptions = 0;
-  std::vector<std::uint64_t> report_class_arrivals;
-  std::vector<std::uint64_t> report_class_losses;
   // Method of batch means: 30 contiguous batches of measured slots give a
   // correlation-robust CI on the loss probability.
   constexpr std::uint64_t kBatches = 30;
@@ -43,18 +40,6 @@ SimulationReport run_simulation(const SimulationConfig& config) {
     const SlotStats stats = interconnect.step(arrivals, pool.get());
     if (slot < config.warmup) continue;
     metrics.record_slot(stats);
-    preemptions += stats.preempted;
-    if (!stats.arrivals_per_class.empty()) {
-      if (report_class_arrivals.size() < stats.arrivals_per_class.size()) {
-        report_class_arrivals.resize(stats.arrivals_per_class.size(), 0);
-        report_class_losses.resize(stats.arrivals_per_class.size(), 0);
-      }
-      for (std::size_t c = 0; c < stats.arrivals_per_class.size(); ++c) {
-        report_class_arrivals[c] += stats.arrivals_per_class[c];
-        report_class_losses[c] +=
-            stats.arrivals_per_class[c] - stats.granted_per_class[c];
-      }
-    }
     batch_arrivals += stats.arrivals;
     batch_losses += stats.rejected;
     if (++in_batch == batch_len) {
@@ -84,7 +69,7 @@ SimulationReport run_simulation(const SimulationConfig& config) {
   report.throughput_per_channel = metrics.throughput_per_channel();
   report.utilization = metrics.utilization();
   report.fiber_fairness = metrics.fiber_fairness();
-  report.preemptions = preemptions;
+  report.preemptions = metrics.preempted();
   report.rejected_faulted = metrics.rejected_faulted();
   report.dropped_faulted = metrics.dropped_faulted();
   report.retry_attempts = metrics.retry_attempts();
@@ -99,10 +84,16 @@ SimulationReport run_simulation(const SimulationConfig& config) {
     report.fault_repairs = injector->repairs_applied();
   }
   report.wall_seconds = clock.elapsed_s();
-  if (report_class_arrivals.size() > 1) {
+  if (metrics.arrivals_per_class().size() > 1) {
     // Per-class vectors are only meaningful for multi-class traffic.
-    report.class_arrivals = std::move(report_class_arrivals);
-    report.class_losses = std::move(report_class_losses);
+    report.class_arrivals = metrics.arrivals_per_class();
+    const auto& granted_pc = metrics.granted_per_class();
+    report.class_losses.resize(report.class_arrivals.size(), 0);
+    for (std::size_t c = 0; c < report.class_arrivals.size(); ++c) {
+      const std::uint64_t granted =
+          c < granted_pc.size() ? granted_pc[c] : 0;
+      report.class_losses[c] = report.class_arrivals[c] - granted;
+    }
   }
   return report;
 }

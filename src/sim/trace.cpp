@@ -45,6 +45,22 @@ Trace read_trace(std::istream& is) {
         WDM_CHECK_MSG(pos != std::string::npos, "malformed trace header");
         std::istringstream ks(line.substr(pos + 2));
         ks >> trace.k;
+        // `slots=` restores trailing empty slots (nothing below references
+        // them, so without it an N-slot trace ending in idle slots would
+        // round-trip shorter than it was written). Optional for older
+        // traces; request lines may still extend past it.
+        pos = line.find("slots=");
+        if (pos != std::string::npos) {
+          std::istringstream ss(line.substr(pos + 6));
+          std::uint64_t declared = 0;
+          if (ss >> declared) {
+            WDM_CHECK_MSG(declared <= kMaxTraceSlots,
+                          "trace header slot count implausibly large");
+            if (declared > trace.slots.size()) {
+              trace.slots.resize(static_cast<std::size_t>(declared));
+            }
+          }
+        }
         got_header = true;
       }
       continue;

@@ -6,6 +6,13 @@
 
 namespace wdm::util {
 
+namespace {
+// 0 everywhere except on pool workers, which set it once at spawn.
+thread_local std::uint16_t t_worker_index = 0;
+}  // namespace
+
+std::uint16_t ThreadPool::worker_index() noexcept { return t_worker_index; }
+
 std::vector<std::pair<std::size_t, std::size_t>> split_ranges(
     std::size_t begin, std::size_t end, std::size_t max_parts) {
   std::vector<std::pair<std::size_t, std::size_t>> ranges;
@@ -30,7 +37,8 @@ ThreadPool::ThreadPool(std::size_t threads) {
   }
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back(
+        [this, i] { worker_loop(static_cast<std::uint16_t>(i + 1)); });
   }
 }
 
@@ -99,7 +107,8 @@ void ThreadPool::run_parallel_job(ParallelJob& job) {
   if (job.error) std::rethrow_exception(job.error);
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::uint16_t index) {
+  t_worker_index = index;
   std::unique_lock lock(mutex_);
   for (;;) {
     cv_.wait(lock, [this] {

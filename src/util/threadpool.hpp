@@ -19,6 +19,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
@@ -56,6 +57,12 @@ class ThreadPool {
 
   /// Enqueues a task; the returned future rethrows any task exception.
   std::future<void> submit(std::function<void()> task);
+
+  /// 1-based index of the pool worker the calling thread is, or 0 for any
+  /// thread that is not a pool worker (including a parallel_for caller
+  /// claiming chunks inline). Thread-local, so reading it is free; telemetry
+  /// uses it to attribute per-fiber spans to the thread that ran them.
+  static std::uint16_t worker_index() noexcept;
 
   /// Runs fn(i) for i in [begin, end) across the pool and waits for all of
   /// them. The range is split into split_ranges(begin, end, size()) contiguous
@@ -105,7 +112,7 @@ class ThreadPool {
   void run_parallel_job(ParallelJob& job);
   /// Claims and runs chunks until the ticket is exhausted.
   void work_on(ParallelJob& job);
-  void worker_loop();
+  void worker_loop(std::uint16_t index);
 
   std::vector<std::thread> workers_;
   std::deque<std::packaged_task<void()>> queue_;

@@ -69,6 +69,53 @@ TEST(Metrics, MergeCombines) {
   EXPECT_THROW(a.merge(c), std::logic_error);
 }
 
+TEST(Metrics, PerClassAccountingAccumulates) {
+  MetricsCollector m(2, 4);
+  auto s = make_stats(5, 4, 1, 0, 4);
+  s.arrivals_per_class = {3, 2};
+  s.granted_per_class = {3, 1};
+  m.record_slot(s);
+  ASSERT_EQ(m.arrivals_per_class().size(), 2u);
+  EXPECT_EQ(m.arrivals_per_class()[0], 3u);
+  EXPECT_EQ(m.granted_per_class()[1], 1u);
+  EXPECT_EQ(m.raw_arrivals(), 5u);
+  EXPECT_EQ(m.granted(), 4u);
+}
+
+TEST(Metrics, MergeWithUnequalPerClassLengths) {
+  // One collector saw single-class slots (empty per-class vectors), the
+  // other saw three classes: the merge must widen to the longer vector and
+  // sum index-wise, in both merge directions.
+  MetricsCollector narrow(2, 4), wide(2, 4);
+  auto s1 = make_stats(4, 4, 0, 0, 4);
+  s1.arrivals_per_class = {4};
+  s1.granted_per_class = {4};
+  narrow.record_slot(s1);
+
+  auto s3 = make_stats(6, 3, 3, 0, 3);
+  s3.arrivals_per_class = {1, 2, 3};
+  s3.granted_per_class = {1, 1, 1};
+  wide.record_slot(s3);
+
+  MetricsCollector merged_a = narrow;
+  merged_a.merge(wide);
+  ASSERT_EQ(merged_a.arrivals_per_class().size(), 3u);
+  EXPECT_EQ(merged_a.arrivals_per_class()[0], 5u);
+  EXPECT_EQ(merged_a.arrivals_per_class()[2], 3u);
+  EXPECT_EQ(merged_a.granted_per_class()[0], 5u);
+  EXPECT_EQ(merged_a.granted_per_class()[1], 1u);
+
+  MetricsCollector merged_b = wide;
+  merged_b.merge(narrow);
+  ASSERT_EQ(merged_b.arrivals_per_class().size(), 3u);
+  for (std::size_t c = 0; c < 3; ++c) {
+    EXPECT_EQ(merged_b.arrivals_per_class()[c],
+              merged_a.arrivals_per_class()[c]);
+    EXPECT_EQ(merged_b.granted_per_class()[c],
+              merged_a.granted_per_class()[c]);
+  }
+}
+
 TEST(Metrics, IdleSlotsDoNotDiluteLoss) {
   // Zero-arrival slots contribute no Bernoulli trials: a stream padded with
   // idle slots reports the same loss probability and Wilson interval as the

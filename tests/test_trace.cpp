@@ -39,6 +39,55 @@ TEST(Trace, WriteReadRoundTrip) {
   EXPECT_EQ(parsed.slots[2][0].id, 12u);
 }
 
+TEST(Trace, TrailingEmptySlotsSurviveTheRoundTrip) {
+  // The slots= header restores idle slots at the end of the stream — no
+  // request line references them, so without it the trace would round-trip
+  // shorter than it was written and a replay would end early.
+  Trace t;
+  t.n_fibers = 2;
+  t.k = 4;
+  t.slots.resize(5);
+  t.slots[1] = {SlotRequest{0, 1, 1, 10, 1}};  // slots 2..4 stay idle
+  std::stringstream ss;
+  sim::write_trace(ss, t);
+  const Trace parsed = sim::read_trace(ss);
+  ASSERT_EQ(parsed.slots.size(), 5u);
+  EXPECT_EQ(parsed.total_requests(), 1u);
+  EXPECT_TRUE(parsed.slots[4].empty());
+}
+
+TEST(Trace, CommentAndBlankLinesAreIgnored) {
+  std::stringstream ss(
+      "# wdmsched trace v1\n"
+      "# n_fibers=2 k=4 slots=2\n"
+      "\n"
+      "# a stray comment between request lines\n"
+      "0,0,0,0,7,1\n"
+      "# trailing commentary\n"
+      "1,1,1,1,8,1\n");
+  const Trace parsed = sim::read_trace(ss);
+  ASSERT_EQ(parsed.slots.size(), 2u);
+  EXPECT_EQ(parsed.slots[0][0].id, 7u);
+  EXPECT_EQ(parsed.slots[1][0].id, 8u);
+}
+
+TEST(Trace, SlotCountBoundaryIsEnforcedExactly) {
+  // Header declaring more than kMaxTraceSlots is rejected (it sizes our own
+  // allocation)...
+  std::stringstream over("# n_fibers=2 k=4 slots=" +
+                         std::to_string(sim::kMaxTraceSlots + 1) + "\n");
+  EXPECT_THROW(sim::read_trace(over), std::logic_error);
+  // ...and so is a request line indexing the first out-of-range slot.
+  std::stringstream line("# n_fibers=2 k=4 slots=1\n" +
+                         std::to_string(sim::kMaxTraceSlots) + ",0,0,0,1,1\n");
+  EXPECT_THROW(sim::read_trace(line), std::logic_error);
+  // A request line may still extend the trace past the declared count.
+  std::stringstream extend(
+      "# n_fibers=2 k=4 slots=1\n"
+      "3,0,0,0,1,1\n");
+  EXPECT_EQ(sim::read_trace(extend).slots.size(), 4u);
+}
+
 TEST(Trace, StructurallyMalformedInputRejected) {
   std::stringstream bad1("# n_fibers=2 k=4 slots=1\nnot,a,number\n");
   EXPECT_THROW(sim::read_trace(bad1), std::invalid_argument);

@@ -17,6 +17,7 @@
 
 #include "core/availability.hpp"
 #include "core/distributed.hpp"
+#include "obs/telemetry.hpp"
 #include "sim/interconnect.hpp"
 #include "util/rng.hpp"
 
@@ -139,6 +140,66 @@ TEST(ZeroAlloc, InterconnectStepAllocatesOnlyTheSlotStatsVectors) {
   // sized to the number of QoS classes in the returned-by-value stats. The
   // pipeline itself (partition, schedule, occupy, age) contributes zero.
   EXPECT_EQ(after - before, 2 * slots.size()) << "sink " << sink;
+}
+
+TEST(ZeroAlloc, SchedulerPathStaysAllocationFreeWithTracingOn) {
+  // The telemetry warm path is part of the contract: the trace ring, stage
+  // histograms, and per-fiber staging array are all preallocated, so a
+  // fully-traced steady state allocates exactly as much as an untraced one.
+  if (!kOptimizedBuild) GTEST_SKIP() << "debug cross-checks allocate";
+  const std::int32_t n = 16;
+  const std::int32_t k = 8;
+  const auto slots = make_slots(n, k, 64, 0.7);
+  const auto scheme = core::ConversionScheme::circular(k, 1, 1);
+  core::DistributedScheduler sched(n, scheme, core::Algorithm::kAuto,
+                                   core::Arbitration::kRandom, 5);
+  obs::TraceRecorder recorder(obs::TraceDetail::kFull);
+  sched.set_telemetry(&recorder);
+  std::vector<std::uint8_t> plane(
+      static_cast<std::size_t>(n) * static_cast<std::size_t>(k), 1);
+  const core::AvailabilityView view(plane.data(), n, k);
+  std::vector<core::PortDecision> decisions;
+  decisions.reserve(static_cast<std::size_t>(n) * static_cast<std::size_t>(k));
+
+  const auto sweep = [&] {
+    for (const auto& slot : slots) {
+      decisions.resize(slot.size());
+      sched.schedule_slot_into(slot, view, nullptr, nullptr, decisions);
+    }
+  };
+
+  sweep();  // warm-up: ring, histograms, and fiber staging reach capacity
+  const std::uint64_t before = g_allocs.load(std::memory_order_relaxed);
+  sweep();
+  const std::uint64_t after = g_allocs.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u)
+      << "the warm scheduler path must not allocate with tracing on";
+  EXPECT_GT(recorder.recorded(), 0u) << "tracing must actually be live";
+}
+
+TEST(ZeroAlloc, InterconnectStepWithFullTracingKeepsTheSlotStatsBound) {
+  if (!kOptimizedBuild) GTEST_SKIP() << "debug cross-checks allocate";
+  const std::int32_t n = 16;
+  const std::int32_t k = 8;
+  const auto slots = make_slots(n, k, 64, 0.7);
+  sim::InterconnectConfig cfg;
+  cfg.n_fibers = n;
+  cfg.scheme = core::ConversionScheme::circular(k, 1, 1);
+  cfg.seed = 5;
+  sim::Interconnect ic(cfg);
+  obs::TraceRecorder recorder(obs::TraceDetail::kFull);
+  ic.set_telemetry(&recorder);
+
+  std::uint64_t sink = 0;
+  for (const auto& slot : slots) sink += ic.step(slot).granted;  // warm-up
+
+  const std::uint64_t before = g_allocs.load(std::memory_order_relaxed);
+  for (const auto& slot : slots) sink += ic.step(slot).granted;
+  const std::uint64_t after = g_allocs.load(std::memory_order_relaxed);
+
+  // Same bound as the untraced pipeline: telemetry adds nothing per slot.
+  EXPECT_EQ(after - before, 2 * slots.size()) << "sink " << sink;
+  EXPECT_GT(recorder.recorded(), 0u) << "tracing must actually be live";
 }
 
 }  // namespace
