@@ -40,6 +40,9 @@ int main(int argc, char** argv) {
   cli.add_option("policy", "nodisturb", "occupied policy: nodisturb|rearrange");
   cli.add_option("op-budget", "0",
                  "per-slot op budget for degradation; 0 disables");
+  cli.add_option("slot-deadline-ns", "0",
+                 "wall-clock per-slot degradation deadline in ns; 0 disables "
+                 "(nondeterministic: such runs cannot be checkpoint-replayed)");
   cli.add_option("recovery-slots", "8", "hysteresis recovery slots");
   cli.add_option("retries", "0", "max retries for fault-rejected requests");
   cli.add_option("tokens-per-slot", "0",
@@ -80,6 +83,14 @@ int main(int argc, char** argv) {
                     : sim::OccupiedPolicy::kNoDisturb;
   icfg.seed = seeder.next();
   icfg.degrade.op_budget = static_cast<std::uint64_t>(cli.get_int("op-budget"));
+  icfg.degrade.slot_deadline_ns =
+      static_cast<std::uint64_t>(cli.get_int("slot-deadline-ns"));
+  if (icfg.degrade.slot_deadline_ns > 0) {
+    std::cerr << "simulate: warning: --slot-deadline-ns ties degradation to "
+                 "this machine's clock; the run is not reproducible and its "
+                 "checkpoints cannot be replayed (sim::replay_from rejects "
+                 "them). Use --op-budget for deterministic degradation.\n";
+  }
   icfg.degrade.recovery_slots =
       static_cast<std::int32_t>(cli.get_int("recovery-slots"));
   icfg.retry.max_retries = static_cast<std::int32_t>(cli.get_int("retries"));

@@ -20,10 +20,22 @@ artifact. CI treats 2 as a harness problem, distinct from a perf regression.
 Baselines are keyed by host: every artifact carries a "meta" block
 (bench_io.hpp) with a "host_key" like "Linux-x86_64". When the baseline
 directory has a subdirectory named after the current artifacts' host key,
-that subdirectory is used; otherwise the directory itself is. A host-key
-mismatch between the chosen baseline and the current run is reported as a
-warning — cross-host numbers never gate. The "meta" subtree is excluded
-from the numeric diff entirely.
+that subdirectory is used. When the current run's host key is known but no
+such subdirectory exists, the flat directory is used as a fallback and the
+whole comparison is report-only (exit 0): numbers captured on different
+hardware never gate. A host-key mismatch between individual artifacts is
+likewise reported as a warning without gating. The "meta" subtree is
+excluded from the numeric diff entirely.
+
+Latency distributions gate on the full histogram, not point quantiles:
+when both sides of a pair carry log-bucket arrays ("hist_le_ns" +
+"hist_count", as BENCH_overload.json rows do), the report compares the
+whole bucket array — bucket-weighted mean shift plus the share of
+probability mass that moved — and the p50/p99-style point quantiles are
+demoted to report-only. A single-bucket wobble at the tail moves p99 by
+a full bucket width on a noisy host; the mass-weighted view barely moves
+unless the distribution really shifted. Artifacts without histogram
+arrays (older captures) keep the point-quantile gate.
 
 Understands both artifact layouts:
   * the bench_io.hpp tree (objects/arrays of numbers, "rows" tables), and
@@ -43,6 +55,13 @@ from pathlib import Path
 HIGHER_IS_BETTER = ("slots_per_s", "slots/s", "slots_per_sec", "throughput")
 LOWER_IS_BETTER = ("cpu_time", "real_time", "allocs_per_slot", "bytes_per_slot",
                    "p50_ns", "p99_ns")
+# Point quantiles of a latency distribution: these only gate when the pair
+# has no histogram arrays to compare instead (see module docstring).
+QUANTILE_FRAGMENTS = ("p50_ns", "p90_ns", "p99_ns", "p999_ns", "mean_ns",
+                      "max_ns")
+# Row fields that identify a histogram row across runs (in the order they
+# are tried); rows without any of them pair up by index.
+HIST_IDENTITY_FIELDS = ("load_factor", "control", "scheme", "n_fibers", "k")
 
 
 def flatten(node, prefix=""):
@@ -81,10 +100,69 @@ def host_key(tree):
     return meta.get("host_key") if isinstance(meta, dict) else None
 
 
+def hist_rows(tree):
+    """Map row identity -> {bucket_upper_edge_ns: count} for every row of
+    the artifact that carries full histogram arrays."""
+    rows = tree.get("rows") if isinstance(tree, dict) else None
+    if not isinstance(rows, list):
+        return {}
+    out = {}
+    for i, row in enumerate(rows):
+        if not isinstance(row, dict):
+            continue
+        les, counts = row.get("hist_le_ns"), row.get("hist_count")
+        if not (isinstance(les, list) and isinstance(counts, list) and
+                les and len(les) == len(counts)):
+            continue
+        ident = tuple((f, row[f]) for f in HIST_IDENTITY_FIELDS if f in row)
+        if not ident:
+            ident = (("row", i),)
+        out[ident] = dict(zip(les, counts))
+    return out
+
+
+def compare_histograms(name, base, curr, tolerance):
+    """Diff full log-bucket latency histograms row by row. The gated
+    statistic is the bucket-weighted mean (every bucket contributes, so a
+    one-sample wobble in the tail cannot trip the gate the way a p99 point
+    read can); the mass-moved figure is printed for context."""
+    base_rows, curr_rows = hist_rows(base), hist_rows(curr)
+    common = sorted(set(base_rows) & set(curr_rows), key=repr)
+    regressions = []
+    lines = []
+    for ident in common:
+        b, c = base_rows[ident], curr_rows[ident]
+        b_total, c_total = sum(b.values()), sum(c.values())
+        if b_total == 0 or c_total == 0:
+            continue
+        b_mean = sum(e * n for e, n in b.items()) / b_total
+        c_mean = sum(e * n for e, n in c.items()) / c_total
+        if b_mean == 0:
+            continue
+        change = 100.0 * (c_mean - b_mean) / b_mean
+        edges = sorted(set(b) | set(c))
+        moved = 50.0 * sum(abs(b.get(e, 0) / b_total - c.get(e, 0) / c_total)
+                           for e in edges)
+        label = ".".join(f"{f}={v}" for f, v in ident)
+        path = f"rows.{label}.hist"
+        marker = ""
+        if change > tolerance:
+            marker = "  <-- REGRESSION"
+            regressions.append(path)
+        lines.append(f"  {path}: mean {b_mean / 1e3:.4g}us -> "
+                     f"{c_mean / 1e3:.4g}us ({change:+.1f}%), "
+                     f"{moved:.1f}% of mass moved across {len(edges)} "
+                     f"buckets{marker}")
+    if lines:
+        print(f"{name} (latency histograms):")
+        print("\n".join(lines))
+    return bool(common), regressions
+
+
 def compare_file(name, base, curr, tolerance):
+    has_hists, regressions = compare_histograms(name, base, curr, tolerance)
     base_map = dict(flatten(base))
     curr_map = dict(flatten(curr))
-    regressions = []
     lines = []
     for path, old in sorted(base_map.items()):
         new = curr_map.get(path)
@@ -93,12 +171,18 @@ def compare_file(name, base, curr, tolerance):
         direction = classify(path)
         if direction == "neutral":
             continue
+        lowered = path.lower()
+        quantile = any(frag in lowered for frag in QUANTILE_FRAGMENTS)
         change = 100.0 * (new - old) / old
         marker = ""
         regressed = (direction == "higher" and change < -tolerance) or (
             direction == "lower" and change > tolerance
         )
-        if regressed:
+        if regressed and quantile and has_hists:
+            # The full histogram comparison above is the gate; the point
+            # quantile is informational only.
+            marker = "  (not gated: histogram comparison gates latency)"
+        elif regressed:
             marker = "  <-- REGRESSION"
             regressions.append(path)
         lines.append(f"  {path}: {old:.4g} -> {new:.4g} ({change:+.1f}%){marker}")
@@ -110,16 +194,21 @@ def compare_file(name, base, curr, tolerance):
 
 def pick_baseline_dir(baseline, curr_files):
     """Resolve per-host baseline layout: baseline/<host_key>/ if it matches
-    the current artifacts' host key, else the flat directory."""
+    the current artifacts' host key, else the flat directory. Returns
+    (directory, fallback) where fallback means a host key was identified
+    but has no baseline subdirectory — the flat numbers are from unknown
+    hardware, so the caller reports without gating."""
     for path in curr_files.values():
         try:
             key = host_key(json.loads(path.read_text()))
         except (OSError, json.JSONDecodeError):
             continue
         if key and (baseline / key).is_dir():
-            return baseline / key
+            return baseline / key, False
+        if key:
+            return baseline, True
         break
-    return baseline
+    return baseline, False
 
 
 def main():
@@ -138,9 +227,14 @@ def main():
             return 2
 
     curr_files = {p.name: p for p in sorted(args.current.glob("BENCH_*.json"))}
-    baseline_dir = pick_baseline_dir(args.baseline, curr_files)
+    baseline_dir, flat_fallback = pick_baseline_dir(args.baseline, curr_files)
     if baseline_dir != args.baseline:
         print(f"using host-keyed baseline {baseline_dir}")
+    if flat_fallback:
+        print(f"no baseline subdirectory for this host key under "
+              f"{args.baseline} — falling back to the flat directory; "
+              "reporting only, not gating (create a per-host subdirectory "
+              "from a quiet run to enable gating)")
     base_files = {p.name: p for p in sorted(baseline_dir.glob("BENCH_*.json"))}
     common = sorted(set(base_files) & set(curr_files))
     if not common:
@@ -169,6 +263,9 @@ def main():
                   "current) — reporting only, not gating")
             compare_file(name, base, curr, float("inf"))
             continue
+        if flat_fallback:
+            compare_file(name, base, curr, float("inf"))
+            continue
         all_regressions += compare_file(name, base, curr, args.tolerance)
 
     only_base = sorted(set(base_files) - set(curr_files))
@@ -182,7 +279,11 @@ def main():
         print(f"\n{len(all_regressions)} metric(s) regressed beyond "
               f"{args.tolerance:.0f}%", file=sys.stderr)
         return 1
-    suffix = " (host-mismatched artifacts not gated)" if host_mismatch else ""
+    suffix = ""
+    if flat_fallback:
+        suffix = " (flat-baseline fallback: nothing gated)"
+    elif host_mismatch:
+        suffix = " (host-mismatched artifacts not gated)"
     print(f"\nno regressions beyond {args.tolerance:.0f}% across "
           f"{len(common)} artifact(s){suffix}")
     return 0

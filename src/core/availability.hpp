@@ -10,15 +10,24 @@
 #include <cstdint>
 #include <span>
 
+#include "core/wave_mask.hpp"
+
 namespace wdm::core {
 
-/// Non-owning view of a row-major N×k availability plane.
+/// Non-owning view of a row-major N×k availability plane. A view may also
+/// carry the packed bit-plane form (mask_words(k) words per fiber, the
+/// core/wave_mask.hpp layout) when the owner maintains one — the masked
+/// kernels then skip the per-call byte→bit packing.
 class AvailabilityView {
  public:
   constexpr AvailabilityView() noexcept = default;
   constexpr AvailabilityView(const std::uint8_t* data, std::int32_t n_fibers,
                              std::int32_t k) noexcept
       : data_(data), n_fibers_(n_fibers), k_(k) {}
+  constexpr AvailabilityView(const std::uint8_t* data,
+                             const std::uint64_t* bits, std::int32_t n_fibers,
+                             std::int32_t k) noexcept
+      : data_(data), bits_(bits), n_fibers_(n_fibers), k_(k) {}
 
   /// An empty view means "every channel free" (like an empty mask).
   constexpr bool empty() const noexcept { return data_ == nullptr; }
@@ -31,8 +40,19 @@ class AvailabilityView {
             static_cast<std::size_t>(k_)};
   }
 
+  /// Packed bit row of one output fiber (mask_words(k) words), or an empty
+  /// span when the owner carries no bit plane — callers pack from row()
+  /// themselves in that case.
+  constexpr std::span<const std::uint64_t> bits_row(
+      std::int32_t fiber) const noexcept {
+    if (bits_ == nullptr) return {};
+    const std::size_t words = mask_words(k_);
+    return {bits_ + static_cast<std::size_t>(fiber) * words, words};
+  }
+
  private:
   const std::uint8_t* data_ = nullptr;
+  const std::uint64_t* bits_ = nullptr;
   std::int32_t n_fibers_ = 0;
   std::int32_t k_ = 0;
 };

@@ -5,6 +5,7 @@
 
 #include "core/breaking.hpp"
 #include "core/crossing.hpp"
+#include "core/wave_mask.hpp"
 #include "util/check.hpp"
 
 namespace wdm::core {
@@ -237,6 +238,251 @@ Channel approx_break_first_available_into(
   WDM_DCHECK(best_u != kNone);
 
   bfa_single_break_into(requests, scheme, available, w_i, best_u, out);
+  return best_u;
+}
+
+namespace {
+
+/// pick_breaking_wavelength over the packed masks: the nonempty mask jumps
+/// straight to pending wavelengths, and the free-adjacent-channel test is a
+/// word scan over the circular adjacency run. Returns the same wavelength
+/// as the byte-row scan (existence of a free adjacent channel is all the
+/// scalar inner loop establishes).
+Wavelength pick_breaking_wavelength_masked(const ConversionScheme& scheme,
+                                           const std::uint64_t* avail,
+                                           const std::uint64_t* nonempty) {
+  const std::int32_t k = scheme.k();
+  for (Wavelength w = find_next_set(nonempty, k, 0); w < k;
+       w = find_next_set(nonempty, k, w + 1)) {
+    if (any_set_circular(avail, k, scheme.adjacency_start(w),
+                         scheme.adjacency_count(w))) {
+      return w;
+    }
+  }
+  return kNone;
+}
+
+void validate_masked_inputs(const RequestVector& requests,
+                            const ConversionScheme& scheme,
+                            std::span<const std::uint64_t> avail_words,
+                            std::span<const std::uint64_t> nonempty_words) {
+  WDM_CHECK_MSG(scheme.kind() == ConversionKind::kCircular,
+                "break_first_available requires a circular scheme; "
+                "use first_available for non-circular conversion");
+  WDM_CHECK_MSG(!scheme.is_full_range(),
+                "full-range conversion is scheduled trivially (Section I)");
+  WDM_CHECK_MSG(requests.k() == scheme.k(),
+                "request vector and scheme disagree on k");
+  WDM_CHECK_MSG(avail_words.size() == mask_words(scheme.k()) &&
+                    nonempty_words.size() == mask_words(scheme.k()),
+                "packed masks must have mask_words(k) words");
+}
+
+/// single_break_unchecked over the packed masks. Same state machine, two
+/// jumps instead of two walks: the channel loop visits free channels via
+/// find_next_set on the availability row (in the same rotated order vp =
+/// 0..k-2, split at the wrap), and the left pointer hops between nonempty
+/// wavelengths via find_next_set on the nonempty mask (the scalar advance()
+/// steps through empty wavelengths without ever exiting its while loop, so
+/// landing directly on the next pending wavelength reaches the identical
+/// state). All modular quantities stay division-free closed forms.
+void single_break_masked(const RequestVector& requests,
+                         const ConversionScheme& scheme,
+                         const std::uint64_t* avail,
+                         const std::uint64_t* nonempty, Wavelength w_i,
+                         Channel u, ChannelAssignment& out) {
+  const std::int32_t k = scheme.k();
+  const std::int32_t d = scheme.degree();
+  const std::vector<std::int32_t>& counts = requests.counts();
+  out.reset(k);
+  out.source[static_cast<std::size_t>(u)] = w_i;
+  out.granted = 1;
+
+  const std::int32_t plus_side_span =
+      fwd(w_i, mod_k(static_cast<std::int64_t>(u) + scheme.e(), k), k);
+  const std::int32_t run_start0 =
+      channel_to_rotated(u, scheme.adjacency_start(w_i), k);
+
+  std::int32_t kappa = 0;
+  Wavelength w = w_i;
+  std::int32_t run_start = run_start0;
+  std::int32_t remaining = counts[static_cast<std::size_t>(w_i)] - 1;
+  const auto iv_of = [&](std::int32_t kappa_now) {
+    const std::int32_t last = run_start + d - 1;  // may pass k-1 (wraps)
+    if (last <= k - 2) return graph::Interval{run_start, last};
+    if (kappa_now <= plus_side_span) return graph::Interval{0, last - k};
+    return graph::Interval{run_start, k - 2};
+  };
+  graph::Interval iv = remaining > 0 ? iv_of(0) : graph::Interval{};
+
+  // Jump to the next κ' > κ whose wavelength has a pending request, or set
+  // κ = k when none is left. The search runs over the rotated wavelength
+  // order w_i, w_i+1, ..., w_i-1 — at most two linear ranges of the mask.
+  const auto advance_live = [&] {
+    const std::int32_t steps_left = k - 1 - kappa;  // κ values after kappa
+    if (steps_left <= 0) {
+      kappa = k;
+      return;
+    }
+    const Wavelength wn = w + 1 == k ? 0 : w + 1;  // wavelength at κ+1
+    std::int32_t dist = -1;  // distance from wn to the found wavelength
+    if (wn + steps_left <= k) {
+      const std::int32_t nxt = find_next_set(nonempty, wn + steps_left, wn);
+      if (nxt < wn + steps_left) dist = nxt - wn;
+    } else {
+      std::int32_t nxt = find_next_set(nonempty, k, wn);
+      if (nxt < k) {
+        dist = nxt - wn;
+      } else {
+        const std::int32_t wrap_hi = steps_left - (k - wn);
+        nxt = find_next_set(nonempty, wrap_hi, 0);
+        if (nxt < wrap_hi) dist = (k - wn) + nxt;
+      }
+    }
+    if (dist < 0) {
+      kappa = k;
+      return;
+    }
+    kappa += 1 + dist;
+    w = wn + dist >= k ? wn + dist - k : wn + dist;
+    run_start = run_start0 + kappa >= k ? run_start0 + kappa - k
+                                        : run_start0 + kappa;
+    remaining = counts[static_cast<std::size_t>(w)];
+    iv = iv_of(kappa);
+  };
+
+  const auto visit = [&](Channel v, std::int32_t vp) -> bool {
+    while (kappa < k && (remaining == 0 || iv.empty() || iv.end < vp)) {
+      advance_live();
+    }
+    if (kappa == k) return false;
+    if (iv.begin <= vp) {
+      WDM_DCHECK(scheme.can_convert(w, v));
+      out.source[static_cast<std::size_t>(v)] = w;
+      out.granted += 1;
+      remaining -= 1;
+    }
+    return true;
+  };
+
+  // Rotated position vp of channel v is v-u-1 (mod k): segment [u+1, k)
+  // first, then the wrapped segment [0, u). Position k-1 is u itself — the
+  // breaking channel, never visited, exactly like the scalar vp <= k-2 loop.
+  for (Channel v = find_next_set(avail, k, u + 1); v < k;
+       v = find_next_set(avail, k, v + 1)) {
+    if (!visit(v, v - u - 1)) return;
+  }
+  const std::int32_t wrap_base = k - u - 1;
+  for (Channel v = find_next_set(avail, k, 0); v < u;
+       v = find_next_set(avail, k, v + 1)) {
+    if (!visit(v, v + wrap_base)) return;
+  }
+}
+
+}  // namespace
+
+void bfa_single_break_masked_into(
+    const RequestVector& requests, const ConversionScheme& scheme,
+    std::span<const std::uint64_t> avail_words,
+    std::span<const std::uint64_t> nonempty_words, Wavelength w_i, Channel u,
+    ChannelAssignment& out) {
+  validate_masked_inputs(requests, scheme, avail_words, nonempty_words);
+  WDM_CHECK_MSG(requests.count(w_i) > 0,
+                "breaking wavelength must have a pending request");
+  WDM_CHECK_MSG(scheme.can_convert(w_i, u), "breaking edge must exist");
+  WDM_CHECK_MSG(mask_test(avail_words.data(), u),
+                "breaking channel must be free");
+  single_break_masked(requests, scheme, avail_words.data(),
+                      nonempty_words.data(), w_i, u, out);
+}
+
+void break_first_available_masked_into(
+    const RequestVector& requests, const ConversionScheme& scheme,
+    std::span<const std::uint64_t> avail_words,
+    std::span<const std::uint64_t> nonempty_words, util::ThreadPool* pool,
+    BfaScratch& scratch, ChannelAssignment& out) {
+  validate_masked_inputs(requests, scheme, avail_words, nonempty_words);
+  const std::int32_t k = scheme.k();
+  const std::uint64_t* avail = avail_words.data();
+  const std::uint64_t* nonempty = nonempty_words.data();
+  const Wavelength w_i =
+      pick_breaking_wavelength_masked(scheme, avail, nonempty);
+  if (w_i == kNone) {
+    out.reset(k);
+    return;
+  }
+
+  scratch.candidates.clear();
+  const std::int32_t deg = scheme.adjacency_count(w_i);
+  for (std::int32_t idx = 0; idx < deg; ++idx) {
+    const Channel u = scheme.adjacency_at(w_i, idx);
+    if (mask_test(avail, u)) scratch.candidates.push_back(u);
+  }
+  WDM_DCHECK(!scratch.candidates.empty());
+
+  if (scratch.results.size() < scratch.candidates.size()) {
+    scratch.results.resize(scratch.candidates.size(), ChannelAssignment(k));
+  }
+  const auto run_candidate = [&](std::size_t idx) {
+    single_break_masked(requests, scheme, avail, nonempty, w_i,
+                        scratch.candidates[idx], scratch.results[idx]);
+  };
+  if (pool != nullptr && scratch.candidates.size() > 1) {
+    pool->parallel_for(0, scratch.candidates.size(), run_candidate);
+  } else {
+    for (std::size_t idx = 0; idx < scratch.candidates.size(); ++idx) {
+      run_candidate(idx);
+    }
+  }
+
+  // Deterministic winner: first candidate (minus-side order) of maximum size.
+  std::size_t best = 0;
+  for (std::size_t idx = 1; idx < scratch.candidates.size(); ++idx) {
+    if (scratch.results[idx].granted > scratch.results[best].granted) {
+      best = idx;
+    }
+  }
+  out.source.assign(scratch.results[best].source.begin(),
+                    scratch.results[best].source.end());
+  out.granted = scratch.results[best].granted;
+}
+
+Channel approx_break_first_available_masked_into(
+    const RequestVector& requests, const ConversionScheme& scheme,
+    std::span<const std::uint64_t> avail_words,
+    std::span<const std::uint64_t> nonempty_words, ChannelAssignment& out) {
+  validate_masked_inputs(requests, scheme, avail_words, nonempty_words);
+  const std::uint64_t* avail = avail_words.data();
+  const Wavelength w_i = pick_breaking_wavelength_masked(
+      scheme, avail, nonempty_words.data());
+  if (w_i == kNone) {
+    out.reset(scheme.k());
+    return kNone;
+  }
+
+  const std::int32_t d = scheme.degree();
+  const std::int32_t delta_star = (d + 1) / 2;  // Corollary 1: "shortest" edge
+
+  Channel best_u = kNone;
+  std::int32_t best_delta = 0;
+  std::int32_t best_bound = 0;
+  for (std::int32_t idx = 0; idx < d; ++idx) {
+    const Channel u = scheme.adjacency_at(w_i, idx);
+    if (!mask_test(avail, u)) continue;
+    const std::int32_t delta = idx + 1;
+    const std::int32_t bound = breaking_gap_bound(d, delta);
+    if (best_u == kNone || bound < best_bound ||
+        (bound == best_bound &&
+         std::abs(delta - delta_star) < std::abs(best_delta - delta_star))) {
+      best_u = u;
+      best_delta = delta;
+      best_bound = bound;
+    }
+  }
+  WDM_DCHECK(best_u != kNone);
+
+  single_break_masked(requests, scheme, avail, nonempty_words.data(), w_i,
+                      best_u, out);
   return best_u;
 }
 

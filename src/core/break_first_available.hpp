@@ -85,4 +85,41 @@ Channel approx_break_first_available_into(
     const RequestVector& requests, const ConversionScheme& scheme,
     std::span<const std::uint8_t> available, ChannelAssignment& out);
 
+// --- Masked kernels (docs/ALGORITHMS.md §9) -------------------------------
+//
+// Word-at-a-time variants of the sweeps above, decision-for-decision
+// identical to the scalar reference: `avail_words` is the packed
+// availability row (bit = 1 free, mask_words(k) words, tail zero — see
+// core/wave_mask.hpp) and `nonempty_words` the packed nonempty-wavelength
+// mask (bit w set iff requests.count(w) > 0). The inner sweeps jump with
+// countr_zero over exactly the iterations the scalar loops no-op on —
+// occupied channels and empty wavelengths — so every grant lands on the
+// same (channel, wavelength) pair in the same order, and the assignments
+// (hence arbitration, hence decisions) are bit-identical. The fuzz oracle
+// and the exhaustive k<=6 enumeration pin this.
+
+/// Masked exhaustive sweep (Table 3). Same winner rule as the scalar
+/// variant: first candidate in minus-side order of maximum granted.
+void break_first_available_masked_into(
+    const RequestVector& requests, const ConversionScheme& scheme,
+    std::span<const std::uint64_t> avail_words,
+    std::span<const std::uint64_t> nonempty_words, util::ThreadPool* pool,
+    BfaScratch& scratch, ChannelAssignment& out);
+
+/// Masked single-break (one Table-3 candidate), identical to
+/// bfa_single_break_into. Requires requests.count(w_i) > 0 and u adjacent
+/// and free.
+void bfa_single_break_masked_into(
+    const RequestVector& requests, const ConversionScheme& scheme,
+    std::span<const std::uint64_t> avail_words,
+    std::span<const std::uint64_t> nonempty_words, Wavelength w_i, Channel u,
+    ChannelAssignment& out);
+
+/// Masked Section IV.C approximation, identical break choice and schedule
+/// to approx_break_first_available_into.
+Channel approx_break_first_available_masked_into(
+    const RequestVector& requests, const ConversionScheme& scheme,
+    std::span<const std::uint64_t> avail_words,
+    std::span<const std::uint64_t> nonempty_words, ChannelAssignment& out);
+
 }  // namespace wdm::core

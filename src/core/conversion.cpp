@@ -41,25 +41,12 @@ ConversionScheme ConversionScheme::none(std::int32_t k, ConversionKind kind) {
   return ConversionScheme(kind, k, 0, 0);
 }
 
-bool ConversionScheme::can_convert(Wavelength in, Channel out) const noexcept {
-  WDM_DCHECK(in >= 0 && in < k_ && out >= 0 && out < k_);
-  if (kind_ == ConversionKind::kCircular) {
-    return fwd(adjacency_start(in), out, k_) < d_;
-  }
-  return out >= in - e_ && out <= in + f_;
-}
-
 graph::Interval ConversionScheme::adjacency_plain(Wavelength in) const {
   WDM_CHECK_MSG(kind_ == ConversionKind::kNonCircular,
                 "adjacency_plain is defined for non-circular schemes");
   WDM_CHECK(in >= 0 && in < k_);
   return graph::Interval{std::max<std::int32_t>(0, in - e_),
                          std::min<std::int32_t>(k_ - 1, in + f_)};
-}
-
-Channel ConversionScheme::adjacency_start(Wavelength in) const noexcept {
-  WDM_DCHECK(kind_ == ConversionKind::kCircular);
-  return mod_k(static_cast<std::int64_t>(in) - e_, k_);
 }
 
 std::vector<Channel> ConversionScheme::adjacency_list(Wavelength in) const {

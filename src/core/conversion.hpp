@@ -56,14 +56,22 @@ class ConversionScheme {
   }
 
   /// True iff input wavelength `in` can be converted to output channel `out`.
-  bool can_convert(Wavelength in, Channel out) const noexcept;
+  /// Inline: this is the per-edge predicate of every kernel's inner loop.
+  bool can_convert(Wavelength in, Channel out) const noexcept {
+    if (kind_ == ConversionKind::kCircular) {
+      return fwd(adjacency_start(in), out, k_) < d_;
+    }
+    return out >= in - e_ && out <= in + f_;
+  }
 
   /// Adjacency interval of `in` for non-circular schemes (plain, never wraps).
   graph::Interval adjacency_plain(Wavelength in) const;
 
   /// Adjacency of `in` for circular schemes: first channel (the minus end
   /// (in - e) mod k) plus run length d; the run wraps mod k.
-  Channel adjacency_start(Wavelength in) const noexcept;
+  Channel adjacency_start(Wavelength in) const noexcept {
+    return mod_k(static_cast<std::int64_t>(in) - e_, k_);
+  }
 
   /// The d adjacent channels of `in`, ordered from the minus side to the plus
   /// side — the order in which δ(u) of Section IV.C counts (δ = position + 1).

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 
+#include "core/simd.hpp"
 #include "util/check.hpp"
 #include "util/timer.hpp"
 
@@ -31,9 +32,9 @@ void DistributedScheduler::set_converter_budget(std::int32_t budget) {
   for (auto& port : ports_) port.set_converter_budget(budget);
 }
 
-template <typename RowFn>
+template <typename RowFn, typename BitsFn>
 void DistributedScheduler::schedule_slot_impl(
-    std::span<const SlotRequest> requests, RowFn&& row_of,
+    std::span<const SlotRequest> requests, RowFn&& row_of, BitsFn&& bits_of,
     const std::vector<HealthMask>* health, util::ThreadPool* pool,
     std::span<PortDecision> decisions, SlotBudget* budget) {
   const auto n_fibers = static_cast<std::size_t>(n_output_fibers());
@@ -49,6 +50,14 @@ void DistributedScheduler::schedule_slot_impl(
     return;
   }
 
+  // SoA mode (docs/ALGORITHMS.md §9): scatter 4-byte columns instead of
+  // 24-byte Request structs and feed each port the column-oriented
+  // schedule_batch_into. Decisions are identical either way (the batch path
+  // validates the same fields in the same order and runs the same kernels);
+  // faulted slots take the AoS path, whose per-fiber schedule_into composes
+  // with fault reduction — and still uses masked kernels on healthy fibers.
+  const bool soa = health == nullptr && simd_enabled();
+
   // Partition the slot's requests into the N destination subsets — a stable
   // counting sort into the reusable CSR arenas, so no request appears in two
   // subsets and arrival order within a fiber is preserved. Per-request field
@@ -59,10 +68,19 @@ void DistributedScheduler::schedule_slot_impl(
   {
     const obs::StageTimer partition_timer(telemetry_, obs::Stage::kPartition,
                                           trace_slot_);
-    fiber_offsets_.assign(n_fibers + 1, 0);
+    soa_.fiber_offsets.assign(n_fibers + 1, 0);
     for (std::size_t idx = 0; idx < requests.size(); ++idx) {
       const auto& r = requests[idx];
-      if (r.output_fiber < 0 || r.output_fiber >= n_output_fibers()) {
+      // One predicted branch per request on the all-valid fast path; the
+      // cold branch resolves the precise rejection in the documented order
+      // (output fiber, then fiber health, then priority).
+      const bool fiber_ok =
+          r.output_fiber >= 0 && r.output_fiber < n_output_fibers();
+      if (fiber_ok && health == nullptr && r.priority >= 0) {
+        soa_.fiber_offsets[static_cast<std::size_t>(r.output_fiber) + 1] += 1;
+        continue;
+      }
+      if (!fiber_ok) {
         decisions[idx] =
             PortDecision::reject(RejectReason::kInvalidOutputFiber);
         continue;
@@ -76,23 +94,35 @@ void DistributedScheduler::schedule_slot_impl(
         decisions[idx] = PortDecision::reject(RejectReason::kInvalidPriority);
         continue;
       }
-      fiber_offsets_[static_cast<std::size_t>(r.output_fiber) + 1] += 1;
+      soa_.fiber_offsets[static_cast<std::size_t>(r.output_fiber) + 1] += 1;
     }
     for (std::size_t fiber = 0; fiber < n_fibers; ++fiber) {
-      fiber_offsets_[fiber + 1] += fiber_offsets_[fiber];
+      soa_.fiber_offsets[fiber + 1] += soa_.fiber_offsets[fiber];
     }
-    flat_requests_.resize(fiber_offsets_[n_fibers]);
-    flat_origin_.resize(fiber_offsets_[n_fibers]);
-    csr_decisions_.resize(fiber_offsets_[n_fibers]);
-    fiber_cursor_.assign(fiber_offsets_.begin(), fiber_offsets_.end() - 1);
+    const std::size_t total = soa_.fiber_offsets[n_fibers];
+    if (soa) {
+      soa_.resize_entries(total);
+    } else {
+      flat_requests_.resize(total);
+      soa_.origin.resize(total);
+    }
+    csr_decisions_.resize(total);
+    fiber_cursor_.assign(soa_.fiber_offsets.begin(),
+                         soa_.fiber_offsets.end() - 1);
     for (std::size_t idx = 0; idx < requests.size(); ++idx) {
       if (decisions[idx].reason != RejectReason::kUndecided) continue;
       const auto& r = requests[idx];
       const std::size_t pos =
           fiber_cursor_[static_cast<std::size_t>(r.output_fiber)]++;
-      flat_requests_[pos] =
-          Request{r.input_fiber, r.wavelength, r.id, r.duration};
-      flat_origin_[pos] = idx;
+      soa_.origin[pos] = static_cast<std::uint32_t>(idx);
+      if (soa) {
+        soa_.wavelength[pos] = r.wavelength;
+        soa_.input_fiber[pos] = r.input_fiber;
+        soa_.duration[pos] = r.duration;
+      } else {
+        flat_requests_[pos] =
+            Request{r.input_fiber, r.wavelength, r.id, r.duration};
+      }
     }
   }
 
@@ -114,7 +144,7 @@ void DistributedScheduler::schedule_slot_impl(
             : 0;
     for (std::size_t i = 0; i < n_fibers; ++i) {
       const std::size_t fiber = (i + rot) % n_fibers;
-      if (fiber_offsets_[fiber] == fiber_offsets_[fiber + 1]) continue;
+      if (soa_.fiber_offsets[fiber] == soa_.fiber_offsets[fiber + 1]) continue;
       const bool degradable = ports_[fiber].degradable();
       const std::uint64_t exact_cost = degradable ? d * kk : kk;
       budget->ops_exact_estimate += exact_cost;
@@ -141,11 +171,10 @@ void DistributedScheduler::schedule_slot_impl(
   if (trace_fibers) fiber_events_.assign(n_fibers, obs::TraceEvent{});
 
   const auto schedule_fiber = [&](std::size_t fiber) {
-    const std::size_t lo = fiber_offsets_[fiber];
-    const std::size_t hi = fiber_offsets_[fiber + 1];
+    const std::size_t lo = soa_.fiber_offsets[fiber];
+    const std::size_t hi = soa_.fiber_offsets[fiber + 1];
     if (lo == hi) return;
     const std::uint64_t fiber_t0 = trace_fibers ? util::now_ns() : 0;
-    const std::span<const Request> batch{flat_requests_.data() + lo, hi - lo};
     const std::span<PortDecision> staged{csr_decisions_.data() + lo, hi - lo};
     const HealthMask* fiber_health =
         health != nullptr ? &(*health)[fiber] : nullptr;
@@ -157,17 +186,28 @@ void DistributedScheduler::schedule_slot_impl(
     }
     std::uint64_t granted = 0;
     try {
-      ports_[fiber].schedule_into(batch, row_of(fiber), fiber_health, staged,
-                                  degraded);
+      if (soa) {
+        ports_[fiber].schedule_batch_into(
+            std::span<const std::int32_t>{soa_.wavelength.data() + lo, hi - lo},
+            std::span<const std::int32_t>{soa_.input_fiber.data() + lo,
+                                          hi - lo},
+            std::span<const std::int32_t>{soa_.duration.data() + lo, hi - lo},
+            row_of(fiber), bits_of(fiber), staged, degraded);
+      } else {
+        const std::span<const Request> batch{flat_requests_.data() + lo,
+                                             hi - lo};
+        ports_[fiber].schedule_into(batch, row_of(fiber), fiber_health, staged,
+                                    degraded, bits_of(fiber));
+      }
       for (std::size_t i = 0; i < staged.size(); ++i) {
-        decisions[flat_origin_[lo + i]] = staged[i];
+        decisions[soa_.origin[lo + i]] = staged[i];
         if (staged[i].granted) granted += 1;
       }
     } catch (...) {
       // A kernel bug must not take the other fibers' grants down with it;
       // the fiber's requests are rejected and the fault shows up in metrics.
       for (std::size_t i = lo; i < hi; ++i) {
-        decisions[flat_origin_[i]] =
+        decisions[soa_.origin[i]] =
             PortDecision::reject(RejectReason::kInternalError);
       }
     }
@@ -227,7 +267,11 @@ std::vector<PortDecision> DistributedScheduler::schedule_slot(
                ? std::span<const std::uint8_t>((*availability)[fiber])
                : std::span<const std::uint8_t>{};
   };
-  schedule_slot_impl(requests, row_of, health, pool, decisions, nullptr);
+  const auto no_bits = [](std::size_t) {
+    return std::span<const std::uint64_t>{};
+  };
+  schedule_slot_impl(requests, row_of, no_bits, health, pool, decisions,
+                     nullptr);
   return decisions;
 }
 
@@ -249,7 +293,13 @@ void DistributedScheduler::schedule_slot_into(
                ? std::span<const std::uint8_t>{}
                : availability.row(static_cast<std::int32_t>(fiber));
   };
-  schedule_slot_impl(requests, row_of, health, pool, decisions, budget);
+  const auto bits_of = [&](std::size_t fiber) {
+    return availability.empty()
+               ? std::span<const std::uint64_t>{}
+               : availability.bits_row(static_cast<std::int32_t>(fiber));
+  };
+  schedule_slot_impl(requests, row_of, bits_of, health, pool, decisions,
+                     budget);
 }
 
 void DistributedScheduler::save_state(util::SnapshotWriter& w) const {

@@ -15,6 +15,7 @@
 #include "core/conversion.hpp"
 #include "core/request.hpp"
 #include "core/scheduler.hpp"
+#include "core/slot_batch.hpp"
 #include "obs/telemetry.hpp"
 #include "util/threadpool.hpp"
 
@@ -142,9 +143,11 @@ class DistributedScheduler {
 
  private:
   /// Shared core of both overloads: `row_of(fiber)` yields that fiber's
-  /// size-k mask (or an empty span for "all free").
-  template <typename RowFn>
+  /// size-k mask (or an empty span for "all free"), `bits_of(fiber)` the
+  /// packed bit row (or an empty span when the caller has no bit plane).
+  template <typename RowFn, typename BitsFn>
   void schedule_slot_impl(std::span<const SlotRequest> requests, RowFn&& row_of,
+                          BitsFn&& bits_of,
                           const std::vector<HealthMask>* health,
                           util::ThreadPool* pool,
                           std::span<PortDecision> decisions,
@@ -156,10 +159,13 @@ class DistributedScheduler {
   // Reusable per-slot scratch: CSR partition of the slot's requests into the
   // N destination subsets (stable counting sort keeps arrival order within a
   // fiber), plus per-fiber decision staging. Capacity persists across slots.
-  std::vector<std::size_t> fiber_offsets_;   // size N+1
-  std::vector<Request> flat_requests_;       // partitioned requests, CSR order
-  std::vector<std::size_t> flat_origin_;     // original index per CSR entry
-  std::vector<std::size_t> fiber_cursor_;    // fill cursors for the sort
+  // `soa_` holds the CSR offsets and origin column in both modes; its data
+  // columns are filled instead of `flat_requests_` when the masked/SoA path
+  // is enabled (healthy hardware + core/simd.hpp allows it), so the per-port
+  // hot loop touches 4-byte columns rather than 24-byte Request structs.
+  SlotBatchSoA soa_;
+  std::vector<Request> flat_requests_;       // partitioned requests, AoS mode
+  std::vector<std::uint32_t> fiber_cursor_;  // fill cursors for the sort
   std::vector<PortDecision> csr_decisions_;  // per-fiber results, CSR order
   std::vector<std::uint8_t> degrade_flags_;  // per-fiber degradation plan
 

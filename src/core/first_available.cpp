@@ -1,5 +1,6 @@
 #include "core/first_available.hpp"
 
+#include "core/wave_mask.hpp"
 #include "util/check.hpp"
 
 namespace wdm::core {
@@ -50,6 +51,49 @@ void first_available_into(const RequestVector& requests,
     // `w` is the first wavelength with a pending request. It is adjacent to
     // u iff its BEGIN value (w - e) has been reached; if it has not, no
     // pending wavelength is adjacent to u (BEGIN values only grow).
+    if (w - e <= u) {
+      WDM_DCHECK(scheme.can_convert(w, u));
+      out.source[static_cast<std::size_t>(u)] = w;
+      out.granted += 1;
+      remaining -= 1;
+    }
+  }
+}
+
+void first_available_masked_into(const RequestVector& requests,
+                                 const ConversionScheme& scheme,
+                                 std::span<const std::uint64_t> avail_words,
+                                 std::span<const std::uint64_t> nonempty_words,
+                                 ChannelAssignment& out) {
+  WDM_CHECK_MSG(scheme.kind() == ConversionKind::kNonCircular,
+                "first_available requires a non-circular scheme (Theorem 1); "
+                "use break_first_available for circular conversion");
+  WDM_CHECK_MSG(requests.k() == scheme.k(),
+                "request vector and scheme disagree on k");
+  const std::int32_t k = scheme.k();
+  WDM_DCHECK(avail_words.size() == mask_words(k));
+  WDM_DCHECK(nonempty_words.size() == mask_words(k));
+  const std::int32_t e = scheme.e();
+  const std::int32_t f = scheme.f();
+  const std::uint64_t* avail = avail_words.data();
+  const std::uint64_t* nonempty = nonempty_words.data();
+  out.reset(k);
+
+  // The scalar sweep's two pointers, with both no-op walks replaced by
+  // find-next-set jumps: the channel loop skips occupied channels (the
+  // scalar `continue`s on them) and the wavelength pointer skips empty
+  // wavelengths (the scalar steps through them without exiting its while —
+  // it only stops on a wavelength with remaining > 0 and w + f >= u, which
+  // is exactly where the jump lands). The grant sequence is identical.
+  Wavelength w = 0;
+  std::int32_t remaining = requests.count(0);
+  for (Channel u = find_next_set(avail, k, 0); u < k;
+       u = find_next_set(avail, k, u + 1)) {
+    while (w < k && (remaining == 0 || w + f < u)) {
+      w = find_next_set(nonempty, k, w + 1);
+      remaining = w < k ? requests.count(w) : 0;
+    }
+    if (w == k) break;
     if (w - e <= u) {
       WDM_DCHECK(scheme.can_convert(w, u));
       out.source[static_cast<std::size_t>(u)] = w;

@@ -35,4 +35,17 @@ void first_available_into(const RequestVector& requests,
                           std::span<const std::uint8_t> available,
                           ChannelAssignment& out);
 
+/// Masked variant of first_available_into, decision-for-decision identical:
+/// `avail_words` is the packed availability row (bit = 1 free, mask_words(k)
+/// words, tail zero; see core/wave_mask.hpp) and `nonempty_words` the packed
+/// nonempty-wavelength mask (bit w set iff requests.count(w) > 0). Both
+/// sweeps jump with countr_zero over exactly the iterations the scalar loop
+/// no-ops on — occupied channels and empty wavelengths — so the grant
+/// sequence, and therefore the assignment, is bit-identical.
+void first_available_masked_into(const RequestVector& requests,
+                                 const ConversionScheme& scheme,
+                                 std::span<const std::uint64_t> avail_words,
+                                 std::span<const std::uint64_t> nonempty_words,
+                                 ChannelAssignment& out);
+
 }  // namespace wdm::core

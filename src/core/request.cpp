@@ -18,23 +18,6 @@ RequestVector::RequestVector(std::initializer_list<std::int32_t> counts)
   }
 }
 
-std::int32_t RequestVector::count(Wavelength w) const {
-  WDM_CHECK(w >= 0 && w < k());
-  return counts_[static_cast<std::size_t>(w)];
-}
-
-void RequestVector::add(Wavelength w, std::int32_t n) {
-  WDM_CHECK(w >= 0 && w < k());
-  WDM_CHECK_MSG(n >= 0, "cannot add a negative number of requests");
-  counts_[static_cast<std::size_t>(w)] += n;
-  total_ += n;
-}
-
-void RequestVector::clear() noexcept {
-  counts_.assign(counts_.size(), 0);
-  total_ = 0;
-}
-
 Wavelength RequestVector::first_nonempty() const noexcept {
   for (Wavelength w = 0; w < k(); ++w) {
     if (counts_[static_cast<std::size_t>(w)] > 0) return w;

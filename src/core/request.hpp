@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/wavelength.hpp"
+#include "util/check.hpp"
 
 namespace wdm::core {
 
@@ -31,12 +32,27 @@ class RequestVector {
   RequestVector(std::initializer_list<std::int32_t> counts);
 
   std::int32_t k() const noexcept { return static_cast<std::int32_t>(counts_.size()); }
-  std::int32_t count(Wavelength w) const;
   std::int32_t total() const noexcept { return total_; }
   bool empty() const noexcept { return total_ == 0; }
 
-  void add(Wavelength w, std::int32_t n = 1);
-  void clear() noexcept;
+  // count/add/clear are the per-request inner operations of every kernel's
+  // hot loop, so they live in the header for inlining.
+  std::int32_t count(Wavelength w) const {
+    WDM_CHECK(w >= 0 && w < k());
+    return counts_[static_cast<std::size_t>(w)];
+  }
+
+  void add(Wavelength w, std::int32_t n = 1) {
+    WDM_CHECK(w >= 0 && w < k());
+    WDM_CHECK_MSG(n >= 0, "cannot add a negative number of requests");
+    counts_[static_cast<std::size_t>(w)] += n;
+    total_ += n;
+  }
+
+  void clear() noexcept {
+    counts_.assign(counts_.size(), 0);
+    total_ = 0;
+  }
 
   const std::vector<std::int32_t>& counts() const noexcept { return counts_; }
 

@@ -7,7 +7,9 @@
 #include "core/first_available.hpp"
 #include "core/full_range.hpp"
 #include "core/request_graph.hpp"
+#include "core/simd.hpp"
 #include "core/sparse_converters.hpp"
+#include "core/wave_mask.hpp"
 #include "graph/glover.hpp"
 #include "graph/greedy.hpp"
 #include "graph/hopcroft_karp.hpp"
@@ -79,7 +81,9 @@ OutputPortScheduler::OutputPortScheduler(ConversionScheme scheme,
       converter_budget_(scheme_.k()),
       rr_cursor_(static_cast<std::size_t>(scheme_.k()), 0),
       rv_scratch_(scheme_.k()),
-      assign_scratch_(scheme_.k()) {
+      assign_scratch_(scheme_.k()),
+      avail_bits_(mask_words(scheme_.k()), 0),
+      nonempty_bits_(mask_words(scheme_.k()), 0) {
   switch (algorithm_) {
     case Algorithm::kFirstAvailable:
     case Algorithm::kGlover:
@@ -251,11 +255,169 @@ std::vector<PortDecision> OutputPortScheduler::schedule(
   return decisions;
 }
 
-void OutputPortScheduler::schedule_into(std::span<const Request> requests,
-                                        std::span<const std::uint8_t> available,
-                                        const HealthMask* health,
-                                        std::span<PortDecision> decisions,
-                                        bool degraded) {
+bool OutputPortScheduler::use_masked_kernels() const noexcept {
+  if (!simd_enabled()) return false;
+  return algorithm_ == Algorithm::kFirstAvailable ||
+         algorithm_ == Algorithm::kBreakFirstAvailable ||
+         algorithm_ == Algorithm::kApproxBfa;
+}
+
+void OutputPortScheduler::masked_assign_channels_into(
+    const RequestVector& requests, std::span<const std::uint64_t> avail_words,
+    ChannelAssignment& out, bool degraded) {
+  const std::span<const std::uint64_t> nonempty(nonempty_bits_.data(),
+                                                nonempty_bits_.size());
+  switch (algorithm_) {
+    case Algorithm::kFirstAvailable:
+      first_available_masked_into(requests, scheme_, avail_words, nonempty,
+                                  out);
+      return;
+    case Algorithm::kBreakFirstAvailable:
+      if (degraded) {
+        approx_break_first_available_masked_into(requests, scheme_,
+                                                 avail_words, nonempty, out);
+        return;
+      }
+      break_first_available_masked_into(requests, scheme_, avail_words,
+                                        nonempty, pool_, bfa_scratch_, out);
+      return;
+    case Algorithm::kApproxBfa:
+      approx_break_first_available_masked_into(requests, scheme_, avail_words,
+                                               nonempty, out);
+      return;
+    default:
+      break;
+  }
+  util::check_failed("masked dispatch", __FILE__, __LINE__, "unreachable");
+}
+
+template <typename WaveFn>
+void OutputPortScheduler::arbitrate_into(std::size_t n_requests,
+                                         WaveFn&& wavelength_of,
+                                         std::span<PortDecision> decisions) {
+  const std::int32_t k = scheme_.k();
+  const ChannelAssignment& assignment = assign_scratch_;
+
+  // Channels won by each wavelength, in increasing channel order, laid out
+  // as CSR (counting sort over the assignment; stability keeps the channel
+  // order the nested-vector implementation produced).
+  const auto uw = [](std::int32_t x) { return static_cast<std::size_t>(x); };
+  if (assignment.granted == 0) {
+    // Nothing won: every surviving request is a capacity rejection.
+    for (auto& d : decisions) {
+      if (d.reason == RejectReason::kUndecided) {
+        d = PortDecision::reject(RejectReason::kNoChannel);
+      }
+    }
+    return;
+  }
+  won_offsets_.assign(uw(k) + 1, 0);
+  for (Channel v = 0; v < k; ++v) {
+    const Wavelength w = assignment.source[uw(v)];
+    if (w != kNone) won_offsets_[uw(w) + 1] += 1;
+  }
+  for (std::size_t w = 0; w < uw(k); ++w) {
+    won_offsets_[w + 1] += won_offsets_[w];
+  }
+  won_flat_.resize(won_offsets_[uw(k)]);
+  csr_cursor_.assign(won_offsets_.begin(), won_offsets_.end() - 1);
+  for (Channel v = 0; v < k; ++v) {
+    const Wavelength w = assignment.source[uw(v)];
+    if (w == kNone) continue;
+    won_flat_[csr_cursor_[uw(w)]++] = v;
+  }
+
+  if (arbitration_ == Arbitration::kFifo) {
+    // FIFO needs no per-wavelength member lists: the winners for wavelength
+    // w are the first grant-count surviving requests carrying w in arrival
+    // order, and they take w's won channels in increasing channel order —
+    // one pass over the requests with csr_cursor_ as the per-wavelength
+    // next-channel cursor reproduces the CSR path decision for decision.
+    csr_cursor_.assign(won_offsets_.begin(), won_offsets_.end() - 1);
+    for (std::size_t idx = 0; idx < n_requests; ++idx) {
+      if (decisions[idx].reason != RejectReason::kUndecided) continue;
+      const std::size_t w = uw(wavelength_of(idx));
+      auto& cursor = csr_cursor_[w];
+      if (cursor < won_offsets_[w + 1]) {
+        decisions[idx] = PortDecision::grant(won_flat_[cursor++]);
+      } else {
+        decisions[idx] = PortDecision::reject(RejectReason::kNoChannel);
+      }
+    }
+    return;
+  }
+
+  // Competing request indices per wavelength, in arrival (input) order —
+  // again a stable counting sort. Malformed requests were rejected above
+  // and never compete.
+  member_offsets_.assign(uw(k) + 1, 0);
+  for (std::size_t idx = 0; idx < n_requests; ++idx) {
+    if (decisions[idx].reason != RejectReason::kUndecided) continue;
+    member_offsets_[uw(wavelength_of(idx)) + 1] += 1;
+  }
+  for (std::size_t w = 0; w < uw(k); ++w) {
+    member_offsets_[w + 1] += member_offsets_[w];
+  }
+  member_flat_.resize(member_offsets_[uw(k)]);
+  csr_cursor_.assign(member_offsets_.begin(), member_offsets_.end() - 1);
+  for (std::size_t idx = 0; idx < n_requests; ++idx) {
+    if (decisions[idx].reason != RejectReason::kUndecided) continue;
+    member_flat_[csr_cursor_[uw(wavelength_of(idx))]++] =
+        static_cast<std::uint32_t>(idx);
+  }
+
+  for (Wavelength w = 0; w < k; ++w) {
+    const std::size_t won_lo = won_offsets_[uw(w)];
+    const std::size_t won_hi = won_offsets_[uw(w) + 1];
+    if (won_lo == won_hi) continue;
+    const std::size_t n_won = won_hi - won_lo;
+    const std::span<std::uint32_t> group{
+        member_flat_.data() + member_offsets_[uw(w)],
+        member_offsets_[uw(w) + 1] - member_offsets_[uw(w)]};
+    WDM_DCHECK(n_won <= group.size());
+
+    // Arbitration: choose |won| winners among the group (Section III:
+    // "a random selecting or a round-robin scheduling procedure").
+    switch (arbitration_) {
+      case Arbitration::kFifo:
+        for (std::size_t t = 0; t < n_won; ++t) {
+          decisions[group[t]] = PortDecision::grant(won_flat_[won_lo + t]);
+        }
+        break;
+      case Arbitration::kRoundRobin: {
+        auto& cursor = rr_cursor_[uw(w)];
+        const std::size_t n = group.size();
+        for (std::size_t t = 0; t < n_won; ++t) {
+          decisions[group[(cursor + t) % n]] =
+              PortDecision::grant(won_flat_[won_lo + t]);
+        }
+        cursor = static_cast<std::uint32_t>((cursor + n_won) % n);
+        break;
+      }
+      case Arbitration::kRandom: {
+        // Rng::shuffle draws depend only on the group length, so the
+        // narrower uint32 elements leave the winner sequence unchanged.
+        rng_.shuffle(group);
+        for (std::size_t t = 0; t < n_won; ++t) {
+          decisions[group[t]] = PortDecision::grant(won_flat_[won_lo + t]);
+        }
+        break;
+      }
+    }
+  }
+  // Everything still undecided competed and lost: an explicit capacity
+  // rejection, so no decision ever leaves here as kUndecided.
+  for (auto& d : decisions) {
+    if (!d.granted && d.reason == RejectReason::kUndecided) {
+      d = PortDecision::reject(RejectReason::kNoChannel);
+    }
+  }
+}
+
+void OutputPortScheduler::schedule_into(
+    std::span<const Request> requests, std::span<const std::uint8_t> available,
+    const HealthMask* health, std::span<PortDecision> decisions, bool degraded,
+    std::span<const std::uint64_t> avail_bits) {
   WDM_CHECK_MSG(decisions.size() == requests.size(),
                 "one decision slot per request");
   const std::int32_t k = scheme_.k();
@@ -290,6 +452,8 @@ void OutputPortScheduler::schedule_into(std::span<const Request> requests,
     if (health->all_healthy()) health = nullptr;
   }
 
+  const bool masked = health == nullptr && use_masked_kernels();
+  if (masked) mask_zero(nonempty_bits_.data(), k);
   rv_scratch_.clear();
   for (std::size_t idx = 0; idx < requests.size(); ++idx) {
     const RejectReason reason = validate_request(requests[idx], k);
@@ -298,99 +462,92 @@ void OutputPortScheduler::schedule_into(std::span<const Request> requests,
       continue;
     }
     rv_scratch_.add(requests[idx].wavelength);
+    if (masked) mask_set(nonempty_bits_.data(), requests[idx].wavelength);
   }
 
   if (health != nullptr) {
     // Fault reduction allocates; degraded slots are rare, so this path is
     // deliberately outside the zero-allocation contract.
     assign_scratch_ = assign_channels(rv_scratch_, available, *health, degraded);
+  } else if (masked) {
+    const std::size_t words = mask_words(k);
+    std::span<const std::uint64_t> avail_words = avail_bits;
+    if (avail_words.size() != words) {
+      pack_availability(available, k, avail_bits_.data());
+      avail_words = std::span<const std::uint64_t>(avail_bits_.data(), words);
+    }
+    masked_assign_channels_into(rv_scratch_, avail_words, assign_scratch_,
+                                degraded);
   } else {
     assign_channels_into(rv_scratch_, available, assign_scratch_, degraded);
   }
-  const ChannelAssignment& assignment = assign_scratch_;
 
-  // Channels won by each wavelength, in increasing channel order, laid out
-  // as CSR (counting sort over the assignment; stability keeps the channel
-  // order the nested-vector implementation produced).
-  const auto uw = [](std::int32_t x) { return static_cast<std::size_t>(x); };
-  won_offsets_.assign(uw(k) + 1, 0);
-  for (Channel v = 0; v < k; ++v) {
-    const Wavelength w = assignment.source[uw(v)];
-    if (w != kNone) won_offsets_[uw(w) + 1] += 1;
-  }
-  for (std::size_t w = 0; w < uw(k); ++w) {
-    won_offsets_[w + 1] += won_offsets_[w];
-  }
-  won_flat_.resize(won_offsets_[uw(k)]);
-  csr_cursor_.assign(won_offsets_.begin(), won_offsets_.end() - 1);
-  for (Channel v = 0; v < k; ++v) {
-    const Wavelength w = assignment.source[uw(v)];
-    if (w == kNone) continue;
-    won_flat_[csr_cursor_[uw(w)]++] = v;
-  }
+  arbitrate_into(
+      requests.size(),
+      [&requests](std::size_t idx) { return requests[idx].wavelength; },
+      decisions);
+}
 
-  // Competing request indices per wavelength, in arrival (input) order —
-  // again a stable counting sort. Malformed requests were rejected above
-  // and never compete.
-  member_offsets_.assign(uw(k) + 1, 0);
-  for (std::size_t idx = 0; idx < requests.size(); ++idx) {
-    if (decisions[idx].reason != RejectReason::kUndecided) continue;
-    member_offsets_[uw(requests[idx].wavelength) + 1] += 1;
-  }
-  for (std::size_t w = 0; w < uw(k); ++w) {
-    member_offsets_[w + 1] += member_offsets_[w];
-  }
-  member_flat_.resize(member_offsets_[uw(k)]);
-  csr_cursor_.assign(member_offsets_.begin(), member_offsets_.end() - 1);
-  for (std::size_t idx = 0; idx < requests.size(); ++idx) {
-    if (decisions[idx].reason != RejectReason::kUndecided) continue;
-    member_flat_[csr_cursor_[uw(requests[idx].wavelength)]++] = idx;
+void OutputPortScheduler::schedule_batch_into(
+    std::span<const std::int32_t> wavelengths,
+    std::span<const std::int32_t> input_fibers,
+    std::span<const std::int32_t> durations,
+    std::span<const std::uint8_t> available,
+    std::span<const std::uint64_t> avail_bits,
+    std::span<PortDecision> decisions, bool degraded) {
+  WDM_CHECK_MSG(decisions.size() == wavelengths.size() &&
+                    input_fibers.size() == wavelengths.size() &&
+                    durations.size() == wavelengths.size(),
+                "one decision slot per request and equal column lengths");
+  const std::int32_t k = scheme_.k();
+  std::fill(decisions.begin(), decisions.end(), PortDecision{});
+  if (!available.empty() &&
+      static_cast<std::int32_t>(available.size()) != k) {
+    for (auto& d : decisions) {
+      d = PortDecision::reject(RejectReason::kBadAvailabilityMask);
+    }
+    return;
   }
 
-  for (Wavelength w = 0; w < k; ++w) {
-    const std::size_t won_lo = won_offsets_[uw(w)];
-    const std::size_t won_hi = won_offsets_[uw(w) + 1];
-    if (won_lo == won_hi) continue;
-    const std::size_t n_won = won_hi - won_lo;
-    const std::span<std::size_t> group{
-        member_flat_.data() + member_offsets_[uw(w)],
-        member_offsets_[uw(w) + 1] - member_offsets_[uw(w)]};
-    WDM_DCHECK(n_won <= group.size());
-
-    // Arbitration: choose |won| winners among the group (Section III:
-    // "a random selecting or a round-robin scheduling procedure").
-    switch (arbitration_) {
-      case Arbitration::kFifo:
-        for (std::size_t t = 0; t < n_won; ++t) {
-          decisions[group[t]] = PortDecision::grant(won_flat_[won_lo + t]);
-        }
-        break;
-      case Arbitration::kRoundRobin: {
-        auto& cursor = rr_cursor_[uw(w)];
-        const std::size_t n = group.size();
-        for (std::size_t t = 0; t < n_won; ++t) {
-          decisions[group[(cursor + t) % n]] =
-              PortDecision::grant(won_flat_[won_lo + t]);
-        }
-        cursor = static_cast<std::uint32_t>((cursor + n_won) % n);
-        break;
-      }
-      case Arbitration::kRandom: {
-        rng_.shuffle(group);
-        for (std::size_t t = 0; t < n_won; ++t) {
-          decisions[group[t]] = PortDecision::grant(won_flat_[won_lo + t]);
-        }
-        break;
-      }
+  const bool masked = use_masked_kernels();
+  if (masked) mask_zero(nonempty_bits_.data(), k);
+  rv_scratch_.clear();
+  for (std::size_t idx = 0; idx < wavelengths.size(); ++idx) {
+    // Column validation in the exact field order of validate_request, so
+    // the rejection reasons match the AoS path field for field. The accept
+    // test is a single predicted branch; the cold path walks the fields in
+    // order to name the reason.
+    const std::int32_t w = wavelengths[idx];
+    if (w >= 0 && w < k && input_fibers[idx] >= 0 && durations[idx] >= 1) {
+      rv_scratch_.add(w);
+      if (masked) mask_set(nonempty_bits_.data(), w);
+      continue;
+    }
+    if (w < 0 || w >= k) {
+      decisions[idx] = PortDecision::reject(RejectReason::kInvalidWavelength);
+    } else if (input_fibers[idx] < 0) {
+      decisions[idx] = PortDecision::reject(RejectReason::kInvalidInputFiber);
+    } else {
+      decisions[idx] = PortDecision::reject(RejectReason::kInvalidDuration);
     }
   }
-  // Everything still undecided competed and lost: an explicit capacity
-  // rejection, so no decision ever leaves here as kUndecided.
-  for (auto& d : decisions) {
-    if (!d.granted && d.reason == RejectReason::kUndecided) {
-      d = PortDecision::reject(RejectReason::kNoChannel);
+
+  if (masked) {
+    const std::size_t words = mask_words(k);
+    std::span<const std::uint64_t> avail_words = avail_bits;
+    if (avail_words.size() != words) {
+      pack_availability(available, k, avail_bits_.data());
+      avail_words = std::span<const std::uint64_t>(avail_bits_.data(), words);
     }
+    masked_assign_channels_into(rv_scratch_, avail_words, assign_scratch_,
+                                degraded);
+  } else {
+    assign_channels_into(rv_scratch_, available, assign_scratch_, degraded);
   }
+
+  arbitrate_into(
+      wavelengths.size(),
+      [&wavelengths](std::size_t idx) { return wavelengths[idx]; }, decisions);
 }
 
 void OutputPortScheduler::save_state(util::SnapshotWriter& w) const {

@@ -170,11 +170,29 @@ class OutputPortScheduler {
   /// are warm (healthy hardware; the fault-reduction path still allocates).
   /// `degraded` downgrades a degradable() kernel to its O(k) approximation
   /// (deadline-bounded degradation; composes with `health`).
+  /// `avail_bits`, if sized mask_words(k), is the packed form of `available`
+  /// (core/wave_mask.hpp layout) and lets the masked kernels skip the
+  /// per-call byte→bit packing; any other size is ignored and the bytes are
+  /// packed locally. Purely a fast path — decisions are unchanged.
   void schedule_into(std::span<const Request> requests,
                      std::span<const std::uint8_t> available,
                      const HealthMask* health,
                      std::span<PortDecision> decisions,
-                     bool degraded = false);
+                     bool degraded = false,
+                     std::span<const std::uint64_t> avail_bits = {});
+
+  /// Column-oriented schedule_into for the SoA slot batch (healthy hardware
+  /// only — fault reduction goes through schedule_into): one decision per
+  /// column entry, validation in the exact validate_request field order, so
+  /// decisions are bit-identical to schedule_into over the equivalent AoS
+  /// requests. Works in both scalar and masked kernel modes.
+  void schedule_batch_into(std::span<const std::int32_t> wavelengths,
+                           std::span<const std::int32_t> input_fibers,
+                           std::span<const std::int32_t> durations,
+                           std::span<const std::uint8_t> available,
+                           std::span<const std::uint64_t> avail_bits,
+                           std::span<PortDecision> decisions,
+                           bool degraded = false);
 
   /// Checkpoint of the port's mutable scheduling state (arbitration RNG and
   /// round-robin cursors — everything a replay needs beyond the config).
@@ -182,6 +200,22 @@ class OutputPortScheduler {
   void restore_state(util::SnapshotReader& r);
 
  private:
+  /// Whether this port's kernel has a masked (word-at-a-time) variant and
+  /// the process-wide SIMD mode allows using it (core/simd.hpp).
+  bool use_masked_kernels() const noexcept;
+  /// Masked-kernel dispatch (nonempty_bits_ must already reflect the
+  /// request vector). Only called when use_masked_kernels() is true.
+  void masked_assign_channels_into(const RequestVector& requests,
+                                   std::span<const std::uint64_t> avail_words,
+                                   ChannelAssignment& out, bool degraded);
+  /// Shared arbitration tail of schedule_into / schedule_batch_into:
+  /// counting-sort CSR over assign_scratch_ and the undecided entries, then
+  /// per-wavelength FIFO / round-robin / random winner selection.
+  /// `wavelength_of(idx)` must return the wavelength of request `idx`.
+  template <typename WaveFn>
+  void arbitrate_into(std::size_t n_requests, WaveFn&& wavelength_of,
+                      std::span<PortDecision> decisions);
+
   ConversionScheme scheme_;
   Algorithm algorithm_;
   Arbitration arbitration_;
@@ -197,12 +231,18 @@ class OutputPortScheduler {
   BfaScratch bfa_scratch_;
   // CSR (counting-sort) layout of the arbitration inputs: channels won per
   // wavelength in increasing channel order, and competing request indices
-  // per wavelength in arrival order.
-  std::vector<std::size_t> won_offsets_;     // size k+1
+  // per wavelength in arrival order. uint32 throughout — per-slot per-port
+  // counts are far below 2^32 and the narrower columns halve the scatter
+  // traffic of the counting sorts.
+  std::vector<std::uint32_t> won_offsets_;     // size k+1
   std::vector<Channel> won_flat_;
-  std::vector<std::size_t> member_offsets_;  // size k+1
-  std::vector<std::size_t> member_flat_;
-  std::vector<std::size_t> csr_cursor_;      // fill cursors for both sorts
+  std::vector<std::uint32_t> member_offsets_;  // size k+1
+  std::vector<std::uint32_t> member_flat_;
+  std::vector<std::uint32_t> csr_cursor_;      // fill cursors for both sorts
+  // Packed bit scratch for the masked kernels (core/wave_mask.hpp layout),
+  // sized mask_words(k) each.
+  std::vector<std::uint64_t> avail_bits_;
+  std::vector<std::uint64_t> nonempty_bits_;
 };
 
 }  // namespace wdm::core

@@ -1,0 +1,34 @@
+#include "core/wave_mask.hpp"
+
+#include "core/simd.hpp"
+
+namespace wdm::core {
+
+namespace {
+
+void pack_portable(const std::uint8_t* bytes, std::int32_t k,
+                   std::uint64_t* words) noexcept {
+  mask_zero(words, k);
+  for (std::int32_t i = 0; i < k; ++i) {
+    if (bytes[static_cast<std::size_t>(i)] != 0) mask_set(words, i);
+  }
+}
+
+}  // namespace
+
+void pack_availability(std::span<const std::uint8_t> bytes, std::int32_t k,
+                       std::uint64_t* words) noexcept {
+  if (bytes.empty()) {
+    mask_fill(words, k);
+    return;
+  }
+#ifdef WDM_HAVE_AVX2_TU
+  if (avx2_available()) {
+    pack_availability_avx2(bytes.data(), k, words);
+    return;
+  }
+#endif
+  pack_portable(bytes.data(), k, words);
+}
+
+}  // namespace wdm::core

@@ -1,0 +1,36 @@
+// AVX2 back-end for availability-row packing. This translation unit is the
+// only one compiled with -mavx2 (see src/core/CMakeLists.txt); callers reach
+// it through pack_availability()'s runtime cpu-support dispatch, so the
+// binary still runs on non-AVX2 hosts.
+#include "core/wave_mask.hpp"
+
+#ifdef WDM_HAVE_AVX2_TU
+
+#include <immintrin.h>
+
+namespace wdm::core {
+
+void pack_availability_avx2(const std::uint8_t* bytes, std::int32_t k,
+                            std::uint64_t* words) noexcept {
+  mask_zero(words, k);
+  const __m256i zero = _mm256_setzero_si256();
+  std::int32_t i = 0;
+  for (; i + 32 <= k; i += 32) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(bytes + i));
+    // movemask of (byte == 0) is the busy bits; the free bits are its
+    // complement. The tail invariant holds because i+32 <= k here.
+    const auto busy = static_cast<std::uint32_t>(
+        _mm256_movemask_epi8(_mm256_cmpeq_epi8(v, zero)));
+    const std::uint64_t free_bits = static_cast<std::uint32_t>(~busy);
+    words[static_cast<std::size_t>(i) >> 6] |=
+        free_bits << (static_cast<std::uint32_t>(i) & 63);
+  }
+  for (; i < k; ++i) {
+    if (bytes[static_cast<std::size_t>(i)] != 0) mask_set(words, i);
+  }
+}
+
+}  // namespace wdm::core
+
+#endif  // WDM_HAVE_AVX2_TU

@@ -80,6 +80,14 @@ std::vector<SlotStats> replay_from(const Trace& trace,
   WDM_CHECK_MSG(trace.n_fibers == interconnect.n_fibers() &&
                     trace.k == interconnect.k(),
                 "trace geometry does not match the interconnect");
+  // A wall-clock slot deadline makes degradation decisions depend on the
+  // replaying machine's clock, so the replay would silently diverge from
+  // the recorded run. Fail fast instead: replays need the deterministic
+  // op-count budget (degrade.op_budget), not the wall-clock rung.
+  WDM_CHECK_MSG(interconnect.config().degrade.slot_deadline_ns == 0,
+                "replay_from requires a deterministic interconnect: a "
+                "wall-clock slot deadline (degrade.slot_deadline_ns) makes "
+                "degradation nondeterministic — use the op-count budget");
   WDM_CHECK_MSG(first_slot <= trace.slots.size(),
                 "replay start is past the end of the trace");
   std::vector<SlotStats> stats;

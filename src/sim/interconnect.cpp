@@ -1,7 +1,9 @@
 #include "sim/interconnect.hpp"
 
 #include <algorithm>
+#include <bit>
 
+#include "core/wave_mask.hpp"
 #include "util/check.hpp"
 #include "util/timer.hpp"
 
@@ -38,39 +40,71 @@ Interconnect::Interconnect(InterconnectConfig config)
     admission_ =
         std::make_unique<AdmissionControl>(config_.n_fibers, config_.admission);
   }
-  out_state_.assign(
-      static_cast<std::size_t>(config_.n_fibers),
-      std::vector<ChannelState>(static_cast<std::size_t>(k())));
-  const auto n_input_channels = static_cast<std::size_t>(config_.n_fibers) *
-                                static_cast<std::size_t>(k());
-  avail_.assign(n_input_channels, 1);  // N*k output plane, all channels free
-  input_remaining_.assign(n_input_channels, 0);
+  const auto n_channels = static_cast<std::size_t>(config_.n_fibers) *
+                          static_cast<std::size_t>(k());
+  out_remaining_.assign(n_channels, 0);
+  out_input_fiber_.assign(n_channels, core::kNone);
+  out_wavelength_.assign(n_channels, core::kNone);
+  out_id_.assign(n_channels, 0);
+  avail_.assign(n_channels, 1);  // N*k output plane, all channels free
+  const std::size_t wpf = core::mask_words(k());
+  avail_bits_.assign(static_cast<std::size_t>(config_.n_fibers) * wpf, 0);
+  for (std::int32_t fiber = 0; fiber < config_.n_fibers; ++fiber) {
+    core::mask_fill(avail_bits_.data() + static_cast<std::size_t>(fiber) * wpf,
+                    k());
+  }
+  input_remaining_.assign(n_channels, 0);
   last_fiber_grants_.assign(static_cast<std::size_t>(config_.n_fibers), 0);
 }
 
 std::uint64_t Interconnect::busy_output_channels() const noexcept {
-  // The flat plane mirrors out_state_ occupancy, and scanning one byte per
-  // channel beats striding the 24-byte state structs.
-  std::uint64_t busy = 0;
-  for (const auto a : avail_) busy += a == 0 ? 1u : 0u;
-  return busy;
+  // busy = Nk − free, one popcount per mask word of the maintained bit plane.
+  std::int32_t free_channels = 0;
+  const std::size_t wpf = core::mask_words(k());
+  for (std::int32_t fiber = 0; fiber < config_.n_fibers; ++fiber) {
+    free_channels += core::mask_popcount(
+        avail_bits_.data() + static_cast<std::size_t>(fiber) * wpf, k());
+  }
+  return static_cast<std::uint64_t>(config_.n_fibers) *
+             static_cast<std::uint64_t>(k()) -
+         static_cast<std::uint64_t>(free_channels);
 }
 
 void Interconnect::age_connections() {
-  const auto kk = static_cast<std::size_t>(k());
-  for (std::size_t fiber = 0; fiber < out_state_.size(); ++fiber) {
-    for (std::size_t u = 0; u < out_state_[fiber].size(); ++u) {
-      if (avail_[fiber * kk + u] != 0) continue;  // free, nothing to age
-      auto& ch = out_state_[fiber][u];
-      ch.remaining -= 1;
-      if (ch.remaining == 0) {
-        ch = ChannelState{};
-        avail_[fiber * kk + u] = 1;
+  const std::int32_t kk = k();
+  const std::size_t wpf = core::mask_words(kk);
+  // Branchless decrement sweep over the whole SoA remaining column (the
+  // compiler vectorizes it), collecting the channels that just expired into
+  // a per-word bitmask; only those take the scattered release writes.
+  for (std::int32_t fiber = 0; fiber < config_.n_fibers; ++fiber) {
+    const std::size_t base =
+        static_cast<std::size_t>(fiber) * static_cast<std::size_t>(kk);
+    std::uint64_t* bits =
+        avail_bits_.data() + static_cast<std::size_t>(fiber) * wpf;
+    for (std::size_t wi = 0; wi < wpf; ++wi) {
+      const std::size_t lo = wi << 6;
+      const std::size_t lanes =
+          std::min<std::size_t>(64, static_cast<std::size_t>(kk) - lo);
+      std::uint64_t freed = 0;
+      for (std::size_t b = 0; b < lanes; ++b) {
+        const std::int32_t r = out_remaining_[base + lo + b];
+        out_remaining_[base + lo + b] = r - (r > 0 ? 1 : 0);
+        freed |= static_cast<std::uint64_t>(r == 1) << b;
+      }
+      bits[wi] |= freed;
+      while (freed != 0) {
+        const int b = std::countr_zero(freed);
+        freed &= freed - 1;
+        const std::size_t i = base + lo + static_cast<std::size_t>(b);
+        out_input_fiber_[i] = core::kNone;
+        out_wavelength_[i] = core::kNone;
+        out_id_[i] = 0;
+        avail_[i] = 1;
       }
     }
   }
   for (auto& remaining : input_remaining_) {
-    if (remaining > 0) remaining -= 1;
+    remaining -= remaining > 0 ? 1 : 0;
   }
 }
 
@@ -94,14 +128,18 @@ void Interconnect::release_input(std::int32_t input_fiber,
 void Interconnect::occupy(std::int32_t output_fiber, core::Channel channel,
                           const core::SlotRequest& request,
                           std::int32_t remaining) {
-  auto& ch = out_state_[static_cast<std::size_t>(output_fiber)]
-                       [static_cast<std::size_t>(channel)];
-  WDM_CHECK_MSG(ch.remaining == 0, "granted channel is already occupied");
-  ch = ChannelState{remaining, request.input_fiber, request.wavelength,
-                    request.id};
-  avail_[static_cast<std::size_t>(output_fiber) *
-             static_cast<std::size_t>(k()) +
-         static_cast<std::size_t>(channel)] = 0;
+  const std::size_t i = static_cast<std::size_t>(output_fiber) *
+                            static_cast<std::size_t>(k()) +
+                        static_cast<std::size_t>(channel);
+  WDM_CHECK_MSG(out_remaining_[i] == 0, "granted channel is already occupied");
+  out_remaining_[i] = remaining;
+  out_input_fiber_[i] = request.input_fiber;
+  out_wavelength_[i] = request.wavelength;
+  out_id_[i] = request.id;
+  avail_[i] = 0;
+  core::mask_clear(avail_bits_.data() + static_cast<std::size_t>(output_fiber) *
+                                            core::mask_words(k()),
+                   channel);
   const std::size_t in = static_cast<std::size_t>(request.input_fiber) *
                              static_cast<std::size_t>(k()) +
                          static_cast<std::size_t>(request.wavelength);
@@ -109,12 +147,13 @@ void Interconnect::occupy(std::int32_t output_fiber, core::Channel channel,
 }
 
 std::vector<std::vector<std::uint8_t>> Interconnect::availability() const {
+  const auto kk = static_cast<std::size_t>(k());
   std::vector<std::vector<std::uint8_t>> masks(
       static_cast<std::size_t>(config_.n_fibers),
-      std::vector<std::uint8_t>(static_cast<std::size_t>(k()), 1));
-  for (std::size_t fiber = 0; fiber < out_state_.size(); ++fiber) {
-    for (std::size_t ch = 0; ch < out_state_[fiber].size(); ++ch) {
-      if (out_state_[fiber][ch].remaining > 0) masks[fiber][ch] = 0;
+      std::vector<std::uint8_t>(kk, 1));
+  for (std::size_t fiber = 0; fiber < masks.size(); ++fiber) {
+    for (std::size_t ch = 0; ch < kk; ++ch) {
+      if (out_remaining_[fiber * kk + ch] > 0) masks[fiber][ch] = 0;
     }
   }
   return masks;
@@ -122,11 +161,13 @@ std::vector<std::vector<std::uint8_t>> Interconnect::availability() const {
 
 void Interconnect::teardown_faulted(
     const std::vector<core::HealthMask>& health, SlotStats& stats) {
-  for (std::size_t fiber = 0; fiber < out_state_.size(); ++fiber) {
+  const auto kk = static_cast<std::size_t>(k());
+  const std::size_t wpf = core::mask_words(k());
+  for (std::size_t fiber = 0; fiber < health.size(); ++fiber) {
     const auto& mask = health[fiber];
-    for (std::size_t u = 0; u < out_state_[fiber].size(); ++u) {
-      auto& ch = out_state_[fiber][u];
-      if (ch.remaining == 0) continue;
+    for (std::size_t u = 0; u < kk; ++u) {
+      const std::size_t i = fiber * kk + u;
+      if (out_remaining_[i] == 0) continue;
       const auto channel_health = mask.channel(static_cast<core::Channel>(u));
       // A converter fault only kills connections that are actually
       // converting; a straight-through connection (wavelength == channel)
@@ -135,12 +176,17 @@ void Interconnect::teardown_faulted(
           mask.fiber_faulted ||
           channel_health == core::ChannelHealth::kChannelFaulted ||
           (channel_health == core::ChannelHealth::kConverterFaulted &&
-           ch.wavelength != static_cast<core::Wavelength>(u));
+           out_wavelength_[i] != static_cast<core::Wavelength>(u));
       if (!dead) continue;
       stats.dropped_faulted += 1;
-      release_input(ch.input_fiber, ch.wavelength);
-      ch = ChannelState{};
-      avail_[fiber * static_cast<std::size_t>(k()) + u] = 1;
+      release_input(out_input_fiber_[i], out_wavelength_[i]);
+      out_remaining_[i] = 0;
+      out_input_fiber_[i] = core::kNone;
+      out_wavelength_[i] = core::kNone;
+      out_id_[i] = 0;
+      avail_[i] = 1;
+      core::mask_set(avail_bits_.data() + fiber * wpf,
+                     static_cast<std::int32_t>(u));
     }
   }
 }
@@ -188,6 +234,74 @@ void Interconnect::count_rejection(const core::SlotRequest& request,
 
 SlotStats Interconnect::step(std::span<const core::SlotRequest> arrivals,
                              util::ThreadPool* pool) {
+  return step_impl(arrivals, pool, nullptr);
+}
+
+SlotStats Interconnect::step_batch(
+    std::span<const std::vector<core::SlotRequest>> slots,
+    util::ThreadPool* pool, std::span<SlotStats> per_slot) {
+  WDM_CHECK_MSG(per_slot.empty() || per_slot.size() == slots.size(),
+                "per_slot must be empty or one entry per slot");
+  // One-pass branchless pre-validation of the whole window. Same predicate,
+  // same outcome per request as the inline check in schedule_new_arrivals —
+  // only the control flow is hoisted out of the per-slot loop.
+  std::size_t total = 0;
+  for (const auto& s : slots) total += s.size();
+  batch_flags_.resize(total);
+  const std::int32_t n = config_.n_fibers;
+  const std::int32_t kk = k();
+  std::size_t pos = 0;
+  for (const auto& s : slots) {
+    for (const auto& r : s) {
+      batch_flags_[pos++] = static_cast<std::uint8_t>(
+          static_cast<int>(r.input_fiber >= 0) &
+          static_cast<int>(r.input_fiber < n) &
+          static_cast<int>(r.output_fiber >= 0) &
+          static_cast<int>(r.output_fiber < n) &
+          static_cast<int>(r.wavelength >= 0) &
+          static_cast<int>(r.wavelength < kk) &
+          static_cast<int>(r.duration >= 1) &
+          static_cast<int>(r.priority >= 0));
+    }
+  }
+
+  SlotStats sum;
+  std::size_t offset = 0;
+  for (std::size_t s = 0; s < slots.size(); ++s) {
+    const SlotStats stats =
+        step_impl(slots[s], pool, batch_flags_.data() + offset);
+    offset += slots[s].size();
+    sum.arrivals += stats.arrivals;
+    sum.granted += stats.granted;
+    sum.rejected += stats.rejected;
+    sum.rejected_malformed += stats.rejected_malformed;
+    sum.rejected_faulted += stats.rejected_faulted;
+    sum.shed_overload += stats.shed_overload;
+    sum.deferred_faulted += stats.deferred_faulted;
+    sum.deferred_overload += stats.deferred_overload;
+    sum.ingress_releases += stats.ingress_releases;
+    sum.degraded_ports += stats.degraded_ports;
+    sum.retry_attempts += stats.retry_attempts;
+    sum.retry_successes += stats.retry_successes;
+    sum.preempted += stats.preempted;
+    sum.dropped_faulted += stats.dropped_faulted;
+    sum.busy_channels = stats.busy_channels;  // last slot's occupancy
+    if (stats.arrivals_per_class.size() > sum.arrivals_per_class.size()) {
+      sum.arrivals_per_class.resize(stats.arrivals_per_class.size(), 0);
+      sum.granted_per_class.resize(stats.granted_per_class.size(), 0);
+    }
+    for (std::size_t c = 0; c < stats.arrivals_per_class.size(); ++c) {
+      sum.arrivals_per_class[c] += stats.arrivals_per_class[c];
+      sum.granted_per_class[c] += stats.granted_per_class[c];
+    }
+    if (!per_slot.empty()) per_slot[s] = stats;
+  }
+  return sum;
+}
+
+SlotStats Interconnect::step_impl(std::span<const core::SlotRequest> arrivals,
+                                  util::ThreadPool* pool,
+                                  const std::uint8_t* valid_flags) {
   const bool trace_slots =
       telemetry_ != nullptr && telemetry_->at(obs::TraceDetail::kSlots);
   const std::uint64_t step_t0 = trace_slots ? util::now_ns() : 0;
@@ -227,9 +341,9 @@ SlotStats Interconnect::step(std::span<const core::SlotRequest> arrivals,
     budget_ptr = &budget;
   }
   if (config_.policy == OccupiedPolicy::kNoDisturb) {
-    step_no_disturb(arrivals, health, pool, stats, budget_ptr);
+    step_no_disturb(arrivals, health, pool, stats, budget_ptr, valid_flags);
   } else {
-    step_rearrange(arrivals, health, pool, stats, budget_ptr);
+    step_rearrange(arrivals, health, pool, stats, budget_ptr, valid_flags);
   }
   if (budget_ptr != nullptr) {
     stats.degraded_ports = static_cast<std::uint64_t>(budget.degraded_ports);
@@ -242,13 +356,18 @@ SlotStats Interconnect::step(std::span<const core::SlotRequest> arrivals,
   }
   slot_ += 1;
 #ifndef NDEBUG
-  // The incrementally maintained plane must agree with a from-scratch
-  // rebuild after every step (debug builds only; the rebuild is O(Nk)).
+  // The incrementally maintained planes (bytes and packed bits) must agree
+  // with a from-scratch rebuild after every step (debug builds only; the
+  // rebuild is O(Nk)).
   const auto rebuilt = availability();
+  const std::size_t wpf = core::mask_words(k());
   for (std::size_t fiber = 0; fiber < rebuilt.size(); ++fiber) {
     for (std::size_t u = 0; u < rebuilt[fiber].size(); ++u) {
       WDM_DCHECK(avail_[fiber * static_cast<std::size_t>(k()) + u] ==
                  rebuilt[fiber][u]);
+      WDM_DCHECK(core::mask_test(avail_bits_.data() + fiber * wpf,
+                                 static_cast<std::int32_t>(u)) ==
+                 (rebuilt[fiber][u] != 0));
     }
   }
 #endif
@@ -385,35 +504,54 @@ void Interconnect::run_ingress(const std::vector<core::HealthMask>* health,
 void Interconnect::schedule_new_arrivals(
     std::span<const core::SlotRequest> arrivals,
     const std::vector<core::HealthMask>* health, util::ThreadPool* pool,
-    SlotStats& stats, core::SlotBudget* budget) {
+    SlotStats& stats, core::SlotBudget* budget,
+    const std::uint8_t* valid_flags) {
   stats.arrivals += arrivals.size();
 
   // Per-request validation of externally supplied data (trace replay, user
   // workloads): a malformed request is dropped and counted, never thrown on.
   // The scheduler re-validates what it can see, but the input-fiber upper
   // bound — needed before occupy() touches per-input-channel state — is only
-  // known here.
+  // known here. step_batch pre-computes the same predicate for the whole
+  // window (`valid_flags`); the outcome per request is identical. The copy
+  // into valid_ is lazy: an all-valid slot (the steady-state common case)
+  // schedules straight off the caller's span.
   valid_.clear();
-  valid_.reserve(arrivals.size());
-  for (const auto& r : arrivals) {
-    const bool ok = r.input_fiber >= 0 && r.input_fiber < config_.n_fibers &&
-                    r.output_fiber >= 0 && r.output_fiber < config_.n_fibers &&
-                    r.wavelength >= 0 && r.wavelength < k() &&
-                    r.duration >= 1 && r.priority >= 0;
+  bool copied = false;
+  std::int32_t max_class = 0;
+  for (std::size_t idx = 0; idx < arrivals.size(); ++idx) {
+    const auto& r = arrivals[idx];
+    const bool ok =
+        valid_flags != nullptr
+            ? valid_flags[idx] != 0
+            : r.input_fiber >= 0 && r.input_fiber < config_.n_fibers &&
+                  r.output_fiber >= 0 && r.output_fiber < config_.n_fibers &&
+                  r.wavelength >= 0 && r.wavelength < k() &&
+                  r.duration >= 1 && r.priority >= 0;
     if (!ok) {
       stats.rejected += 1;
       stats.rejected_malformed += 1;
+      if (!copied) {
+        valid_.assign(arrivals.begin(),
+                      arrivals.begin() + static_cast<std::ptrdiff_t>(idx));
+        copied = true;
+      }
       continue;
     }
-    valid_.push_back(r);
+    max_class = std::max(max_class, r.priority);
+    if (copied) valid_.push_back(r);
   }
+  std::span<const core::SlotRequest> admitted =
+      copied ? std::span<const core::SlotRequest>(valid_) : arrivals;
 
   // Admission: fresh arrivals pass through the token buckets after the
   // ingress queue drained (run_ingress), so queued requests get the slot's
   // tokens first. Non-admitted requests are queued or shed inside offer().
+  // Compaction mutates the vector, so this path always owns a copy.
   if (admission_ != nullptr) {
     const obs::StageTimer admission_timer(telemetry_, obs::Stage::kAdmission,
                                           slot_);
+    if (!copied) valid_.assign(admitted.begin(), admitted.end());
     std::size_t kept = 0;
     for (const auto& r : valid_) {
       if (admission_->offer(r, stats) == AdmissionControl::Verdict::kAdmit) {
@@ -421,15 +559,19 @@ void Interconnect::schedule_new_arrivals(
       }
     }
     valid_.resize(kept);
+    admitted = valid_;
+    // Shedding may have removed the only request of the highest class; the
+    // per-class accounting below sizes itself off what actually survived.
+    max_class = 0;
+    for (const auto& r : admitted) {
+      max_class = std::max(max_class, r.priority);
+    }
   }
 
   // Partition by QoS class (strict priority, 0 = highest); the common
-  // single-class case stays a single scheduling pass.
-  std::int32_t max_class = 0;
-  for (const auto& r : valid_) {
-    max_class = std::max(max_class, r.priority);
-  }
-  if (!valid_.empty()) {
+  // single-class case stays a single scheduling pass — and schedules the
+  // admitted span in place, with no per-class copy.
+  if (!admitted.empty()) {
     // Always record per-class; a multi-class *run* can still have
     // single-class slots, and the driver must see them (it collapses the
     // vectors at report time if the whole run was single-class).
@@ -438,27 +580,34 @@ void Interconnect::schedule_new_arrivals(
   }
 
   for (std::int32_t cls = 0; cls <= max_class; ++cls) {
-    batch_.clear();
-    batch_.reserve(valid_.size());
-    for (const auto& r : valid_) {
-      if (r.priority == cls) batch_.push_back(r);
+    std::span<const core::SlotRequest> cls_batch;
+    if (max_class == 0) {
+      cls_batch = admitted;
+    } else {
+      batch_.clear();
+      batch_.reserve(admitted.size());
+      for (const auto& r : admitted) {
+        if (r.priority == cls) batch_.push_back(r);
+      }
+      cls_batch = batch_;
     }
-    if (batch_.empty()) continue;
-    stats.arrivals_per_class[static_cast<std::size_t>(cls)] += batch_.size();
+    if (cls_batch.empty()) continue;
+    stats.arrivals_per_class[static_cast<std::size_t>(cls)] += cls_batch.size();
     // Availability reflects everything higher classes just took.
-    decisions_.resize(batch_.size());
-    scheduler_.schedule_slot_into(batch_, availability_view(), health, pool,
+    decisions_.resize(cls_batch.size());
+    scheduler_.schedule_slot_into(cls_batch, availability_view(), health, pool,
                                   decisions_, budget);
-    for (std::size_t i = 0; i < batch_.size(); ++i) {
+    for (std::size_t i = 0; i < cls_batch.size(); ++i) {
       if (!decisions_[i].granted) {
-        count_rejection(batch_[i], decisions_[i].reason, 0, stats);
+        count_rejection(cls_batch[i], decisions_[i].reason, 0, stats);
         continue;
       }
       stats.granted += 1;
       stats.granted_per_class[static_cast<std::size_t>(cls)] += 1;
-      occupy(batch_[i].output_fiber, decisions_[i].channel, batch_[i],
-             batch_[i].duration);
-      last_fiber_grants_[static_cast<std::size_t>(batch_[i].output_fiber)] += 1;
+      occupy(cls_batch[i].output_fiber, decisions_[i].channel, cls_batch[i],
+             cls_batch[i].duration);
+      last_fiber_grants_[static_cast<std::size_t>(cls_batch[i].output_fiber)] +=
+          1;
     }
   }
 }
@@ -466,20 +615,22 @@ void Interconnect::schedule_new_arrivals(
 void Interconnect::step_no_disturb(
     std::span<const core::SlotRequest> arrivals,
     const std::vector<core::HealthMask>* health, util::ThreadPool* pool,
-    SlotStats& stats, core::SlotBudget* budget) {
+    SlotStats& stats, core::SlotBudget* budget,
+    const std::uint8_t* valid_flags) {
   // Under kNoDisturb a connection is pinned to its exact channel, so losing
   // that channel (or its converter mid-conversion, or the fiber) kills the
   // connection outright.
   if (health != nullptr) teardown_faulted(*health, stats);
   run_retries(health, pool, stats, budget);
   run_ingress(health, pool, stats, budget);
-  schedule_new_arrivals(arrivals, health, pool, stats, budget);
+  schedule_new_arrivals(arrivals, health, pool, stats, budget, valid_flags);
 }
 
 void Interconnect::step_rearrange(
     std::span<const core::SlotRequest> arrivals,
     const std::vector<core::HealthMask>* health, util::ThreadPool* pool,
-    SlotStats& stats, core::SlotBudget* budget) {
+    SlotStats& stats, core::SlotBudget* budget,
+    const std::uint8_t* valid_flags) {
   // Phase 1: lift ongoing connections out of the fabric and re-schedule them
   // with the whole fiber free. On healthy hardware they were simultaneously
   // placed a slot ago, so a full placement exists and the maximum matching
@@ -488,16 +639,24 @@ void Interconnect::step_rearrange(
   // genuine fault casualties.
   continuing_.clear();
   continuing_remaining_.clear();
-  for (std::size_t fiber = 0; fiber < out_state_.size(); ++fiber) {
-    for (std::size_t u = 0; u < out_state_[fiber].size(); ++u) {
-      auto& ch = out_state_[fiber][u];
-      if (ch.remaining == 0) continue;
-      continuing_.push_back(core::SlotRequest{
-          ch.input_fiber, ch.wavelength, static_cast<std::int32_t>(fiber),
-          ch.id, ch.remaining});
-      continuing_remaining_.push_back(ch.remaining);
-      ch = ChannelState{};
-      avail_[fiber * static_cast<std::size_t>(k()) + u] = 1;
+  const auto kk = static_cast<std::size_t>(k());
+  const std::size_t wpf = core::mask_words(k());
+  for (std::int32_t fiber = 0; fiber < config_.n_fibers; ++fiber) {
+    for (std::size_t u = 0; u < kk; ++u) {
+      const std::size_t i = static_cast<std::size_t>(fiber) * kk + u;
+      if (out_remaining_[i] == 0) continue;
+      continuing_.push_back(core::SlotRequest{out_input_fiber_[i],
+                                              out_wavelength_[i], fiber,
+                                              out_id_[i], out_remaining_[i]});
+      continuing_remaining_.push_back(out_remaining_[i]);
+      out_remaining_[i] = 0;
+      out_input_fiber_[i] = core::kNone;
+      out_wavelength_[i] = core::kNone;
+      out_id_[i] = 0;
+      avail_[i] = 1;
+      core::mask_set(
+          avail_bits_.data() + static_cast<std::size_t>(fiber) * wpf,
+          static_cast<std::int32_t>(u));
     }
   }
   if (!continuing_.empty()) {
@@ -531,7 +690,7 @@ void Interconnect::step_rearrange(
   // channels left over.
   run_retries(health, pool, stats, budget);
   run_ingress(health, pool, stats, budget);
-  schedule_new_arrivals(arrivals, health, pool, stats, budget);
+  schedule_new_arrivals(arrivals, health, pool, stats, budget, valid_flags);
 }
 
 void Interconnect::save_state(util::SnapshotWriter& w) const {
@@ -546,15 +705,19 @@ void Interconnect::save_state(util::SnapshotWriter& w) const {
   w.u8(static_cast<std::uint8_t>(config_.arbitration));
   w.u8(static_cast<std::uint8_t>(config_.policy));
   w.u64(config_.seed);
+  // Replay-determinism guard (see sim::replay_from): a wall-clock slot
+  // deadline makes degradation decisions nondeterministic, so whether one
+  // was active is part of the config echo — a replay refuses a checkpoint
+  // whose flag disagrees with its own config, and refuses to start at all
+  // when the flag is set.
+  w.u8(config_.degrade.slot_deadline_ns > 0 ? 1 : 0);
 
   w.u64(slot_);
-  for (const auto& fiber : out_state_) {
-    for (const auto& ch : fiber) {
-      w.i32(ch.remaining);
-      w.i32(ch.input_fiber);
-      w.i32(ch.wavelength);
-      w.u64(ch.id);
-    }
+  for (std::size_t i = 0; i < out_remaining_.size(); ++i) {
+    w.i32(out_remaining_[i]);
+    w.i32(out_input_fiber_[i]);
+    w.i32(out_wavelength_[i]);
+    w.u64(out_id_[i]);
   }
   w.vec_i32(input_remaining_);
   w.u64(retry_queue_.size());
@@ -587,19 +750,30 @@ void Interconnect::restore_state(util::SnapshotReader& r) {
           r.u8() == static_cast<std::uint8_t>(config_.policy) &&
           r.u64() == config_.seed,
       "snapshot was taken from a different interconnect config");
+  WDM_CHECK_MSG(
+      (r.u8() != 0) == (config_.degrade.slot_deadline_ns > 0),
+      "snapshot wall-clock-deadline flag does not match this config");
 
   slot_ = r.u64();
   const auto kk = static_cast<std::size_t>(k());
-  for (std::size_t fiber = 0; fiber < out_state_.size(); ++fiber) {
-    for (std::size_t u = 0; u < out_state_[fiber].size(); ++u) {
-      auto& ch = out_state_[fiber][u];
-      ch.remaining = r.i32();
-      ch.input_fiber = r.i32();
-      ch.wavelength = r.i32();
-      ch.id = r.u64();
-      // The flat plane is rebuilt from the occupancy it mirrors, so the two
-      // cannot disagree after a restore.
-      avail_[fiber * kk + u] = ch.remaining > 0 ? 0 : 1;
+  const std::size_t wpf = core::mask_words(k());
+  for (std::size_t i = 0; i < out_remaining_.size(); ++i) {
+    out_remaining_[i] = r.i32();
+    out_input_fiber_[i] = r.i32();
+    out_wavelength_[i] = r.i32();
+    out_id_[i] = r.u64();
+    // The flat planes are rebuilt from the occupancy they mirror, so they
+    // cannot disagree after a restore.
+    avail_[i] = out_remaining_[i] > 0 ? 0 : 1;
+  }
+  for (std::int32_t fiber = 0; fiber < config_.n_fibers; ++fiber) {
+    std::uint64_t* bits =
+        avail_bits_.data() + static_cast<std::size_t>(fiber) * wpf;
+    core::mask_fill(bits, k());
+    for (std::size_t u = 0; u < kk; ++u) {
+      if (out_remaining_[static_cast<std::size_t>(fiber) * kk + u] > 0) {
+        core::mask_clear(bits, static_cast<std::int32_t>(u));
+      }
     }
   }
   const auto input_remaining = r.vec_i32();

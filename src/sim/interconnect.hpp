@@ -107,6 +107,17 @@ class Interconnect {
   SlotStats step(std::span<const core::SlotRequest> arrivals,
                  util::ThreadPool* pool = nullptr);
 
+  /// Advances W consecutive slots, one vector of arrivals per slot.
+  /// Bit-identical to W successive step() calls — slots still execute
+  /// serially (slot s+1 sees the fabric slot s left) — but the per-request
+  /// validation of the whole window runs as one branchless pre-pass, which
+  /// is what the amortization buys. Returns the summed accounting; if
+  /// `per_slot` is non-empty it must have one entry per slot and receives
+  /// each slot's individual stats.
+  SlotStats step_batch(std::span<const std::vector<core::SlotRequest>> slots,
+                       util::ThreadPool* pool = nullptr,
+                       std::span<SlotStats> per_slot = {});
+
   /// Busy flags of the N*k input wavelength channels (fiber*k + wavelength)
   /// *for the upcoming slot* — i.e. connections that still hold after the
   /// next aging tick. Feed this to TrafficGenerator::next_slot so sources do
@@ -122,9 +133,10 @@ class Interconnect {
 
   /// Flat N×k occupancy plane (1 = free), maintained incrementally on grant
   /// and expiry — the zero-rebuild availability input of the slot pipeline.
+  /// Carries the packed bit plane too, so the masked kernels never re-pack.
   core::AvailabilityView availability_view() const noexcept {
-    return core::AvailabilityView(avail_.data(), config_.n_fibers,
-                                  config_.scheme.k());
+    return core::AvailabilityView(avail_.data(), avail_bits_.data(),
+                                  config_.n_fibers, config_.scheme.k());
   }
 
   /// The fault injector, or nullptr when the config enables no faults.
@@ -168,26 +180,29 @@ class Interconnect {
   void restore_state(util::SnapshotReader& r);
 
  private:
-  struct ChannelState {
-    std::int32_t remaining = 0;  ///< slots left, 0 = free
-    std::int32_t input_fiber = core::kNone;
-    core::Wavelength wavelength = core::kNone;
-    std::uint64_t id = 0;
-  };
   struct PendingRetry {
     core::SlotRequest request;
     std::int32_t attempts = 0;     ///< retry attempts already consumed
     std::uint64_t due_slot = 0;    ///< re-offer at this internal slot
   };
 
+  /// Shared body of step()/step_batch(). `valid_flags`, if non-null, holds
+  /// one 0/1 byte per arrival — the pre-computed result of the validation
+  /// predicate (step_batch's one-pass pre-validation); null means validate
+  /// inline.
+  SlotStats step_impl(std::span<const core::SlotRequest> arrivals,
+                      util::ThreadPool* pool,
+                      const std::uint8_t* valid_flags);
   void step_no_disturb(std::span<const core::SlotRequest> arrivals,
                        const std::vector<core::HealthMask>* health,
                        util::ThreadPool* pool, SlotStats& stats,
-                       core::SlotBudget* budget);
+                       core::SlotBudget* budget,
+                       const std::uint8_t* valid_flags);
   void step_rearrange(std::span<const core::SlotRequest> arrivals,
                       const std::vector<core::HealthMask>* health,
                       util::ThreadPool* pool, SlotStats& stats,
-                      core::SlotBudget* budget);
+                      core::SlotBudget* budget,
+                      const std::uint8_t* valid_flags);
   /// Tears down ongoing connections whose channel, converter, or fiber
   /// failed (kNoDisturb policy; kRearrange re-homes instead).
   void teardown_faulted(const std::vector<core::HealthMask>& health,
@@ -202,11 +217,13 @@ class Interconnect {
                    util::ThreadPool* pool, SlotStats& stats,
                    core::SlotBudget* budget);
   /// Schedules new arrivals strict-priority class by class (§VI extension);
-  /// single-class slots collapse to one scheduling pass.
+  /// single-class slots collapse to one scheduling pass. `valid_flags` as in
+  /// step_impl.
   void schedule_new_arrivals(std::span<const core::SlotRequest> arrivals,
                              const std::vector<core::HealthMask>* health,
                              util::ThreadPool* pool, SlotStats& stats,
-                             core::SlotBudget* budget);
+                             core::SlotBudget* budget,
+                             const std::uint8_t* valid_flags);
   enum class Defer : std::uint8_t {
     kParked,           ///< queued for retry (deferred_faulted)
     kBudgetExhausted,  ///< out of attempts -> rejected_faulted
@@ -236,9 +253,20 @@ class Interconnect {
   core::DistributedScheduler scheduler_;
   std::unique_ptr<FaultInjector> faults_;  // null when faults disabled
   std::unique_ptr<AdmissionControl> admission_;  // null when disabled
-  std::vector<std::vector<ChannelState>> out_state_;  // [fiber][channel]
+  // SoA per-output-channel connection state, index fiber*k + channel
+  // (replaces the old vector<vector<ChannelState>>): the aging sweep walks
+  // one narrow column driven by the occupancy bits instead of striding
+  // 24-byte structs, and expiry touches only the columns it must reset.
+  std::vector<std::int32_t> out_remaining_;    // slots left, 0 = free
+  std::vector<std::int32_t> out_input_fiber_;  // kNone when free
+  std::vector<std::int32_t> out_wavelength_;   // kNone when free
+  std::vector<std::uint64_t> out_id_;          // 0 when free
   std::vector<std::uint8_t> avail_;  // flat N×k plane, 1 = free; updated in
-                                     // lockstep with out_state_ (no rebuild)
+                                     // lockstep with the state (no rebuild)
+  // Packed form of avail_, mask_words(k) words per fiber (wave_mask layout):
+  // maintained in the same places as the byte plane, consumed by the masked
+  // kernels through availability_view() and by the aging sweep.
+  std::vector<std::uint64_t> avail_bits_;
   std::vector<std::int32_t> input_remaining_;         // [fiber*k + w]
   std::vector<std::uint64_t> last_fiber_grants_;
   std::vector<PendingRetry> retry_queue_;
@@ -259,6 +287,7 @@ class Interconnect {
   std::vector<core::SlotRequest> continuing_;   // kRearrange lifted conns
   std::vector<std::int32_t> continuing_remaining_;
   std::vector<core::SlotRequest> released_;     // ingress-queue drain batch
+  std::vector<std::uint8_t> batch_flags_;       // step_batch validity pre-pass
 };
 
 }  // namespace wdm::sim

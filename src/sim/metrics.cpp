@@ -11,8 +11,10 @@ namespace {
 /// Elementwise accumulation with resize-to-max: per-class vectors are sized
 /// to the highest class each side has seen, so unequal lengths are a normal
 /// consequence of which slots (or which partial collector) saw which class.
-void accumulate_per_class(std::vector<std::uint64_t>& into,
-                          const std::vector<std::uint64_t>& from) {
+/// Generic over the source container because SlotStats carries SmallVec
+/// columns while the collector accumulates into std::vector.
+template <typename From>
+void accumulate_per_class(std::vector<std::uint64_t>& into, const From& from) {
   if (from.size() > into.size()) into.resize(from.size(), 0);
   for (std::size_t i = 0; i < from.size(); ++i) into[i] += from[i];
 }

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/small_vec.hpp"
 #include "util/stats.hpp"
 
 namespace wdm::sim {
@@ -59,9 +60,11 @@ struct SlotStats {
   std::uint64_t busy_channels = 0;  ///< occupied output channels after the slot
   /// Per-QoS-class accounting (index = priority class); sized to the
   /// highest class seen this slot, empty for single-class traffic. Retries
-  /// are tracked by the retry_* counters only, never per class.
-  std::vector<std::uint64_t> arrivals_per_class;
-  std::vector<std::uint64_t> granted_per_class;
+  /// are tracked by the retry_* counters only, never per class. Inline
+  /// storage keeps a warm Interconnect::step allocation-free for realistic
+  /// class counts (tests/test_zero_alloc.cpp asserts exactly 0).
+  util::SmallVec<std::uint64_t, 8> arrivals_per_class;
+  util::SmallVec<std::uint64_t, 8> granted_per_class;
 };
 
 class MetricsCollector {

@@ -1,0 +1,136 @@
+// A vector with inline storage for small sizes (heap fallback above the
+// inline capacity). Exists for the per-slot QoS accounting in SlotStats:
+// the two per-class vectors used to be the last heap allocations of a warm
+// Interconnect::step, and with realistic class counts (a handful) they fit
+// inline — so a full step is now allocation-free (tests/test_zero_alloc.cpp
+// asserts exactly 0).
+//
+// Restricted to trivially copyable element types, which keeps the inline /
+// heap moves memcpy-cheap and the implementation small.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <initializer_list>
+#include <type_traits>
+
+namespace wdm::util {
+
+template <typename T, std::size_t InlineCap>
+class SmallVec {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SmallVec is restricted to trivially copyable types");
+  static_assert(InlineCap > 0, "inline capacity must be positive");
+
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  SmallVec() noexcept = default;
+  SmallVec(std::initializer_list<T> init) { assign(init.begin(), init.end()); }
+  SmallVec(const SmallVec& other) { assign(other.begin(), other.end()); }
+  SmallVec(SmallVec&& other) noexcept { steal(other); }
+  ~SmallVec() { release(); }
+
+  SmallVec& operator=(const SmallVec& other) {
+    if (this != &other) assign(other.begin(), other.end());
+    return *this;
+  }
+  SmallVec& operator=(SmallVec&& other) noexcept {
+    if (this != &other) {
+      release();
+      steal(other);
+    }
+    return *this;
+  }
+  SmallVec& operator=(std::initializer_list<T> init) {
+    assign(init.begin(), init.end());
+    return *this;
+  }
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+  void clear() noexcept { size_ = 0; }
+
+  T* data() noexcept { return data_; }
+  const T* data() const noexcept { return data_; }
+  T* begin() noexcept { return data_; }
+  T* end() noexcept { return data_ + size_; }
+  const T* begin() const noexcept { return data_; }
+  const T* end() const noexcept { return data_ + size_; }
+
+  T& operator[](std::size_t i) noexcept { return data_[i]; }
+  const T& operator[](std::size_t i) const noexcept { return data_[i]; }
+
+  void push_back(const T& value) {
+    reserve_for(size_ + 1);
+    data_[size_++] = value;
+  }
+
+  /// std::vector::resize semantics: new elements take `fill`.
+  void resize(std::size_t n, const T& fill = T{}) {
+    if (n > size_) {
+      reserve_for(n);
+      std::fill(data_ + size_, data_ + n, fill);
+    }
+    size_ = n;
+  }
+
+  friend bool operator==(const SmallVec& a, const SmallVec& b) noexcept {
+    return a.size_ == b.size_ && std::equal(a.begin(), a.end(), b.begin());
+  }
+  friend bool operator!=(const SmallVec& a, const SmallVec& b) noexcept {
+    return !(a == b);
+  }
+
+ private:
+  void assign(const T* first, const T* last) {
+    const auto n = static_cast<std::size_t>(last - first);
+    clear();
+    reserve_for(n);
+    std::copy(first, last, data_);
+    size_ = n;
+  }
+
+  void reserve_for(std::size_t n) {
+    if (n <= cap_) return;
+    const std::size_t new_cap = std::max(n, cap_ * 2);
+    T* heap = new T[new_cap];
+    std::copy(data_, data_ + size_, heap);
+    release();
+    data_ = heap;
+    cap_ = new_cap;
+  }
+
+  void release() noexcept {
+    if (data_ != inline_) delete[] data_;
+    data_ = inline_;
+    cap_ = InlineCap;
+  }
+
+  /// Move: steal a heap buffer, copy an inline one. `other` is left empty.
+  void steal(SmallVec& other) noexcept {
+    if (other.data_ != other.inline_) {
+      data_ = other.data_;
+      cap_ = other.cap_;
+      size_ = other.size_;
+      other.data_ = other.inline_;
+      other.cap_ = InlineCap;
+      other.size_ = 0;
+      return;
+    }
+    std::copy(other.begin(), other.end(), inline_);
+    data_ = inline_;
+    cap_ = InlineCap;
+    size_ = other.size_;
+    other.size_ = 0;
+  }
+
+  T inline_[InlineCap] = {};
+  T* data_ = inline_;
+  std::size_t cap_ = InlineCap;
+  std::size_t size_ = 0;
+};
+
+}  // namespace wdm::util

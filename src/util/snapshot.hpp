@@ -26,7 +26,9 @@
 namespace wdm::util {
 
 /// Bump when any serialised layout changes; readers reject other versions.
-inline constexpr std::uint32_t kSnapshotVersion = 1;
+/// v2: the interconnect's config echo gained a wall-clock-deadline flag
+/// (replay-determinism guard).
+inline constexpr std::uint32_t kSnapshotVersion = 2;
 
 /// FNV-1a 64-bit over a byte range (the snapshot digest primitive).
 std::uint64_t fnv1a64(std::span<const std::uint8_t> bytes) noexcept;

@@ -9,6 +9,10 @@
 //    serial and pooled, the full-range rule) and must match the
 //    Hopcroft–Karp maximum on the explicit request graph exactly; the
 //    single-break approximation must stay within its Theorem-3 gap bound.
+//    Every non-full-range instance additionally runs the masked (packed
+//    64-bit word) kernels of docs/ALGORITHMS.md §9 and must reproduce the
+//    scalar assignment bit for bit — so the exhaustive small-k enumeration
+//    below is also a proof-by-enumeration that the SIMD path is exact.
 //    A slice of cases additionally runs DistributedScheduler::schedule_slot
 //    end-to-end with malformed requests injected, asserting the rejection
 //    contract: no decision leaves as kUndecided, granted ⇔ kGranted,
@@ -41,9 +45,11 @@
 
 #include "core/break_first_available.hpp"
 #include "core/distributed.hpp"
+#include "core/first_available.hpp"
 #include "core/health.hpp"
 #include "core/priority.hpp"
 #include "core/request_graph.hpp"
+#include "core/wave_mask.hpp"
 #include "graph/hopcroft_karp.hpp"
 #include "util/cli.hpp"
 #include "util/rng.hpp"
@@ -136,6 +142,35 @@ bool check_instance(Stats& stats, const ConversionScheme& scheme,
                 scheme, rv, mask);
   }
 
+  // Masked kernels (docs/ALGORITHMS.md §9): pack the same instance into the
+  // 64-bit word layout and demand the identical assignment — same source
+  // array, not just the same cardinality. Full-range schemes dispatch to the
+  // full-range rule, which has no masked variant.
+  const bool check_masked = !scheme.is_full_range();
+  std::vector<std::uint64_t> avail_words;
+  std::vector<std::uint64_t> nonempty_words;
+  if (check_masked) {
+    avail_words.assign(core::mask_words(scheme.k()), 0);
+    nonempty_words.assign(core::mask_words(scheme.k()), 0);
+    core::pack_availability(mask, scheme.k(), avail_words.data());
+    for (core::Wavelength w = 0; w < scheme.k(); ++w) {
+      if (rv.count(w) > 0) core::mask_set(nonempty_words.data(), w);
+    }
+    core::ChannelAssignment masked(scheme.k());
+    if (scheme.kind() == ConversionKind::kNonCircular) {
+      core::first_available_masked_into(rv, scheme, avail_words,
+                                        nonempty_words, masked);
+    } else {
+      core::BfaScratch scratch;
+      core::break_first_available_masked_into(
+          rv, scheme, avail_words, nonempty_words, pool, scratch, masked);
+    }
+    if (masked.granted != kernel.granted || masked.source != kernel.source) {
+      return fail(stats, "masked kernel diverged from the scalar result",
+                  scheme, rv, mask);
+    }
+  }
+
   if (scheme.kind() == ConversionKind::kCircular && !scheme.is_full_range()) {
     // Pooled BFA must agree with the serial result exactly.
     if (pool != nullptr) {
@@ -146,6 +181,19 @@ bool check_instance(Stats& stats, const ConversionScheme& scheme,
     }
     // Theorem 3: the single-break approximation stays within its bound.
     const auto approx = core::approx_break_first_available(rv, scheme, mask);
+    // The masked approximation must pick the same break edge and produce the
+    // same schedule as the scalar one.
+    {
+      core::ChannelAssignment approx_masked(scheme.k());
+      const core::Channel bc = core::approx_break_first_available_masked_into(
+          rv, scheme, avail_words, nonempty_words, approx_masked);
+      if (bc != approx.break_channel ||
+          (bc != core::kNone &&
+           approx_masked.source != approx.assignment.source)) {
+        return fail(stats, "masked approx BFA diverged from the scalar result",
+                    scheme, rv, mask);
+      }
+    }
     if (approx.break_channel != core::kNone) {
       if (!assignment_valid(approx.assignment, rv, scheme, mask)) {
         return fail(stats, "approx BFA produced an infeasible assignment",

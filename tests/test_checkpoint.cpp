@@ -230,5 +230,50 @@ TEST(Checkpoint, RejectsConfigAndFlagMismatch) {
   }
 }
 
+TEST(Checkpoint, ReplayRejectsWallClockDeadlines) {
+  // A wall-clock slot deadline makes degradation depend on the replaying
+  // machine's clock, so a "replay" would silently diverge from the recorded
+  // run. replay_from must fail fast instead of producing a divergent replay.
+  auto cfg = full_feature_config();
+  cfg.faults = sim::FaultConfig{};
+  cfg.degrade.op_budget = 0;
+  cfg.degrade.slot_deadline_ns = 1'000'000;  // nondeterministic rung
+  sim::TrafficGenerator source(cfg.n_fibers, 6, heavy_traffic(), 77);
+  const auto trace = sim::capture_trace(source, cfg.n_fibers, 6, 10);
+
+  sim::Interconnect nondeterministic(cfg);
+  EXPECT_THROW(sim::replay_from(trace, 0, nondeterministic), std::logic_error);
+
+  // The deterministic op-count rung stays replayable.
+  auto det = cfg;
+  det.degrade.slot_deadline_ns = 0;
+  det.degrade.op_budget = 50;
+  sim::Interconnect deterministic(det);
+  EXPECT_NO_THROW(sim::replay_from(trace, 0, deterministic));
+}
+
+TEST(Checkpoint, SnapshotRecordsTheWallClockDeadlineFlag) {
+  // The config echo carries whether a wall-clock deadline was active when
+  // the snapshot was taken; restoring it into a config that disagrees must
+  // be rejected — the two runs would not be comparable.
+  auto deadline_cfg = full_feature_config();
+  deadline_cfg.degrade.op_budget = 0;
+  deadline_cfg.degrade.slot_deadline_ns = 1'000'000;
+  sim::Interconnect with_deadline(deadline_cfg);
+  std::stringstream ss;
+  sim::save_checkpoint(ss, with_deadline);
+
+  auto clean_cfg = deadline_cfg;
+  clean_cfg.degrade.slot_deadline_ns = 0;
+  sim::Interconnect target(clean_cfg);
+  EXPECT_THROW(sim::load_checkpoint(ss, target), std::logic_error);
+
+  // Matching flag still round-trips.
+  std::stringstream again;
+  sim::save_checkpoint(again, with_deadline);
+  sim::Interconnect same(deadline_cfg);
+  EXPECT_NO_THROW(sim::load_checkpoint(again, same));
+}
+
 }  // namespace
 }  // namespace wdm

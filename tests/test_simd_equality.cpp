@@ -1,0 +1,377 @@
+// Decision-equality pinning for the masked (SIMD) slot kernels
+// (docs/ALGORITHMS.md §9): the masked path must be bit-identical to the
+// scalar reference — same grants, same channels, same arbitration, same
+// checkpoint digest — across every pipeline configuration. The kernels are
+// a pure performance switch, never a behavioral one, and these sweeps are
+// what makes that contract enforceable rather than aspirational.
+//
+// Complements the differential oracle (tests/oracle/oracle_fuzz.cpp), which
+// pins the kernels against Hopcroft–Karp per instance; here the whole
+// simulator runs twice — core::SimdMode::kScalar vs kMask — and the final
+// sim::state_digest plus every per-slot SlotStats must match exactly.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/break_first_available.hpp"
+#include "core/distributed.hpp"
+#include "core/first_available.hpp"
+#include "core/health.hpp"
+#include "core/simd.hpp"
+#include "core/wave_mask.hpp"
+#include "obs/telemetry.hpp"
+#include "sim/checkpoint.hpp"
+#include "sim/interconnect.hpp"
+#include "util/rng.hpp"
+#include "util/threadpool.hpp"
+
+namespace wdm {
+namespace {
+
+/// Every test leaves the process-global kernel toggle the way it found it.
+class SimdEquality : public ::testing::Test {
+ protected:
+  void TearDown() override { core::set_simd_mode(core::SimdMode::kAuto); }
+};
+
+std::vector<std::vector<core::SlotRequest>> make_slots(std::int32_t n_fibers,
+                                                       std::int32_t k,
+                                                       std::size_t n_slots,
+                                                       double load,
+                                                       std::uint64_t seed,
+                                                       std::int32_t n_classes) {
+  util::Rng rng(seed);
+  std::vector<std::vector<core::SlotRequest>> slots(n_slots);
+  std::uint64_t id = 0;
+  for (auto& slot : slots) {
+    for (std::int32_t fib = 0; fib < n_fibers; ++fib) {
+      for (core::Wavelength w = 0; w < k; ++w) {
+        if (!rng.bernoulli(load)) continue;
+        slot.push_back(core::SlotRequest{
+            fib, w,
+            static_cast<std::int32_t>(
+                rng.uniform_below(static_cast<std::uint64_t>(n_fibers))),
+            id++, 1 + static_cast<std::int32_t>(rng.uniform_below(3)),
+            n_classes > 1 ? static_cast<std::int32_t>(rng.uniform_below(
+                                static_cast<std::uint64_t>(n_classes)))
+                          : 0});
+      }
+    }
+    // A sprinkle of malformed requests: rejection accounting must not
+    // depend on the kernel path either.
+    if (rng.bernoulli(0.3)) {
+      slot.push_back(core::SlotRequest{0, k + 1, 0, id++, 1, 0});
+    }
+  }
+  return slots;
+}
+
+void expect_stats_eq(const sim::SlotStats& a, const sim::SlotStats& b,
+                     std::size_t slot) {
+  EXPECT_EQ(a.arrivals, b.arrivals) << "slot " << slot;
+  EXPECT_EQ(a.granted, b.granted) << "slot " << slot;
+  EXPECT_EQ(a.rejected, b.rejected) << "slot " << slot;
+  EXPECT_EQ(a.rejected_malformed, b.rejected_malformed) << "slot " << slot;
+  EXPECT_EQ(a.rejected_faulted, b.rejected_faulted) << "slot " << slot;
+  EXPECT_EQ(a.shed_overload, b.shed_overload) << "slot " << slot;
+  EXPECT_EQ(a.deferred_faulted, b.deferred_faulted) << "slot " << slot;
+  EXPECT_EQ(a.deferred_overload, b.deferred_overload) << "slot " << slot;
+  EXPECT_EQ(a.ingress_releases, b.ingress_releases) << "slot " << slot;
+  EXPECT_EQ(a.degraded_ports, b.degraded_ports) << "slot " << slot;
+  EXPECT_EQ(a.retry_attempts, b.retry_attempts) << "slot " << slot;
+  EXPECT_EQ(a.retry_successes, b.retry_successes) << "slot " << slot;
+  EXPECT_EQ(a.preempted, b.preempted) << "slot " << slot;
+  EXPECT_EQ(a.dropped_faulted, b.dropped_faulted) << "slot " << slot;
+  EXPECT_EQ(a.busy_channels, b.busy_channels) << "slot " << slot;
+  EXPECT_TRUE(a.arrivals_per_class == b.arrivals_per_class) << "slot " << slot;
+  EXPECT_TRUE(a.granted_per_class == b.granted_per_class) << "slot " << slot;
+}
+
+struct RunResult {
+  std::uint64_t digest = 0;
+  std::vector<sim::SlotStats> stats;
+};
+
+/// Runs the whole slot sequence through a fresh interconnect under `mode`
+/// and returns the per-slot stats plus the final checkpoint digest.
+RunResult run(const sim::InterconnectConfig& cfg,
+              const std::vector<std::vector<core::SlotRequest>>& slots,
+              core::SimdMode mode, bool use_pool, obs::TraceDetail detail) {
+  core::set_simd_mode(mode);
+  sim::Interconnect ic(cfg);
+  obs::TraceRecorder recorder(detail);
+  if (detail != obs::TraceDetail::kOff) ic.set_telemetry(&recorder);
+  util::ThreadPool pool(2);
+  RunResult out;
+  out.stats.reserve(slots.size());
+  for (const auto& slot : slots) {
+    out.stats.push_back(ic.step(slot, use_pool ? &pool : nullptr));
+  }
+  out.digest = sim::state_digest(ic);
+  core::set_simd_mode(core::SimdMode::kAuto);
+  return out;
+}
+
+void expect_runs_equal(const RunResult& scalar, const RunResult& masked) {
+  ASSERT_EQ(scalar.stats.size(), masked.stats.size());
+  for (std::size_t s = 0; s < scalar.stats.size(); ++s) {
+    expect_stats_eq(scalar.stats[s], masked.stats[s], s);
+  }
+  EXPECT_EQ(scalar.digest, masked.digest)
+      << "scalar and masked kernels must leave bit-identical state";
+}
+
+TEST_F(SimdEquality, StateDigestSweepAcrossPoolTraceAndFaults) {
+  // The ISSUE acceptance sweep: pool on/off x trace detail x faults on/off,
+  // over both conversion kinds and both occupancy policies.
+  const std::int32_t n = 8;
+  const std::int32_t k = 12;
+  const auto slots = make_slots(n, k, 48, 0.6, 7, 3);
+  int combos = 0;
+  for (const bool circular : {true, false}) {
+    for (const bool with_faults : {false, true}) {
+      for (const bool use_pool : {false, true}) {
+        for (const auto detail :
+             {obs::TraceDetail::kOff, obs::TraceDetail::kFull}) {
+          sim::InterconnectConfig cfg;
+          cfg.n_fibers = n;
+          cfg.scheme = circular ? core::ConversionScheme::circular(k, 2, 1)
+                                : core::ConversionScheme::non_circular(k, 1, 2);
+          cfg.policy = circular ? sim::OccupiedPolicy::kNoDisturb
+                                : sim::OccupiedPolicy::kRearrange;
+          cfg.seed = 11;
+          if (with_faults) {
+            cfg.faults.converters = {60.0, 12.0};
+            cfg.faults.channels = {80.0, 10.0};
+            cfg.faults.fibers = {150.0, 20.0};
+            cfg.retry.max_retries = 2;
+          }
+          SCOPED_TRACE((circular ? "circ" : "noncirc") +
+                       std::string(with_faults ? " faults" : "") +
+                       (use_pool ? " pool" : "") +
+                       (detail == obs::TraceDetail::kFull ? " full-trace" : ""));
+          expect_runs_equal(
+              run(cfg, slots, core::SimdMode::kScalar, use_pool, detail),
+              run(cfg, slots, core::SimdMode::kMask, use_pool, detail));
+          combos += 1;
+        }
+      }
+    }
+  }
+  EXPECT_EQ(combos, 16);
+}
+
+TEST_F(SimdEquality, DegradedModeUsesTheSameApproxDecisions) {
+  // Deadline-bounded degradation swaps in the approx kernel mid-run; the
+  // masked approx must degrade identically (same ports, same grants).
+  const std::int32_t n = 8;
+  const std::int32_t k = 10;
+  const auto slots = make_slots(n, k, 48, 0.8, 21, 1);
+  sim::InterconnectConfig cfg;
+  cfg.n_fibers = n;
+  cfg.scheme = core::ConversionScheme::circular(k, 2, 2);
+  cfg.seed = 3;
+  cfg.degrade.op_budget = 120;  // ~2 exact ports per slot, then degrade
+  const auto scalar = run(cfg, slots, core::SimdMode::kScalar, false,
+                          obs::TraceDetail::kOff);
+  const auto masked = run(cfg, slots, core::SimdMode::kMask, false,
+                          obs::TraceDetail::kOff);
+  expect_runs_equal(scalar, masked);
+  std::uint64_t degraded = 0;
+  for (const auto& s : scalar.stats) degraded += s.degraded_ports;
+  EXPECT_GT(degraded, 0u) << "budget never tripped; the sweep tested nothing";
+}
+
+TEST_F(SimdEquality, WavelengthCountNotAMultipleOf64) {
+  // k = 70 spans two mask words with a 6-bit tail — the layout's worst case
+  // (every circular wrap crosses the word boundary).
+  const std::int32_t n = 4;
+  const std::int32_t k = 70;
+  const auto slots = make_slots(n, k, 24, 0.5, 13, 1);
+  for (const bool circular : {true, false}) {
+    sim::InterconnectConfig cfg;
+    cfg.n_fibers = n;
+    cfg.scheme = circular ? core::ConversionScheme::circular(k, 3, 2)
+                          : core::ConversionScheme::non_circular(k, 2, 3);
+    cfg.seed = 17;
+    SCOPED_TRACE(circular ? "circular" : "non-circular");
+    expect_runs_equal(run(cfg, slots, core::SimdMode::kScalar, false,
+                          obs::TraceDetail::kOff),
+                      run(cfg, slots, core::SimdMode::kMask, false,
+                          obs::TraceDetail::kOff));
+  }
+}
+
+TEST_F(SimdEquality, SingleFiberInterconnect) {
+  const std::int32_t k = 9;
+  const auto slots = make_slots(1, k, 32, 0.7, 19, 2);
+  sim::InterconnectConfig cfg;
+  cfg.n_fibers = 1;
+  cfg.scheme = core::ConversionScheme::circular(k, 1, 1);
+  cfg.seed = 23;
+  expect_runs_equal(
+      run(cfg, slots, core::SimdMode::kScalar, false, obs::TraceDetail::kOff),
+      run(cfg, slots, core::SimdMode::kMask, false, obs::TraceDetail::kOff));
+}
+
+TEST_F(SimdEquality, EmptySlotsAndEmptyMasksMatch) {
+  // All-empty arrival vectors: the kernels see nonempty masks of zero and
+  // must still agree (including the aging/occupancy bookkeeping around them).
+  const std::int32_t n = 4;
+  const std::int32_t k = 8;
+  std::vector<std::vector<core::SlotRequest>> slots(16);
+  slots[3] = make_slots(n, k, 1, 0.9, 29, 1)[0];  // one busy slot mid-run
+  sim::InterconnectConfig cfg;
+  cfg.n_fibers = n;
+  cfg.scheme = core::ConversionScheme::circular(k, 1, 1);
+  cfg.seed = 31;
+  expect_runs_equal(
+      run(cfg, slots, core::SimdMode::kScalar, false, obs::TraceDetail::kOff),
+      run(cfg, slots, core::SimdMode::kMask, false, obs::TraceDetail::kOff));
+}
+
+TEST_F(SimdEquality, AllFaultedHealthMasksMatchScalar) {
+  // Health masks force the scalar fault-reduction path even under kMask; the
+  // decisions must be identical to an all-scalar run, including the
+  // everything-faulted extreme where nothing survives.
+  const std::int32_t n = 4;
+  const std::int32_t k = 8;
+  const auto scheme = core::ConversionScheme::circular(k, 1, 1);
+  const auto slot = make_slots(n, k, 1, 0.8, 37, 1)[0];
+  for (const bool cut_everything : {false, true}) {
+    std::vector<core::HealthMask> health(
+        static_cast<std::size_t>(n), core::HealthMask::healthy(k));
+    if (cut_everything) {
+      for (auto& h : health) h.fiber_faulted = true;
+    } else {
+      // Half converter-faulted, half channel-faulted on every fiber.
+      for (auto& h : health) {
+        for (std::size_t u = 0; u < h.channels.size(); ++u) {
+          h.channels[u] = (u % 2 == 0)
+                              ? core::ChannelHealth::kConverterFaulted
+                              : core::ChannelHealth::kChannelFaulted;
+        }
+      }
+    }
+    const auto decide = [&](core::SimdMode mode) {
+      core::set_simd_mode(mode);
+      core::DistributedScheduler sched(n, scheme, core::Algorithm::kAuto,
+                                       core::Arbitration::kFifo, 41);
+      auto out = sched.schedule_slot(slot, nullptr, &health, nullptr);
+      core::set_simd_mode(core::SimdMode::kAuto);
+      return out;
+    };
+    const auto scalar = decide(core::SimdMode::kScalar);
+    const auto masked = decide(core::SimdMode::kMask);
+    ASSERT_EQ(scalar.size(), masked.size());
+    for (std::size_t i = 0; i < scalar.size(); ++i) {
+      EXPECT_EQ(scalar[i].granted, masked[i].granted) << "request " << i;
+      EXPECT_EQ(scalar[i].channel, masked[i].channel) << "request " << i;
+      EXPECT_EQ(scalar[i].reason, masked[i].reason) << "request " << i;
+      if (cut_everything) {
+        EXPECT_EQ(masked[i].reason, core::RejectReason::kFaulted);
+      }
+    }
+  }
+}
+
+TEST_F(SimdEquality, StepBatchIsBitIdenticalToSerialSteps) {
+  // step_batch's one-pass validation must change nothing: same per-slot
+  // stats, same summed stats, same final digest as W separate step() calls.
+  const std::int32_t n = 8;
+  const std::int32_t k = 12;
+  const auto slots = make_slots(n, k, 32, 0.6, 43, 2);
+  sim::InterconnectConfig cfg;
+  cfg.n_fibers = n;
+  cfg.scheme = core::ConversionScheme::circular(k, 2, 1);
+  cfg.seed = 47;
+
+  const auto serial =
+      run(cfg, slots, core::SimdMode::kAuto, false, obs::TraceDetail::kOff);
+
+  sim::Interconnect batched(cfg);
+  std::vector<sim::SlotStats> per_slot(slots.size());
+  const auto sum = batched.step_batch(slots, nullptr, per_slot);
+  ASSERT_EQ(per_slot.size(), serial.stats.size());
+  sim::SlotStats expect_sum;
+  for (std::size_t s = 0; s < per_slot.size(); ++s) {
+    expect_stats_eq(serial.stats[s], per_slot[s], s);
+    expect_sum.arrivals += per_slot[s].arrivals;
+    expect_sum.granted += per_slot[s].granted;
+    expect_sum.rejected += per_slot[s].rejected;
+  }
+  EXPECT_EQ(sum.arrivals, expect_sum.arrivals);
+  EXPECT_EQ(sum.granted, expect_sum.granted);
+  EXPECT_EQ(sum.rejected, expect_sum.rejected);
+  EXPECT_EQ(sum.busy_channels, per_slot.back().busy_channels);
+  EXPECT_EQ(sim::state_digest(batched), serial.digest);
+}
+
+TEST_F(SimdEquality, MaskedKernelsMatchScalarOnRandomInstances) {
+  // Direct kernel-level pinning (the oracle fuzzer runs the heavyweight
+  // version of this against Hopcroft–Karp; this keeps a fast always-on copy
+  // in the tier-1 suite). Random schemes, loads, and availability rows.
+  util::Rng rng(53);
+  for (int it = 0; it < 400; ++it) {
+    const auto k = static_cast<std::int32_t>(1 + rng.uniform_below(96));
+    const auto d = static_cast<std::int32_t>(1 + rng.uniform_below(
+                                                     static_cast<std::uint64_t>(k)));
+    const auto e = static_cast<std::int32_t>(
+        rng.uniform_below(static_cast<std::uint64_t>(d)));
+    const auto f = d - 1 - e;
+    const bool circular = rng.bernoulli(0.5);
+    const auto scheme = circular ? core::ConversionScheme::circular(k, e, f)
+                                 : core::ConversionScheme::non_circular(k, e, f);
+    if (scheme.is_full_range()) continue;  // full-range has no masked variant
+
+    core::RequestVector rv(k);
+    const double load = rng.uniform01();
+    for (core::Wavelength w = 0; w < k; ++w) {
+      if (rng.bernoulli(load)) {
+        rv.add(w, static_cast<std::int32_t>(1 + rng.uniform_below(3)));
+      }
+    }
+    std::vector<std::uint8_t> avail(static_cast<std::size_t>(k));
+    const double p_free = rng.uniform01();
+    for (auto& b : avail) b = rng.bernoulli(p_free) ? 1 : 0;
+
+    std::vector<std::uint64_t> avail_words(core::mask_words(k), 0);
+    std::vector<std::uint64_t> nonempty(core::mask_words(k), 0);
+    core::pack_availability(avail, k, avail_words.data());
+    for (core::Wavelength w = 0; w < k; ++w) {
+      if (rv.count(w) > 0) core::mask_set(nonempty.data(), w);
+    }
+
+    core::ChannelAssignment scalar(k);
+    core::ChannelAssignment masked(k);
+    if (circular) {
+      scalar = core::break_first_available(rv, scheme, avail);
+      core::BfaScratch scratch;
+      core::break_first_available_masked_into(rv, scheme, avail_words,
+                                              nonempty, nullptr, scratch,
+                                              masked);
+      // The approximation too, while the packed instance is at hand.
+      core::ChannelAssignment approx_scalar(k);
+      core::ChannelAssignment approx_masked(k);
+      const auto bc_scalar = core::approx_break_first_available_into(
+          rv, scheme, avail, approx_scalar);
+      const auto bc_masked = core::approx_break_first_available_masked_into(
+          rv, scheme, avail_words, nonempty, approx_masked);
+      ASSERT_EQ(bc_scalar, bc_masked) << "iteration " << it;
+      ASSERT_EQ(approx_scalar.source, approx_masked.source)
+          << "iteration " << it;
+    } else {
+      scalar = core::first_available(rv, scheme, avail);
+      core::first_available_masked_into(rv, scheme, avail_words, nonempty,
+                                        masked);
+    }
+    ASSERT_EQ(scalar.granted, masked.granted)
+        << "iteration " << it << " k=" << k << (circular ? " circ" : " noncirc");
+    ASSERT_EQ(scalar.source, masked.source)
+        << "iteration " << it << " k=" << k << (circular ? " circ" : " noncirc");
+  }
+}
+
+}  // namespace
+}  // namespace wdm

@@ -1,8 +1,8 @@
 // Enforces the zero-allocation contract of the slot pipeline: once the
 // scratch arenas are warm, the scheduler + availability-update path performs
-// no heap allocation at all, and a full Interconnect::step allocates exactly
-// the two SlotStats per-class vectors it returns by value (the documented
-// QoS-accounting allowance).
+// no heap allocation at all, and a full Interconnect::step allocates nothing
+// either — the SlotStats per-class QoS counters live in fixed-capacity
+// inline arrays (util::SmallVec), so returning the stats by value is free.
 //
 // This test replaces the global operator new/delete with counting versions,
 // so it lives in its own binary (tests/CMakeLists.txt) — instrumenting the
@@ -118,7 +118,7 @@ TEST(ZeroAlloc, SchedulerAndAvailabilityPathIsAllocationFreeWhenWarm) {
   }
 }
 
-TEST(ZeroAlloc, InterconnectStepAllocatesOnlyTheSlotStatsVectors) {
+TEST(ZeroAlloc, InterconnectStepIsAllocationFreeWhenWarm) {
   if (!kOptimizedBuild) GTEST_SKIP() << "debug cross-checks allocate";
   const std::int32_t n = 16;
   const std::int32_t k = 8;
@@ -136,10 +136,10 @@ TEST(ZeroAlloc, InterconnectStepAllocatesOnlyTheSlotStatsVectors) {
   for (const auto& slot : slots) sink += ic.step(slot).granted;
   const std::uint64_t after = g_allocs.load(std::memory_order_relaxed);
 
-  // Exactly 2 per slot: SlotStats.arrivals_per_class and .granted_per_class,
-  // sized to the number of QoS classes in the returned-by-value stats. The
-  // pipeline itself (partition, schedule, occupy, age) contributes zero.
-  EXPECT_EQ(after - before, 2 * slots.size()) << "sink " << sink;
+  // Zero per slot: SlotStats.arrivals_per_class and .granted_per_class are
+  // inline SmallVecs, and the pipeline itself (partition, schedule, occupy,
+  // age) contributes nothing once warm.
+  EXPECT_EQ(after - before, 0u) << "sink " << sink;
 }
 
 TEST(ZeroAlloc, SchedulerPathStaysAllocationFreeWithTracingOn) {
@@ -177,7 +177,7 @@ TEST(ZeroAlloc, SchedulerPathStaysAllocationFreeWithTracingOn) {
   EXPECT_GT(recorder.recorded(), 0u) << "tracing must actually be live";
 }
 
-TEST(ZeroAlloc, InterconnectStepWithFullTracingKeepsTheSlotStatsBound) {
+TEST(ZeroAlloc, InterconnectStepWithFullTracingIsAllocationFree) {
   if (!kOptimizedBuild) GTEST_SKIP() << "debug cross-checks allocate";
   const std::int32_t n = 16;
   const std::int32_t k = 8;
@@ -198,7 +198,7 @@ TEST(ZeroAlloc, InterconnectStepWithFullTracingKeepsTheSlotStatsBound) {
   const std::uint64_t after = g_allocs.load(std::memory_order_relaxed);
 
   // Same bound as the untraced pipeline: telemetry adds nothing per slot.
-  EXPECT_EQ(after - before, 2 * slots.size()) << "sink " << sink;
+  EXPECT_EQ(after - before, 0u) << "sink " << sink;
   EXPECT_GT(recorder.recorded(), 0u) << "tracing must actually be live";
 }
 
