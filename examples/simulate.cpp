@@ -12,9 +12,12 @@
 #include <iostream>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "obs/registry.hpp"
 #include "obs/telemetry.hpp"
+#include "sim/checkpoint.hpp"
+#include "sim/checkpoint_store.hpp"
 #include "sim/interconnect.hpp"
 #include "sim/metrics.hpp"
 #include "sim/obs_export.hpp"
@@ -51,12 +54,34 @@ int main(int argc, char** argv) {
   cli.add_option("bucket-depth", "4", "admission token bucket depth");
   cli.add_option("queue-capacity", "64", "admission ingress queue bound");
   cli.add_option("drop-policy", "tail", "admission drop policy: tail|priority");
+  cli.add_flag("adaptive-admission",
+               "derive per-fiber token rates from grant-rate feedback "
+               "(requires --tokens-per-slot > 0 as the initial rate)");
+  cli.add_option("min-tokens", "0.25", "adaptive rate floor (tokens/slot)");
+  cli.add_option("max-tokens", "16", "adaptive rate ceiling (tokens/slot)");
   cli.add_flag("bursty", "use on-off (bursty) sources instead of Bernoulli");
   cli.add_option("trace-detail", "off",
                  "telemetry level: off|slots|fibers|full");
   cli.add_option("trace-capacity", "65536", "trace ring buffer capacity");
   cli.add_option("telemetry", "", "write a Chrome trace JSON to this path");
+  cli.add_option("telemetry-max-bytes", "0",
+                 "stream the Chrome trace in segments of about this many "
+                 "bytes (path, path.1, ...); 0 writes one file at exit");
   cli.add_option("metrics", "", "write a Prometheus snapshot to this path");
+  cli.add_flag("metrics-per-fiber",
+               "emit per-output-fiber grant counters in the Prometheus "
+               "snapshot (one series per fiber; off by default)");
+  cli.add_option("checkpoint-dir", "",
+                 "write full/delta checkpoint frames into this directory");
+  cli.add_option("checkpoint-every", "0",
+                 "slots between checkpoint frames; 0 disables");
+  cli.add_option("full-every", "8",
+                 "every full-every-th checkpoint frame is a full snapshot");
+  cli.add_option("keep-fulls", "2",
+                 "full-frame chains retained when pruning old checkpoints");
+  cli.add_flag("resume",
+               "recover the newest verified checkpoint chain from "
+               "--checkpoint-dir and continue the run from there");
   if (!cli.parse(argc, argv)) return 1;
 
   const auto n = static_cast<std::int32_t>(cli.get_int("n"));
@@ -85,12 +110,9 @@ int main(int argc, char** argv) {
   icfg.degrade.op_budget = static_cast<std::uint64_t>(cli.get_int("op-budget"));
   icfg.degrade.slot_deadline_ns =
       static_cast<std::uint64_t>(cli.get_int("slot-deadline-ns"));
-  if (icfg.degrade.slot_deadline_ns > 0) {
-    std::cerr << "simulate: warning: --slot-deadline-ns ties degradation to "
-                 "this machine's clock; the run is not reproducible and its "
-                 "checkpoints cannot be replayed (sim::replay_from rejects "
-                 "them). Use --op-budget for deterministic degradation.\n";
-  }
+  // Wall-clock deadlines are machine-dependent, but no longer unreplayable:
+  // each overrun lands in the captured trace as a first-class event, and
+  // sim::replay_from reapplies the recorded overrun schedule bit-for-bit.
   icfg.degrade.recovery_slots =
       static_cast<std::int32_t>(cli.get_int("recovery-slots"));
   icfg.retry.max_retries = static_cast<std::int32_t>(cli.get_int("retries"));
@@ -103,6 +125,16 @@ int main(int argc, char** argv) {
     icfg.admission.drop_policy = cli.get("drop-policy") == "priority"
                                      ? sim::DropPolicy::kPriorityShed
                                      : sim::DropPolicy::kTailDrop;
+    if (cli.get_flag("adaptive-admission")) {
+      icfg.admission.adaptive.enabled = true;
+      icfg.admission.adaptive.min_tokens_per_slot =
+          cli.get_double("min-tokens");
+      icfg.admission.adaptive.max_tokens_per_slot =
+          cli.get_double("max-tokens");
+    }
+  } else if (cli.get_flag("adaptive-admission")) {
+    std::cerr << "simulate: --adaptive-admission needs --tokens-per-slot > 0 "
+                 "(the initial rate); ignoring the flag.\n";
   }
 
   sim::Interconnect interconnect(icfg);
@@ -125,10 +157,63 @@ int main(int argc, char** argv) {
 
   const auto warmup = static_cast<std::uint64_t>(cli.get_int("warmup"));
   const auto slots = static_cast<std::uint64_t>(cli.get_int("slots"));
+
+  std::unique_ptr<sim::CheckpointStore> store;
+  const auto checkpoint_every =
+      static_cast<std::uint64_t>(cli.get_int("checkpoint-every"));
+  if (!cli.get("checkpoint-dir").empty() && checkpoint_every > 0) {
+    sim::CheckpointPolicy policy;
+    policy.dir = cli.get("checkpoint-dir");
+    policy.full_every = static_cast<std::uint32_t>(cli.get_int("full-every"));
+    policy.keep_fulls = static_cast<std::uint32_t>(cli.get_int("keep-fulls"));
+    store = std::make_unique<sim::CheckpointStore>(policy);
+  }
+  std::uint64_t start_slot = 0;
+  if (cli.get_flag("resume")) {
+    if (cli.get("checkpoint-dir").empty()) {
+      std::cerr << "simulate: --resume needs --checkpoint-dir\n";
+      return 1;
+    }
+    const sim::RecoveryReport report =
+        sim::recover_latest(cli.get("checkpoint-dir"), interconnect, &traffic);
+    for (std::size_t i = 0; i < report.discarded.size(); ++i) {
+      std::cerr << "simulate: discarded checkpoint " << report.discarded[i]
+                << " (" << report.reasons[i] << ")\n";
+    }
+    if (!report.recovered) {
+      std::cerr << "simulate: no recoverable checkpoint chain in "
+                << cli.get("checkpoint-dir") << "\n";
+      return 1;
+    }
+    start_slot = report.slot;
+    std::cout << "resumed at slot " << report.slot << " from " << report.used
+              << " (" << report.frames_applied << " frames applied)\n";
+  }
+
+  // Segmented streaming export: drain the recorder into rolling JSON
+  // segments during the run instead of one snapshot at exit, so a long soak
+  // never outgrows the ring buffer or a single file.
+  std::unique_ptr<obs::ChromeTraceSegmentWriter> segments;
+  const auto telemetry_max_bytes =
+      static_cast<std::uint64_t>(cli.get_int("telemetry-max-bytes"));
+  if (!cli.get("telemetry").empty() && telemetry_max_bytes > 0) {
+    segments = std::make_unique<obs::ChromeTraceSegmentWriter>(
+        cli.get("telemetry"), telemetry_max_bytes);
+  }
+  std::vector<obs::TraceEvent> drained;
+  constexpr std::uint64_t kDrainEverySlots = 512;
+
   const util::Stopwatch clock;
-  for (std::uint64_t slot = 0; slot < warmup + slots; ++slot) {
+  for (std::uint64_t slot = start_slot; slot < warmup + slots; ++slot) {
     const auto arrivals = traffic.next_slot(interconnect.input_channel_busy());
     const sim::SlotStats stats = interconnect.step(arrivals, pool.get());
+    if (store && interconnect.current_slot() % checkpoint_every == 0) {
+      store->write(interconnect, &traffic);
+    }
+    if (segments && slot % kDrainEverySlots == 0) {
+      recorder.drain(drained);
+      segments->write(drained);
+    }
     if (slot < warmup) continue;
     const obs::StageTimer metrics_timer(
         *detail == obs::TraceDetail::kOff ? nullptr : &recorder,
@@ -148,13 +233,22 @@ int main(int argc, char** argv) {
             << " throughput=" << metrics.throughput_per_channel()
             << " utilization=" << metrics.utilization()
             << " wall_s=" << wall_s << "\n";
+  std::cout << "state_digest=0x" << std::hex << sim::state_digest(interconnect)
+            << std::dec << "\n";
   if (*detail != obs::TraceDetail::kOff) {
     std::cout << "trace: " << recorder.recorded() << " events recorded, "
               << recorder.dropped() << " dropped (ring capacity "
               << recorder.capacity() << ")\n";
   }
 
-  if (!cli.get("telemetry").empty()) {
+  if (segments) {
+    recorder.drain(drained);
+    segments->write(drained);
+    segments->finish();
+    std::cout << "wrote " << segments->segment_paths().size()
+              << " Chrome trace segment(s) under " << cli.get("telemetry")
+              << "\n";
+  } else if (!cli.get("telemetry").empty()) {
     std::ofstream os(cli.get("telemetry"));
     if (!os) {
       std::cerr << "simulate: cannot open " << cli.get("telemetry") << "\n";
@@ -170,7 +264,7 @@ int main(int argc, char** argv) {
       return 1;
     }
     obs::Registry registry;
-    sim::register_metrics(registry, metrics);
+    sim::register_metrics(registry, metrics, cli.get_flag("metrics-per-fiber"));
     obs::register_recorder(registry, recorder);
     obs::write_prometheus(os, registry);
     std::cout << "wrote Prometheus snapshot to " << cli.get("metrics") << "\n";

@@ -1,7 +1,6 @@
 #include "core/distributed.hpp"
 
 #include <algorithm>
-#include <atomic>
 
 #include "core/simd.hpp"
 #include "util/check.hpp"
@@ -127,9 +126,10 @@ void DistributedScheduler::schedule_slot_impl(
   }
 
   // Deadline-bounded degradation plan. The op-budget decisions are made here,
-  // serially and in fiber order, *before* any scheduling work: the same slot
-  // degrades the same ports whether or not a pool is attached. The wall-clock
-  // deadline is additionally checked as each fiber's schedule starts.
+  // serially and in charge order, *before* any scheduling work: the same slot
+  // degrades the same ports whether or not a pool is attached. Wall-clock
+  // deadlines never reach this layer — the interconnect judges the whole
+  // step and feeds the verdict back through force_degraded.
   const bool budgeted = budget != nullptr && budget->active();
   if (budgeted) {
     degrade_flags_.assign(n_fibers, 0);
@@ -138,12 +138,17 @@ void DistributedScheduler::schedule_slot_impl(
     // Fairness rotation: charge fibers starting at budget->rotation so the
     // fibers past the budget's edge — the ones downgraded — move around the
     // ring from slot to slot instead of always being the highest-numbered.
+    // An explicit charge_order (deepest ingress backlog first) overrides the
+    // plain rotation.
     const std::size_t rot =
         budget->rotation > 0
             ? static_cast<std::size_t>(budget->rotation) % n_fibers
             : 0;
     for (std::size_t i = 0; i < n_fibers; ++i) {
-      const std::size_t fiber = (i + rot) % n_fibers;
+      const std::size_t fiber =
+          budget->charge_order != nullptr
+              ? static_cast<std::size_t>(budget->charge_order[i])
+              : (i + rot) % n_fibers;
       if (soa_.fiber_offsets[fiber] == soa_.fiber_offsets[fiber + 1]) continue;
       const bool degradable = ports_[fiber].degradable();
       const std::uint64_t exact_cost = degradable ? d * kk : kk;
@@ -160,7 +165,6 @@ void DistributedScheduler::schedule_slot_impl(
       }
     }
   }
-  std::atomic<std::int32_t> deadline_degraded{0};
 
   // Per-fiber trace staging: one preallocated slot per fiber, written by
   // exactly the worker that schedules that fiber, merged after the join.
@@ -178,12 +182,7 @@ void DistributedScheduler::schedule_slot_impl(
     const std::span<PortDecision> staged{csr_decisions_.data() + lo, hi - lo};
     const HealthMask* fiber_health =
         health != nullptr ? &(*health)[fiber] : nullptr;
-    bool degraded = budgeted && degrade_flags_[fiber] != 0;
-    if (budgeted && !degraded && budget->deadline_ns != 0 &&
-        ports_[fiber].degradable() && util::now_ns() > budget->deadline_ns) {
-      degraded = true;
-      deadline_degraded.fetch_add(1, std::memory_order_relaxed);
-    }
+    const bool degraded = budgeted && degrade_flags_[fiber] != 0;
     std::uint64_t granted = 0;
     try {
       if (soa) {
@@ -237,9 +236,6 @@ void DistributedScheduler::schedule_slot_impl(
     }
   }
   if (trace_fibers) telemetry_->append(fiber_events_);
-  if (budgeted) {
-    budget->degraded_ports += deadline_degraded.load(std::memory_order_relaxed);
-  }
   for (auto& d : decisions) {
     if (!d.granted && d.reason == RejectReason::kUndecided) {
       WDM_DCHECK(!"schedule_slot left a request undecided");

@@ -41,20 +41,27 @@ struct SlotRequest {
 /// "channel visits"): scheduling a fiber with pending requests costs d*k for
 /// the exact circular BFA sweep and k for every O(k) kernel (FA, the
 /// single-break approximation, full-range). Ports whose exact cost no longer
-/// fits are downgraded in fiber order — deterministically, before any
+/// fits are downgraded in charge order — deterministically, before any
 /// scheduling work runs, so the same slot degrades the same ports with or
-/// without a thread pool. The wall-clock deadline is the production variant:
-/// each fiber checks the steady clock as its schedule starts (inherently
-/// nondeterministic; tests use the op budget).
+/// without a thread pool. The wall-clock slot deadline lives one layer up
+/// (sim::Interconnect judges the whole step against it and latches
+/// force_degraded for the following slots), keeping this budget — and thus
+/// every per-fiber decision — free of clock reads.
 struct SlotBudget {
   std::uint64_t op_budget = 0;     ///< op-count ceiling per slot; 0 = none
-  std::uint64_t deadline_ns = 0;   ///< util::now_ns() deadline; 0 = none
   bool force_degraded = false;     ///< hysteresis hold: degrade every port
   /// Fairness rotation: the budget plan charges fibers in the rotated order
   /// (rotation, rotation+1, ... mod N) so a partially blown budget does not
   /// always degrade the same low-numbered fibers. Deterministic — the
   /// interconnect derives it from its slot counter, which is checkpointed.
   std::int32_t rotation = 0;
+  /// Optional explicit charge order: N fiber indices, a permutation of
+  /// [0, N). When non-null the budget plan charges fibers in this order
+  /// instead of the rotated ring — the interconnect puts fibers with the
+  /// deepest ingress backlog first, so the ports a blown budget downgrades
+  /// are the ones with the least queued demand. Must be derived from
+  /// checkpointed state only (replays rebuild it identically).
+  const std::int32_t* charge_order = nullptr;
 
   // Outputs, accumulated across the slot's scheduling calls.
   std::uint64_t ops_charged = 0;        ///< cost actually charged
@@ -62,7 +69,7 @@ struct SlotBudget {
   std::int32_t degraded_ports = 0;      ///< degradable ports downgraded
 
   bool active() const noexcept {
-    return op_budget > 0 || deadline_ns > 0 || force_degraded;
+    return op_budget > 0 || force_degraded;
   }
 };
 

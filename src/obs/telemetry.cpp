@@ -1,9 +1,11 @@
 #include "obs/telemetry.hpp"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <ostream>
 #include <set>
+#include <stdexcept>
 #include <string>
 
 #include "obs/registry.hpp"
@@ -59,6 +61,8 @@ const char* to_string(EventKind kind) noexcept {
     case EventKind::kCheckpointLoad: return "checkpoint-load";
     case EventKind::kDegradeEnter: return "degraded-mode-enter";
     case EventKind::kDegradeExit: return "degraded-mode-exit";
+    case EventKind::kDeadlineOverrun: return "deadline-overrun";
+    case EventKind::kRateUpdate: return "rate-update";
   }
   return "?";
 }
@@ -77,6 +81,11 @@ void TraceRecorder::snapshot(std::vector<TraceEvent>& out) const {
   }
 }
 
+void TraceRecorder::drain(std::vector<TraceEvent>& out) {
+  snapshot(out);
+  head_ = 0;
+}
+
 void TraceRecorder::clear() noexcept {
   head_ = 0;
   for (auto& h : stage_hist_) h.clear();
@@ -90,6 +99,96 @@ std::string us(std::uint64_t ns) {
   std::snprintf(buf, sizeof buf, "%" PRIu64 ".%03u", ns / 1000,
                 static_cast<unsigned>(ns % 1000));
   return buf;
+}
+
+void begin_record(std::ostream& os, bool& first) {
+  os << (first ? "\n    {" : ",\n    {");
+  first = false;
+}
+
+void emit_process_metadata(std::ostream& os, bool& first) {
+  begin_record(os, first);
+  os << "\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 0, "
+        "\"args\": {\"name\": \"wdm-interconnect\"}}";
+}
+
+void emit_thread_metadata(std::ostream& os, bool& first, std::uint16_t tid) {
+  begin_record(os, first);
+  os << "\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 0, \"tid\": "
+     << tid << ", \"args\": {\"name\": \""
+     << (tid == 0 ? std::string("slot-loop")
+                  : "worker " + std::to_string(tid))
+     << "\"}}";
+}
+
+void emit_event(std::ostream& os, bool& first, const TraceEvent& e,
+                std::uint64_t t0) {
+  begin_record(os, first);
+  const bool span =
+      e.kind == EventKind::kStage || e.kind == EventKind::kFiberSchedule;
+  const char* name = e.kind == EventKind::kStage
+                         ? to_string(static_cast<Stage>(e.detail))
+                         : to_string(e.kind);
+  const char* cat = "event";
+  switch (e.kind) {
+    case EventKind::kStage: cat = "stage"; break;
+    case EventKind::kFiberSchedule: cat = "fiber"; break;
+    case EventKind::kAdmissionShed:
+    case EventKind::kAdmissionQueue:
+    case EventKind::kIngressRelease:
+    case EventKind::kRateUpdate: cat = "admission"; break;
+    case EventKind::kRetryDrain: cat = "retry"; break;
+    case EventKind::kFaultFail:
+    case EventKind::kFaultRepair: cat = "fault"; break;
+    case EventKind::kCheckpointSave:
+    case EventKind::kCheckpointLoad: cat = "checkpoint"; break;
+    case EventKind::kDegradeEnter:
+    case EventKind::kDegradeExit:
+    case EventKind::kDeadlineOverrun: cat = "overload"; break;
+    case EventKind::kNone: break;
+  }
+  os << "\"name\": \"" << name << "\", \"cat\": \"" << cat
+     << "\", \"ph\": \"" << (span ? "X" : "i") << "\", ";
+  if (!span) os << "\"s\": \"t\", ";
+  os << "\"pid\": 0, \"tid\": " << e.tid << ", \"ts\": "
+     << us(e.ts_ns > t0 ? e.ts_ns - t0 : 0);
+  if (span) os << ", \"dur\": " << us(e.dur_ns);
+  os << ", \"args\": {\"slot\": " << e.slot;
+  switch (e.kind) {
+    case EventKind::kFiberSchedule:
+      os << ", \"fiber\": " << e.fiber << ", \"offered\": " << e.a
+         << ", \"granted\": " << e.b << ", \"kernel\": \""
+         << (e.detail != 0 ? "degraded-approx" : "exact") << "\"";
+      break;
+    case EventKind::kAdmissionShed:
+      os << ", \"fiber\": " << e.fiber << ", \"class\": " << e.a
+         << ", \"evicted\": " << (e.detail != 0 ? "true" : "false");
+      break;
+    case EventKind::kAdmissionQueue:
+      os << ", \"fiber\": " << e.fiber << ", \"class\": " << e.a;
+      break;
+    case EventKind::kIngressRelease:
+      os << ", \"released\": " << e.a;
+      break;
+    case EventKind::kRetryDrain:
+      os << ", \"attempts\": " << e.a << ", \"successes\": " << e.b;
+      break;
+    case EventKind::kFaultFail:
+    case EventKind::kFaultRepair:
+      os << ", \"fiber\": " << e.fiber << ", \"channel\": " << e.a
+         << ", \"kind\": " << static_cast<unsigned>(e.detail);
+      break;
+    case EventKind::kDeadlineOverrun:
+      os << ", \"slot_ns\": " << e.a << ", \"deadline_ns\": " << e.b;
+      break;
+    case EventKind::kRateUpdate:
+      os << ", \"fiber\": " << e.fiber << ", \"rate_milli\": " << e.a
+         << ", \"ewma_milli\": " << e.b;
+      break;
+    default:
+      break;
+  }
+  os << "}}";
 }
 
 }  // namespace
@@ -109,83 +208,74 @@ void write_chrome_trace(std::ostream& os, const TraceRecorder& recorder) {
 
   os << "{\n  \"displayTimeUnit\": \"ns\",\n  \"traceEvents\": [";
   bool first = true;
-  const auto begin = [&] {
-    os << (first ? "\n    {" : ",\n    {");
-    first = false;
-  };
-
-  begin();
-  os << "\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 0, "
-        "\"args\": {\"name\": \"wdm-interconnect\"}}";
-  for (const std::uint16_t tid : tids) {
-    begin();
-    os << "\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 0, \"tid\": "
-       << tid << ", \"args\": {\"name\": \""
-       << (tid == 0 ? std::string("slot-loop")
-                    : "worker " + std::to_string(tid))
-       << "\"}}";
-  }
-
-  for (const auto& e : events) {
-    begin();
-    const bool span =
-        e.kind == EventKind::kStage || e.kind == EventKind::kFiberSchedule;
-    const char* name = e.kind == EventKind::kStage
-                           ? to_string(static_cast<Stage>(e.detail))
-                           : to_string(e.kind);
-    const char* cat = "event";
-    switch (e.kind) {
-      case EventKind::kStage: cat = "stage"; break;
-      case EventKind::kFiberSchedule: cat = "fiber"; break;
-      case EventKind::kAdmissionShed:
-      case EventKind::kAdmissionQueue:
-      case EventKind::kIngressRelease: cat = "admission"; break;
-      case EventKind::kRetryDrain: cat = "retry"; break;
-      case EventKind::kFaultFail:
-      case EventKind::kFaultRepair: cat = "fault"; break;
-      case EventKind::kCheckpointSave:
-      case EventKind::kCheckpointLoad: cat = "checkpoint"; break;
-      case EventKind::kDegradeEnter:
-      case EventKind::kDegradeExit: cat = "overload"; break;
-      case EventKind::kNone: break;
-    }
-    os << "\"name\": \"" << name << "\", \"cat\": \"" << cat
-       << "\", \"ph\": \"" << (span ? "X" : "i") << "\", ";
-    if (!span) os << "\"s\": \"t\", ";
-    os << "\"pid\": 0, \"tid\": " << e.tid << ", \"ts\": "
-       << us(e.ts_ns - t0);
-    if (span) os << ", \"dur\": " << us(e.dur_ns);
-    os << ", \"args\": {\"slot\": " << e.slot;
-    switch (e.kind) {
-      case EventKind::kFiberSchedule:
-        os << ", \"fiber\": " << e.fiber << ", \"offered\": " << e.a
-           << ", \"granted\": " << e.b << ", \"kernel\": \""
-           << (e.detail != 0 ? "degraded-approx" : "exact") << "\"";
-        break;
-      case EventKind::kAdmissionShed:
-        os << ", \"fiber\": " << e.fiber << ", \"class\": " << e.a
-           << ", \"evicted\": " << (e.detail != 0 ? "true" : "false");
-        break;
-      case EventKind::kAdmissionQueue:
-        os << ", \"fiber\": " << e.fiber << ", \"class\": " << e.a;
-        break;
-      case EventKind::kIngressRelease:
-        os << ", \"released\": " << e.a;
-        break;
-      case EventKind::kRetryDrain:
-        os << ", \"attempts\": " << e.a << ", \"successes\": " << e.b;
-        break;
-      case EventKind::kFaultFail:
-      case EventKind::kFaultRepair:
-        os << ", \"fiber\": " << e.fiber << ", \"channel\": " << e.a
-           << ", \"kind\": " << static_cast<unsigned>(e.detail);
-        break;
-      default:
-        break;
-    }
-    os << "}}";
-  }
+  emit_process_metadata(os, first);
+  for (const std::uint16_t tid : tids) emit_thread_metadata(os, first, tid);
+  for (const auto& e : events) emit_event(os, first, e, t0);
   os << "\n  ]\n}\n";
+}
+
+ChromeTraceSegmentWriter::ChromeTraceSegmentWriter(std::string base_path,
+                                                   std::uint64_t max_bytes)
+    : base_path_(std::move(base_path)),
+      max_bytes_(max_bytes > 0 ? max_bytes : 1) {}
+
+ChromeTraceSegmentWriter::~ChromeTraceSegmentWriter() {
+  try {
+    finish();
+  } catch (...) {
+    // A destructor-run flush failing must not terminate; callers that care
+    // about the error call finish() themselves.
+  }
+}
+
+void ChromeTraceSegmentWriter::open_segment() {
+  std::string path = base_path_;
+  if (!paths_.empty()) path += "." + std::to_string(paths_.size());
+  os_.open(path, std::ios::binary | std::ios::trunc);
+  if (!os_) throw std::runtime_error("cannot open trace segment: " + path);
+  paths_.push_back(std::move(path));
+  first_ = true;
+  seg_tids_.clear();
+  os_ << "{\n  \"displayTimeUnit\": \"ns\",\n  \"traceEvents\": [";
+  emit_process_metadata(os_, first_);
+}
+
+void ChromeTraceSegmentWriter::close_segment() {
+  os_ << "\n  ]\n}\n";
+  os_.flush();
+  if (!os_) {
+    throw std::runtime_error("trace segment write failed: " + paths_.back());
+  }
+  os_.close();
+}
+
+void ChromeTraceSegmentWriter::write(std::span<const TraceEvent> events) {
+  if (events.empty()) return;
+  if (!t0_set_) {
+    // One timebase across all segments, so a multi-segment run still lines
+    // up on a single timeline when segments are viewed side by side.
+    t0_ = events.front().ts_ns;
+    for (const auto& e : events) t0_ = std::min(t0_, e.ts_ns);
+    t0_set_ = true;
+  }
+  if (!os_.is_open()) open_segment();
+  for (const auto& e : events) {
+    if (!seg_tids_.contains(e.tid)) {
+      emit_thread_metadata(os_, first_, e.tid);
+      seg_tids_.insert(e.tid);
+    }
+    emit_event(os_, first_, e, t0_);
+    // Rollover between events, not mid-record: every segment is standalone
+    // valid JSON no matter where the byte budget lands.
+    if (static_cast<std::uint64_t>(os_.tellp()) >= max_bytes_) {
+      close_segment();
+      open_segment();
+    }
+  }
+}
+
+void ChromeTraceSegmentWriter::finish() {
+  if (os_.is_open()) close_segment();
 }
 
 void register_recorder(Registry& registry, const TraceRecorder& recorder) {

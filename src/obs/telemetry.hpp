@@ -24,9 +24,12 @@
 #pragma once
 
 #include <cstdint>
+#include <fstream>
 #include <iosfwd>
 #include <optional>
+#include <set>
 #include <span>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -82,6 +85,10 @@ enum class EventKind : std::uint8_t {
   kCheckpointLoad,  ///< instant: checkpoint restored
   kDegradeEnter,    ///< instant: hysteresis latched degraded mode
   kDegradeExit,     ///< instant: hysteresis released degraded mode
+  kDeadlineOverrun, ///< instant: slot overran its wall-clock deadline;
+                    ///< a = measured slot ns, b = deadline ns (0 on replay)
+  kRateUpdate,      ///< instant: adaptive admission moved a fiber's token
+                    ///< rate; a = new rate, b = grant EWMA (milli-tokens)
 };
 
 const char* to_string(EventKind kind) noexcept;
@@ -161,6 +168,11 @@ class TraceRecorder {
   /// Copies the held events oldest-first into `out`.
   void snapshot(std::vector<TraceEvent>& out) const;
 
+  /// snapshot() + empties the ring, keeping the stage histograms (their
+  /// samples were never in the ring). Segment-rotated export uses this to
+  /// stream events out before the ring wraps, without losing latency stats.
+  void drain(std::vector<TraceEvent>& out);
+
   Histogram& stage_histogram(Stage stage) noexcept {
     return stage_hist_[static_cast<std::size_t>(stage)];
   }
@@ -208,6 +220,48 @@ class StageTimer {
 /// (the `{"traceEvents": [...]}` object form, timestamps normalised to the
 /// earliest event). Loads directly in chrome://tracing and ui.perfetto.dev.
 void write_chrome_trace(std::ostream& os, const TraceRecorder& recorder);
+
+/// Streaming, segment-rotated Chrome-trace export for long soaks: feed it
+/// event batches (typically TraceRecorder::drain every few hundred slots)
+/// and it writes them through to disk, starting a new file whenever the
+/// current segment crosses `max_bytes`. Every segment is standalone valid
+/// trace JSON (own metadata records, shared timebase), named
+/// `path`, `path.1`, `path.2`, ... so a run's telemetry footprint is
+/// bounded per file instead of buffered whole in the ring.
+class ChromeTraceSegmentWriter {
+ public:
+  /// `max_bytes` is a soft per-segment bound: segments roll over at the
+  /// first event boundary past it (records are never split).
+  ChromeTraceSegmentWriter(std::string base_path, std::uint64_t max_bytes);
+  ChromeTraceSegmentWriter(const ChromeTraceSegmentWriter&) = delete;
+  ChromeTraceSegmentWriter& operator=(const ChromeTraceSegmentWriter&) =
+      delete;
+  ~ChromeTraceSegmentWriter();
+
+  /// Appends a batch of events, rolling segments as the byte bound is hit.
+  void write(std::span<const TraceEvent> events);
+  /// Closes the open segment (making it valid JSON on disk). write() after
+  /// finish() starts a fresh segment. Throws on stream failure.
+  void finish();
+
+  /// Paths of every segment started so far, in order.
+  const std::vector<std::string>& segment_paths() const noexcept {
+    return paths_;
+  }
+
+ private:
+  void open_segment();
+  void close_segment();
+
+  std::string base_path_;
+  std::uint64_t max_bytes_;
+  std::ofstream os_;
+  std::vector<std::string> paths_;
+  std::set<std::uint16_t> seg_tids_;  // tids named in the current segment
+  bool first_ = true;                 // no record emitted yet this segment
+  bool t0_set_ = false;
+  std::uint64_t t0_ = 0;  // shared timestamp origin across segments
+};
 
 class Registry;
 

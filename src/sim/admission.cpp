@@ -1,6 +1,7 @@
 #include "sim/admission.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/check.hpp"
 #include "util/timer.hpp"
@@ -15,13 +16,140 @@ AdmissionControl::AdmissionControl(std::int32_t n_fibers,
                 "admission: tokens_per_slot > 0 and bucket_depth >= 1");
   // Buckets start full so a cold start does not shed the first slot.
   tokens_.assign(static_cast<std::size_t>(n_fibers), config_.bucket_depth);
+  queued_per_input_.assign(static_cast<std::size_t>(n_fibers), 0);
+  queued_per_output_.assign(static_cast<std::size_t>(n_fibers), 0);
+  if (config_.adaptive.enabled) {
+    const auto& a = config_.adaptive;
+    WDM_CHECK_MSG(a.min_tokens_per_slot > 0.0 &&
+                      a.min_tokens_per_slot <= a.max_tokens_per_slot,
+                  "adaptive admission: 0 < min_tokens_per_slot <= max");
+    WDM_CHECK_MSG(a.alpha > 0.0 && a.alpha <= 1.0,
+                  "adaptive admission: alpha in (0, 1]");
+    WDM_CHECK_MSG(a.headroom > 0.0, "adaptive admission: headroom > 0");
+    WDM_CHECK_MSG(a.update_every >= 1 && a.hold_ticks >= 1,
+                  "adaptive admission: update_every >= 1 and hold_ticks >= 1");
+    WDM_CHECK_MSG(a.deadband >= 0.0, "adaptive admission: deadband >= 0");
+    FiberController seed;
+    seed.rate = clamp_rate(config_.tokens_per_slot);
+    controllers_.assign(static_cast<std::size_t>(n_fibers), seed);
+  }
+}
+
+double AdmissionControl::clamp_rate(double rate) const noexcept {
+  return std::min(config_.adaptive.max_tokens_per_slot,
+                  std::max(config_.adaptive.min_tokens_per_slot, rate));
+}
+
+double AdmissionControl::token_rate(std::int32_t input_fiber) const {
+  if (!config_.adaptive.enabled) return config_.tokens_per_slot;
+  return controllers_[static_cast<std::size_t>(input_fiber)].rate;
+}
+
+double AdmissionControl::grant_estimate(std::int32_t input_fiber) const {
+  if (!config_.adaptive.enabled) return 0.0;
+  return controllers_[static_cast<std::size_t>(input_fiber)].grant_ewma;
 }
 
 void AdmissionControl::begin_slot() {
   trace_slot_ += 1;
+  if (config_.adaptive.enabled) {
+    for (std::size_t f = 0; f < tokens_.size(); ++f) {
+      tokens_[f] =
+          std::min(config_.bucket_depth, tokens_[f] + controllers_[f].rate);
+    }
+    return;
+  }
   for (auto& t : tokens_) {
     t = std::min(config_.bucket_depth, t + config_.tokens_per_slot);
   }
+}
+
+void AdmissionControl::record_rate_update(std::int32_t fiber,
+                                          const FiberController& ctrl) {
+  if (telemetry_ == nullptr || !telemetry_->at(obs::TraceDetail::kSlots)) {
+    return;
+  }
+  obs::TraceEvent e;
+  e.ts_ns = util::now_ns();
+  e.slot = trace_slot_;
+  // Rates are fractional; export milli-tokens so the fixed-size integer
+  // payload still resolves the controller's step sizes.
+  e.a = static_cast<std::uint64_t>(ctrl.rate * 1000.0);
+  e.b = static_cast<std::uint64_t>(ctrl.grant_ewma * 1000.0);
+  e.fiber = fiber;
+  e.kind = obs::EventKind::kRateUpdate;
+  telemetry_->record(e);
+}
+
+void AdmissionControl::controller_tick(std::int32_t fiber,
+                                       FiberController& ctrl) {
+  const auto& a = config_.adaptive;
+  ctrl.queue_depth = queued_per_input_[static_cast<std::size_t>(fiber)];
+  // Backlog drain term: parked demand is demand the grant estimate cannot
+  // see (it never reached the fabric). Spreading it over one update period
+  // asks for just enough extra rate to clear it by the next tick.
+  const double backlog = static_cast<double>(ctrl.queue_depth) /
+                         static_cast<double>(a.update_every);
+  const double target = clamp_rate((ctrl.grant_ewma + backlog) * a.headroom);
+  if (target > ctrl.rate + a.deadband) {
+    ctrl.lower_hold = 0;
+    if (++ctrl.raise_hold >= a.hold_ticks) {
+      ctrl.rate = target;
+      ctrl.raise_hold = 0;
+      record_rate_update(fiber, ctrl);
+    }
+  } else if (target < ctrl.rate - a.deadband) {
+    ctrl.raise_hold = 0;
+    if (++ctrl.lower_hold >= a.hold_ticks) {
+      ctrl.rate = target;
+      ctrl.lower_hold = 0;
+      record_rate_update(fiber, ctrl);
+    }
+  } else {
+    ctrl.raise_hold = 0;
+    ctrl.lower_hold = 0;
+  }
+  // The clamp is the stability contract (docs/ALGORITHMS.md §11): whatever
+  // the estimate does, the applied rate never leaves the configured band.
+  WDM_CHECK_MSG(ctrl.rate >= a.min_tokens_per_slot &&
+                    ctrl.rate <= a.max_tokens_per_slot,
+                "adaptive admission rate escaped its clamp band");
+}
+
+void AdmissionControl::observe_slot(
+    std::span<const std::uint64_t> grants_per_input_fiber) {
+  if (!config_.adaptive.enabled) return;
+  WDM_CHECK_MSG(grants_per_input_fiber.size() == controllers_.size(),
+                "observe_slot needs one grant count per input fiber");
+  const auto& a = config_.adaptive;
+  ctrl_slots_ += 1;
+  const bool tick = ctrl_slots_ % static_cast<std::uint64_t>(a.update_every) ==
+                    0;
+  for (std::size_t f = 0; f < controllers_.size(); ++f) {
+    FiberController& ctrl = controllers_[f];
+    ctrl.grant_ewma =
+        (1.0 - a.alpha) * ctrl.grant_ewma +
+        a.alpha * static_cast<double>(grants_per_input_fiber[f]);
+    if (tick) controller_tick(static_cast<std::int32_t>(f), ctrl);
+  }
+}
+
+void AdmissionControl::note_queued(const core::SlotRequest& request,
+                                   std::int32_t delta) {
+  // Requests reaching the queues were validated by the interconnect, so the
+  // fiber indices are in range by construction.
+  auto& in = queued_per_input_[static_cast<std::size_t>(request.input_fiber)];
+  auto& out =
+      queued_per_output_[static_cast<std::size_t>(request.output_fiber)];
+  in = static_cast<std::uint32_t>(static_cast<std::int64_t>(in) + delta);
+  out = static_cast<std::uint32_t>(static_cast<std::int64_t>(out) + delta);
+}
+
+std::deque<core::SlotRequest>& AdmissionControl::class_queue(
+    std::int32_t priority) {
+  const auto cls = static_cast<std::size_t>(priority);
+  if (cls >= queues_.size()) queues_.resize(cls + 1);
+  return queues_[cls];
 }
 
 void AdmissionControl::record_admission(obs::EventKind kind,
@@ -40,13 +168,6 @@ void AdmissionControl::record_admission(obs::EventKind kind,
   telemetry_->record(e);
 }
 
-std::deque<core::SlotRequest>& AdmissionControl::class_queue(
-    std::int32_t priority) {
-  const auto cls = static_cast<std::size_t>(priority);
-  if (cls >= queues_.size()) queues_.resize(cls + 1);
-  return queues_[cls];
-}
-
 void AdmissionControl::drain(std::vector<core::SlotRequest>& out,
                              SlotStats& stats) {
   if (queued_ == 0) return;
@@ -62,6 +183,7 @@ void AdmissionControl::drain(std::vector<core::SlotRequest>& out,
         out.push_back(request);
         stats.ingress_releases += 1;
         queued_ -= 1;
+        note_queued(request, -1);
       } else {
         keep_.push_back(request);
       }
@@ -80,6 +202,7 @@ AdmissionControl::Verdict AdmissionControl::offer(
   if (queued_ < config_.queue_capacity) {
     class_queue(request.priority).push_back(request);
     queued_ += 1;
+    note_queued(request, +1);
     stats.deferred_overload += 1;
     record_admission(obs::EventKind::kAdmissionQueue, request, false);
     return Verdict::kQueued;
@@ -93,6 +216,7 @@ AdmissionControl::Verdict AdmissionControl::offer(
       if (queues_[cls].empty()) continue;
       record_admission(obs::EventKind::kAdmissionShed, queues_[cls].back(),
                        true);
+      note_queued(queues_[cls].back(), -1);
       queues_[cls].pop_back();
       queued_ -= 1;
       stats.ingress_releases += 1;
@@ -100,6 +224,7 @@ AdmissionControl::Verdict AdmissionControl::offer(
       stats.shed_overload += 1;
       class_queue(request.priority).push_back(request);
       queued_ += 1;
+      note_queued(request, +1);
       stats.deferred_overload += 1;
       record_admission(obs::EventKind::kAdmissionQueue, request, false);
       return Verdict::kQueued;
@@ -125,6 +250,20 @@ void AdmissionControl::save_state(util::SnapshotWriter& w) const {
       w.i32(r.priority);
     }
   }
+  // Adaptive-controller state. The enabled flag is a config echo: restoring
+  // a closed-loop run into an open-loop config (or vice versa) must fail
+  // loudly, not silently resume with the wrong control law.
+  w.u8(config_.adaptive.enabled ? 1 : 0);
+  if (config_.adaptive.enabled) {
+    w.u64(ctrl_slots_);
+    for (const auto& ctrl : controllers_) {
+      w.f64(ctrl.grant_ewma);
+      w.f64(ctrl.rate);
+      w.u32(ctrl.queue_depth);
+      w.i32(ctrl.raise_hold);
+      w.i32(ctrl.lower_hold);
+    }
+  }
 }
 
 void AdmissionControl::restore_state(util::SnapshotReader& r) {
@@ -134,6 +273,8 @@ void AdmissionControl::restore_state(util::SnapshotReader& r) {
   tokens_ = tokens;
   queues_.assign(r.u64(), {});
   queued_ = 0;
+  queued_per_input_.assign(queued_per_input_.size(), 0);
+  queued_per_output_.assign(queued_per_output_.size(), 0);
   for (auto& queue : queues_) {
     const std::uint64_t n = r.u64();
     for (std::uint64_t i = 0; i < n; ++i) {
@@ -144,8 +285,35 @@ void AdmissionControl::restore_state(util::SnapshotReader& r) {
       request.id = r.u64();
       request.duration = r.i32();
       request.priority = r.i32();
+      WDM_CHECK_MSG(
+          request.input_fiber >= 0 &&
+              request.input_fiber <
+                  static_cast<std::int32_t>(tokens_.size()) &&
+              request.output_fiber >= 0 &&
+              request.output_fiber <
+                  static_cast<std::int32_t>(tokens_.size()),
+          "snapshot ingress-queue entry has out-of-range fibers");
       queue.push_back(request);
       queued_ += 1;
+      // The per-fiber backlog counters are derived state: rebuilt here so
+      // they cannot disagree with the queues they index.
+      note_queued(request, +1);
+    }
+  }
+  const bool had_adaptive = r.u8() != 0;
+  WDM_CHECK_MSG(had_adaptive == config_.adaptive.enabled,
+                "snapshot adaptive-admission state does not match this config");
+  if (config_.adaptive.enabled) {
+    ctrl_slots_ = r.u64();
+    for (auto& ctrl : controllers_) {
+      ctrl.grant_ewma = r.f64();
+      ctrl.rate = r.f64();
+      ctrl.queue_depth = r.u32();
+      ctrl.raise_hold = r.i32();
+      ctrl.lower_hold = r.i32();
+      WDM_CHECK_MSG(ctrl.rate >= config_.adaptive.min_tokens_per_slot &&
+                        ctrl.rate <= config_.adaptive.max_tokens_per_slot,
+                    "snapshot controller rate is outside the clamp band");
     }
   }
 }

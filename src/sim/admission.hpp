@@ -23,6 +23,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <span>
 #include <vector>
 
 #include "core/distributed.hpp"
@@ -40,10 +41,45 @@ enum class DropPolicy : std::uint8_t {
                   ///< class to make room; shed the arrival if none is worse
 };
 
+/// Closed-loop token-rate adaptation (docs/ALGORITHMS.md §11). When enabled,
+/// each input fiber carries a fixed-size controller block — an EWMA estimate
+/// of its granted rate, its sampled ingress backlog, and two hysteresis hold
+/// counters — and its bucket refill follows
+///
+///     target_f = clamp((ewma_f + backlog_f / update_every) * headroom,
+///                      min_tokens_per_slot, max_tokens_per_slot)
+///
+/// recomputed every `update_every` slots, applied only after `hold_ticks`
+/// consecutive ticks outside the deadband. Entirely slot-count-driven (no
+/// wall clock), serialized in checkpoints, and WDM_CHECK-bounded: the
+/// applied rate can never leave [min, max].
+struct AdaptiveAdmissionConfig {
+  bool enabled = false;
+  /// Rate floor: an idle fiber keeps at least this trickle, so it can ramp
+  /// back up (grants feed the estimate, and a zero rate would grant nothing).
+  double min_tokens_per_slot = 0.25;
+  /// Rate ceiling, the safety clamp against controller runaway.
+  double max_tokens_per_slot = 16.0;
+  /// EWMA weight of the newest slot's grant count (0 < alpha <= 1).
+  double alpha = 0.125;
+  /// Rate target as a multiple of the grant estimate: > 1 leaves room to
+  /// probe above the observed rate, so the estimate can grow under rising
+  /// offered load instead of self-limiting.
+  double headroom = 1.25;
+  /// Slots between controller ticks (rate recomputations).
+  std::int32_t update_every = 16;
+  /// Consecutive out-of-deadband ticks before the rate actually moves.
+  std::int32_t hold_ticks = 2;
+  /// |target - rate| below this is noise: holds reset instead of building.
+  double deadband = 0.125;
+};
+
 struct AdmissionConfig {
   bool enabled = false;
   /// Token-bucket refill per input fiber per slot (fresh requests a fiber
-  /// may inject per slot, sustained). Fractional rates accumulate.
+  /// may inject per slot, sustained). Fractional rates accumulate. With the
+  /// adaptive controller on this is only the initial rate (clamped into
+  /// [adaptive.min, adaptive.max]).
   double tokens_per_slot = 1.0;
   /// Bucket depth: the largest burst one fiber may inject at once.
   double bucket_depth = 4.0;
@@ -51,6 +87,7 @@ struct AdmissionConfig {
   /// (out-of-tokens requests are shed immediately).
   std::size_t queue_capacity = 64;
   DropPolicy drop_policy = DropPolicy::kTailDrop;
+  AdaptiveAdmissionConfig adaptive;
 };
 
 /// Token buckets + bounded per-class ingress queues for one interconnect.
@@ -83,8 +120,32 @@ class AdmissionControl {
   /// request is the caller's to schedule (and count granted/rejected).
   Verdict offer(const core::SlotRequest& request, SlotStats& stats);
 
+  /// Closed-loop feedback, called once at the end of every slot with the
+  /// slot's grants per *input* fiber (what the buckets meter). Updates each
+  /// fiber's EWMA grant estimate every slot and, every
+  /// `adaptive.update_every` slots, re-derives its token rate (see
+  /// AdaptiveAdmissionConfig). No-op unless the adaptive controller is
+  /// enabled. Slot-count-driven: the controller's tick counter is part of
+  /// the checkpointed state, never the wall clock.
+  void observe_slot(std::span<const std::uint64_t> grants_per_input_fiber);
+
   /// Requests currently parked across all class queues.
   std::size_t queued() const noexcept { return queued_; }
+  /// Parked requests destined to one output fiber (the degradation charge
+  /// order weights by this — deepest backlog charged first).
+  std::uint32_t queued_for_output(std::int32_t output_fiber) const {
+    return queued_per_output_[static_cast<std::size_t>(output_fiber)];
+  }
+  /// Parked requests from one input fiber (controller backlog term).
+  std::uint32_t queued_for_input(std::int32_t input_fiber) const {
+    return queued_per_input_[static_cast<std::size_t>(input_fiber)];
+  }
+  /// The token rate currently applied to one input fiber's bucket (the
+  /// static config rate unless the adaptive controller has moved it).
+  double token_rate(std::int32_t input_fiber) const;
+  /// The controller's EWMA grant-per-slot estimate for one input fiber
+  /// (0 when the adaptive controller is disabled).
+  double grant_estimate(std::int32_t input_fiber) const;
 
   /// Attaches (or detaches) a trace recorder: offer() records queue and shed
   /// decisions as instants at kFull detail. Observer only — the trace slot
@@ -97,14 +158,41 @@ class AdmissionControl {
   void restore_state(util::SnapshotReader& r);
 
  private:
+  /// Per-input-fiber controller block (fixed-size, `eeft_sched`-style): the
+  /// complete adaptive state of one fiber, serialized as-is in checkpoints.
+  struct FiberController {
+    double grant_ewma = 0.0;        ///< EWMA grants/slot estimate
+    double rate = 0.0;              ///< tokens/slot currently applied
+    std::uint32_t queue_depth = 0;  ///< ingress backlog at the last tick
+    std::int32_t raise_hold = 0;    ///< consecutive above-deadband ticks
+    std::int32_t lower_hold = 0;    ///< consecutive below-deadband ticks
+  };
+
   std::deque<core::SlotRequest>& class_queue(std::int32_t priority);
   void record_admission(obs::EventKind kind, const core::SlotRequest& request,
                         bool evicted);
+  void record_rate_update(std::int32_t fiber, const FiberController& ctrl);
+  /// One controller tick for one fiber: derive the clamped target rate and
+  /// move `rate` if the hysteresis holds agree.
+  void controller_tick(std::int32_t fiber, FiberController& ctrl);
+  void note_queued(const core::SlotRequest& request, std::int32_t delta);
+  double clamp_rate(double rate) const noexcept;
 
   AdmissionConfig config_;
   std::vector<double> tokens_;  // per input fiber
   std::vector<std::deque<core::SlotRequest>> queues_;  // per QoS class
   std::size_t queued_ = 0;
+  // Ingress backlog indexed both ways, maintained on every queue push / pop /
+  // eviction: per input fiber for the controller's backlog term, per output
+  // fiber for the degradation charge order. Rebuilt from the queues on
+  // restore (derived, but O(queued) to recompute per slot otherwise).
+  std::vector<std::uint32_t> queued_per_input_;
+  std::vector<std::uint32_t> queued_per_output_;
+  // Adaptive controller state: one block per input fiber plus the tick
+  // counter that drives update cadence. Both checkpointed (empty when the
+  // controller is disabled).
+  std::vector<FiberController> controllers_;
+  std::uint64_t ctrl_slots_ = 0;
   // Scratch for drain()'s stable partition; capacity persists.
   std::vector<core::SlotRequest> keep_;
   obs::TraceRecorder* telemetry_ = nullptr;

@@ -80,22 +80,20 @@ std::vector<SlotStats> replay_from(const Trace& trace,
   WDM_CHECK_MSG(trace.n_fibers == interconnect.n_fibers() &&
                     trace.k == interconnect.k(),
                 "trace geometry does not match the interconnect");
-  // A wall-clock slot deadline makes degradation decisions depend on the
-  // replaying machine's clock, so the replay would silently diverge from
-  // the recorded run. Fail fast instead: replays need the deterministic
-  // op-count budget (degrade.op_budget), not the wall-clock rung.
-  WDM_CHECK_MSG(interconnect.config().degrade.slot_deadline_ns == 0,
-                "replay_from requires a deterministic interconnect: a "
-                "wall-clock slot deadline (degrade.slot_deadline_ns) makes "
-                "degradation nondeterministic — use the op-count budget");
   WDM_CHECK_MSG(first_slot <= trace.slots.size(),
                 "replay start is past the end of the trace");
+  // Wall-clock deadline downgrades are the run's one nondeterministic input;
+  // the recorded run logged each overrun into the trace, and installing that
+  // log as the script makes the replay clock-free — the same slots degrade,
+  // bit for bit, regardless of the replaying machine's speed.
+  interconnect.set_deadline_script(&trace.deadline_overruns);
   std::vector<SlotStats> stats;
   stats.reserve(trace.slots.size() - static_cast<std::size_t>(first_slot));
   for (std::size_t s = static_cast<std::size_t>(first_slot);
        s < trace.slots.size(); ++s) {
     stats.push_back(interconnect.step(trace.slots[s]));
   }
+  interconnect.set_deadline_script(nullptr);
   return stats;
 }
 

@@ -1,0 +1,454 @@
+#include "sim/checkpoint_store.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <string_view>
+#include <system_error>
+#include <utility>
+
+#include "obs/telemetry.hpp"
+#include "util/check.hpp"
+#include "util/snapshot.hpp"
+#include "util/timer.hpp"
+
+namespace wdm::sim {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Leading payload byte. 0/1 are the stream checkpoints of sim/checkpoint.hpp
+/// (kInterconnectOnly/kWithTraffic); the store's frames continue the space.
+constexpr std::uint8_t kFullFrame = 2;
+constexpr std::uint8_t kDeltaFrame = 3;
+
+/// Delta per-section modes.
+constexpr std::uint8_t kUnchanged = 0;
+constexpr std::uint8_t kReplace = 1;
+constexpr std::uint8_t kPatch = 2;
+
+/// Sanity bound for the section count field of a hostile/corrupt frame.
+constexpr std::uint32_t kMaxSections = 64;
+
+/// Record width a section is diffed at. Record-structured sections use
+/// their natural stride (keyed by Interconnect::save_section index: 2 =
+/// output plane, u64 expiry + two i32 + u64 id; 3 = input plane, u64
+/// expiry); everything else falls back to 8-byte words, which localises
+/// small dirty regions — an RNG counter, a token value — inside otherwise
+/// byte-stable sections. The last record may be shorter than the stride
+/// (section size need not divide evenly); both sides derive its length from
+/// the section size, so it is never encoded.
+std::size_t section_record_size(std::size_t section) {
+  if (section == 2) return 24;
+  if (section == 3) return 8;
+  return 8;
+}
+
+std::size_t record_length(std::size_t section_size, std::size_t rec,
+                          std::size_t index) {
+  return std::min(rec, section_size - index * rec);
+}
+
+/// FNV-1a64 over the concatenation of all section byte vectors — the
+/// "reconstructed payload" digest that chains delta frames together.
+std::uint64_t sections_digest(
+    const std::vector<std::vector<std::uint8_t>>& sections) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const auto& section : sections) {
+    for (const std::uint8_t b : section) {
+      h ^= b;
+      h *= 0x100000001b3ULL;
+    }
+  }
+  return h;
+}
+
+struct FrameName {
+  std::uint64_t seq = 0;
+  std::uint64_t slot = 0;
+  bool full = false;
+  std::string path;
+};
+
+/// Parses "ckpt-<seq>-<slot>-{full|delta}.wdmsnap"; nullopt for anything
+/// else (foreign files in the directory are simply not checkpoint frames).
+std::optional<FrameName> parse_frame_name(const fs::path& path) {
+  const std::string name = path.filename().string();
+  constexpr std::string_view prefix = "ckpt-";
+  constexpr std::string_view suffix = ".wdmsnap";
+  if (name.size() <= prefix.size() + suffix.size() ||
+      name.compare(0, prefix.size(), prefix) != 0 ||
+      name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0) {
+    return std::nullopt;
+  }
+  const std::string body =
+      name.substr(prefix.size(), name.size() - prefix.size() - suffix.size());
+  const std::size_t d1 = body.find('-');
+  if (d1 == std::string::npos) return std::nullopt;
+  const std::size_t d2 = body.find('-', d1 + 1);
+  if (d2 == std::string::npos) return std::nullopt;
+  FrameName f;
+  try {
+    f.seq = std::stoull(body.substr(0, d1));
+    f.slot = std::stoull(body.substr(d1 + 1, d2 - d1 - 1));
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  const std::string kind = body.substr(d2 + 1);
+  if (kind == "full") {
+    f.full = true;
+  } else if (kind == "delta") {
+    f.full = false;
+  } else {
+    return std::nullopt;
+  }
+  f.path = path.string();
+  return f;
+}
+
+std::vector<FrameName> scan_frames(const std::string& dir) {
+  std::vector<FrameName> entries;
+  std::error_code ec;
+  for (fs::directory_iterator it(dir, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    if (auto f = parse_frame_name(it->path())) entries.push_back(std::move(*f));
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const FrameName& a, const FrameName& b) { return a.seq < b.seq; });
+  return entries;
+}
+
+/// Durable atomic publication: all-or-nothing under the final name.
+void publish_frame(const std::string& dir, const std::string& path,
+                   const std::string& bytes) {
+  const std::string tmp = dir + "/.ckpt.tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  WDM_CHECK_MSG(fd >= 0, "cannot create checkpoint temp file " + tmp);
+  std::size_t off = 0;
+  bool ok = true;
+  while (ok && off < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+    if (n < 0) {
+      ok = false;
+    } else {
+      off += static_cast<std::size_t>(n);
+    }
+  }
+  // The frame is not durable until its bytes are (fsync), and it must never
+  // become visible under the final name before that — hence tmp -> rename.
+  ok = ok && ::fsync(fd) == 0;
+  ::close(fd);
+  WDM_CHECK_MSG(ok, "checkpoint frame write/fsync failed: " + tmp);
+  WDM_CHECK_MSG(::rename(tmp.c_str(), path.c_str()) == 0,
+                "checkpoint frame rename failed: " + path);
+  // Make the rename itself durable; best-effort (some filesystems refuse
+  // directory fds), the frame content is already safe either way.
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+}
+
+void record_checkpoint_event(const Interconnect& interconnect) {
+  obs::TraceRecorder* recorder = interconnect.telemetry();
+  if (recorder == nullptr || !recorder->at(obs::TraceDetail::kSlots)) return;
+  obs::TraceEvent e;
+  e.ts_ns = util::now_ns();
+  e.slot = interconnect.current_slot();
+  e.kind = obs::EventKind::kCheckpointSave;
+  recorder->record(e);
+}
+
+}  // namespace
+
+CheckpointStore::CheckpointStore(CheckpointPolicy policy)
+    : policy_(std::move(policy)) {
+  WDM_CHECK_MSG(!policy_.dir.empty(), "checkpoint store needs a directory");
+  WDM_CHECK_MSG(policy_.full_every >= 1 && policy_.keep_fulls >= 1,
+                "checkpoint policy: full_every >= 1 and keep_fulls >= 1");
+  fs::create_directories(policy_.dir);
+  // Continue the sequence past any frames already on disk (a crashed run's):
+  // names never collide, and recover_latest can still read the old chain
+  // until the first new full retires it.
+  for (const auto& f : scan_frames(policy_.dir)) {
+    next_seq_ = std::max(next_seq_, f.seq + 1);
+  }
+}
+
+std::string CheckpointStore::write(const Interconnect& interconnect,
+                                   const TrafficGenerator* traffic) {
+  std::vector<std::vector<std::uint8_t>> sections;
+  sections.reserve(Interconnect::kSections + (traffic != nullptr ? 1 : 0));
+  for (std::size_t s = 0; s < Interconnect::kSections; ++s) {
+    util::SnapshotWriter w;
+    interconnect.save_section(s, w);
+    sections.push_back(w.payload());
+  }
+  if (traffic != nullptr) {
+    util::SnapshotWriter w;
+    traffic->save_state(w);
+    sections.push_back(w.payload());
+  }
+  const std::uint64_t slot = interconnect.current_slot();
+  const std::uint64_t digest = sections_digest(sections);
+  const bool full = prev_sections_.empty() ||
+                    sections.size() != prev_sections_.size() ||
+                    deltas_since_full_ + 1 >= policy_.full_every;
+
+  util::SnapshotWriter w;
+  w.u8(full ? kFullFrame : kDeltaFrame);
+  w.u64(slot);
+  w.u8(traffic != nullptr ? 1 : 0);
+  if (full) {
+    w.u32(static_cast<std::uint32_t>(sections.size()));
+    for (const auto& section : sections) w.vec_u8(section);
+  } else {
+    w.u64(prev_slot_);
+    w.u64(prev_digest_);
+    w.u32(static_cast<std::uint32_t>(sections.size()));
+    for (std::size_t s = 0; s < sections.size(); ++s) {
+      const auto& neu = sections[s];
+      const auto& old = prev_sections_[s];
+      if (neu == old) {
+        w.u8(kUnchanged);
+        continue;
+      }
+      const std::size_t rec = section_record_size(s);
+      if (neu.size() == old.size() && !neu.empty()) {
+        const std::size_t records = (neu.size() + rec - 1) / rec;
+        std::size_t changed = 0;
+        std::size_t patch_bytes = 8;  // u32 record size + u32 count
+        for (std::size_t i = 0; i < records; ++i) {
+          const std::size_t len = record_length(neu.size(), rec, i);
+          if (std::memcmp(neu.data() + i * rec, old.data() + i * rec, len) !=
+              0) {
+            changed += 1;
+            patch_bytes += 4 + len;
+          }
+        }
+        // Sparse only when it actually wins over a whole-section replace.
+        if (patch_bytes < 8 + neu.size()) {
+          w.u8(kPatch);
+          w.u32(static_cast<std::uint32_t>(rec));
+          w.u32(static_cast<std::uint32_t>(changed));
+          for (std::size_t i = 0; i < records; ++i) {
+            const std::size_t len = record_length(neu.size(), rec, i);
+            if (std::memcmp(neu.data() + i * rec, old.data() + i * rec,
+                            len) != 0) {
+              w.u32(static_cast<std::uint32_t>(i));
+              w.bytes(std::span<const std::uint8_t>(neu.data() + i * rec, len));
+            }
+          }
+          continue;
+        }
+      }
+      w.u8(kReplace);
+      w.vec_u8(neu);
+    }
+    // Digest of the state this delta reconstructs to — recovery verifies it
+    // after applying the patches, so a bad apply can never restore silently.
+    w.u64(digest);
+  }
+
+  std::ostringstream frame;
+  w.write_to(frame);
+  const std::string bytes = frame.str();
+
+  char name[96];
+  std::snprintf(name, sizeof name, "ckpt-%08llu-%llu-%s.wdmsnap",
+                static_cast<unsigned long long>(next_seq_),
+                static_cast<unsigned long long>(slot), full ? "full" : "delta");
+  const std::string path = policy_.dir + "/" + name;
+  publish_frame(policy_.dir, path, bytes);
+  record_checkpoint_event(interconnect);
+
+  frames_.push_back(FrameInfo{slot, full, bytes.size(), path});
+  prev_sections_ = std::move(sections);
+  prev_slot_ = slot;
+  prev_digest_ = digest;
+  next_seq_ += 1;
+  if (full) {
+    deltas_since_full_ = 0;
+    prune();
+  } else {
+    deltas_since_full_ += 1;
+  }
+  return path;
+}
+
+void CheckpointStore::prune() {
+  // Retention by chain: keep the newest keep_fulls fulls and every frame
+  // from the oldest kept full onward (its deltas); everything earlier —
+  // including adopted frames from a previous run — is retired. Deletion is
+  // best-effort: a frame we fail to unlink is garbage recover_latest will
+  // discard, not a correctness problem.
+  const std::vector<FrameName> entries = scan_frames(policy_.dir);
+  std::vector<std::uint64_t> full_seqs;
+  for (const auto& e : entries) {
+    if (e.full) full_seqs.push_back(e.seq);
+  }
+  if (full_seqs.size() <= policy_.keep_fulls) return;
+  std::sort(full_seqs.rbegin(), full_seqs.rend());
+  const std::uint64_t cutoff = full_seqs[policy_.keep_fulls - 1];
+  for (const auto& e : entries) {
+    if (e.seq >= cutoff) continue;
+    std::error_code ec;
+    fs::remove(e.path, ec);
+  }
+  std::erase_if(frames_, [&](const FrameInfo& f) {
+    const auto parsed = parse_frame_name(f.path);
+    return parsed.has_value() && parsed->seq < cutoff;
+  });
+}
+
+RecoveryReport recover_latest(const std::string& dir,
+                              Interconnect& interconnect,
+                              TrafficGenerator* traffic) {
+  RecoveryReport report;
+  const std::vector<FrameName> entries = scan_frames(dir);
+
+  // Walk the frames oldest to newest, carrying the newest fully verified
+  // state: a full resets the chain, a delta extends it iff its named base
+  // matches the carried state byte for byte (slot + digest) and its own
+  // reconstruction digest checks out. A frame that fails any of this is
+  // discarded with its reason — and any delta chained on a discarded frame
+  // fails the base check naturally, so a verified prefix is all that can
+  // survive.
+  bool have_chain = false;
+  std::vector<std::vector<std::uint8_t>> chain;
+  std::uint64_t chain_slot = 0;
+  std::uint64_t chain_digest = 0;
+  bool chain_traffic = false;
+  std::string chain_path;
+  std::uint64_t chain_len = 0;
+
+  for (const auto& e : entries) {
+    try {
+      std::ifstream is(e.path, std::ios::binary);
+      if (!is) throw std::runtime_error("cannot open frame file");
+      util::SnapshotReader r(is);
+      const std::uint8_t kind = r.u8();
+      if (kind == kFullFrame) {
+        const std::uint64_t slot = r.u64();
+        const bool has_traffic = r.u8() != 0;
+        const std::uint32_t n_sections = r.u32();
+        WDM_CHECK_MSG(n_sections >= 1 && n_sections <= kMaxSections,
+                      "implausible section count");
+        std::vector<std::vector<std::uint8_t>> sections;
+        sections.reserve(n_sections);
+        for (std::uint32_t s = 0; s < n_sections; ++s) {
+          sections.push_back(r.vec_u8());
+        }
+        WDM_CHECK_MSG(r.exhausted(), "frame has trailing bytes");
+        chain = std::move(sections);
+        chain_slot = slot;
+        chain_digest = sections_digest(chain);
+        chain_traffic = has_traffic;
+        chain_path = e.path;
+        chain_len = 1;
+        have_chain = true;
+      } else if (kind == kDeltaFrame) {
+        const std::uint64_t slot = r.u64();
+        const bool has_traffic = r.u8() != 0;
+        const std::uint64_t base_slot = r.u64();
+        const std::uint64_t base_digest = r.u64();
+        const std::uint32_t n_sections = r.u32();
+        if (!have_chain) {
+          throw std::runtime_error("delta frame with no verified base");
+        }
+        if (base_slot != chain_slot || base_digest != chain_digest) {
+          throw std::runtime_error(
+              "delta base does not match the preceding verified frame");
+        }
+        WDM_CHECK_MSG(n_sections == chain.size(),
+                      "delta section count does not match its base");
+        std::vector<std::vector<std::uint8_t>> next = chain;
+        for (std::uint32_t s = 0; s < n_sections; ++s) {
+          const std::uint8_t mode = r.u8();
+          if (mode == kUnchanged) continue;
+          if (mode == kReplace) {
+            next[s] = r.vec_u8();
+            continue;
+          }
+          WDM_CHECK_MSG(mode == kPatch, "unknown delta section mode");
+          const std::uint32_t rec = r.u32();
+          const std::uint32_t count = r.u32();
+          WDM_CHECK_MSG(rec >= 1 && !next[s].empty(),
+                        "patch against an empty section");
+          const std::size_t records = (next[s].size() + rec - 1) / rec;
+          for (std::uint32_t p = 0; p < count; ++p) {
+            const std::uint32_t index = r.u32();
+            WDM_CHECK_MSG(index < records, "patch record index out of range");
+            const std::size_t len = record_length(next[s].size(), rec, index);
+            const auto bytes = r.raw(len);
+            std::memcpy(next[s].data() +
+                            static_cast<std::size_t>(index) * rec,
+                        bytes.data(), len);
+          }
+        }
+        const std::uint64_t full_digest = r.u64();
+        WDM_CHECK_MSG(r.exhausted(), "frame has trailing bytes");
+        WDM_CHECK_MSG(sections_digest(next) == full_digest,
+                      "delta reconstruction digest mismatch");
+        chain = std::move(next);
+        chain_slot = slot;
+        chain_digest = full_digest;
+        chain_traffic = has_traffic;
+        chain_path = e.path;
+        chain_len += 1;
+      } else {
+        throw std::runtime_error(
+            "not a checkpoint-store frame (stream checkpoint kind byte)");
+      }
+    } catch (const std::exception& ex) {
+      report.discarded.push_back(e.path);
+      report.reasons.push_back(ex.what());
+    }
+  }
+
+  if (!have_chain) return report;
+  if (chain_traffic != (traffic != nullptr)) {
+    report.discarded.push_back(chain_path);
+    report.reasons.push_back(
+        chain_traffic
+            ? "frame carries traffic state but no generator was given"
+            : "a traffic generator was given but the frame carries none");
+    return report;
+  }
+  try {
+    std::vector<std::uint8_t> payload;
+    std::size_t total = 0;
+    for (const auto& section : chain) total += section.size();
+    payload.reserve(total);
+    for (const auto& section : chain) {
+      payload.insert(payload.end(), section.begin(), section.end());
+    }
+    util::SnapshotReader r = util::SnapshotReader::from_payload(
+        std::move(payload));
+    interconnect.restore_state(r);
+    if (traffic != nullptr) traffic->restore_state(r);
+    WDM_CHECK_MSG(r.exhausted(),
+                  "reconstructed payload has trailing bytes");
+  } catch (const std::exception& ex) {
+    report.discarded.push_back(chain_path);
+    report.reasons.push_back(ex.what());
+    return report;
+  }
+  report.recovered = true;
+  report.slot = interconnect.current_slot();
+  report.used = chain_path;
+  report.frames_applied = chain_len;
+  return report;
+}
+
+}  // namespace wdm::sim

@@ -1,0 +1,115 @@
+// Crash-safe incremental checkpointing (overload ladder rung three, grown
+// up: sim/checkpoint.hpp serializes one frame to a stream you already hold
+// open; this store owns a *directory* of frames and makes each one durable).
+//
+// Frames come in two kinds, both standard util::SnapshotWriter frames
+// (versioned, FNV-1a64-digested):
+//
+//  * full  — the interconnect's kSections state sections (plus, optionally,
+//    the traffic generator's as one more section), each length-prefixed;
+//  * delta — only the sections that changed since the *previous frame in
+//    the chain*, as whole-section replacements or, for the fixed-record
+//    occupancy planes, sparse per-record patches. A delta names its base
+//    (slot + digest of the base's reconstructed payload) and carries the
+//    digest of its own reconstructed payload, so a recovery can verify every
+//    link of the chain before trusting it.
+//
+// Because occupancy is serialized as absolute expiry slots (see
+// Interconnect::save_section), a connection's bytes do not change while it
+// merely ages — a steady-state delta carries the churn, not the fabric.
+//
+// Durability: a frame is written to a temp file, fsync'd, renamed into
+// place, and the directory fsync'd — a crash at any instant leaves either
+// the previous set of frames or the previous set plus one complete new
+// frame, never a torn one under the final name. recover_latest() walks the
+// directory, discards torn/corrupt/unchained frames with reasons, and
+// restores the newest state a fully verified full+delta prefix reaches — so
+// a SIGKILL costs at most one checkpoint interval.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/interconnect.hpp"
+#include "sim/traffic.hpp"
+
+namespace wdm::sim {
+
+struct CheckpointPolicy {
+  /// Directory the frames live in (created if missing).
+  std::string dir;
+  /// Every `full_every`-th frame is a full (1 = every frame full, no deltas).
+  std::uint32_t full_every = 8;
+  /// Full-frame chains retained after each new full: older chains (the full
+  /// and its deltas) are pruned. Minimum 1; 2 keeps one complete fallback
+  /// chain in case the newest full is lost with the machine.
+  std::uint32_t keep_fulls = 2;
+};
+
+/// Writes full/delta checkpoint frames into a directory with atomic
+/// publication and chain-aware retention. The first frame after construction
+/// is always a full (the store never adopts an on-disk chain as a delta
+/// base — it only numbers its files after them).
+class CheckpointStore {
+ public:
+  explicit CheckpointStore(CheckpointPolicy policy);
+
+  const CheckpointPolicy& policy() const noexcept { return policy_; }
+
+  /// One published frame (this store's own writes only).
+  struct FrameInfo {
+    std::uint64_t slot = 0;
+    bool full = false;
+    std::uint64_t bytes = 0;  ///< whole frame on disk, header included
+    std::string path;
+  };
+
+  /// Serializes the current state (and the traffic generator's, if given —
+  /// give it either every time or never, a chain must not mix) as a full or
+  /// delta frame per the cadence, publishes it atomically, prunes retired
+  /// chains after each full, and returns the published path.
+  std::string write(const Interconnect& interconnect,
+                    const TrafficGenerator* traffic = nullptr);
+
+  /// Frames this store has published, oldest first (pruned ones removed).
+  const std::vector<FrameInfo>& frames() const noexcept { return frames_; }
+
+ private:
+  void prune();
+
+  CheckpointPolicy policy_;
+  std::uint64_t next_seq_ = 0;       // monotonic file sequence number
+  std::uint32_t deltas_since_full_ = 0;
+  std::vector<FrameInfo> frames_;
+  // The previous frame's sections and identity — what the next delta diffs
+  // against and names as its base.
+  std::vector<std::vector<std::uint8_t>> prev_sections_;
+  std::uint64_t prev_slot_ = 0;
+  std::uint64_t prev_digest_ = 0;
+};
+
+/// What recover_latest did: which frame's state was restored (if any), every
+/// frame it had to discard, and why.
+struct RecoveryReport {
+  bool recovered = false;
+  std::uint64_t slot = 0;    ///< restored slot counter (when recovered)
+  std::string used;          ///< path of the last frame applied
+  std::uint64_t frames_applied = 0;  ///< chain length behind `used`
+  std::vector<std::string> discarded;  ///< paths rejected, oldest first
+  std::vector<std::string> reasons;    ///< parallel to `discarded`
+};
+
+/// Scans `dir` for checkpoint frames, verifies them (frame digests, delta
+/// base chaining, reconstructed-payload digests), and restores the newest
+/// fully verified state into `interconnect` (and `traffic`, which must be
+/// given iff the frames carry traffic state). Torn, corrupt, or unchained
+/// frames are discarded with a reason, falling back to the best earlier
+/// full+delta prefix; recovery only fails (recovered = false) when no
+/// verified chain exists at all. Never throws on corrupt input — corrupt
+/// frames are data, not bugs.
+RecoveryReport recover_latest(const std::string& dir,
+                              Interconnect& interconnect,
+                              TrafficGenerator* traffic = nullptr);
+
+}  // namespace wdm::sim

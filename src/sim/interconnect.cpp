@@ -55,6 +55,19 @@ Interconnect::Interconnect(InterconnectConfig config)
   }
   input_remaining_.assign(n_channels, 0);
   last_fiber_grants_.assign(static_cast<std::size_t>(config_.n_fibers), 0);
+  fiber_grants_in_.assign(static_cast<std::size_t>(config_.n_fibers), 0);
+  charge_order_.assign(static_cast<std::size_t>(config_.n_fibers), 0);
+}
+
+void Interconnect::set_deadline_script(
+    const std::vector<std::uint64_t>* script) noexcept {
+  deadline_script_ = script;
+  script_cursor_ = 0;
+  if (script != nullptr) {
+    script_cursor_ = static_cast<std::size_t>(
+        std::lower_bound(script->begin(), script->end(), slot_) -
+        script->begin());
+  }
 }
 
 std::uint64_t Interconnect::busy_output_channels() const noexcept {
@@ -312,6 +325,7 @@ SlotStats Interconnect::step_impl(std::span<const core::SlotRequest> arrivals,
     age_connections();
   }
   last_fiber_grants_.assign(last_fiber_grants_.size(), 0);
+  fiber_grants_in_.assign(fiber_grants_in_.size(), 0);
 
   const std::vector<core::HealthMask>* health = nullptr;
   if (faults_ != nullptr) {
@@ -327,9 +341,8 @@ SlotStats Interconnect::step_impl(std::span<const core::SlotRequest> arrivals,
   std::uint64_t slot_start_ns = 0;
   if (config_.degrade.enabled()) {
     budget.op_budget = config_.degrade.op_budget;
-    if (config_.degrade.slot_deadline_ns > 0) {
+    if (config_.degrade.slot_deadline_ns > 0 && deadline_script_ == nullptr) {
       slot_start_ns = util::now_ns();
-      budget.deadline_ns = slot_start_ns + config_.degrade.slot_deadline_ns;
     }
     budget.force_degraded = degraded_mode_;
     // Rotate the budget plan's charge order with the slot counter, so the
@@ -338,6 +351,32 @@ SlotStats Interconnect::step_impl(std::span<const core::SlotRequest> arrivals,
     // checkpointed, so replays rotate identically.
     budget.rotation = static_cast<std::int32_t>(
         slot_ % static_cast<std::uint64_t>(config_.n_fibers));
+    if (admission_ != nullptr) {
+      // Degradation charge order weighted by ingress backlog: output fibers
+      // with the deepest parked demand are charged (and so scheduled exact)
+      // first; ties keep the rotated ring order. Derived from checkpointed
+      // state only — replays rebuild the identical order. Stable insertion
+      // sort: N is small and the warm path must not allocate.
+      const std::int32_t n = config_.n_fibers;
+      for (std::int32_t i = 0; i < n; ++i) {
+        charge_order_[static_cast<std::size_t>(i)] =
+            static_cast<std::int32_t>((i + budget.rotation) % n);
+      }
+      for (std::int32_t i = 1; i < n; ++i) {
+        const std::int32_t fiber = charge_order_[static_cast<std::size_t>(i)];
+        const std::uint32_t depth = admission_->queued_for_output(fiber);
+        std::int32_t j = i;
+        while (j > 0 &&
+               admission_->queued_for_output(
+                   charge_order_[static_cast<std::size_t>(j - 1)]) < depth) {
+          charge_order_[static_cast<std::size_t>(j)] =
+              charge_order_[static_cast<std::size_t>(j - 1)];
+          j -= 1;
+        }
+        charge_order_[static_cast<std::size_t>(j)] = fiber;
+      }
+      budget.charge_order = charge_order_.data();
+    }
     budget_ptr = &budget;
   }
   if (config_.policy == OccupiedPolicy::kNoDisturb) {
@@ -347,8 +386,43 @@ SlotStats Interconnect::step_impl(std::span<const core::SlotRequest> arrivals,
   }
   if (budget_ptr != nullptr) {
     stats.degraded_ports = static_cast<std::uint64_t>(budget.degraded_ports);
-    update_hysteresis(budget, slot_start_ns);
+    // The slot's wall-clock verdict: measured once here (slot granularity),
+    // or taken from the installed script — never both, so a replay is
+    // clock-free end to end.
+    bool deadline_overrun = false;
+    std::uint64_t measured_ns = 0;  // 0 on the scripted (replay) path
+    if (config_.degrade.slot_deadline_ns > 0) {
+      if (deadline_script_ != nullptr) {
+        const auto& script = *deadline_script_;
+        while (script_cursor_ < script.size() &&
+               script[script_cursor_] < slot_) {
+          script_cursor_ += 1;
+        }
+        if (script_cursor_ < script.size() &&
+            script[script_cursor_] == slot_) {
+          deadline_overrun = true;
+          script_cursor_ += 1;
+        }
+      } else {
+        measured_ns = util::now_ns() - slot_start_ns;
+        deadline_overrun = measured_ns > config_.degrade.slot_deadline_ns;
+        if (deadline_overrun && deadline_log_ != nullptr) {
+          deadline_log_->push_back(slot_);
+        }
+      }
+      if (deadline_overrun && trace_slots) {
+        obs::TraceEvent e;
+        e.ts_ns = util::now_ns();
+        e.slot = slot_;
+        e.a = measured_ns;
+        e.b = config_.degrade.slot_deadline_ns;
+        e.kind = obs::EventKind::kDeadlineOverrun;
+        telemetry_->record(e);
+      }
+    }
+    update_hysteresis(budget, deadline_overrun);
   }
+  if (admission_ != nullptr) admission_->observe_slot(fiber_grants_in_);
   stats.busy_channels = busy_output_channels();
   if (trace_slots) {
     telemetry_->record_stage(obs::Stage::kSlot, slot_, step_t0, util::now_ns(),
@@ -375,17 +449,16 @@ SlotStats Interconnect::step_impl(std::span<const core::SlotRequest> arrivals,
 }
 
 void Interconnect::update_hysteresis(const core::SlotBudget& budget,
-                                     std::uint64_t slot_start_ns) {
+                                     bool deadline_overrun) {
   // "Overloaded" is judged against what exact-everywhere scheduling would
   // have cost (ops_exact_estimate), not against what was charged — a slot
   // held degraded by hysteresis charges little, which must not read as calm.
-  bool overloaded = false;
+  // A deadline overrun is overload by itself: it both blocks recovery and
+  // latches degraded mode even when no port was op-budget-downgraded (a
+  // deadline-only config degrades the *next* slot — slot granularity).
+  bool overloaded = deadline_overrun;
   if (config_.degrade.op_budget > 0 &&
       budget.ops_exact_estimate > config_.degrade.op_budget) {
-    overloaded = true;
-  }
-  if (config_.degrade.slot_deadline_ns > 0 &&
-      util::now_ns() - slot_start_ns > config_.degrade.slot_deadline_ns) {
     overloaded = true;
   }
   const auto record_flip = [this](obs::EventKind kind) {
@@ -399,7 +472,7 @@ void Interconnect::update_hysteresis(const core::SlotBudget& budget,
     telemetry_->record(e);
   };
   if (!degraded_mode_) {
-    if (budget.degraded_ports > 0) {
+    if (budget.degraded_ports > 0 || deadline_overrun) {
       degraded_mode_ = true;
       calm_slots_ = 0;
       record_flip(obs::EventKind::kDegradeEnter);
@@ -449,6 +522,7 @@ void Interconnect::run_retries(const std::vector<core::HealthMask>* health,
       occupy(batch_[i].output_fiber, decisions_[i].channel, batch_[i],
              batch_[i].duration);
       last_fiber_grants_[static_cast<std::size_t>(batch_[i].output_fiber)] += 1;
+      fiber_grants_in_[static_cast<std::size_t>(batch_[i].input_fiber)] += 1;
       continue;
     }
     count_rejection(batch_[i], decisions_[i].reason, due_[i].attempts, stats);
@@ -495,6 +569,7 @@ void Interconnect::run_ingress(const std::vector<core::HealthMask>* health,
              released_[i].duration);
       last_fiber_grants_[static_cast<std::size_t>(released_[i].output_fiber)] +=
           1;
+      fiber_grants_in_[static_cast<std::size_t>(released_[i].input_fiber)] += 1;
       continue;
     }
     count_rejection(released_[i], decisions_[i].reason, 0, stats);
@@ -608,6 +683,7 @@ void Interconnect::schedule_new_arrivals(
              cls_batch[i].duration);
       last_fiber_grants_[static_cast<std::size_t>(cls_batch[i].output_fiber)] +=
           1;
+      fiber_grants_in_[static_cast<std::size_t>(cls_batch[i].input_fiber)] += 1;
     }
   }
 }
@@ -693,54 +769,88 @@ void Interconnect::step_rearrange(
   schedule_new_arrivals(arrivals, health, pool, stats, budget, valid_flags);
 }
 
-void Interconnect::save_state(util::SnapshotWriter& w) const {
-  // Geometry/config echo, validated on restore: a checkpoint only restores
-  // into an interconnect built from the same config.
-  w.i32(config_.n_fibers);
-  w.i32(k());
-  w.u8(static_cast<std::uint8_t>(config_.scheme.kind()));
-  w.i32(config_.scheme.e());
-  w.i32(config_.scheme.f());
-  w.u8(static_cast<std::uint8_t>(config_.algorithm));
-  w.u8(static_cast<std::uint8_t>(config_.arbitration));
-  w.u8(static_cast<std::uint8_t>(config_.policy));
-  w.u64(config_.seed);
-  // Replay-determinism guard (see sim::replay_from): a wall-clock slot
-  // deadline makes degradation decisions nondeterministic, so whether one
-  // was active is part of the config echo — a replay refuses a checkpoint
-  // whose flag disagrees with its own config, and refuses to start at all
-  // when the flag is set.
-  w.u8(config_.degrade.slot_deadline_ns > 0 ? 1 : 0);
+void Interconnect::save_section(std::size_t section,
+                                util::SnapshotWriter& w) const {
+  switch (section) {
+    case 0:
+      // Geometry/config echo, validated on restore: a checkpoint only
+      // restores into an interconnect built from the same config.
+      w.i32(config_.n_fibers);
+      w.i32(k());
+      w.u8(static_cast<std::uint8_t>(config_.scheme.kind()));
+      w.i32(config_.scheme.e());
+      w.i32(config_.scheme.f());
+      w.u8(static_cast<std::uint8_t>(config_.algorithm));
+      w.u8(static_cast<std::uint8_t>(config_.arbitration));
+      w.u8(static_cast<std::uint8_t>(config_.policy));
+      w.u64(config_.seed);
+      return;
+    case 1:
+      w.u64(slot_);
+      return;
+    case 2:
+      // Output occupancy plane, one fixed 24-byte record per channel, with
+      // the hold stored as its absolute expiry slot (0 = free): a connection
+      // ages by slot_ advancing, not by its record changing, so an unchanged
+      // channel diffs to zero bytes between delta checkpoints.
+      for (std::size_t i = 0; i < out_remaining_.size(); ++i) {
+        w.u64(out_remaining_[i] > 0
+                  ? slot_ + static_cast<std::uint64_t>(out_remaining_[i])
+                  : 0);
+        w.i32(out_input_fiber_[i]);
+        w.i32(out_wavelength_[i]);
+        w.u64(out_id_[i]);
+      }
+      return;
+    case 3:
+      // Input-channel plane, same expiry encoding (8-byte records).
+      for (const std::int32_t remaining : input_remaining_) {
+        w.u64(remaining > 0 ? slot_ + static_cast<std::uint64_t>(remaining)
+                            : 0);
+      }
+      return;
+    case 4:
+      w.u64(retry_queue_.size());
+      for (const auto& pending : retry_queue_) {
+        w.i32(pending.request.input_fiber);
+        w.i32(pending.request.wavelength);
+        w.i32(pending.request.output_fiber);
+        w.u64(pending.request.id);
+        w.i32(pending.request.duration);
+        w.i32(pending.request.priority);
+        w.i32(pending.attempts);
+        w.u64(pending.due_slot);
+      }
+      return;
+    case 5:
+      scheduler_.save_state(w);
+      return;
+    case 6:
+      w.u8(faults_ != nullptr ? 1 : 0);
+      if (faults_ != nullptr) faults_->save_state(w);
+      return;
+    case 7:
+      w.u8(admission_ != nullptr ? 1 : 0);
+      if (admission_ != nullptr) admission_->save_state(w);
+      return;
+    case 8:
+      w.u8(degraded_mode_ ? 1 : 0);
+      w.i32(calm_slots_);
+      return;
+    default:
+      WDM_CHECK_MSG(false, "save_section: section index out of range");
+  }
+}
 
-  w.u64(slot_);
-  for (std::size_t i = 0; i < out_remaining_.size(); ++i) {
-    w.i32(out_remaining_[i]);
-    w.i32(out_input_fiber_[i]);
-    w.i32(out_wavelength_[i]);
-    w.u64(out_id_[i]);
-  }
-  w.vec_i32(input_remaining_);
-  w.u64(retry_queue_.size());
-  for (const auto& pending : retry_queue_) {
-    w.i32(pending.request.input_fiber);
-    w.i32(pending.request.wavelength);
-    w.i32(pending.request.output_fiber);
-    w.u64(pending.request.id);
-    w.i32(pending.request.duration);
-    w.i32(pending.request.priority);
-    w.i32(pending.attempts);
-    w.u64(pending.due_slot);
-  }
-  scheduler_.save_state(w);
-  w.u8(faults_ != nullptr ? 1 : 0);
-  if (faults_ != nullptr) faults_->save_state(w);
-  w.u8(admission_ != nullptr ? 1 : 0);
-  if (admission_ != nullptr) admission_->save_state(w);
-  w.u8(degraded_mode_ ? 1 : 0);
-  w.i32(calm_slots_);
+void Interconnect::save_state(util::SnapshotWriter& w) const {
+  // Exactly the concatenation of the kSections sections, so the flat stream
+  // checkpoint, the sectioned full frame, and a reconstructed delta chain
+  // all share one payload layout (and one state_digest).
+  for (std::size_t s = 0; s < kSections; ++s) save_section(s, w);
 }
 
 void Interconnect::restore_state(util::SnapshotReader& r) {
+  // S0: config echo.
   WDM_CHECK_MSG(
       r.i32() == config_.n_fibers && r.i32() == k() &&
           r.u8() == static_cast<std::uint8_t>(config_.scheme.kind()) &&
@@ -750,15 +860,18 @@ void Interconnect::restore_state(util::SnapshotReader& r) {
           r.u8() == static_cast<std::uint8_t>(config_.policy) &&
           r.u64() == config_.seed,
       "snapshot was taken from a different interconnect config");
-  WDM_CHECK_MSG(
-      (r.u8() != 0) == (config_.degrade.slot_deadline_ns > 0),
-      "snapshot wall-clock-deadline flag does not match this config");
 
+  // S1 before S2/S3: the expiry decode below needs the restored slot counter.
   slot_ = r.u64();
   const auto kk = static_cast<std::size_t>(k());
   const std::size_t wpf = core::mask_words(k());
   for (std::size_t i = 0; i < out_remaining_.size(); ++i) {
-    out_remaining_[i] = r.i32();
+    const std::uint64_t expiry = r.u64();
+    WDM_CHECK_MSG(expiry == 0 || (expiry > slot_ && expiry - slot_ <=
+                                                       0x7fffffffull),
+                  "snapshot occupancy expiry is not ahead of its slot");
+    out_remaining_[i] =
+        expiry == 0 ? 0 : static_cast<std::int32_t>(expiry - slot_);
     out_input_fiber_[i] = r.i32();
     out_wavelength_[i] = r.i32();
     out_id_[i] = r.u64();
@@ -776,10 +889,13 @@ void Interconnect::restore_state(util::SnapshotReader& r) {
       }
     }
   }
-  const auto input_remaining = r.vec_i32();
-  WDM_CHECK_MSG(input_remaining.size() == input_remaining_.size(),
-                "snapshot input-channel state has the wrong size");
-  input_remaining_ = input_remaining;
+  for (auto& remaining : input_remaining_) {
+    const std::uint64_t expiry = r.u64();
+    WDM_CHECK_MSG(expiry == 0 || (expiry > slot_ && expiry - slot_ <=
+                                                       0x7fffffffull),
+                  "snapshot input-channel expiry is not ahead of its slot");
+    remaining = expiry == 0 ? 0 : static_cast<std::int32_t>(expiry - slot_);
+  }
   retry_queue_.clear();
   const std::uint64_t pending_count = r.u64();
   WDM_CHECK_MSG(pending_count <= config_.retry.queue_capacity,
@@ -808,6 +924,10 @@ void Interconnect::restore_state(util::SnapshotReader& r) {
   degraded_mode_ = r.u8() != 0;
   calm_slots_ = r.i32();
   last_fiber_grants_.assign(last_fiber_grants_.size(), 0);
+  fiber_grants_in_.assign(fiber_grants_in_.size(), 0);
+  // A restore can land mid-script (checkpoint/restore inside a replay):
+  // re-seat the script cursor on the restored slot counter.
+  if (deadline_script_ != nullptr) set_deadline_script(deadline_script_);
 }
 
 }  // namespace wdm::sim

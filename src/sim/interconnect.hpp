@@ -60,8 +60,13 @@ struct DegradeConfig {
   /// pending requests costs d*k, every O(k) kernel costs k). Deterministic;
   /// what the tests drive. 0 disables.
   std::uint64_t op_budget = 0;
-  /// Wall-clock budget per slot in nanoseconds (the production variant;
-  /// inherently nondeterministic). 0 disables.
+  /// Wall-clock budget per slot in nanoseconds (the production variant).
+  /// 0 disables. Slot-granular: the step's wall time is measured once at the
+  /// end of the slot, and an overrun feeds the hysteresis (latching degraded
+  /// mode for the *next* slot) instead of downgrading ports mid-slot. The
+  /// one-slot reaction lag buys bit-exact replay: each overrun is recorded
+  /// as a sim::Trace event (set_deadline_log) and reapplied from the trace
+  /// by sim::replay_from (set_deadline_script) without reading any clock.
   std::uint64_t slot_deadline_ns = 0;
   /// Consecutive under-budget slots required to return to exact scheduling.
   std::int32_t recovery_slots = 8;
@@ -170,6 +175,19 @@ class Interconnect {
   /// The attached recorder, or nullptr (checkpoint save/load events use it).
   obs::TraceRecorder* telemetry() const noexcept { return telemetry_; }
 
+  /// Points the live deadline recorder at a trace's `deadline_overruns`
+  /// vector (or detaches with nullptr): every slot whose wall clock overran
+  /// `degrade.slot_deadline_ns` appends its slot index. The log is the
+  /// replayable record of the run's one nondeterministic input.
+  void set_deadline_log(std::vector<std::uint64_t>* log) noexcept {
+    deadline_log_ = log;
+  }
+  /// Installs a recorded overrun script (strictly ascending slot indices):
+  /// while set, deadline handling never reads the clock — a slot is treated
+  /// as overrun exactly when its index appears in the script, which is what
+  /// makes replay with wall-clock deadlines bit-exact. Detach with nullptr.
+  void set_deadline_script(const std::vector<std::uint64_t>* script) noexcept;
+
   /// Checkpoint of the complete mutable state — occupancy plane, retry and
   /// ingress queues, per-port scheduler state, fault injector, degradation
   /// hysteresis — everything a bit-for-bit replay needs beyond the config
@@ -178,6 +196,17 @@ class Interconnect {
   /// serialized: wall-clock trace state must not perturb the digest.
   void save_state(util::SnapshotWriter& w) const;
   void restore_state(util::SnapshotReader& r);
+
+  /// The checkpoint payload is a fixed sequence of kSections independent
+  /// sections (config echo, slot counter, output plane, input plane, retry
+  /// queue, scheduler, faults, admission, hysteresis); save_state is exactly
+  /// their concatenation in order. The delta-checkpoint layer
+  /// (sim::CheckpointStore) serializes sections individually to diff them
+  /// frame-to-frame. Occupancy is stored as absolute expiry slots, so a
+  /// connection's section bytes do not change as it merely ages.
+  static constexpr std::size_t kSections = 9;
+  /// Serializes one section (0 <= section < kSections) into `w`.
+  void save_section(std::size_t section, util::SnapshotWriter& w) const;
 
  private:
   struct PendingRetry {
@@ -238,9 +267,11 @@ class Interconnect {
   void count_rejection(const core::SlotRequest& request,
                        core::RejectReason reason, std::int32_t attempts,
                        SlotStats& stats);
-  /// Degradation hysteresis update at the end of a budgeted slot.
+  /// Degradation hysteresis update at the end of a budgeted slot;
+  /// `deadline_overrun` is the slot's wall-clock verdict (measured live or
+  /// scripted from a trace) and latches degraded mode by itself.
   void update_hysteresis(const core::SlotBudget& budget,
-                         std::uint64_t slot_start_ns);
+                         bool deadline_overrun);
   void release_input(std::int32_t input_fiber, core::Wavelength wavelength);
   void age_connections();
   void occupy(std::int32_t output_fiber, core::Channel channel,
@@ -276,6 +307,13 @@ class Interconnect {
   bool degraded_mode_ = false;
   std::int32_t calm_slots_ = 0;
   obs::TraceRecorder* telemetry_ = nullptr;  // observer only, never serialized
+  // Deadline replay plumbing (see set_deadline_log/set_deadline_script).
+  // Neither is serialized: the log's content rides in the sim::Trace, and a
+  // replay re-installs the script itself — after a restore mid-script the
+  // cursor is recomputed from the restored slot counter.
+  std::vector<std::uint64_t>* deadline_log_ = nullptr;
+  const std::vector<std::uint64_t>* deadline_script_ = nullptr;
+  std::size_t script_cursor_ = 0;
 
   // Reusable per-slot scratch: capacity persists across steps, so the
   // scheduling path of a steady-state slot performs no heap allocation.
@@ -288,6 +326,10 @@ class Interconnect {
   std::vector<std::int32_t> continuing_remaining_;
   std::vector<core::SlotRequest> released_;     // ingress-queue drain batch
   std::vector<std::uint8_t> batch_flags_;       // step_batch validity pre-pass
+  std::vector<std::uint64_t> fiber_grants_in_;  // slot grants per INPUT fiber
+                                                // (adaptive-admission feedback)
+  std::vector<std::int32_t> charge_order_;      // degradation charge order,
+                                                // rebuilt per slot (derived)
 };
 
 }  // namespace wdm::sim

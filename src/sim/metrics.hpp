@@ -138,6 +138,12 @@ class MetricsCollector {
   double utilization() const noexcept { return utilization_.mean(); }
   /// Jain fairness index of per-output-fiber grant totals.
   double fiber_fairness() const;
+  /// Per-output-fiber grant totals (index = output fiber). Feeds the opt-in
+  /// per-fiber Prometheus series; cardinality is N, so exporters keep it
+  /// behind a flag.
+  const std::vector<double>& fiber_grants() const noexcept {
+    return fiber_grants_;
+  }
 
  private:
   std::int32_t n_fibers_;

@@ -5,7 +5,7 @@
 namespace wdm::sim {
 
 void register_metrics(obs::Registry& registry,
-                      const MetricsCollector& metrics) {
+                      const MetricsCollector& metrics, bool per_fiber) {
   registry.counter("wdm_slots_total", "Slots stepped", metrics.slots());
   registry.counter("wdm_arrivals_total", "Fresh requests offered",
                    metrics.raw_arrivals());
@@ -76,6 +76,15 @@ void register_metrics(obs::Registry& registry,
   registry.gauge("wdm_fiber_fairness",
                  "Jain fairness index of per-fiber grants",
                  metrics.fiber_fairness());
+  if (per_fiber) {
+    const auto& fiber_grants = metrics.fiber_grants();
+    for (std::size_t fiber = 0; fiber < fiber_grants.size(); ++fiber) {
+      registry.counter("wdm_fiber_grants_total",
+                       "Grants by output fiber (opt-in cardinality)",
+                       static_cast<std::uint64_t>(fiber_grants[fiber]),
+                       "fiber=\"" + std::to_string(fiber) + "\"");
+    }
+  }
 }
 
 }  // namespace wdm::sim

@@ -14,7 +14,10 @@ namespace wdm::sim {
 /// Registers every MetricsCollector counter — one series per SlotStats
 /// counter the collector accumulates, plus the derived ratios — under the
 /// `wdm_` prefix. Call once per snapshot on a fresh or reused Registry.
+/// `per_fiber` additionally emits wdm_fiber_grants_total{fiber="i"} — one
+/// series per output fiber, so it is opt-in (N series of extra cardinality
+/// per scrape; keep it off for large fabrics unless you need the breakdown).
 void register_metrics(obs::Registry& registry,
-                      const MetricsCollector& metrics);
+                      const MetricsCollector& metrics, bool per_fiber = false);
 
 }  // namespace wdm::sim

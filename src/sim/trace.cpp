@@ -1,5 +1,6 @@
 #include "sim/trace.hpp"
 
+#include <algorithm>
 #include <istream>
 #include <ostream>
 #include <sstream>
@@ -17,14 +18,29 @@ std::uint64_t Trace::total_requests() const noexcept {
 }
 
 void write_trace(std::ostream& os, const Trace& trace) {
-  os << "# wdmsched trace v1\n";
+  // v1 when there is nothing a v1 reader would miss; v2 adds `D,slot`
+  // deadline-overrun event lines and a seventh `priority` column on request
+  // lines (a v1 reader rejects those loudly rather than silently replaying
+  // without the downgrades / with every request demoted to class 0).
+  bool classed = false;
+  for (const auto& slot : trace.slots) {
+    for (const auto& r : slot) classed = classed || r.priority != 0;
+  }
+  const bool v2 = classed || !trace.deadline_overruns.empty();
+  os << "# wdmsched trace v" << (v2 ? 2 : 1) << "\n";
   os << "# n_fibers=" << trace.n_fibers << " k=" << trace.k
      << " slots=" << trace.slots.size() << "\n";
-  os << "# slot,input_fiber,wavelength,output_fiber,id,duration\n";
+  os << "# slot,input_fiber,wavelength,output_fiber,id,duration"
+     << (v2 ? ",priority" : "") << "\n";
+  for (const std::uint64_t slot : trace.deadline_overruns) {
+    os << "D," << slot << '\n';
+  }
   for (std::size_t slot = 0; slot < trace.slots.size(); ++slot) {
     for (const auto& r : trace.slots[slot]) {
       os << slot << ',' << r.input_fiber << ',' << r.wavelength << ','
-         << r.output_fiber << ',' << r.id << ',' << r.duration << '\n';
+         << r.output_fiber << ',' << r.id << ',' << r.duration;
+      if (v2) os << ',' << r.priority;
+      os << '\n';
     }
   }
 }
@@ -65,12 +81,30 @@ Trace read_trace(std::istream& is) {
       }
       continue;
     }
+    if (line[0] == 'D') {
+      // Deadline-overrun event (v2): `D,slot`. Order in the file is not
+      // trusted; the vector is sorted after the parse.
+      std::istringstream ds(line.substr(1));
+      char comma = 0;
+      std::uint64_t slot = 0;
+      if (!(ds >> comma >> slot) || comma != ',') {
+        throw std::invalid_argument("malformed trace event line: " + line);
+      }
+      WDM_CHECK_MSG(slot < kMaxTraceSlots,
+                    "trace event slot index implausibly large");
+      trace.deadline_overruns.push_back(slot);
+      continue;
+    }
     std::istringstream ls(line);
     std::uint64_t slot = 0;
     core::SlotRequest r;
     char comma = 0;
     if (!(ls >> slot >> comma >> r.input_fiber >> comma >> r.wavelength >>
           comma >> r.output_fiber >> comma >> r.id >> comma >> r.duration)) {
+      throw std::invalid_argument("malformed trace line: " + line);
+    }
+    // Optional v2 seventh column; a v1 line leaves priority at class 0.
+    if (ls >> comma >> r.priority && comma != ',') {
       throw std::invalid_argument("malformed trace line: " + line);
     }
     // Guard the one field that sizes our own allocation; out-of-range
@@ -82,6 +116,10 @@ Trace read_trace(std::istream& is) {
     trace.slots[slot].push_back(r);
   }
   WDM_CHECK_MSG(got_header, "trace is missing its dimension header");
+  std::sort(trace.deadline_overruns.begin(), trace.deadline_overruns.end());
+  trace.deadline_overruns.erase(std::unique(trace.deadline_overruns.begin(),
+                                            trace.deadline_overruns.end()),
+                                trace.deadline_overruns.end());
   return trace;
 }
 

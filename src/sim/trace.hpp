@@ -4,10 +4,18 @@
 //
 //     slot,input_fiber,wavelength,output_fiber,id,duration
 //
-// with `#`-prefixed comment lines. Traces make experiments portable across
-// machines and schedulers: the same captured workload can be replayed
-// against different algorithms/policies (the ablation methodology of
-// experiments E8/E10), or archived next to published numbers.
+// with `#`-prefixed comment lines, plus (format v2) one control-event line
+//
+//     D,slot
+//
+// per wall-clock deadline overrun the recorded run observed. Overruns are
+// the one nondeterministic input of a run — the recording machine's clock —
+// so they ride in the trace as first-class events and sim::replay_from
+// reapplies them bit-for-bit instead of re-reading a clock. Traces make
+// experiments portable across machines and schedulers: the same captured
+// workload can be replayed against different algorithms/policies (the
+// ablation methodology of experiments E8/E10), or archived next to
+// published numbers.
 #pragma once
 
 #include <cstdint>
@@ -28,6 +36,10 @@ struct Trace {
   std::int32_t n_fibers = 0;
   std::int32_t k = 0;
   std::vector<TraceSlot> slots;
+  /// Slots whose wall-clock deadline the recorded run overran, strictly
+  /// ascending. Point Interconnect::set_deadline_log here while recording
+  /// live; replay_from installs it as the replay's downgrade script.
+  std::vector<std::uint64_t> deadline_overruns;
 
   std::uint64_t total_requests() const noexcept;
 };

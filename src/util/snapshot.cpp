@@ -134,8 +134,23 @@ SnapshotReader::SnapshotReader(std::istream& is) {
                 "snapshot digest mismatch (corrupt checkpoint)");
 }
 
-void SnapshotReader::need(std::size_t n) const {
-  WDM_CHECK_MSG(cursor_ + n <= payload_.size(),
+SnapshotReader SnapshotReader::from_payload(std::vector<std::uint8_t> payload) {
+  SnapshotReader r;
+  r.payload_ = std::move(payload);
+  r.digest_ = fnv1a64(r.payload_);
+  return r;
+}
+
+void SnapshotReader::need(std::uint64_t n) const {
+  // Subtraction form: cursor_ <= size always holds, and a hostile n cannot
+  // wrap the comparison the way `cursor_ + n` could.
+  WDM_CHECK_MSG(n <= payload_.size() - cursor_,
+                "snapshot payload shorter than its schema");
+}
+
+void SnapshotReader::need_elems(std::uint64_t count,
+                                std::size_t elem_size) const {
+  WDM_CHECK_MSG(count <= (payload_.size() - cursor_) / elem_size,
                 "snapshot payload shorter than its schema");
 }
 
@@ -176,9 +191,18 @@ std::int64_t SnapshotReader::i64() {
 
 double SnapshotReader::f64() { return std::bit_cast<double>(u64()); }
 
+std::vector<std::uint8_t> SnapshotReader::raw(std::uint64_t n) {
+  need_elems(n, 1);
+  std::vector<std::uint8_t> v(
+      payload_.begin() + static_cast<std::ptrdiff_t>(cursor_),
+      payload_.begin() + static_cast<std::ptrdiff_t>(cursor_ + n));
+  cursor_ += static_cast<std::size_t>(n);
+  return v;
+}
+
 std::vector<std::uint8_t> SnapshotReader::vec_u8() {
   const std::uint64_t n = u64();
-  need(static_cast<std::size_t>(n));
+  need_elems(n, 1);
   std::vector<std::uint8_t> v(payload_.begin() + static_cast<std::ptrdiff_t>(cursor_),
                               payload_.begin() +
                                   static_cast<std::ptrdiff_t>(cursor_ + n));
@@ -188,7 +212,7 @@ std::vector<std::uint8_t> SnapshotReader::vec_u8() {
 
 std::vector<std::int32_t> SnapshotReader::vec_i32() {
   const std::uint64_t n = u64();
-  need(static_cast<std::size_t>(n) * 4);
+  need_elems(n, 4);
   std::vector<std::int32_t> v;
   v.reserve(static_cast<std::size_t>(n));
   for (std::uint64_t i = 0; i < n; ++i) v.push_back(i32());
@@ -197,7 +221,7 @@ std::vector<std::int32_t> SnapshotReader::vec_i32() {
 
 std::vector<std::uint64_t> SnapshotReader::vec_u64() {
   const std::uint64_t n = u64();
-  need(static_cast<std::size_t>(n) * 8);
+  need_elems(n, 8);
   std::vector<std::uint64_t> v;
   v.reserve(static_cast<std::size_t>(n));
   for (std::uint64_t i = 0; i < n; ++i) v.push_back(u64());
@@ -206,7 +230,7 @@ std::vector<std::uint64_t> SnapshotReader::vec_u64() {
 
 std::vector<double> SnapshotReader::vec_f64() {
   const std::uint64_t n = u64();
-  need(static_cast<std::size_t>(n) * 8);
+  need_elems(n, 8);
   std::vector<double> v;
   v.reserve(static_cast<std::size_t>(n));
   for (std::uint64_t i = 0; i < n; ++i) v.push_back(f64());

@@ -26,9 +26,11 @@
 namespace wdm::util {
 
 /// Bump when any serialised layout changes; readers reject other versions.
-/// v2: the interconnect's config echo gained a wall-clock-deadline flag
-/// (replay-determinism guard).
-inline constexpr std::uint32_t kSnapshotVersion = 2;
+/// v3: the interconnect payload became sectioned (delta-checkpoint support),
+/// occupancy counters are stored as absolute expiry slots, the v2 wall-clock-
+/// deadline flag is gone (deadline downgrades replay as sim::Trace events),
+/// and the admission section carries the adaptive-controller blocks.
+inline constexpr std::uint32_t kSnapshotVersion = 3;
 
 /// FNV-1a 64-bit over a byte range (the snapshot digest primitive).
 std::uint64_t fnv1a64(std::span<const std::uint8_t> bytes) noexcept;
@@ -54,6 +56,10 @@ class SnapshotWriter {
   std::uint64_t digest() const noexcept;
   std::size_t size() const noexcept { return payload_.size(); }
 
+  /// The raw payload bytes accumulated so far (the delta-checkpoint layer
+  /// slices state into per-section byte vectors through this).
+  const std::vector<std::uint8_t>& payload() const noexcept { return payload_; }
+
   /// Writes magic + version + size + digest + payload. Throws on stream
   /// failure (a checkpoint the caller cannot trust must not look saved).
   void write_to(std::ostream& os) const;
@@ -69,6 +75,11 @@ class SnapshotReader {
   /// Reads and verifies the whole frame from `is`.
   explicit SnapshotReader(std::istream& is);
 
+  /// Wraps already-framed-and-verified payload bytes (no magic / version /
+  /// digest header) — the recovery path reconstructs a full payload from a
+  /// delta chain in memory and re-reads it through the same typed API.
+  static SnapshotReader from_payload(std::vector<std::uint8_t> payload);
+
   std::uint8_t u8();
   std::uint32_t u32();
   std::uint64_t u64();
@@ -81,13 +92,23 @@ class SnapshotReader {
   std::vector<std::uint64_t> vec_u64();
   std::vector<double> vec_f64();
 
+  /// Reads exactly `n` raw payload bytes (no length prefix) — the delta-
+  /// checkpoint patch records are fixed-size and self-describing.
+  std::vector<std::uint8_t> raw(std::uint64_t n);
+
   /// True when every payload byte has been consumed.
   bool exhausted() const noexcept { return cursor_ == payload_.size(); }
   /// Digest of the verified payload (equals the writer's digest()).
   std::uint64_t digest() const noexcept { return digest_; }
 
  private:
-  void need(std::size_t n) const;
+  SnapshotReader() = default;
+
+  void need(std::uint64_t n) const;
+  /// Bounds-checks a vector prefix: `count` elements of `elem_size` bytes
+  /// must fit in the remaining payload. Division-based, so a hostile length
+  /// can neither overflow the check nor size an allocation.
+  void need_elems(std::uint64_t count, std::size_t elem_size) const;
 
   std::vector<std::uint8_t> payload_;
   std::size_t cursor_ = 0;

@@ -230,49 +230,67 @@ TEST(Checkpoint, RejectsConfigAndFlagMismatch) {
   }
 }
 
-TEST(Checkpoint, ReplayRejectsWallClockDeadlines) {
-  // A wall-clock slot deadline makes degradation depend on the replaying
-  // machine's clock, so a "replay" would silently diverge from the recorded
-  // run. replay_from must fail fast instead of producing a divergent replay.
+TEST(Checkpoint, ReplayReappliesRecordedDeadlineOverruns) {
+  // Wall-clock deadline overruns are recorded in the trace as first-class
+  // events; replay_from reapplies that schedule instead of re-reading the
+  // clock, so a deadline-degraded run replays bit-for-bit on any machine.
   auto cfg = full_feature_config();
   cfg.faults = sim::FaultConfig{};
   cfg.degrade.op_budget = 0;
-  cfg.degrade.slot_deadline_ns = 1'000'000;  // nondeterministic rung
+  cfg.degrade.slot_deadline_ns = 1;  // every live slot overruns
   sim::TrafficGenerator source(cfg.n_fibers, 6, heavy_traffic(), 77);
-  const auto trace = sim::capture_trace(source, cfg.n_fibers, 6, 10);
+  auto trace = sim::capture_trace(source, cfg.n_fibers, 6, 40);
 
-  sim::Interconnect nondeterministic(cfg);
-  EXPECT_THROW(sim::replay_from(trace, 0, nondeterministic), std::logic_error);
+  sim::Interconnect original(cfg);
+  original.set_deadline_log(&trace.deadline_overruns);
+  std::vector<sim::SlotStats> recorded;
+  for (const auto& slot : trace.slots) recorded.push_back(original.step(slot));
+  original.set_deadline_log(nullptr);
+  ASSERT_FALSE(trace.deadline_overruns.empty());
+  const auto original_digest = sim::state_digest(original);
 
-  // The deterministic op-count rung stays replayable.
-  auto det = cfg;
-  det.degrade.slot_deadline_ns = 0;
-  det.degrade.op_budget = 50;
-  sim::Interconnect deterministic(det);
-  EXPECT_NO_THROW(sim::replay_from(trace, 0, deterministic));
+  sim::Interconnect resumed(cfg);
+  const auto replayed = sim::replay_from(trace, 0, resumed);
+  ASSERT_EQ(replayed.size(), recorded.size());
+  for (std::size_t i = 0; i < replayed.size(); ++i) {
+    expect_stats_equal(recorded[i], replayed[i], i);
+  }
+  EXPECT_EQ(sim::state_digest(resumed), original_digest);
 }
 
-TEST(Checkpoint, SnapshotRecordsTheWallClockDeadlineFlag) {
-  // The config echo carries whether a wall-clock deadline was active when
-  // the snapshot was taken; restoring it into a config that disagrees must
-  // be rejected — the two runs would not be comparable.
-  auto deadline_cfg = full_feature_config();
-  deadline_cfg.degrade.op_budget = 0;
-  deadline_cfg.degrade.slot_deadline_ns = 1'000'000;
-  sim::Interconnect with_deadline(deadline_cfg);
+TEST(Checkpoint, DeadlineOverrunTraceSurvivesSerialization) {
+  // The D-line trace format round-trips the overrun schedule, and the
+  // overruns drive the hysteresis latch during replay: a replayed run with
+  // the recorded overruns degrades, the same trace with the overruns
+  // stripped does not — the events are load-bearing, not annotations.
+  auto cfg = full_feature_config();
+  cfg.faults = sim::FaultConfig{};
+  cfg.degrade.op_budget = 0;
+  cfg.degrade.slot_deadline_ns = 1;
+  sim::TrafficGenerator source(cfg.n_fibers, 6, heavy_traffic(), 77);
+  auto trace = sim::capture_trace(source, cfg.n_fibers, 6, 30);
+
+  sim::Interconnect original(cfg);
+  original.set_deadline_log(&trace.deadline_overruns);
+  for (const auto& slot : trace.slots) original.step(slot);
+  original.set_deadline_log(nullptr);
+  ASSERT_FALSE(trace.deadline_overruns.empty());
+  const auto original_digest = sim::state_digest(original);
+
   std::stringstream ss;
-  sim::save_checkpoint(ss, with_deadline);
+  sim::write_trace(ss, trace);
+  const auto reloaded = sim::read_trace(ss);
+  EXPECT_EQ(reloaded.deadline_overruns, trace.deadline_overruns);
 
-  auto clean_cfg = deadline_cfg;
-  clean_cfg.degrade.slot_deadline_ns = 0;
-  sim::Interconnect target(clean_cfg);
-  EXPECT_THROW(sim::load_checkpoint(ss, target), std::logic_error);
+  sim::Interconnect from_disk(cfg);
+  sim::replay_from(reloaded, 0, from_disk);
+  EXPECT_EQ(sim::state_digest(from_disk), original_digest);
 
-  // Matching flag still round-trips.
-  std::stringstream again;
-  sim::save_checkpoint(again, with_deadline);
-  sim::Interconnect same(deadline_cfg);
-  EXPECT_NO_THROW(sim::load_checkpoint(again, same));
+  auto stripped = reloaded;
+  stripped.deadline_overruns.clear();
+  sim::Interconnect undegraded(cfg);
+  sim::replay_from(stripped, 0, undegraded);
+  EXPECT_NE(sim::state_digest(undegraded), original_digest);
 }
 
 }  // namespace

@@ -4,8 +4,10 @@
 // under randomized overload.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <sstream>
+#include <string>
 #include <vector>
 
 #include "core/distributed.hpp"
@@ -13,6 +15,7 @@
 #include "sim/checkpoint.hpp"
 #include "sim/interconnect.hpp"
 #include "sim/metrics.hpp"
+#include "sim/trace.hpp"
 #include "sim/traffic.hpp"
 #include "test_support.hpp"
 #include "util/rng.hpp"
@@ -299,6 +302,175 @@ TEST(Degradation, HysteresisEntersAndRecovers) {
 }
 
 // ------------------------------------------------- conservation (fuzz)
+
+// ------------------------------------------------- adaptive admission
+
+TEST(AdaptiveAdmission, RateRisesUnderBacklogAndStaysClamped) {
+  auto cfg = overload_config(1, 4);
+  cfg.admission.enabled = true;
+  cfg.admission.tokens_per_slot = 1.0;
+  cfg.admission.bucket_depth = 1.0;
+  cfg.admission.queue_capacity = 64;
+  cfg.admission.adaptive.enabled = true;
+  cfg.admission.adaptive.min_tokens_per_slot = 0.25;
+  cfg.admission.adaptive.max_tokens_per_slot = 3.0;
+  cfg.admission.adaptive.alpha = 0.5;
+  cfg.admission.adaptive.update_every = 4;
+  cfg.admission.adaptive.hold_ticks = 1;
+  sim::Interconnect ic(cfg);
+  ASSERT_NE(ic.admission(), nullptr);
+  EXPECT_DOUBLE_EQ(ic.admission()->token_rate(0), 1.0);
+
+  // Sustained pressure: 3 distinct-wavelength arrivals per slot against an
+  // initial rate of 1 builds ingress backlog; the controller must raise the
+  // rate above the static config, and never past the ceiling.
+  double peak = 0.0;
+  for (std::uint64_t slot = 0; slot < 64; ++slot) {
+    std::vector<core::SlotRequest> burst{
+        request(0, 0, 0, slot * 3 + 1), request(0, 1, 0, slot * 3 + 2),
+        request(0, 2, 0, slot * 3 + 3)};
+    ic.step(burst);
+    const double rate = ic.admission()->token_rate(0);
+    EXPECT_GE(rate, cfg.admission.adaptive.min_tokens_per_slot);
+    EXPECT_LE(rate, cfg.admission.adaptive.max_tokens_per_slot);
+    peak = std::max(peak, rate);
+  }
+  EXPECT_GT(peak, 1.0);
+  EXPECT_GT(ic.admission()->grant_estimate(0), 0.0);
+
+  // Starvation: with no arrivals the grant estimate decays and the rate
+  // settles back down to the floor, never below it.
+  for (std::uint64_t slot = 0; slot < 256; ++slot) ic.step({});
+  const double idle_rate = ic.admission()->token_rate(0);
+  EXPECT_GE(idle_rate, cfg.admission.adaptive.min_tokens_per_slot);
+  EXPECT_LT(idle_rate, peak);
+  EXPECT_DOUBLE_EQ(idle_rate, cfg.admission.adaptive.min_tokens_per_slot);
+}
+
+TEST(AdaptiveAdmission, StaticConfigKeepsStaticRate) {
+  auto cfg = overload_config(2, 4);
+  cfg.admission.enabled = true;
+  cfg.admission.tokens_per_slot = 1.5;
+  cfg.admission.bucket_depth = 2.0;
+  sim::Interconnect ic(cfg);
+  for (std::uint64_t slot = 0; slot < 32; ++slot) {
+    const std::vector<core::SlotRequest> one{request(0, 0, 0, slot + 1)};
+    ic.step(one);
+    EXPECT_DOUBLE_EQ(ic.admission()->token_rate(0), 1.5);
+    EXPECT_DOUBLE_EQ(ic.admission()->grant_estimate(0), 0.0);
+  }
+}
+
+TEST(AdaptiveAdmission, ControllerStateSurvivesCheckpoint) {
+  auto cfg = overload_config(2, 6);
+  cfg.admission.enabled = true;
+  cfg.admission.tokens_per_slot = 1.0;
+  cfg.admission.bucket_depth = 2.0;
+  cfg.admission.queue_capacity = 32;
+  cfg.admission.adaptive.enabled = true;
+  cfg.admission.adaptive.update_every = 4;
+  sim::TrafficConfig tcfg;
+  tcfg.load = 0.95;
+  sim::TrafficGenerator traffic(2, 6, tcfg, 31);
+  sim::Interconnect ic(cfg);
+  for (std::uint64_t slot = 0; slot < 50; ++slot) {
+    ic.step(traffic.next_slot(ic.input_channel_busy()));
+  }
+
+  std::stringstream ss;
+  sim::save_checkpoint(ss, ic, traffic);
+  sim::Interconnect restored(cfg);
+  sim::TrafficGenerator restored_traffic(2, 6, tcfg, 1);
+  sim::load_checkpoint(ss, restored, restored_traffic);
+  for (std::int32_t fiber = 0; fiber < 2; ++fiber) {
+    EXPECT_DOUBLE_EQ(restored.admission()->token_rate(fiber),
+                     ic.admission()->token_rate(fiber));
+    EXPECT_DOUBLE_EQ(restored.admission()->grant_estimate(fiber),
+                     ic.admission()->grant_estimate(fiber));
+  }
+  EXPECT_EQ(sim::state_digest(restored), sim::state_digest(ic));
+
+  // The controllers must keep evolving identically after the restore — the
+  // tick phase (ctrl_slots_) is part of the state, not just the rates.
+  for (std::uint64_t slot = 0; slot < 30; ++slot) {
+    ic.step(traffic.next_slot(ic.input_channel_busy()));
+    restored.step(restored_traffic.next_slot(restored.input_channel_busy()));
+  }
+  EXPECT_EQ(sim::state_digest(restored), sim::state_digest(ic));
+}
+
+TEST(AdaptiveAdmission, AdaptiveFlagMismatchIsRejectedOnRestore) {
+  auto cfg = overload_config(1, 4);
+  cfg.admission.enabled = true;
+  cfg.admission.tokens_per_slot = 1.0;
+  cfg.admission.adaptive.enabled = true;
+  sim::Interconnect ic(cfg);
+  std::stringstream ss;
+  sim::save_checkpoint(ss, ic);
+
+  auto other = cfg;
+  other.admission.adaptive.enabled = false;
+  sim::Interconnect target(other);
+  EXPECT_THROW(sim::load_checkpoint(ss, target), std::logic_error);
+}
+
+// Replay determinism sweep: adaptive admission x wall-clock deadline x
+// checkpoint/restore mid-run x thread pool. Every cell must reproduce the
+// uninterrupted single-threaded run's state digest bit for bit.
+TEST(AdaptiveAdmission, ReplayDeterminismSweep) {
+  constexpr std::int32_t kFibers = 4;
+  constexpr std::int32_t kWavelengths = 6;
+  constexpr std::uint64_t kSlots = 40;
+  constexpr std::uint64_t kSnapshotAt = 20;
+  util::ThreadPool pool(2);
+
+  for (const bool adaptive : {false, true}) {
+    for (const bool deadline : {false, true}) {
+      auto cfg = overload_config(kFibers, kWavelengths);
+      cfg.admission.enabled = true;
+      cfg.admission.tokens_per_slot = 1.0;
+      cfg.admission.bucket_depth = 2.0;
+      cfg.admission.queue_capacity = 16;
+      cfg.admission.adaptive.enabled = adaptive;
+      cfg.admission.adaptive.update_every = 4;
+      cfg.degrade.recovery_slots = 3;
+      if (deadline) cfg.degrade.slot_deadline_ns = 1;  // every slot overruns
+
+      sim::TrafficConfig tcfg;
+      tcfg.load = 0.9;
+      sim::TrafficGenerator source(kFibers, kWavelengths, tcfg, 131);
+      auto trace = sim::capture_trace(source, kFibers, kWavelengths, kSlots);
+
+      sim::Interconnect original(cfg);
+      original.set_deadline_log(deadline ? &trace.deadline_overruns : nullptr);
+      std::stringstream checkpoint;
+      for (std::size_t slot = 0; slot < trace.slots.size(); ++slot) {
+        if (slot == kSnapshotAt) sim::save_checkpoint(checkpoint, original);
+        original.step(trace.slots[slot]);
+      }
+      original.set_deadline_log(nullptr);
+      if (deadline) ASSERT_FALSE(trace.deadline_overruns.empty());
+      const auto want = sim::state_digest(original);
+
+      for (const bool use_pool : {false, true}) {
+        const std::string cell = std::string("adaptive=") +
+                                 (adaptive ? "1" : "0") + " deadline=" +
+                                 (deadline ? "1" : "0") + " pool=" +
+                                 (use_pool ? "1" : "0");
+        std::stringstream frame(checkpoint.str());
+        sim::Interconnect resumed(cfg);
+        sim::load_checkpoint(frame, resumed);
+        resumed.set_deadline_script(&trace.deadline_overruns);
+        for (std::size_t slot = kSnapshotAt; slot < trace.slots.size();
+             ++slot) {
+          resumed.step(trace.slots[slot], use_pool ? &pool : nullptr);
+        }
+        resumed.set_deadline_script(nullptr);
+        EXPECT_EQ(sim::state_digest(resumed), want) << cell;
+      }
+    }
+  }
+}
 
 TEST(OverloadFuzz, ConservationHoldsAtTwiceSaturation) {
   // Random 2x-overload traffic (with malformed and multi-class requests)

@@ -1,0 +1,350 @@
+// CheckpointStore + recover_latest: full/delta chains round-trip bit for
+// bit, deltas stay small, torn or corrupt frames are discarded with the
+// chain falling back to the best verified prefix, retention prunes retired
+// chains, and a restarted store never corrupts an adopted directory.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "sim/checkpoint.hpp"
+#include "sim/checkpoint_store.hpp"
+#include "sim/interconnect.hpp"
+#include "sim/traffic.hpp"
+
+namespace wdm {
+namespace {
+
+namespace fs = std::filesystem;
+
+sim::InterconnectConfig recovery_config(std::int32_t n_fibers,
+                                        std::int32_t k) {
+  sim::InterconnectConfig cfg;
+  cfg.n_fibers = n_fibers;
+  cfg.scheme = core::ConversionScheme::circular(k, 1, 1);
+  cfg.seed = 42;
+  cfg.retry.max_retries = 2;
+  cfg.retry.queue_capacity = 8;
+  cfg.admission.enabled = true;
+  cfg.admission.tokens_per_slot = 2.0;
+  cfg.admission.bucket_depth = 4.0;
+  cfg.admission.queue_capacity = 16;
+  cfg.admission.adaptive.enabled = true;
+  cfg.admission.adaptive.update_every = 4;
+  return cfg;
+}
+
+sim::TrafficConfig steady_traffic(double load, double mean_holding) {
+  sim::TrafficConfig tcfg;
+  tcfg.load = load;
+  tcfg.holding = sim::HoldingTime::kGeometric;
+  tcfg.mean_holding = mean_holding;
+  return tcfg;
+}
+
+/// Fresh per-test directory under the gtest temp root.
+fs::path fresh_dir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+/// Flips one bit in the middle of a file (torn-page / rot stand-in).
+void corrupt_file(const fs::path& path) {
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.is_open()) << path;
+  f.seekg(0, std::ios::end);
+  const auto size = static_cast<std::uint64_t>(f.tellg());
+  ASSERT_GT(size, 0u);
+  f.seekg(static_cast<std::streamoff>(size / 2));
+  char byte = 0;
+  f.read(&byte, 1);
+  byte = static_cast<char>(byte ^ 0x10);
+  f.seekp(static_cast<std::streamoff>(size / 2));
+  f.write(&byte, 1);
+}
+
+/// Truncates a file to `keep` bytes (crash mid-write without the atomic
+/// rename — what a torn frame would look like if publication were naive).
+void truncate_file(const fs::path& path, std::uint64_t keep) {
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  ASSERT_GT(bytes.size(), keep);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamoff>(keep));
+}
+
+TEST(CheckpointStore, FullDeltaChainRoundTripsAndContinues) {
+  const auto dir = fresh_dir("wdm-roundtrip");
+  const auto cfg = recovery_config(4, 6);
+  const auto tcfg = steady_traffic(0.9, 3.0);
+  sim::Interconnect original(cfg);
+  sim::TrafficGenerator traffic(4, 6, tcfg, 9001);
+
+  sim::CheckpointPolicy policy;
+  policy.dir = dir.string();
+  policy.full_every = 4;
+  policy.keep_fulls = 8;  // keep everything: this test inspects the chain
+  sim::CheckpointStore store(policy);
+  for (std::uint64_t slot = 0; slot < 30; ++slot) {
+    original.step(traffic.next_slot(original.input_channel_busy()));
+    if (original.current_slot() % 2 == 0) store.write(original, &traffic);
+  }
+  ASSERT_FALSE(store.frames().empty());
+  EXPECT_TRUE(store.frames().front().full);  // first frame is always full
+  const auto original_digest = sim::state_digest(original);
+
+  sim::Interconnect recovered(cfg);
+  sim::TrafficGenerator recovered_traffic(4, 6, tcfg, 1);
+  const auto report =
+      sim::recover_latest(dir.string(), recovered, &recovered_traffic);
+  ASSERT_TRUE(report.recovered);
+  EXPECT_TRUE(report.discarded.empty());
+  EXPECT_EQ(report.slot, original.current_slot());
+  EXPECT_EQ(sim::state_digest(recovered), original_digest);
+
+  // Both evolve identically from here — traffic state came along too.
+  for (std::uint64_t slot = 0; slot < 20; ++slot) {
+    original.step(traffic.next_slot(original.input_channel_busy()));
+    recovered.step(
+        recovered_traffic.next_slot(recovered.input_channel_busy()));
+  }
+  EXPECT_EQ(sim::state_digest(recovered), sim::state_digest(original));
+}
+
+TEST(CheckpointStore, DeltasAreAtLeastFiveTimesSmallerAtSteadyState) {
+  // Low-churn steady state on a big fabric: most occupancy records carry
+  // over unchanged between nearby slots (expiry encoding keeps them
+  // byte-stable), so delta frames must be far smaller than fulls.
+  const auto dir = fresh_dir("wdm-compact");
+  const auto cfg = recovery_config(32, 16);
+  const auto tcfg = steady_traffic(0.5, 40.0);
+  sim::Interconnect ic(cfg);
+  sim::TrafficGenerator traffic(32, 16, tcfg, 7);
+  for (std::uint64_t slot = 0; slot < 200; ++slot) {
+    ic.step(traffic.next_slot(ic.input_channel_busy()));  // warm to steady
+  }
+
+  sim::CheckpointPolicy policy;
+  policy.dir = dir.string();
+  policy.full_every = 8;
+  policy.keep_fulls = 16;
+  sim::CheckpointStore store(policy);
+  for (std::uint64_t slot = 0; slot < 64; ++slot) {
+    ic.step(traffic.next_slot(ic.input_channel_busy()));
+    if (ic.current_slot() % 2 == 0) store.write(ic, &traffic);
+  }
+
+  std::uint64_t full_bytes = 0, full_count = 0;
+  std::uint64_t delta_bytes = 0, delta_count = 0;
+  for (const auto& frame : store.frames()) {
+    (frame.full ? full_bytes : delta_bytes) += frame.bytes;
+    (frame.full ? full_count : delta_count) += 1;
+  }
+  ASSERT_GT(full_count, 0u);
+  ASSERT_GT(delta_count, 0u);
+  const double full_avg =
+      static_cast<double>(full_bytes) / static_cast<double>(full_count);
+  const double delta_avg =
+      static_cast<double>(delta_bytes) / static_cast<double>(delta_count);
+  EXPECT_GE(full_avg, 5.0 * delta_avg)
+      << "full_avg=" << full_avg << " delta_avg=" << delta_avg;
+
+  // And the compact chain still restores bit for bit.
+  sim::Interconnect recovered(cfg);
+  sim::TrafficGenerator recovered_traffic(32, 16, tcfg, 1);
+  const auto report =
+      sim::recover_latest(dir.string(), recovered, &recovered_traffic);
+  ASSERT_TRUE(report.recovered);
+  EXPECT_EQ(sim::state_digest(recovered), sim::state_digest(ic));
+}
+
+TEST(CheckpointStore, TornNewestFrameFallsBackOneInterval) {
+  const auto dir = fresh_dir("wdm-torn");
+  const auto cfg = recovery_config(4, 6);
+  const auto tcfg = steady_traffic(0.9, 3.0);
+  sim::Interconnect ic(cfg);
+  sim::TrafficGenerator traffic(4, 6, tcfg, 55);
+
+  sim::CheckpointPolicy policy;
+  policy.dir = dir.string();
+  policy.full_every = 4;
+  policy.keep_fulls = 8;
+  sim::CheckpointStore store(policy);
+  std::uint64_t prev_digest = 0, prev_slot = 0;
+  for (std::uint64_t slot = 0; slot < 12; ++slot) {
+    ic.step(traffic.next_slot(ic.input_channel_busy()));
+    if (slot + 1 < 12) {  // digest of the state behind the last-good frame
+      prev_digest = sim::state_digest(ic);
+      prev_slot = ic.current_slot();
+    }
+    store.write(ic, &traffic);
+  }
+  const auto& torn = store.frames().back();
+  truncate_file(torn.path, torn.bytes / 2);
+
+  sim::Interconnect recovered(cfg);
+  sim::TrafficGenerator recovered_traffic(4, 6, tcfg, 1);
+  const auto report =
+      sim::recover_latest(dir.string(), recovered, &recovered_traffic);
+  ASSERT_TRUE(report.recovered);
+  EXPECT_EQ(report.slot, prev_slot);
+  EXPECT_EQ(sim::state_digest(recovered), prev_digest);
+  ASSERT_EQ(report.discarded.size(), 1u);
+  EXPECT_EQ(report.discarded[0], torn.path);
+  EXPECT_FALSE(report.reasons[0].empty());
+}
+
+TEST(CheckpointStore, CorruptFullOrphansItsDeltasAndFallsBackAChain) {
+  const auto dir = fresh_dir("wdm-orphan");
+  const auto cfg = recovery_config(4, 6);
+  const auto tcfg = steady_traffic(0.9, 3.0);
+  sim::Interconnect ic(cfg);
+  sim::TrafficGenerator traffic(4, 6, tcfg, 99);
+
+  // full_every=4 over 8 writes: F D D D F D D D. Corrupting the second
+  // full must discard it AND strand its three deltas, falling back to the
+  // end of the first chain.
+  sim::CheckpointPolicy policy;
+  policy.dir = dir.string();
+  policy.full_every = 4;
+  policy.keep_fulls = 8;
+  sim::CheckpointStore store(policy);
+  std::uint64_t first_chain_digest = 0, first_chain_slot = 0;
+  for (std::uint64_t slot = 0; slot < 8; ++slot) {
+    ic.step(traffic.next_slot(ic.input_channel_busy()));
+    store.write(ic, &traffic);
+    if (slot == 3) {  // last frame of the first full+delta chain
+      first_chain_digest = sim::state_digest(ic);
+      first_chain_slot = ic.current_slot();
+    }
+  }
+  ASSERT_EQ(store.frames().size(), 8u);
+  ASSERT_TRUE(store.frames()[4].full);
+  corrupt_file(store.frames()[4].path);
+
+  sim::Interconnect recovered(cfg);
+  sim::TrafficGenerator recovered_traffic(4, 6, tcfg, 1);
+  const auto report =
+      sim::recover_latest(dir.string(), recovered, &recovered_traffic);
+  ASSERT_TRUE(report.recovered);
+  EXPECT_EQ(report.slot, first_chain_slot);
+  EXPECT_EQ(sim::state_digest(recovered), first_chain_digest);
+  // The corrupt full and its three stranded deltas are all reported.
+  EXPECT_EQ(report.discarded.size(), 4u);
+}
+
+TEST(CheckpointStore, PruneRetiresRetiredChains) {
+  const auto dir = fresh_dir("wdm-prune");
+  const auto cfg = recovery_config(2, 4);
+  const auto tcfg = steady_traffic(0.8, 2.0);
+  sim::Interconnect ic(cfg);
+  sim::TrafficGenerator traffic(2, 4, tcfg, 5);
+
+  sim::CheckpointPolicy policy;
+  policy.dir = dir.string();
+  policy.full_every = 2;
+  policy.keep_fulls = 2;
+  sim::CheckpointStore store(policy);
+  for (std::uint64_t slot = 0; slot < 12; ++slot) {
+    ic.step(traffic.next_slot(ic.input_channel_busy()));
+    store.write(ic, &traffic);
+  }
+
+  // keep_fulls=2 with full_every=2 retains at most the two newest
+  // full+delta chains (4 frames); everything older is gone from disk.
+  std::size_t on_disk = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    EXPECT_TRUE(entry.path().filename().string().starts_with("ckpt-"));
+    on_disk += 1;
+  }
+  EXPECT_EQ(on_disk, store.frames().size());
+  EXPECT_LE(on_disk, 4u);
+
+  sim::Interconnect recovered(cfg);
+  sim::TrafficGenerator recovered_traffic(2, 4, tcfg, 1);
+  const auto report =
+      sim::recover_latest(dir.string(), recovered, &recovered_traffic);
+  ASSERT_TRUE(report.recovered);
+  EXPECT_EQ(sim::state_digest(recovered), sim::state_digest(ic));
+}
+
+TEST(CheckpointStore, RestartedStoreContinuesTheDirectory) {
+  const auto dir = fresh_dir("wdm-restart");
+  const auto cfg = recovery_config(2, 4);
+  const auto tcfg = steady_traffic(0.8, 2.0);
+  sim::Interconnect ic(cfg);
+  sim::TrafficGenerator traffic(2, 4, tcfg, 5);
+  sim::CheckpointPolicy policy;
+  policy.dir = dir.string();
+  policy.full_every = 4;
+  policy.keep_fulls = 8;
+  {
+    sim::CheckpointStore first(policy);
+    for (std::uint64_t slot = 0; slot < 3; ++slot) {
+      ic.step(traffic.next_slot(ic.input_channel_busy()));
+      first.write(ic, &traffic);
+    }
+  }
+
+  // A restarted store must not extend the adopted chain with deltas it
+  // never saw: its first frame is a fresh full, numbered after the old
+  // files, and recovery lands on the new chain's head.
+  sim::CheckpointStore second(policy);
+  ic.step(traffic.next_slot(ic.input_channel_busy()));
+  second.write(ic, &traffic);
+  ASSERT_EQ(second.frames().size(), 1u);
+  EXPECT_TRUE(second.frames().front().full);
+
+  sim::Interconnect recovered(cfg);
+  sim::TrafficGenerator recovered_traffic(2, 4, tcfg, 1);
+  const auto report =
+      sim::recover_latest(dir.string(), recovered, &recovered_traffic);
+  ASSERT_TRUE(report.recovered);
+  EXPECT_EQ(report.slot, ic.current_slot());
+  EXPECT_EQ(sim::state_digest(recovered), sim::state_digest(ic));
+}
+
+TEST(CheckpointStore, EmptyOrMissingDirectoryReportsNoChain) {
+  const auto dir = fresh_dir("wdm-empty");
+  const auto cfg = recovery_config(2, 4);
+  sim::Interconnect ic(cfg);
+  {  // directory does not exist at all
+    const auto report = sim::recover_latest((dir / "nope").string(), ic);
+    EXPECT_FALSE(report.recovered);
+  }
+  {  // directory exists but holds no frames
+    fs::create_directories(dir);
+    const auto report = sim::recover_latest(dir.string(), ic);
+    EXPECT_FALSE(report.recovered);
+    EXPECT_TRUE(report.discarded.empty());
+  }
+}
+
+TEST(CheckpointStore, TrafficPresenceMustMatchTheChain) {
+  const auto dir = fresh_dir("wdm-traffic-mismatch");
+  const auto cfg = recovery_config(2, 4);
+  const auto tcfg = steady_traffic(0.8, 2.0);
+  sim::Interconnect ic(cfg);
+  sim::TrafficGenerator traffic(2, 4, tcfg, 5);
+  sim::CheckpointPolicy policy;
+  policy.dir = dir.string();
+  sim::CheckpointStore store(policy);
+  ic.step(traffic.next_slot(ic.input_channel_busy()));
+  store.write(ic, &traffic);
+
+  // Frames carry traffic state; recovering without a generator must not
+  // half-restore — the frame is rejected, not partially applied.
+  sim::Interconnect recovered(cfg);
+  const auto report = sim::recover_latest(dir.string(), recovered, nullptr);
+  EXPECT_FALSE(report.recovered);
+  ASSERT_EQ(report.discarded.size(), 1u);
+}
+
+}  // namespace
+}  // namespace wdm
