@@ -18,6 +18,7 @@
 #include "obs/telemetry.hpp"
 #include "sim/checkpoint.hpp"
 #include "sim/checkpoint_store.hpp"
+#include "sim/fleet.hpp"
 #include "sim/interconnect.hpp"
 #include "sim/metrics.hpp"
 #include "sim/obs_export.hpp"
@@ -40,6 +41,13 @@ int main(int argc, char** argv) {
   cli.add_option("warmup", "100", "warm-up slots discarded from metrics");
   cli.add_option("seed", "1", "master seed");
   cli.add_option("threads", "0", "worker threads; 0 runs serially");
+  cli.add_option("shards", "0",
+                 "serve this many independent fabrics as a sim::Fleet "
+                 "(0 = classic single-fabric path); --threads becomes "
+                 "threads per shard group, clamped to the host");
+  cli.add_flag("pin-cpus",
+               "pin each shard group to a contiguous CPU block "
+               "(fleet mode only; decisions and digests are unchanged)");
   cli.add_option("policy", "nodisturb", "occupied policy: nodisturb|rearrange");
   cli.add_option("op-budget", "0",
                  "per-slot op budget for degradation; 0 disables");
@@ -137,10 +145,114 @@ int main(int argc, char** argv) {
                  "(the initial rate); ignoring the flag.\n";
   }
 
-  sim::Interconnect interconnect(icfg);
   sim::TrafficConfig tcfg;
   tcfg.load = cli.get_double("load");
   if (cli.get_flag("bursty")) tcfg.arrivals = sim::ArrivalProcess::kOnOff;
+
+  // Fleet mode: F independent fabrics behind the slot barrier, merged
+  // Prometheus export with a bounded per-shard breakdown. Tracing stays a
+  // single-fabric affair (one ring per recorder); everything else — warm-up,
+  // checkpoints, resume, metrics files — works the same.
+  const auto shards = static_cast<std::size_t>(cli.get_int("shards"));
+  if (shards > 0) {
+    if (*detail != obs::TraceDetail::kOff) {
+      std::cerr << "simulate: --trace-detail is single-fabric only; "
+                   "ignoring it in fleet mode.\n";
+    }
+    sim::FleetConfig fcfg;
+    fcfg.shards = shards;
+    fcfg.threads_per_shard =
+        static_cast<std::size_t>(cli.get_int("threads"));
+    fcfg.pin_cpus = cli.get_flag("pin-cpus");
+    fcfg.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+    fcfg.interconnect = icfg;
+    fcfg.traffic = tcfg;
+    sim::Fleet fleet(fcfg);
+
+    const auto warmup = static_cast<std::uint64_t>(cli.get_int("warmup"));
+    const auto slots = static_cast<std::uint64_t>(cli.get_int("slots"));
+    const auto checkpoint_every =
+        static_cast<std::uint64_t>(cli.get_int("checkpoint-every"));
+    const bool checkpointing =
+        !cli.get("checkpoint-dir").empty() && checkpoint_every > 0;
+    if (checkpointing) {
+      sim::CheckpointPolicy policy;
+      policy.dir = cli.get("checkpoint-dir");
+      policy.full_every =
+          static_cast<std::uint32_t>(cli.get_int("full-every"));
+      policy.keep_fulls =
+          static_cast<std::uint32_t>(cli.get_int("keep-fulls"));
+      fleet.open_checkpoints(policy);
+    }
+    std::uint64_t start_slot = 0;
+    if (cli.get_flag("resume")) {
+      if (cli.get("checkpoint-dir").empty()) {
+        std::cerr << "simulate: --resume needs --checkpoint-dir\n";
+        return 1;
+      }
+      const sim::FleetRecovery recovery =
+          fleet.resume_from(cli.get("checkpoint-dir"));
+      if (!recovery.recovered) {
+        std::cerr << "simulate: no agreeing checkpoint chains for all "
+                  << shards << " shards in " << cli.get("checkpoint-dir")
+                  << "\n";
+        return 1;
+      }
+      start_slot = recovery.slot;
+      std::cout << "resumed " << shards << " shards at slot "
+                << recovery.slot << "\n";
+    }
+
+    const std::uint64_t end_slot = warmup + slots;
+    if (start_slot < warmup) {
+      fleet.run(warmup - start_slot);
+      fleet.reset_counters();  // warm-up never pollutes the metrics
+    }
+    const util::Stopwatch clock;
+    std::uint64_t done = fleet.current_slot();
+    while (done < end_slot) {
+      const std::uint64_t chunk =
+          checkpointing
+              ? std::min<std::uint64_t>(checkpoint_every, end_slot - done)
+              : end_slot - done;
+      fleet.run(chunk);
+      done = fleet.current_slot();
+      if (checkpointing) fleet.write_checkpoint();
+    }
+    const double wall_s = clock.elapsed_s();
+
+    const sim::MetricsCollector merged = fleet.merged_metrics();
+    std::cout << "shards=" << fleet.shards() << " threads/shard="
+              << fleet.threads_per_shard() << " pinned="
+              << (fleet.pinned() ? "yes" : "no") << "\n";
+    std::cout << "slots=" << merged.slots() << " arrivals="
+              << merged.raw_arrivals() << " granted=" << merged.granted()
+              << " loss=" << merged.loss_probability()
+              << " requests/s="
+              << static_cast<std::uint64_t>(
+                     wall_s > 0.0
+                         ? static_cast<double>(merged.raw_arrivals()) / wall_s
+                         : 0.0)
+              << " wall_s=" << wall_s << "\n";
+    std::cout << "fleet_digest=0x" << std::hex << fleet.fleet_digest()
+              << std::dec << "\n";
+    if (!cli.get("metrics").empty()) {
+      std::ofstream os(cli.get("metrics"));
+      if (!os) {
+        std::cerr << "simulate: cannot open " << cli.get("metrics") << "\n";
+        return 1;
+      }
+      obs::Registry registry;
+      sim::register_fleet_metrics(registry, fleet,
+                                  cli.get_flag("metrics-per-fiber"));
+      obs::write_prometheus(os, registry);
+      std::cout << "wrote Prometheus snapshot to " << cli.get("metrics")
+                << "\n";
+    }
+    return 0;
+  }
+
+  sim::Interconnect interconnect(icfg);
   sim::TrafficGenerator traffic(n, k, tcfg, seeder.next());
   sim::MetricsCollector metrics(n, k);
 

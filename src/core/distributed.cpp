@@ -31,6 +31,10 @@ void DistributedScheduler::set_converter_budget(std::int32_t budget) {
   for (auto& port : ports_) port.set_converter_budget(budget);
 }
 
+void DistributedScheduler::reserve_batches(std::size_t max_requests_per_slot) {
+  for (auto& port : ports_) port.reserve_batch(max_requests_per_slot);
+}
+
 template <typename RowFn, typename BitsFn>
 void DistributedScheduler::schedule_slot_impl(
     std::span<const SlotRequest> requests, RowFn&& row_of, BitsFn&& bits_of,

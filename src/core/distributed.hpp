@@ -91,6 +91,14 @@ class DistributedScheduler {
   /// with Algorithm::kSparseBudgeted).
   void set_converter_budget(std::int32_t budget);
 
+  /// Pre-sizes every port's arbitration scratch for slots of up to
+  /// `max_requests_per_slot` requests (the worst case is all of them at one
+  /// port). Opt-in: costs O(N * max) memory up front, in exchange for a
+  /// steady state with zero heap allocations from the very first slot —
+  /// without it, rare per-port high-water marks still reallocate
+  /// (OutputPortScheduler::reserve_batch).
+  void reserve_batches(std::size_t max_requests_per_slot);
+
   /// Schedules one slot. `availability`, if non-null, holds one size-k mask
   /// per output fiber (occupied channels, Section V). `health`, if non-null,
   /// holds one HealthMask per output fiber (hardware faults): requests to a

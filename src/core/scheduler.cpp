@@ -550,6 +550,14 @@ void OutputPortScheduler::schedule_batch_into(
       [&wavelengths](std::size_t idx) { return wavelengths[idx]; }, decisions);
 }
 
+void OutputPortScheduler::reserve_batch(std::size_t max_requests) {
+  // won_flat_ holds at most one entry per channel; member_flat_ one per
+  // surviving request of the batch. The offset/cursor arrays are fixed at
+  // k+1 and reach capacity on the first slot regardless.
+  won_flat_.reserve(static_cast<std::size_t>(scheme_.k()));
+  member_flat_.reserve(max_requests);
+}
+
 void OutputPortScheduler::save_state(util::SnapshotWriter& w) const {
   const auto rng = rng_.state();
   for (const auto word : rng.s) w.u64(word);

@@ -194,6 +194,14 @@ class OutputPortScheduler {
                            std::span<PortDecision> decisions,
                            bool degraded = false);
 
+  /// Pre-sizes the arbitration scratch (CSR winner/member arrays) for slot
+  /// batches of up to `max_requests` requests at this port. The scratch
+  /// converges on its own — capacity persists across slots — but every new
+  /// per-port high-water mark (a slot batch bigger than any before it)
+  /// costs one reallocation; callers with a hard zero-allocation serving
+  /// contract (sim::Fleet) reserve the worst case up front instead.
+  void reserve_batch(std::size_t max_requests);
+
   /// Checkpoint of the port's mutable scheduling state (arbitration RNG and
   /// round-robin cursors — everything a replay needs beyond the config).
   void save_state(util::SnapshotWriter& w) const;

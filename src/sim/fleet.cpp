@@ -1,0 +1,327 @@
+#include "sim/fleet.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <span>
+
+#include "sim/checkpoint.hpp"
+#include "util/check.hpp"
+#include "util/cpu_affinity.hpp"
+#include "util/rng.hpp"
+#include "util/snapshot.hpp"
+#include "util/threadpool.hpp"
+
+namespace wdm::sim {
+
+namespace {
+/// Label base for shard master-seed substreams (see util::derive_stream_seed):
+/// "FLEET" + shard index. Labeled, not sequential, so changing the shard
+/// count never shifts the seeds of the shards that already existed.
+constexpr std::uint64_t kFleetShardLabel = 0x464c454554ULL;
+}  // namespace
+
+/// Everything one shard owns. Constructed inside the (optionally pinned)
+/// driver thread so first-touch page placement follows the pin, and
+/// destroyed by that same thread on shutdown.
+struct Fleet::Shard {
+  std::unique_ptr<Interconnect> interconnect;
+  std::unique_ptr<TrafficGenerator> traffic;
+  std::unique_ptr<MetricsCollector> metrics;
+  std::unique_ptr<util::ThreadPool> pool;  // null when the group is just the driver
+  std::unique_ptr<CheckpointStore> store;  // null until open_checkpoints
+  // Reusable per-slot scratch — the zero-allocation warm path.
+  std::vector<std::uint8_t> busy;
+  std::vector<core::SlotRequest> arrivals;
+  SlotStats last;            // most recent slot's accounting
+  std::uint64_t total_arrivals = 0;
+  std::uint64_t total_granted = 0;
+  bool pinned = false;
+  std::exception_ptr error;  // first failure; rethrown at the barrier
+};
+
+Fleet::Fleet(FleetConfig config) : config_(std::move(config)) {
+  WDM_CHECK_MSG(config_.shards > 0, "a fleet needs at least one shard");
+  WDM_CHECK_MSG(
+      config_.shard_seeds.empty() ||
+          config_.shard_seeds.size() == config_.shards,
+      "shard_seeds must be empty or name a seed for every shard");
+
+  seeds_.resize(config_.shards);
+  for (std::size_t i = 0; i < config_.shards; ++i) {
+    seeds_[i] = config_.shard_seeds.empty()
+                    ? util::derive_stream_seed(config_.seed,
+                                               kFleetShardLabel + i)
+                    : config_.shard_seeds[i];
+  }
+
+  // The oversubscription clamp (one pool per shard must not multiply into
+  // more workers than the machine has): group size includes the driver.
+  group_threads_ = util::ThreadPool::clamped_partition_threads(
+      config_.threads_per_shard, config_.shards, config_.max_total_threads);
+
+  shards_.resize(config_.shards);
+  drivers_.reserve(config_.shards);
+  for (std::size_t i = 0; i < config_.shards; ++i) {
+    drivers_.emplace_back([this, i] { driver_main(i); });
+  }
+  // Wait for every driver to pin, build its shard, and check in; surface
+  // the first construction failure as our own.
+  std::unique_lock lock(mu_);
+  done_cv_.wait(lock, [this] { return ready_ == shards_.size(); });
+  bool all_pinned = config_.pin_cpus;
+  for (auto& shard : shards_) {
+    if (shard->error) {
+      lock.unlock();
+      stop_drivers_and_rethrow(shard->error);
+    }
+    all_pinned = all_pinned && shard->pinned;
+  }
+  pinned_ = all_pinned;
+}
+
+void Fleet::stop_drivers_and_rethrow(std::exception_ptr error) {
+  {
+    const std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& d : drivers_) {
+    if (d.joinable()) d.join();
+  }
+  std::rethrow_exception(error);
+}
+
+Fleet::~Fleet() {
+  {
+    const std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& d : drivers_) {
+    if (d.joinable()) d.join();
+  }
+}
+
+void Fleet::driver_main(std::size_t index) {
+  auto shard = std::make_unique<Shard>();
+  try {
+    if (config_.pin_cpus) {
+      // Contiguous block per shard: groups land side by side, so on NUMA
+      // hosts a shard's threads share one node as long as blocks do not
+      // straddle a node boundary. Wraps when shards exceed the CPU count.
+      const std::size_t cpus = util::available_cpus();
+      const std::size_t block = std::max<std::size_t>(
+          1, std::min(group_threads_, cpus / std::max<std::size_t>(
+                                                 1, config_.shards)));
+      const std::size_t first = (index * block) % cpus;
+      shard->pinned = util::pin_current_thread_block(
+          static_cast<int>(first), static_cast<int>(block));
+    }
+    // Per-shard seeding mirrors run_simulation: one seeder per shard, the
+    // interconnect and traffic streams drawn from it in a fixed order.
+    util::Rng seeder(seeds_[index]);
+    InterconnectConfig icfg = config_.interconnect;
+    icfg.seed = seeder.next();
+    const std::uint64_t traffic_seed = seeder.next();
+    shard->interconnect = std::make_unique<Interconnect>(icfg);
+    // The fleet's serving contract is zero warm-path allocation, so pay the
+    // worst-case arena memory up front rather than absorbing rare per-port
+    // high-water reallocations mid-serve.
+    shard->interconnect->reserve_worst_case_scratch();
+    shard->traffic = std::make_unique<TrafficGenerator>(
+        icfg.n_fibers, icfg.scheme.k(), config_.traffic, traffic_seed);
+    shard->metrics =
+        std::make_unique<MetricsCollector>(icfg.n_fibers, icfg.scheme.k());
+    // Worst-case scratch: one busy flag and at most one fresh arrival per
+    // input channel per slot, so the warm slot loop never reallocates.
+    const std::size_t channels = static_cast<std::size_t>(icfg.n_fibers) *
+                                 static_cast<std::size_t>(icfg.scheme.k());
+    shard->busy.reserve(channels);
+    shard->arrivals.reserve(channels);
+    if (group_threads_ > 1) {
+      // Constructed on this (possibly pinned) thread so the workers inherit
+      // the affinity mask on Linux; group size counts the driver, hence -1.
+      shard->pool = std::make_unique<util::ThreadPool>(group_threads_ - 1);
+    }
+  } catch (...) {
+    shard->error = std::current_exception();
+  }
+
+  Shard* self = shard.get();
+  {
+    const std::lock_guard lock(mu_);
+    shards_[index] = std::move(shard);
+    ++ready_;
+  }
+  done_cv_.notify_all();
+
+  std::uint64_t done = 0;
+  std::unique_lock lock(mu_);
+  for (;;) {
+    cv_.wait(lock, [&] { return stop_ || target_slots_ > done; });
+    if (stop_) break;
+    const std::uint64_t target = target_slots_;
+    lock.unlock();
+    if (self->error == nullptr) {
+      try {
+        while (done < target) {
+          run_shard_slot(*self);
+          ++done;
+        }
+      } catch (...) {
+        self->error = std::current_exception();
+      }
+    }
+    done = target;  // an errored shard stops stepping but keeps the barrier
+    lock.lock();
+    if (--running_ == 0) done_cv_.notify_all();
+  }
+  // Tear down on the owning thread (symmetric with construction).
+  lock.unlock();
+  self->pool.reset();
+}
+
+void Fleet::run_shard_slot(Shard& shard) {
+  shard.interconnect->input_channel_busy_into(shard.busy);
+  shard.traffic->next_slot_into(shard.busy, shard.arrivals);
+  shard.last = shard.interconnect->step(
+      std::span<const core::SlotRequest>(shard.arrivals), shard.pool.get());
+  shard.total_arrivals += shard.last.arrivals;
+  shard.total_granted += shard.last.granted;
+  shard.metrics->record_slot(shard.last);
+  const auto& grants = shard.interconnect->last_fiber_grants();
+  for (std::int32_t fiber = 0; fiber < shard.interconnect->n_fibers();
+       ++fiber) {
+    shard.metrics->record_fiber_grants(
+        fiber, grants[static_cast<std::size_t>(fiber)]);
+  }
+}
+
+void Fleet::advance(std::uint64_t slots) {
+  if (slots == 0) return;
+  std::unique_lock lock(mu_);
+  target_slots_ += slots;
+  running_ = shards_.size();
+  cv_.notify_all();
+  done_cv_.wait(lock, [this] { return running_ == 0; });
+  slot_ += slots;
+  for (auto& shard : shards_) {
+    if (shard->error) {
+      const std::exception_ptr error = shard->error;
+      lock.unlock();
+      std::rethrow_exception(error);
+    }
+  }
+}
+
+void Fleet::step() {
+  advance(1);
+  // Aggregate outside the barrier on the caller: SmallVec-backed per-class
+  // columns keep this allocation-free.
+  last_stats_ = SlotStats{};
+  for (const auto& shard : shards_) last_stats_.add(shard->last);
+}
+
+void Fleet::run(std::uint64_t slots) {
+  advance(slots);
+  last_stats_ = SlotStats{};
+  for (const auto& shard : shards_) last_stats_.add(shard->last);
+}
+
+std::uint64_t Fleet::shard_seed(std::size_t shard) const {
+  WDM_CHECK_MSG(shard < seeds_.size(), "shard index out of range");
+  return seeds_[shard];
+}
+
+std::uint64_t Fleet::total_arrivals() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->total_arrivals;
+  return total;
+}
+
+std::uint64_t Fleet::total_granted() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->total_granted;
+  return total;
+}
+
+void Fleet::reset_counters() {
+  for (auto& shard : shards_) {
+    shard->metrics = std::make_unique<MetricsCollector>(
+        shard->interconnect->n_fibers(), shard->interconnect->k());
+    shard->total_arrivals = 0;
+    shard->total_granted = 0;
+  }
+}
+
+const Interconnect& Fleet::shard_interconnect(std::size_t shard) const {
+  WDM_CHECK_MSG(shard < shards_.size(), "shard index out of range");
+  return *shards_[shard]->interconnect;
+}
+
+const MetricsCollector& Fleet::shard_metrics(std::size_t shard) const {
+  WDM_CHECK_MSG(shard < shards_.size(), "shard index out of range");
+  return *shards_[shard]->metrics;
+}
+
+MetricsCollector Fleet::merged_metrics() const {
+  MetricsCollector merged(config_.interconnect.n_fibers,
+                          config_.interconnect.scheme.k());
+  for (const auto& shard : shards_) merged.merge(*shard->metrics);
+  return merged;
+}
+
+std::uint64_t Fleet::fleet_digest() const {
+  // FNV-1a64 over the ordered little-endian shard digests: shard order is
+  // part of the fingerprint (shard i is a distinct seeded stream).
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(shards_.size() * 8);
+  for (const auto& shard : shards_) {
+    std::uint64_t d = state_digest(*shard->interconnect);
+    for (int b = 0; b < 8; ++b) {
+      bytes.push_back(static_cast<std::uint8_t>(d & 0xff));
+      d >>= 8;
+    }
+  }
+  return util::fnv1a64(bytes);
+}
+
+void Fleet::open_checkpoints(const CheckpointPolicy& policy) {
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    CheckpointPolicy shard_policy = policy;
+    shard_policy.dir = policy.dir + "/shard-" + std::to_string(i);
+    shards_[i]->store = std::make_unique<CheckpointStore>(shard_policy);
+  }
+}
+
+void Fleet::write_checkpoint() {
+  for (auto& shard : shards_) {
+    WDM_CHECK_MSG(shard->store != nullptr,
+                  "write_checkpoint needs open_checkpoints first");
+    shard->store->write(*shard->interconnect, shard->traffic.get());
+  }
+}
+
+FleetRecovery Fleet::resume_from(const std::string& dir) {
+  FleetRecovery out;
+  out.shards.reserve(shards_.size());
+  bool all = true;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    RecoveryReport report =
+        recover_latest(dir + "/shard-" + std::to_string(i),
+                       *shards_[i]->interconnect, shards_[i]->traffic.get());
+    all = all && report.recovered;
+    out.shards.push_back(std::move(report));
+  }
+  if (!all) return out;
+  const std::uint64_t slot = out.shards.front().slot;
+  for (const auto& report : out.shards) {
+    if (report.slot != slot) return out;  // chains disagree: not a fleet state
+  }
+  out.recovered = true;
+  out.slot = slot;
+  slot_ = slot;
+  return out;
+}
+
+}  // namespace wdm::sim

@@ -1,0 +1,186 @@
+// Sharded fleet engine: F independent fabrics served from pinned worker
+// groups (ROADMAP item 2 — many-interconnect serving at production scale).
+//
+// The paper's structural property — each output fiber's scheduler decides
+// independently within a slot — extends one level up: whole fabrics (or
+// fiber ranges of one huge fabric modeled as separate fabrics) share no
+// state within a slot, so a fleet of F interconnects is embarrassingly
+// parallel. Each shard owns a full sim::Interconnect with its own arena,
+// availability plane, RNG streams, admission controller, traffic source,
+// and metrics collector; nothing is shared between shards but the slot
+// barrier, and the warm step path performs zero cross-shard heap
+// allocation (tests/test_zero_alloc.cpp drives a 4-shard fleet).
+//
+// Threading model: one persistent driver thread per shard. A driver
+// optionally pins itself (util::cpu_affinity) to a contiguous CPU block,
+// then constructs the shard's state *on the pinned thread* — so first-touch
+// page placement puts the shard's arenas on the driver's NUMA node — and
+// its per-shard ThreadPool workers inherit the affinity mask. Per-shard
+// group sizes are clamped by ThreadPool::clamped_partition_threads so a
+// fleet never oversubscribes the machine with nested pools.
+//
+// Determinism: shard i's master seed is a labeled substream of the fleet
+// seed (or an explicit FleetConfig::shard_seeds entry), and every scheduling
+// decision is thread-count- and pinning-independent, so
+// fleet_digest() — FNV-1a64 over the ordered shard state digests — is a
+// bit-exact fingerprint of (config, seed, slots stepped). Checkpoint and
+// resume run one sim::CheckpointStore chain per shard under
+// <dir>/shard-<i>/ (docs/ALGORITHMS.md §12).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sim/checkpoint_store.hpp"
+#include "sim/interconnect.hpp"
+#include "sim/metrics.hpp"
+#include "sim/traffic.hpp"
+
+namespace wdm::sim {
+
+struct FleetConfig {
+  /// Independent fabrics served by this fleet.
+  std::size_t shards = 1;
+  /// Threads per shard group, *including* the shard's driver thread (the
+  /// driver claims parallel_for chunks alongside the pool workers). 0
+  /// derives it from the thread budget; values above the per-shard budget
+  /// are clamped (ThreadPool::clamped_partition_threads).
+  std::size_t threads_per_shard = 0;
+  /// Total thread budget shared by all shard groups; 0 means the CPUs
+  /// available to this process. Tests use it to model a small host.
+  std::size_t max_total_threads = 0;
+  /// Pin each shard group to a contiguous block of logical CPUs. A
+  /// performance hint only: decisions and digests are identical either way.
+  bool pin_cpus = false;
+  /// Fleet master seed; shard i's seed is a labeled substream of it.
+  std::uint64_t seed = 1;
+  /// Explicit per-shard master seeds (size must equal `shards` when
+  /// nonempty); empty derives them from `seed`. Changing any one entry
+  /// changes exactly that shard's streams and thus the fleet digest.
+  std::vector<std::uint64_t> shard_seeds;
+  /// Every shard runs this fabric geometry/policy (the per-shard scheduler
+  /// seed inside it is overwritten from the shard's master seed).
+  InterconnectConfig interconnect;
+  /// Every shard runs this traffic model on its own generator stream.
+  TrafficConfig traffic;
+};
+
+/// Per-shard recovery outcomes of Fleet::resume_from.
+struct FleetRecovery {
+  bool recovered = false;      ///< every shard restored and agreed on a slot
+  std::uint64_t slot = 0;      ///< common restored slot counter
+  std::vector<RecoveryReport> shards;  ///< one report per shard, in order
+};
+
+class Fleet {
+ public:
+  explicit Fleet(FleetConfig config);
+  ~Fleet();
+
+  Fleet(const Fleet&) = delete;
+  Fleet& operator=(const Fleet&) = delete;
+
+  const FleetConfig& config() const noexcept { return config_; }
+  std::size_t shards() const noexcept { return shards_.size(); }
+  /// Effective group size per shard after the oversubscription clamp
+  /// (driver thread included).
+  std::size_t threads_per_shard() const noexcept { return group_threads_; }
+  /// Pool workers each shard spawned (group size minus the driver).
+  std::size_t pool_workers_per_shard() const noexcept {
+    return group_threads_ - 1;
+  }
+  /// Every thread the fleet spawned or drives: shard drivers plus all
+  /// per-shard pool workers. The clamp guarantees this never exceeds
+  /// max(shards, thread budget).
+  std::size_t total_threads() const noexcept {
+    return shards_.size() * group_threads_;
+  }
+  /// True when pinning was requested and every shard applied its CPU mask.
+  bool pinned() const noexcept { return pinned_; }
+  /// Shard i's master seed (derived or explicit).
+  std::uint64_t shard_seed(std::size_t shard) const;
+
+  /// Advances every shard exactly one slot and waits for all of them (the
+  /// slot barrier). Zero heap allocation once warm.
+  void step();
+  /// Advances every shard `slots` slots with one barrier at the end —
+  /// shards free-run between barriers, which is legal because they share no
+  /// state; bit-identical to calling step() `slots` times.
+  void run(std::uint64_t slots);
+
+  /// Slots every shard has advanced since construction (or resume).
+  std::uint64_t current_slot() const noexcept { return slot_; }
+  /// Sum of shard SlotStats for the most recent slot (valid after step();
+  /// after run() it covers the final slot only).
+  const SlotStats& last_step_stats() const noexcept { return last_stats_; }
+  /// Fresh requests offered / granted across all shards since construction,
+  /// resume, or reset_counters().
+  std::uint64_t total_arrivals() const noexcept;
+  std::uint64_t total_granted() const noexcept;
+  /// Discards accumulated metrics and totals (warm-up discard). State
+  /// digests are unaffected: metrics are observers, never simulation state.
+  void reset_counters();
+
+  const Interconnect& shard_interconnect(std::size_t shard) const;
+  const MetricsCollector& shard_metrics(std::size_t shard) const;
+  /// Merged view across shards via MetricsCollector::merge (exact: the
+  /// accumulators are designed mergeable). Built on demand — not hot path.
+  MetricsCollector merged_metrics() const;
+
+  /// FNV-1a64 over the ordered shard state digests — equal iff every
+  /// shard's checkpoint payload is byte-identical. Thread-count- and
+  /// pinning-invariant; any shard seed change changes it.
+  std::uint64_t fleet_digest() const;
+
+  /// Opens one CheckpointStore chain per shard under
+  /// <policy.dir>/shard-<i>/ (cadence fields taken from `policy`).
+  void open_checkpoints(const CheckpointPolicy& policy);
+  /// Writes one frame per shard (interconnect + traffic state). Requires
+  /// open_checkpoints. All shards are written at the same fleet slot, so a
+  /// later resume finds agreeing chains.
+  void write_checkpoint();
+  /// Recovers every shard's newest verified chain from <dir>/shard-<i>/.
+  /// Succeeds only when all shards recover and agree on the restored slot;
+  /// on success the fleet continues from that slot. On failure the fleet
+  /// state is unspecified — rebuild it (cheap) before trusting digests.
+  FleetRecovery resume_from(const std::string& dir);
+
+ private:
+  struct Shard;
+
+  void driver_main(std::size_t index);
+  void run_shard_slot(Shard& shard);
+  /// Releases the drivers to advance `slots` more slots and blocks until
+  /// all have; rethrows the first shard error.
+  void advance(std::uint64_t slots);
+  /// Constructor failure path: joins every driver, then rethrows `error`.
+  [[noreturn]] void stop_drivers_and_rethrow(std::exception_ptr error);
+
+  FleetConfig config_;
+  std::size_t group_threads_ = 1;  // effective per-shard group size
+  bool pinned_ = false;
+  std::vector<std::uint64_t> seeds_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::thread> drivers_;
+  std::uint64_t slot_ = 0;
+  SlotStats last_stats_;
+
+  // Slot-barrier plumbing: the caller publishes a new cumulative target,
+  // each driver catches its shard up and reports done; `running_` counts
+  // drivers still behind. Startup reuses the same condition variables.
+  mutable std::mutex mu_;
+  std::condition_variable cv_;       // wakes drivers (target bump, stop)
+  std::condition_variable done_cv_;  // wakes the caller (all caught up)
+  std::uint64_t target_slots_ = 0;
+  std::size_t running_ = 0;
+  std::size_t ready_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace wdm::sim

@@ -57,6 +57,39 @@ Interconnect::Interconnect(InterconnectConfig config)
   last_fiber_grants_.assign(static_cast<std::size_t>(config_.n_fibers), 0);
   fiber_grants_in_.assign(static_cast<std::size_t>(config_.n_fibers), 0);
   charge_order_.assign(static_cast<std::size_t>(config_.n_fibers), 0);
+
+  // Pre-size the per-slot scratch to its worst case so the warm step path
+  // never reallocates mid-run: per-slot arrivals and lifted connections are
+  // both bounded by the N*k channel count. Without this, high-water creep
+  // under random traffic (a slot that beats every previous slot's arrival
+  // or active-connection count) costs a rare mid-run reallocation, which
+  // breaks the fleet-level zero-allocation contract
+  // (tests/test_zero_alloc.cpp drives a live 4-shard fleet).
+  valid_.reserve(n_channels);
+  batch_.reserve(n_channels);
+  decisions_.reserve(n_channels);
+  continuing_.reserve(n_channels);
+  continuing_remaining_.reserve(n_channels);
+  batch_flags_.reserve(n_channels);
+  if (config_.retry.max_retries > 0) {
+    retry_queue_.reserve(config_.retry.queue_capacity);
+    due_.reserve(config_.retry.queue_capacity);
+    retry_later_.reserve(config_.retry.queue_capacity);
+  }
+  if (config_.admission.enabled) {
+    released_.reserve(config_.admission.queue_capacity);
+  }
+}
+
+void Interconnect::reserve_worst_case_scratch() {
+  // Worst slot batch: every input channel offers a fresh request and both
+  // bounded queues drain entirely into the same slot — and all of it can
+  // target a single output fiber.
+  std::size_t worst = static_cast<std::size_t>(config_.n_fibers) *
+                      static_cast<std::size_t>(k());
+  if (config_.retry.max_retries > 0) worst += config_.retry.queue_capacity;
+  if (config_.admission.enabled) worst += config_.admission.queue_capacity;
+  scheduler_.reserve_batches(worst);
 }
 
 void Interconnect::set_deadline_script(
@@ -122,12 +155,18 @@ void Interconnect::age_connections() {
 }
 
 std::vector<std::uint8_t> Interconnect::input_channel_busy() const {
-  std::vector<std::uint8_t> busy(input_remaining_.size(), 0);
+  std::vector<std::uint8_t> busy;
+  input_channel_busy_into(busy);
+  return busy;
+}
+
+void Interconnect::input_channel_busy_into(
+    std::vector<std::uint8_t>& out) const {
+  out.resize(input_remaining_.size());
   for (std::size_t i = 0; i < input_remaining_.size(); ++i) {
     // Busy *next* slot: the connection survives the upcoming aging tick.
-    busy[i] = input_remaining_[i] > 1 ? 1 : 0;
+    out[i] = input_remaining_[i] > 1 ? 1 : 0;
   }
-  return busy;
 }
 
 void Interconnect::release_input(std::int32_t input_fiber,

@@ -129,6 +129,20 @@ class Interconnect {
   /// not emit while their channel is mid-connection.
   std::vector<std::uint8_t> input_channel_busy() const;
 
+  /// input_channel_busy() into a caller-owned buffer: resizes `out` to N*k
+  /// and overwrites it. Capacity persists across slots, so a warm caller
+  /// (the fleet's per-shard slot loop) performs no heap allocation.
+  void input_channel_busy_into(std::vector<std::uint8_t>& out) const;
+
+  /// Pre-sizes every per-port scheduling arena for the worst slot this
+  /// fabric can be offered (N*k fresh arrivals plus full retry and ingress
+  /// queues), so the step path performs zero heap allocations from the very
+  /// first slot. Opt-in because the worst case is O(N^2 k) memory across
+  /// ports: sim::Fleet calls it per shard — the zero-allocation serving
+  /// contract — while one-shot experiment runs can skip it and absorb the
+  /// rare high-water reallocation instead.
+  void reserve_worst_case_scratch();
+
   /// Grants per output fiber in the most recent step (fairness accounting).
   const std::vector<std::uint64_t>& last_fiber_grants() const noexcept {
     return last_fiber_grants_;

@@ -21,6 +21,36 @@ void accumulate_per_class(std::vector<std::uint64_t>& into, const From& from) {
 
 }  // namespace
 
+void SlotStats::add(const SlotStats& other) {
+  arrivals += other.arrivals;
+  granted += other.granted;
+  rejected += other.rejected;
+  rejected_malformed += other.rejected_malformed;
+  rejected_faulted += other.rejected_faulted;
+  shed_overload += other.shed_overload;
+  deferred_faulted += other.deferred_faulted;
+  deferred_overload += other.deferred_overload;
+  ingress_releases += other.ingress_releases;
+  degraded_ports += other.degraded_ports;
+  retry_attempts += other.retry_attempts;
+  retry_successes += other.retry_successes;
+  preempted += other.preempted;
+  dropped_faulted += other.dropped_faulted;
+  busy_channels += other.busy_channels;
+  if (other.arrivals_per_class.size() > arrivals_per_class.size()) {
+    arrivals_per_class.resize(other.arrivals_per_class.size(), 0);
+  }
+  for (std::size_t c = 0; c < other.arrivals_per_class.size(); ++c) {
+    arrivals_per_class[c] += other.arrivals_per_class[c];
+  }
+  if (other.granted_per_class.size() > granted_per_class.size()) {
+    granted_per_class.resize(other.granted_per_class.size(), 0);
+  }
+  for (std::size_t c = 0; c < other.granted_per_class.size(); ++c) {
+    granted_per_class[c] += other.granted_per_class[c];
+  }
+}
+
 MetricsCollector::MetricsCollector(std::int32_t n_fibers, std::int32_t k)
     : n_fibers_(n_fibers), k_(k) {
   WDM_CHECK_MSG(n_fibers > 0 && k > 0, "metric dimensions must be positive");

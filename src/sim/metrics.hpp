@@ -65,6 +65,12 @@ struct SlotStats {
   /// class counts (tests/test_zero_alloc.cpp asserts exactly 0).
   util::SmallVec<std::uint64_t, 8> arrivals_per_class;
   util::SmallVec<std::uint64_t, 8> granted_per_class;
+
+  /// Elementwise accumulation — the fleet-level merge of independent shard
+  /// slots. Scalar counters add; the per-class vectors grow to the longer
+  /// side (inline up to 8 classes, so merging stays allocation-free for
+  /// realistic class counts).
+  void add(const SlotStats& other);
 };
 
 class MetricsCollector {

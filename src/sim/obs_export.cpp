@@ -87,4 +87,25 @@ void register_metrics(obs::Registry& registry,
   }
 }
 
+void register_fleet_metrics(obs::Registry& registry, const Fleet& fleet,
+                            bool per_fiber) {
+  const MetricsCollector merged = fleet.merged_metrics();
+  register_metrics(registry, merged, per_fiber);
+  registry.gauge("wdm_fleet_shards", "Shards served by this fleet",
+                 static_cast<double>(fleet.shards()));
+  for (std::size_t shard = 0; shard < fleet.shards(); ++shard) {
+    const MetricsCollector& m = fleet.shard_metrics(shard);
+    const std::string label = "shard=\"" + std::to_string(shard) + "\"";
+    registry.counter("wdm_shard_slots_total", "Slots stepped by shard",
+                     m.slots(), label);
+    registry.counter("wdm_shard_arrivals_total",
+                     "Fresh requests offered by shard", m.raw_arrivals(),
+                     label);
+    registry.counter("wdm_shard_granted_total", "Requests granted by shard",
+                     m.granted(), label);
+    registry.counter("wdm_shard_rejected_total", "Requests rejected by shard",
+                     m.losses(), label);
+  }
+}
+
 }  // namespace wdm::sim

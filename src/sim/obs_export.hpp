@@ -7,6 +7,7 @@
 #pragma once
 
 #include "obs/registry.hpp"
+#include "sim/fleet.hpp"
 #include "sim/metrics.hpp"
 
 namespace wdm::sim {
@@ -19,5 +20,17 @@ namespace wdm::sim {
 /// per scrape; keep it off for large fabrics unless you need the breakdown).
 void register_metrics(obs::Registry& registry,
                       const MetricsCollector& metrics, bool per_fiber = false);
+
+/// Fleet export: the merged collector's counters exactly as
+/// register_metrics would emit them (one fleet-wide series per counter),
+/// plus a bounded per-shard breakdown — four series per shard
+/// (wdm_shard_slots_total / wdm_shard_arrivals_total /
+/// wdm_shard_granted_total / wdm_shard_rejected_total, each labeled
+/// shard="i") and one wdm_fleet_shards gauge. Cardinality is 4F + the flat
+/// set, never per-shard × per-fiber; the full per-fiber breakdown stays
+/// behind `per_fiber` and is emitted for the merged view only
+/// (docs/OBSERVABILITY.md, shard-label schema).
+void register_fleet_metrics(obs::Registry& registry, const Fleet& fleet,
+                            bool per_fiber = false);
 
 }  // namespace wdm::sim

@@ -75,10 +75,18 @@ std::int32_t TrafficGenerator::sample_priority() {
 
 std::vector<core::SlotRequest> TrafficGenerator::next_slot(
     const std::vector<std::uint8_t>& input_channel_busy) {
+  std::vector<core::SlotRequest> out;
+  next_slot_into(input_channel_busy, out);
+  return out;
+}
+
+void TrafficGenerator::next_slot_into(
+    const std::vector<std::uint8_t>& input_channel_busy,
+    std::vector<core::SlotRequest>& out) {
   WDM_CHECK_MSG(input_channel_busy.empty() ||
                     input_channel_busy.size() == burst_dest_.size(),
                 "busy mask must cover every input wavelength channel");
-  std::vector<core::SlotRequest> out;
+  out.clear();
   for (std::int32_t fiber = 0; fiber < n_fibers_; ++fiber) {
     for (core::Wavelength w = 0; w < k_; ++w) {
       const std::size_t ch = static_cast<std::size_t>(fiber) *
@@ -112,7 +120,6 @@ std::vector<core::SlotRequest> TrafficGenerator::next_slot(
       }
     }
   }
-  return out;
 }
 
 void TrafficGenerator::save_state(util::SnapshotWriter& w) const {

@@ -56,6 +56,12 @@ class TrafficGenerator {
   std::vector<core::SlotRequest> next_slot(
       const std::vector<std::uint8_t>& input_channel_busy = {});
 
+  /// next_slot() into a caller-owned buffer: clears `out` and fills it with
+  /// the slot's requests. Capacity persists across slots, so a warm caller
+  /// (the fleet's per-shard slot loop) performs no heap allocation.
+  void next_slot_into(const std::vector<std::uint8_t>& input_channel_busy,
+                      std::vector<core::SlotRequest>& out);
+
   /// Total requests generated so far.
   std::uint64_t generated() const noexcept { return next_id_; }
 

@@ -1,0 +1,62 @@
+#include "util/cpu_affinity.hpp"
+
+#include <thread>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace wdm::util {
+
+std::size_t available_cpus() noexcept {
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  if (sched_getaffinity(0, sizeof(set), &set) == 0) {
+    const int n = CPU_COUNT(&set);
+    if (n > 0) return static_cast<std::size_t>(n);
+  }
+#endif
+  const unsigned n = std::thread::hardware_concurrency();
+  return n > 0 ? n : 1;
+}
+
+bool cpu_affinity_supported() noexcept {
+#if defined(__linux__)
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool pin_current_thread(std::span<const int> cpus) noexcept {
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  bool any = false;
+  for (const int cpu : cpus) {
+    if (cpu < 0 || cpu >= CPU_SETSIZE) continue;
+    CPU_SET(cpu, &set);
+    any = true;
+  }
+  if (!any) return false;
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  (void)cpus;
+  return false;
+#endif
+}
+
+bool pin_current_thread_block(int first_cpu, int count) noexcept {
+  if (count <= 0) return false;
+  // Small fixed stack buffer: pinning happens once per shard at startup, and
+  // a shard block wider than this is clamped to its leading CPUs.
+  constexpr int kMaxBlock = 256;
+  int cpus[kMaxBlock];
+  const int n = count < kMaxBlock ? count : kMaxBlock;
+  for (int i = 0; i < n; ++i) cpus[i] = first_cpu + i;
+  return pin_current_thread(std::span<const int>(cpus, static_cast<std::size_t>(n)));
+}
+
+}  // namespace wdm::util

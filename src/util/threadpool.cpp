@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/check.hpp"
+#include "util/cpu_affinity.hpp"
 
 namespace wdm::util {
 
@@ -12,6 +13,17 @@ thread_local std::uint16_t t_worker_index = 0;
 }  // namespace
 
 std::uint16_t ThreadPool::worker_index() noexcept { return t_worker_index; }
+
+std::size_t ThreadPool::clamped_partition_threads(std::size_t requested,
+                                                  std::size_t partitions,
+                                                  std::size_t total_budget) {
+  if (partitions == 0) partitions = 1;
+  const std::size_t budget =
+      total_budget > 0 ? total_budget : available_cpus();
+  const std::size_t per_partition = std::max<std::size_t>(1, budget / partitions);
+  if (requested == 0) return per_partition;
+  return std::min(requested, per_partition);
+}
 
 std::vector<std::pair<std::size_t, std::size_t>> split_ranges(
     std::size_t begin, std::size_t end, std::size_t max_parts) {

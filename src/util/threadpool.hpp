@@ -50,6 +50,20 @@ class ThreadPool {
   explicit ThreadPool(std::size_t threads = 0);
   ~ThreadPool();
 
+  /// Thread-group size for one of `partitions` equal slices of the machine —
+  /// the oversubscription clamp the fleet applies per shard. The returned
+  /// count *includes* the partition's driving thread (a parallel_for caller
+  /// claims chunks alongside the workers), so a partition of size T wants a
+  /// pool of T - 1 workers, and T == 1 wants no pool at all. `total_budget`
+  /// is the thread budget shared by all partitions; 0 means the CPUs
+  /// available to this process. Never returns 0: every partition may use at
+  /// least its own driving thread, even when partitions > budget (the
+  /// drivers themselves then timeshare, which is the caller's explicit
+  /// choice of partition count, not hidden pool oversubscription).
+  static std::size_t clamped_partition_threads(std::size_t requested,
+                                               std::size_t partitions,
+                                               std::size_t total_budget = 0);
+
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 

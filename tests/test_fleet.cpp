@@ -1,0 +1,272 @@
+// sim::Fleet — the sharded many-fabric serving engine.
+//
+// The contracts under test:
+//  * determinism — a fleet digest is a pure function of (config, seeds,
+//    slots stepped): thread counts, pinning, and step()/run() batching must
+//    not change it; any one shard's seed must;
+//  * independence — shards never interact: a fleet of F shards equals F
+//    standalone interconnects run serially from the same derived seeds;
+//  * thread budget — the per-shard oversubscription clamp keeps the total
+//    spawned thread count within max(shards, budget) (the satellite fix for
+//    nested ThreadPool fan-out);
+//  * checkpoint/resume — one CheckpointStore chain per shard under
+//    <dir>/shard-<i>/ restores the whole fleet bit-for-bit.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "sim/checkpoint.hpp"
+#include "sim/fleet.hpp"
+#include "sim/interconnect.hpp"
+#include "sim/traffic.hpp"
+#include "util/rng.hpp"
+
+namespace wdm {
+namespace {
+
+namespace fs = std::filesystem;
+
+sim::FleetConfig fleet_config(std::size_t shards, std::int32_t n_fibers = 8,
+                              std::int32_t k = 4) {
+  sim::FleetConfig cfg;
+  cfg.shards = shards;
+  cfg.seed = 7;
+  cfg.interconnect.n_fibers = n_fibers;
+  cfg.interconnect.scheme = core::ConversionScheme::circular(k, 1, 1);
+  cfg.traffic.load = 0.7;
+  cfg.traffic.holding = sim::HoldingTime::kGeometric;
+  cfg.traffic.mean_holding = 2.0;
+  return cfg;
+}
+
+fs::path fresh_dir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+TEST(Fleet, DigestIsThreadCountAndPinningInvariant) {
+  const std::uint64_t kSlots = 60;
+  std::uint64_t reference = 0;
+  bool first = true;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{4}}) {
+    for (const bool pin : {false, true}) {
+      sim::FleetConfig cfg = fleet_config(3);
+      cfg.threads_per_shard = threads;
+      // A generous budget so the sweep actually varies the group size even
+      // on a small CI host; the clamp test below covers tight budgets.
+      cfg.max_total_threads = 3 * threads;
+      cfg.pin_cpus = pin;
+      sim::Fleet fleet(cfg);
+      fleet.run(kSlots);
+      if (first) {
+        reference = fleet.fleet_digest();
+        first = false;
+      } else {
+        EXPECT_EQ(fleet.fleet_digest(), reference)
+            << "threads=" << threads << " pin=" << pin;
+      }
+    }
+  }
+}
+
+TEST(Fleet, StepAndRunBatchingAgree) {
+  sim::FleetConfig cfg = fleet_config(2);
+  sim::Fleet stepped(cfg);
+  sim::Fleet batched(cfg);
+  for (int i = 0; i < 40; ++i) stepped.step();
+  batched.run(40);
+  EXPECT_EQ(stepped.fleet_digest(), batched.fleet_digest());
+  EXPECT_EQ(stepped.current_slot(), 40u);
+  EXPECT_EQ(batched.current_slot(), 40u);
+  EXPECT_EQ(stepped.total_arrivals(), batched.total_arrivals());
+  EXPECT_EQ(stepped.total_granted(), batched.total_granted());
+}
+
+TEST(Fleet, AnyShardSeedChangeChangesTheDigest) {
+  sim::FleetConfig cfg = fleet_config(3);
+  sim::Fleet base(cfg);
+  base.run(30);
+
+  // Pin the derived seeds explicitly, then perturb one shard at a time.
+  std::vector<std::uint64_t> seeds;
+  for (std::size_t i = 0; i < base.shards(); ++i) {
+    seeds.push_back(base.shard_seed(i));
+  }
+  sim::FleetConfig pinned = cfg;
+  pinned.shard_seeds = seeds;
+  sim::Fleet same(pinned);
+  same.run(30);
+  EXPECT_EQ(same.fleet_digest(), base.fleet_digest())
+      << "explicit copies of the derived seeds must reproduce the fleet";
+
+  for (std::size_t victim = 0; victim < seeds.size(); ++victim) {
+    sim::FleetConfig perturbed = cfg;
+    perturbed.shard_seeds = seeds;
+    perturbed.shard_seeds[victim] ^= 1;
+    sim::Fleet other(perturbed);
+    other.run(30);
+    EXPECT_NE(other.fleet_digest(), base.fleet_digest())
+        << "shard " << victim << "'s seed must reach the digest";
+  }
+}
+
+TEST(Fleet, ShardsMatchStandaloneInterconnectsRunSerially) {
+  sim::FleetConfig cfg = fleet_config(3);
+  sim::Fleet fleet(cfg);
+  fleet.run(50);
+
+  for (std::size_t shard = 0; shard < fleet.shards(); ++shard) {
+    // Reproduce shard i standalone: same derived master seed, same
+    // seeder draw order as Fleet's driver (interconnect, then traffic).
+    util::Rng seeder(fleet.shard_seed(shard));
+    sim::InterconnectConfig icfg = cfg.interconnect;
+    icfg.seed = seeder.next();
+    sim::Interconnect solo(icfg);
+    sim::TrafficGenerator traffic(icfg.n_fibers, icfg.scheme.k(), cfg.traffic,
+                                  seeder.next());
+    std::vector<std::uint8_t> busy;
+    std::vector<core::SlotRequest> arrivals;
+    for (int s = 0; s < 50; ++s) {
+      solo.input_channel_busy_into(busy);
+      traffic.next_slot_into(busy, arrivals);
+      solo.step(arrivals);
+    }
+    EXPECT_EQ(sim::state_digest(solo),
+              sim::state_digest(fleet.shard_interconnect(shard)))
+        << "shard " << shard << " must equal its standalone twin";
+  }
+}
+
+TEST(Fleet, ClampNeverSpawnsMoreWorkersThanTheBudget) {
+  // The satellite regression: a 4-shard fleet on a small host (modeled by
+  // max_total_threads) must not multiply per-shard pools into more threads
+  // than cores, no matter what threads_per_shard asks for.
+  for (const std::size_t budget : {std::size_t{1}, std::size_t{2},
+                                   std::size_t{4}, std::size_t{8}}) {
+    sim::FleetConfig cfg = fleet_config(4);
+    cfg.threads_per_shard = 64;  // deliberately absurd
+    cfg.max_total_threads = budget;
+    sim::Fleet fleet(cfg);
+    EXPECT_LE(fleet.total_threads(), std::max<std::size_t>(4, budget))
+        << "budget=" << budget;
+    EXPECT_GE(fleet.threads_per_shard(), 1u);
+    fleet.run(5);  // and it still serves
+    EXPECT_EQ(fleet.current_slot(), 5u);
+  }
+  // On a 1-thread budget every group collapses to its driver: no pools.
+  sim::FleetConfig tight = fleet_config(4);
+  tight.threads_per_shard = 8;
+  tight.max_total_threads = 4;
+  sim::Fleet fleet(tight);
+  EXPECT_EQ(fleet.threads_per_shard(), 1u);
+  EXPECT_EQ(fleet.pool_workers_per_shard(), 0u);
+  EXPECT_EQ(fleet.total_threads(), 4u);
+}
+
+TEST(Fleet, MergedMetricsEqualTheSumOfShardMetrics) {
+  sim::FleetConfig cfg = fleet_config(3);
+  sim::Fleet fleet(cfg);
+  fleet.run(80);
+  const sim::MetricsCollector merged = fleet.merged_metrics();
+  std::uint64_t slots = 0, arrivals = 0, granted = 0, losses = 0;
+  for (std::size_t i = 0; i < fleet.shards(); ++i) {
+    const auto& m = fleet.shard_metrics(i);
+    slots += m.slots();
+    arrivals += m.raw_arrivals();
+    granted += m.granted();
+    losses += m.losses();
+  }
+  EXPECT_EQ(merged.slots(), slots);
+  EXPECT_EQ(merged.raw_arrivals(), arrivals);
+  EXPECT_EQ(merged.granted(), granted);
+  EXPECT_EQ(merged.losses(), losses);
+  EXPECT_EQ(merged.raw_arrivals(), fleet.total_arrivals());
+  EXPECT_EQ(merged.granted(), fleet.total_granted());
+  EXPECT_GT(merged.granted(), 0u);
+}
+
+TEST(Fleet, LastStepStatsSumShardSlots) {
+  sim::FleetConfig cfg = fleet_config(2);
+  sim::Fleet fleet(cfg);
+  fleet.step();
+  std::uint64_t arrivals = 0, granted = 0;
+  for (std::size_t i = 0; i < fleet.shards(); ++i) {
+    const auto& m = fleet.shard_metrics(i);
+    arrivals += m.raw_arrivals();
+    granted += m.granted();
+  }
+  EXPECT_EQ(fleet.last_step_stats().arrivals, arrivals);
+  EXPECT_EQ(fleet.last_step_stats().granted, granted);
+}
+
+TEST(Fleet, CheckpointResumeRestoresTheWholeFleetBitForBit) {
+  const fs::path dir = fresh_dir("fleet_ckpt");
+  sim::FleetConfig cfg = fleet_config(3);
+
+  // Reference: uninterrupted run to slot 90.
+  sim::Fleet reference(cfg);
+  reference.run(90);
+  const std::uint64_t want = reference.fleet_digest();
+
+  // Interrupted run: checkpoint at slot 60, abandon, resume, finish.
+  {
+    sim::Fleet fleet(cfg);
+    sim::CheckpointPolicy policy;
+    policy.dir = dir.string();
+    policy.full_every = 2;
+    fleet.open_checkpoints(policy);
+    fleet.run(60);
+    fleet.write_checkpoint();
+  }
+  sim::Fleet resumed(cfg);
+  const sim::FleetRecovery recovery = resumed.resume_from(dir.string());
+  ASSERT_TRUE(recovery.recovered);
+  EXPECT_EQ(recovery.slot, 60u);
+  EXPECT_EQ(resumed.current_slot(), 60u);
+  ASSERT_EQ(recovery.shards.size(), 3u);
+  for (const auto& report : recovery.shards) {
+    EXPECT_TRUE(report.recovered);
+    EXPECT_TRUE(report.discarded.empty());
+  }
+  resumed.run(30);
+  EXPECT_EQ(resumed.fleet_digest(), want)
+      << "resume + 30 slots must equal the uninterrupted 90-slot run";
+}
+
+TEST(Fleet, ResumeFailsCleanlyOnAMissingShardChain) {
+  const fs::path dir = fresh_dir("fleet_ckpt_partial");
+  sim::FleetConfig cfg = fleet_config(2);
+  {
+    sim::Fleet fleet(cfg);
+    sim::CheckpointPolicy policy;
+    policy.dir = dir.string();
+    fleet.open_checkpoints(policy);
+    fleet.run(20);
+    fleet.write_checkpoint();
+  }
+  fs::remove_all(dir / "shard-1");
+  sim::Fleet resumed(cfg);
+  const sim::FleetRecovery recovery = resumed.resume_from(dir.string());
+  EXPECT_FALSE(recovery.recovered);
+}
+
+TEST(Fleet, ResetCountersDropsObserversButNotState) {
+  sim::FleetConfig cfg = fleet_config(2);
+  sim::Fleet fleet(cfg);
+  fleet.run(30);
+  const std::uint64_t digest_before = fleet.fleet_digest();
+  EXPECT_GT(fleet.total_arrivals(), 0u);
+  fleet.reset_counters();
+  EXPECT_EQ(fleet.total_arrivals(), 0u);
+  EXPECT_EQ(fleet.shard_metrics(0).slots(), 0u);
+  EXPECT_EQ(fleet.fleet_digest(), digest_before)
+      << "metrics are observers: resetting them must not touch sim state";
+}
+
+}  // namespace
+}  // namespace wdm

@@ -18,6 +18,7 @@
 #include "core/availability.hpp"
 #include "core/distributed.hpp"
 #include "obs/telemetry.hpp"
+#include "sim/fleet.hpp"
 #include "sim/interconnect.hpp"
 #include "util/rng.hpp"
 
@@ -140,6 +141,34 @@ TEST(ZeroAlloc, InterconnectStepIsAllocationFreeWhenWarm) {
   // inline SmallVecs, and the pipeline itself (partition, schedule, occupy,
   // age) contributes nothing once warm.
   EXPECT_EQ(after - before, 0u) << "sink " << sink;
+}
+
+TEST(ZeroAlloc, WarmFourShardFleetStepIsAllocationFree) {
+  // The fleet-level contract: once every shard's arenas and scratch buffers
+  // are warm, a whole-fleet step — traffic generation, scheduling, plane
+  // updates, metrics, the slot barrier, and the SlotStats merge — performs
+  // zero heap allocations on any thread. The counter is global, so shard
+  // driver and pool threads are counted too.
+  if (!kOptimizedBuild) GTEST_SKIP() << "debug cross-checks allocate";
+  sim::FleetConfig cfg;
+  cfg.shards = 4;
+  cfg.seed = 11;
+  cfg.interconnect.n_fibers = 16;
+  cfg.interconnect.scheme = core::ConversionScheme::circular(8, 1, 1);
+  cfg.traffic.load = 0.7;
+  cfg.traffic.holding = sim::HoldingTime::kGeometric;
+  cfg.traffic.mean_holding = 2.0;
+  sim::Fleet fleet(cfg);
+
+  fleet.run(64);  // warm-up: arrival buffers and arenas reach high water
+
+  const std::uint64_t before = g_allocs.load(std::memory_order_relaxed);
+  for (int i = 0; i < 32; ++i) fleet.step();
+  const std::uint64_t after = g_allocs.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u)
+      << "the warm multi-shard step path must not allocate";
+  EXPECT_EQ(fleet.current_slot(), 96u);
+  EXPECT_GT(fleet.total_granted(), 0u);
 }
 
 TEST(ZeroAlloc, SchedulerPathStaysAllocationFreeWithTracingOn) {
