@@ -39,11 +39,15 @@ struct Measurement {
 };
 
 Measurement run_fleet(std::size_t shards, std::size_t threads, bool pin,
-                      std::uint64_t slots) {
+                      bool supervise, std::uint64_t slots) {
   sim::FleetConfig cfg;
   cfg.shards = shards;
   cfg.threads_per_shard = threads;
   cfg.pin_cpus = pin;
+  // Fault-free supervised serving: measures the supervision layer's
+  // steady-state overhead (richer barrier predicate, health bookkeeping) —
+  // decisions and digests are identical to the unsupervised cell.
+  cfg.supervision.enabled = supervise;
   cfg.seed = 9;
   cfg.interconnect.n_fibers = 64;
   cfg.interconnect.scheme = core::ConversionScheme::circular(16, 1, 1);
@@ -101,6 +105,9 @@ int main(int argc, char** argv) {
   cli.add_option("threads", "",
                  "comma-separated threads-per-shard values (default sweep)");
   cli.add_flag("pin", "additionally measure every cell with CPU pinning");
+  cli.add_flag("supervise",
+               "additionally measure every cell with fault-free supervision "
+               "enabled (steady-state overhead of the self-healing layer)");
   if (!cli.parse(argc, argv)) return 1;
 
   const bool smoke = std::getenv("WDM_BENCH_SMOKE") != nullptr;
@@ -116,42 +123,49 @@ int main(int argc, char** argv) {
 
   std::vector<bool> pin_axis = {false};
   if (cli.get_flag("pin")) pin_axis.push_back(true);
+  std::vector<bool> supervise_axis = {false};
+  if (cli.get_flag("supervise")) supervise_axis.push_back(true);
 
-  util::Table table({"shards", "thr/shard", "group", "pin", "slots/s",
+  util::Table table({"shards", "thr/shard", "group", "pin", "sup", "slots/s",
                      "req/s", "granted/s", "efficiency"});
   bench::Json rows = bench::Json::array();
 
-  for (const bool pin : pin_axis) {
-    for (const std::size_t threads : thread_axis) {
-      double single_req_s = 0.0;  // 1-shard baseline for this thread count
-      for (const std::size_t shards : shard_axis) {
-        const Measurement m = run_fleet(shards, threads, pin, slots);
-        if (shards == 1) single_req_s = m.requests_per_s;
-        const double efficiency =
-            (shards > 0 && single_req_s > 0.0)
-                ? m.requests_per_s /
-                      (static_cast<double>(shards) * single_req_s)
-                : 0.0;
-        table.add_row(
-            {util::cell(static_cast<std::int64_t>(shards)),
-             util::cell(static_cast<std::int64_t>(threads)),
-             util::cell(static_cast<std::int64_t>(m.group_threads)),
-             m.pinned ? "yes" : "no",
-             util::cell(static_cast<std::int64_t>(m.slots_per_s)),
-             util::cell(static_cast<std::int64_t>(m.requests_per_s)),
-             util::cell(static_cast<std::int64_t>(m.granted_per_s)),
-             util::cell(efficiency, 3)});
-        bench::Json row = bench::Json::object();
-        row.set("shards", static_cast<std::uint64_t>(shards))
-            .set("threads_per_shard", static_cast<std::uint64_t>(threads))
-            .set("group_threads", static_cast<std::uint64_t>(m.group_threads))
-            .set("pinned", m.pinned)
-            .set("slots", slots)
-            .set("slots_per_s", m.slots_per_s)
-            .set("requests_per_s", m.requests_per_s)
-            .set("granted_per_s", m.granted_per_s)
-            .set("efficiency", efficiency);
-        rows.push(std::move(row));
+  for (const bool supervise : supervise_axis) {
+    for (const bool pin : pin_axis) {
+      for (const std::size_t threads : thread_axis) {
+        double single_req_s = 0.0;  // 1-shard baseline for this thread count
+        for (const std::size_t shards : shard_axis) {
+          const Measurement m =
+              run_fleet(shards, threads, pin, supervise, slots);
+          if (shards == 1) single_req_s = m.requests_per_s;
+          const double efficiency =
+              (shards > 0 && single_req_s > 0.0)
+                  ? m.requests_per_s /
+                        (static_cast<double>(shards) * single_req_s)
+                  : 0.0;
+          table.add_row(
+              {util::cell(static_cast<std::int64_t>(shards)),
+               util::cell(static_cast<std::int64_t>(threads)),
+               util::cell(static_cast<std::int64_t>(m.group_threads)),
+               m.pinned ? "yes" : "no", supervise ? "yes" : "no",
+               util::cell(static_cast<std::int64_t>(m.slots_per_s)),
+               util::cell(static_cast<std::int64_t>(m.requests_per_s)),
+               util::cell(static_cast<std::int64_t>(m.granted_per_s)),
+               util::cell(efficiency, 3)});
+          bench::Json row = bench::Json::object();
+          row.set("shards", static_cast<std::uint64_t>(shards))
+              .set("threads_per_shard", static_cast<std::uint64_t>(threads))
+              .set("group_threads",
+                   static_cast<std::uint64_t>(m.group_threads))
+              .set("pinned", m.pinned)
+              .set("supervised", supervise)
+              .set("slots", slots)
+              .set("slots_per_s", m.slots_per_s)
+              .set("requests_per_s", m.requests_per_s)
+              .set("granted_per_s", m.granted_per_s)
+              .set("efficiency", efficiency);
+          rows.push(std::move(row));
+        }
       }
     }
   }

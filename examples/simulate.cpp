@@ -11,6 +11,7 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -26,6 +27,46 @@
 #include "util/cli.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
+
+namespace {
+
+// Parses scripted shard-fault specs: "S@SLOT" (crash) or "S@SLOT:NS"
+// (stall), comma-separated. Returns false (with a message) on bad syntax.
+bool parse_shard_faults(const std::string& spec,
+                        wdm::sim::ShardFaultKind kind,
+                        std::vector<wdm::sim::ShardFaultEvent>& out,
+                        std::string& error) {
+  std::size_t begin = 0;
+  while (begin <= spec.size()) {
+    std::size_t end = spec.find(',', begin);
+    if (end == std::string::npos) end = spec.size();
+    const std::string item = spec.substr(begin, end - begin);
+    begin = end + 1;
+    if (item.empty()) continue;
+    try {
+      const std::size_t at = item.find('@');
+      if (at == std::string::npos) throw std::invalid_argument("no '@'");
+      wdm::sim::ShardFaultEvent event;
+      event.kind = kind;
+      event.shard = std::stoul(item.substr(0, at));
+      std::string rest = item.substr(at + 1);
+      if (kind == wdm::sim::ShardFaultKind::kStall) {
+        const std::size_t colon = rest.find(':');
+        if (colon == std::string::npos) throw std::invalid_argument("no ':'");
+        event.stall_ns = std::stoull(rest.substr(colon + 1));
+        rest.resize(colon);
+      }
+      event.slot = std::stoull(rest);
+      out.push_back(event);
+    } catch (const std::exception&) {
+      error = item;
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace wdm;
@@ -48,6 +89,24 @@ int main(int argc, char** argv) {
   cli.add_flag("pin-cpus",
                "pin each shard group to a contiguous CPU block "
                "(fleet mode only; decisions and digests are unchanged)");
+  cli.add_flag("supervise",
+               "self-healing fleet mode: quarantine + restart crashed "
+               "shards from their checkpoint chains instead of aborting");
+  cli.add_option("restart-budget", "3",
+                 "restart attempts per shard before it fails permanently "
+                 "(with --supervise)");
+  cli.add_option("backoff-slots", "2",
+                 "fleet slots a quarantined shard waits before its first "
+                 "restart attempt; doubles per attempt (with --supervise)");
+  cli.add_option("watchdog-ns", "0",
+                 "quarantine a shard making no slot progress for this many "
+                 "ns while the barrier waits; 0 disables (with --supervise)");
+  cli.add_option("crash-shard", "",
+                 "inject scripted shard crashes: comma list of S@SLOT "
+                 "(e.g. 1@250,2@900); fires once each, replays are clean");
+  cli.add_option("stall-shard", "",
+                 "inject scripted shard stalls: comma list of S@SLOT:NS "
+                 "(driver blocks NS nanoseconds before stepping SLOT)");
   cli.add_option("policy", "nodisturb", "occupied policy: nodisturb|rearrange");
   cli.add_option("op-budget", "0",
                  "per-slot op budget for degradation; 0 disables");
@@ -167,7 +226,39 @@ int main(int argc, char** argv) {
     fcfg.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
     fcfg.interconnect = icfg;
     fcfg.traffic = tcfg;
+    fcfg.supervision.enabled = cli.get_flag("supervise");
+    fcfg.supervision.restart_budget =
+        static_cast<std::uint32_t>(cli.get_int("restart-budget"));
+    fcfg.supervision.backoff_slots =
+        static_cast<std::uint64_t>(cli.get_int("backoff-slots"));
+    fcfg.supervision.watchdog_ns =
+        static_cast<std::uint64_t>(cli.get_int("watchdog-ns"));
+    std::string bad_spec;
+    if (!parse_shard_faults(cli.get("crash-shard"),
+                            sim::ShardFaultKind::kCrash, fcfg.shard_faults,
+                            bad_spec) ||
+        !parse_shard_faults(cli.get("stall-shard"),
+                            sim::ShardFaultKind::kStall, fcfg.shard_faults,
+                            bad_spec)) {
+      std::cerr << "simulate: bad shard-fault spec '" << bad_spec
+                << "' (crash: S@SLOT, stall: S@SLOT:NS)\n";
+      return 1;
+    }
+    for (const sim::ShardFaultEvent& event : fcfg.shard_faults) {
+      if (event.shard >= shards) {
+        std::cerr << "simulate: shard fault names shard " << event.shard
+                  << " but the fleet has " << shards << "\n";
+        return 1;
+      }
+    }
     sim::Fleet fleet(fcfg);
+    if (fcfg.pin_cpus && !fleet.pinned()) {
+      // Satellite of the supervision PR: pinning silently degrading to the
+      // portable no-op fallback hid NUMA misconfiguration. One line, once.
+      std::cerr << "simulate: --pin-cpus requested but CPU affinity was not "
+                   "applied on every shard (unsupported platform or mask "
+                   "denied); running unpinned.\n";
+    }
 
     const auto warmup = static_cast<std::uint64_t>(cli.get_int("warmup"));
     const auto slots = static_cast<std::uint64_t>(cli.get_int("slots"));
@@ -192,6 +283,14 @@ int main(int argc, char** argv) {
       }
       const sim::FleetRecovery recovery =
           fleet.resume_from(cli.get("checkpoint-dir"));
+      for (std::size_t i = 0; i < recovery.shards.size(); ++i) {
+        const sim::RecoveryReport& report = recovery.shards[i];
+        for (std::size_t d = 0; d < report.discarded.size(); ++d) {
+          std::cerr << "simulate: shard " << i << " discarded checkpoint "
+                    << report.discarded[d] << " (" << report.reasons[d]
+                    << ")\n";
+        }
+      }
       if (!recovery.recovered) {
         std::cerr << "simulate: no agreeing checkpoint chains for all "
                   << shards << " shards in " << cli.get("checkpoint-dir")
@@ -225,6 +324,17 @@ int main(int argc, char** argv) {
     std::cout << "shards=" << fleet.shards() << " threads/shard="
               << fleet.threads_per_shard() << " pinned="
               << (fleet.pinned() ? "yes" : "no") << "\n";
+    if (fcfg.supervision.enabled) {
+      for (std::size_t i = 0; i < fleet.shards(); ++i) {
+        std::cout << "shard " << i << ": health="
+                  << sim::to_string(fleet.shard_health(i))
+                  << " restarts=" << fleet.shard_restarts(i) << "\n";
+      }
+      std::cout << "serving=" << fleet.serving_shards() << "/"
+                << fleet.shards() << " restarts=" << fleet.total_restarts()
+                << " recovery_discards=" << fleet.recovery_discards()
+                << "\n";
+    }
     std::cout << "slots=" << merged.slots() << " arrivals="
               << merged.raw_arrivals() << " granted=" << merged.granted()
               << " loss=" << merged.loss_probability()
@@ -281,6 +391,7 @@ int main(int argc, char** argv) {
     store = std::make_unique<sim::CheckpointStore>(policy);
   }
   std::uint64_t start_slot = 0;
+  std::uint64_t recovery_discards = 0;
   if (cli.get_flag("resume")) {
     if (cli.get("checkpoint-dir").empty()) {
       std::cerr << "simulate: --resume needs --checkpoint-dir\n";
@@ -292,6 +403,7 @@ int main(int argc, char** argv) {
       std::cerr << "simulate: discarded checkpoint " << report.discarded[i]
                 << " (" << report.reasons[i] << ")\n";
     }
+    recovery_discards = report.discarded.size();
     if (!report.recovered) {
       std::cerr << "simulate: no recoverable checkpoint chain in "
                 << cli.get("checkpoint-dir") << "\n";
@@ -377,6 +489,10 @@ int main(int argc, char** argv) {
     }
     obs::Registry registry;
     sim::register_metrics(registry, metrics, cli.get_flag("metrics-per-fiber"));
+    registry.counter("wdm_recovery_discards_total",
+                     "Checkpoint frames discarded during --resume recovery "
+                     "(torn/corrupt/unchained)",
+                     recovery_discards);
     obs::register_recorder(registry, recorder);
     obs::write_prometheus(os, registry);
     std::cout << "wrote Prometheus snapshot to " << cli.get("metrics") << "\n";

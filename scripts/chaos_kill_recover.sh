@@ -75,3 +75,56 @@ if [[ "$REF_DIGEST" != "$RES_DIGEST" ]]; then
   exit 1
 fi
 echo "chaos_kill_recover: OK — crash recovery is bit-exact"
+
+# ---------------------------------------------------------------------------
+# Fleet drill: same story, but 4 independent shards with one checkpoint chain
+# each under <dir>/shard-<i>/. The SIGKILL can land with some shards a frame
+# ahead of others; resume must be all-or-nothing on an *agreeing* slot, and
+# the resumed fleet must land on the reference run's exact fleet_digest.
+# ---------------------------------------------------------------------------
+FLEET_CKPT="$WORK/fleet-ckpt"
+FLEET_ARGS=(--shards=4 --n=16 --k=8 --load=0.8 --slots=200000 --warmup=0
+            --seed=23)
+
+fleet_digest_of() { grep -o 'fleet_digest=0x[0-9a-f]*' "$1" | tail -n1; }
+
+echo "== fleet reference run (uninterrupted) =="
+"$SIM" "${FLEET_ARGS[@]}" | tee "$WORK/fleet-reference.log"
+FLEET_REF="$(fleet_digest_of "$WORK/fleet-reference.log")"
+[[ -n "$FLEET_REF" ]] || { echo "no fleet reference digest" >&2; exit 1; }
+
+echo "== fleet crash run (SIGKILL mid-checkpoint) =="
+"$SIM" "${FLEET_ARGS[@]}" --checkpoint-dir="$FLEET_CKPT" \
+  --checkpoint-every=2000 > "$WORK/fleet-crash.log" 2>&1 &
+PID=$!
+# Wait until the *last* shard's chain holds at least two frames — every
+# earlier shard is then at least as far — and kill with no warning.
+for _ in $(seq 1 600); do
+  count=$(ls "$FLEET_CKPT/shard-3" 2>/dev/null | grep -c '^ckpt-' || true)
+  if [[ "$count" -ge 2 ]]; then break; fi
+  if ! kill -0 "$PID" 2>/dev/null; then break; fi
+  sleep 0.5
+done
+if ! kill -0 "$PID" 2>/dev/null; then
+  echo "chaos_kill_recover: fleet run finished before the kill" >&2
+  exit 1
+fi
+kill -9 "$PID"
+wait "$PID" 2>/dev/null || true
+total=$(find "$FLEET_CKPT" -name 'ckpt-*' | wc -l)
+echo "killed pid $PID with $total fleet frames on disk"
+
+echo "== fleet resumed run =="
+"$SIM" "${FLEET_ARGS[@]}" --checkpoint-dir="$FLEET_CKPT" \
+  --checkpoint-every=2000 --resume | tee "$WORK/fleet-resume.log"
+grep -q '^resumed 4 shards at slot ' "$WORK/fleet-resume.log" \
+  || { echo "fleet resume did not recover all 4 shards" >&2; exit 1; }
+FLEET_RES="$(fleet_digest_of "$WORK/fleet-resume.log")"
+
+echo "fleet reference: $FLEET_REF"
+echo "fleet resumed:   $FLEET_RES"
+if [[ "$FLEET_REF" != "$FLEET_RES" ]]; then
+  echo "chaos_kill_recover: fleet digest mismatch after crash recovery" >&2
+  exit 1
+fi
+echo "chaos_kill_recover: OK — fleet crash recovery is bit-exact"

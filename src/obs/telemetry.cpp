@@ -63,6 +63,10 @@ const char* to_string(EventKind kind) noexcept {
     case EventKind::kDegradeExit: return "degraded-mode-exit";
     case EventKind::kDeadlineOverrun: return "deadline-overrun";
     case EventKind::kRateUpdate: return "rate-update";
+    case EventKind::kShardQuarantine: return "shard-quarantine";
+    case EventKind::kShardRestart: return "shard-restart";
+    case EventKind::kShardRejoin: return "shard-rejoin";
+    case EventKind::kShardFailed: return "shard-failed";
   }
   return "?";
 }
@@ -145,6 +149,10 @@ void emit_event(std::ostream& os, bool& first, const TraceEvent& e,
     case EventKind::kDegradeEnter:
     case EventKind::kDegradeExit:
     case EventKind::kDeadlineOverrun: cat = "overload"; break;
+    case EventKind::kShardQuarantine:
+    case EventKind::kShardRestart:
+    case EventKind::kShardRejoin:
+    case EventKind::kShardFailed: cat = "fleet"; break;
     case EventKind::kNone: break;
   }
   os << "\"name\": \"" << name << "\", \"cat\": \"" << cat
@@ -184,6 +192,17 @@ void emit_event(std::ostream& os, bool& first, const TraceEvent& e,
     case EventKind::kRateUpdate:
       os << ", \"fiber\": " << e.fiber << ", \"rate_milli\": " << e.a
          << ", \"ewma_milli\": " << e.b;
+      break;
+    case EventKind::kShardQuarantine:
+    case EventKind::kShardFailed:
+      os << ", \"shard\": " << e.a << ", \"attempts\": " << e.b
+         << ", \"watchdog\": " << (e.detail != 0 ? "true" : "false");
+      break;
+    case EventKind::kShardRestart:
+      os << ", \"shard\": " << e.a << ", \"attempt\": " << e.b;
+      break;
+    case EventKind::kShardRejoin:
+      os << ", \"shard\": " << e.a << ", \"recovered_slot\": " << e.b;
       break;
     default:
       break;

@@ -89,6 +89,15 @@ enum class EventKind : std::uint8_t {
                     ///< a = measured slot ns, b = deadline ns (0 on replay)
   kRateUpdate,      ///< instant: adaptive admission moved a fiber's token
                     ///< rate; a = new rate, b = grant EWMA (milli-tokens)
+  kShardQuarantine, ///< instant: fleet shard quarantined; a = shard,
+                    ///< b = restart attempts consumed, detail = 1 when the
+                    ///< watchdog (not a crash) triggered it
+  kShardRestart,    ///< instant: shard restart attempt began; a = shard,
+                    ///< b = attempt number (1-based)
+  kShardRejoin,     ///< instant: shard rejoined the barrier; a = shard,
+                    ///< b = checkpoint slot it recovered from (0 = fresh)
+  kShardFailed,     ///< instant: restart budget exhausted; a = shard,
+                    ///< b = attempts consumed, detail = 1 when watchdog
 };
 
 const char* to_string(EventKind kind) noexcept;

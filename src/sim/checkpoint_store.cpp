@@ -313,7 +313,8 @@ void CheckpointStore::prune() {
 
 RecoveryReport recover_latest(const std::string& dir,
                               Interconnect& interconnect,
-                              TrafficGenerator* traffic) {
+                              TrafficGenerator* traffic,
+                              std::uint64_t max_slot) {
   RecoveryReport report;
   const std::vector<FrameName> entries = scan_frames(dir);
 
@@ -340,6 +341,7 @@ RecoveryReport recover_latest(const std::string& dir,
       const std::uint8_t kind = r.u8();
       if (kind == kFullFrame) {
         const std::uint64_t slot = r.u64();
+        if (slot > max_slot) continue;  // valid, just newer than wanted
         const bool has_traffic = r.u8() != 0;
         const std::uint32_t n_sections = r.u32();
         WDM_CHECK_MSG(n_sections >= 1 && n_sections <= kMaxSections,
@@ -359,6 +361,7 @@ RecoveryReport recover_latest(const std::string& dir,
         have_chain = true;
       } else if (kind == kDeltaFrame) {
         const std::uint64_t slot = r.u64();
+        if (slot > max_slot) continue;  // valid, just newer than wanted
         const bool has_traffic = r.u8() != 0;
         const std::uint64_t base_slot = r.u64();
         const std::uint64_t base_digest = r.u64();

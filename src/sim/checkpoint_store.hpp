@@ -108,8 +108,15 @@ struct RecoveryReport {
 /// full+delta prefix; recovery only fails (recovered = false) when no
 /// verified chain exists at all. Never throws on corrupt input — corrupt
 /// frames are data, not bugs.
-RecoveryReport recover_latest(const std::string& dir,
-                              Interconnect& interconnect,
-                              TrafficGenerator* traffic = nullptr);
+///
+/// `max_slot` bounds the recovery: frames past it are skipped outright (not
+/// discarded — they are valid, just newer than wanted), so the restored
+/// state is the newest verified one at or before `max_slot`. Fleet resume
+/// uses this to negotiate the newest slot every shard's chain can agree on
+/// when a crash left some shards a frame ahead of others.
+RecoveryReport recover_latest(
+    const std::string& dir, Interconnect& interconnect,
+    TrafficGenerator* traffic = nullptr,
+    std::uint64_t max_slot = ~static_cast<std::uint64_t>(0));
 
 }  // namespace wdm::sim

@@ -1,6 +1,7 @@
 #include "sim/fleet.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <exception>
 #include <span>
 
@@ -10,6 +11,7 @@
 #include "util/rng.hpp"
 #include "util/snapshot.hpp"
 #include "util/threadpool.hpp"
+#include "util/timer.hpp"
 
 namespace wdm::sim {
 
@@ -18,11 +20,28 @@ namespace {
 /// "FLEET" + shard index. Labeled, not sequential, so changing the shard
 /// count never shifts the seeds of the shards that already existed.
 constexpr std::uint64_t kFleetShardLabel = 0x464c454554ULL;
+/// fleet_digest contribution of a shard with no live state (kFailed after a
+/// watchdog abandonment): a fixed dead marker, never a valid state digest.
+constexpr std::uint64_t kDeadShardDigest = 0xFA11EDFA11EDFA11ULL;
+/// Backoff doubling cap: 2^20 fleet slots is already "never" for any test
+/// or drill horizon; capping keeps the shift well-defined.
+constexpr std::uint32_t kMaxBackoffDoublings = 20;
 }  // namespace
+
+const char* to_string(ShardHealth health) noexcept {
+  switch (health) {
+    case ShardHealth::kServing: return "serving";
+    case ShardHealth::kQuarantined: return "quarantined";
+    case ShardHealth::kRestarting: return "restarting";
+    case ShardHealth::kFailed: return "failed";
+  }
+  return "?";
+}
 
 /// Everything one shard owns. Constructed inside the (optionally pinned)
 /// driver thread so first-touch page placement follows the pin, and
-/// destroyed by that same thread on shutdown.
+/// destroyed by that same thread on shutdown — except a watchdog-abandoned
+/// shard, which is parked in retired_ until its stuck driver winds down.
 struct Fleet::Shard {
   std::unique_ptr<Interconnect> interconnect;
   std::unique_ptr<TrafficGenerator> traffic;
@@ -37,6 +56,15 @@ struct Fleet::Shard {
   std::uint64_t total_granted = 0;
   bool pinned = false;
   std::exception_ptr error;  // first failure; rethrown at the barrier
+                             // (unsupervised mode only)
+  /// Absolute fleet slots this shard has completed. Written by the driver
+  /// outside the lock (one relaxed store per slot — the zero-alloc warm
+  /// path), read by the barrier predicate and the watchdog under mu_.
+  std::atomic<std::uint64_t> done{0};
+  /// Set by the watchdog when this shard's driver is declared stuck: the
+  /// driver must discard its in-flight round and exit; a replacement owns
+  /// the shard index from now on.
+  std::atomic<bool> abandoned{false};
 };
 
 Fleet::Fleet(FleetConfig config) : config_(std::move(config)) {
@@ -45,6 +73,10 @@ Fleet::Fleet(FleetConfig config) : config_(std::move(config)) {
       config_.shard_seeds.empty() ||
           config_.shard_seeds.size() == config_.shards,
       "shard_seeds must be empty or name a seed for every shard");
+  for (const ShardFaultEvent& event : config_.shard_faults) {
+    WDM_CHECK_MSG(event.shard < config_.shards,
+                  "shard_faults names a shard the fleet does not have");
+  }
 
   seeds_.resize(config_.shards);
   for (std::size_t i = 0; i < config_.shards; ++i) {
@@ -54,6 +86,21 @@ Fleet::Fleet(FleetConfig config) : config_(std::move(config)) {
                     : config_.shard_seeds[i];
   }
 
+  shard_fault_index_.resize(config_.shards);
+  for (std::size_t e = 0; e < config_.shard_faults.size(); ++e) {
+    shard_fault_index_[config_.shard_faults[e].shard].push_back(e);
+  }
+  if (!config_.shard_faults.empty()) {
+    fault_fired_ =
+        std::make_unique<std::atomic<bool>[]>(config_.shard_faults.size());
+    for (std::size_t e = 0; e < config_.shard_faults.size(); ++e) {
+      fault_fired_[e].store(false, std::memory_order_relaxed);
+    }
+  }
+
+  supervisors_.resize(config_.shards);
+  watchdog_progress_.assign(config_.shards, 0);
+
   // The oversubscription clamp (one pool per shard must not multiply into
   // more workers than the machine has): group size includes the driver.
   group_threads_ = util::ThreadPool::clamped_partition_threads(
@@ -62,10 +109,11 @@ Fleet::Fleet(FleetConfig config) : config_(std::move(config)) {
   shards_.resize(config_.shards);
   drivers_.reserve(config_.shards);
   for (std::size_t i = 0; i < config_.shards; ++i) {
-    drivers_.emplace_back([this, i] { driver_main(i); });
+    drivers_.emplace_back([this, i] { driver_main(i, /*replacement=*/false); });
   }
   // Wait for every driver to pin, build its shard, and check in; surface
-  // the first construction failure as our own.
+  // the first construction failure as our own. Supervision covers serving,
+  // not bring-up: a shard that cannot even construct is a config error.
   std::unique_lock lock(mu_);
   done_cv_.wait(lock, [this] { return ready_ == shards_.size(); });
   bool all_pinned = config_.pin_cpus;
@@ -97,91 +145,163 @@ Fleet::~Fleet() {
     stop_ = true;
   }
   cv_.notify_all();
+  // A driver stuck in a genuinely unbounded livelock would block this join
+  // forever: the watchdog restores *service* by replacing it, it cannot
+  // reclaim the thread. Scripted stalls are finite, so drills and tests
+  // always wind down.
   for (auto& d : drivers_) {
     if (d.joinable()) d.join();
   }
 }
 
-void Fleet::driver_main(std::size_t index) {
-  auto shard = std::make_unique<Shard>();
-  try {
-    if (config_.pin_cpus) {
-      // Contiguous block per shard: groups land side by side, so on NUMA
-      // hosts a shard's threads share one node as long as blocks do not
-      // straddle a node boundary. Wraps when shards exceed the CPU count.
-      const std::size_t cpus = util::available_cpus();
-      const std::size_t block = std::max<std::size_t>(
-          1, std::min(group_threads_, cpus / std::max<std::size_t>(
-                                                 1, config_.shards)));
-      const std::size_t first = (index * block) % cpus;
-      shard->pinned = util::pin_current_thread_block(
-          static_cast<int>(first), static_cast<int>(block));
+void Fleet::maybe_pin(std::size_t index, Shard& shard) {
+  if (!config_.pin_cpus) return;
+  // Contiguous block per shard: groups land side by side, so on NUMA
+  // hosts a shard's threads share one node as long as blocks do not
+  // straddle a node boundary. Wraps when shards exceed the CPU count.
+  const std::size_t cpus = util::available_cpus();
+  const std::size_t block = std::max<std::size_t>(
+      1, std::min(group_threads_,
+                  cpus / std::max<std::size_t>(1, config_.shards)));
+  const std::size_t first = (index * block) % cpus;
+  shard.pinned = util::pin_current_thread_block(static_cast<int>(first),
+                                                static_cast<int>(block));
+}
+
+void Fleet::build_shard_state(std::size_t index, Shard& shard) {
+  // Per-shard seeding mirrors run_simulation: one seeder per shard, the
+  // interconnect and traffic streams drawn from it in a fixed order.
+  util::Rng seeder(seeds_[index]);
+  InterconnectConfig icfg = config_.interconnect;
+  icfg.seed = seeder.next();
+  const std::uint64_t traffic_seed = seeder.next();
+  shard.interconnect = std::make_unique<Interconnect>(icfg);
+  // The fleet's serving contract is zero warm-path allocation, so pay the
+  // worst-case arena memory up front rather than absorbing rare per-port
+  // high-water reallocations mid-serve.
+  shard.interconnect->reserve_worst_case_scratch();
+  shard.traffic = std::make_unique<TrafficGenerator>(
+      icfg.n_fibers, icfg.scheme.k(), config_.traffic, traffic_seed);
+  shard.metrics =
+      std::make_unique<MetricsCollector>(icfg.n_fibers, icfg.scheme.k());
+  // Worst-case scratch: one busy flag and at most one fresh arrival per
+  // input channel per slot, so the warm slot loop never reallocates.
+  const std::size_t channels = static_cast<std::size_t>(icfg.n_fibers) *
+                               static_cast<std::size_t>(icfg.scheme.k());
+  shard.busy.reserve(channels);
+  shard.arrivals.reserve(channels);
+  if (group_threads_ > 1 && shard.pool == nullptr) {
+    // Constructed on this (possibly pinned) thread so the workers inherit
+    // the affinity mask on Linux; group size counts the driver, hence -1.
+    shard.pool = std::make_unique<util::ThreadPool>(group_threads_ - 1);
+  }
+}
+
+void Fleet::driver_main(std::size_t index, bool replacement) {
+  Shard* self = nullptr;
+  if (!replacement) {
+    auto shard = std::make_unique<Shard>();
+    maybe_pin(index, *shard);
+    try {
+      build_shard_state(index, *shard);
+    } catch (...) {
+      shard->error = std::current_exception();
     }
-    // Per-shard seeding mirrors run_simulation: one seeder per shard, the
-    // interconnect and traffic streams drawn from it in a fixed order.
-    util::Rng seeder(seeds_[index]);
-    InterconnectConfig icfg = config_.interconnect;
-    icfg.seed = seeder.next();
-    const std::uint64_t traffic_seed = seeder.next();
-    shard->interconnect = std::make_unique<Interconnect>(icfg);
-    // The fleet's serving contract is zero warm-path allocation, so pay the
-    // worst-case arena memory up front rather than absorbing rare per-port
-    // high-water reallocations mid-serve.
-    shard->interconnect->reserve_worst_case_scratch();
-    shard->traffic = std::make_unique<TrafficGenerator>(
-        icfg.n_fibers, icfg.scheme.k(), config_.traffic, traffic_seed);
-    shard->metrics =
-        std::make_unique<MetricsCollector>(icfg.n_fibers, icfg.scheme.k());
-    // Worst-case scratch: one busy flag and at most one fresh arrival per
-    // input channel per slot, so the warm slot loop never reallocates.
-    const std::size_t channels = static_cast<std::size_t>(icfg.n_fibers) *
-                                 static_cast<std::size_t>(icfg.scheme.k());
-    shard->busy.reserve(channels);
-    shard->arrivals.reserve(channels);
-    if (group_threads_ > 1) {
-      // Constructed on this (possibly pinned) thread so the workers inherit
-      // the affinity mask on Linux; group size counts the driver, hence -1.
-      shard->pool = std::make_unique<util::ThreadPool>(group_threads_ - 1);
+    self = shard.get();
+    {
+      const std::lock_guard lock(mu_);
+      shards_[index] = std::move(shard);
+      ++ready_;
     }
-  } catch (...) {
-    shard->error = std::current_exception();
+    done_cv_.notify_all();
+  } else {
+    // Watchdog replacement: the caller already installed a fresh Shard
+    // shell; this thread pins like the original driver and fills it via the
+    // restart path (so arenas are first-touched on the replacement thread).
+    {
+      const std::lock_guard lock(mu_);
+      self = shards_[index].get();
+    }
+    maybe_pin(index, *self);
   }
 
-  Shard* self = shard.get();
-  {
-    const std::lock_guard lock(mu_);
-    shards_[index] = std::move(shard);
-    ++ready_;
-  }
-  done_cv_.notify_all();
-
-  std::uint64_t done = 0;
   std::unique_lock lock(mu_);
+  const bool supervised = config_.supervision.enabled;
   for (;;) {
-    cv_.wait(lock, [&] { return stop_ || target_slots_ > done; });
-    if (stop_) break;
+    cv_.wait(lock, [&] {
+      if (stop_ || self->abandoned.load(std::memory_order_relaxed)) {
+        return true;
+      }
+      if (!supervised) {
+        return self->done.load(std::memory_order_relaxed) < target_slots_;
+      }
+      const Supervisor& sup = supervisors_[index];
+      switch (sup.health) {
+        case ShardHealth::kServing:
+          return self->done.load(std::memory_order_relaxed) < target_slots_;
+        case ShardHealth::kQuarantined:
+          return sup.attempts < config_.supervision.restart_budget &&
+                 sup.eligible_target <= target_slots_;
+        case ShardHealth::kRestarting:
+          return true;  // claimed by the watchdog for this thread
+        case ShardHealth::kFailed:
+          return false;  // parked until stop
+      }
+      return false;
+    });
+    if (stop_ || self->abandoned.load(std::memory_order_relaxed)) break;
+
+    if (supervised && supervisors_[index].health != ShardHealth::kServing) {
+      attempt_restart(lock, index, *self);
+      done_cv_.notify_all();
+      continue;
+    }
+
     const std::uint64_t target = target_slots_;
     lock.unlock();
     if (self->error == nullptr) {
       try {
-        while (done < target) {
-          run_shard_slot(*self);
-          ++done;
+        while (self->done.load(std::memory_order_relaxed) < target &&
+               !self->abandoned.load(std::memory_order_relaxed)) {
+          run_shard_slot(index, *self);
+          self->done.fetch_add(1, std::memory_order_relaxed);
         }
       } catch (...) {
-        self->error = std::current_exception();
+        handle_shard_error(index, *self, std::current_exception());
       }
     }
-    done = target;  // an errored shard stops stepping but keeps the barrier
     lock.lock();
-    if (--running_ == 0) done_cv_.notify_all();
+    if (!supervised && self->error != nullptr) {
+      // An errored unsupervised shard stops stepping but keeps the barrier.
+      self->done.store(target, std::memory_order_relaxed);
+    }
+    done_cv_.notify_all();
   }
   // Tear down on the owning thread (symmetric with construction).
   lock.unlock();
   self->pool.reset();
 }
 
-void Fleet::run_shard_slot(Shard& shard) {
+void Fleet::maybe_inject_fault(std::size_t index, Shard& shard) {
+  const std::vector<std::size_t>& events = shard_fault_index_[index];
+  if (events.empty()) return;
+  const std::uint64_t slot = shard.done.load(std::memory_order_relaxed);
+  for (const std::size_t e : events) {
+    const ShardFaultEvent& event = config_.shard_faults[e];
+    if (event.slot != slot) continue;
+    if (fault_fired_[e].exchange(true, std::memory_order_acq_rel)) continue;
+    if (event.kind == ShardFaultKind::kStall) {
+      std::this_thread::sleep_for(std::chrono::nanoseconds(event.stall_ns));
+    } else {
+      throw ShardCrashInjected("injected shard crash (scripted), shard " +
+                               std::to_string(index) + " at slot " +
+                               std::to_string(slot));
+    }
+  }
+}
+
+void Fleet::run_shard_slot(std::size_t index, Shard& shard) {
+  maybe_inject_fault(index, shard);
   shard.interconnect->input_channel_busy_into(shard.busy);
   shard.traffic->next_slot_into(shard.busy, shard.arrivals);
   shard.last = shard.interconnect->step(
@@ -197,35 +317,229 @@ void Fleet::run_shard_slot(Shard& shard) {
   }
 }
 
+void Fleet::handle_shard_error(std::size_t index, Shard& shard,
+                               std::exception_ptr error) {
+  const std::lock_guard lock(mu_);
+  if (!config_.supervision.enabled) {
+    shard.error = error;
+    return;
+  }
+  // Supervised: the exception is consumed here — quarantine (or fail when
+  // the budget is already gone) instead of poisoning the barrier.
+  Supervisor& sup = supervisors_[index];
+  const std::uint64_t at = shard.done.load(std::memory_order_relaxed);
+  stage_event(obs::EventKind::kShardQuarantine, at, index, sup.attempts,
+              /*detail=*/0);
+  if (sup.attempts >= config_.supervision.restart_budget) {
+    sup.health = ShardHealth::kFailed;
+    stage_event(obs::EventKind::kShardFailed, at, index, sup.attempts, 0);
+  } else {
+    sup.health = ShardHealth::kQuarantined;
+    const std::uint32_t doublings =
+        std::min(sup.attempts, kMaxBackoffDoublings);
+    sup.eligible_target =
+        at + (config_.supervision.backoff_slots << doublings);
+  }
+}
+
+void Fleet::attempt_restart(std::unique_lock<std::mutex>& lock,
+                            std::size_t index, Shard& shard) {
+  Supervisor& sup = supervisors_[index];
+  const std::uint64_t target = target_slots_;
+  sup.health = ShardHealth::kRestarting;
+  ++sup.attempts;
+  stage_event(obs::EventKind::kShardRestart, target, index, sup.attempts, 0);
+  const bool have_chain = checkpoint_policy_.has_value();
+  lock.unlock();
+
+  bool ok = false;
+  std::uint64_t recovered_slot = 0;
+  std::uint64_t discards = 0;
+  try {
+    // Fresh state on this thread: the crashed interconnect may be torn
+    // mid-step and the pool may hold poisoned workers — rebuild both. The
+    // derived seeds make the rebuild bit-identical to the original bring-up.
+    shard.pool.reset();
+    shard.store.reset();
+    shard.interconnect.reset();
+    shard.traffic.reset();
+    shard.metrics.reset();
+    build_shard_state(index, shard);
+    if (have_chain) {
+      CheckpointPolicy policy = *checkpoint_policy_;
+      policy.dir = shard_checkpoint_dir(index);
+      RecoveryReport report = recover_latest(policy.dir, *shard.interconnect,
+                                             shard.traffic.get());
+      discards = report.discarded.size();
+      if (report.recovered) recovered_slot = report.slot;
+      // A fresh store never adopts an on-disk chain as a delta base: the
+      // first frame after a restart is a full, so the shard's chain re-links
+      // with the fleet's cadence going forward.
+      shard.store = std::make_unique<CheckpointStore>(policy);
+    }
+    // Metrics are observers and are not checkpointed: the restarted shard
+    // re-accumulates from its recovery slot.
+    shard.total_arrivals = 0;
+    shard.total_granted = 0;
+    shard.done.store(recovered_slot, std::memory_order_relaxed);
+    // Replay forward to the fleet slot. Deterministic: the recovered (or
+    // fresh) state plus the shard's own seeded streams reproduce exactly
+    // the slots an uncrashed shard would have served.
+    while (shard.done.load(std::memory_order_relaxed) < target &&
+           !shard.abandoned.load(std::memory_order_relaxed)) {
+      run_shard_slot(index, shard);
+      shard.done.fetch_add(1, std::memory_order_relaxed);
+    }
+    ok = !shard.abandoned.load(std::memory_order_relaxed);
+  } catch (...) {
+    ok = false;
+  }
+
+  lock.lock();
+  recovery_discards_ += discards;
+  const std::uint64_t at = shard.done.load(std::memory_order_relaxed);
+  if (ok) {
+    sup.health = ShardHealth::kServing;
+    ++sup.restarts;
+    stage_event(obs::EventKind::kShardRejoin, at, index, recovered_slot, 0);
+  } else if (sup.attempts >= config_.supervision.restart_budget) {
+    sup.health = ShardHealth::kFailed;
+    stage_event(obs::EventKind::kShardFailed, at, index, sup.attempts, 0);
+  } else {
+    sup.health = ShardHealth::kQuarantined;
+    stage_event(obs::EventKind::kShardQuarantine, at, index, sup.attempts, 0);
+    const std::uint32_t doublings =
+        std::min(sup.attempts, kMaxBackoffDoublings);
+    sup.eligible_target =
+        at + (config_.supervision.backoff_slots << doublings);
+  }
+}
+
+void Fleet::quarantine_stuck_shard(std::size_t index) {
+  Supervisor& sup = supervisors_[index];
+  Shard& stuck = *shards_[index];
+  stuck.abandoned.store(true, std::memory_order_relaxed);
+  const std::uint64_t at = stuck.done.load(std::memory_order_relaxed);
+  stage_event(obs::EventKind::kShardQuarantine, at, index, sup.attempts,
+              /*detail=*/1);
+  // The stuck driver may still be mid-step inside the old state, so the
+  // old Shard is retired (destroyed only after its thread winds down at
+  // shutdown) and a fresh shell takes the index. The shell keeps an empty
+  // metrics collector so exports never see a null shard.
+  auto shell = std::make_unique<Shard>();
+  shell->metrics = std::make_unique<MetricsCollector>(
+      config_.interconnect.n_fibers, config_.interconnect.scheme.k());
+  retired_.push_back(std::move(shards_[index]));
+  shards_[index] = std::move(shell);
+  if (sup.attempts >= config_.supervision.restart_budget) {
+    sup.health = ShardHealth::kFailed;
+    stage_event(obs::EventKind::kShardFailed, at, index, sup.attempts, 1);
+    return;
+  }
+  sup.health = ShardHealth::kQuarantined;
+  const std::uint32_t doublings = std::min(sup.attempts, kMaxBackoffDoublings);
+  sup.eligible_target = at + (config_.supervision.backoff_slots << doublings);
+  drivers_.emplace_back(
+      [this, index] { driver_main(index, /*replacement=*/true); });
+}
+
+bool Fleet::barrier_satisfied() const {
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    if (config_.supervision.enabled) {
+      const Supervisor& sup = supervisors_[i];
+      if (sup.health == ShardHealth::kFailed) continue;
+      if (sup.health == ShardHealth::kQuarantined &&
+          (sup.attempts >= config_.supervision.restart_budget ||
+           sup.eligible_target > target_slots_)) {
+        continue;  // backing off: the barrier degrades to the survivors
+      }
+    }
+    if (shards_[i]->done.load(std::memory_order_relaxed) < target_slots_) {
+      return false;
+    }
+  }
+  return true;
+}
+
 void Fleet::advance(std::uint64_t slots) {
   if (slots == 0) return;
   std::unique_lock lock(mu_);
   target_slots_ += slots;
-  running_ = shards_.size();
   cv_.notify_all();
-  done_cv_.wait(lock, [this] { return running_ == 0; });
-  slot_ += slots;
-  for (auto& shard : shards_) {
-    if (shard->error) {
-      const std::exception_ptr error = shard->error;
-      lock.unlock();
-      std::rethrow_exception(error);
+  const bool watchdog = config_.supervision.enabled &&
+                        config_.supervision.watchdog_ns > 0;
+  if (!watchdog) {
+    done_cv_.wait(lock, [this] { return barrier_satisfied(); });
+  } else {
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      watchdog_progress_[i] = shards_[i]->done.load(std::memory_order_relaxed);
     }
+    const auto period =
+        std::chrono::nanoseconds(config_.supervision.watchdog_ns);
+    while (!barrier_satisfied()) {
+      if (done_cv_.wait_for(lock, period,
+                            [this] { return barrier_satisfied(); })) {
+        break;
+      }
+      // Deadline passed with the barrier still open: any serving shard that
+      // made no slot progress over the whole period is stuck or livelocked.
+      // (Quarantined shards are excluded already; restarting shards are
+      // exempt — recovery does file IO that is not slot progress.)
+      for (std::size_t i = 0; i < shards_.size(); ++i) {
+        if (supervisors_[i].health != ShardHealth::kServing) continue;
+        const std::uint64_t done =
+            shards_[i]->done.load(std::memory_order_relaxed);
+        if (done >= target_slots_) continue;
+        if (done != watchdog_progress_[i]) {
+          watchdog_progress_[i] = done;
+          continue;
+        }
+        quarantine_stuck_shard(i);
+      }
+    }
+  }
+  slot_ = target_slots_;
+  if (!config_.supervision.enabled) {
+    for (auto& shard : shards_) {
+      if (shard->error) {
+        const std::exception_ptr error = shard->error;
+        lock.unlock();
+        std::rethrow_exception(error);
+      }
+    }
+  }
+  // Drain staged supervision events on the caller thread — the recorder is
+  // single-writer and this is the only thread that ever writes it.
+  if (telemetry_ != nullptr && !pending_obs_.empty()) {
+    for (const obs::TraceEvent& event : pending_obs_) {
+      telemetry_->record(event);
+    }
+    pending_obs_.clear();
+  }
+}
+
+void Fleet::aggregate_last_stats() {
+  // Aggregate outside the barrier on the caller: SmallVec-backed per-class
+  // columns keep this allocation-free. Only serving shards contribute — a
+  // quarantined shard's last slot is stale history.
+  last_stats_ = SlotStats{};
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    if (config_.supervision.enabled &&
+        supervisors_[i].health != ShardHealth::kServing) {
+      continue;
+    }
+    last_stats_.add(shards_[i]->last);
   }
 }
 
 void Fleet::step() {
   advance(1);
-  // Aggregate outside the barrier on the caller: SmallVec-backed per-class
-  // columns keep this allocation-free.
-  last_stats_ = SlotStats{};
-  for (const auto& shard : shards_) last_stats_.add(shard->last);
+  aggregate_last_stats();
 }
 
 void Fleet::run(std::uint64_t slots) {
   advance(slots);
-  last_stats_ = SlotStats{};
-  for (const auto& shard : shards_) last_stats_.add(shard->last);
+  aggregate_last_stats();
 }
 
 std::uint64_t Fleet::shard_seed(std::size_t shard) const {
@@ -248,7 +562,7 @@ std::uint64_t Fleet::total_granted() const noexcept {
 void Fleet::reset_counters() {
   for (auto& shard : shards_) {
     shard->metrics = std::make_unique<MetricsCollector>(
-        shard->interconnect->n_fibers(), shard->interconnect->k());
+        config_.interconnect.n_fibers, config_.interconnect.scheme.k());
     shard->total_arrivals = 0;
     shard->total_granted = 0;
   }
@@ -256,6 +570,8 @@ void Fleet::reset_counters() {
 
 const Interconnect& Fleet::shard_interconnect(std::size_t shard) const {
   WDM_CHECK_MSG(shard < shards_.size(), "shard index out of range");
+  WDM_CHECK_MSG(shards_[shard]->interconnect != nullptr,
+                "shard has no live state (failed before restart)");
   return *shards_[shard]->interconnect;
 }
 
@@ -277,7 +593,9 @@ std::uint64_t Fleet::fleet_digest() const {
   std::vector<std::uint8_t> bytes;
   bytes.reserve(shards_.size() * 8);
   for (const auto& shard : shards_) {
-    std::uint64_t d = state_digest(*shard->interconnect);
+    std::uint64_t d = shard->interconnect != nullptr
+                          ? state_digest(*shard->interconnect)
+                          : kDeadShardDigest;
     for (int b = 0; b < 8; ++b) {
       bytes.push_back(static_cast<std::uint8_t>(d & 0xff));
       d >>= 8;
@@ -286,19 +604,85 @@ std::uint64_t Fleet::fleet_digest() const {
   return util::fnv1a64(bytes);
 }
 
+ShardHealth Fleet::shard_health(std::size_t shard) const {
+  WDM_CHECK_MSG(shard < supervisors_.size(), "shard index out of range");
+  const std::lock_guard lock(mu_);
+  return supervisors_[shard].health;
+}
+
+std::uint64_t Fleet::shard_restarts(std::size_t shard) const {
+  WDM_CHECK_MSG(shard < supervisors_.size(), "shard index out of range");
+  const std::lock_guard lock(mu_);
+  return supervisors_[shard].restarts;
+}
+
+std::uint64_t Fleet::total_restarts() const {
+  const std::lock_guard lock(mu_);
+  std::uint64_t total = 0;
+  for (const Supervisor& sup : supervisors_) total += sup.restarts;
+  return total;
+}
+
+std::size_t Fleet::serving_shards() const {
+  const std::lock_guard lock(mu_);
+  std::size_t serving = 0;
+  for (const Supervisor& sup : supervisors_) {
+    if (sup.health == ShardHealth::kServing) ++serving;
+  }
+  return serving;
+}
+
+std::uint64_t Fleet::recovery_discards() const {
+  const std::lock_guard lock(mu_);
+  return recovery_discards_;
+}
+
+void Fleet::set_telemetry(obs::TraceRecorder* recorder) {
+  const std::lock_guard lock(mu_);
+  telemetry_ = recorder;
+}
+
+void Fleet::stage_event(obs::EventKind kind, std::uint64_t slot,
+                        std::size_t shard, std::uint64_t b,
+                        std::uint8_t detail) {
+  if (telemetry_ == nullptr) return;
+  obs::TraceEvent event;
+  event.ts_ns = util::now_ns();
+  event.slot = slot;
+  event.a = shard;
+  event.b = b;
+  event.fiber = -1;
+  event.kind = kind;
+  event.detail = detail;
+  pending_obs_.push_back(event);
+}
+
+std::string Fleet::shard_checkpoint_dir(std::size_t index) const {
+  return checkpoint_policy_->dir + "/shard-" + std::to_string(index);
+}
+
 void Fleet::open_checkpoints(const CheckpointPolicy& policy) {
+  {
+    const std::lock_guard lock(mu_);
+    checkpoint_policy_ = policy;
+  }
   for (std::size_t i = 0; i < shards_.size(); ++i) {
     CheckpointPolicy shard_policy = policy;
-    shard_policy.dir = policy.dir + "/shard-" + std::to_string(i);
+    shard_policy.dir = shard_checkpoint_dir(i);
     shards_[i]->store = std::make_unique<CheckpointStore>(shard_policy);
   }
 }
 
 void Fleet::write_checkpoint() {
-  for (auto& shard : shards_) {
-    WDM_CHECK_MSG(shard->store != nullptr,
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    if (config_.supervision.enabled) {
+      const std::lock_guard lock(mu_);
+      if (supervisors_[i].health != ShardHealth::kServing) continue;
+    }
+    Shard& shard = *shards_[i];
+    WDM_CHECK_MSG(shard.store != nullptr,
                   "write_checkpoint needs open_checkpoints first");
-    shard->store->write(*shard->interconnect, shard->traffic.get());
+    shard.store->write(*shard.interconnect, shard.traffic.get());
   }
 }
 
@@ -313,13 +697,45 @@ FleetRecovery Fleet::resume_from(const std::string& dir) {
     all = all && report.recovered;
     out.shards.push_back(std::move(report));
   }
+  // A crash can land mid write_checkpoint, leaving some shards one frame
+  // ahead of others. Negotiate the newest slot every chain can agree on:
+  // re-recover any shard ahead of the minimum, bounded to it. The minimum
+  // can only move down, so this converges in at most `shards` rounds.
+  while (all) {
+    std::uint64_t min_slot = out.shards.front().slot;
+    bool agree = true;
+    for (const auto& report : out.shards) {
+      agree = agree && report.slot == out.shards.front().slot;
+      min_slot = std::min(min_slot, report.slot);
+    }
+    if (agree) break;
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      if (out.shards[i].slot <= min_slot) continue;
+      out.shards[i] = recover_latest(
+          dir + "/shard-" + std::to_string(i), *shards_[i]->interconnect,
+          shards_[i]->traffic.get(), min_slot);
+      all = all && out.shards[i].recovered;
+    }
+  }
+  {
+    const std::lock_guard lock(mu_);
+    for (const auto& report : out.shards) {
+      recovery_discards_ += report.discarded.size();
+    }
+  }
   if (!all) return out;
   const std::uint64_t slot = out.shards.front().slot;
-  for (const auto& report : out.shards) {
-    if (report.slot != slot) return out;  // chains disagree: not a fleet state
-  }
   out.recovered = true;
   out.slot = slot;
+  {
+    const std::lock_guard lock(mu_);
+    // Re-seat the barrier at the restored slot: done counters are absolute
+    // fleet slots, and the restored interconnects sit exactly there.
+    target_slots_ = slot;
+    for (auto& shard : shards_) {
+      shard->done.store(slot, std::memory_order_relaxed);
+    }
+  }
   slot_ = slot;
   return out;
 }

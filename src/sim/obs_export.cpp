@@ -93,6 +93,20 @@ void register_fleet_metrics(obs::Registry& registry, const Fleet& fleet,
   register_metrics(registry, merged, per_fiber);
   registry.gauge("wdm_fleet_shards", "Shards served by this fleet",
                  static_cast<double>(fleet.shards()));
+  registry.gauge("wdm_fleet_pinned",
+                 "1 when CPU pinning was requested and applied on every "
+                 "shard, 0 otherwise (portable no-op fallback)",
+                 fleet.pinned() ? 1.0 : 0.0);
+  registry.gauge("wdm_fleet_serving_shards",
+                 "Shards currently serving the slot barrier",
+                 static_cast<double>(fleet.serving_shards()));
+  registry.counter("wdm_shard_restarts_total",
+                   "Successful shard restarts (quarantine -> rejoin)",
+                   fleet.total_restarts());
+  registry.counter("wdm_recovery_discards_total",
+                   "Checkpoint frames discarded during recovery "
+                   "(torn/corrupt/unchained)",
+                   fleet.recovery_discards());
   for (std::size_t shard = 0; shard < fleet.shards(); ++shard) {
     const MetricsCollector& m = fleet.shard_metrics(shard);
     const std::string label = "shard=\"" + std::to_string(shard) + "\"";
@@ -105,6 +119,15 @@ void register_fleet_metrics(obs::Registry& registry, const Fleet& fleet,
                      m.granted(), label);
     registry.counter("wdm_shard_rejected_total", "Requests rejected by shard",
                      m.losses(), label);
+    registry.gauge("wdm_shard_health",
+                   "Shard supervision state (0=serving 1=quarantined "
+                   "2=restarting 3=failed)",
+                   static_cast<double>(
+                       static_cast<std::uint8_t>(fleet.shard_health(shard))),
+                   label);
+    registry.counter("wdm_shard_restarts",
+                     "Successful restarts of this shard",
+                     fleet.shard_restarts(shard), label);
   }
 }
 

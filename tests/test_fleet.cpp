@@ -238,6 +238,48 @@ TEST(Fleet, CheckpointResumeRestoresTheWholeFleetBitForBit) {
       << "resume + 30 slots must equal the uninterrupted 90-slot run";
 }
 
+TEST(Fleet, ResumeFallsBackToTheNewestAgreeingSlot) {
+  // A SIGKILL mid write_checkpoint leaves some shards one frame ahead of
+  // others. Model it by deleting shard 1's newest frame: resume must
+  // negotiate back to the newest slot every chain agrees on (all-or-nothing
+  // on an agreeing slot), not fail and not resume shards at mixed slots.
+  const fs::path dir = fresh_dir("fleet_ckpt_skew");
+  sim::FleetConfig cfg = fleet_config(2);
+  {
+    sim::Fleet fleet(cfg);
+    sim::CheckpointPolicy policy;
+    policy.dir = dir.string();
+    policy.full_every = 1;
+    fleet.open_checkpoints(policy);
+    fleet.run(20);
+    fleet.write_checkpoint();
+    fleet.run(10);
+    fleet.write_checkpoint();
+  }
+  std::vector<fs::path> frames;
+  for (const auto& entry : fs::directory_iterator(dir / "shard-1")) {
+    frames.push_back(entry.path());
+  }
+  ASSERT_EQ(frames.size(), 2u);
+  std::sort(frames.begin(), frames.end());
+  fs::remove(frames.back());
+
+  sim::Fleet resumed(cfg);
+  const sim::FleetRecovery recovery = resumed.resume_from(dir.string());
+  ASSERT_TRUE(recovery.recovered);
+  EXPECT_EQ(recovery.slot, 20u);
+  for (const auto& report : recovery.shards) {
+    EXPECT_EQ(report.slot, 20u);
+  }
+
+  // The negotiated state is the real slot-20 fleet state: finishing the run
+  // matches an uninterrupted fleet.
+  resumed.run(20);
+  sim::Fleet reference(cfg);
+  reference.run(40);
+  EXPECT_EQ(resumed.fleet_digest(), reference.fleet_digest());
+}
+
 TEST(Fleet, ResumeFailsCleanlyOnAMissingShardChain) {
   const fs::path dir = fresh_dir("fleet_ckpt_partial");
   sim::FleetConfig cfg = fleet_config(2);
@@ -253,6 +295,42 @@ TEST(Fleet, ResumeFailsCleanlyOnAMissingShardChain) {
   sim::Fleet resumed(cfg);
   const sim::FleetRecovery recovery = resumed.resume_from(dir.string());
   EXPECT_FALSE(recovery.recovered);
+}
+
+TEST(Fleet, UnsupervisedShardErrorLeavesTheFleetUsableAndDestructible) {
+  // Exception-safety contract of the *unsupervised* fleet (supervision off
+  // is the default): a shard throwing mid-run must surface as an exception
+  // from run()/step() — not a deadlock, not a crash — and the Fleet must
+  // remain queryable and destructible afterwards.
+  sim::FleetConfig cfg = fleet_config(3);
+  sim::ShardFaultEvent crash;
+  crash.shard = 1;
+  crash.slot = 10;
+  crash.kind = sim::ShardFaultKind::kCrash;
+  cfg.shard_faults.push_back(crash);
+
+  sim::Fleet fleet(cfg);
+  EXPECT_THROW(fleet.run(20), sim::ShardCrashInjected);
+  // The healthy shards served every slot; the barrier never deadlocked.
+  EXPECT_EQ(fleet.current_slot(), 20u);
+  EXPECT_EQ(fleet.shard_interconnect(0).current_slot(), 20);
+  EXPECT_EQ(fleet.shard_interconnect(2).current_slot(), 20);
+
+  // A second step fails cleanly with the same parked error (the errored
+  // shard does not step again), and the digest stays computable.
+  EXPECT_THROW(fleet.step(), sim::ShardCrashInjected);
+  EXPECT_EQ(fleet.shard_interconnect(1).current_slot(), 10);
+  (void)fleet.fleet_digest();
+  // Destruction at scope exit joins every driver — the real assertion is
+  // that this test terminates at all.
+}
+
+TEST(Fleet, ScriptedFaultsThrowOnAnOutOfRangeShard) {
+  sim::FleetConfig cfg = fleet_config(2);
+  sim::ShardFaultEvent crash;
+  crash.shard = 7;  // fleet has 2
+  cfg.shard_faults.push_back(crash);
+  EXPECT_ANY_THROW(sim::Fleet fleet(cfg));
 }
 
 TEST(Fleet, ResetCountersDropsObserversButNotState) {

@@ -1,0 +1,336 @@
+// sim::Fleet supervision — the self-healing layer (docs/ALGORITHMS.md §13).
+//
+// The contracts under test:
+//  * opt-out purity — supervision off is the default and bit-identical to
+//    PR 8's fleet; supervision on with no faults is decision-identical too
+//    (the layer only observes until something fails);
+//  * quarantine + rejoin determinism — a scripted crash leaves the other
+//    shards serving every slot, and the crashed shard recovers from its
+//    checkpoint chain (or replays from slot 0) and rejoins the barrier
+//    bit-exactly: the post-rejoin fleet_digest equals a crash-free run's;
+//  * bounded healing — the restart budget is consumed per attempt and an
+//    exhausted budget parks the shard in kFailed without taking the fleet
+//    down; backoff (in fleet slots) defers restarts across barriers;
+//  * watchdog — a stalled (livelocked) driver is abandoned and replaced
+//    instead of hanging the barrier forever;
+//  * observability — health/restart/discard series reach the Prometheus
+//    export and supervision events reach an attached TraceRecorder.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/registry.hpp"
+#include "obs/telemetry.hpp"
+#include "sim/fleet.hpp"
+#include "sim/obs_export.hpp"
+
+namespace wdm {
+namespace {
+
+namespace fs = std::filesystem;
+
+sim::FleetConfig fleet_config(std::size_t shards, std::int32_t n_fibers = 8,
+                              std::int32_t k = 4) {
+  sim::FleetConfig cfg;
+  cfg.shards = shards;
+  cfg.seed = 7;
+  cfg.interconnect.n_fibers = n_fibers;
+  cfg.interconnect.scheme = core::ConversionScheme::circular(k, 1, 1);
+  cfg.traffic.load = 0.7;
+  cfg.traffic.holding = sim::HoldingTime::kGeometric;
+  cfg.traffic.mean_holding = 2.0;
+  return cfg;
+}
+
+sim::FleetConfig supervised_config(std::size_t shards) {
+  sim::FleetConfig cfg = fleet_config(shards);
+  cfg.supervision.enabled = true;
+  cfg.supervision.restart_budget = 3;
+  cfg.supervision.backoff_slots = 0;  // restart within the same barrier
+  return cfg;
+}
+
+fs::path fresh_dir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+sim::ShardFaultEvent crash_at(std::size_t shard, std::uint64_t slot) {
+  sim::ShardFaultEvent event;
+  event.shard = shard;
+  event.slot = slot;
+  event.kind = sim::ShardFaultKind::kCrash;
+  return event;
+}
+
+sim::ShardFaultEvent stall_at(std::size_t shard, std::uint64_t slot,
+                              std::uint64_t stall_ns) {
+  sim::ShardFaultEvent event;
+  event.shard = shard;
+  event.slot = slot;
+  event.kind = sim::ShardFaultKind::kStall;
+  event.stall_ns = stall_ns;
+  return event;
+}
+
+TEST(FleetSupervision, FaultFreeSupervisedRunIsBitIdenticalToUnsupervised) {
+  sim::FleetConfig plain = fleet_config(3);
+  sim::Fleet unsupervised(plain);
+  unsupervised.run(60);
+
+  sim::FleetConfig cfg = supervised_config(3);
+  sim::Fleet supervised(cfg);
+  supervised.run(60);
+
+  EXPECT_EQ(supervised.fleet_digest(), unsupervised.fleet_digest())
+      << "the supervision layer must only observe until something fails";
+  EXPECT_EQ(supervised.total_arrivals(), unsupervised.total_arrivals());
+  EXPECT_EQ(supervised.total_restarts(), 0u);
+  EXPECT_EQ(supervised.serving_shards(), 3u);
+  for (std::size_t i = 0; i < supervised.shards(); ++i) {
+    EXPECT_EQ(supervised.shard_health(i), sim::ShardHealth::kServing);
+  }
+}
+
+TEST(FleetSupervision, CrashedShardRejoinsFromItsCheckpointChainBitExact) {
+  const std::uint64_t kSlots = 90;
+  const std::uint64_t kEvery = 10;
+
+  // Reference: crash-free supervised run with the same checkpoint cadence.
+  sim::FleetConfig ref_cfg = supervised_config(3);
+  sim::Fleet reference(ref_cfg);
+  {
+    sim::CheckpointPolicy policy;
+    policy.dir = fresh_dir("sup_ref_ckpt").string();
+    policy.full_every = 2;
+    reference.open_checkpoints(policy);
+  }
+  for (std::uint64_t s = 0; s < kSlots; s += kEvery) {
+    reference.run(kEvery);
+    reference.write_checkpoint();
+  }
+
+  // Crash shard 1 at slot 55: by then its chain holds frames up to slot 50,
+  // so the restart recovers slot 50 and replays five slots to rejoin.
+  sim::FleetConfig cfg = supervised_config(3);
+  cfg.shard_faults.push_back(crash_at(1, 55));
+  sim::Fleet fleet(cfg);
+  obs::TraceRecorder recorder(obs::TraceDetail::kSlots);
+  fleet.set_telemetry(&recorder);
+  {
+    sim::CheckpointPolicy policy;
+    policy.dir = fresh_dir("sup_crash_ckpt").string();
+    policy.full_every = 2;
+    fleet.open_checkpoints(policy);
+  }
+  for (std::uint64_t s = 0; s < kSlots; s += kEvery) {
+    fleet.run(kEvery);
+    fleet.write_checkpoint();
+  }
+
+  EXPECT_EQ(fleet.current_slot(), kSlots);
+  EXPECT_EQ(fleet.shard_health(1), sim::ShardHealth::kServing);
+  EXPECT_EQ(fleet.shard_restarts(1), 1u);
+  EXPECT_EQ(fleet.total_restarts(), 1u);
+  EXPECT_EQ(fleet.serving_shards(), 3u);
+  EXPECT_EQ(fleet.fleet_digest(), reference.fleet_digest())
+      << "recover + replay must rejoin bit-exactly";
+  // The healthy shards never stopped: every shard served every slot.
+  for (std::size_t i = 0; i < fleet.shards(); ++i) {
+    EXPECT_EQ(fleet.shard_interconnect(i).current_slot(),
+              static_cast<std::int64_t>(kSlots))
+        << "shard " << i;
+  }
+
+  // The recorder saw the quarantine -> restart -> rejoin arc.
+  std::vector<obs::TraceEvent> events;
+  recorder.snapshot(events);
+  const auto count = [&](obs::EventKind kind) {
+    return std::count_if(events.begin(), events.end(),
+                         [&](const obs::TraceEvent& e) {
+                           return e.kind == kind && e.a == 1;
+                         });
+  };
+  EXPECT_EQ(count(obs::EventKind::kShardQuarantine), 1);
+  EXPECT_EQ(count(obs::EventKind::kShardRestart), 1);
+  EXPECT_EQ(count(obs::EventKind::kShardRejoin), 1);
+  EXPECT_EQ(count(obs::EventKind::kShardFailed), 0);
+}
+
+TEST(FleetSupervision, CrashWithoutCheckpointsReplaysFromSlotZero) {
+  sim::FleetConfig ref_cfg = supervised_config(2);
+  sim::Fleet reference(ref_cfg);
+  reference.run(60);
+
+  sim::FleetConfig cfg = supervised_config(2);
+  cfg.shard_faults.push_back(crash_at(0, 30));
+  sim::Fleet fleet(cfg);
+  fleet.run(60);
+
+  EXPECT_EQ(fleet.shard_health(0), sim::ShardHealth::kServing);
+  EXPECT_EQ(fleet.shard_restarts(0), 1u);
+  EXPECT_EQ(fleet.fleet_digest(), reference.fleet_digest())
+      << "with no chain the restart replays the seeded streams from slot 0";
+}
+
+TEST(FleetSupervision, RestartBudgetExhaustionFailsTheShardPermanently) {
+  sim::FleetConfig cfg = supervised_config(2);
+  cfg.supervision.restart_budget = 2;
+  // Each restart replay trips the next crash: attempt 1 dies at slot 6,
+  // attempt 2 dies at slot 7, and the budget is gone.
+  cfg.shard_faults.push_back(crash_at(0, 5));
+  cfg.shard_faults.push_back(crash_at(0, 6));
+  cfg.shard_faults.push_back(crash_at(0, 7));
+  sim::Fleet fleet(cfg);
+  fleet.run(20);
+
+  EXPECT_EQ(fleet.shard_health(0), sim::ShardHealth::kFailed);
+  EXPECT_EQ(fleet.shard_restarts(0), 0u);
+  EXPECT_EQ(fleet.serving_shards(), 1u);
+  EXPECT_EQ(fleet.shard_health(1), sim::ShardHealth::kServing);
+  EXPECT_EQ(fleet.shard_interconnect(1).current_slot(), 20);
+
+  // The fleet keeps serving on the survivor, and stays destructible.
+  fleet.step();
+  EXPECT_EQ(fleet.current_slot(), 21u);
+  EXPECT_EQ(fleet.shard_health(0), sim::ShardHealth::kFailed);
+}
+
+TEST(FleetSupervision, BackoffDefersRestartAcrossBarriers) {
+  sim::FleetConfig cfg = supervised_config(2);
+  cfg.supervision.backoff_slots = 4;
+  cfg.shard_faults.push_back(crash_at(0, 5));
+  sim::Fleet fleet(cfg);
+
+  // The crash fires while stepping slot 5 (the 6th step): the shard is
+  // quarantined with eligible_target 5 + 4 = 9.
+  fleet.run(6);
+  EXPECT_EQ(fleet.shard_health(0), sim::ShardHealth::kQuarantined);
+  EXPECT_EQ(fleet.serving_shards(), 1u);
+
+  // Slots 7 and 8: still backing off, barrier degrades to shard 1.
+  fleet.step();
+  fleet.step();
+  EXPECT_EQ(fleet.shard_health(0), sim::ShardHealth::kQuarantined);
+
+  // Slot 9 reaches the eligibility target: restart, replay, rejoin.
+  fleet.step();
+  EXPECT_EQ(fleet.shard_health(0), sim::ShardHealth::kServing);
+  EXPECT_EQ(fleet.shard_restarts(0), 1u);
+  EXPECT_EQ(fleet.serving_shards(), 2u);
+
+  // And the rejoined fleet is bit-identical to a crash-free one.
+  fleet.run(21);
+  sim::Fleet reference(supervised_config(2));
+  reference.run(30);
+  EXPECT_EQ(fleet.fleet_digest(), reference.fleet_digest());
+}
+
+TEST(FleetSupervision, WatchdogQuarantinesAStalledDriver) {
+  sim::FleetConfig cfg = supervised_config(2);
+  cfg.supervision.watchdog_ns = 40'000'000;  // 40 ms deadline
+  // Shard 1's driver blocks 400 ms before stepping slot 10 — ten deadlines
+  // with zero slot progress while the barrier waits. Finite (not a true
+  // livelock) so teardown can join the abandoned driver.
+  cfg.shard_faults.push_back(stall_at(1, 10, 400'000'000));
+  sim::Fleet fleet(cfg);
+  fleet.run(30);
+
+  EXPECT_EQ(fleet.current_slot(), 30u);
+  EXPECT_EQ(fleet.shard_health(1), sim::ShardHealth::kServing)
+      << "the replacement driver must have healed the shard";
+  EXPECT_EQ(fleet.shard_restarts(1), 1u);
+  EXPECT_EQ(fleet.serving_shards(), 2u);
+
+  // The consumed stall does not refire on replay: the healed fleet is
+  // bit-identical to one that never stalled.
+  sim::Fleet reference(supervised_config(2));
+  reference.run(30);
+  EXPECT_EQ(fleet.fleet_digest(), reference.fleet_digest());
+}
+
+TEST(FleetSupervision, ResumeFromCountsDiscardedFrames) {
+  const fs::path dir = fresh_dir("sup_discards");
+  sim::FleetConfig cfg = fleet_config(2);
+  {
+    sim::Fleet fleet(cfg);
+    sim::CheckpointPolicy policy;
+    policy.dir = dir.string();
+    policy.full_every = 1;  // every frame full: each is its own chain
+    fleet.open_checkpoints(policy);
+    fleet.run(20);
+    fleet.write_checkpoint();
+    fleet.run(10);
+    fleet.write_checkpoint();
+  }
+  // Tear the newest frame in every shard dir (SIGKILL-mid-write shape):
+  // recovery must discard it and fall back to the agreeing slot-20 fulls.
+  for (std::size_t shard = 0; shard < 2; ++shard) {
+    std::vector<fs::path> frames;
+    for (const auto& entry :
+         fs::directory_iterator(dir / ("shard-" + std::to_string(shard)))) {
+      frames.push_back(entry.path());
+    }
+    ASSERT_GE(frames.size(), 2u);
+    std::sort(frames.begin(), frames.end());
+    fs::resize_file(frames.back(), fs::file_size(frames.back()) / 2);
+  }
+
+  sim::Fleet resumed(cfg);
+  const sim::FleetRecovery recovery = resumed.resume_from(dir.string());
+  ASSERT_TRUE(recovery.recovered);
+  EXPECT_EQ(recovery.slot, 20u);
+  EXPECT_EQ(resumed.recovery_discards(), 2u);
+  std::uint64_t reported = 0;
+  for (const auto& report : recovery.shards) {
+    reported += report.discarded.size();
+    ASSERT_EQ(report.discarded.size(), report.reasons.size());
+  }
+  EXPECT_EQ(reported, 2u);
+
+  // The fallback state is real: finishing the run matches an uninterrupted
+  // fleet at the same slot.
+  resumed.run(20);
+  sim::Fleet reference(cfg);
+  reference.run(40);
+  EXPECT_EQ(resumed.fleet_digest(), reference.fleet_digest());
+}
+
+TEST(FleetSupervision, PrometheusExportCarriesHealthAndPinnedSeries) {
+  sim::FleetConfig cfg = supervised_config(2);
+  cfg.shard_faults.push_back(crash_at(1, 5));
+  sim::Fleet fleet(cfg);
+  fleet.run(20);
+  EXPECT_EQ(fleet.shard_restarts(1), 1u);
+
+  obs::Registry registry;
+  sim::register_fleet_metrics(registry, fleet, /*per_fiber=*/false);
+  std::ostringstream os;
+  obs::write_prometheus(os, registry);
+  const std::string text = os.str();
+
+  EXPECT_NE(text.find("wdm_fleet_pinned 0"), std::string::npos) << text;
+  EXPECT_NE(text.find("wdm_fleet_serving_shards 2"), std::string::npos);
+  EXPECT_NE(text.find("wdm_shard_restarts_total 1"), std::string::npos);
+  EXPECT_NE(text.find("wdm_recovery_discards_total 0"), std::string::npos);
+  EXPECT_NE(text.find("wdm_shard_health{shard=\"0\"} 0"), std::string::npos);
+  EXPECT_NE(text.find("wdm_shard_health{shard=\"1\"} 0"), std::string::npos);
+  EXPECT_NE(text.find("wdm_shard_restarts{shard=\"1\"} 1"),
+            std::string::npos);
+}
+
+TEST(FleetSupervision, HealthNamesAreStable) {
+  EXPECT_STREQ(sim::to_string(sim::ShardHealth::kServing), "serving");
+  EXPECT_STREQ(sim::to_string(sim::ShardHealth::kQuarantined), "quarantined");
+  EXPECT_STREQ(sim::to_string(sim::ShardHealth::kRestarting), "restarting");
+  EXPECT_STREQ(sim::to_string(sim::ShardHealth::kFailed), "failed");
+}
+
+}  // namespace
+}  // namespace wdm
