@@ -58,8 +58,10 @@ struct Fleet::Shard {
   std::exception_ptr error;  // first failure; rethrown at the barrier
                              // (unsupervised mode only)
   /// Absolute fleet slots this shard has completed. Written by the driver
-  /// outside the lock (one relaxed store per slot — the zero-alloc warm
-  /// path), read by the barrier predicate and the watchdog under mu_.
+  /// outside the lock (one release store per slot — the zero-alloc warm
+  /// path), read with acquire by the barrier predicate and the watchdog, so
+  /// a reader that observes done==target also observes every non-atomic
+  /// field (last, totals, metrics) the driver wrote before publishing.
   std::atomic<std::uint64_t> done{0};
   /// Set by the watchdog when this shard's driver is declared stuck: the
   /// driver must discard its in-flight round and exit; a replacement owns
@@ -264,7 +266,10 @@ void Fleet::driver_main(std::size_t index, bool replacement) {
         while (self->done.load(std::memory_order_relaxed) < target &&
                !self->abandoned.load(std::memory_order_relaxed)) {
           run_shard_slot(index, *self);
-          self->done.fetch_add(1, std::memory_order_relaxed);
+          // Release-publish: pairs with the acquire loads in
+          // barrier_satisfied() so the advance() caller reading
+          // done==target also sees this slot's non-atomic shard state.
+          self->done.fetch_add(1, std::memory_order_release);
         }
       } catch (...) {
         handle_shard_error(index, *self, std::current_exception());
@@ -273,7 +278,7 @@ void Fleet::driver_main(std::size_t index, bool replacement) {
     lock.lock();
     if (!supervised && self->error != nullptr) {
       // An errored unsupervised shard stops stepping but keeps the barrier.
-      self->done.store(target, std::memory_order_relaxed);
+      self->done.store(target, std::memory_order_release);
     }
     done_cv_.notify_all();
   }
@@ -322,6 +327,12 @@ void Fleet::handle_shard_error(std::size_t index, Shard& shard,
   const std::lock_guard lock(mu_);
   if (!config_.supervision.enabled) {
     shard.error = error;
+    return;
+  }
+  if (shard.abandoned.load(std::memory_order_relaxed)) {
+    // A watchdog-abandoned driver throwing while it drains its in-flight
+    // slot is acting on the retired shard: supervisors_[index] belongs to
+    // the replacement that now owns the index, so the error is moot.
     return;
   }
   // Supervised: the exception is consumed here — quarantine (or fail when
@@ -381,14 +392,14 @@ void Fleet::attempt_restart(std::unique_lock<std::mutex>& lock,
     // re-accumulates from its recovery slot.
     shard.total_arrivals = 0;
     shard.total_granted = 0;
-    shard.done.store(recovered_slot, std::memory_order_relaxed);
+    shard.done.store(recovered_slot, std::memory_order_release);
     // Replay forward to the fleet slot. Deterministic: the recovered (or
     // fresh) state plus the shard's own seeded streams reproduce exactly
     // the slots an uncrashed shard would have served.
     while (shard.done.load(std::memory_order_relaxed) < target &&
            !shard.abandoned.load(std::memory_order_relaxed)) {
       run_shard_slot(index, shard);
-      shard.done.fetch_add(1, std::memory_order_relaxed);
+      shard.done.fetch_add(1, std::memory_order_release);
     }
     ok = !shard.abandoned.load(std::memory_order_relaxed);
   } catch (...) {
@@ -419,7 +430,7 @@ void Fleet::quarantine_stuck_shard(std::size_t index) {
   Supervisor& sup = supervisors_[index];
   Shard& stuck = *shards_[index];
   stuck.abandoned.store(true, std::memory_order_relaxed);
-  const std::uint64_t at = stuck.done.load(std::memory_order_relaxed);
+  const std::uint64_t at = stuck.done.load(std::memory_order_acquire);
   stage_event(obs::EventKind::kShardQuarantine, at, index, sup.attempts,
               /*detail=*/1);
   // The stuck driver may still be mid-step inside the old state, so the
@@ -453,8 +464,19 @@ bool Fleet::barrier_satisfied() const {
            sup.eligible_target > target_slots_)) {
         continue;  // backing off: the barrier degrades to the survivors
       }
+      if (sup.health == ShardHealth::kRestarting) {
+        // The replay inside attempt_restart drives done back up to target,
+        // but the rejoin (kServing + restart counters) is published under
+        // mu_ after the replay lands. Gating on health — not the raw done
+        // counter — keeps advance() from returning mid-rejoin with the
+        // shard still counted out of serving.
+        return false;
+      }
     }
-    if (shards_[i]->done.load(std::memory_order_relaxed) < target_slots_) {
+    // Acquire pairs with the drivers' release publications: once every
+    // shard reads done >= target here, the caller may touch the shards'
+    // non-atomic state (aggregate_last_stats, totals, digests) race-free.
+    if (shards_[i]->done.load(std::memory_order_acquire) < target_slots_) {
       return false;
     }
   }
@@ -472,7 +494,7 @@ void Fleet::advance(std::uint64_t slots) {
     done_cv_.wait(lock, [this] { return barrier_satisfied(); });
   } else {
     for (std::size_t i = 0; i < shards_.size(); ++i) {
-      watchdog_progress_[i] = shards_[i]->done.load(std::memory_order_relaxed);
+      watchdog_progress_[i] = shards_[i]->done.load(std::memory_order_acquire);
     }
     const auto period =
         std::chrono::nanoseconds(config_.supervision.watchdog_ns);
@@ -488,7 +510,7 @@ void Fleet::advance(std::uint64_t slots) {
       for (std::size_t i = 0; i < shards_.size(); ++i) {
         if (supervisors_[i].health != ShardHealth::kServing) continue;
         const std::uint64_t done =
-            shards_[i]->done.load(std::memory_order_relaxed);
+            shards_[i]->done.load(std::memory_order_acquire);
         if (done >= target_slots_) continue;
         if (done != watchdog_progress_[i]) {
           watchdog_progress_[i] = done;

@@ -234,11 +234,12 @@ TEST(FleetSupervision, BackoffDefersRestartAcrossBarriers) {
 
 TEST(FleetSupervision, WatchdogQuarantinesAStalledDriver) {
   sim::FleetConfig cfg = supervised_config(2);
-  cfg.supervision.watchdog_ns = 40'000'000;  // 40 ms deadline
-  // Shard 1's driver blocks 400 ms before stepping slot 10 — ten deadlines
-  // with zero slot progress while the barrier waits. Finite (not a true
-  // livelock) so teardown can join the abandoned driver.
-  cfg.shard_faults.push_back(stall_at(1, 10, 400'000'000));
+  // A generous deadline so a healthy shard descheduled on a loaded (or
+  // sanitizer-slowed) runner is never falsely abandoned; the scripted
+  // stall overshoots it 10x. Finite (not a true livelock) so teardown can
+  // join the abandoned driver.
+  cfg.supervision.watchdog_ns = 200'000'000;  // 200 ms deadline
+  cfg.shard_faults.push_back(stall_at(1, 10, 2'000'000'000));
   sim::Fleet fleet(cfg);
   fleet.run(30);
 
