@@ -8,6 +8,7 @@
 // pipeline stage — including metrics recording — shows up in the exported
 // Chrome trace. Open the --telemetry JSON in chrome://tracing or Perfetto;
 // scrape or diff the --metrics file as Prometheus text exposition.
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -15,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics_server.hpp"
 #include "obs/registry.hpp"
 #include "obs/telemetry.hpp"
 #include "sim/checkpoint.hpp"
@@ -138,6 +140,17 @@ int main(int argc, char** argv) {
   cli.add_flag("metrics-per-fiber",
                "emit per-output-fiber grant counters in the Prometheus "
                "snapshot (one series per fiber; off by default)");
+  cli.add_option("serve-metrics", "",
+                 "serve live Prometheus snapshots over HTTP on this port "
+                 "(GET /metrics; 0 picks an ephemeral port, printed at "
+                 "startup); snapshots refresh every --scrape-every slots");
+  cli.add_option("scrape-every", "64",
+                 "slots between published /metrics snapshots "
+                 "(with --serve-metrics)");
+  cli.add_option("blackbox-dir", "",
+                 "fleet mode: write per-shard post-mortem black boxes under "
+                 "DIR/blackbox/shard-<i>-slot-<s>/ on quarantine, failure, "
+                 "or watchdog abandonment");
   cli.add_option("checkpoint-dir", "",
                  "write full/delta checkpoint frames into this directory");
   cli.add_option("checkpoint-every", "0",
@@ -161,6 +174,24 @@ int main(int argc, char** argv) {
     std::cerr << "simulate: unknown --trace-detail '"
               << cli.get("trace-detail") << "' (off|slots|fibers|full)\n";
     return 1;
+  }
+
+  // Live scrape endpoint: snapshots are published between slots (double
+  // buffered in the server), so a concurrent scraper never perturbs
+  // decisions — digests are identical with or without it (test-pinned).
+  obs::MetricsServer server;
+  const bool serve_metrics = !cli.get("serve-metrics").empty();
+  const auto scrape_every = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(cli.get_int("scrape-every")));
+  if (serve_metrics) {
+    const auto port =
+        static_cast<std::uint16_t>(cli.get_int("serve-metrics"));
+    if (!server.start(port)) {
+      std::cerr << "simulate: --serve-metrics failed: " << server.last_error()
+                << "\n";
+      return 1;
+    }
+    std::cout << "serving /metrics on port " << server.port() << "\n";
   }
 
   util::Rng seeder(static_cast<std::uint64_t>(cli.get_int("seed")));
@@ -233,6 +264,7 @@ int main(int argc, char** argv) {
         static_cast<std::uint64_t>(cli.get_int("backoff-slots"));
     fcfg.supervision.watchdog_ns =
         static_cast<std::uint64_t>(cli.get_int("watchdog-ns"));
+    fcfg.blackbox_dir = cli.get("blackbox-dir");
     std::string bad_spec;
     if (!parse_shard_faults(cli.get("crash-shard"),
                             sim::ShardFaultKind::kCrash, fcfg.shard_faults,
@@ -302,21 +334,34 @@ int main(int argc, char** argv) {
                 << recovery.slot << "\n";
     }
 
+    // The scrape endpoint reads only published snapshots, refreshed here
+    // between barriers: a scrape observes the fleet at its last snapshot
+    // slot, never mid-slot, and never takes the fleet lock on the hot path.
+    const auto publish_snapshot = [&] {
+      if (!server.running()) return;
+      obs::Registry registry;
+      sim::register_fleet_metrics(registry, fleet,
+                                  cli.get_flag("metrics-per-fiber"));
+      server.publish(registry);
+    };
+    publish_snapshot();
+
     const std::uint64_t end_slot = warmup + slots;
     if (start_slot < warmup) {
       fleet.run(warmup - start_slot);
       fleet.reset_counters();  // warm-up never pollutes the metrics
+      publish_snapshot();
     }
     const util::Stopwatch clock;
     std::uint64_t done = fleet.current_slot();
     while (done < end_slot) {
-      const std::uint64_t chunk =
-          checkpointing
-              ? std::min<std::uint64_t>(checkpoint_every, end_slot - done)
-              : end_slot - done;
+      std::uint64_t chunk = end_slot - done;
+      if (checkpointing) chunk = std::min(chunk, checkpoint_every);
+      if (server.running()) chunk = std::min(chunk, scrape_every);
       fleet.run(chunk);
       done = fleet.current_slot();
       if (checkpointing) fleet.write_checkpoint();
+      publish_snapshot();
     }
     const double wall_s = clock.elapsed_s();
 
@@ -346,6 +391,16 @@ int main(int argc, char** argv) {
               << " wall_s=" << wall_s << "\n";
     std::cout << "fleet_digest=0x" << std::hex << fleet.fleet_digest()
               << std::dec << "\n";
+    if (!fcfg.blackbox_dir.empty()) {
+      // Drain the writer queue first so wdm_blackbox_dumps_total in the
+      // exports below counts everything this run put on disk. A
+      // watchdog-abandoned driver's dump lands only once its thread is
+      // joined (fleet destruction below), so the count can still miss dumps
+      // that are guaranteed on disk by process exit.
+      fleet.flush_black_boxes();
+      std::cout << "black boxes written: " << fleet.black_box_dumps()
+                << " under " << fcfg.blackbox_dir << "/blackbox\n";
+    }
     if (!cli.get("metrics").empty()) {
       std::ofstream os(cli.get("metrics"));
       if (!os) {
@@ -358,6 +413,10 @@ int main(int argc, char** argv) {
       obs::write_prometheus(os, registry);
       std::cout << "wrote Prometheus snapshot to " << cli.get("metrics")
                 << "\n";
+    }
+    if (server.running()) {
+      std::cout << "metrics scrapes served: " << server.scrapes() << "\n";
+      server.stop();
     }
     return 0;
   }
@@ -427,6 +486,19 @@ int main(int argc, char** argv) {
   std::vector<obs::TraceEvent> drained;
   constexpr std::uint64_t kDrainEverySlots = 512;
 
+  // Same double-buffered publish as fleet mode: the slot loop renders a
+  // snapshot every scrape_every slots; the accept thread serves only
+  // published strings.
+  const auto publish_snapshot = [&] {
+    if (!server.running()) return;
+    obs::Registry registry;
+    sim::register_metrics(registry, metrics,
+                          cli.get_flag("metrics-per-fiber"));
+    obs::register_recorder(registry, recorder);
+    server.publish(registry);
+  };
+  publish_snapshot();
+
   const util::Stopwatch clock;
   for (std::uint64_t slot = start_slot; slot < warmup + slots; ++slot) {
     const auto arrivals = traffic.next_slot(interconnect.input_channel_busy());
@@ -438,6 +510,7 @@ int main(int argc, char** argv) {
       recorder.drain(drained);
       segments->write(drained);
     }
+    if (server.running() && slot % scrape_every == 0) publish_snapshot();
     if (slot < warmup) continue;
     const obs::StageTimer metrics_timer(
         *detail == obs::TraceDetail::kOff ? nullptr : &recorder,
@@ -496,6 +569,11 @@ int main(int argc, char** argv) {
     obs::register_recorder(registry, recorder);
     obs::write_prometheus(os, registry);
     std::cout << "wrote Prometheus snapshot to " << cli.get("metrics") << "\n";
+  }
+  if (server.running()) {
+    publish_snapshot();  // final state, in case a scraper polls at exit
+    std::cout << "metrics scrapes served: " << server.scrapes() << "\n";
+    server.stop();
   }
   return 0;
 }

@@ -1,8 +1,9 @@
 #!/usr/bin/env python3
-"""Validate telemetry-plane artifacts: a Chrome trace and a Prometheus dump.
+"""Validate telemetry-plane artifacts: traces, Prometheus dumps, black boxes.
 
 Usage:
     scripts/check_telemetry.py --trace trace.json --metrics out.prom
+    scripts/check_telemetry.py --blackbox run-dir        # or one dump dir
 
 Checks the Chrome trace_event JSON written by obs::write_chrome_trace
 (structure, monotonically plausible timestamps, the stage names the slot
@@ -10,8 +11,16 @@ pipeline must emit) and the Prometheus text exposition written by
 obs::write_prometheus (HELP/TYPE headers, the full SlotStats counter set,
 histogram bucket monotonicity and _count/_sum consistency).
 
-Exit status 0 on success, 1 on any violation (each one is printed). Both
-flags are optional so the script can check either artifact alone.
+--blackbox validates per-shard post-mortem dumps written by the fleet's
+flight recorder (obs::BlackBoxWriter): pass either a single
+shard-<i>-slot-<s> dump directory or a root that holds them (directly or
+under <root>/blackbox/). Each dump must carry a standalone-valid trace.json
+containing the supervision trigger event, a metrics.prom that passes the
+standard checks, and a blackbox.json manifest whose restart history is
+internally consistent (restarts == successful attempts).
+
+Exit status 0 on success, 1 on any violation (each one is printed). All
+flags are optional so the script can check any artifact alone.
 """
 
 from __future__ import annotations
@@ -28,6 +37,17 @@ KNOWN_PHASES = {"X", "i", "M"}
 # Stage spans Interconnect::step + DistributedScheduler must produce in any
 # full-detail run that schedules at least one slot of traffic.
 REQUIRED_SPAN_NAMES = {"slot", "partition", "fanout"}
+
+# A black box records at kSlots detail: the slot span is guaranteed, the
+# finer fan-out spans are not, and the dump must explain its own trigger.
+BLACKBOX_SPAN_NAMES = {"slot"}
+BLACKBOX_TRIGGERS = {"shard-quarantine", "shard-failed"}
+BLACKBOX_MANIFEST_KEYS = [
+    "schema", "shard", "slot", "reason", "watchdog", "health", "shard_seed",
+    "attempts", "restarts", "restart_budget", "backoff_slots",
+    "eligible_slot", "trace_events", "trace_dropped", "restart_history",
+    "recovery_discard_reasons",
+]
 
 # The SlotStats/MetricsCollector counter set sim::register_metrics exports.
 REQUIRED_METRICS = [
@@ -61,16 +81,21 @@ SAMPLE_RE = re.compile(
 )
 
 
-def check_trace(path: Path, errors: list[str]) -> None:
+def check_trace(path: Path, errors: list[str],
+                required_spans: set[str] = REQUIRED_SPAN_NAMES
+                ) -> set[str] | None:
+    """Validates one Chrome trace; returns every event name seen (or None
+    when the file is unreadable) so callers can assert on instants too."""
     try:
         tree = json.loads(path.read_text())
     except (OSError, json.JSONDecodeError) as err:
         errors.append(f"trace: cannot parse {path}: {err}")
-        return
+        return None
     events = tree.get("traceEvents")
     if not isinstance(events, list) or not events:
         errors.append("trace: traceEvents missing or empty")
-        return
+        return None
+    names = set()
     span_names = set()
     for i, ev in enumerate(events):
         where = f"trace: event {i}"
@@ -83,6 +108,8 @@ def check_trace(path: Path, errors: list[str]) -> None:
             continue
         if not isinstance(ev.get("name"), str) or not ev["name"]:
             errors.append(f"{where}: missing name")
+        else:
+            names.add(ev["name"])
         if ph == "M":
             continue
         for field in ("ts", "pid", "tid"):
@@ -94,10 +121,11 @@ def check_trace(path: Path, errors: list[str]) -> None:
             if not isinstance(ev.get("dur"), (int, float)) or ev["dur"] < 0:
                 errors.append(f"{where}: complete event without valid dur")
             span_names.add(ev["name"])
-    missing = REQUIRED_SPAN_NAMES - span_names
+    missing = required_spans - span_names
     if missing:
         errors.append(f"trace: missing stage spans: {sorted(missing)}")
     print(f"trace: {len(events)} events, span names: {sorted(span_names)}")
+    return names
 
 
 def parse_prometheus(text: str, errors: list[str]):
@@ -199,20 +227,77 @@ def check_metrics(path: Path, errors: list[str]) -> None:
     print(f"metrics: {len(samples)} sample families, {n_hist} histogram(s)")
 
 
+def check_blackbox_dump(dump_dir: Path, errors: list[str]) -> None:
+    tag = f"blackbox {dump_dir.name}"
+    try:
+        manifest = json.loads((dump_dir / "blackbox.json").read_text())
+    except (OSError, json.JSONDecodeError) as err:
+        errors.append(f"{tag}: cannot parse blackbox.json: {err}")
+        return
+    for key in BLACKBOX_MANIFEST_KEYS:
+        if key not in manifest:
+            errors.append(f"{tag}: manifest missing key {key!r}")
+    history = manifest.get("restart_history")
+    if isinstance(history, list):
+        ok_restarts = sum(
+            1 for h in history if isinstance(h, dict) and h.get("ok"))
+        if manifest.get("restarts") != ok_restarts:
+            errors.append(
+                f"{tag}: manifest restarts {manifest.get('restarts')} != "
+                f"{ok_restarts} successful restart_history entries")
+        if manifest.get("attempts") != len(history):
+            errors.append(
+                f"{tag}: manifest attempts {manifest.get('attempts')} != "
+                f"{len(history)} restart_history entries")
+    else:
+        errors.append(f"{tag}: restart_history is not a list")
+    names = check_trace(dump_dir / "trace.json", errors,
+                        required_spans=BLACKBOX_SPAN_NAMES)
+    if names is not None and not names & BLACKBOX_TRIGGERS:
+        errors.append(
+            f"{tag}: trace has no supervision trigger event "
+            f"({'/'.join(sorted(BLACKBOX_TRIGGERS))})")
+    check_metrics(dump_dir / "metrics.prom", errors)
+    print(f"{tag}: reason={manifest.get('reason')!r} "
+          f"watchdog={manifest.get('watchdog')} "
+          f"attempts={manifest.get('attempts')} "
+          f"restarts={manifest.get('restarts')}")
+
+
+def check_blackbox(root: Path, errors: list[str]) -> None:
+    if (root / "blackbox.json").is_file():
+        check_blackbox_dump(root, errors)
+        return
+    dumps = sorted(root.glob("shard-*"))
+    if not dumps:
+        dumps = sorted((root / "blackbox").glob("shard-*"))
+    dumps = [d for d in dumps if d.is_dir()]
+    if not dumps:
+        errors.append(f"blackbox: no shard-* dump directories under {root}")
+        return
+    for dump in dumps:
+        check_blackbox_dump(dump, errors)
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--trace", type=Path, help="Chrome trace JSON path")
     parser.add_argument("--metrics", type=Path,
                         help="Prometheus exposition path")
+    parser.add_argument("--blackbox", type=Path,
+                        help="black-box dump directory (or a root of them)")
     args = parser.parse_args()
-    if args.trace is None and args.metrics is None:
-        parser.error("nothing to check: pass --trace and/or --metrics")
+    if args.trace is None and args.metrics is None and args.blackbox is None:
+        parser.error(
+            "nothing to check: pass --trace, --metrics, and/or --blackbox")
 
     errors: list[str] = []
     if args.trace is not None:
         check_trace(args.trace, errors)
     if args.metrics is not None:
         check_metrics(args.metrics, errors)
+    if args.blackbox is not None:
+        check_blackbox(args.blackbox, errors)
 
     for err in errors:
         print(err, file=sys.stderr)

@@ -1,0 +1,136 @@
+#include "obs/flight_recorder.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <utility>
+
+namespace wdm::obs {
+
+namespace fs = std::filesystem;
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+BlackBoxWriter::BlackBoxWriter(std::string root)
+    : root_(std::move(root)), writer_([this] { writer_main(); }) {}
+
+BlackBoxWriter::~BlackBoxWriter() {
+  {
+    const std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (writer_.joinable()) writer_.join();
+}
+
+void BlackBoxWriter::enqueue(BlackBoxDump dump) {
+  {
+    const std::lock_guard lock(mu_);
+    queue_.push_back(std::move(dump));
+  }
+  enqueued_.fetch_add(1, std::memory_order_relaxed);
+  cv_.notify_all();
+}
+
+void BlackBoxWriter::flush() {
+  std::unique_lock lock(mu_);
+  cv_.wait(lock, [this] { return queue_.empty() && !busy_; });
+}
+
+std::string BlackBoxWriter::last_error() const {
+  const std::lock_guard lock(mu_);
+  return error_;
+}
+
+void BlackBoxWriter::writer_main() {
+  std::unique_lock lock(mu_);
+  for (;;) {
+    cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stop_) return;
+      continue;
+    }
+    BlackBoxDump dump = std::move(queue_.front());
+    queue_.pop_front();
+    busy_ = true;
+    lock.unlock();
+
+    std::string error;
+    const bool ok = write_dump(dump, error);
+
+    lock.lock();
+    busy_ = false;
+    if (ok) {
+      written_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      failed_.fetch_add(1, std::memory_order_relaxed);
+      if (error_.empty()) error_ = error;
+    }
+    cv_.notify_all();  // wake flush() waiters
+  }
+}
+
+bool BlackBoxWriter::write_dump(const BlackBoxDump& dump, std::string& error) {
+  std::error_code ec;
+  fs::path dir = fs::path(root_) / "blackbox" / dump.name;
+  // A repeat incident for the same shard+slot keeps both dumps on disk.
+  for (int suffix = 2; fs::exists(dir, ec) && suffix < 100; ++suffix) {
+    dir = fs::path(root_) / "blackbox" / (dump.name + "-" +
+                                          std::to_string(suffix));
+  }
+  fs::create_directories(dir, ec);
+  if (ec) {
+    error = "mkdir " + dir.string() + ": " + ec.message();
+    return false;
+  }
+
+  {
+    std::ofstream os(dir / "trace.json");
+    write_chrome_trace(os, std::span<const TraceEvent>(dump.events));
+    if (!os) {
+      error = "write " + (dir / "trace.json").string();
+      return false;
+    }
+  }
+  {
+    std::ofstream os(dir / "metrics.prom");
+    write_prometheus(os, dump.metrics);
+    if (!os) {
+      error = "write " + (dir / "metrics.prom").string();
+      return false;
+    }
+  }
+  {
+    std::ofstream os(dir / "blackbox.json");
+    os << dump.manifest_json;
+    if (!os) {
+      error = "write " + (dir / "blackbox.json").string();
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace wdm::obs

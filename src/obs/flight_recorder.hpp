@@ -1,0 +1,130 @@
+// Per-shard flight recorder and post-mortem black-box dumps.
+//
+// A FlightRecorder is the always-on telemetry shard drivers fly with: a
+// bounded TraceRecorder ring (overwrite-oldest, so it always holds the last
+// N events before an incident) plus the per-stage latency histograms that
+// ring feeds. It lives in the fleet Shard shell — NOT in the restartable
+// interconnect — so its history survives shard rebuilds and a post-crash
+// dump still shows the slots leading up to the crash.
+//
+// When supervision gives up on a shard (quarantine, restart-budget
+// exhaustion, watchdog abandonment), the fleet assembles a BlackBoxDump —
+// trace snapshot, rendered metrics, and a JSON manifest explaining the
+// decision — and hands it to a BlackBoxWriter, which persists it under
+// `<root>/blackbox/<name>/` on its own writer thread so the serving drivers
+// never block on disk:
+//
+//   blackbox/shard-3-slot-712/
+//     trace.json      last-N ring events, standalone Chrome trace
+//     metrics.prom    Prometheus text: SlotStats counters, stage histograms,
+//                     health/restart counters at dump time
+//     blackbox.json   manifest: trigger reason, restart attempt history,
+//                     recovery-discard reasons, budgets
+//
+// scripts/check_telemetry.py --blackbox validates all three files.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "obs/registry.hpp"
+#include "obs/telemetry.hpp"
+
+namespace wdm::obs {
+
+/// Flight-recorder knobs carried by fleet configuration.
+struct FlightRecorderConfig {
+  bool enabled = true;  ///< false: shards fly without a recorder (no dumps)
+  TraceDetail detail = TraceDetail::kSlots;
+  std::size_t capacity = 4096;  ///< ring slots; the "last N events" window
+};
+
+/// The always-on per-shard recorder. Thin ownership wrapper today; the type
+/// exists so fleet code names the intent (black-box source) rather than a
+/// bare TraceRecorder, and so capture policy can grow without touching
+/// call sites.
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(const FlightRecorderConfig& config)
+      : recorder_(config.detail, config.capacity) {}
+
+  TraceRecorder& recorder() noexcept { return recorder_; }
+  const TraceRecorder& recorder() const noexcept { return recorder_; }
+
+ private:
+  TraceRecorder recorder_;
+};
+
+/// One assembled post-mortem, ready to persist. Built on the thread that
+/// owns the shard's ring (driver or, for abandoned shards, the winding-down
+/// driver itself) so capture is race-free; writing happens elsewhere.
+struct BlackBoxDump {
+  std::string name;  ///< directory leaf, e.g. "shard-3-slot-712"
+  std::vector<TraceEvent> events;  ///< ring snapshot, oldest first
+  Registry metrics;                ///< counters + histograms at dump time
+  std::string manifest_json;       ///< blackbox.json content
+};
+
+/// Escapes a string for embedding in a JSON string literal (quotes,
+/// backslashes, control characters).
+std::string json_escape(std::string_view text);
+
+/// Asynchronous dump sink: enqueue() moves a BlackBoxDump onto a writer
+/// thread that creates `<root>/blackbox/<name>/` and writes the three
+/// files. Name collisions get a "-2", "-3", ... suffix rather than
+/// overwriting an earlier incident.
+class BlackBoxWriter {
+ public:
+  explicit BlackBoxWriter(std::string root);
+  ~BlackBoxWriter();  // flush()es and joins
+
+  BlackBoxWriter(const BlackBoxWriter&) = delete;
+  BlackBoxWriter& operator=(const BlackBoxWriter&) = delete;
+
+  const std::string& root() const noexcept { return root_; }
+
+  /// Queues a dump for persistence; returns immediately.
+  void enqueue(BlackBoxDump dump);
+  /// Blocks until every dump enqueued so far has been written (or failed).
+  void flush();
+
+  std::uint64_t enqueued() const noexcept {
+    return enqueued_.load(std::memory_order_relaxed);
+  }
+  /// Dumps fully persisted (all three files written without stream error).
+  std::uint64_t written() const noexcept {
+    return written_.load(std::memory_order_relaxed);
+  }
+  /// Dumps dropped on a filesystem error; first failure kept in
+  /// last_error().
+  std::uint64_t failed() const noexcept {
+    return failed_.load(std::memory_order_relaxed);
+  }
+  std::string last_error() const;
+
+ private:
+  void writer_main();
+  bool write_dump(const BlackBoxDump& dump, std::string& error);
+
+  std::string root_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<BlackBoxDump> queue_;
+  bool stop_ = false;
+  bool busy_ = false;  // a dump is being written right now
+  std::string error_;
+  std::atomic<std::uint64_t> enqueued_{0};
+  std::atomic<std::uint64_t> written_{0};
+  std::atomic<std::uint64_t> failed_{0};
+  std::thread writer_;
+};
+
+}  // namespace wdm::obs

@@ -1,0 +1,188 @@
+#include "obs/metrics_server.hpp"
+
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "obs/registry.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define WDM_METRICS_SERVER_POSIX 1
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#endif
+
+namespace wdm::obs {
+
+MetricsServer::MetricsServer()
+    : body_(std::make_shared<const std::string>(
+          "# metrics snapshot not yet published\n")) {}
+
+MetricsServer::~MetricsServer() { stop(); }
+
+void MetricsServer::publish(std::string body) {
+  auto next = std::make_shared<const std::string>(std::move(body));
+  const std::lock_guard lock(body_mu_);
+  body_ = std::move(next);
+}
+
+void MetricsServer::publish(const Registry& registry) {
+  std::ostringstream os;
+  write_prometheus(os, registry);
+  publish(os.str());
+}
+
+#if defined(WDM_METRICS_SERVER_POSIX)
+
+bool MetricsServer::start(std::uint16_t port) {
+  if (running_.load(std::memory_order_acquire)) {
+    error_ = "already running";
+    return false;
+  }
+  stop_.store(false, std::memory_order_relaxed);
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    error_ = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    error_ = std::string("bind: ") + std::strerror(errno);
+    ::close(fd);
+    return false;
+  }
+  if (::listen(fd, 16) != 0) {
+    error_ = std::string("listen: ") + std::strerror(errno);
+    ::close(fd);
+    return false;
+  }
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    error_ = std::string("getsockname: ") + std::strerror(errno);
+    ::close(fd);
+    return false;
+  }
+  port_ = ntohs(addr.sin_port);
+  listen_fd_ = fd;
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { accept_main(); });
+  return true;
+}
+
+void MetricsServer::stop() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  stop_.store(true, std::memory_order_release);
+  // Shutdown wakes the blocked accept(); close reclaims the fd. The accept
+  // loop sees stop_ (or an error from the dead socket) and exits.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listen_fd_ = -1;
+  port_ = 0;
+  running_.store(false, std::memory_order_release);
+}
+
+void MetricsServer::accept_main() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listening socket closed by stop()
+    }
+    serve_connection(fd);
+    ::close(fd);
+  }
+}
+
+void MetricsServer::serve_connection(int fd) {
+  // Bound both the request size and the time we are willing to wait for it:
+  // a scraper that dribbles bytes must not wedge the accept loop.
+  timeval tv{};
+  tv.tv_sec = 2;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+
+  char buf[4096];
+  std::size_t used = 0;
+  while (used < sizeof buf - 1) {
+    const ssize_t n = ::recv(fd, buf + used, sizeof buf - 1 - used, 0);
+    if (n <= 0) return;  // timeout, reset, or EOF before a full request
+    used += static_cast<std::size_t>(n);
+    buf[used] = '\0';
+    if (std::strstr(buf, "\r\n\r\n") != nullptr ||
+        std::strstr(buf, "\n\n") != nullptr) {
+      break;
+    }
+  }
+
+  // First request line only; headers are irrelevant to a scrape.
+  const std::string request(buf, used);
+  const std::size_t eol = request.find_first_of("\r\n");
+  const std::string line =
+      eol == std::string::npos ? request : request.substr(0, eol);
+
+  std::string status = "404 Not Found";
+  std::string content_type = "text/plain; charset=utf-8";
+  std::shared_ptr<const std::string> payload;
+  std::string small_body;
+  if (line.rfind("GET /metrics", 0) == 0) {
+    status = "200 OK";
+    content_type = "text/plain; version=0.0.4; charset=utf-8";
+    {
+      const std::lock_guard lock(body_mu_);
+      payload = body_;
+    }
+    scrapes_.fetch_add(1, std::memory_order_relaxed);
+  } else if (line.rfind("GET /healthz", 0) == 0) {
+    status = "200 OK";
+    small_body = "ok\n";
+  } else {
+    small_body = "only GET /metrics is served here\n";
+  }
+  const std::string& body = payload != nullptr ? *payload : small_body;
+
+  const std::string head = "HTTP/1.1 " + status +
+                           "\r\nContent-Type: " + content_type +
+                           "\r\nContent-Length: " + std::to_string(body.size()) +
+                           "\r\nConnection: close\r\n\r\n";
+  for (const std::string* part : {&head, &body}) {
+    std::size_t sent = 0;
+    while (sent < part->size()) {
+      const ssize_t n =
+          ::send(fd, part->data() + sent, part->size() - sent, MSG_NOSIGNAL);
+      if (n <= 0) return;
+      sent += static_cast<std::size_t>(n);
+    }
+  }
+}
+
+#else  // portable no-op fallback, mirroring util::cpu_affinity
+
+bool MetricsServer::start(std::uint16_t port) {
+  (void)port;
+  error_ = "metrics server not supported on this platform";
+  return false;
+}
+
+void MetricsServer::stop() {}
+
+void MetricsServer::accept_main() {}
+
+void MetricsServer::serve_connection(int fd) { (void)fd; }
+
+#endif
+
+}  // namespace wdm::obs

@@ -1,0 +1,86 @@
+// Embedded Prometheus scrape endpoint: a minimal HTTP/1.1 server that
+// answers `GET /metrics` with the most recently published Registry
+// snapshot, so a running simulation can be observed live instead of only
+// through end-of-run files.
+//
+// The design keeps the serving path completely off the slot loop:
+//
+//   - The slot loop (or any producer) renders a Registry to text every K
+//     slots and hands the string to publish(). publish() builds the new
+//     payload off to the side and swaps one shared_ptr under a tiny mutex —
+//     double buffering, not in-place mutation — so a scrape that raced the
+//     swap keeps reading the old snapshot to completion.
+//   - One accept thread owns the listening socket and serves connections
+//     serially (a scrape is a few hundred bytes; there is nothing to
+//     pipeline). It never touches simulation state, only published strings,
+//     so a concurrent scraper cannot perturb decisions: fleet_digest
+//     equality with and without a live scraper is test-pinned.
+//
+// Portability mirrors util::cpu_affinity: on POSIX platforms start() binds
+// and serves; elsewhere it is a no-op that returns false and the caller
+// surfaces that (examples/simulate warns and runs without the endpoint).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace wdm::obs {
+
+class Registry;
+
+class MetricsServer {
+ public:
+  MetricsServer();
+  ~MetricsServer();  // stop()s; never throws
+
+  MetricsServer(const MetricsServer&) = delete;
+  MetricsServer& operator=(const MetricsServer&) = delete;
+
+  /// Binds 0.0.0.0:`port` (0 picks an ephemeral port — tests use this) and
+  /// starts the accept thread. Returns false on the portable no-op fallback
+  /// or on any socket failure; last_error() then says why. Call at most
+  /// once per start/stop cycle.
+  bool start(std::uint16_t port);
+  /// Closes the listening socket and joins the accept thread. Idempotent.
+  void stop();
+  bool running() const noexcept { return running_.load(std::memory_order_acquire); }
+
+  /// The actually bound port (resolves port 0); 0 when not running.
+  std::uint16_t port() const noexcept { return port_; }
+  /// Human-readable reason for the last start() failure.
+  const std::string& last_error() const noexcept { return error_; }
+
+  /// Swaps in a new /metrics payload (Prometheus text exposition). Cheap
+  /// for the producer: one string move and one pointer swap; in-flight
+  /// scrapes finish against the previous snapshot.
+  void publish(std::string body);
+  /// Convenience: renders `registry` via write_prometheus and publishes it.
+  void publish(const Registry& registry);
+
+  /// GET /metrics requests answered so far (other paths get 404 and are
+  /// not counted).
+  std::uint64_t scrapes() const noexcept {
+    return scrapes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void accept_main();
+  void serve_connection(int fd);
+
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::string error_;
+  std::thread accept_thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> scrapes_{0};
+
+  mutable std::mutex body_mu_;
+  std::shared_ptr<const std::string> body_;  // current published snapshot
+};
+
+}  // namespace wdm::obs

@@ -6,6 +6,41 @@
 
 namespace wdm::obs {
 
+std::string escape_label_value(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string escape_help(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string label(std::string_view name, std::string_view value) {
+  std::string out(name);
+  out += "=\"";
+  out += escape_label_value(value);
+  out += '"';
+  return out;
+}
+
 Registry& Registry::counter(std::string name, std::string help,
                             std::uint64_t value, std::string labels) {
   Entry e;
@@ -70,7 +105,7 @@ void write_prometheus(std::ostream& os, const Registry& registry) {
   std::unordered_set<std::string> announced;
   for (const auto& e : registry.entries_) {
     if (announced.insert(e.name).second) {
-      os << "# HELP " << e.name << ' ' << e.help << '\n';
+      os << "# HELP " << e.name << ' ' << escape_help(e.help) << '\n';
       os << "# TYPE " << e.name << ' ';
       switch (e.type) {
         case Registry::Type::kCounter: os << "counter"; break;

@@ -15,11 +15,25 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "obs/histogram.hpp"
 
 namespace wdm::obs {
+
+/// Escapes a label *value* for the text exposition format: backslash,
+/// double quote, and newline become `\\`, `\"`, and `\n`. Returns the bare
+/// escaped value (no quotes) — compose with label() for a full pair.
+std::string escape_label_value(std::string_view value);
+
+/// Escapes HELP text: backslash and newline become `\\` and `\n` (quotes
+/// are legal in HELP and stay as-is).
+std::string escape_help(std::string_view text);
+
+/// Builds one `name="value"` label pair with the value escaped. The
+/// sanctioned way to splice runtime strings into a Registry labels field.
+std::string label(std::string_view name, std::string_view value);
 
 class Registry {
  public:

@@ -215,7 +215,10 @@ void emit_event(std::ostream& os, bool& first, const TraceEvent& e,
 void write_chrome_trace(std::ostream& os, const TraceRecorder& recorder) {
   std::vector<TraceEvent> events;
   recorder.snapshot(events);
+  write_chrome_trace(os, std::span<const TraceEvent>(events));
+}
 
+void write_chrome_trace(std::ostream& os, std::span<const TraceEvent> events) {
   std::uint64_t t0 = ~0ULL;
   std::set<std::uint16_t> tids;
   for (const auto& e : events) {

@@ -230,6 +230,10 @@ class StageTimer {
 /// earliest event). Loads directly in chrome://tracing and ui.perfetto.dev.
 void write_chrome_trace(std::ostream& os, const TraceRecorder& recorder);
 
+/// Same trace JSON from a raw event batch (e.g. a flight-recorder snapshot
+/// captured at quarantine time); the recorder overload delegates here.
+void write_chrome_trace(std::ostream& os, std::span<const TraceEvent> events);
+
 /// Streaming, segment-rotated Chrome-trace export for long soaks: feed it
 /// event batches (typically TraceRecorder::drain every few hundred slots)
 /// and it writes them through to disk, starting a new file whenever the

@@ -4,8 +4,10 @@
 #include <chrono>
 #include <exception>
 #include <span>
+#include <sstream>
 
 #include "sim/checkpoint.hpp"
+#include "sim/obs_export.hpp"
 #include "util/check.hpp"
 #include "util/cpu_affinity.hpp"
 #include "util/rng.hpp"
@@ -48,6 +50,21 @@ struct Fleet::Shard {
   std::unique_ptr<MetricsCollector> metrics;
   std::unique_ptr<util::ThreadPool> pool;  // null when the group is just the driver
   std::unique_ptr<CheckpointStore> store;  // null until open_checkpoints
+  /// Always-on trace ring + stage histograms, created once per shard index
+  /// and deliberately NOT reset by restarts — a post-crash black box must
+  /// show the slots leading up to the crash, not an empty ring.
+  std::unique_ptr<obs::FlightRecorder> flight;
+  /// Post-mortem handoff for watchdog abandonment: the watchdog may not
+  /// touch this shard's ring (its stuck driver may still be writing it), so
+  /// it snapshots the supervisor here under mu_ and the ring's owner — the
+  /// winding-down driver itself — assembles the dump at join time.
+  struct PendingDump {
+    const char* reason = "watchdog-stall";
+    std::uint64_t slot = 0;
+    bool failed = false;  ///< budget exhausted at abandonment
+    Supervisor sup;       ///< supervisor snapshot at abandonment
+  };
+  std::unique_ptr<PendingDump> pending_dump;  // guarded by mu_
   // Reusable per-slot scratch — the zero-allocation warm path.
   std::vector<std::uint8_t> busy;
   std::vector<core::SlotRequest> arrivals;
@@ -102,6 +119,10 @@ Fleet::Fleet(FleetConfig config) : config_(std::move(config)) {
 
   supervisors_.resize(config_.shards);
   watchdog_progress_.assign(config_.shards, 0);
+
+  if (!config_.blackbox_dir.empty()) {
+    blackbox_ = std::make_unique<obs::BlackBoxWriter>(config_.blackbox_dir);
+  }
 
   // The oversubscription clamp (one pool per shard must not multiply into
   // more workers than the machine has): group size includes the driver.
@@ -182,6 +203,15 @@ void Fleet::build_shard_state(std::size_t index, Shard& shard) {
   // worst-case arena memory up front rather than absorbing rare per-port
   // high-water reallocations mid-serve.
   shard.interconnect->reserve_worst_case_scratch();
+  // The flight recorder outlives restarts (the ring keeps pre-crash
+  // history); a rebuilt interconnect just re-attaches to it. Observer only:
+  // digests are identical with it on or off.
+  if (config_.flight.enabled && shard.flight == nullptr) {
+    shard.flight = std::make_unique<obs::FlightRecorder>(config_.flight);
+  }
+  if (shard.flight != nullptr) {
+    shard.interconnect->set_telemetry(&shard.flight->recorder());
+  }
   shard.traffic = std::make_unique<TrafficGenerator>(
       icfg.n_fibers, icfg.scheme.k(), config_.traffic, traffic_seed);
   shard.metrics =
@@ -282,8 +312,18 @@ void Fleet::driver_main(std::size_t index, bool replacement) {
     }
     done_cv_.notify_all();
   }
-  // Tear down on the owning thread (symmetric with construction).
+  // A watchdog-abandoned driver assembles the post-mortem the watchdog
+  // could not take for it (see Shard::PendingDump) before tearing down on
+  // the owning thread (symmetric with construction). The capture runs here,
+  // off the serving path — the replacement driver owns the index already —
+  // and the writer thread does the disk IO.
+  std::unique_ptr<Shard::PendingDump> dump = std::move(self->pending_dump);
   lock.unlock();
+  if (dump != nullptr && blackbox_ != nullptr && self->flight != nullptr) {
+    blackbox_->enqueue(make_black_box(index, *self, dump->reason,
+                                      /*watchdog=*/true, dump->slot,
+                                      dump->failed, dump->sup));
+  }
   self->pool.reset();
 }
 
@@ -327,6 +367,11 @@ void Fleet::handle_shard_error(std::size_t index, Shard& shard,
   const std::lock_guard lock(mu_);
   if (!config_.supervision.enabled) {
     shard.error = error;
+    // Unsupervised crashes still leave forensics: advance() will rethrow,
+    // and the black box explains what the shard was doing when it died.
+    enqueue_black_box(index, shard, "crash-unsupervised", /*watchdog=*/false,
+                      shard.done.load(std::memory_order_relaxed),
+                      /*failed=*/false);
     return;
   }
   if (shard.abandoned.load(std::memory_order_relaxed)) {
@@ -344,12 +389,16 @@ void Fleet::handle_shard_error(std::size_t index, Shard& shard,
   if (sup.attempts >= config_.supervision.restart_budget) {
     sup.health = ShardHealth::kFailed;
     stage_event(obs::EventKind::kShardFailed, at, index, sup.attempts, 0);
+    enqueue_black_box(index, shard, "crash-budget-exhausted",
+                      /*watchdog=*/false, at, /*failed=*/true);
   } else {
     sup.health = ShardHealth::kQuarantined;
     const std::uint32_t doublings =
         std::min(sup.attempts, kMaxBackoffDoublings);
     sup.eligible_target =
         at + (config_.supervision.backoff_slots << doublings);
+    enqueue_black_box(index, shard, "crash", /*watchdog=*/false, at,
+                      /*failed=*/false);
   }
 }
 
@@ -366,6 +415,7 @@ void Fleet::attempt_restart(std::unique_lock<std::mutex>& lock,
   bool ok = false;
   std::uint64_t recovered_slot = 0;
   std::uint64_t discards = 0;
+  std::vector<std::string> discard_reasons;
   try {
     // Fresh state on this thread: the crashed interconnect may be torn
     // mid-step and the pool may hold poisoned workers — rebuild both. The
@@ -382,6 +432,7 @@ void Fleet::attempt_restart(std::unique_lock<std::mutex>& lock,
       RecoveryReport report = recover_latest(policy.dir, *shard.interconnect,
                                              shard.traffic.get());
       discards = report.discarded.size();
+      discard_reasons = std::move(report.reasons);
       if (report.recovered) recovered_slot = report.slot;
       // A fresh store never adopts an on-disk chain as a delta base: the
       // first frame after a restart is a full, so the shard's chain re-links
@@ -409,6 +460,20 @@ void Fleet::attempt_restart(std::unique_lock<std::mutex>& lock,
   lock.lock();
   recovery_discards_ += discards;
   const std::uint64_t at = shard.done.load(std::memory_order_relaxed);
+  // The attempt is history the moment it resolves — the shard's black box
+  // manifest replays this list to explain how supervision got here.
+  RestartRecord record;
+  record.attempt = sup.attempts;
+  record.began_at_slot = target;
+  record.ok = ok;
+  record.recovered_slot = recovered_slot;
+  record.discards = discards;
+  sup.history.push_back(record);
+  constexpr std::size_t kMaxDiscardReasons = 16;
+  for (std::string& reason : discard_reasons) {
+    if (sup.discard_reasons.size() >= kMaxDiscardReasons) break;
+    sup.discard_reasons.push_back(std::move(reason));
+  }
   if (ok) {
     sup.health = ShardHealth::kServing;
     ++sup.restarts;
@@ -416,6 +481,8 @@ void Fleet::attempt_restart(std::unique_lock<std::mutex>& lock,
   } else if (sup.attempts >= config_.supervision.restart_budget) {
     sup.health = ShardHealth::kFailed;
     stage_event(obs::EventKind::kShardFailed, at, index, sup.attempts, 0);
+    enqueue_black_box(index, shard, "restart-budget-exhausted",
+                      /*watchdog=*/false, at, /*failed=*/true);
   } else {
     sup.health = ShardHealth::kQuarantined;
     stage_event(obs::EventKind::kShardQuarantine, at, index, sup.attempts, 0);
@@ -423,6 +490,8 @@ void Fleet::attempt_restart(std::unique_lock<std::mutex>& lock,
         std::min(sup.attempts, kMaxBackoffDoublings);
     sup.eligible_target =
         at + (config_.supervision.backoff_slots << doublings);
+    enqueue_black_box(index, shard, "restart-failed", /*watchdog=*/false, at,
+                      /*failed=*/false);
   }
 }
 
@@ -440,18 +509,36 @@ void Fleet::quarantine_stuck_shard(std::size_t index) {
   auto shell = std::make_unique<Shard>();
   shell->metrics = std::make_unique<MetricsCollector>(
       config_.interconnect.n_fibers, config_.interconnect.scheme.k());
+  if (config_.flight.enabled) {
+    shell->flight = std::make_unique<obs::FlightRecorder>(config_.flight);
+  }
   retired_.push_back(std::move(shards_[index]));
   shards_[index] = std::move(shell);
+  bool failed = false;
   if (sup.attempts >= config_.supervision.restart_budget) {
     sup.health = ShardHealth::kFailed;
     stage_event(obs::EventKind::kShardFailed, at, index, sup.attempts, 1);
-    return;
+    failed = true;
+  } else {
+    sup.health = ShardHealth::kQuarantined;
+    const std::uint32_t doublings =
+        std::min(sup.attempts, kMaxBackoffDoublings);
+    sup.eligible_target =
+        at + (config_.supervision.backoff_slots << doublings);
+    drivers_.emplace_back(
+        [this, index] { driver_main(index, /*replacement=*/true); });
   }
-  sup.health = ShardHealth::kQuarantined;
-  const std::uint32_t doublings = std::min(sup.attempts, kMaxBackoffDoublings);
-  sup.eligible_target = at + (config_.supervision.backoff_slots << doublings);
-  drivers_.emplace_back(
-      [this, index] { driver_main(index, /*replacement=*/true); });
+  // This thread must not snapshot the retired ring (the stuck driver may
+  // wake mid-step and still be writing it); leave the supervisor snapshot
+  // for the ring's owner to assemble the dump when it winds down.
+  if (blackbox_ != nullptr) {
+    Shard& old = *retired_.back();
+    auto dump = std::make_unique<Shard::PendingDump>();
+    dump->slot = at;
+    dump->failed = failed;
+    dump->sup = sup;
+    old.pending_dump = std::move(dump);
+  }
 }
 
 bool Fleet::barrier_satisfied() const {
@@ -677,6 +764,106 @@ void Fleet::stage_event(obs::EventKind kind, std::uint64_t slot,
   event.kind = kind;
   event.detail = detail;
   pending_obs_.push_back(event);
+}
+
+obs::BlackBoxDump Fleet::make_black_box(std::size_t index, Shard& shard,
+                                        const char* reason, bool watchdog,
+                                        std::uint64_t at, bool failed,
+                                        const Supervisor& sup) const {
+  obs::BlackBoxDump dump;
+  dump.name = "shard-" + std::to_string(index) + "-slot-" + std::to_string(at);
+
+  const obs::TraceRecorder& recorder = shard.flight->recorder();
+  recorder.snapshot(dump.events);
+  // Append the supervision trigger so the trace explains itself: the last
+  // record in the black box is always the decision that caused the dump.
+  obs::TraceEvent trigger;
+  trigger.ts_ns = util::now_ns();
+  trigger.slot = at;
+  trigger.a = index;
+  trigger.b = sup.attempts;
+  trigger.fiber = -1;
+  trigger.kind = failed ? obs::EventKind::kShardFailed
+                        : obs::EventKind::kShardQuarantine;
+  trigger.detail = watchdog ? 1 : 0;
+  dump.events.push_back(trigger);
+
+  // metrics.prom: the standard counter set (so scripts/check_telemetry.py
+  // validates it unchanged), the stage latency histograms, and the
+  // supervision counters at dump time.
+  const std::string shard_label = obs::label("shard", std::to_string(index));
+  if (shard.metrics != nullptr) {
+    register_metrics(dump.metrics, *shard.metrics);
+  }
+  obs::register_recorder(dump.metrics, recorder);
+  dump.metrics.gauge("wdm_shard_health",
+                     "Shard supervision state (0=serving 1=quarantined "
+                     "2=restarting 3=failed)",
+                     static_cast<double>(static_cast<std::uint8_t>(sup.health)),
+                     shard_label);
+  dump.metrics.counter("wdm_shard_restarts",
+                       "Successful restarts of this shard", sup.restarts,
+                       shard_label);
+  dump.metrics.counter("wdm_shard_restart_attempts",
+                       "Restart attempts consumed by this shard", sup.attempts,
+                       shard_label);
+
+  std::ostringstream os;
+  os << "{\n"
+     << "  \"schema\": \"wdm-blackbox-v1\",\n"
+     << "  \"shard\": " << index << ",\n"
+     << "  \"slot\": " << at << ",\n"
+     << "  \"reason\": \"" << obs::json_escape(reason) << "\",\n"
+     << "  \"watchdog\": " << (watchdog ? "true" : "false") << ",\n"
+     << "  \"health\": \"" << to_string(sup.health) << "\",\n"
+     << "  \"shard_seed\": " << seeds_[index] << ",\n"
+     << "  \"attempts\": " << sup.attempts << ",\n"
+     << "  \"restarts\": " << sup.restarts << ",\n"
+     << "  \"restart_budget\": " << config_.supervision.restart_budget << ",\n"
+     << "  \"backoff_slots\": " << config_.supervision.backoff_slots << ",\n"
+     << "  \"eligible_slot\": " << sup.eligible_target << ",\n"
+     << "  \"trace_events\": " << recorder.recorded() << ",\n"
+     << "  \"trace_dropped\": " << recorder.dropped() << ",\n"
+     << "  \"restart_history\": [";
+  for (std::size_t r = 0; r < sup.history.size(); ++r) {
+    const RestartRecord& rec = sup.history[r];
+    os << (r == 0 ? "\n" : ",\n")
+       << "    {\"attempt\": " << rec.attempt
+       << ", \"began_at_slot\": " << rec.began_at_slot
+       << ", \"ok\": " << (rec.ok ? "true" : "false")
+       << ", \"recovered_slot\": " << rec.recovered_slot
+       << ", \"discards\": " << rec.discards << "}";
+  }
+  os << (sup.history.empty() ? "],\n" : "\n  ],\n")
+     << "  \"recovery_discard_reasons\": [";
+  for (std::size_t r = 0; r < sup.discard_reasons.size(); ++r) {
+    os << (r == 0 ? "\n" : ",\n") << "    \""
+       << obs::json_escape(sup.discard_reasons[r]) << '"';
+  }
+  os << (sup.discard_reasons.empty() ? "]\n" : "\n  ]\n") << "}\n";
+  dump.manifest_json = os.str();
+  return dump;
+}
+
+void Fleet::enqueue_black_box(std::size_t index, Shard& shard,
+                              const char* reason, bool watchdog,
+                              std::uint64_t at, bool failed) {
+  if (blackbox_ == nullptr || shard.flight == nullptr) return;
+  blackbox_->enqueue(make_black_box(index, shard, reason, watchdog, at,
+                                    failed, supervisors_[index]));
+}
+
+const obs::FlightRecorder* Fleet::shard_flight(std::size_t shard) const {
+  WDM_CHECK_MSG(shard < shards_.size(), "shard index out of range");
+  return shards_[shard]->flight.get();
+}
+
+std::uint64_t Fleet::black_box_dumps() const {
+  return blackbox_ != nullptr ? blackbox_->written() : 0;
+}
+
+void Fleet::flush_black_boxes() {
+  if (blackbox_ != nullptr) blackbox_->flush();
 }
 
 std::string Fleet::shard_checkpoint_dir(std::size_t index) const {

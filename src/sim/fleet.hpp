@@ -57,6 +57,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/telemetry.hpp"
 #include "sim/checkpoint_store.hpp"
 #include "sim/interconnect.hpp"
@@ -148,6 +149,18 @@ struct FleetConfig {
   /// Independent of supervision: an unsupervised fleet treats an injected
   /// crash like any other shard error (parked, rethrown at the barrier).
   std::vector<ShardFaultEvent> shard_faults;
+  /// Always-on per-shard flight recorder (src/obs/flight_recorder.hpp): a
+  /// bounded trace ring + stage histograms each driver flies with, the
+  /// source of post-mortem black boxes. Ring and histograms are
+  /// preallocated, so the warm step path stays zero-allocation with it on;
+  /// it is an observer only — digests are identical with it off.
+  obs::FlightRecorderConfig flight;
+  /// Root directory for black-box dumps: on quarantine, restart-budget
+  /// exhaustion, or watchdog abandonment the shard's post-mortem lands in
+  /// <blackbox_dir>/blackbox/shard-<i>-slot-<s>/ (trace.json, metrics.prom,
+  /// blackbox.json), written off the serving drivers by a dedicated writer
+  /// thread. Empty disables dumping (the flight recorder still records).
+  std::string blackbox_dir;
 };
 
 /// Per-shard recovery outcomes of Fleet::resume_from.
@@ -237,6 +250,19 @@ class Fleet {
   /// resume_from and every supervised restart recovery so far.
   std::uint64_t recovery_discards() const;
 
+  /// Shard i's flight recorder — null when FleetConfig::flight.enabled is
+  /// false, or briefly while a watchdog-abandoned shard's replacement is
+  /// still rebuilding. Driver-owned: read it only between barriers (the
+  /// acquire/release pairing on the slot barrier makes that race-free).
+  const obs::FlightRecorder* shard_flight(std::size_t shard) const;
+  /// Black-box dumps fully persisted so far (0 without a blackbox_dir).
+  std::uint64_t black_box_dumps() const;
+  /// Blocks until every dump enqueued so far reached disk. A
+  /// watchdog-abandoned driver still winding down enqueues its dump only
+  /// when its thread is joined (fleet destruction) — that dump is
+  /// guaranteed on disk at destructor return, not by an earlier flush.
+  void flush_black_boxes();
+
   /// Attaches (or detaches) a trace recorder for supervision events
   /// (kShardQuarantine / kShardRestart / kShardRejoin / kShardFailed).
   /// Events are staged by the drivers and drained into the recorder on the
@@ -264,12 +290,24 @@ class Fleet {
  private:
   struct Shard;
 
+  /// One restart attempt's outcome, kept for the shard's black box: the
+  /// manifest's restart_history explains how the shard got where it is.
+  struct RestartRecord {
+    std::uint32_t attempt = 0;         ///< 1-based attempt number
+    std::uint64_t began_at_slot = 0;   ///< fleet target when it began
+    bool ok = false;                   ///< rejoined the barrier
+    std::uint64_t recovered_slot = 0;  ///< checkpoint slot recovered from
+    std::uint64_t discards = 0;        ///< frames discarded during recovery
+  };
+
   /// Per-shard supervision record, guarded by mu_.
   struct Supervisor {
     ShardHealth health = ShardHealth::kServing;
     std::uint32_t attempts = 0;        ///< restart attempts consumed
     std::uint64_t restarts = 0;        ///< successful rejoins
     std::uint64_t eligible_target = 0; ///< restart once target_slots_ >= this
+    std::vector<RestartRecord> history;        ///< every attempt, in order
+    std::vector<std::string> discard_reasons;  ///< recovery rejects (bounded)
   };
 
   void driver_main(std::size_t index, bool replacement);
@@ -301,6 +339,18 @@ class Fleet {
   /// mu_.
   void stage_event(obs::EventKind kind, std::uint64_t slot, std::size_t shard,
                    std::uint64_t b, std::uint8_t detail);
+  /// Assembles shard `index`'s post-mortem from a supervisor snapshot: ring
+  /// snapshot + trigger event, rendered metrics, JSON manifest. Must run on
+  /// the thread that owns the shard's trace ring; needs no lock beyond the
+  /// snapshot the caller took.
+  obs::BlackBoxDump make_black_box(std::size_t index, Shard& shard,
+                                   const char* reason, bool watchdog,
+                                   std::uint64_t at, bool failed,
+                                   const Supervisor& sup) const;
+  /// make_black_box + enqueue on the writer (no-op without a blackbox_dir
+  /// or flight recorder). Requires mu_ (reads supervisors_[index]).
+  void enqueue_black_box(std::size_t index, Shard& shard, const char* reason,
+                         bool watchdog, std::uint64_t at, bool failed);
   /// Releases the drivers to advance `slots` more slots and blocks until
   /// the barrier is satisfied (running the watchdog while it waits);
   /// unsupervised, rethrows the first shard error.
@@ -343,6 +393,10 @@ class Fleet {
   std::optional<CheckpointPolicy> checkpoint_policy_;
   obs::TraceRecorder* telemetry_ = nullptr;
   std::vector<obs::TraceEvent> pending_obs_;
+  /// Black-box sink (null without a blackbox_dir). Set once in the
+  /// constructor, before any driver spawns; destroyed after ~Fleet joins
+  /// every driver, so a winding-down abandoned driver can still enqueue.
+  std::unique_ptr<obs::BlackBoxWriter> blackbox_;
 };
 
 }  // namespace wdm::sim

@@ -1,6 +1,11 @@
 #include "sim/obs_export.hpp"
 
 #include <string>
+#include <vector>
+
+#include "obs/flight_recorder.hpp"
+#include "obs/histogram.hpp"
+#include "obs/telemetry.hpp"
 
 namespace wdm::sim {
 
@@ -107,6 +112,44 @@ void register_fleet_metrics(obs::Registry& registry, const Fleet& fleet,
                    "Checkpoint frames discarded during recovery "
                    "(torn/corrupt/unchained)",
                    fleet.recovery_discards());
+  registry.counter("wdm_blackbox_dumps_total",
+                   "Shard black-box dumps persisted to disk",
+                   fleet.black_box_dumps());
+  // Fleet mode flies per-shard recorders, so the single-fabric stage
+  // latency series (wdm_stage_duration_ns{stage=...}) is recovered by
+  // merging the shard histograms — Histogram::merge is exact, the buckets
+  // are shared. Ring counters are summed the same way.
+  bool any_flight = false;
+  std::uint64_t trace_events = 0;
+  std::uint64_t trace_dropped = 0;
+  std::vector<obs::Histogram> stages(
+      static_cast<std::size_t>(obs::Stage::kCount));
+  for (std::size_t shard = 0; shard < fleet.shards(); ++shard) {
+    const obs::FlightRecorder* flight = fleet.shard_flight(shard);
+    if (flight == nullptr) continue;
+    any_flight = true;
+    trace_events += flight->recorder().recorded();
+    trace_dropped += flight->recorder().dropped();
+    for (std::size_t s = 0; s < stages.size(); ++s) {
+      stages[s].merge(
+          flight->recorder().stage_histogram(static_cast<obs::Stage>(s)));
+    }
+  }
+  if (any_flight) {
+    registry.counter("wdm_trace_events_total",
+                     "Trace events recorded (including overwritten)",
+                     trace_events);
+    registry.counter("wdm_trace_events_dropped_total",
+                     "Trace events lost to ring wrap-around", trace_dropped);
+    for (std::size_t s = 0; s < stages.size(); ++s) {
+      if (stages[s].count() == 0) continue;
+      registry.histogram(
+          "wdm_stage_duration_ns", "Pipeline stage wall-clock duration",
+          stages[s],
+          std::string("stage=\"") +
+              obs::to_string(static_cast<obs::Stage>(s)) + "\"");
+    }
+  }
   for (std::size_t shard = 0; shard < fleet.shards(); ++shard) {
     const MetricsCollector& m = fleet.shard_metrics(shard);
     const std::string label = "shard=\"" + std::to_string(shard) + "\"";

@@ -1,0 +1,275 @@
+// obs::MetricsServer + fleet black boxes — the live observability plane.
+//
+// The contracts under test:
+//  * scrape correctness — GET /metrics returns exactly the last published
+//    snapshot (text exposition), /healthz answers, anything else is 404;
+//  * publish(Registry) renders through write_prometheus, so a scraper sees
+//    the same bytes a --metrics file dump would contain;
+//  * observer purity (the acceptance criterion) — a fleet run that is
+//    scraped concurrently while it publishes snapshots every few slots
+//    lands on a fleet_digest bit-identical to an unscraped run; the flight
+//    recorder is equally invisible to the digest;
+//  * black boxes — a supervised fleet that crashes twice leaves one dump
+//    per quarantine whose manifest restart history matches the fleet's own
+//    restart counters.
+//
+// The HTTP client below is intentionally primitive (blocking connect +
+// recv-until-EOF); the server closes the connection after each response.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics_server.hpp"
+#include "obs/registry.hpp"
+#include "sim/fleet.hpp"
+#include "sim/obs_export.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#define WDM_HAVE_SOCKETS 1
+#endif
+
+namespace wdm {
+namespace {
+
+namespace fs = std::filesystem;
+
+#if defined(WDM_HAVE_SOCKETS)
+/// One blocking HTTP/1.0-style exchange against 127.0.0.1:port. Returns the
+/// full response (status line + headers + body), empty on any socket error.
+std::string http_get(std::uint16_t port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string request =
+      "GET " + path + " HTTP/1.1\r\nHost: localhost\r\n\r\n";
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n =
+        ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) {
+      ::close(fd);
+      return "";
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  ssize_t n = 0;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+#else
+std::string http_get(std::uint16_t, const std::string&) { return ""; }
+#endif
+
+std::string body_of(const std::string& response) {
+  const auto pos = response.find("\r\n\r\n");
+  return pos == std::string::npos ? std::string() : response.substr(pos + 4);
+}
+
+sim::FleetConfig fleet_config(std::size_t shards) {
+  sim::FleetConfig cfg;
+  cfg.shards = shards;
+  cfg.seed = 23;
+  cfg.interconnect.n_fibers = 8;
+  cfg.interconnect.scheme = core::ConversionScheme::circular(4, 1, 1);
+  cfg.traffic.load = 0.7;
+  cfg.traffic.holding = sim::HoldingTime::kGeometric;
+  cfg.traffic.mean_holding = 2.0;
+  return cfg;
+}
+
+sim::ShardFaultEvent crash_at(std::size_t shard, std::uint64_t slot) {
+  sim::ShardFaultEvent event;
+  event.shard = shard;
+  event.slot = slot;
+  event.kind = sim::ShardFaultKind::kCrash;
+  return event;
+}
+
+fs::path fresh_dir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+TEST(MetricsServer, ServesTheLastPublishedSnapshot) {
+  obs::MetricsServer server;
+  if (!server.start(0)) {
+    GTEST_SKIP() << "metrics server unavailable: " << server.last_error();
+  }
+  ASSERT_TRUE(server.running());
+  ASSERT_NE(server.port(), 0);
+
+  server.publish("wdm_test_metric 1\n");
+  std::string response = http_get(server.port(), "/metrics");
+  ASSERT_FALSE(response.empty()) << "scrape failed";
+  EXPECT_NE(response.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_NE(response.find("text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_EQ(body_of(response), "wdm_test_metric 1\n");
+
+  // A scrape always sees the newest snapshot, never a torn one.
+  server.publish("wdm_test_metric 2\n");
+  EXPECT_EQ(body_of(http_get(server.port(), "/metrics")),
+            "wdm_test_metric 2\n");
+
+  EXPECT_NE(http_get(server.port(), "/healthz").find("HTTP/1.1 200"),
+            std::string::npos);
+  EXPECT_NE(http_get(server.port(), "/nope").find("HTTP/1.1 404"),
+            std::string::npos);
+  EXPECT_EQ(server.scrapes(), 2u) << "only /metrics hits count as scrapes";
+  server.stop();
+  EXPECT_FALSE(server.running());
+}
+
+TEST(MetricsServer, PublishesARegistryAsPrometheusText) {
+  obs::MetricsServer server;
+  if (!server.start(0)) {
+    GTEST_SKIP() << "metrics server unavailable: " << server.last_error();
+  }
+  obs::Registry registry;
+  registry.counter("wdm_widgets_total", "Widgets seen", 42);
+  server.publish(registry);
+
+  const std::string body = body_of(http_get(server.port(), "/metrics"));
+  EXPECT_NE(body.find("# HELP wdm_widgets_total Widgets seen"),
+            std::string::npos);
+  EXPECT_NE(body.find("# TYPE wdm_widgets_total counter"), std::string::npos);
+  EXPECT_NE(body.find("wdm_widgets_total 42"), std::string::npos);
+  server.stop();
+}
+
+TEST(MetricsServer, FleetScrapeDoesNotPerturbDigest) {
+  const std::uint64_t kSlots = 120;
+  const std::uint64_t kChunk = 8;
+
+  sim::Fleet plain(fleet_config(2));
+  plain.run(kSlots);
+  const std::uint64_t want = plain.fleet_digest();
+
+  obs::MetricsServer server;
+  if (!server.start(0)) {
+    GTEST_SKIP() << "metrics server unavailable: " << server.last_error();
+  }
+  sim::Fleet scraped(fleet_config(2));
+
+  // Hammer /metrics from another thread for the whole run while the fleet
+  // publishes a fresh snapshot every kChunk slots — the acceptance
+  // criterion is that none of this is visible in the scheduling decisions.
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> ok_scrapes{0};
+  std::thread scraper([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      const std::string response = http_get(server.port(), "/metrics");
+      if (response.find("HTTP/1.1 200") != std::string::npos) {
+        ok_scrapes.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+  for (std::uint64_t s = 0; s < kSlots; s += kChunk) {
+    scraped.run(kChunk);
+    obs::Registry registry;
+    sim::register_fleet_metrics(registry, scraped);
+    server.publish(registry);
+  }
+  done.store(true, std::memory_order_release);
+  scraper.join();
+  server.stop();
+
+  EXPECT_EQ(scraped.fleet_digest(), want)
+      << "a concurrent scraper must never perturb scheduling decisions";
+  EXPECT_GT(ok_scrapes.load(), 0u) << "the scraper never got through";
+  EXPECT_GE(server.scrapes(), ok_scrapes.load());
+}
+
+TEST(MetricsServer, FlightRecorderIsInvisibleToTheDigest) {
+  sim::FleetConfig with = fleet_config(2);
+  sim::FleetConfig without = fleet_config(2);
+  without.flight.enabled = false;
+
+  sim::Fleet a(with);
+  sim::Fleet b(without);
+  a.run(80);
+  b.run(80);
+  EXPECT_EQ(a.fleet_digest(), b.fleet_digest());
+  EXPECT_NE(a.shard_flight(0), nullptr);
+  EXPECT_GT(a.shard_flight(0)->recorder().recorded(), 0u);
+  EXPECT_EQ(b.shard_flight(0), nullptr);
+}
+
+TEST(FleetBlackBox, TwoCrashesLeaveOneConsistentDumpEach) {
+  const fs::path root = fresh_dir("blackbox_two_crashes");
+
+  sim::FleetConfig cfg = fleet_config(2);
+  cfg.supervision.enabled = true;
+  cfg.supervision.restart_budget = 3;
+  cfg.supervision.backoff_slots = 0;
+  cfg.shard_faults = {crash_at(1, 20), crash_at(1, 40)};
+  cfg.blackbox_dir = root.string();
+
+  {
+    sim::Fleet fleet(cfg);
+    // Chunked like a real serving loop: the restart after the slot-20 crash
+    // replays only to the chunk boundary (slot 30), well short of the
+    // second scripted crash, so each crash heals before the next one fires.
+    for (int chunk = 0; chunk < 8; ++chunk) fleet.run(10);
+    EXPECT_EQ(fleet.shard_restarts(1), 2u);
+    EXPECT_EQ(fleet.shard_health(1), sim::ShardHealth::kServing);
+    fleet.flush_black_boxes();
+    EXPECT_EQ(fleet.black_box_dumps(), 2u);
+  }
+
+  for (const std::uint64_t slot : {20ULL, 40ULL}) {
+    const fs::path dir =
+        root / "blackbox" / ("shard-1-slot-" + std::to_string(slot));
+    ASSERT_TRUE(fs::is_regular_file(dir / "trace.json")) << dir;
+    ASSERT_TRUE(fs::is_regular_file(dir / "metrics.prom")) << dir;
+    ASSERT_TRUE(fs::is_regular_file(dir / "blackbox.json")) << dir;
+  }
+
+  // The second dump fires after the first restart succeeded, so its
+  // manifest must carry that history — one attempt, ok, one restart —
+  // matching what the fleet reported through shard_restarts en route to 2.
+  std::ifstream in(root / "blackbox" / "shard-1-slot-40" / "blackbox.json");
+  std::stringstream manifest;
+  manifest << in.rdbuf();
+  const std::string text = manifest.str();
+  EXPECT_NE(text.find("\"schema\": \"wdm-blackbox-v1\""), std::string::npos);
+  EXPECT_NE(text.find("\"reason\": \"crash\""), std::string::npos);
+  EXPECT_NE(text.find("\"attempts\": 1"), std::string::npos);
+  EXPECT_NE(text.find("\"restarts\": 1"), std::string::npos);
+  EXPECT_NE(text.find("\"attempt\": 1, \"began_at_slot\": 30, \"ok\": true"),
+            std::string::npos)
+      << text;
+
+  // And the trace explains the trigger.
+  std::ifstream tin(root / "blackbox" / "shard-1-slot-40" / "trace.json");
+  std::stringstream trace;
+  trace << tin.rdbuf();
+  EXPECT_NE(trace.str().find("shard-quarantine"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wdm

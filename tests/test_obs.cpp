@@ -103,6 +103,54 @@ TEST(ObsHistogram, MergeMatchesCombinedStream) {
   }
 }
 
+TEST(ObsHistogram, MergeEmptyAndNonEmptyAreIdentities) {
+  Histogram filled;
+  for (std::uint64_t v : {1ULL, 7ULL, 4096ULL}) filled.add(v);
+
+  // empty.merge(filled) adopts filled wholesale — including min/max, which
+  // must not keep the empty histogram's zero-initialized min.
+  Histogram empty_lhs;
+  empty_lhs.merge(filled);
+  EXPECT_EQ(empty_lhs.count(), filled.count());
+  EXPECT_EQ(empty_lhs.sum(), filled.sum());
+  EXPECT_EQ(empty_lhs.min(), filled.min());
+  EXPECT_EQ(empty_lhs.max(), filled.max());
+
+  // filled.merge(empty) is a no-op.
+  Histogram copy = filled;
+  const Histogram empty_rhs;
+  copy.merge(empty_rhs);
+  EXPECT_EQ(copy.count(), filled.count());
+  EXPECT_EQ(copy.sum(), filled.sum());
+  EXPECT_EQ(copy.min(), filled.min());
+  EXPECT_EQ(copy.max(), filled.max());
+  for (std::size_t i = 0; i < Histogram::kBucketCount; ++i) {
+    ASSERT_EQ(copy.count_at(i), filled.count_at(i)) << "bucket " << i;
+  }
+
+  // Two empties merge to an empty.
+  Histogram both;
+  both.merge(empty_rhs);
+  EXPECT_EQ(both.count(), 0u);
+  EXPECT_EQ(both.quantile(0.5), 0u);
+}
+
+TEST(ObsHistogram, MergeSaturatedTopBucketAccumulates) {
+  // The top bucket's inclusive hi is ~0ULL; merging two histograms that both
+  // hold it must add the counts without overflowing the edge math.
+  const std::size_t top = Histogram::bucket_index(~0ULL);
+  Histogram a, b;
+  for (int i = 0; i < 3; ++i) a.add(~0ULL);
+  for (int i = 0; i < 5; ++i) b.add(~0ULL - 1);
+  ASSERT_EQ(Histogram::bucket_index(~0ULL - 1), top);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 8u);
+  EXPECT_EQ(a.count_at(top), 8u);
+  EXPECT_EQ(a.max(), ~0ULL);
+  EXPECT_EQ(a.min(), ~0ULL - 1);
+  EXPECT_EQ(a.quantile(1.0), ~0ULL);
+}
+
 TEST(ObsHistogram, HugeValuesStayInRange) {
   Histogram h;
   h.add(~0ULL);
@@ -279,6 +327,56 @@ TEST(ObsExport, PrometheusWriterEmitsHelpTypeAndCumulativeBuckets) {
             std::string::npos);
   EXPECT_NE(out.find("wdm_latency_ns_sum{stage=\"slot\"} 5105"),
             std::string::npos);
+}
+
+TEST(ObsExport, LabelValueEscapingCoversBackslashQuoteNewline) {
+  EXPECT_EQ(obs::escape_label_value("plain-value_0"), "plain-value_0");
+  EXPECT_EQ(obs::escape_label_value("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(obs::escape_label_value("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(obs::escape_label_value("two\nlines"), "two\\nlines");
+  // All three at once, in order: \ then " then newline.
+  EXPECT_EQ(obs::escape_label_value("\\\"\n"), "\\\\\\\"\\n");
+  EXPECT_EQ(obs::escape_label_value(""), "");
+}
+
+TEST(ObsExport, HelpEscapingLeavesQuotesAlone) {
+  EXPECT_EQ(obs::escape_help("plain help"), "plain help");
+  EXPECT_EQ(obs::escape_help("a\\b"), "a\\\\b");
+  EXPECT_EQ(obs::escape_help("a\nb"), "a\\nb");
+  // Double quotes are legal inside HELP text and must pass through.
+  EXPECT_EQ(obs::escape_help("say \"hi\""), "say \"hi\"");
+}
+
+TEST(ObsExport, LabelComposesAnEscapedPair) {
+  EXPECT_EQ(obs::label("stage", "slot"), "stage=\"slot\"");
+  EXPECT_EQ(obs::label("path", "a\\b\"c\nd"),
+            "path=\"a\\\\b\\\"c\\nd\"");
+}
+
+TEST(ObsExport, PrometheusWriterKeepsHelpOnOneEscapedLine) {
+  obs::Registry registry;
+  registry.counter("wdm_tricky_total", "first line\nsecond \\ line", 7,
+                   obs::label("file", "C:\\tmp\n\"x\""));
+
+  std::ostringstream os;
+  obs::write_prometheus(os, registry);
+  const std::string out = os.str();
+
+  // The HELP text must be a single physical line with escaped metachars.
+  EXPECT_NE(out.find("# HELP wdm_tricky_total first line\\nsecond \\\\ line"),
+            std::string::npos);
+  EXPECT_EQ(out.find("second \\ line\n"), std::string::npos)
+      << "raw newline/backslash leaked into the exposition";
+  EXPECT_NE(
+      out.find("wdm_tricky_total{file=\"C:\\\\tmp\\n\\\"x\\\"\"} 7"),
+      std::string::npos);
+  // Every non-comment line must still parse as `name{labels} value`.
+  std::istringstream lines(out);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    EXPECT_NE(line.find(' '), std::string::npos) << line;
+  }
 }
 
 // ------------------------------------------------------------ integration

@@ -17,8 +17,11 @@
 
 #include "core/availability.hpp"
 #include "core/distributed.hpp"
+#include "obs/metrics_server.hpp"
+#include "obs/registry.hpp"
 #include "obs/telemetry.hpp"
 #include "sim/fleet.hpp"
+#include "sim/obs_export.hpp"
 #include "sim/interconnect.hpp"
 #include "util/rng.hpp"
 
@@ -169,6 +172,50 @@ TEST(ZeroAlloc, WarmFourShardFleetStepIsAllocationFree) {
       << "the warm multi-shard step path must not allocate";
   EXPECT_EQ(fleet.current_slot(), 96u);
   EXPECT_GT(fleet.total_granted(), 0u);
+}
+
+TEST(ZeroAlloc, WarmFleetStepIsAllocationFreeWithMetricsServerLive) {
+  // The observability plane's enrollment cost is paid at publish time, not
+  // on the slot path: with a MetricsServer live (accept thread parked in
+  // accept()) and a snapshot already published, the warm fleet step
+  // allocates exactly as much as it would without the server — nothing.
+  // Snapshots are published before and after the measured window, the way
+  // examples/simulate.cpp does between --scrape-every chunks; the global
+  // counter would also see any scrape served mid-window, so none happen.
+  if (!kOptimizedBuild) GTEST_SKIP() << "debug cross-checks allocate";
+  sim::FleetConfig cfg;
+  cfg.shards = 2;
+  cfg.seed = 11;
+  cfg.interconnect.n_fibers = 16;
+  cfg.interconnect.scheme = core::ConversionScheme::circular(8, 1, 1);
+  cfg.traffic.load = 0.7;
+  cfg.traffic.holding = sim::HoldingTime::kGeometric;
+  cfg.traffic.mean_holding = 2.0;
+  sim::Fleet fleet(cfg);
+
+  obs::MetricsServer server;
+  if (!server.start(0)) {
+    GTEST_SKIP() << "metrics server unavailable: " << server.last_error();
+  }
+
+  fleet.run(64);  // warm-up
+  {
+    obs::Registry registry;
+    sim::register_fleet_metrics(registry, fleet);
+    server.publish(registry);
+  }
+
+  const std::uint64_t before = g_allocs.load(std::memory_order_relaxed);
+  for (int i = 0; i < 32; ++i) fleet.step();
+  const std::uint64_t after = g_allocs.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u)
+      << "a live metrics server must not tax the warm slot path";
+
+  obs::Registry registry;
+  sim::register_fleet_metrics(registry, fleet);
+  server.publish(registry);
+  server.stop();
+  EXPECT_EQ(fleet.current_slot(), 96u);
 }
 
 TEST(ZeroAlloc, SchedulerPathStaysAllocationFreeWithTracingOn) {
